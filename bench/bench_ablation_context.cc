@@ -1,0 +1,98 @@
+// Ablation (DESIGN.md call-out): what each analysis layer buys. Runs the
+// corpus under intra-only, intra+inter, and (on a database-backed slice)
+// +data analysis, reporting precision/recall per configuration — the
+// mechanism behind the paper's §8.1 claim that context reduces false
+// positives and data analysis resolves the rest (§4.2).
+#include <cstdio>
+
+#include "analysis/context.h"
+#include "rules/registry.h"
+#include "sql/extractor.h"
+#include "workload/corpus.h"
+#include "workload/globaleaks.h"
+
+using namespace sqlcheck;
+using workload::DetectionScore;
+
+namespace {
+
+DetectionScore RunConfig(const workload::Corpus& corpus, bool inter) {
+  std::vector<Detection> detections;
+  for (const auto& repo : corpus.repos) {
+    ContextBuilder builder;
+    for (const auto& found : sql::ExtractEmbeddedSql(repo.source)) {
+      builder.AddQuery(found.sql);
+    }
+    Context context = builder.Build();
+    DetectorConfig config;
+    config.inter_query = inter;
+    config.data_analysis = false;
+    for (auto& d : DetectAntiPatterns(context, config)) detections.push_back(std::move(d));
+  }
+  auto scores = ScoreDetections(corpus, detections, {});
+  DetectionScore total;
+  for (const auto& [_, s] : scores) {
+    total.true_positives += s.true_positives;
+    total.false_positives += s.false_positives;
+    total.false_negatives += s.false_negatives;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  workload::CorpusOptions options;
+  options.repo_count = 300;
+  workload::Corpus corpus = GenerateCorpus(options);
+
+  std::printf("Ablation — analysis layers vs precision/recall (corpus: %zu stmts)\n",
+              corpus.StatementCount());
+  std::printf("%-26s %6s %6s %6s %10s %8s\n", "configuration", "TP", "FP", "FN",
+              "precision", "recall");
+
+  DetectionScore intra = RunConfig(corpus, /*inter=*/false);
+  DetectionScore inter = RunConfig(corpus, /*inter=*/true);
+  std::printf("%-26s %6d %6d %6d %10.3f %8.3f\n", "intra-query only",
+              intra.true_positives, intra.false_positives, intra.false_negatives,
+              intra.Precision(), intra.Recall());
+  std::printf("%-26s %6d %6d %6d %10.3f %8.3f\n", "intra + inter-query",
+              inter.true_positives, inter.false_positives, inter.false_negatives,
+              inter.Precision(), inter.Recall());
+  std::printf("  inter-query context raises precision: %s\n",
+              inter.Precision() >= intra.Precision() ? "yes" : "NO");
+
+  // Data-analysis leg: the §4.1 "Limitation" example — a LIKE on a prose
+  // column is an intra-query false positive; the attached database resolves
+  // it, while a genuinely packed column stays detected.
+  Database db;
+  workload::GlobaleaksOptions small;
+  small.tenant_count = 40;
+  small.users_per_tenant = 10;
+  workload::Globaleaks::BuildWithAps(&db, small);
+
+  ContextBuilder builder;
+  builder.AddQuery("SELECT tenant_id FROM Tenants WHERE user_ids LIKE '%,U1,%'");
+  builder.AttachDatabase(&db);
+  Context with_data = builder.Build();
+
+  DetectorConfig no_data;
+  no_data.data_analysis = false;
+  DetectorConfig full;
+
+  auto count_mva = [](const std::vector<Detection>& detections) {
+    int n = 0;
+    for (const auto& d : detections) {
+      if (d.type == AntiPattern::kMultiValuedAttribute) ++n;
+    }
+    return n;
+  };
+  int without = count_mva(DetectAntiPatterns(with_data, no_data));
+  int with = count_mva(DetectAntiPatterns(with_data, full));
+  std::printf("\nMVA detections on GlobaLeaks (true AP present): query-only=%d, "
+              "+data=%d (data rule confirms the packed user_ids column)\n",
+              without, with);
+  std::printf("data analysis adds confirmation without losing the detection: %s\n",
+              with >= without && with >= 1 ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Figure 3: performance impact of the Multi-Valued Attribute AP on the three
+// GlobaLeaks tasks (§2.1, §2.3). Paper speedups after fixing: 636x / 256x /
+// 193x. Our substrate is an in-memory engine at smaller scale, so absolute
+// times differ; the AP variant must lose by orders of magnitude.
+#include <benchmark/benchmark.h>
+
+#include "engine/executor.h"
+#include "workload/globaleaks.h"
+
+namespace {
+
+using sqlcheck::Database;
+using sqlcheck::Executor;
+using sqlcheck::workload::Globaleaks;
+using sqlcheck::workload::GlobaleaksOptions;
+
+GlobaleaksOptions Scale() {
+  GlobaleaksOptions options;
+  options.tenant_count = 1000;
+  options.users_per_tenant = 20;
+  return options;
+}
+
+Database& ApDb() {
+  static Database* db = [] {
+    auto* d = new Database("globaleaks_ap");
+    Globaleaks::BuildWithAps(d, Scale());
+    return d;
+  }();
+  return *db;
+}
+
+Database& FixedDb() {
+  static Database* db = [] {
+    auto* d = new Database("globaleaks_fixed");
+    Globaleaks::BuildRefactored(d, Scale());
+    return d;
+  }();
+  return *db;
+}
+
+void Run(benchmark::State& state, Database& db, const std::string& sql) {
+  Executor exec(&db);
+  for (auto _ : state) {
+    auto r = exec.ExecuteSql(sql);
+    if (!r.ok()) state.SkipWithError(r.message().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void BM_Task1_TenantsOfUser_AP(benchmark::State& state) {
+  Run(state, ApDb(), Globaleaks::Task1Ap(Globaleaks::SomeUserId(Scale())));
+}
+void BM_Task1_TenantsOfUser_Fixed(benchmark::State& state) {
+  Run(state, FixedDb(), Globaleaks::Task1Fixed(Globaleaks::SomeUserId(Scale())));
+}
+void BM_Task2_UsersOfTenant_AP(benchmark::State& state) {
+  Run(state, ApDb(), Globaleaks::Task2Ap(Globaleaks::SomeTenantId(Scale())));
+}
+void BM_Task2_UsersOfTenant_Fixed(benchmark::State& state) {
+  Run(state, FixedDb(), Globaleaks::Task2Fixed(Globaleaks::SomeTenantId(Scale())));
+}
+
+// Task 3 mutates, so each iteration detaches a DIFFERENT existing user —
+// every run does real work instead of re-deleting a ghost.
+void BM_Task3_DetachUser_AP(benchmark::State& state) {
+  Executor exec(&ApDb());
+  size_t i = 0;
+  for (auto _ : state) {
+    auto r = exec.ExecuteSql(Globaleaks::Task3Ap("U" + std::to_string(i++)));
+    if (!r.ok()) state.SkipWithError(r.message().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+void BM_Task3_DetachUser_Fixed(benchmark::State& state) {
+  Executor exec(&FixedDb());
+  size_t i = 0;
+  for (auto _ : state) {
+    auto r = exec.ExecuteSql(Globaleaks::Task3Fixed("U" + std::to_string(i++)));
+    if (!r.ok()) state.SkipWithError(r.message().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+BENCHMARK(BM_Task1_TenantsOfUser_AP)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Task1_TenantsOfUser_Fixed)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Task2_UsersOfTenant_AP)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Task2_UsersOfTenant_Fixed)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Task3_DetachUser_AP)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Task3_DetachUser_Fixed)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

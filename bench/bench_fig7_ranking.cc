@@ -1,0 +1,35 @@
+// Figures 6 & 7 / Example 6: the ranking model. Reproduces the worked
+// example — under C1 (read-heavy) Index Underuse (0.21) outranks Enumerated
+// Types (0.175); under C2 (hybrid) the order flips (0.12 vs ~0.45).
+#include <cstdio>
+
+#include "ranking/model.h"
+
+using namespace sqlcheck;
+
+int main() {
+  // Figure 7b's metric rows.
+  ApMetrics index_underuse;
+  index_underuse.read_speedup = 1.5;
+  ApMetrics enum_types;
+  enum_types.write_speedup = 10.0;
+  enum_types.maintainability = 2.0;
+  enum_types.data_amplification = 1.0;
+
+  std::printf("Figure 7 — ranking model configurations (Example 6)\n");
+  std::printf("%-22s %8s %8s\n", "anti-pattern", "C1", "C2");
+  RankingModel c1(RankingWeights::C1());
+  RankingModel c2(RankingWeights::C2());
+  std::printf("%-22s %8.3f %8.3f\n", "Index Underuse", c1.Score(index_underuse),
+              c2.Score(index_underuse));
+  std::printf("%-22s %8.3f %8.3f\n", "Enumerated Types", c1.Score(enum_types),
+              c2.Score(enum_types));
+
+  bool c1_order = c1.Score(index_underuse) > c1.Score(enum_types);
+  bool c2_order = c2.Score(enum_types) > c2.Score(index_underuse);
+  std::printf("\nC1 ranks Index Underuse first: %s (paper: yes, 0.21 vs 0.175)\n",
+              c1_order ? "yes" : "NO");
+  std::printf("C2 ranks Enumerated Types first: %s (paper: yes, 0.47 vs 0.12)\n",
+              c2_order ? "yes" : "NO");
+  return (c1_order && c2_order) ? 0 : 1;
+}

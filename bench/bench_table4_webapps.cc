@@ -1,0 +1,73 @@
+// Tables 4 & 7: sqlcheck on 15 Django-style applications — APs detected per
+// app vs the high-impact subset worth reporting upstream. The reporting
+// filter mirrors §8.4: rank by impact score, keep distinct AP classes above
+// a score floor, and drop low-severity classes (Generic Primary Key) and
+// requirement-dependent ones (Too Many Joins).
+#include <cstdio>
+#include <set>
+#include <tuple>
+
+#include "core/sqlcheck.h"
+#include "engine/executor.h"
+#include "workload/django.h"
+
+using namespace sqlcheck;
+
+namespace {
+
+bool Reportable(AntiPattern type) {
+  return type != AntiPattern::kGenericPrimaryKey && type != AntiPattern::kTooManyJoins &&
+         type != AntiPattern::kColumnWildcard && type != AntiPattern::kImplicitColumns;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Tables 4 & 7 — sqlcheck on Django-style web applications\n");
+  std::printf("%-22s %-14s %8s %8s  %s\n", "App", "Domain", "# Det", "# Rep",
+              "Reported AP classes");
+  int total_detected = 0;
+  int total_reported = 0;
+  for (const auto& spec : workload::DjangoAppSpecs()) {
+    // Deploy the app (the paper runs each on PostgreSQL, §8.4): execute its
+    // workload so the data analyzer has real tables to profile.
+    Database db(spec.name);
+    Executor exec(&db);
+    SqlCheck checker;
+    for (const auto& sql_text : workload::GenerateDjangoWorkload(spec)) {
+      exec.ExecuteSql(sql_text);  // SELECTs just run; DDL/DML materialize
+      checker.AddQuery(sql_text);
+    }
+    checker.AttachDatabase(&db);
+    Report report = checker.Run();
+
+    // An application AP = one (type, table, column) site, however many
+    // statements expose it.
+    std::set<std::tuple<AntiPattern, std::string, std::string>> sites;
+    for (const auto& finding : report.findings) {
+      const Detection& d = finding.ranked.detection;
+      sites.emplace(d.type, d.table, d.column);
+    }
+
+    // Reported = distinct high-impact AP classes after the severity filter.
+    std::set<AntiPattern> reported;
+    std::string reported_names;
+    for (const auto& finding : report.findings) {
+      AntiPattern type = finding.ranked.detection.type;
+      if (!Reportable(type) || finding.ranked.score < 0.03) continue;
+      if (reported.insert(type).second) {
+        if (!reported_names.empty()) reported_names += ", ";
+        reported_names += ApName(type);
+      }
+    }
+    std::printf("%-22s %-14s %8zu %8zu  %s\n", spec.name.c_str(), spec.domain.c_str(),
+                sites.size(), reported.size(), reported_names.c_str());
+    total_detected += static_cast<int>(sites.size());
+    total_reported += static_cast<int>(reported.size());
+  }
+  std::printf("%-22s %-14s %8d %8d\n", "Total:", "", total_detected, total_reported);
+  std::printf("\npaper: 123 detected / 32 reported across 15 apps; shape target is a "
+              "detected count far above the reported count with Index Overuse and "
+              "Pattern Matching dominating the reported set\n");
+  return 0;
+}

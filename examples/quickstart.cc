@@ -1,0 +1,38 @@
+// Quickstart: check a handful of statements the way the paper's
+// `find_anti_patterns(query)` API does (§7), print the ranked report.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/sqlcheck.h"
+
+int main() {
+  sqlcheck::SqlCheck checker;
+
+  // An application workload: schema + queries, warts and all.
+  checker.AddScript(R"sql(
+CREATE TABLE users (
+  id INTEGER PRIMARY KEY,
+  name VARCHAR(40),
+  email VARCHAR(60),
+  password VARCHAR(32),
+  balance FLOAT,
+  friend_ids TEXT
+);
+CREATE TABLE orders (order_id INTEGER PRIMARY KEY, user_id INTEGER, total FLOAT);
+SELECT * FROM users WHERE friend_ids LIKE '%,42,%';
+SELECT o.total FROM orders o JOIN users u ON o.user_id = u.id;
+INSERT INTO orders VALUES (1, 42, 9.99);
+SELECT name FROM users ORDER BY RAND() LIMIT 1;
+)sql");
+
+  sqlcheck::Report report = checker.Run();
+  std::printf("%s", report.ToText().c_str());
+
+  // Programmatic access: counts per anti-pattern type.
+  std::printf("summary:\n");
+  for (const auto& [type, count] : report.CountsByType()) {
+    std::printf("  %-28s x%d\n", sqlcheck::ApName(type), count);
+  }
+  return report.empty() ? 1 : 0;
+}

@@ -1,0 +1,117 @@
+#include "analysis/context.h"
+
+#include "analysis/query_analyzer.h"
+#include "common/strings.h"
+#include "sql/parser.h"
+
+namespace sqlcheck {
+
+std::vector<const QueryFacts*> Context::QueriesReferencing(std::string_view table) const {
+  std::vector<const QueryFacts*> out;
+  for (const auto& facts : query_facts_) {
+    if (facts.ReferencesTable(table)) out.push_back(&facts);
+  }
+  return out;
+}
+
+int Context::EqualityUseCount(std::string_view table, std::string_view column) const {
+  int count = 0;
+  for (const auto& facts : query_facts_) {
+    for (const auto& p : facts.predicates) {
+      if ((p.op == "=" || p.op == "==" || p.op == "IN") &&
+          EqualsIgnoreCase(p.column, column) &&
+          (p.table.empty() || EqualsIgnoreCase(p.table, table))) {
+        // Unqualified predicates only count when the query touches the table.
+        if (!p.table.empty() || facts.ReferencesTable(table)) ++count;
+      }
+    }
+    for (const auto& j : facts.joins) {
+      if (j.expression_join) continue;
+      if (EqualsIgnoreCase(j.left_table, table) && EqualsIgnoreCase(j.left_column, column)) {
+        ++count;
+      }
+      if (EqualsIgnoreCase(j.right_table, table) &&
+          EqualsIgnoreCase(j.right_column, column)) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+bool Context::TablesJoined(std::string_view left, std::string_view right) const {
+  for (const auto& facts : query_facts_) {
+    for (const auto& j : facts.joins) {
+      if (j.expression_join) continue;
+      bool forward = EqualsIgnoreCase(j.left_table, left) &&
+                     EqualsIgnoreCase(j.right_table, right);
+      bool backward = EqualsIgnoreCase(j.left_table, right) &&
+                      EqualsIgnoreCase(j.right_table, left);
+      if (forward || backward) return true;
+    }
+  }
+  return false;
+}
+
+bool Context::ForeignKeyExists(std::string_view left, std::string_view right) const {
+  auto has_fk = [&](std::string_view from, std::string_view to) {
+    const TableSchema* schema = catalog_.FindTable(from);
+    if (schema == nullptr) return false;
+    for (const auto& fk : schema->foreign_keys) {
+      if (EqualsIgnoreCase(fk.ref_table, to)) return true;
+    }
+    return false;
+  };
+  return has_fk(left, right) || has_fk(right, left);
+}
+
+bool Context::ColumnNullable(std::string_view table, std::string_view column) const {
+  const TableSchema* schema = catalog_.FindTable(table);
+  if (schema == nullptr) return true;
+  const ColumnSchema* col = schema->FindColumn(column);
+  if (col == nullptr) return true;
+  return !col->not_null;
+}
+
+void ContextBuilder::AddQuery(std::string_view sql_text) {
+  statements_.push_back(sql::ParseStatement(sql_text));
+}
+
+void ContextBuilder::AddScript(std::string_view script) {
+  for (auto& stmt : sql::ParseScript(script)) {
+    statements_.push_back(std::move(stmt));
+  }
+}
+
+void ContextBuilder::AddStatement(sql::StatementPtr stmt) {
+  statements_.push_back(std::move(stmt));
+}
+
+void ContextBuilder::AttachDatabase(const Database* db, DataAnalyzerOptions options) {
+  database_ = db;
+  data_options_ = options;
+}
+
+Context ContextBuilder::Build() {
+  Context context;
+  context.database_ = database_;
+
+  // Catalog baseline: live database schema when available...
+  if (database_ != nullptr) {
+    context.catalog_ = database_->BuildCatalog();
+    context.data_ = AnalyzeDatabase(*database_, data_options_);
+  }
+  // ...augmented (or fully constructed) from workload DDL.
+  for (const auto& stmt : statements_) {
+    context.catalog_.ApplyDdl(*stmt);  // ignores DML; duplicate DDL is a no-op error
+  }
+
+  context.statements_ = std::move(statements_);
+  context.query_facts_.reserve(context.statements_.size());
+  for (const auto& stmt : context.statements_) {
+    context.query_facts_.push_back(AnalyzeQuery(*stmt));
+  }
+  return context;
+}
+
+}  // namespace sqlcheck

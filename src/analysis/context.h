@@ -1,0 +1,85 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/data_analyzer.h"
+#include "analysis/data_context.h"
+#include "analysis/query_context.h"
+#include "catalog/catalog.h"
+#include "sql/ast.h"
+#include "storage/database.h"
+
+namespace sqlcheck {
+
+/// \brief The application context of Algorithm 1: the catalog (from DDL or a
+/// live database), the analyzed queries, and optional data profiles. It
+/// exposes the queryable interface the inter-query and data rules consume.
+class Context {
+ public:
+  const Catalog& catalog() const { return catalog_; }
+  const std::vector<QueryFacts>& queries() const { return query_facts_; }
+  const DataContext& data() const { return data_; }
+  const Database* database() const { return database_; }
+  bool has_data() const { return !data_.empty(); }
+
+  // ------------------------ queryable interface ----------------------------
+  /// Queries referencing a table.
+  std::vector<const QueryFacts*> QueriesReferencing(std::string_view table) const;
+
+  /// How many equality predicates/join edges across the workload touch
+  /// `table.column` (signals Index Underuse when unindexed).
+  int EqualityUseCount(std::string_view table, std::string_view column) const;
+
+  /// True if any query joins `left` and `right` on any columns.
+  bool TablesJoined(std::string_view left, std::string_view right) const;
+
+  /// True if the catalog records a foreign key between the two tables (in
+  /// either direction).
+  bool ForeignKeyExists(std::string_view left, std::string_view right) const;
+
+  /// The table profile for `table`, or nullptr without data analysis.
+  const TableProfile* ProfileFor(std::string_view table) const { return data_.Find(table); }
+
+  /// True if the schema column is nullable (unknown tables count as nullable).
+  bool ColumnNullable(std::string_view table, std::string_view column) const;
+
+ private:
+  friend class ContextBuilder;
+
+  Catalog catalog_;
+  std::vector<sql::StatementPtr> statements_;  ///< Owned parse trees.
+  std::vector<QueryFacts> query_facts_;
+  DataContext data_;
+  const Database* database_ = nullptr;  ///< Non-owning; may be null.
+};
+
+/// \brief Builds a Context from queries and (optionally) a database
+/// connection, per Algorithm 1. When no database is attached, the catalog is
+/// reconstructed purely from the DDL statements in the workload (§4.1).
+class ContextBuilder {
+ public:
+  /// Adds one SQL statement (parsed internally).
+  void AddQuery(std::string_view sql_text);
+
+  /// Adds every statement in a script.
+  void AddScript(std::string_view script);
+
+  /// Adds an already-parsed statement (takes ownership).
+  void AddStatement(sql::StatementPtr stmt);
+
+  /// Attaches a live database: its schema becomes the catalog baseline and
+  /// its tables are profiled by the data analyzer.
+  void AttachDatabase(const Database* db, DataAnalyzerOptions options = {});
+
+  /// Builds the context (consumes the builder's accumulated state).
+  Context Build();
+
+ private:
+  std::vector<sql::StatementPtr> statements_;
+  const Database* database_ = nullptr;
+  DataAnalyzerOptions data_options_;
+};
+
+}  // namespace sqlcheck

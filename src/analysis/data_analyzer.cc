@@ -1,0 +1,22 @@
+#include "analysis/data_analyzer.h"
+
+#include "common/strings.h"
+#include "storage/sampler.h"
+
+namespace sqlcheck {
+
+DataContext AnalyzeDatabase(const Database& db, const DataAnalyzerOptions& options) {
+  DataContext context;
+  for (const Table* table : db.Tables()) {
+    TableProfile profile;
+    profile.table = table->schema().name;
+    profile.stats = ComputeTableStats(*table, options.sample_limit, options.seed);
+    size_t sample_limit =
+        options.sample_limit == 0 ? table->live_row_count() : options.sample_limit;
+    profile.sample = SampleRows(*table, sample_limit, options.seed);
+    context.profiles.emplace(ToLower(profile.table), std::move(profile));
+  }
+  return context;
+}
+
+}  // namespace sqlcheck

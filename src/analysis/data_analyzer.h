@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/data_context.h"
+#include "storage/database.h"
+
+namespace sqlcheck {
+
+/// \brief Knobs for the data analyzer. Sampling keeps profiling cheap; the
+/// paper lets the developer configure the sampling frequency (§4.2).
+struct DataAnalyzerOptions {
+  size_t sample_limit = 1000;  ///< Max rows profiled per table (0 = full scan).
+  uint64_t seed = 42;
+};
+
+/// \brief Profiles every table of `db` (Algorithm 1's Data-Analyser step).
+DataContext AnalyzeDatabase(const Database& db, const DataAnalyzerOptions& options = {});
+
+}  // namespace sqlcheck

@@ -1,0 +1,12 @@
+#include "analysis/data_context.h"
+
+#include "common/strings.h"
+
+namespace sqlcheck {
+
+const TableProfile* DataContext::Find(std::string_view table) const {
+  auto it = profiles.find(ToLower(table));
+  return it == profiles.end() ? nullptr : &it->second;
+}
+
+}  // namespace sqlcheck

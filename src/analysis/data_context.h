@@ -1,0 +1,29 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/statistics.h"
+#include "storage/table.h"
+
+namespace sqlcheck {
+
+/// \brief Profile of one table produced by the data analyzer (§4.2): schema
+/// snapshot, column statistics over a sample, and the sampled rows kept for
+/// rules that need raw values (e.g. Information Duplication).
+struct TableProfile {
+  std::string table;
+  TableStats stats;
+  std::vector<Row> sample;
+};
+
+/// \brief All table profiles of the attached database.
+struct DataContext {
+  std::map<std::string, TableProfile> profiles;  // keyed by lowercased name
+
+  const TableProfile* Find(std::string_view table) const;
+  bool empty() const { return profiles.empty(); }
+};
+
+}  // namespace sqlcheck

@@ -1,0 +1,383 @@
+#include "analysis/query_analyzer.h"
+
+#include <map>
+
+#include "common/strings.h"
+#include "engine/like.h"
+#include "sql/printer.h"
+
+namespace sqlcheck {
+
+namespace {
+
+/// Alias -> table map for one statement.
+using AliasMap = std::map<std::string, std::string>;
+
+void AddBinding(AliasMap* aliases, const sql::TableRef& ref) {
+  if (ref.name.empty()) return;
+  (*aliases)[ToLower(ref.EffectiveName())] = ref.name;
+  (*aliases)[ToLower(ref.name)] = ref.name;
+}
+
+/// Resolves a column ref's qualifier through the alias map. Falls back to the
+/// sole bound table for unqualified refs in single-table statements.
+std::string ResolveTable(const AliasMap& aliases, const sql::Expr& column_ref,
+                         const std::string& sole_table) {
+  std::string qualifier = column_ref.TableQualifier();
+  if (!qualifier.empty()) {
+    auto it = aliases.find(ToLower(qualifier));
+    return it != aliases.end() ? it->second : qualifier;
+  }
+  return sole_table;
+}
+
+bool IsLiteralExpr(const sql::Expr& e) {
+  return e.kind == sql::ExprKind::kNullLiteral || e.kind == sql::ExprKind::kBoolLiteral ||
+         e.kind == sql::ExprKind::kNumberLiteral || e.kind == sql::ExprKind::kStringLiteral ||
+         e.kind == sql::ExprKind::kParam;
+}
+
+std::string LiteralDisplay(const sql::Expr& e) {
+  switch (e.kind) {
+    case sql::ExprKind::kNullLiteral: return "NULL";
+    case sql::ExprKind::kBoolLiteral: return e.text;
+    case sql::ExprKind::kNumberLiteral: return e.text;
+    case sql::ExprKind::kStringLiteral: return e.text;
+    case sql::ExprKind::kParam: return e.text;
+    default: return "";
+  }
+}
+
+class FactCollector {
+ public:
+  FactCollector(QueryFacts* facts, AliasMap aliases, std::string sole_table)
+      : facts_(facts), aliases_(std::move(aliases)), sole_table_(std::move(sole_table)) {}
+
+  /// Walks a predicate expression (WHERE/ON/HAVING) collecting predicate,
+  /// pattern, and concat usages.
+  void CollectPredicates(const sql::Expr& e) {
+    using sql::ExprKind;
+    switch (e.kind) {
+      case ExprKind::kBinary: {
+        const std::string& op = e.text;
+        if (op == "AND" || op == "OR") {
+          CollectPredicates(*e.children[0]);
+          CollectPredicates(*e.children[1]);
+          return;
+        }
+        if (op == "||") {
+          CollectConcat(e);
+          return;
+        }
+        if (op == "~" || op == "~*" || op == "!~" || op == "!~*") {
+          RecordPattern(e, "REGEXP");
+          return;
+        }
+        // Comparison between a column and a literal.
+        const sql::Expr& lhs = *e.children[0];
+        const sql::Expr& rhs = *e.children[1];
+        if (lhs.kind == ExprKind::kColumnRef && IsLiteralExpr(rhs)) {
+          RecordPredicate(lhs, op, LiteralDisplay(rhs));
+        } else if (rhs.kind == ExprKind::kColumnRef && IsLiteralExpr(lhs)) {
+          RecordPredicate(rhs, op, LiteralDisplay(lhs));
+        } else {
+          CollectPredicates(lhs);
+          CollectPredicates(rhs);
+        }
+        return;
+      }
+      case ExprKind::kLike:
+        RecordPattern(e, ToUpper(e.text));
+        return;
+      case ExprKind::kIn:
+        if (!e.children.empty() && e.children[0]->kind == ExprKind::kColumnRef) {
+          RecordPredicate(*e.children[0], "IN", "");
+        }
+        return;
+      case ExprKind::kBetween:
+        if (!e.children.empty() && e.children[0]->kind == ExprKind::kColumnRef) {
+          RecordPredicate(*e.children[0], "BETWEEN", "");
+        }
+        return;
+      case ExprKind::kIsNull:
+        if (!e.children.empty() && e.children[0]->kind == ExprKind::kColumnRef) {
+          RecordPredicate(*e.children[0], e.negated ? "IS NOT NULL" : "IS NULL", "");
+        }
+        return;
+      case ExprKind::kUnary:
+        if (!e.children.empty()) CollectPredicates(*e.children[0]);
+        return;
+      case ExprKind::kFunction:
+        if (EqualsIgnoreCase(e.text, "concat")) {
+          CollectConcat(e);
+          return;
+        }
+        for (const auto& c : e.children) CollectPredicates(*c);
+        return;
+      default:
+        for (const auto& c : e.children) CollectPredicates(*c);
+        return;
+    }
+  }
+
+  /// Records columns appearing under a concatenation (`a || b`, CONCAT(..)).
+  void CollectConcat(const sql::Expr& e) {
+    sql::VisitExpr(e, false, [&](const sql::Expr& node) {
+      if (node.kind == sql::ExprKind::kColumnRef) {
+        std::string table = ResolveTable(aliases_, node, sole_table_);
+        std::string qualified = table.empty() ? node.ColumnName()
+                                              : table + "." + node.ColumnName();
+        facts_->concat_columns.push_back(qualified);
+      }
+    });
+  }
+
+  /// Scans any expression for embedded concat/pattern usages (select lists).
+  void ScanExpression(const sql::Expr& e) {
+    sql::VisitExpr(e, false, [&](const sql::Expr& node) {
+      if (node.kind == sql::ExprKind::kBinary && node.text == "||") CollectConcat(node);
+      if (node.kind == sql::ExprKind::kFunction && EqualsIgnoreCase(node.text, "concat")) {
+        CollectConcat(node);
+      }
+      if (node.kind == sql::ExprKind::kLike) RecordPattern(node, ToUpper(node.text));
+    });
+  }
+
+  void RecordJoinOn(const sql::Expr& on) {
+    // Equality edges become JoinEdge records; anything else marks an
+    // expression join and is also predicate-scanned.
+    std::vector<const sql::Expr*> conjuncts;
+    CollectConjunctsLocal(on, &conjuncts);
+    for (const sql::Expr* conj : conjuncts) {
+      if (conj->kind == sql::ExprKind::kBinary &&
+          (conj->text == "=" || conj->text == "==") &&
+          conj->children[0]->kind == sql::ExprKind::kColumnRef &&
+          conj->children[1]->kind == sql::ExprKind::kColumnRef) {
+        JoinEdge edge;
+        edge.left_table = ResolveTable(aliases_, *conj->children[0], "");
+        edge.left_column = conj->children[0]->ColumnName();
+        edge.right_table = ResolveTable(aliases_, *conj->children[1], "");
+        edge.right_column = conj->children[1]->ColumnName();
+        facts_->joins.push_back(std::move(edge));
+      } else {
+        JoinEdge edge;
+        edge.expression_join = true;
+        facts_->joins.push_back(std::move(edge));
+        CollectPredicates(*conj);
+      }
+    }
+  }
+
+ private:
+  static void CollectConjunctsLocal(const sql::Expr& e,
+                                    std::vector<const sql::Expr*>* out) {
+    if (e.kind == sql::ExprKind::kBinary && e.text == "AND") {
+      CollectConjunctsLocal(*e.children[0], out);
+      CollectConjunctsLocal(*e.children[1], out);
+    } else {
+      out->push_back(&e);
+    }
+  }
+
+  void RecordPredicate(const sql::Expr& column_ref, std::string op, std::string literal) {
+    PredicateUse use;
+    use.table = ResolveTable(aliases_, column_ref, sole_table_);
+    use.column = column_ref.ColumnName();
+    use.op = std::move(op);
+    use.literal = std::move(literal);
+    facts_->predicates.push_back(std::move(use));
+  }
+
+  void RecordPattern(const sql::Expr& e, std::string op) {
+    PatternUse use;
+    use.op = std::move(op);
+    if (!e.children.empty() && e.children[0]->kind == sql::ExprKind::kColumnRef) {
+      use.table = ResolveTable(aliases_, *e.children[0], sole_table_);
+      use.column = e.children[0]->ColumnName();
+    }
+    if (e.children.size() > 1) {
+      const sql::Expr& pattern = *e.children[1];
+      if (pattern.kind == sql::ExprKind::kStringLiteral) {
+        use.pattern = pattern.text;
+        use.leading_wildcard = !pattern.text.empty() &&
+                               (pattern.text[0] == '%' || pattern.text[0] == '_' ||
+                                pattern.text.rfind(".*", 0) == 0);
+        use.word_boundary = HasWordBoundaryMarkers(pattern.text);
+      } else {
+        use.computed_pattern = true;
+        // A computed pattern may still carry boundary-marker literals.
+        sql::VisitExpr(pattern, false, [&](const sql::Expr& node) {
+          if (node.kind == sql::ExprKind::kStringLiteral &&
+              HasWordBoundaryMarkers(node.text)) {
+            use.word_boundary = true;
+          }
+        });
+      }
+    }
+    facts_->patterns.push_back(std::move(use));
+  }
+
+  QueryFacts* facts_;
+  AliasMap aliases_;
+  std::string sole_table_;
+};
+
+void AnalyzeSelect(const sql::SelectStatement& s, QueryFacts* facts) {
+  AliasMap aliases;
+  for (const auto& f : s.from) AddBinding(&aliases, f);
+  for (const auto& j : s.joins) AddBinding(&aliases, j.table);
+
+  std::string sole_table;
+  if (s.from.size() == 1 && s.joins.empty() && !s.from[0].name.empty()) {
+    sole_table = s.from[0].name;
+  }
+  FactCollector collector(facts, aliases, sole_table);
+
+  facts->distinct = s.distinct;
+  facts->join_count = s.JoinCount();
+  facts->has_where = s.where != nullptr;
+  for (const auto& t : s.ReferencedTables()) {
+    bool seen = false;
+    for (const auto& existing : facts->tables) {
+      if (EqualsIgnoreCase(existing, t)) seen = true;
+    }
+    if (!seen) facts->tables.push_back(t);
+  }
+
+  for (const auto& item : s.items) {
+    if (item.expr->kind == sql::ExprKind::kStar) {
+      facts->selects_wildcard = true;
+    } else {
+      collector.ScanExpression(*item.expr);
+    }
+  }
+  for (const auto& j : s.joins) {
+    if (j.on) collector.RecordJoinOn(*j.on);
+    for (const auto& col : j.using_columns) {
+      JoinEdge edge;
+      edge.left_table = s.from.empty() ? "" : s.from[0].name;
+      edge.left_column = col;
+      edge.right_table = j.table.name;
+      edge.right_column = col;
+      facts->joins.push_back(std::move(edge));
+    }
+  }
+  if (s.where) collector.CollectPredicates(*s.where);
+  if (s.having) collector.CollectPredicates(*s.having);
+  for (const auto& g : s.group_by) {
+    if (g->kind == sql::ExprKind::kColumnRef) {
+      std::string table = g->TableQualifier();
+      auto it = aliases.find(ToLower(table));
+      std::string resolved = it != aliases.end() ? it->second : table;
+      if (resolved.empty()) resolved = sole_table;
+      facts->group_by_columns.push_back(
+          resolved.empty() ? g->ColumnName() : resolved + "." + g->ColumnName());
+    }
+  }
+  for (const auto& ob : s.order_by) {
+    if (ob.expr->kind == sql::ExprKind::kFunction &&
+        (EqualsIgnoreCase(ob.expr->text, "rand") ||
+         EqualsIgnoreCase(ob.expr->text, "random"))) {
+      facts->order_by_rand = true;
+    }
+    collector.ScanExpression(*ob.expr);
+  }
+
+  // Nested subqueries contribute facts too (joins/predicates seen anywhere).
+  auto scan_subqueries = [&](const sql::SelectStatement& inner) {
+    QueryFacts inner_facts;
+    AnalyzeSelect(inner, &inner_facts);
+    for (auto& t : inner_facts.tables) {
+      if (!facts->ReferencesTable(t)) facts->tables.push_back(t);
+    }
+    for (auto& p : inner_facts.predicates) facts->predicates.push_back(std::move(p));
+    for (auto& p : inner_facts.patterns) facts->patterns.push_back(std::move(p));
+    for (auto& j : inner_facts.joins) facts->joins.push_back(std::move(j));
+    facts->join_count += inner_facts.join_count;
+    if (inner_facts.order_by_rand) facts->order_by_rand = true;
+  };
+  for (const auto& f : s.from) {
+    if (f.subquery) scan_subqueries(*f.subquery);
+  }
+  auto visit_expr_subqueries = [&](const sql::Expr& root) {
+    sql::VisitExpr(root, false, [&](const sql::Expr& node) {
+      if (node.subquery) scan_subqueries(*node.subquery);
+    });
+  };
+  if (s.where) visit_expr_subqueries(*s.where);
+  for (const auto& item : s.items) {
+    if (item.expr->kind != sql::ExprKind::kStar) visit_expr_subqueries(*item.expr);
+  }
+}
+
+}  // namespace
+
+QueryFacts AnalyzeQuery(const sql::Statement& stmt) {
+  QueryFacts facts;
+  facts.stmt = &stmt;
+  facts.kind = stmt.kind;
+  facts.raw_sql = stmt.raw_sql;
+
+  switch (stmt.kind) {
+    case sql::StatementKind::kSelect:
+      AnalyzeSelect(static_cast<const sql::SelectStatement&>(stmt), &facts);
+      break;
+    case sql::StatementKind::kInsert: {
+      const auto& s = static_cast<const sql::InsertStatement&>(stmt);
+      facts.tables.push_back(s.table);
+      facts.insert_without_columns = s.columns.empty();
+      facts.insert_columns = s.columns;
+      if (s.select) {
+        QueryFacts inner;
+        AnalyzeSelect(*s.select, &inner);
+        for (auto& t : inner.tables) {
+          if (!facts.ReferencesTable(t)) facts.tables.push_back(t);
+        }
+        facts.selects_wildcard = inner.selects_wildcard;
+      }
+      break;
+    }
+    case sql::StatementKind::kUpdate: {
+      const auto& s = static_cast<const sql::UpdateStatement&>(stmt);
+      facts.tables.push_back(s.table);
+      facts.has_where = s.where != nullptr;
+      AliasMap aliases;
+      aliases[ToLower(s.alias.empty() ? s.table : s.alias)] = s.table;
+      aliases[ToLower(s.table)] = s.table;
+      FactCollector collector(&facts, aliases, s.table);
+      for (const auto& [col, expr] : s.assignments) {
+        facts.updated_columns.push_back(col);
+        collector.ScanExpression(*expr);
+      }
+      if (s.where) collector.CollectPredicates(*s.where);
+      break;
+    }
+    case sql::StatementKind::kDelete: {
+      const auto& s = static_cast<const sql::DeleteStatement&>(stmt);
+      facts.tables.push_back(s.table);
+      facts.has_where = s.where != nullptr;
+      AliasMap aliases;
+      aliases[ToLower(s.table)] = s.table;
+      FactCollector collector(&facts, aliases, s.table);
+      if (s.where) collector.CollectPredicates(*s.where);
+      break;
+    }
+    case sql::StatementKind::kCreateTable:
+      facts.tables.push_back(static_cast<const sql::CreateTableStatement&>(stmt).table);
+      break;
+    case sql::StatementKind::kCreateIndex:
+      facts.tables.push_back(static_cast<const sql::CreateIndexStatement&>(stmt).table);
+      break;
+    case sql::StatementKind::kAlterTable:
+      facts.tables.push_back(static_cast<const sql::AlterTableStatement&>(stmt).table);
+      break;
+    case sql::StatementKind::kDropTable:
+      facts.tables.push_back(static_cast<const sql::DropTableStatement&>(stmt).table);
+      break;
+    default:
+      break;
+  }
+  return facts;
+}
+
+}  // namespace sqlcheck

@@ -1,0 +1,13 @@
+#pragma once
+
+#include "analysis/query_context.h"
+#include "sql/ast.h"
+
+namespace sqlcheck {
+
+/// \brief Extracts QueryFacts from one parsed statement (Algorithm 1's
+/// Query-Analyser step). Alias resolution is local to the statement: facts
+/// report real table names wherever they can be resolved.
+QueryFacts AnalyzeQuery(const sql::Statement& stmt);
+
+}  // namespace sqlcheck

@@ -1,0 +1,14 @@
+#include "analysis/query_context.h"
+
+#include "common/strings.h"
+
+namespace sqlcheck {
+
+bool QueryFacts::ReferencesTable(std::string_view table) const {
+  for (const auto& t : tables) {
+    if (EqualsIgnoreCase(t, table)) return true;
+  }
+  return false;
+}
+
+}  // namespace sqlcheck

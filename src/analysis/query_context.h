@@ -1,0 +1,70 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+
+namespace sqlcheck {
+
+/// \brief One column-vs-literal predicate found in a WHERE clause.
+struct PredicateUse {
+  std::string table;    ///< Resolved table name ("" when unresolvable).
+  std::string column;
+  std::string op;       ///< "=", "<", "LIKE", "REGEXP", "IN", "BETWEEN", ...
+  std::string literal;  ///< Display form of the literal side ("" if non-literal).
+};
+
+/// \brief One LIKE/REGEXP usage.
+struct PatternUse {
+  std::string table;
+  std::string column;
+  std::string op;         ///< LIKE / ILIKE / REGEXP / SIMILAR TO / ~ ...
+  std::string pattern;    ///< Literal pattern text ("" when computed).
+  bool leading_wildcard = false;  ///< '%...' / '.*...' — index-hostile.
+  bool computed_pattern = false;  ///< Pattern built from expressions (e.g. ||).
+  bool word_boundary = false;     ///< Uses [[:<:]] / [[:>:]] markers.
+};
+
+/// \brief One equality join edge `left_table.left_column = right_table.right_column`.
+struct JoinEdge {
+  std::string left_table;
+  std::string left_column;
+  std::string right_table;
+  std::string right_column;
+  bool expression_join = false;  ///< ON was not a plain equality.
+};
+
+/// \brief Facts extracted from a single statement by the query analyzer
+/// (§4.1). Rules consume these instead of re-walking the AST.
+struct QueryFacts {
+  const sql::Statement* stmt = nullptr;  ///< Non-owning; Context keeps it alive.
+  sql::StatementKind kind = sql::StatementKind::kUnknown;
+  std::string raw_sql;
+
+  std::vector<std::string> tables;  ///< Referenced table names (resolved, deduped).
+
+  // SELECT shape.
+  bool selects_wildcard = false;
+  bool distinct = false;
+  int join_count = 0;
+  bool has_where = false;
+  bool order_by_rand = false;
+  std::vector<std::string> group_by_columns;      ///< "table.column" or "column".
+  std::vector<PredicateUse> predicates;
+  std::vector<PatternUse> patterns;
+  std::vector<JoinEdge> joins;
+  std::vector<std::string> concat_columns;        ///< Columns used under || / CONCAT.
+
+  // INSERT shape.
+  bool insert_without_columns = false;
+  std::vector<std::string> insert_columns;
+
+  // UPDATE/DELETE shape.
+  std::vector<std::string> updated_columns;
+
+  bool ReferencesTable(std::string_view table) const;
+};
+
+}  // namespace sqlcheck

@@ -1,0 +1,223 @@
+#include "baseline/dbdeo.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace sqlcheck {
+
+namespace {
+
+Detection Smell(AntiPattern type, std::string_view sql_text, std::string message) {
+  Detection d;
+  d.type = type;
+  d.source = DetectionSource::kIntraQuery;
+  d.query = std::string(sql_text);
+  d.message = std::move(message);
+  return d;
+}
+
+/// Counts occurrences of `needle` (case-insensitive) in `haystack`.
+int CountIgnoreCase(std::string_view haystack, std::string_view needle) {
+  if (needle.empty()) return 0;
+  int count = 0;
+  for (size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    if (EqualsIgnoreCase(haystack.substr(i, needle.size()), needle)) ++count;
+  }
+  return count;
+}
+
+/// Number of top-level commas inside the first (...) group — dbdeo's crude
+/// way of counting CREATE TABLE columns without parsing.
+int CountTopLevelCommas(std::string_view sql_text) {
+  int depth = 0;
+  int commas = 0;
+  bool in_string = false;
+  bool seen_paren = false;
+  for (char c : sql_text) {
+    if (c == '\'') in_string = !in_string;
+    if (in_string) continue;
+    if (c == '(') {
+      ++depth;
+      seen_paren = true;
+    } else if (c == ')') {
+      --depth;
+      if (depth == 0 && seen_paren) break;
+    } else if (c == ',' && depth == 1) {
+      ++commas;
+    }
+  }
+  return commas;
+}
+
+bool TableNameHasNumericSuffix(std::string_view sql_text) {
+  // Scan for "TABLE <name>" and test the name's tail.
+  for (size_t i = 0; i + 6 <= sql_text.size(); ++i) {
+    if (!EqualsIgnoreCase(sql_text.substr(i, 5), "table")) continue;
+    size_t j = i + 5;
+    while (j < sql_text.size() && std::isspace(static_cast<unsigned char>(sql_text[j]))) ++j;
+    size_t start = j;
+    while (j < sql_text.size() &&
+           (std::isalnum(static_cast<unsigned char>(sql_text[j])) || sql_text[j] == '_')) {
+      ++j;
+    }
+    if (j > start) {
+      std::string_view name = sql_text.substr(start, j - start);
+      size_t digits = 0;
+      while (digits < name.size() &&
+             std::isdigit(static_cast<unsigned char>(name[name.size() - 1 - digits]))) {
+        ++digits;
+      }
+      return digits > 0 && digits < name.size();
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+const std::vector<AntiPattern>& Dbdeo::SupportedTypes() {
+  static const std::vector<AntiPattern>* kTypes = new std::vector<AntiPattern>{
+      AntiPattern::kNoPrimaryKey,     AntiPattern::kDataInMetadata,
+      AntiPattern::kEnumeratedTypes,  AntiPattern::kIndexUnderuse,
+      AntiPattern::kGodTable,         AntiPattern::kCloneTable,
+      AntiPattern::kRoundingErrors,   AntiPattern::kMultiValuedAttribute,
+      AntiPattern::kPatternMatching,  AntiPattern::kAdjacencyList,
+      AntiPattern::kIndexOveruse,
+  };
+  return *kTypes;
+}
+
+std::vector<Detection> Dbdeo::Check(std::string_view sql_text) const {
+  std::vector<Detection> out;
+  std::string lower = ToLower(sql_text);
+  bool is_create_table = ContainsIgnoreCase(lower, "create table");
+  bool is_select = lower.rfind("select", 0) == 0;
+
+  // --- No Primary Key: CREATE TABLE text lacking "primary key". -----------
+  if (is_create_table && !ContainsIgnoreCase(lower, "primary key")) {
+    out.push_back(Smell(AntiPattern::kNoPrimaryKey, sql_text,
+                        "dbdeo: CREATE TABLE without 'primary key' substring"));
+  }
+
+  // --- God Table: >10 commas in the column group (no parsing!). -----------
+  if (is_create_table && CountTopLevelCommas(sql_text) >= 10) {
+    out.push_back(
+        Smell(AntiPattern::kGodTable, sql_text, "dbdeo: many columns in CREATE TABLE"));
+  }
+
+  // --- Enumerated Types: the words ENUM or CHECK...IN anywhere. ------------
+  // Context-free, so 'enum' inside an identifier or comment also fires (FP).
+  if (lower.find("enum") != std::string::npos ||
+      (lower.find("check") != std::string::npos && lower.find(" in ") != std::string::npos &&
+       lower.find("(") != std::string::npos)) {
+    out.push_back(Smell(AntiPattern::kEnumeratedTypes, sql_text,
+                        "dbdeo: enum/check-in-list keyword match"));
+  }
+
+  // --- Rounding Errors: FLOAT/REAL/DOUBLE keyword anywhere. ----------------
+  if (lower.find("float") != std::string::npos || lower.find(" real") != std::string::npos ||
+      lower.find("double") != std::string::npos) {
+    out.push_back(Smell(AntiPattern::kRoundingErrors, sql_text,
+                        "dbdeo: floating-point type keyword match"));
+  }
+
+  // --- Pattern Matching: LIKE/REGEXP keyword in SELECTs. -------------------
+  // Misses leading-wildcard distinction; flags benign prefix LIKEs (FP) and
+  // skips regex operators it does not know (~) (FN).
+  if (is_select && (lower.find(" like ") != std::string::npos ||
+                    lower.find(" regexp ") != std::string::npos ||
+                    lower.find(" rlike ") != std::string::npos)) {
+    out.push_back(Smell(AntiPattern::kPatternMatching, sql_text,
+                        "dbdeo: LIKE/REGEXP keyword in query"));
+  }
+
+  // --- Multi-Valued Attribute: the paper's (id\s+regexp)|(id\s+like). ------
+  {
+    size_t pos = lower.find("id");
+    bool hit = false;
+    while (pos != std::string::npos && !hit) {
+      size_t after = pos + 2;
+      size_t ws = after;
+      while (ws < lower.size() && std::isspace(static_cast<unsigned char>(lower[ws]))) ++ws;
+      if (ws > after && (lower.compare(ws, 4, "like") == 0 ||
+                         lower.compare(ws, 6, "regexp") == 0)) {
+        hit = true;
+      }
+      pos = lower.find("id", pos + 1);
+    }
+    if (hit) {
+      out.push_back(Smell(AntiPattern::kMultiValuedAttribute, sql_text,
+                          "dbdeo: id-column pattern-matched (packed list suspected)"));
+    }
+  }
+
+  // --- Adjacency List: table mentioned twice around REFERENCES. ------------
+  if (is_create_table && ContainsIgnoreCase(lower, "references")) {
+    // Crude: self-reference guessed when "parent" naming is present.
+    if (lower.find("parent") != std::string::npos) {
+      out.push_back(Smell(AntiPattern::kAdjacencyList, sql_text,
+                          "dbdeo: parent-style self reference suspected"));
+    }
+  }
+
+  // --- Clone Table: numeric-suffixed table name (single statement only,
+  // so a lone "backup_2" also fires — FP vs sqlcheck's catalog check). ------
+  if (is_create_table && TableNameHasNumericSuffix(sql_text)) {
+    out.push_back(Smell(AntiPattern::kCloneTable, sql_text,
+                        "dbdeo: numeric-suffixed table name"));
+  }
+
+  // --- Data In Metadata: numbered column names col1, col2... ---------------
+  {
+    int numbered = 0;
+    for (size_t i = 0; i + 1 < lower.size(); ++i) {
+      if (std::isalpha(static_cast<unsigned char>(lower[i])) &&
+          std::isdigit(static_cast<unsigned char>(lower[i + 1]))) {
+        size_t j = i + 1;
+        while (j < lower.size() && std::isdigit(static_cast<unsigned char>(lower[j]))) ++j;
+        bool ends_identifier =
+            j >= lower.size() ||
+            !(std::isalnum(static_cast<unsigned char>(lower[j])) || lower[j] == '_');
+        if (ends_identifier) ++numbered;
+        i = j;
+      }
+    }
+    // Fires on ANY statement with 2+ digit-tailed identifiers, including
+    // aliases like t1/t2 in joins — a classic dbdeo false positive.
+    if (numbered >= 2) {
+      out.push_back(Smell(AntiPattern::kDataInMetadata, sql_text,
+                          "dbdeo: numbered identifier series"));
+    }
+  }
+
+  // --- Index Underuse: WHERE on a SELECT with no CREATE INDEX nearby. ------
+  // Statement-local, so it flags every filtered SELECT (massive FP source) —
+  // dbdeo cannot see the other statements that create the index.
+  if (is_select && lower.find(" where ") != std::string::npos &&
+      lower.find(" join ") == std::string::npos && CountIgnoreCase(lower, "=") >= 1 &&
+      lower.find(" like ") == std::string::npos) {
+    out.push_back(Smell(AntiPattern::kIndexUnderuse, sql_text,
+                        "dbdeo: filtered query assumed unindexed"));
+  }
+
+  // --- Index Overuse: multi-column or repeated CREATE INDEX text. ----------
+  if (ContainsIgnoreCase(lower, "create index") && CountTopLevelCommas(sql_text) >= 1) {
+    out.push_back(Smell(AntiPattern::kIndexOveruse, sql_text,
+                        "dbdeo: wide index definition"));
+  }
+
+  return out;
+}
+
+std::vector<Detection> Dbdeo::CheckAll(const std::vector<std::string>& statements) const {
+  std::vector<Detection> out;
+  for (const auto& sql_text : statements) {
+    auto found = Check(sql_text);
+    out.insert(out.end(), std::make_move_iterator(found.begin()),
+               std::make_move_iterator(found.end()));
+  }
+  return out;
+}
+
+}  // namespace sqlcheck

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rules/rule.h"
+
+namespace sqlcheck {
+
+/// \brief Re-implementation of the dbdeo baseline (Sharma et al., ICSE'18):
+/// the state-of-the-art sqlcheck compares against in §8.1.
+///
+/// dbdeo detects database smells by pattern-matching *raw SQL strings*, one
+/// statement at a time: no parse tree, no inter-query context, no data
+/// analysis, no ranking, no fixes. It covers 11 smell types. The
+/// context-freeness is faithful to the original and is what produces its
+/// false positives/negatives relative to sqlcheck (Table 2).
+class Dbdeo {
+ public:
+  /// One statement; returns the smells matched on its raw text.
+  std::vector<Detection> Check(std::string_view sql_text) const;
+
+  /// Whole workload, statement by statement.
+  std::vector<Detection> CheckAll(const std::vector<std::string>& statements) const;
+
+  /// The 11 smell types dbdeo supports.
+  static const std::vector<AntiPattern>& SupportedTypes();
+};
+
+}  // namespace sqlcheck

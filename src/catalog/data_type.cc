@@ -1,0 +1,166 @@
+#include "catalog/data_type.h"
+
+#include "common/strings.h"
+
+namespace sqlcheck {
+
+const char* TypeIdName(TypeId id) {
+  switch (id) {
+    case TypeId::kSmallInt: return "SMALLINT";
+    case TypeId::kInteger: return "INTEGER";
+    case TypeId::kBigInt: return "BIGINT";
+    case TypeId::kSerial: return "SERIAL";
+    case TypeId::kFloat: return "FLOAT";
+    case TypeId::kDouble: return "DOUBLE PRECISION";
+    case TypeId::kNumeric: return "NUMERIC";
+    case TypeId::kChar: return "CHAR";
+    case TypeId::kVarchar: return "VARCHAR";
+    case TypeId::kText: return "TEXT";
+    case TypeId::kBoolean: return "BOOLEAN";
+    case TypeId::kDate: return "DATE";
+    case TypeId::kTime: return "TIME";
+    case TypeId::kTimestamp: return "TIMESTAMP";
+    case TypeId::kTimestampTz: return "TIMESTAMP WITH TIME ZONE";
+    case TypeId::kEnum: return "ENUM";
+    case TypeId::kBlob: return "BLOB";
+    case TypeId::kUuid: return "UUID";
+    case TypeId::kJson: return "JSON";
+    case TypeId::kUnknown: return "UNKNOWN";
+  }
+  return "UNKNOWN";
+}
+
+DataType DataType::FromTypeName(const sql::TypeName& name) {
+  DataType t;
+  std::string n = ToLower(name.name);
+  if (!name.enum_values.empty() || n == "enum") {
+    t.id = TypeId::kEnum;
+    t.enum_values = name.enum_values;
+    return t;
+  }
+  if (n == "smallint" || n == "int2" || n == "tinyint") {
+    t.id = TypeId::kSmallInt;
+  } else if (n == "int" || n == "integer" || n == "int4" || n == "mediumint") {
+    t.id = TypeId::kInteger;
+  } else if (n == "bigint" || n == "int8") {
+    t.id = TypeId::kBigInt;
+  } else if (n == "serial" || n == "bigserial" || n == "smallserial") {
+    t.id = TypeId::kSerial;
+  } else if (n == "float" || n == "real" || n == "float4") {
+    t.id = TypeId::kFloat;
+  } else if (n == "double" || n == "double precision" || n == "float8") {
+    t.id = TypeId::kDouble;
+  } else if (n == "numeric" || n == "decimal" || n == "dec" || n == "money") {
+    t.id = TypeId::kNumeric;
+    if (!name.params.empty()) t.precision = name.params[0];
+    if (name.params.size() > 1) t.scale = name.params[1];
+  } else if (n == "char" || n == "character" || n == "nchar") {
+    t.id = TypeId::kChar;
+    if (!name.params.empty()) t.length = name.params[0];
+  } else if (n == "varchar" || n == "character varying" || n == "nvarchar" || n == "varchar2") {
+    t.id = TypeId::kVarchar;
+    if (!name.params.empty()) t.length = name.params[0];
+  } else if (n == "text" || n == "clob" || n == "string" || n == "tinytext" ||
+             n == "mediumtext" || n == "longtext") {
+    t.id = TypeId::kText;
+  } else if (n == "boolean" || n == "bool" || n == "bit") {
+    t.id = TypeId::kBoolean;
+  } else if (n == "date") {
+    t.id = TypeId::kDate;
+  } else if (n == "time") {
+    t.id = TypeId::kTime;
+  } else if (n == "timestamp" || n == "datetime" || n == "smalldatetime") {
+    t.id = name.with_time_zone ? TypeId::kTimestampTz : TypeId::kTimestamp;
+  } else if (n == "timestamptz" || n == "datetimeoffset") {
+    t.id = TypeId::kTimestampTz;
+  } else if (n == "blob" || n == "bytea" || n == "binary" || n == "varbinary" ||
+             n == "longblob" || n == "mediumblob" || n == "image") {
+    t.id = TypeId::kBlob;
+  } else if (n == "uuid" || n == "uniqueidentifier" || n == "guid") {
+    t.id = TypeId::kUuid;
+  } else if (n == "json" || n == "jsonb") {
+    t.id = TypeId::kJson;
+  } else {
+    t.id = TypeId::kUnknown;
+  }
+  return t;
+}
+
+bool DataType::IsNumeric() const {
+  return IsIntegerLike() || IsFiniteBinaryFloat() || id == TypeId::kNumeric;
+}
+
+std::string DataType::ToSql() const {
+  std::string out = TypeIdName(id);
+  if (id == TypeId::kEnum && !enum_values.empty()) {
+    out += "(";
+    for (size_t i = 0; i < enum_values.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "'" + enum_values[i] + "'";
+    }
+    out += ")";
+  } else if ((id == TypeId::kVarchar || id == TypeId::kChar) && length > 0) {
+    out += "(" + std::to_string(length) + ")";
+  } else if (id == TypeId::kNumeric && precision > 0) {
+    out += "(" + std::to_string(precision);
+    if (scale > 0) out += ", " + std::to_string(scale);
+    out += ")";
+  }
+  return out;
+}
+
+Value DataType::Coerce(const Value& v) const {
+  if (v.is_null()) return v;
+  if (id == TypeId::kFloat && v.is_numeric()) {
+    // Single-precision storage really loses bits — this is what makes the
+    // Rounding Errors AP measurable (aggregates and equality drift).
+    return Value::Real(static_cast<double>(static_cast<float>(v.AsReal())));
+  }
+  if (id == TypeId::kDouble || id == TypeId::kNumeric) {
+    if (v.is_int()) return Value::Real(v.AsReal());
+    return v;
+  }
+  if (IsIntegerLike() && v.is_real()) {
+    double d = v.AsReal();
+    if (d == static_cast<double>(static_cast<int64_t>(d))) return Value::Int(v.AsInt());
+    return v;
+  }
+  if (id == TypeId::kBoolean && v.is_int()) return Value::Bool(v.AsInt() != 0);
+  return v;
+}
+
+bool DataType::Accepts(const Value& v) const {
+  if (v.is_null()) return true;
+  switch (id) {
+    case TypeId::kSmallInt:
+    case TypeId::kInteger:
+    case TypeId::kBigInt:
+    case TypeId::kSerial:
+      return v.is_int() || (v.is_real() && v.AsReal() == static_cast<double>(v.AsInt()));
+    case TypeId::kFloat:
+    case TypeId::kDouble:
+    case TypeId::kNumeric:
+      return v.is_numeric();
+    case TypeId::kBoolean:
+      return v.is_bool() || v.is_int();
+    case TypeId::kEnum:
+      // Membership is enforced as a domain constraint; type-wise it's a string.
+      return v.is_string();
+    case TypeId::kChar:
+    case TypeId::kVarchar:
+    case TypeId::kText:
+    case TypeId::kDate:
+    case TypeId::kTime:
+    case TypeId::kTimestamp:
+    case TypeId::kTimestampTz:
+    case TypeId::kBlob:
+    case TypeId::kUuid:
+    case TypeId::kJson:
+      return v.is_string();
+    case TypeId::kUnknown:
+      return true;
+  }
+  return true;
+}
+
+}  // namespace sqlcheck

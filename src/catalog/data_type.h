@@ -1,0 +1,78 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "catalog/value.h"
+#include "sql/ast.h"
+
+namespace sqlcheck {
+
+/// \brief Resolved SQL data types (union of the dialects we target).
+enum class TypeId {
+  kSmallInt,
+  kInteger,
+  kBigInt,
+  kSerial,       ///< Auto-incrementing integer (PostgreSQL SERIAL/BIGSERIAL).
+  kFloat,        ///< Finite-precision binary float — the Rounding Errors AP type.
+  kDouble,
+  kNumeric,      ///< Exact decimal (NUMERIC/DECIMAL).
+  kChar,
+  kVarchar,
+  kText,
+  kBoolean,
+  kDate,
+  kTime,
+  kTimestamp,    ///< Without time zone — the Missing Timezone AP type.
+  kTimestampTz,
+  kEnum,         ///< MySQL ENUM — the Enumerated Types AP type.
+  kBlob,
+  kUuid,
+  kJson,
+  kUnknown,
+};
+
+const char* TypeIdName(TypeId id);
+
+/// \brief A fully resolved column type.
+struct DataType {
+  TypeId id = TypeId::kUnknown;
+  int64_t length = 0;     ///< VARCHAR(n)/CHAR(n).
+  int64_t precision = 0;  ///< NUMERIC(p,s).
+  int64_t scale = 0;
+  std::vector<std::string> enum_values;
+
+  /// Resolves a parsed type name (dialect keyword) to a DataType.
+  static DataType FromTypeName(const sql::TypeName& name);
+  static DataType Make(TypeId id) {
+    DataType t;
+    t.id = id;
+    return t;
+  }
+
+  bool IsNumeric() const;
+  /// True for binary floating types that make aggregate math inexact.
+  bool IsFiniteBinaryFloat() const { return id == TypeId::kFloat || id == TypeId::kDouble; }
+  bool IsTextual() const { return id == TypeId::kChar || id == TypeId::kVarchar || id == TypeId::kText; }
+  bool IsTemporal() const {
+    return id == TypeId::kDate || id == TypeId::kTime || id == TypeId::kTimestamp ||
+           id == TypeId::kTimestampTz;
+  }
+  bool IsIntegerLike() const {
+    return id == TypeId::kSmallInt || id == TypeId::kInteger || id == TypeId::kBigInt ||
+           id == TypeId::kSerial;
+  }
+
+  /// SQL rendering ("VARCHAR(30)", "NUMERIC(10, 2)", ...).
+  std::string ToSql() const;
+
+  /// Coerces `v` toward this type where a lossless conversion exists
+  /// (e.g. int literal into FLOAT column). Returns `v` unchanged otherwise.
+  Value Coerce(const Value& v) const;
+
+  /// True if `v` is storable in this type without obvious mismatch. NULL is
+  /// always accepted (nullability is a separate constraint).
+  bool Accepts(const Value& v) const;
+};
+
+}  // namespace sqlcheck

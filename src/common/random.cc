@@ -1,0 +1,36 @@
+#include "common/random.h"
+
+namespace sqlcheck {
+
+uint64_t Rng::Next() {
+  // splitmix64: tiny, fast, and high-quality enough for workload synthesis.
+  uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  if (hi <= lo) return lo;
+  return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+std::string Rng::NextWord(int min_len, int max_len) {
+  int len = static_cast<int>(NextInRange(min_len, max_len));
+  std::string out;
+  out.reserve(static_cast<size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>('a' + NextBelow(26)));
+  }
+  return out;
+}
+
+}  // namespace sqlcheck

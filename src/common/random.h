@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sqlcheck {
+
+/// \brief Deterministic PRNG (splitmix64 core) used by every generator so all
+/// experiments are reproducible bit-for-bit from an explicit seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound) — bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with probability `p`.
+  bool NextBool(double p);
+
+  /// Uniformly chosen element of `items` (must be non-empty).
+  template <typename T>
+  const T& Choice(const std::vector<T>& items) {
+    return items[NextBelow(items.size())];
+  }
+
+  /// Random lowercase identifier-ish string of length in [min_len, max_len].
+  std::string NextWord(int min_len, int max_len);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace sqlcheck

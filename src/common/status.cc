@@ -1,0 +1,8 @@
+#include "common/status.h"
+
+namespace sqlcheck {
+
+// Status is header-only today; this translation unit anchors the library
+// target and reserves space for richer error categories later.
+
+}  // namespace sqlcheck

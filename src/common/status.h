@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace sqlcheck {
+
+/// \brief Lightweight error-or-ok type used across public APIs instead of
+/// exceptions (per the project's Google-style convention).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) { return Status(std::move(message)); }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+  bool operator==(const Status& other) const {
+    return ok_ == other.ok_ && message_ == other.message_;
+  }
+
+ private:
+  explicit Status(std::string message) : ok_(false), message_(std::move(message)) {}
+
+  bool ok_ = true;
+  std::string message_;
+};
+
+/// \brief Value-or-error result. `ok()` must be checked before `value()`.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  static Result<T> Error(std::string message) {
+    return Result<T>(Status::Error(std::move(message)));
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  const std::string& message() const { return status_.message(); }
+
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+  const T& operator*() const& { return value_; }
+  T& operator*() & { return value_; }
+  const T* operator->() const { return &value_; }
+  T* operator->() { return &value_; }
+
+ private:
+  T value_{};
+  Status status_;
+};
+
+}  // namespace sqlcheck

@@ -1,0 +1,150 @@
+#include "common/strings.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace sqlcheck {
+
+namespace {
+char LowerChar(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+char UpperChar(char c) {
+  return static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+}
+bool IsSpaceChar(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+bool IsDigitChar(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+}  // namespace
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), LowerChar);
+  return out;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), UpperChar);
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && IsSpaceChar(s[b])) ++b;
+  while (e > b && IsSpaceChar(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+bool EqualsIgnoreCase(std::string_view s, std::string_view other) {
+  if (s.size() != other.size()) return false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (LowerChar(s[i]) != LowerChar(other[i])) return false;
+  }
+  return true;
+}
+
+bool StartsWithIgnoreCase(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && EqualsIgnoreCase(s.substr(0, prefix.size()), prefix);
+}
+
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle) {
+  if (needle.empty()) return true;
+  if (haystack.size() < needle.size()) return false;
+  for (size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    if (EqualsIgnoreCase(haystack.substr(i, needle.size()), needle)) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+bool IsAllDigits(std::string_view s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), IsDigitChar);
+}
+
+bool LooksNumeric(std::string_view s) {
+  s = Trim(s);
+  if (s.empty()) return false;
+  size_t i = 0;
+  if (s[i] == '+' || s[i] == '-') ++i;
+  bool digits = false;
+  bool dot = false;
+  for (; i < s.size(); ++i) {
+    if (IsDigitChar(s[i])) {
+      digits = true;
+    } else if (s[i] == '.' && !dot) {
+      dot = true;
+    } else {
+      return false;
+    }
+  }
+  return digits;
+}
+
+bool LooksLikeDate(std::string_view s) {
+  s = Trim(s);
+  // YYYY-MM-DD or YYYY/MM/DD prefix.
+  if (s.size() >= 10 && IsDigitChar(s[0]) && IsDigitChar(s[1]) && IsDigitChar(s[2]) &&
+      IsDigitChar(s[3]) && (s[4] == '-' || s[4] == '/') && IsDigitChar(s[5]) &&
+      IsDigitChar(s[6]) && s[7] == s[4] && IsDigitChar(s[8]) && IsDigitChar(s[9])) {
+    return true;
+  }
+  // MM/DD/YYYY.
+  if (s.size() >= 10 && IsDigitChar(s[0]) && IsDigitChar(s[1]) && s[2] == '/' &&
+      IsDigitChar(s[3]) && IsDigitChar(s[4]) && s[5] == '/' && IsDigitChar(s[6]) &&
+      IsDigitChar(s[7]) && IsDigitChar(s[8]) && IsDigitChar(s[9])) {
+    return true;
+  }
+  return false;
+}
+
+bool HasTimezoneSuffix(std::string_view s) {
+  s = Trim(s);
+  if (s.empty()) return false;
+  if (s.back() == 'Z' || s.back() == 'z') return true;
+  // Look for +HH[:MM] / -HH[:MM] after a time component (i.e. after a ':').
+  size_t colon = s.find(':');
+  if (colon == std::string_view::npos) return false;
+  for (size_t i = colon; i < s.size(); ++i) {
+    if ((s[i] == '+' || s[i] == '-') && i + 2 < s.size() + 1 && i + 2 <= s.size() &&
+        IsDigitChar(s[i + 1])) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Unquote(std::string_view s) {
+  if (s.size() >= 2) {
+    char f = s.front();
+    char b = s.back();
+    if ((f == '\'' && b == '\'') || (f == '"' && b == '"') || (f == '`' && b == '`') ||
+        (f == '[' && b == ']')) {
+      return std::string(s.substr(1, s.size() - 2));
+    }
+  }
+  return std::string(s);
+}
+
+}  // namespace sqlcheck

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sqlcheck {
+
+/// \brief ASCII-lowercases a copy of `s` (SQL identifiers/keywords are
+/// case-insensitive in every dialect we target).
+std::string ToLower(std::string_view s);
+
+/// \brief ASCII-uppercases a copy of `s`.
+std::string ToUpper(std::string_view s);
+
+/// \brief Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// \brief True if `s` equals `other` ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view s, std::string_view other);
+
+/// \brief True if `s` starts with `prefix` ignoring ASCII case.
+bool StartsWithIgnoreCase(std::string_view s, std::string_view prefix);
+
+/// \brief True if `haystack` contains `needle` ignoring ASCII case.
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// \brief Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// \brief Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// \brief True if every character is an ASCII digit (and `s` is non-empty).
+bool IsAllDigits(std::string_view s);
+
+/// \brief True if `s` parses fully as a decimal integer or real number.
+bool LooksNumeric(std::string_view s);
+
+/// \brief True if `s` looks like a calendar date or timestamp (e.g.
+/// "2019-07-04", "07/04/2019", "2019-07-04 12:30:00").
+bool LooksLikeDate(std::string_view s);
+
+/// \brief True if a date/timestamp string carries an explicit timezone
+/// (trailing Z, +HH[:MM], or -HH[:MM] offset after the time component).
+bool HasTimezoneSuffix(std::string_view s);
+
+/// \brief Strips one layer of matching quotes ('x', "x", `x`, [x]) if present.
+std::string Unquote(std::string_view s);
+
+}  // namespace sqlcheck

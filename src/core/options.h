@@ -1,0 +1,23 @@
+#pragma once
+
+#include "analysis/data_analyzer.h"
+#include "ranking/model.h"
+#include "rules/rule.h"
+
+namespace sqlcheck {
+
+/// \brief Top-level configuration for a SqlCheck run: which analyses are
+/// enabled, rule thresholds, sampling, and the ranking model shape.
+struct SqlCheckOptions {
+  DetectorConfig detector;
+  DataAnalyzerOptions data_analyzer;
+  RankingWeights ranking_weights = RankingWeights::C1();
+  InterQueryMode ranking_mode = InterQueryMode::kByScore;
+  bool suggest_fixes = true;
+
+  /// Convenience presets mirroring the paper's evaluation configurations.
+  static SqlCheckOptions IntraQueryOnly();
+  static SqlCheckOptions Full();
+};
+
+}  // namespace sqlcheck

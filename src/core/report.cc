@@ -1,0 +1,48 @@
+#include "core/report.h"
+
+#include <sstream>
+
+namespace sqlcheck {
+
+std::map<AntiPattern, int> Report::CountsByType() const {
+  std::map<AntiPattern, int> counts;
+  for (const auto& finding : findings) ++counts[finding.ranked.detection.type];
+  return counts;
+}
+
+int Report::DistinctTypes() const { return static_cast<int>(CountsByType().size()); }
+
+std::string Report::ToText(size_t max_findings) const {
+  std::ostringstream out;
+  size_t limit = max_findings == 0 ? findings.size() : std::min(max_findings, findings.size());
+  out << "sqlcheck report: " << findings.size() << " anti-pattern(s), "
+      << DistinctTypes() << " distinct type(s)\n";
+  for (size_t i = 0; i < limit; ++i) {
+    const Finding& f = findings[i];
+    const Detection& d = f.ranked.detection;
+    out << "\n[" << (i + 1) << "] " << ApName(d.type) << "  (category: "
+        << CategoryName(InfoFor(d.type).category) << ", score: " << f.ranked.score << ")\n";
+    if (!d.table.empty()) {
+      out << "    at: " << d.table;
+      if (!d.column.empty()) out << "." << d.column;
+      out << "\n";
+    }
+    if (!d.query.empty()) out << "    query: " << d.query << "\n";
+    out << "    why: " << d.message << "\n";
+    if (f.fix.kind == FixKind::kRewrite && !f.fix.statements.empty()) {
+      out << "    fix:\n";
+      for (const auto& stmt : f.fix.statements) out << "      " << stmt << "\n";
+    } else {
+      out << "    fix (manual): " << f.fix.explanation << "\n";
+    }
+    if (!f.fix.impacted_queries.empty()) {
+      out << "    impacted queries: " << f.fix.impacted_queries.size() << "\n";
+    }
+  }
+  if (limit < findings.size()) {
+    out << "\n... " << (findings.size() - limit) << " more finding(s) suppressed\n";
+  }
+  return out.str();
+}
+
+}  // namespace sqlcheck

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fix/fix.h"
+#include "ranking/model.h"
+
+namespace sqlcheck {
+
+/// \brief One reported finding: the ranked detection plus its suggested fix.
+struct Finding {
+  RankedDetection ranked;
+  Fix fix;
+};
+
+/// \brief The output of a SqlCheck run.
+struct Report {
+  std::vector<Finding> findings;  ///< Ordered by ap-rank (highest impact first).
+
+  size_t size() const { return findings.size(); }
+  bool empty() const { return findings.empty(); }
+
+  /// Detection counts grouped by anti-pattern type.
+  std::map<AntiPattern, int> CountsByType() const;
+
+  /// Number of distinct anti-pattern *types* present.
+  int DistinctTypes() const;
+
+  /// Renders a human-readable report (the CLI/GUI surface of §7).
+  std::string ToText(size_t max_findings = 0) const;
+};
+
+}  // namespace sqlcheck

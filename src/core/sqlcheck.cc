@@ -1,0 +1,50 @@
+#include "core/sqlcheck.h"
+
+namespace sqlcheck {
+
+SqlCheck::SqlCheck(SqlCheckOptions options)
+    : options_(options), registry_(RuleRegistry::Default()) {}
+
+void SqlCheck::AddQuery(std::string_view sql_text) { builder_.AddQuery(sql_text); }
+
+void SqlCheck::AddScript(std::string_view script) { builder_.AddScript(script); }
+
+void SqlCheck::AttachDatabase(const Database* db) {
+  builder_.AttachDatabase(db, options_.data_analyzer);
+}
+
+void SqlCheck::RegisterRule(std::unique_ptr<Rule> rule) {
+  registry_.Register(std::move(rule));
+}
+
+Report SqlCheck::Run() {
+  Context context = builder_.Build();
+
+  // ap-detect (Algorithm 1).
+  std::vector<Detection> detections =
+      DetectAntiPatterns(context, registry_, options_.detector);
+
+  // ap-rank (§5).
+  RankingModel model(options_.ranking_weights, options_.ranking_mode);
+  std::vector<RankedDetection> ranked = model.Rank(detections);
+
+  // ap-fix (§6).
+  RepairEngine repair;
+  Report report;
+  report.findings.reserve(ranked.size());
+  for (auto& r : ranked) {
+    Finding finding;
+    finding.fix = options_.suggest_fixes ? repair.SuggestFix(r.detection, context) : Fix{};
+    finding.ranked = std::move(r);
+    report.findings.push_back(std::move(finding));
+  }
+  return report;
+}
+
+Report FindAntiPatterns(std::string_view sql_text, const SqlCheckOptions& options) {
+  SqlCheck checker(options);
+  checker.AddQuery(sql_text);
+  return checker.Run();
+}
+
+}  // namespace sqlcheck

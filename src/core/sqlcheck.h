@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "analysis/context.h"
+#include "core/options.h"
+#include "core/report.h"
+#include "fix/repair_engine.h"
+#include "rules/registry.h"
+#include "storage/database.h"
+
+namespace sqlcheck {
+
+/// \brief The sqlcheck facade: find, rank, and fix anti-patterns in a
+/// database application (the toolchain of §3).
+///
+/// Usage mirrors the paper's workflow:
+/// \code
+///   SqlCheck checker;
+///   checker.AddScript(application_sql);   // queries + DDL
+///   checker.AttachDatabase(&db);          // optional: enables data analysis
+///   Report report = checker.Run();
+///   std::cout << report.ToText();
+/// \endcode
+class SqlCheck {
+ public:
+  explicit SqlCheck(SqlCheckOptions options = {});
+
+  /// Adds one SQL statement from the application workload.
+  void AddQuery(std::string_view sql_text);
+  /// Adds a multi-statement script.
+  void AddScript(std::string_view script);
+  /// Connects the target database; profiled on Run() (the §4.2 data analyzer).
+  void AttachDatabase(const Database* db);
+
+  /// Registers a custom rule (extensibility hook of §7).
+  void RegisterRule(std::unique_ptr<Rule> rule);
+
+  /// Runs ap-detect -> ap-rank -> ap-fix and returns the ranked report.
+  Report Run();
+
+  const SqlCheckOptions& options() const { return options_; }
+
+ private:
+  SqlCheckOptions options_;
+  ContextBuilder builder_;
+  RuleRegistry registry_;
+};
+
+/// \brief One-shot convenience mirroring the paper's Python API
+/// (`find_anti_patterns(query)`): checks a single statement in isolation.
+Report FindAntiPatterns(std::string_view sql_text, const SqlCheckOptions& options = {});
+
+}  // namespace sqlcheck

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/value.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace sqlcheck {
+
+/// \brief Name-resolution scope for expression evaluation: a stack of bound
+/// row sources (table or alias name -> schema + current row pointer).
+class EvalScope {
+ public:
+  struct Source {
+    std::string binding;           ///< Alias if present, else table name.
+    const TableSchema* schema = nullptr;
+    const Row* row = nullptr;      ///< Rebound per evaluated tuple.
+  };
+
+  void AddSource(std::string binding, const TableSchema* schema) {
+    sources_.push_back({std::move(binding), schema, nullptr});
+  }
+  void BindRow(size_t source_index, const Row* row) { sources_[source_index].row = row; }
+  size_t source_count() const { return sources_.size(); }
+  const std::vector<Source>& sources() const { return sources_; }
+
+  /// Resolves `parts` (possibly qualified) to a value in the bound rows.
+  Result<Value> ResolveColumn(const std::vector<std::string>& parts) const;
+
+  /// Resolves to (source index, column index) without reading a value — used
+  /// by the planner.
+  bool ResolvePosition(const std::vector<std::string>& parts, size_t* source_index,
+                       int* column_index) const;
+
+  Rng* rng = nullptr;  ///< For RAND()/RANDOM(); owned by the executor.
+
+  /// Pre-computed aggregate values keyed by canonical printed expression
+  /// ("SUM(amount)"); set by the executor when evaluating grouped output.
+  const std::map<std::string, Value>* aggregates = nullptr;
+
+ private:
+  std::vector<Source> sources_;
+};
+
+/// \brief Evaluates `expr` against the scope with SQL semantics: three-valued
+/// logic, NULL-propagating operators (including `||` — the Concatenate NULLs
+/// AP is directly observable here), LIKE/REGEXP matching, scalar functions.
+/// Aggregate functions are NOT handled here (the executor computes them).
+Result<Value> Eval(const sql::Expr& expr, const EvalScope& scope);
+
+/// \brief Truthiness for WHERE/HAVING: NULL and FALSE both reject the row.
+bool IsTrue(const Value& v);
+
+/// \brief True if the expression contains an aggregate call (SUM/COUNT/...).
+bool ContainsAggregate(const sql::Expr& expr);
+
+/// \brief True if `name` is an aggregate function name.
+bool IsAggregateName(std::string_view name);
+
+}  // namespace sqlcheck

@@ -1,0 +1,159 @@
+#include "engine/like.h"
+
+#include <cctype>
+
+namespace sqlcheck {
+
+namespace {
+
+char FoldCase(char c, bool fold) {
+  return fold ? static_cast<char>(std::tolower(static_cast<unsigned char>(c))) : c;
+}
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool LikeMatchAt(const std::string& text, size_t ti, const std::string& pattern, size_t pi,
+                 bool fold) {
+  while (pi < pattern.size()) {
+    char pc = pattern[pi];
+    if (pc == '%') {
+      // Collapse consecutive %.
+      while (pi < pattern.size() && pattern[pi] == '%') ++pi;
+      if (pi == pattern.size()) return true;
+      for (size_t k = ti; k <= text.size(); ++k) {
+        if (LikeMatchAt(text, k, pattern, pi, fold)) return true;
+      }
+      return false;
+    }
+    if (ti >= text.size()) return false;
+    if (pc == '_') {
+      ++ti;
+      ++pi;
+      continue;
+    }
+    if (pc == '\\' && pi + 1 < pattern.size()) {
+      ++pi;
+      pc = pattern[pi];
+    }
+    if (FoldCase(text[ti], fold) != FoldCase(pc, fold)) return false;
+    ++ti;
+    ++pi;
+  }
+  return ti == text.size();
+}
+
+}  // namespace
+
+bool LikeMatch(const std::string& text, const std::string& pattern, bool case_insensitive) {
+  return LikeMatchAt(text, 0, pattern, 0, case_insensitive);
+}
+
+bool HasWordBoundaryMarkers(const std::string& pattern) {
+  return pattern.find("[[:<:]]") != std::string::npos ||
+         pattern.find("[[:>:]]") != std::string::npos;
+}
+
+bool WordBoundaryMatch(const std::string& text, const std::string& pattern) {
+  static constexpr std::string_view kOpen = "[[:<:]]";
+  static constexpr std::string_view kClose = "[[:>:]]";
+
+  std::string body = pattern;
+  bool need_left = false;
+  bool need_right = false;
+  // Strip leading % wildcards, then the open marker.
+  size_t b = 0;
+  while (b < body.size() && body[b] == '%') ++b;
+  body.erase(0, b);
+  if (body.rfind(kOpen, 0) == 0) {
+    need_left = true;
+    body.erase(0, kOpen.size());
+  }
+  size_t e = body.size();
+  while (e > 0 && body[e - 1] == '%') --e;
+  body.erase(e);
+  if (body.size() >= kClose.size() &&
+      body.compare(body.size() - kClose.size(), kClose.size(), kClose) == 0) {
+    need_right = true;
+    body.erase(body.size() - kClose.size());
+  }
+  if (body.empty()) return true;
+
+  // Find an occurrence of `body` with the required boundaries.
+  for (size_t pos = 0; (pos = text.find(body, pos)) != std::string::npos; ++pos) {
+    bool left_ok = !need_left || pos == 0 || !IsWordChar(text[pos - 1]);
+    size_t after = pos + body.size();
+    bool right_ok = !need_right || after == text.size() || !IsWordChar(text[after]);
+    if (left_ok && right_ok) return true;
+  }
+  return false;
+}
+
+bool SqlPatternMatch(const std::string& text, const std::string& pattern,
+                     bool case_insensitive) {
+  if (HasWordBoundaryMarkers(pattern)) return WordBoundaryMatch(text, pattern);
+  return LikeMatch(text, pattern, case_insensitive);
+}
+
+namespace {
+
+bool RegexMatchAt(const std::string& text, size_t ti, const std::string& pattern, size_t pi);
+
+bool RegexMatchHere(const std::string& text, size_t ti, const std::string& pattern,
+                    size_t pi) {
+  static constexpr std::string_view kOpen = "[[:<:]]";
+  static constexpr std::string_view kClose = "[[:>:]]";
+  while (pi < pattern.size()) {
+    if (pattern.compare(pi, kOpen.size(), kOpen) == 0) {
+      if (!(ti == 0 || !IsWordChar(text[ti - 1]))) return false;
+      pi += kOpen.size();
+      continue;
+    }
+    if (pattern.compare(pi, kClose.size(), kClose) == 0) {
+      if (!(ti == text.size() || !IsWordChar(text[ti]))) return false;
+      pi += kClose.size();
+      continue;
+    }
+    if (pattern[pi] == '$' && pi + 1 == pattern.size()) return ti == text.size();
+    char pc = pattern[pi];
+    bool star = pi + 1 < pattern.size() && pattern[pi + 1] == '*';
+    if (star) {
+      // Greedy-enough backtracking match of pc*.
+      size_t k = ti;
+      while (k < text.size() && (pc == '.' || text[k] == pc)) ++k;
+      for (size_t stop = k + 1; stop-- > ti;) {
+        if (RegexMatchHere(text, stop, pattern, pi + 2)) return true;
+        if (stop == ti) break;
+      }
+      return RegexMatchHere(text, ti, pattern, pi + 2);
+    }
+    if (pc == '\\' && pi + 1 < pattern.size()) {
+      ++pi;
+      pc = pattern[pi];
+    }
+    if (ti >= text.size()) return false;
+    if (pc != '.' && text[ti] != pc) return false;
+    ++ti;
+    ++pi;
+  }
+  return true;  // pattern exhausted — substring match semantics
+}
+
+bool RegexMatchAt(const std::string& text, size_t ti, const std::string& pattern, size_t pi) {
+  return RegexMatchHere(text, ti, pattern, pi);
+}
+
+}  // namespace
+
+bool SimpleRegexMatch(const std::string& text, const std::string& pattern) {
+  if (!pattern.empty() && pattern[0] == '^') {
+    return RegexMatchAt(text, 0, pattern, 1);
+  }
+  for (size_t start = 0; start <= text.size(); ++start) {
+    if (RegexMatchAt(text, start, pattern, 0)) return true;
+  }
+  return false;
+}
+
+}  // namespace sqlcheck

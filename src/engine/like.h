@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+namespace sqlcheck {
+
+/// \brief SQL LIKE: `%` matches any run, `_` matches one char.
+bool LikeMatch(const std::string& text, const std::string& pattern,
+               bool case_insensitive = false);
+
+/// \brief Word-boundary pattern match for the `[[:<:]]word[[:>:]]` POSIX
+/// syntax the paper's multi-valued-attribute queries use. The pattern is a
+/// literal with optional leading/trailing boundary markers; `%` wildcards at
+/// the ends are tolerated.
+bool WordBoundaryMatch(const std::string& text, const std::string& pattern);
+
+/// \brief True if the pattern uses the word-boundary marker syntax.
+bool HasWordBoundaryMarkers(const std::string& pattern);
+
+/// \brief Dispatch helper: word-boundary match when markers are present,
+/// plain LIKE otherwise.
+bool SqlPatternMatch(const std::string& text, const std::string& pattern,
+                     bool case_insensitive = false);
+
+/// \brief Minimal regular-expression-ish matcher for REGEXP/RLIKE predicates:
+/// supports `.`, `.*`, `^`, `$`, alternation-free literals, and the
+/// `[[:<:]]`/`[[:>:]]` boundary markers. Enough for every pattern the paper's
+/// workloads issue — and deliberately evaluated row-at-a-time, since "the
+/// DBMS must scan and evaluate the expression for every row" is the
+/// performance story being reproduced.
+bool SimpleRegexMatch(const std::string& text, const std::string& pattern);
+
+}  // namespace sqlcheck

@@ -1,0 +1,7 @@
+#include "fix/fix.h"
+
+namespace sqlcheck {
+
+// Fix is a plain data carrier; logic lives in the repair engine.
+
+}  // namespace sqlcheck

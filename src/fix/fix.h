@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rules/rule.h"
+
+namespace sqlcheck {
+
+/// \brief How a fix is delivered (§6): a mechanical rewrite when the
+/// transformation is non-ambiguous, otherwise a context-tailored textual fix
+/// the developer applies manually.
+enum class FixKind { kRewrite, kTextual };
+
+/// \brief One suggested fix for a detection.
+struct Fix {
+  AntiPattern type = AntiPattern::kColumnWildcard;
+  FixKind kind = FixKind::kTextual;
+  std::string original_sql;            ///< The offending statement ("" for data APs).
+  std::vector<std::string> statements; ///< New/rewritten SQL to apply, in order.
+  std::vector<std::string> impacted_queries;  ///< Other workload queries the fix
+                                              ///< touches (Algorithm 4's I set).
+  std::string explanation;             ///< Why, and what to do when kind==kTextual.
+};
+
+}  // namespace sqlcheck

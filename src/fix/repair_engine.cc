@@ -1,0 +1,480 @@
+#include "fix/repair_engine.h"
+
+#include "common/strings.h"
+#include "sql/printer.h"
+
+namespace sqlcheck {
+
+namespace {
+
+/// Wraps nullable column refs appearing under `||` / CONCAT in COALESCE.
+void WrapConcatNulls(sql::Expr* e, const Context& context,
+                     const std::string& default_table, bool under_concat) {
+  bool concat_here =
+      (e->kind == sql::ExprKind::kBinary && e->text == "||") ||
+      (e->kind == sql::ExprKind::kFunction && EqualsIgnoreCase(e->text, "concat"));
+  for (auto& child : e->children) {
+    if ((under_concat || concat_here) && child->kind == sql::ExprKind::kColumnRef) {
+      std::string table = child->TableQualifier();
+      if (table.empty()) table = default_table;
+      if (context.ColumnNullable(table, child->ColumnName())) {
+        std::vector<sql::ExprPtr> args;
+        args.push_back(std::move(child));
+        args.push_back(sql::MakeStringLiteral(""));
+        child = sql::MakeFunction("COALESCE", std::move(args));
+        continue;
+      }
+    }
+    WrapConcatNulls(child.get(), context, default_table, under_concat || concat_here);
+  }
+}
+
+std::string IndexNameFor(const std::string& table, const std::string& column) {
+  return "idx_" + ToLower(table) + "_" + ToLower(column);
+}
+
+/// Workload queries (other than `self`) that reference `table` — Algorithm 4's
+/// GetImpactedQueries.
+std::vector<std::string> ImpactedQueries(const Context& context, const std::string& table,
+                                         const std::string& self) {
+  std::vector<std::string> out;
+  for (const QueryFacts* facts : context.QueriesReferencing(table)) {
+    if (facts->raw_sql.empty() || facts->raw_sql == self) continue;
+    if (facts->kind == sql::StatementKind::kCreateTable ||
+        facts->kind == sql::StatementKind::kCreateIndex) {
+      continue;
+    }
+    out.push_back(facts->raw_sql);
+  }
+  return out;
+}
+
+/// Best-effort primary-key candidate for a table lacking one: a column whose
+/// sampled values are unique, preferring id-ish names.
+std::string PkCandidate(const Context& context, const std::string& table) {
+  const TableSchema* schema = context.catalog().FindTable(table);
+  if (schema == nullptr) return "";
+  const TableProfile* profile = context.ProfileFor(table);
+  std::string fallback;
+  for (const auto& col : schema->columns) {
+    std::string lower = ToLower(col.name);
+    bool idish = lower == "id" || lower.ends_with("_id");
+    bool unique_in_data = false;
+    if (profile != nullptr) {
+      const ColumnStats* stats = profile->stats.FindColumn(col.name);
+      if (stats != nullptr && stats->row_count > 0 && stats->null_count == 0 &&
+          stats->distinct_count == stats->row_count) {
+        unique_in_data = true;
+      }
+    }
+    if (idish && (profile == nullptr || unique_in_data)) return col.name;
+    if (unique_in_data && fallback.empty()) fallback = col.name;
+  }
+  return fallback;
+}
+
+}  // namespace
+
+Fix RepairEngine::SuggestFix(const Detection& d, const Context& context) const {
+  Fix fix;
+  fix.type = d.type;
+  fix.original_sql = d.query;
+
+  switch (d.type) {
+    // ----------------------- mechanical rewrites ---------------------------
+    case AntiPattern::kImplicitColumns: {
+      const auto* insert =
+          d.stmt != nullptr ? d.stmt->As<sql::InsertStatement>() : nullptr;
+      const TableSchema* schema =
+          insert != nullptr ? context.catalog().FindTable(insert->table) : nullptr;
+      if (insert != nullptr && schema != nullptr &&
+          (insert->rows.empty() ||
+           insert->rows[0].size() == schema->columns.size())) {
+        auto cloned = insert->CloneStatement();
+        auto* fixed = static_cast<sql::InsertStatement*>(cloned.get());
+        fixed->columns = schema->ColumnNames();
+        fix.kind = FixKind::kRewrite;
+        fix.statements.push_back(sql::PrintStatement(*fixed));
+        fix.explanation = "named the target columns explicitly so the INSERT survives "
+                          "schema evolution";
+      } else {
+        fix.kind = FixKind::kTextual;
+        fix.explanation = "list the target columns of table '" + d.table +
+                          "' explicitly in the INSERT";
+      }
+      return fix;
+    }
+
+    case AntiPattern::kColumnWildcard: {
+      const auto* select =
+          d.stmt != nullptr ? d.stmt->As<sql::SelectStatement>() : nullptr;
+      bool expandable = select != nullptr;
+      std::vector<std::string> columns;
+      if (select != nullptr) {
+        for (const auto& table : select->ReferencedTables()) {
+          const TableSchema* schema = context.catalog().FindTable(table);
+          if (schema == nullptr) {
+            expandable = false;
+            break;
+          }
+          for (const auto& col : schema->columns) columns.push_back(col.name);
+        }
+      }
+      if (expandable && !columns.empty()) {
+        auto cloned = select->CloneSelect();
+        std::vector<sql::SelectItem> items;
+        for (auto& item : cloned->items) {
+          if (item.expr->kind != sql::ExprKind::kStar) {
+            items.push_back(std::move(item));
+            continue;
+          }
+          for (const auto& col : columns) {
+            sql::SelectItem expanded;
+            expanded.expr = sql::MakeColumnRef({col});
+            items.push_back(std::move(expanded));
+          }
+        }
+        cloned->items = std::move(items);
+        fix.kind = FixKind::kRewrite;
+        fix.statements.push_back(sql::PrintStatement(*cloned));
+        fix.explanation = "expanded SELECT * into the concrete column list so schema "
+                          "changes cannot silently alter the result shape";
+      } else {
+        fix.kind = FixKind::kTextual;
+        fix.explanation = "replace SELECT * with the columns the caller actually reads";
+      }
+      return fix;
+    }
+
+    case AntiPattern::kConcatenateNulls: {
+      const auto* select =
+          d.stmt != nullptr ? d.stmt->As<sql::SelectStatement>() : nullptr;
+      if (select != nullptr) {
+        auto cloned = select->CloneSelect();
+        std::string default_table =
+            cloned->from.size() == 1 ? cloned->from[0].name : "";
+        for (auto& item : cloned->items) {
+          if (item.expr) WrapConcatNulls(item.expr.get(), context, default_table, false);
+        }
+        if (cloned->where) {
+          WrapConcatNulls(cloned->where.get(), context, default_table, false);
+        }
+        fix.kind = FixKind::kRewrite;
+        fix.statements.push_back(sql::PrintStatement(*cloned));
+        fix.explanation = "wrapped nullable operands of || in COALESCE so a NULL field "
+                          "no longer voids the whole concatenation";
+      } else {
+        fix.kind = FixKind::kTextual;
+        fix.explanation = "wrap nullable columns in COALESCE(col, '') before "
+                          "concatenating";
+      }
+      return fix;
+    }
+
+    case AntiPattern::kIndexUnderuse: {
+      fix.kind = FixKind::kRewrite;
+      fix.statements.push_back("CREATE INDEX " + IndexNameFor(d.table, d.column) + " ON " +
+                               d.table + " (" + d.column + ");");
+      fix.explanation = "added the missing index on the performance-critical access path";
+      return fix;
+    }
+
+    case AntiPattern::kIndexOveruse: {
+      const auto* create =
+          d.stmt != nullptr ? d.stmt->As<sql::CreateIndexStatement>() : nullptr;
+      if (create != nullptr) {
+        fix.kind = FixKind::kRewrite;
+        fix.statements.push_back("DROP INDEX " + create->index + ";");
+        fix.explanation = "dropped the redundant index; every write was paying its "
+                          "maintenance cost (Fig. 8a shows ~10x slower UPDATEs)";
+      } else {
+        fix.kind = FixKind::kTextual;
+        fix.explanation = "drop the indexes on '" + d.table +
+                          "' that no query uses, or merge single-column indexes into "
+                          "one multi-column index";
+      }
+      return fix;
+    }
+
+    case AntiPattern::kNoPrimaryKey: {
+      std::string candidate = PkCandidate(context, d.table);
+      if (!candidate.empty()) {
+        fix.kind = FixKind::kRewrite;
+        fix.statements.push_back("ALTER TABLE " + d.table + " ADD PRIMARY KEY (" +
+                                 candidate + ");");
+        fix.explanation = "'" + candidate +
+                          "' is unique across the sampled data, so it can carry the "
+                          "primary key";
+      } else {
+        fix.kind = FixKind::kTextual;
+        fix.explanation = "add a PRIMARY KEY to '" + d.table +
+                          "' (introduce a surrogate key column if no natural key exists)";
+      }
+      return fix;
+    }
+
+    case AntiPattern::kNoForeignKey: {
+      if (!d.table.empty() && !d.column.empty()) {
+        // Detection recorded the join edge's right side; find the other table.
+        std::string parent;
+        for (const QueryFacts& facts : context.queries()) {
+          for (const auto& j : facts.joins) {
+            if (EqualsIgnoreCase(j.right_table, d.table) &&
+                EqualsIgnoreCase(j.right_column, d.column) && !j.left_table.empty()) {
+              parent = j.left_table;
+            }
+          }
+        }
+        if (!parent.empty()) {
+          fix.kind = FixKind::kRewrite;
+          fix.statements.push_back("ALTER TABLE " + d.table + " ADD CONSTRAINT fk_" +
+                                   ToLower(d.table) + "_" + ToLower(d.column) +
+                                   " FOREIGN KEY (" + d.column + ") REFERENCES " + parent +
+                                   " (" + d.column + ");");
+          fix.explanation = "declared the foreign key the JOIN already implies, so the "
+                            "DBMS enforces referential integrity";
+          return fix;
+        }
+      }
+      fix.kind = FixKind::kTextual;
+      fix.explanation = "declare FOREIGN KEY constraints for the join relationships of "
+                        "table '" + d.table + "'";
+      return fix;
+    }
+
+    case AntiPattern::kRoundingErrors: {
+      fix.kind = FixKind::kRewrite;
+      fix.statements.push_back("ALTER TABLE " + d.table + " ALTER COLUMN " + d.column +
+                               " TYPE NUMERIC(12, 2);");
+      fix.explanation = "NUMERIC stores exact decimals; FLOAT drifts under aggregation "
+                        "and breaks equality predicates";
+      return fix;
+    }
+
+    case AntiPattern::kMissingTimezone: {
+      if (!d.column.empty()) {
+        fix.kind = FixKind::kRewrite;
+        fix.statements.push_back("ALTER TABLE " + d.table + " ALTER COLUMN " + d.column +
+                                 " TYPE TIMESTAMP WITH TIME ZONE;");
+        fix.explanation = "timestamps without a zone are ambiguous the moment the "
+                          "application crosses regions or DST";
+      } else {
+        fix.kind = FixKind::kTextual;
+        fix.explanation = "store date-times in '" + d.table + "' with explicit timezones";
+      }
+      return fix;
+    }
+
+    case AntiPattern::kIncorrectDataType: {
+      const TableProfile* profile = context.ProfileFor(d.table);
+      const ColumnStats* stats =
+          profile != nullptr ? profile->stats.FindColumn(d.column) : nullptr;
+      std::string target = "NUMERIC(12, 2)";
+      if (stats != nullptr && stats->date_string_fraction > stats->numeric_string_fraction) {
+        target = "TIMESTAMP WITH TIME ZONE";
+      } else if (stats != nullptr && stats->numeric_string_fraction >= 0.9) {
+        // All-integer strings become INTEGER.
+        target = "INTEGER";
+      }
+      fix.kind = FixKind::kRewrite;
+      fix.statements.push_back("ALTER TABLE " + d.table + " ALTER COLUMN " + d.column +
+                               " TYPE " + target + ";");
+      fix.explanation = "the sampled values are uniformly " +
+                        std::string(target == "INTEGER" || target == "NUMERIC(12, 2)"
+                                        ? "numeric"
+                                        : "temporal") +
+                        "; typed storage is smaller, ordered, and index-friendly";
+      return fix;
+    }
+
+    case AntiPattern::kRedundantColumn: {
+      fix.kind = FixKind::kRewrite;
+      fix.statements.push_back("ALTER TABLE " + d.table + " DROP COLUMN " + d.column + ";");
+      fix.impacted_queries = ImpactedQueries(context, d.table, d.query);
+      fix.explanation = "the column stores no information (all NULL or one constant); "
+                        "dropping it shrinks every row";
+      return fix;
+    }
+
+    case AntiPattern::kNoDomainConstraint: {
+      const TableProfile* profile = context.ProfileFor(d.table);
+      const ColumnStats* stats =
+          profile != nullptr ? profile->stats.FindColumn(d.column) : nullptr;
+      std::string lo = stats != nullptr && stats->min ? stats->min->ToDisplay() : "0";
+      std::string hi = stats != nullptr && stats->max ? stats->max->ToDisplay() : "100";
+      fix.kind = FixKind::kRewrite;
+      fix.statements.push_back("ALTER TABLE " + d.table + " ADD CONSTRAINT chk_" +
+                               ToLower(d.column) + " CHECK (" + d.column + " BETWEEN " +
+                               lo + " AND " + hi + ");");
+      fix.explanation = "added a CHECK matching the observed value range so out-of-range "
+                        "writes fail loudly";
+      return fix;
+    }
+
+    // -------------------- schema redesigns (DDL + guidance) ----------------
+    case AntiPattern::kMultiValuedAttribute: {
+      std::string map_table = d.table + "_" + d.column + "_map";
+      std::string parent_pk = "id";
+      const TableSchema* schema = context.catalog().FindTable(d.table);
+      if (schema != nullptr && !schema->primary_key.empty()) {
+        parent_pk = schema->primary_key[0];
+      }
+      fix.kind = FixKind::kRewrite;
+      fix.statements.push_back(
+          "CREATE TABLE " + map_table + " (" + parent_pk + " VARCHAR(64) REFERENCES " +
+          d.table + " (" + parent_pk + "), value VARCHAR(64), PRIMARY KEY (" + parent_pk +
+          ", value));");
+      fix.statements.push_back("ALTER TABLE " + d.table + " DROP COLUMN " + d.column + ";");
+      fix.impacted_queries = ImpactedQueries(context, d.table, d.query);
+      fix.explanation =
+          "replaced the delimiter-separated list with intersection table '" + map_table +
+          "' (the paper's Hosting-table fix, §2.1.1); rewrite LIKE-based lookups as "
+          "indexed joins through it";
+      return fix;
+    }
+
+    case AntiPattern::kEnumeratedTypes: {
+      std::string lookup = d.column + "_lookup";
+      fix.kind = FixKind::kRewrite;
+      fix.statements.push_back("CREATE TABLE " + lookup + " (" + d.column +
+                               "_id SERIAL PRIMARY KEY, " + d.column +
+                               "_name VARCHAR(64) UNIQUE NOT NULL);");
+      fix.statements.push_back("ALTER TABLE " + d.table + " ADD COLUMN " + d.column +
+                               "_id INTEGER REFERENCES " + lookup + " (" + d.column +
+                               "_id);");
+      fix.statements.push_back("ALTER TABLE " + d.table + " DROP COLUMN " + d.column + ";");
+      fix.impacted_queries = ImpactedQueries(context, d.table, d.query);
+      fix.explanation =
+          "moved the value domain into lookup table '" + lookup +
+          "' (Fig. 5 of the paper); renaming a value becomes one UPDATE instead of "
+          "DROP CONSTRAINT + UPDATE + ADD CONSTRAINT";
+      return fix;
+    }
+
+    case AntiPattern::kAdjacencyList: {
+      std::string closure = d.table + "_paths";
+      fix.kind = FixKind::kTextual;
+      fix.statements.push_back("CREATE TABLE " + closure +
+                               " (ancestor VARCHAR(64), descendant VARCHAR(64), depth "
+                               "INTEGER, PRIMARY KEY (ancestor, descendant));");
+      fix.explanation =
+          "self-referencing '" + d.table + "." + d.column +
+          "' needs recursive traversal for subtree queries; materialize a closure "
+          "table ('" + closure + "') or use recursive CTEs where supported";
+      return fix;
+    }
+
+    case AntiPattern::kGenericPrimaryKey: {
+      fix.kind = FixKind::kTextual;
+      fix.statements.push_back("ALTER TABLE " + d.table + " RENAME COLUMN id TO " +
+                               ToLower(d.table) + "_id;");
+      fix.explanation = "a descriptive key name disambiguates joins (USING(" +
+                        ToLower(d.table) + "_id)) and self-documents foreign keys";
+      return fix;
+    }
+
+    // --------------------------- textual fixes -----------------------------
+    case AntiPattern::kOrderingByRand:
+      fix.kind = FixKind::kTextual;
+      fix.explanation =
+          "ORDER BY RAND() sorts the entire result; pick a random key instead "
+          "(e.g. WHERE key >= <random value in key range> ORDER BY key LIMIT 1) or "
+          "sample ids in the application";
+      return fix;
+
+    case AntiPattern::kPatternMatching:
+      fix.kind = FixKind::kTextual;
+      fix.explanation =
+          "pattern predicates on '" + d.column +
+          "' cannot use B-tree indexes; add a full-text/trigram index, or restructure "
+          "the data so equality predicates suffice";
+      return fix;
+
+    case AntiPattern::kDistinctAndJoin:
+      fix.kind = FixKind::kTextual;
+      fix.explanation =
+          "DISTINCT is compensating for join fan-out; rewrite the join as a semi-join "
+          "(EXISTS / IN) against the many-side, or aggregate before joining";
+      return fix;
+
+    case AntiPattern::kTooManyJoins:
+      fix.kind = FixKind::kTextual;
+      fix.explanation =
+          "split the query, cache the stable dimensions, or materialize a pre-joined "
+          "view; if the joins stem from over-normalization, consider a modest "
+          "denormalization of read-mostly attributes";
+      return fix;
+
+    case AntiPattern::kGodTable:
+      fix.kind = FixKind::kTextual;
+      fix.explanation =
+          "vertically partition '" + d.table +
+          "' into entity-focused tables; group columns by update cadence and access "
+          "pattern, linked by the primary key";
+      return fix;
+
+    case AntiPattern::kDataInMetadata:
+      fix.kind = FixKind::kTextual;
+      fix.explanation =
+          "the numbered columns/tables of '" + d.table +
+          "' encode a data dimension in schema names; fold the series index into a "
+          "column of a child table";
+      return fix;
+
+    case AntiPattern::kCloneTable: {
+      fix.kind = FixKind::kTextual;
+      fix.explanation =
+          "merge the '" + d.table +
+          "'-style clones into one table with a discriminator column; the numeric "
+          "suffix is data, and cross-clone queries currently need UNIONs";
+      return fix;
+    }
+
+    case AntiPattern::kExternalDataStorage:
+      fix.kind = FixKind::kTextual;
+      fix.explanation =
+          "store the file content in a BLOB column (or at minimum enforce path "
+          "integrity at the application edge); external files miss transactions, "
+          "backups, and permissions";
+      return fix;
+
+    case AntiPattern::kDenormalizedTable:
+      fix.kind = FixKind::kTextual;
+      fix.statements.push_back("CREATE TABLE " + d.column +
+                               "_dim (id SERIAL PRIMARY KEY, " + d.column +
+                               " VARCHAR(64) UNIQUE);");
+      fix.explanation =
+          "extract the functionally-dependent pair into a dimension table and "
+          "reference it by id; duplicates currently amplify storage and can drift";
+      return fix;
+
+    case AntiPattern::kInformationDuplication:
+      fix.kind = FixKind::kTextual;
+      fix.explanation =
+          "drop derived column '" + d.column +
+          "' and compute it at query time (or in a view); stored derivations go stale "
+          "when their sources change";
+      return fix;
+
+    case AntiPattern::kReadablePassword:
+      fix.kind = FixKind::kTextual;
+      fix.explanation =
+          "store a salted adaptive hash (bcrypt/argon2) instead of the password and "
+          "compare hashes in the application layer";
+      return fix;
+  }
+
+  fix.kind = FixKind::kTextual;
+  fix.explanation = "review the detected anti-pattern";
+  return fix;
+}
+
+std::vector<Fix> RepairEngine::SuggestFixes(const std::vector<Detection>& detections,
+                                            const Context& context) const {
+  std::vector<Fix> fixes;
+  fixes.reserve(detections.size());
+  for (const Detection& d : detections) fixes.push_back(SuggestFix(d, context));
+  return fixes;
+}
+
+}  // namespace sqlcheck

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <vector>
+
+#include "analysis/context.h"
+#include "fix/fix.h"
+#include "rules/rule.h"
+
+namespace sqlcheck {
+
+/// \brief ap-fix (Algorithm 4): suggests alternate designs and queries for
+/// detected APs. Rules are (detection, action) pairs — the detection half
+/// lives in rules/, the action half here. When a non-ambiguous parse-tree
+/// transformation exists the engine rewrites SQL mechanically; otherwise it
+/// emits a textual fix tailored to the application context (§6.1).
+class RepairEngine {
+ public:
+  /// Suggests a fix for one detection.
+  Fix SuggestFix(const Detection& detection, const Context& context) const;
+
+  /// Suggests fixes for a ranked batch, in order.
+  std::vector<Fix> SuggestFixes(const std::vector<Detection>& detections,
+                                const Context& context) const;
+};
+
+}  // namespace sqlcheck

@@ -1,0 +1,78 @@
+#include "ranking/model.h"
+
+#include <algorithm>
+#include <map>
+
+namespace sqlcheck {
+
+namespace {
+double Squash5(double x) { return std::min(1.0, x / 5.0); }
+double Squash8(double x) { return std::min(1.0, x / 8.0); }
+
+/// Speedups are reported as ratios (1.0 = no change); the score input is the
+/// *improvement*, so 1.0 maps to 0.
+double SpeedupInput(double ratio) { return ratio > 1.0 ? ratio : 0.0; }
+}  // namespace
+
+double RankingModel::Score(const ApMetrics& m) const {
+  return weights_.rp * Squash5(SpeedupInput(m.read_speedup)) +
+         weights_.wp * Squash5(SpeedupInput(m.write_speedup)) +
+         weights_.m * Squash5(m.maintainability) +
+         weights_.da * Squash8(m.data_amplification) +
+         weights_.di * static_cast<double>(m.data_integrity) +
+         weights_.a * static_cast<double>(m.accuracy);
+}
+
+RankedDetection RankingModel::ScoreDetection(const Detection& detection) const {
+  RankedDetection ranked;
+  ranked.detection = detection;
+  ranked.metrics = metrics_.For(detection.type);
+
+  // Query-aware adjustment (§5.2): map the offending statement to the
+  // standard query types. A detection on a pure read statement cannot buy
+  // write speedup and vice versa.
+  if (detection.stmt != nullptr) {
+    switch (detection.stmt->kind) {
+      case sql::StatementKind::kSelect:
+        ranked.metrics.write_speedup = 0.0;
+        break;
+      case sql::StatementKind::kInsert:
+      case sql::StatementKind::kUpdate:
+      case sql::StatementKind::kDelete:
+        ranked.metrics.read_speedup = 0.0;
+        break;
+      default:
+        break;  // DDL detections keep the full profile
+    }
+  }
+  ranked.score = Score(ranked.metrics);
+  return ranked;
+}
+
+std::vector<RankedDetection> RankingModel::Rank(
+    const std::vector<Detection>& detections) const {
+  std::vector<RankedDetection> ranked;
+  ranked.reserve(detections.size());
+  for (const Detection& d : detections) ranked.push_back(ScoreDetection(d));
+
+  if (mode_ == InterQueryMode::kByApCount) {
+    // ❶ queries with more APs first; score breaks ties within and across.
+    std::map<std::string, int> per_query;
+    for (const auto& r : ranked) ++per_query[r.detection.query];
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [&](const RankedDetection& a, const RankedDetection& b) {
+                       int ca = per_query[a.detection.query];
+                       int cb = per_query[b.detection.query];
+                       if (ca != cb) return ca > cb;
+                       return a.score > b.score;
+                     });
+  } else {
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const RankedDetection& a, const RankedDetection& b) {
+                       return a.score > b.score;
+                     });
+  }
+  return ranked;
+}
+
+}  // namespace sqlcheck

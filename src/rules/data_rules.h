@@ -1,0 +1,15 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "rules/rule.h"
+
+namespace sqlcheck {
+
+/// \brief The six data rules of Table 1 (detected by analysing the data
+/// itself, §4.2): Missing Timezone, Incorrect Data Type, Denormalized Table,
+/// Information Duplication, Redundant Column, No Domain Constraint.
+std::vector<std::unique_ptr<Rule>> MakeDataRules();
+
+}  // namespace sqlcheck

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "rules/rule.h"
+
+namespace sqlcheck {
+
+/// \brief The seven logical-design rules of Table 1: Multi-Valued Attribute,
+/// No Primary Key, No Foreign Key, Generic Primary Key, Data in Metadata,
+/// Adjacency List, and God Table.
+std::vector<std::unique_ptr<Rule>> MakeLogicalDesignRules();
+
+}  // namespace sqlcheck

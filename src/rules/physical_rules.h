@@ -1,0 +1,15 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "rules/rule.h"
+
+namespace sqlcheck {
+
+/// \brief The six physical-design rules of Table 1: Rounding Errors,
+/// Enumerated Types, External Data Storage, Index Overuse, Index Underuse,
+/// and Clone Table.
+std::vector<std::unique_ptr<Rule>> MakePhysicalDesignRules();
+
+}  // namespace sqlcheck

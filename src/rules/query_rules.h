@@ -1,0 +1,15 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "rules/rule.h"
+
+namespace sqlcheck {
+
+/// \brief The query-shape rules of Table 1 plus Readable Password: Column
+/// Wildcard, Concatenate Nulls, Ordering by RAND, Pattern Matching, Implicit
+/// Columns, DISTINCT and JOIN, Too Many Joins.
+std::vector<std::unique_ptr<Rule>> MakeQueryRules();
+
+}  // namespace sqlcheck

@@ -1,0 +1,45 @@
+#include "rules/registry.h"
+
+#include "rules/data_rules.h"
+#include "rules/logical_rules.h"
+#include "rules/physical_rules.h"
+#include "rules/query_rules.h"
+
+namespace sqlcheck {
+
+RuleRegistry RuleRegistry::Default() {
+  RuleRegistry registry;
+  for (auto& rule : MakeLogicalDesignRules()) registry.Register(std::move(rule));
+  for (auto& rule : MakePhysicalDesignRules()) registry.Register(std::move(rule));
+  for (auto& rule : MakeQueryRules()) registry.Register(std::move(rule));
+  for (auto& rule : MakeDataRules()) registry.Register(std::move(rule));
+  return registry;
+}
+
+std::vector<Detection> DetectAntiPatterns(const Context& context,
+                                          const RuleRegistry& registry,
+                                          const DetectorConfig& config) {
+  std::vector<Detection> detections;
+  // Query rules over every analyzed statement (Algorithm 2).
+  for (const QueryFacts& facts : context.queries()) {
+    for (const auto& rule : registry.rules()) {
+      rule->CheckQuery(facts, context, config, &detections);
+    }
+  }
+  // Data rules over every profiled table (Algorithm 3).
+  if (config.data_analysis) {
+    for (const auto& [_, profile] : context.data().profiles) {
+      for (const auto& rule : registry.rules()) {
+        rule->CheckData(profile, context, config, &detections);
+      }
+    }
+  }
+  return detections;
+}
+
+std::vector<Detection> DetectAntiPatterns(const Context& context,
+                                          const DetectorConfig& config) {
+  return DetectAntiPatterns(context, RuleRegistry::Default(), config);
+}
+
+}  // namespace sqlcheck

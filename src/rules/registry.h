@@ -1,0 +1,39 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "rules/rule.h"
+
+namespace sqlcheck {
+
+/// \brief Extensible rule registry (§7 "Extensibility"): starts with the
+/// built-in 27 rules; callers may register their own Rule implementations.
+class RuleRegistry {
+ public:
+  /// Registry pre-loaded with every built-in rule.
+  static RuleRegistry Default();
+
+  /// Empty registry (for tests and custom deployments).
+  RuleRegistry() = default;
+
+  void Register(std::unique_ptr<Rule> rule) { rules_.push_back(std::move(rule)); }
+  const std::vector<std::unique_ptr<Rule>>& rules() const { return rules_; }
+  size_t size() const { return rules_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Rule>> rules_;
+};
+
+/// \brief Runs ap-detect (Algorithm 1): applies every query rule to every
+/// analyzed query and every data rule to every profiled table, honouring the
+/// config's intra/inter/data switches.
+std::vector<Detection> DetectAntiPatterns(const Context& context,
+                                          const RuleRegistry& registry,
+                                          const DetectorConfig& config = {});
+
+/// \brief Convenience: detect with the default registry.
+std::vector<Detection> DetectAntiPatterns(const Context& context,
+                                          const DetectorConfig& config = {});
+
+}  // namespace sqlcheck

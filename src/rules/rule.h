@@ -1,0 +1,136 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/context.h"
+#include "analysis/query_context.h"
+
+namespace sqlcheck {
+
+/// \brief Every anti-pattern sqlcheck detects (Table 1 of the paper, plus
+/// Readable Password which appears in the Table 3 distribution).
+enum class AntiPattern {
+  // Logical design APs.
+  kMultiValuedAttribute,
+  kNoPrimaryKey,
+  kNoForeignKey,
+  kGenericPrimaryKey,
+  kDataInMetadata,
+  kAdjacencyList,
+  kGodTable,
+  // Physical design APs.
+  kRoundingErrors,
+  kEnumeratedTypes,
+  kExternalDataStorage,
+  kIndexOveruse,
+  kIndexUnderuse,
+  kCloneTable,
+  // Query APs.
+  kColumnWildcard,
+  kConcatenateNulls,
+  kOrderingByRand,
+  kPatternMatching,
+  kImplicitColumns,
+  kDistinctAndJoin,
+  kTooManyJoins,
+  kReadablePassword,
+  // Data APs.
+  kMissingTimezone,
+  kIncorrectDataType,
+  kDenormalizedTable,
+  kInformationDuplication,
+  kRedundantColumn,
+  kNoDomainConstraint,
+};
+
+/// Number of distinct anti-pattern types.
+inline constexpr int kAntiPatternCount = 27;
+
+enum class ApCategory { kLogicalDesign, kPhysicalDesign, kQuery, kData };
+
+/// \brief Static metadata for one AP: display name, category, and the five
+/// impact flags of Table 1 (Performance, Maintainability, Data Amplification,
+/// Data Integrity, Accuracy).
+struct ApInfo {
+  AntiPattern type;
+  const char* name;
+  ApCategory category;
+  bool performance;
+  bool maintainability;
+  bool data_amplification;
+  bool data_integrity;
+  bool accuracy;
+};
+
+const ApInfo& InfoFor(AntiPattern type);
+const char* ApName(AntiPattern type);
+const char* CategoryName(ApCategory category);
+
+/// \brief How a detection was established — used for the intra/inter/data
+/// ablation experiments (§8.1).
+enum class DetectionSource { kIntraQuery, kInterQuery, kDataAnalysis };
+
+/// \brief One detected anti-pattern instance.
+struct Detection {
+  AntiPattern type = AntiPattern::kColumnWildcard;
+  DetectionSource source = DetectionSource::kIntraQuery;
+  std::string table;    ///< Affected table ("" when unknown).
+  std::string column;   ///< Affected column ("" when table-level).
+  std::string query;    ///< Offending statement text ("" for data detections).
+  const sql::Statement* stmt = nullptr;  ///< Parse tree for ap-fix (may be null).
+  std::string message;  ///< Human-readable diagnosis.
+};
+
+/// \brief Detector configuration: which analyses run and the rule thresholds
+/// (all configurable, per §4.2).
+struct DetectorConfig {
+  bool intra_query = true;
+  bool inter_query = true;
+  bool data_analysis = true;
+
+  // Thresholds (paper defaults in parentheses where stated).
+  int god_table_columns = 10;        ///< Table 1: "cross a threshold (e.g., 10)".
+  int too_many_joins = 5;
+  int index_overuse_count = 4;       ///< User indexes per table before flagging.
+  double enum_distinct_ratio = 0.05; ///< Distinct/rows below this looks enum-ish.
+  double delimited_fraction = 0.5;   ///< MVA data rule activation.
+  double numeric_string_fraction = 0.9;
+  double redundant_fraction = 0.95;  ///< Nulls-or-constant fraction.
+  size_t min_rows_for_data_rules = 4;
+  double low_cardinality_ratio = 0.01;  ///< Index underuse suppression (Fig 8c).
+};
+
+/// \brief A detection rule: a named check over queries and/or data. Mirrors
+/// the paper's generic rule interface (name, type, detection rule) — ranking
+/// metrics and repair rules attach by AntiPattern type in ranking/ and fix/.
+class Rule {
+ public:
+  virtual ~Rule() = default;
+
+  virtual AntiPattern type() const = 0;
+  const ApInfo& info() const { return InfoFor(type()); }
+
+  /// Applied to each analyzed query (Algorithm 2). Implementations honour
+  /// `config.intra_query` / `config.inter_query` to scope what they use.
+  virtual void CheckQuery(const QueryFacts& facts, const Context& context,
+                          const DetectorConfig& config,
+                          std::vector<Detection>* out) const {
+    (void)facts;
+    (void)context;
+    (void)config;
+    (void)out;
+  }
+
+  /// Applied to each profiled table (Algorithm 3).
+  virtual void CheckData(const TableProfile& profile, const Context& context,
+                         const DetectorConfig& config,
+                         std::vector<Detection>* out) const {
+    (void)profile;
+    (void)context;
+    (void)config;
+    (void)out;
+  }
+};
+
+}  // namespace sqlcheck

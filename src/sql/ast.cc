@@ -1,0 +1,347 @@
+#include "sql/ast.h"
+
+#include "common/strings.h"
+
+namespace sqlcheck::sql {
+
+// --------------------------------- Expr -----------------------------------
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->text = text;
+  out->name_parts = name_parts;
+  out->negated = negated;
+  out->distinct_arg = distinct_arg;
+  out->raw_tokens = raw_tokens;
+  out->children.reserve(children.size());
+  for (const auto& c : children) out->children.push_back(c->Clone());
+  if (subquery) out->subquery = subquery->CloneSelect();
+  return out;
+}
+
+std::string Expr::ColumnName() const {
+  if (kind != ExprKind::kColumnRef || name_parts.empty()) return "";
+  return name_parts.back();
+}
+
+std::string Expr::TableQualifier() const {
+  if (kind != ExprKind::kColumnRef || name_parts.size() < 2) return "";
+  return name_parts[name_parts.size() - 2];
+}
+
+ExprPtr MakeColumnRef(std::vector<std::string> name_parts) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->name_parts = std::move(name_parts);
+  return e;
+}
+
+ExprPtr MakeStringLiteral(std::string value) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kStringLiteral;
+  e->text = std::move(value);
+  return e;
+}
+
+ExprPtr MakeNumberLiteral(std::string value) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kNumberLiteral;
+  e->text = std::move(value);
+  return e;
+}
+
+ExprPtr MakeBinary(std::string op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->text = std::move(op);
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr MakeFunction(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFunction;
+  e->text = std::move(name);
+  e->children = std::move(args);
+  return e;
+}
+
+namespace {
+void VisitSelectExprs(const SelectStatement& select, bool enter_subqueries,
+                      const std::function<void(const Expr&)>& fn);
+}  // namespace
+
+void VisitExpr(const Expr& expr, bool enter_subqueries,
+               const std::function<void(const Expr&)>& fn) {
+  fn(expr);
+  for (const auto& c : expr.children) VisitExpr(*c, enter_subqueries, fn);
+  if (enter_subqueries && expr.subquery) {
+    VisitSelectExprs(*expr.subquery, enter_subqueries, fn);
+  }
+}
+
+namespace {
+void VisitSelectExprs(const SelectStatement& select, bool enter_subqueries,
+                      const std::function<void(const Expr&)>& fn) {
+  for (const auto& item : select.items) {
+    if (item.expr) VisitExpr(*item.expr, enter_subqueries, fn);
+  }
+  for (const auto& join : select.joins) {
+    if (join.on) VisitExpr(*join.on, enter_subqueries, fn);
+  }
+  if (select.where) VisitExpr(*select.where, enter_subqueries, fn);
+  for (const auto& g : select.group_by) VisitExpr(*g, enter_subqueries, fn);
+  if (select.having) VisitExpr(*select.having, enter_subqueries, fn);
+  for (const auto& o : select.order_by) {
+    if (o.expr) VisitExpr(*o.expr, enter_subqueries, fn);
+  }
+}
+}  // namespace
+
+// ------------------------------ Statements --------------------------------
+
+const char* StatementKindName(StatementKind kind) {
+  switch (kind) {
+    case StatementKind::kSelect: return "SELECT";
+    case StatementKind::kInsert: return "INSERT";
+    case StatementKind::kUpdate: return "UPDATE";
+    case StatementKind::kDelete: return "DELETE";
+    case StatementKind::kCreateTable: return "CREATE TABLE";
+    case StatementKind::kCreateIndex: return "CREATE INDEX";
+    case StatementKind::kAlterTable: return "ALTER TABLE";
+    case StatementKind::kDropTable: return "DROP TABLE";
+    case StatementKind::kDropIndex: return "DROP INDEX";
+    case StatementKind::kUnknown: return "UNKNOWN";
+  }
+  return "UNKNOWN";
+}
+
+TableRef TableRef::Clone() const {
+  TableRef out;
+  out.name = name;
+  out.alias = alias;
+  if (subquery) out.subquery = subquery->CloneSelect();
+  return out;
+}
+
+JoinClause JoinClause::Clone() const {
+  JoinClause out;
+  out.type = type;
+  out.table = table.Clone();
+  if (on) out.on = on->Clone();
+  out.using_columns = using_columns;
+  return out;
+}
+
+SelectItem SelectItem::Clone() const {
+  SelectItem out;
+  if (expr) out.expr = expr->Clone();
+  out.alias = alias;
+  return out;
+}
+
+OrderItem OrderItem::Clone() const {
+  OrderItem out;
+  if (expr) out.expr = expr->Clone();
+  out.descending = descending;
+  return out;
+}
+
+std::unique_ptr<SelectStatement> SelectStatement::CloneSelect() const {
+  auto out = std::make_unique<SelectStatement>();
+  out->raw_sql = raw_sql;
+  out->distinct = distinct;
+  for (const auto& i : items) out->items.push_back(i.Clone());
+  for (const auto& f : from) out->from.push_back(f.Clone());
+  for (const auto& j : joins) out->joins.push_back(j.Clone());
+  if (where) out->where = where->Clone();
+  for (const auto& g : group_by) out->group_by.push_back(g->Clone());
+  if (having) out->having = having->Clone();
+  for (const auto& o : order_by) out->order_by.push_back(o.Clone());
+  out->limit = limit;
+  out->offset = offset;
+  return out;
+}
+
+std::vector<std::string> SelectStatement::ReferencedTables() const {
+  std::vector<std::string> out;
+  for (const auto& f : from) {
+    if (!f.name.empty()) out.push_back(f.name);
+    if (f.subquery) {
+      auto inner = f.subquery->ReferencedTables();
+      out.insert(out.end(), inner.begin(), inner.end());
+    }
+  }
+  for (const auto& j : joins) {
+    if (!j.table.name.empty()) out.push_back(j.table.name);
+    if (j.table.subquery) {
+      auto inner = j.table.subquery->ReferencedTables();
+      out.insert(out.end(), inner.begin(), inner.end());
+    }
+  }
+  return out;
+}
+
+int SelectStatement::JoinCount() const {
+  int implicit = from.size() > 1 ? static_cast<int>(from.size()) - 1 : 0;
+  return implicit + static_cast<int>(joins.size());
+}
+
+StatementPtr InsertStatement::CloneStatement() const {
+  auto out = std::make_unique<InsertStatement>();
+  out->raw_sql = raw_sql;
+  out->table = table;
+  out->columns = columns;
+  for (const auto& row : rows) {
+    std::vector<ExprPtr> r;
+    for (const auto& e : row) r.push_back(e->Clone());
+    out->rows.push_back(std::move(r));
+  }
+  if (select) out->select = select->CloneSelect();
+  out->or_replace = or_replace;
+  return out;
+}
+
+StatementPtr UpdateStatement::CloneStatement() const {
+  auto out = std::make_unique<UpdateStatement>();
+  out->raw_sql = raw_sql;
+  out->table = table;
+  out->alias = alias;
+  for (const auto& [col, e] : assignments) {
+    out->assignments.emplace_back(col, e->Clone());
+  }
+  if (where) out->where = where->Clone();
+  return out;
+}
+
+StatementPtr DeleteStatement::CloneStatement() const {
+  auto out = std::make_unique<DeleteStatement>();
+  out->raw_sql = raw_sql;
+  out->table = table;
+  if (where) out->where = where->Clone();
+  return out;
+}
+
+std::string TypeName::ToString() const {
+  std::string out = name;
+  if (!enum_values.empty()) {
+    out += "(";
+    for (size_t i = 0; i < enum_values.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "'" + enum_values[i] + "'";
+    }
+    out += ")";
+  } else if (!params.empty()) {
+    out += "(";
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(params[i]);
+    }
+    out += ")";
+  }
+  if (with_time_zone) out += " WITH TIME ZONE";
+  return out;
+}
+
+ColumnDefAst ColumnDefAst::Clone() const {
+  ColumnDefAst out;
+  out.name = name;
+  out.type = type;
+  out.not_null = not_null;
+  out.primary_key = primary_key;
+  out.unique = unique;
+  out.auto_increment = auto_increment;
+  if (default_value) out.default_value = default_value->Clone();
+  if (check) out.check = check->Clone();
+  out.references = references;
+  return out;
+}
+
+TableConstraintAst TableConstraintAst::Clone() const {
+  TableConstraintAst out;
+  out.kind = kind;
+  out.name = name;
+  out.columns = columns;
+  out.reference = reference;
+  if (check) out.check = check->Clone();
+  return out;
+}
+
+StatementPtr CreateTableStatement::CloneStatement() const {
+  auto out = std::make_unique<CreateTableStatement>();
+  out->raw_sql = raw_sql;
+  out->table = table;
+  out->if_not_exists = if_not_exists;
+  for (const auto& c : columns) out->columns.push_back(c.Clone());
+  for (const auto& c : constraints) out->constraints.push_back(c.Clone());
+  return out;
+}
+
+const ColumnDefAst* CreateTableStatement::FindColumn(std::string_view name) const {
+  for (const auto& c : columns) {
+    if (EqualsIgnoreCase(c.name, name)) return &c;
+  }
+  return nullptr;
+}
+
+bool CreateTableStatement::HasPrimaryKey() const {
+  for (const auto& c : columns) {
+    if (c.primary_key) return true;
+  }
+  for (const auto& c : constraints) {
+    if (c.kind == TableConstraintKind::kPrimaryKey) return true;
+  }
+  return false;
+}
+
+bool CreateTableStatement::HasForeignKey() const {
+  for (const auto& c : columns) {
+    if (c.references.has_value()) return true;
+  }
+  for (const auto& c : constraints) {
+    if (c.kind == TableConstraintKind::kForeignKey) return true;
+  }
+  return false;
+}
+
+StatementPtr CreateIndexStatement::CloneStatement() const {
+  auto out = std::make_unique<CreateIndexStatement>();
+  *out = *this;  // all value members
+  return out;
+}
+
+StatementPtr AlterTableStatement::CloneStatement() const {
+  auto out = std::make_unique<AlterTableStatement>();
+  out->raw_sql = raw_sql;
+  out->table = table;
+  out->action = action;
+  out->column = column.Clone();
+  out->target_name = target_name;
+  out->new_name = new_name;
+  out->constraint = constraint.Clone();
+  out->if_exists = if_exists;
+  return out;
+}
+
+StatementPtr DropTableStatement::CloneStatement() const {
+  auto out = std::make_unique<DropTableStatement>();
+  *out = *this;
+  return out;
+}
+
+StatementPtr DropIndexStatement::CloneStatement() const {
+  auto out = std::make_unique<DropIndexStatement>();
+  *out = *this;
+  return out;
+}
+
+StatementPtr UnknownStatement::CloneStatement() const {
+  auto out = std::make_unique<UnknownStatement>();
+  out->raw_sql = raw_sql;
+  out->tokens = tokens;
+  return out;
+}
+
+}  // namespace sqlcheck::sql

@@ -1,0 +1,352 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sql/token.h"
+
+namespace sqlcheck::sql {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+/// \brief Discriminant for the single-struct expression tree.
+///
+/// A flat tagged struct (rather than a class hierarchy) keeps cloning,
+/// printing, and rule-side pattern matching simple — the same trade-off the
+/// paper's annotated `sqlparse` tree makes.
+enum class ExprKind {
+  kNullLiteral,
+  kBoolLiteral,    ///< text is "true"/"false".
+  kNumberLiteral,  ///< text is the literal spelling.
+  kStringLiteral,  ///< text is the unquoted payload.
+  kParam,          ///< text is the placeholder spelling (?, :x, $1, %s).
+  kColumnRef,      ///< name_parts holds the qualifier chain (t, col).
+  kStar,           ///< `*` or `t.*` (qualifier in name_parts).
+  kUnary,          ///< text is the operator (NOT, -); one child.
+  kBinary,         ///< text is the operator; children[0] op children[1].
+  kLike,           ///< children[0] LIKE children[1]; text is LIKE/ILIKE/REGEXP/...
+  kIsNull,         ///< children[0] IS [NOT] NULL (negated flag).
+  kIn,             ///< children[0] IN (children[1..]); or subquery child.
+  kBetween,        ///< children[0] BETWEEN children[1] AND children[2].
+  kFunction,       ///< text is the function name; children are args.
+  kCase,           ///< children: [operand?], then WHEN/THEN pairs, then ELSE?.
+  kExists,         ///< EXISTS (subquery).
+  kSubquery,       ///< Scalar subquery.
+  kCast,           ///< CAST(children[0] AS text) or children[0]::text.
+  kRaw,            ///< Unparsed token run — non-validating fallback.
+};
+
+struct SelectStatement;  // forward
+
+/// \brief One node of the expression tree.
+struct Expr {
+  ExprKind kind = ExprKind::kRaw;
+  std::string text;                    ///< Operator / function name / literal payload.
+  std::vector<std::string> name_parts; ///< Column qualifier chain for kColumnRef/kStar.
+  std::vector<std::unique_ptr<Expr>> children;
+  std::unique_ptr<SelectStatement> subquery;  ///< For kSubquery/kExists/kIn-subquery.
+  bool negated = false;        ///< NOT LIKE / NOT IN / NOT BETWEEN / IS NOT NULL.
+  bool distinct_arg = false;   ///< COUNT(DISTINCT x) style.
+  std::vector<Token> raw_tokens;  ///< For kRaw.
+
+  Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  /// Deep copy (fix rules transform copies, never the originals).
+  std::unique_ptr<Expr> Clone() const;
+
+  /// Unqualified column name ("" when not a column ref).
+  std::string ColumnName() const;
+  /// Table qualifier for a column ref ("" when unqualified).
+  std::string TableQualifier() const;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Convenience constructors used by the parser, fix engine, and tests.
+ExprPtr MakeColumnRef(std::vector<std::string> name_parts);
+ExprPtr MakeStringLiteral(std::string value);
+ExprPtr MakeNumberLiteral(std::string value);
+ExprPtr MakeBinary(std::string op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeFunction(std::string name, std::vector<ExprPtr> args);
+
+/// \brief Depth-first visit of an expression tree (including subquery
+/// boundaries when `enter_subqueries` is set).
+void VisitExpr(const Expr& expr, bool enter_subqueries,
+               const std::function<void(const Expr&)>& fn);
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StatementKind {
+  kSelect,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kCreateTable,
+  kCreateIndex,
+  kAlterTable,
+  kDropTable,
+  kDropIndex,
+  kUnknown,
+};
+
+const char* StatementKindName(StatementKind kind);
+
+enum class JoinType { kInner, kLeft, kRight, kFull, kCross };
+
+struct TableRef {
+  std::string name;   ///< Empty when this is a subquery source.
+  std::string alias;  ///< Empty when not aliased.
+  std::unique_ptr<SelectStatement> subquery;
+
+  TableRef() = default;
+  TableRef(TableRef&&) = default;
+  TableRef& operator=(TableRef&&) = default;
+
+  TableRef Clone() const;
+  /// The name queries refer to this source by (alias if set, else name).
+  const std::string& EffectiveName() const { return alias.empty() ? name : alias; }
+};
+
+struct JoinClause {
+  JoinType type = JoinType::kInner;
+  TableRef table;
+  ExprPtr on;                          ///< Null for CROSS / USING joins.
+  std::vector<std::string> using_columns;
+
+  JoinClause Clone() const;
+};
+
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;
+
+  SelectItem Clone() const;
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool descending = false;
+
+  OrderItem Clone() const;
+};
+
+/// \brief Base statement. Concrete statements derive and carry their clauses.
+struct Statement {
+  StatementKind kind = StatementKind::kUnknown;
+  std::string raw_sql;  ///< Original text (trimmed), kept for reporting.
+
+  explicit Statement(StatementKind k) : kind(k) {}
+  virtual ~Statement() = default;
+
+  virtual std::unique_ptr<Statement> CloneStatement() const = 0;
+
+  template <typename T>
+  const T* As() const {
+    return kind == T::kKind ? static_cast<const T*>(this) : nullptr;
+  }
+  template <typename T>
+  T* As() {
+    return kind == T::kKind ? static_cast<T*>(this) : nullptr;
+  }
+};
+
+using StatementPtr = std::unique_ptr<Statement>;
+
+struct SelectStatement : Statement {
+  static constexpr StatementKind kKind = StatementKind::kSelect;
+  SelectStatement() : Statement(kKind) {}
+
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;  ///< Comma-separated sources (implicit cross join).
+  std::vector<JoinClause> joins;
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderItem> order_by;
+  std::optional<int64_t> limit;
+  std::optional<int64_t> offset;
+
+  std::unique_ptr<SelectStatement> CloneSelect() const;
+  StatementPtr CloneStatement() const override { return CloneSelect(); }
+
+  /// All source names (tables + join tables), in syntactic order.
+  std::vector<std::string> ReferencedTables() const;
+  /// Total number of JOIN clauses (explicit joins + implicit comma joins).
+  int JoinCount() const;
+};
+
+struct InsertStatement : Statement {
+  static constexpr StatementKind kKind = StatementKind::kInsert;
+  InsertStatement() : Statement(kKind) {}
+
+  std::string table;
+  std::vector<std::string> columns;  ///< Empty => implicit column list (an AP!).
+  std::vector<std::vector<ExprPtr>> rows;
+  std::unique_ptr<SelectStatement> select;  ///< INSERT ... SELECT form.
+  bool or_replace = false;
+
+  StatementPtr CloneStatement() const override;
+};
+
+struct UpdateStatement : Statement {
+  static constexpr StatementKind kKind = StatementKind::kUpdate;
+  UpdateStatement() : Statement(kKind) {}
+
+  std::string table;
+  std::string alias;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;
+
+  StatementPtr CloneStatement() const override;
+};
+
+struct DeleteStatement : Statement {
+  static constexpr StatementKind kKind = StatementKind::kDelete;
+  DeleteStatement() : Statement(kKind) {}
+
+  std::string table;
+  ExprPtr where;
+
+  StatementPtr CloneStatement() const override;
+};
+
+// --------------------------------- DDL ------------------------------------
+
+/// \brief Type name as written (resolution to catalog types happens later).
+struct TypeName {
+  std::string name;               ///< Upper/lower as written; compare case-insensitively.
+  std::vector<int64_t> params;    ///< VARCHAR(30) -> {30}; NUMERIC(10,2) -> {10,2}.
+  std::vector<std::string> enum_values;  ///< ENUM('a','b') members.
+  bool with_time_zone = false;    ///< TIMESTAMP WITH TIME ZONE / TIMESTAMPTZ.
+
+  std::string ToString() const;
+};
+
+struct ForeignKeyRefAst {
+  std::string table;
+  std::vector<std::string> columns;  ///< May be empty (references PK implicitly).
+  bool on_delete_cascade = false;
+};
+
+struct ColumnDefAst {
+  std::string name;
+  TypeName type;
+  bool not_null = false;
+  bool primary_key = false;
+  bool unique = false;
+  bool auto_increment = false;
+  ExprPtr default_value;
+  ExprPtr check;  ///< Column-level CHECK expression.
+  std::optional<ForeignKeyRefAst> references;
+
+  ColumnDefAst Clone() const;
+};
+
+enum class TableConstraintKind { kPrimaryKey, kForeignKey, kUnique, kCheck };
+
+struct TableConstraintAst {
+  TableConstraintKind kind = TableConstraintKind::kPrimaryKey;
+  std::string name;  ///< CONSTRAINT <name>, may be empty.
+  std::vector<std::string> columns;
+  ForeignKeyRefAst reference;  ///< For kForeignKey.
+  ExprPtr check;               ///< For kCheck.
+
+  TableConstraintAst Clone() const;
+};
+
+struct CreateTableStatement : Statement {
+  static constexpr StatementKind kKind = StatementKind::kCreateTable;
+  CreateTableStatement() : Statement(kKind) {}
+
+  std::string table;
+  bool if_not_exists = false;
+  std::vector<ColumnDefAst> columns;
+  std::vector<TableConstraintAst> constraints;
+
+  StatementPtr CloneStatement() const override;
+
+  const ColumnDefAst* FindColumn(std::string_view name) const;
+  bool HasPrimaryKey() const;
+  bool HasForeignKey() const;
+};
+
+struct CreateIndexStatement : Statement {
+  static constexpr StatementKind kKind = StatementKind::kCreateIndex;
+  CreateIndexStatement() : Statement(kKind) {}
+
+  std::string index;
+  std::string table;
+  std::vector<std::string> columns;
+  bool unique = false;
+  bool if_not_exists = false;
+
+  StatementPtr CloneStatement() const override;
+};
+
+enum class AlterAction {
+  kAddColumn,
+  kDropColumn,
+  kAddConstraint,
+  kDropConstraint,
+  kAlterColumnType,
+  kRenameTable,
+  kRenameColumn,
+  kUnknown,
+};
+
+struct AlterTableStatement : Statement {
+  static constexpr StatementKind kKind = StatementKind::kAlterTable;
+  AlterTableStatement() : Statement(kKind) {}
+
+  std::string table;
+  AlterAction action = AlterAction::kUnknown;
+  ColumnDefAst column;            ///< For add-column / alter-type.
+  std::string target_name;        ///< Column or constraint being dropped/renamed.
+  std::string new_name;           ///< For renames.
+  TableConstraintAst constraint;  ///< For add-constraint.
+  bool if_exists = false;
+
+  StatementPtr CloneStatement() const override;
+};
+
+struct DropTableStatement : Statement {
+  static constexpr StatementKind kKind = StatementKind::kDropTable;
+  DropTableStatement() : Statement(kKind) {}
+
+  std::string table;
+  bool if_exists = false;
+
+  StatementPtr CloneStatement() const override;
+};
+
+struct DropIndexStatement : Statement {
+  static constexpr StatementKind kKind = StatementKind::kDropIndex;
+  DropIndexStatement() : Statement(kKind) {}
+
+  std::string index;
+  bool if_exists = false;
+
+  StatementPtr CloneStatement() const override;
+};
+
+/// \brief Non-validating fallback: the token run of an unparseable statement.
+struct UnknownStatement : Statement {
+  static constexpr StatementKind kKind = StatementKind::kUnknown;
+  UnknownStatement() : Statement(kKind) {}
+
+  std::vector<Token> tokens;
+
+  StatementPtr CloneStatement() const override;
+};
+
+}  // namespace sqlcheck::sql

@@ -1,0 +1,92 @@
+#include "sql/extractor.h"
+
+#include "common/strings.h"
+#include "sql/splitter.h"
+
+namespace sqlcheck::sql {
+
+namespace {
+
+bool LooksLikeSql(std::string_view text) {
+  std::string_view t = Trim(text);
+  static constexpr std::string_view kVerbs[] = {
+      "select ", "insert ", "update ", "delete ", "create ",
+      "alter ",  "drop ",   "replace ", "with ",
+  };
+  for (std::string_view verb : kVerbs) {
+    if (StartsWithIgnoreCase(t, verb)) return true;
+  }
+  return false;
+}
+
+/// Scans one host-language string literal starting at `pos` (which points at
+/// the opening quote). Returns the literal body and advances `pos` past it.
+std::string ScanHostString(std::string_view source, size_t& pos) {
+  char quote = source[pos];
+  // Python triple quotes.
+  bool triple = pos + 2 < source.size() && source[pos + 1] == quote && source[pos + 2] == quote;
+  std::string body;
+  if (triple) {
+    pos += 3;
+    while (pos + 2 < source.size() &&
+           !(source[pos] == quote && source[pos + 1] == quote && source[pos + 2] == quote)) {
+      body.push_back(source[pos]);
+      ++pos;
+    }
+    pos = pos + 2 < source.size() ? pos + 3 : source.size();
+    return body;
+  }
+  ++pos;
+  while (pos < source.size() && source[pos] != quote) {
+    if (source[pos] == '\\' && pos + 1 < source.size()) {
+      char esc = source[pos + 1];
+      body.push_back(esc == 'n' || esc == 't' || esc == 'r' ? ' ' : esc);
+      pos += 2;
+      continue;
+    }
+    if (source[pos] == '\n') {
+      // Unterminated single-line literal; bail at line end.
+      break;
+    }
+    body.push_back(source[pos]);
+    ++pos;
+  }
+  if (pos < source.size()) ++pos;
+  return body;
+}
+
+}  // namespace
+
+std::vector<EmbeddedSql> ExtractEmbeddedSql(std::string_view source) {
+  std::vector<EmbeddedSql> out;
+  size_t pos = 0;
+  while (pos < source.size()) {
+    char c = source[pos];
+    if (c == '\'' || c == '"') {
+      size_t literal_start = pos;
+      std::string body = ScanHostString(source, pos);
+      if (LooksLikeSql(body)) {
+        for (std::string& piece : SplitStatements(body)) {
+          EmbeddedSql found;
+          found.sql = std::move(piece);
+          found.offset = literal_start;
+          out.push_back(std::move(found));
+        }
+      }
+      continue;
+    }
+    // Skip host-language line comments so commented-out SQL is not counted.
+    if (c == '/' && pos + 1 < source.size() && source[pos + 1] == '/') {
+      while (pos < source.size() && source[pos] != '\n') ++pos;
+      continue;
+    }
+    if (c == '#') {
+      while (pos < source.size() && source[pos] != '\n') ++pos;
+      continue;
+    }
+    ++pos;
+  }
+  return out;
+}
+
+}  // namespace sqlcheck::sql

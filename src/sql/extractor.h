@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sqlcheck::sql {
+
+/// \brief One embedded SQL statement recovered from application source code.
+struct EmbeddedSql {
+  std::string sql;
+  size_t offset = 0;  ///< Byte offset of the host string literal.
+};
+
+/// \brief Extracts string-quoted embedded SQL statements from application
+/// source code (Python/Java/PHP/JS-style), mirroring the paper's GitHub
+/// pipeline (§8.1): scan for string literals, keep the ones that start with a
+/// SQL verb, and split multi-statement strings.
+std::vector<EmbeddedSql> ExtractEmbeddedSql(std::string_view source);
+
+}  // namespace sqlcheck::sql

@@ -1,0 +1,286 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace sqlcheck::sql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == '$';
+}
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+class LexerImpl {
+ public:
+  LexerImpl(std::string_view sql, const LexerOptions& options)
+      : sql_(sql), options_(options) {}
+
+  std::vector<Token> Run() {
+    std::vector<Token> out;
+    while (pos_ < sql_.size()) {
+      size_t start = pos_;
+      char c = sql_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '-' && Peek(1) == '-') {
+        LexLineComment(start, out);
+        continue;
+      }
+      if (c == '#') {
+        LexLineComment(start, out);
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        LexBlockComment(start, out);
+        continue;
+      }
+      if (c == '\'') {
+        LexSingleQuoted(start, out);
+        continue;
+      }
+      if (c == '"' || c == '`') {
+        LexQuotedIdentifier(start, c, out);
+        continue;
+      }
+      if (c == '[') {
+        LexBracketIdentifier(start, out);
+        continue;
+      }
+      if (c == '$' && (Peek(1) == '$' || IsIdentStart(Peek(1)))) {
+        if (LexDollarQuoted(start, out)) continue;
+        // Fall through: not a dollar-quote after all.
+      }
+      if (c == '$' && IsDigit(Peek(1))) {
+        LexNumberedParam(start, out);
+        continue;
+      }
+      if (c == '?') {
+        Emit(out, TokenKind::kParam, "?", start, 1);
+        ++pos_;
+        continue;
+      }
+      if (c == '%' && Peek(1) == 's') {
+        Emit(out, TokenKind::kParam, "%s", start, 2);
+        pos_ += 2;
+        continue;
+      }
+      if (c == ':' && IsIdentStart(Peek(1))) {
+        LexNamedParam(start, out);
+        continue;
+      }
+      if (IsDigit(c) || (c == '.' && IsDigit(Peek(1)))) {
+        LexNumber(start, out);
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        LexWord(start, out);
+        continue;
+      }
+      LexOperatorOrPunct(start, out);
+    }
+    Token end;
+    end.kind = TokenKind::kEnd;
+    end.offset = sql_.size();
+    out.push_back(end);
+    return out;
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < sql_.size() ? sql_[pos_ + ahead] : '\0';
+  }
+
+  void Emit(std::vector<Token>& out, TokenKind kind, std::string text, size_t start,
+            size_t length) {
+    if (kind == TokenKind::kComment && !options_.keep_comments) return;
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.offset = start;
+    t.length = length;
+    out.push_back(std::move(t));
+  }
+
+  void LexLineComment(size_t start, std::vector<Token>& out) {
+    while (pos_ < sql_.size() && sql_[pos_] != '\n') ++pos_;
+    Emit(out, TokenKind::kComment, std::string(sql_.substr(start, pos_ - start)), start,
+         pos_ - start);
+  }
+
+  void LexBlockComment(size_t start, std::vector<Token>& out) {
+    pos_ += 2;
+    while (pos_ + 1 < sql_.size() && !(sql_[pos_] == '*' && sql_[pos_ + 1] == '/')) ++pos_;
+    pos_ = pos_ + 1 < sql_.size() ? pos_ + 2 : sql_.size();
+    Emit(out, TokenKind::kComment, std::string(sql_.substr(start, pos_ - start)), start,
+         pos_ - start);
+  }
+
+  void LexSingleQuoted(size_t start, std::vector<Token>& out) {
+    ++pos_;  // opening quote
+    std::string text;
+    while (pos_ < sql_.size()) {
+      char c = sql_[pos_];
+      if (c == '\\' && pos_ + 1 < sql_.size()) {
+        // MySQL-style backslash escape: keep the escaped char literally.
+        text.push_back(sql_[pos_ + 1]);
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\'') {
+        if (Peek(1) == '\'') {  // doubled-quote escape
+          text.push_back('\'');
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        break;
+      }
+      text.push_back(c);
+      ++pos_;
+    }
+    Emit(out, TokenKind::kString, std::move(text), start, pos_ - start);
+  }
+
+  void LexQuotedIdentifier(size_t start, char quote, std::vector<Token>& out) {
+    ++pos_;
+    std::string text;
+    while (pos_ < sql_.size()) {
+      char c = sql_[pos_];
+      if (c == quote) {
+        if (Peek(1) == quote) {
+          text.push_back(quote);
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        break;
+      }
+      text.push_back(c);
+      ++pos_;
+    }
+    Emit(out, TokenKind::kQuotedIdentifier, std::move(text), start, pos_ - start);
+  }
+
+  void LexBracketIdentifier(size_t start, std::vector<Token>& out) {
+    ++pos_;
+    std::string text;
+    while (pos_ < sql_.size() && sql_[pos_] != ']') {
+      text.push_back(sql_[pos_]);
+      ++pos_;
+    }
+    if (pos_ < sql_.size()) ++pos_;  // closing bracket
+    Emit(out, TokenKind::kQuotedIdentifier, std::move(text), start, pos_ - start);
+  }
+
+  /// PostgreSQL $tag$...$tag$ strings. Returns false if this is not actually a
+  /// dollar quote (e.g. `$foo` used as an identifier character elsewhere).
+  bool LexDollarQuoted(size_t start, std::vector<Token>& out) {
+    size_t tag_end = pos_ + 1;
+    while (tag_end < sql_.size() && IsIdentChar(sql_[tag_end]) && sql_[tag_end] != '$') {
+      ++tag_end;
+    }
+    if (tag_end >= sql_.size() || sql_[tag_end] != '$') return false;
+    std::string tag(sql_.substr(pos_, tag_end - pos_ + 1));  // includes both $s
+    size_t body_start = tag_end + 1;
+    size_t close = sql_.find(tag, body_start);
+    if (close == std::string_view::npos) {
+      // Unterminated: take the rest of the input as the string body.
+      close = sql_.size();
+      Emit(out, TokenKind::kString, std::string(sql_.substr(body_start)), start,
+           sql_.size() - start);
+      pos_ = sql_.size();
+      return true;
+    }
+    Emit(out, TokenKind::kString, std::string(sql_.substr(body_start, close - body_start)),
+         start, close + tag.size() - start);
+    pos_ = close + tag.size();
+    return true;
+  }
+
+  void LexNumberedParam(size_t start, std::vector<Token>& out) {
+    ++pos_;  // '$'
+    while (pos_ < sql_.size() && IsDigit(sql_[pos_])) ++pos_;
+    Emit(out, TokenKind::kParam, std::string(sql_.substr(start, pos_ - start)), start,
+         pos_ - start);
+  }
+
+  void LexNamedParam(size_t start, std::vector<Token>& out) {
+    ++pos_;  // ':'
+    while (pos_ < sql_.size() && IsIdentChar(sql_[pos_])) ++pos_;
+    Emit(out, TokenKind::kParam, std::string(sql_.substr(start, pos_ - start)), start,
+         pos_ - start);
+  }
+
+  void LexNumber(size_t start, std::vector<Token>& out) {
+    bool seen_dot = false;
+    bool seen_exp = false;
+    while (pos_ < sql_.size()) {
+      char c = sql_[pos_];
+      if (IsDigit(c)) {
+        ++pos_;
+      } else if (c == '.' && !seen_dot && !seen_exp) {
+        seen_dot = true;
+        ++pos_;
+      } else if ((c == 'e' || c == 'E') && !seen_exp && pos_ > start &&
+                 (IsDigit(Peek(1)) || ((Peek(1) == '+' || Peek(1) == '-') && IsDigit(Peek(2))))) {
+        seen_exp = true;
+        pos_ += (Peek(1) == '+' || Peek(1) == '-') ? 2 : 1;
+      } else {
+        break;
+      }
+    }
+    Emit(out, TokenKind::kNumber, std::string(sql_.substr(start, pos_ - start)), start,
+         pos_ - start);
+  }
+
+  void LexWord(size_t start, std::vector<Token>& out) {
+    while (pos_ < sql_.size() && IsIdentChar(sql_[pos_])) ++pos_;
+    std::string word(sql_.substr(start, pos_ - start));
+    TokenKind kind = IsSqlKeyword(word) ? TokenKind::kKeyword : TokenKind::kIdentifier;
+    Emit(out, kind, std::move(word), start, pos_ - start);
+  }
+
+  void LexOperatorOrPunct(size_t start, std::vector<Token>& out) {
+    char c = sql_[pos_];
+    switch (c) {
+      case ',': Emit(out, TokenKind::kComma, ",", start, 1); ++pos_; return;
+      case '(': Emit(out, TokenKind::kLeftParen, "(", start, 1); ++pos_; return;
+      case ')': Emit(out, TokenKind::kRightParen, ")", start, 1); ++pos_; return;
+      case ';': Emit(out, TokenKind::kSemicolon, ";", start, 1); ++pos_; return;
+      case '.': Emit(out, TokenKind::kDot, ".", start, 1); ++pos_; return;
+      default: break;
+    }
+    // Multi-character operators, longest match first.
+    static constexpr std::string_view kMulti[] = {"||", "==", "!=", "<>", "<=", ">=",
+                                                  "::", "->>", "->", "~*", "!~*", "!~"};
+    for (std::string_view op : kMulti) {
+      if (sql_.substr(pos_).substr(0, op.size()) == op) {
+        Emit(out, TokenKind::kOperator, std::string(op), start, op.size());
+        pos_ += op.size();
+        return;
+      }
+    }
+    Emit(out, TokenKind::kOperator, std::string(1, c), start, 1);
+    ++pos_;
+  }
+
+  std::string_view sql_;
+  LexerOptions options_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<Token> Lex(std::string_view sql, const LexerOptions& options) {
+  return LexerImpl(sql, options).Run();
+}
+
+}  // namespace sqlcheck::sql

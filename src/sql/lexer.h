@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "sql/token.h"
+
+namespace sqlcheck::sql {
+
+/// \brief Options controlling lexing behaviour.
+struct LexerOptions {
+  bool keep_comments = false;  ///< Emit kComment tokens instead of skipping.
+};
+
+/// \brief Dialect-tolerant, non-validating SQL lexer.
+///
+/// Accepts PostgreSQL / MySQL / SQLite / SQL Server flavored input: all four
+/// identifier-quoting styles, `--` / `#` / `/* */` comments, dollar-quoted
+/// strings, and the common bind-parameter spellings (`?`, `%s`, `:name`,
+/// `$1`). Never fails: unknown bytes lex as single-character operators so the
+/// parser always has a token stream to work with.
+std::vector<Token> Lex(std::string_view sql, const LexerOptions& options = {});
+
+}  // namespace sqlcheck::sql

@@ -1,0 +1,1012 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "sql/lexer.h"
+#include "sql/splitter.h"
+
+namespace sqlcheck::sql {
+
+namespace {
+
+/// Recursive-descent parser over the lexed token stream. `ok_` latches false
+/// on the first construct we cannot handle; the caller then falls back to an
+/// UnknownStatement so detection rules degrade gracefully instead of erroring.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatementPtr Parse(std::string_view raw) {
+    StatementPtr stmt = ParseStatementTop();
+    // Trailing semicolon is fine; anything else unparsed means we mis-read.
+    Match(TokenKind::kSemicolon);
+    if (!ok_ || stmt == nullptr || !Peek().Is(TokenKind::kEnd)) {
+      auto unknown = std::make_unique<UnknownStatement>();
+      unknown->tokens = tokens_;
+      unknown->raw_sql = std::string(Trim(raw));
+      return unknown;
+    }
+    stmt->raw_sql = std::string(Trim(raw));
+    return stmt;
+  }
+
+ private:
+  // ------------------------------ plumbing --------------------------------
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() {
+    const Token& t = Peek();
+    if (pos_ < tokens_.size() - 1) ++pos_;
+    return t;
+  }
+  bool Match(TokenKind kind) {
+    if (Peek().Is(kind)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool MatchKeyword(std::string_view kw) {
+    if (Peek().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool MatchOperator(std::string_view op) {
+    if (Peek().IsOperator(op)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  void Expect(TokenKind kind) {
+    if (!Match(kind)) ok_ = false;
+  }
+  void ExpectKeyword(std::string_view kw) {
+    if (!MatchKeyword(kw)) ok_ = false;
+  }
+
+  /// Accepts identifiers, quoted identifiers, and (dialect-tolerantly) any
+  /// keyword used as a name (e.g. a column called "type" or "key").
+  std::string ParseName() {
+    const Token& t = Peek();
+    if (t.Is(TokenKind::kIdentifier) || t.Is(TokenKind::kQuotedIdentifier) ||
+        t.Is(TokenKind::kKeyword)) {
+      return Advance().text;
+    }
+    ok_ = false;
+    return "";
+  }
+
+  /// Strict variant: keywords are NOT acceptable (used where a keyword is a
+  /// legitimate clause boundary, e.g. after a table name).
+  std::string ParseStrictName() {
+    const Token& t = Peek();
+    if (t.Is(TokenKind::kIdentifier) || t.Is(TokenKind::kQuotedIdentifier)) {
+      return Advance().text;
+    }
+    ok_ = false;
+    return "";
+  }
+
+  std::optional<int64_t> ParseIntLiteral() {
+    if (Peek().Is(TokenKind::kNumber)) {
+      return std::strtoll(Advance().text.c_str(), nullptr, 10);
+    }
+    return std::nullopt;
+  }
+
+  // ----------------------------- statements -------------------------------
+  StatementPtr ParseStatementTop() {
+    const Token& t = Peek();
+    if (t.IsKeyword("select")) return ParseSelect();
+    if (t.IsKeyword("insert") || t.IsKeyword("replace")) return ParseInsert();
+    if (t.IsKeyword("update")) return ParseUpdate();
+    if (t.IsKeyword("delete")) return ParseDelete();
+    if (t.IsKeyword("create")) return ParseCreate();
+    if (t.IsKeyword("alter")) return ParseAlter();
+    if (t.IsKeyword("drop")) return ParseDrop();
+    ok_ = false;
+    return nullptr;
+  }
+
+  std::unique_ptr<SelectStatement> ParseSelect() {
+    ExpectKeyword("select");
+    auto stmt = std::make_unique<SelectStatement>();
+    if (MatchKeyword("distinct")) stmt->distinct = true;
+    MatchKeyword("all");
+
+    // Select list.
+    do {
+      SelectItem item;
+      item.expr = ParseExpr();
+      if (MatchKeyword("as")) {
+        item.alias = ParseName();
+      } else if (Peek().Is(TokenKind::kIdentifier) || Peek().Is(TokenKind::kQuotedIdentifier)) {
+        item.alias = Advance().text;
+      }
+      stmt->items.push_back(std::move(item));
+    } while (Match(TokenKind::kComma));
+
+    if (MatchKeyword("from")) {
+      stmt->from.push_back(ParseTableRef());
+      while (true) {
+        if (Match(TokenKind::kComma)) {
+          stmt->from.push_back(ParseTableRef());
+          continue;
+        }
+        std::optional<JoinType> jt = TryParseJoinPrefix();
+        if (!jt.has_value()) break;
+        JoinClause join;
+        join.type = *jt;
+        join.table = ParseTableRef();
+        if (MatchKeyword("on")) {
+          join.on = ParseExpr();
+        } else if (MatchKeyword("using")) {
+          Expect(TokenKind::kLeftParen);
+          do {
+            join.using_columns.push_back(ParseName());
+          } while (Match(TokenKind::kComma));
+          Expect(TokenKind::kRightParen);
+        }
+        stmt->joins.push_back(std::move(join));
+      }
+    }
+
+    if (MatchKeyword("where")) stmt->where = ParseExpr();
+    if (MatchKeyword("group")) {
+      ExpectKeyword("by");
+      do {
+        stmt->group_by.push_back(ParseExpr());
+      } while (Match(TokenKind::kComma));
+    }
+    if (MatchKeyword("having")) stmt->having = ParseExpr();
+    if (MatchKeyword("order")) {
+      ExpectKeyword("by");
+      do {
+        OrderItem item;
+        item.expr = ParseExpr();
+        if (MatchKeyword("desc")) {
+          item.descending = true;
+        } else {
+          MatchKeyword("asc");
+        }
+        stmt->order_by.push_back(std::move(item));
+      } while (Match(TokenKind::kComma));
+    }
+    if (MatchKeyword("limit")) {
+      stmt->limit = ParseIntLiteral();
+      if (Match(TokenKind::kComma)) {  // MySQL LIMIT off, count
+        stmt->offset = stmt->limit;
+        stmt->limit = ParseIntLiteral();
+      }
+    }
+    if (MatchKeyword("offset")) stmt->offset = ParseIntLiteral();
+    return stmt;
+  }
+
+  std::optional<JoinType> TryParseJoinPrefix() {
+    size_t save = pos_;
+    JoinType type = JoinType::kInner;
+    if (MatchKeyword("inner")) {
+      type = JoinType::kInner;
+    } else if (MatchKeyword("left")) {
+      MatchKeyword("outer");
+      type = JoinType::kLeft;
+    } else if (MatchKeyword("right")) {
+      MatchKeyword("outer");
+      type = JoinType::kRight;
+    } else if (MatchKeyword("full")) {
+      MatchKeyword("outer");
+      type = JoinType::kFull;
+    } else if (MatchKeyword("cross")) {
+      type = JoinType::kCross;
+    }
+    if (MatchKeyword("join")) return type;
+    pos_ = save;
+    return std::nullopt;
+  }
+
+  TableRef ParseTableRef() {
+    TableRef ref;
+    if (Match(TokenKind::kLeftParen)) {
+      if (Peek().IsKeyword("select")) {
+        ref.subquery = ParseSelect();
+        Expect(TokenKind::kRightParen);
+      } else {
+        ok_ = false;
+        return ref;
+      }
+    } else {
+      ref.name = ParseStrictName();
+      while (Match(TokenKind::kDot)) {
+        // schema-qualified: keep only the last component as the table name.
+        ref.name = ParseStrictName();
+      }
+    }
+    if (MatchKeyword("as")) {
+      ref.alias = ParseName();
+    } else if (Peek().Is(TokenKind::kIdentifier) || Peek().Is(TokenKind::kQuotedIdentifier)) {
+      ref.alias = Advance().text;
+    }
+    return ref;
+  }
+
+  std::unique_ptr<InsertStatement> ParseInsert() {
+    auto stmt = std::make_unique<InsertStatement>();
+    if (MatchKeyword("replace")) {
+      stmt->or_replace = true;
+    } else {
+      ExpectKeyword("insert");
+      if (MatchKeyword("or")) {
+        if (MatchKeyword("replace")) stmt->or_replace = true;
+        else MatchKeyword("ignore");
+      }
+      MatchKeyword("ignore");
+    }
+    MatchKeyword("into");
+    stmt->table = ParseStrictName();
+    while (Match(TokenKind::kDot)) stmt->table = ParseStrictName();
+
+    if (Peek().Is(TokenKind::kLeftParen)) {
+      // Could be a column list or directly a SELECT subquery.
+      size_t save = pos_;
+      Advance();
+      if (Peek().IsKeyword("select")) {
+        pos_ = save;
+      } else {
+        do {
+          stmt->columns.push_back(ParseName());
+        } while (Match(TokenKind::kComma));
+        Expect(TokenKind::kRightParen);
+      }
+    }
+
+    if (MatchKeyword("values")) {
+      do {
+        Expect(TokenKind::kLeftParen);
+        std::vector<ExprPtr> row;
+        if (!Peek().Is(TokenKind::kRightParen)) {
+          do {
+            row.push_back(ParseExpr());
+          } while (Match(TokenKind::kComma));
+        }
+        Expect(TokenKind::kRightParen);
+        stmt->rows.push_back(std::move(row));
+      } while (Match(TokenKind::kComma));
+    } else if (Peek().IsKeyword("select")) {
+      stmt->select = ParseSelect();
+    } else if (Match(TokenKind::kLeftParen)) {
+      if (Peek().IsKeyword("select")) {
+        stmt->select = ParseSelect();
+        Expect(TokenKind::kRightParen);
+      } else {
+        ok_ = false;
+      }
+    } else {
+      ok_ = false;
+    }
+    // ON CONFLICT / RETURNING etc. — tolerated by skipping to end.
+    SkipToStatementEnd();
+    return stmt;
+  }
+
+  std::unique_ptr<UpdateStatement> ParseUpdate() {
+    ExpectKeyword("update");
+    auto stmt = std::make_unique<UpdateStatement>();
+    stmt->table = ParseStrictName();
+    while (Match(TokenKind::kDot)) stmt->table = ParseStrictName();
+    if (MatchKeyword("as")) {
+      stmt->alias = ParseName();
+    } else if (Peek().Is(TokenKind::kIdentifier)) {
+      stmt->alias = Advance().text;
+    }
+    ExpectKeyword("set");
+    do {
+      std::string col = ParseName();
+      while (Match(TokenKind::kDot)) col = ParseName();
+      if (!MatchOperator("=")) ok_ = false;
+      stmt->assignments.emplace_back(std::move(col), ParseExpr());
+    } while (Match(TokenKind::kComma));
+    if (MatchKeyword("where")) stmt->where = ParseExpr();
+    SkipToStatementEnd();
+    return stmt;
+  }
+
+  std::unique_ptr<DeleteStatement> ParseDelete() {
+    ExpectKeyword("delete");
+    ExpectKeyword("from");
+    auto stmt = std::make_unique<DeleteStatement>();
+    stmt->table = ParseStrictName();
+    while (Match(TokenKind::kDot)) stmt->table = ParseStrictName();
+    if (MatchKeyword("where")) stmt->where = ParseExpr();
+    SkipToStatementEnd();
+    return stmt;
+  }
+
+  StatementPtr ParseCreate() {
+    ExpectKeyword("create");
+    MatchKeyword("temporary");
+    MatchKeyword("temp");
+    bool unique = MatchKeyword("unique");
+    if (MatchKeyword("index")) return ParseCreateIndex(unique);
+    if (unique) {
+      ok_ = false;
+      return nullptr;
+    }
+    if (MatchKeyword("table")) return ParseCreateTable();
+    ok_ = false;  // CREATE VIEW / TRIGGER / ... -> Unknown fallback.
+    return nullptr;
+  }
+
+  std::unique_ptr<CreateIndexStatement> ParseCreateIndex(bool unique) {
+    auto stmt = std::make_unique<CreateIndexStatement>();
+    stmt->unique = unique;
+    if (MatchKeyword("if")) {
+      ExpectKeyword("not");
+      ExpectKeyword("exists");
+      stmt->if_not_exists = true;
+    }
+    stmt->index = ParseStrictName();
+    ExpectKeyword("on");
+    stmt->table = ParseStrictName();
+    while (Match(TokenKind::kDot)) stmt->table = ParseStrictName();
+    Expect(TokenKind::kLeftParen);
+    do {
+      stmt->columns.push_back(ParseName());
+      MatchKeyword("asc");
+      MatchKeyword("desc");
+    } while (Match(TokenKind::kComma));
+    Expect(TokenKind::kRightParen);
+    SkipToStatementEnd();
+    return stmt;
+  }
+
+  std::unique_ptr<CreateTableStatement> ParseCreateTable() {
+    auto stmt = std::make_unique<CreateTableStatement>();
+    if (MatchKeyword("if")) {
+      ExpectKeyword("not");
+      ExpectKeyword("exists");
+      stmt->if_not_exists = true;
+    }
+    stmt->table = ParseStrictName();
+    while (Match(TokenKind::kDot)) stmt->table = ParseStrictName();
+    Expect(TokenKind::kLeftParen);
+    do {
+      if (IsTableConstraintStart()) {
+        stmt->constraints.push_back(ParseTableConstraint());
+      } else {
+        stmt->columns.push_back(ParseColumnDef());
+      }
+    } while (Match(TokenKind::kComma));
+    Expect(TokenKind::kRightParen);
+    SkipToStatementEnd();  // engine=..., WITHOUT ROWID, etc.
+    return stmt;
+  }
+
+  bool IsTableConstraintStart() const {
+    const Token& t = Peek();
+    if (t.IsKeyword("constraint")) return true;
+    if (t.IsKeyword("primary") && Peek(1).IsKeyword("key")) return true;
+    if (t.IsKeyword("foreign") && Peek(1).IsKeyword("key")) return true;
+    if (t.IsKeyword("unique") && Peek(1).Is(TokenKind::kLeftParen)) return true;
+    if (t.IsKeyword("check") && Peek(1).Is(TokenKind::kLeftParen)) return true;
+    return false;
+  }
+
+  TableConstraintAst ParseTableConstraint() {
+    TableConstraintAst c;
+    if (MatchKeyword("constraint")) c.name = ParseName();
+    if (MatchKeyword("primary")) {
+      ExpectKeyword("key");
+      c.kind = TableConstraintKind::kPrimaryKey;
+      Expect(TokenKind::kLeftParen);
+      do {
+        c.columns.push_back(ParseName());
+      } while (Match(TokenKind::kComma));
+      Expect(TokenKind::kRightParen);
+    } else if (MatchKeyword("foreign")) {
+      ExpectKeyword("key");
+      c.kind = TableConstraintKind::kForeignKey;
+      Expect(TokenKind::kLeftParen);
+      do {
+        c.columns.push_back(ParseName());
+      } while (Match(TokenKind::kComma));
+      Expect(TokenKind::kRightParen);
+      ExpectKeyword("references");
+      c.reference = ParseForeignKeyTarget();
+    } else if (MatchKeyword("unique")) {
+      c.kind = TableConstraintKind::kUnique;
+      Expect(TokenKind::kLeftParen);
+      do {
+        c.columns.push_back(ParseName());
+      } while (Match(TokenKind::kComma));
+      Expect(TokenKind::kRightParen);
+    } else if (MatchKeyword("check")) {
+      c.kind = TableConstraintKind::kCheck;
+      Expect(TokenKind::kLeftParen);
+      c.check = ParseExpr();
+      Expect(TokenKind::kRightParen);
+    } else {
+      ok_ = false;
+    }
+    return c;
+  }
+
+  ForeignKeyRefAst ParseForeignKeyTarget() {
+    ForeignKeyRefAst ref;
+    ref.table = ParseStrictName();
+    while (Match(TokenKind::kDot)) ref.table = ParseStrictName();
+    if (Match(TokenKind::kLeftParen)) {
+      do {
+        ref.columns.push_back(ParseName());
+      } while (Match(TokenKind::kComma));
+      Expect(TokenKind::kRightParen);
+    }
+    while (MatchKeyword("on")) {
+      if (MatchKeyword("delete")) {
+        if (MatchKeyword("cascade")) {
+          ref.on_delete_cascade = true;
+        } else {
+          Advance();  // SET NULL / RESTRICT / NO ACTION — skip one word...
+          MatchKeyword("null");
+          MatchKeyword("action");
+        }
+      } else if (MatchKeyword("update")) {
+        MatchKeyword("cascade") || (Advance(), MatchKeyword("null"), MatchKeyword("action"));
+      } else {
+        break;
+      }
+    }
+    return ref;
+  }
+
+  ColumnDefAst ParseColumnDef() {
+    ColumnDefAst col;
+    col.name = ParseStrictName();
+    col.type = ParseTypeName();
+    // Column options in any order.
+    while (true) {
+      if (MatchKeyword("not")) {
+        ExpectKeyword("null");
+        col.not_null = true;
+      } else if (MatchKeyword("null")) {
+        // explicit NULLable
+      } else if (MatchKeyword("primary")) {
+        ExpectKeyword("key");
+        col.primary_key = true;
+      } else if (MatchKeyword("unique")) {
+        col.unique = true;
+      } else if (MatchKeyword("auto_increment") || MatchKeyword("autoincrement")) {
+        col.auto_increment = true;
+      } else if (MatchKeyword("default")) {
+        col.default_value = ParsePrimary();
+      } else if (MatchKeyword("references")) {
+        col.references = ParseForeignKeyTarget();
+      } else if (MatchKeyword("check")) {
+        Expect(TokenKind::kLeftParen);
+        col.check = ParseExpr();
+        Expect(TokenKind::kRightParen);
+      } else if (MatchKeyword("collate")) {
+        ParseName();
+      } else if (MatchKeyword("constraint")) {
+        ParseName();  // named inline constraint; the kind follows next loop.
+      } else {
+        break;
+      }
+    }
+    return col;
+  }
+
+  TypeName ParseTypeName() {
+    TypeName type;
+    const Token& t = Peek();
+    if (!(t.Is(TokenKind::kIdentifier) || t.Is(TokenKind::kKeyword))) {
+      ok_ = false;
+      return type;
+    }
+    type.name = Advance().text;
+    // Multi-word types: DOUBLE PRECISION, CHARACTER VARYING, TIMESTAMP WITH(OUT) TIME ZONE.
+    if (EqualsIgnoreCase(type.name, "double") && Peek().Is(TokenKind::kIdentifier) &&
+        EqualsIgnoreCase(Peek().text, "precision")) {
+      type.name += " " + Advance().text;
+    }
+    if (EqualsIgnoreCase(type.name, "character") && Peek().Is(TokenKind::kIdentifier) &&
+        EqualsIgnoreCase(Peek().text, "varying")) {
+      type.name += " " + Advance().text;
+    }
+    if (EqualsIgnoreCase(type.name, "enum") && Peek().Is(TokenKind::kLeftParen)) {
+      Advance();
+      do {
+        if (Peek().Is(TokenKind::kString)) {
+          type.enum_values.push_back(Advance().text);
+        } else {
+          ok_ = false;
+          break;
+        }
+      } while (Match(TokenKind::kComma));
+      Expect(TokenKind::kRightParen);
+    } else if (Match(TokenKind::kLeftParen)) {
+      do {
+        if (Peek().Is(TokenKind::kNumber)) {
+          type.params.push_back(std::strtoll(Advance().text.c_str(), nullptr, 10));
+        } else {
+          Advance();  // e.g. VARCHAR(MAX)
+        }
+      } while (Match(TokenKind::kComma));
+      Expect(TokenKind::kRightParen);
+    }
+    // TIMESTAMP/TIME WITH|WITHOUT TIME ZONE.
+    if (Peek().IsKeyword("with") && Peek(1).Is(TokenKind::kIdentifier) &&
+        EqualsIgnoreCase(Peek(1).text, "time")) {
+      Advance();
+      Advance();
+      if (Peek().Is(TokenKind::kIdentifier) && EqualsIgnoreCase(Peek().text, "zone")) Advance();
+      type.with_time_zone = true;
+    } else if (Peek().Is(TokenKind::kIdentifier) && EqualsIgnoreCase(Peek().text, "without")) {
+      Advance();
+      if (Peek().Is(TokenKind::kIdentifier) && EqualsIgnoreCase(Peek().text, "time")) Advance();
+      if (Peek().Is(TokenKind::kIdentifier) && EqualsIgnoreCase(Peek().text, "zone")) Advance();
+    }
+    return type;
+  }
+
+  StatementPtr ParseAlter() {
+    ExpectKeyword("alter");
+    ExpectKeyword("table");
+    auto stmt = std::make_unique<AlterTableStatement>();
+    if (MatchKeyword("if")) {
+      ExpectKeyword("exists");
+      stmt->if_exists = true;
+    }
+    stmt->table = ParseStrictName();
+    while (Match(TokenKind::kDot)) stmt->table = ParseStrictName();
+
+    if (MatchKeyword("add")) {
+      if (IsTableConstraintStart()) {
+        stmt->action = AlterAction::kAddConstraint;
+        stmt->constraint = ParseTableConstraint();
+      } else {
+        MatchKeyword("column");
+        stmt->action = AlterAction::kAddColumn;
+        stmt->column = ParseColumnDef();
+      }
+    } else if (MatchKeyword("drop")) {
+      if (MatchKeyword("constraint")) {
+        stmt->action = AlterAction::kDropConstraint;
+        if (MatchKeyword("if")) {
+          ExpectKeyword("exists");
+          stmt->if_exists = true;
+        }
+        stmt->target_name = ParseName();
+      } else {
+        MatchKeyword("column");
+        stmt->action = AlterAction::kDropColumn;
+        if (MatchKeyword("if")) {
+          ExpectKeyword("exists");
+          stmt->if_exists = true;
+        }
+        stmt->target_name = ParseName();
+      }
+    } else if (MatchKeyword("alter")) {
+      MatchKeyword("column");
+      stmt->action = AlterAction::kAlterColumnType;
+      stmt->column.name = ParseStrictName();
+      MatchKeyword("set");  // tolerate SET DATA TYPE
+      MatchKeyword("type");
+      if (Peek().Is(TokenKind::kIdentifier) && EqualsIgnoreCase(Peek().text, "data")) {
+        Advance();
+        MatchKeyword("type");
+      }
+      stmt->column.type = ParseTypeName();
+    } else if (MatchKeyword("modify")) {
+      MatchKeyword("column");
+      stmt->action = AlterAction::kAlterColumnType;
+      stmt->column.name = ParseStrictName();
+      stmt->column.type = ParseTypeName();
+    } else if (MatchKeyword("rename")) {
+      if (MatchKeyword("column")) {
+        stmt->action = AlterAction::kRenameColumn;
+        stmt->target_name = ParseStrictName();
+        ExpectKeyword("to");
+        stmt->new_name = ParseStrictName();
+      } else {
+        MatchKeyword("to");
+        stmt->action = AlterAction::kRenameTable;
+        stmt->new_name = ParseStrictName();
+      }
+    } else {
+      ok_ = false;
+    }
+    SkipToStatementEnd();
+    return stmt;
+  }
+
+  StatementPtr ParseDrop() {
+    ExpectKeyword("drop");
+    if (MatchKeyword("table")) {
+      auto stmt = std::make_unique<DropTableStatement>();
+      if (MatchKeyword("if")) {
+        ExpectKeyword("exists");
+        stmt->if_exists = true;
+      }
+      stmt->table = ParseStrictName();
+      SkipToStatementEnd();
+      return stmt;
+    }
+    if (MatchKeyword("index")) {
+      auto stmt = std::make_unique<DropIndexStatement>();
+      if (MatchKeyword("if")) {
+        ExpectKeyword("exists");
+        stmt->if_exists = true;
+      }
+      stmt->index = ParseStrictName();
+      SkipToStatementEnd();
+      return stmt;
+    }
+    ok_ = false;
+    return nullptr;
+  }
+
+  /// Tolerantly consumes any trailing clause we do not model (ENGINE=...,
+  /// RETURNING, ON CONFLICT...). A lone semicolon/end stops us.
+  void SkipToStatementEnd() {
+    while (!Peek().Is(TokenKind::kEnd) && !Peek().Is(TokenKind::kSemicolon)) Advance();
+  }
+
+  // ---------------------------- expressions -------------------------------
+  ExprPtr ParseExpr() { return ParseOr(); }
+
+  ExprPtr ParseOr() {
+    ExprPtr lhs = ParseAnd();
+    while (MatchKeyword("or")) {
+      lhs = MakeBinary("OR", std::move(lhs), ParseAnd());
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseAnd() {
+    ExprPtr lhs = ParseNot();
+    while (MatchKeyword("and")) {
+      lhs = MakeBinary("AND", std::move(lhs), ParseNot());
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseNot() {
+    if (MatchKeyword("not")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->text = "NOT";
+      e->children.push_back(ParseNot());
+      return e;
+    }
+    return ParseComparison();
+  }
+
+  ExprPtr ParseComparison() {
+    ExprPtr lhs = ParseAdditive();
+    while (true) {
+      const Token& t = Peek();
+      if (t.Is(TokenKind::kOperator) &&
+          (t.text == "=" || t.text == "==" || t.text == "!=" || t.text == "<>" ||
+           t.text == "<" || t.text == ">" || t.text == "<=" || t.text == ">=" ||
+           t.text == "~*" || t.text == "!~" || t.text == "!~*" || t.text == "~")) {
+        std::string op = Advance().text;
+        lhs = MakeBinary(std::move(op), std::move(lhs), ParseAdditive());
+        continue;
+      }
+      bool negated = false;
+      size_t save = pos_;
+      if (Peek().IsKeyword("not")) {
+        Advance();
+        negated = true;
+      }
+      if (MatchKeyword("like") || MatchKeyword("ilike") || MatchKeyword("regexp") ||
+          MatchKeyword("rlike")) {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kLike;
+        e->text = ToUpper(tokens_[pos_ - 1].text);
+        e->negated = negated;
+        e->children.push_back(std::move(lhs));
+        e->children.push_back(ParseAdditive());
+        if (MatchKeyword("escape")) ParsePrimary();
+        lhs = std::move(e);
+        continue;
+      }
+      if (MatchKeyword("similar")) {
+        ExpectKeyword("to");
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kLike;
+        e->text = "SIMILAR TO";
+        e->negated = negated;
+        e->children.push_back(std::move(lhs));
+        e->children.push_back(ParseAdditive());
+        lhs = std::move(e);
+        continue;
+      }
+      if (MatchKeyword("in")) {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kIn;
+        e->negated = negated;
+        e->children.push_back(std::move(lhs));
+        Expect(TokenKind::kLeftParen);
+        if (Peek().IsKeyword("select")) {
+          e->subquery = ParseSelect();
+        } else {
+          do {
+            e->children.push_back(ParseExpr());
+          } while (Match(TokenKind::kComma));
+        }
+        Expect(TokenKind::kRightParen);
+        lhs = std::move(e);
+        continue;
+      }
+      if (MatchKeyword("between")) {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kBetween;
+        e->negated = negated;
+        e->children.push_back(std::move(lhs));
+        e->children.push_back(ParseAdditive());
+        ExpectKeyword("and");
+        e->children.push_back(ParseAdditive());
+        lhs = std::move(e);
+        continue;
+      }
+      if (negated) {
+        pos_ = save;  // NOT belonged to something else.
+        break;
+      }
+      if (MatchKeyword("is")) {
+        bool is_not = MatchKeyword("not");
+        if (MatchKeyword("null")) {
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kIsNull;
+          e->negated = is_not;
+          e->children.push_back(std::move(lhs));
+          lhs = std::move(e);
+          continue;
+        }
+        // IS TRUE / IS FALSE / IS DISTINCT FROM — treat as binary with "IS".
+        lhs = MakeBinary(is_not ? "IS NOT" : "IS", std::move(lhs), ParseAdditive());
+        continue;
+      }
+      break;
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseAdditive() {
+    ExprPtr lhs = ParseMultiplicative();
+    while (true) {
+      if (MatchOperator("||")) {
+        lhs = MakeBinary("||", std::move(lhs), ParseMultiplicative());
+      } else if (MatchOperator("+")) {
+        lhs = MakeBinary("+", std::move(lhs), ParseMultiplicative());
+      } else if (MatchOperator("-")) {
+        lhs = MakeBinary("-", std::move(lhs), ParseMultiplicative());
+      } else {
+        break;
+      }
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseMultiplicative() {
+    ExprPtr lhs = ParseUnary();
+    while (true) {
+      if (MatchOperator("*")) {
+        lhs = MakeBinary("*", std::move(lhs), ParseUnary());
+      } else if (MatchOperator("/")) {
+        lhs = MakeBinary("/", std::move(lhs), ParseUnary());
+      } else if (MatchOperator("%")) {
+        lhs = MakeBinary("%", std::move(lhs), ParseUnary());
+      } else {
+        break;
+      }
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseUnary() {
+    if (MatchOperator("-")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->text = "-";
+      e->children.push_back(ParseUnary());
+      return ParsePostfix(std::move(e));
+    }
+    if (MatchOperator("+")) return ParseUnary();
+    return ParsePostfix(ParsePrimary());
+  }
+
+  ExprPtr ParsePostfix(ExprPtr base) {
+    while (MatchOperator("::")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kCast;
+      e->text = ParseTypeName().ToString();
+      e->children.push_back(std::move(base));
+      base = std::move(e);
+    }
+    return base;
+  }
+
+  ExprPtr ParsePrimary() {
+    const Token& t = Peek();
+    auto e = std::make_unique<Expr>();
+    switch (t.kind) {
+      case TokenKind::kNumber:
+        e->kind = ExprKind::kNumberLiteral;
+        e->text = Advance().text;
+        return e;
+      case TokenKind::kString:
+        e->kind = ExprKind::kStringLiteral;
+        e->text = Advance().text;
+        return e;
+      case TokenKind::kParam:
+        e->kind = ExprKind::kParam;
+        e->text = Advance().text;
+        return e;
+      case TokenKind::kLeftParen: {
+        Advance();
+        if (Peek().IsKeyword("select")) {
+          e->kind = ExprKind::kSubquery;
+          e->subquery = ParseSelect();
+        } else {
+          e = ParseExpr();
+        }
+        Expect(TokenKind::kRightParen);
+        return e;
+      }
+      default:
+        break;
+    }
+
+    if (t.IsKeyword("null")) {
+      Advance();
+      e->kind = ExprKind::kNullLiteral;
+      return e;
+    }
+    if (t.IsKeyword("true") || t.IsKeyword("false")) {
+      e->kind = ExprKind::kBoolLiteral;
+      e->text = ToLower(Advance().text);
+      return e;
+    }
+    if (t.IsKeyword("exists")) {
+      Advance();
+      Expect(TokenKind::kLeftParen);
+      e->kind = ExprKind::kExists;
+      if (Peek().IsKeyword("select")) {
+        e->subquery = ParseSelect();
+      } else {
+        ok_ = false;
+      }
+      Expect(TokenKind::kRightParen);
+      return e;
+    }
+    if (t.IsKeyword("case")) return ParseCase();
+    if (t.IsKeyword("cast")) {
+      Advance();
+      Expect(TokenKind::kLeftParen);
+      e->kind = ExprKind::kCast;
+      e->children.push_back(ParseExpr());
+      ExpectKeyword("as");
+      e->text = ParseTypeName().ToString();
+      Expect(TokenKind::kRightParen);
+      return e;
+    }
+    if (t.IsOperator("*")) {
+      Advance();
+      e->kind = ExprKind::kStar;
+      return e;
+    }
+
+    if (t.Is(TokenKind::kIdentifier) || t.Is(TokenKind::kQuotedIdentifier) ||
+        t.Is(TokenKind::kKeyword)) {
+      // Function call?
+      if (Peek(1).Is(TokenKind::kLeftParen) && !t.Is(TokenKind::kQuotedIdentifier)) {
+        std::string name = Advance().text;
+        Advance();  // '('
+        e->kind = ExprKind::kFunction;
+        e->text = std::move(name);
+        if (MatchKeyword("distinct")) e->distinct_arg = true;
+        if (!Peek().Is(TokenKind::kRightParen)) {
+          do {
+            if (Peek().IsOperator("*")) {
+              Advance();
+              auto star = std::make_unique<Expr>();
+              star->kind = ExprKind::kStar;
+              e->children.push_back(std::move(star));
+            } else {
+              e->children.push_back(ParseExpr());
+            }
+          } while (Match(TokenKind::kComma));
+        }
+        Expect(TokenKind::kRightParen);
+        return e;
+      }
+      // Column reference: a / a.b / a.b.c / a.* — bare keywords allowed only
+      // when they cannot start a clause (non-validating leniency).
+      if (t.Is(TokenKind::kKeyword) && !IsSafeKeywordAsName(t.text)) {
+        ok_ = false;
+        Advance();
+        return e;
+      }
+      e->kind = ExprKind::kColumnRef;
+      e->name_parts.push_back(Advance().text);
+      while (Match(TokenKind::kDot)) {
+        if (Peek().IsOperator("*")) {
+          Advance();
+          e->kind = ExprKind::kStar;
+          return e;
+        }
+        e->name_parts.push_back(ParseName());
+      }
+      return e;
+    }
+
+    ok_ = false;
+    Advance();
+    return e;
+  }
+
+  /// Keywords commonly used as bare column names in real schemas.
+  static bool IsSafeKeywordAsName(std::string_view word) {
+    static constexpr std::string_view kSafe[] = {
+        "key", "type", "column", "index", "view", "if", "replace", "ignore",
+        "enum", "check", "default", "unique", "limit", "offset", "values",
+        "begin", "end", "desc", "asc", "to",
+    };
+    for (std::string_view w : kSafe) {
+      if (EqualsIgnoreCase(word, w)) return true;
+    }
+    return false;
+  }
+
+  ExprPtr ParseCase() {
+    ExpectKeyword("case");
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kCase;
+    if (!Peek().IsKeyword("when")) {
+      e->children.push_back(ParseExpr());  // CASE <operand> WHEN ...
+      e->text = "operand";
+    }
+    while (MatchKeyword("when")) {
+      e->children.push_back(ParseExpr());
+      ExpectKeyword("then");
+      e->children.push_back(ParseExpr());
+    }
+    if (MatchKeyword("else")) {
+      e->children.push_back(ParseExpr());
+      e->negated = true;  // repurposed: marks the presence of an ELSE arm.
+    }
+    ExpectKeyword("end");
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+StatementPtr ParseStatement(std::string_view sql) {
+  Parser parser(Lex(sql));
+  return parser.Parse(sql);
+}
+
+std::vector<StatementPtr> ParseScript(std::string_view script) {
+  std::vector<StatementPtr> out;
+  for (const std::string& piece : SplitStatements(script)) {
+    if (Trim(piece).empty()) continue;
+    out.push_back(ParseStatement(piece));
+  }
+  return out;
+}
+
+}  // namespace sqlcheck::sql

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "sql/ast.h"
+
+namespace sqlcheck::sql {
+
+/// \brief Parses a single SQL statement.
+///
+/// Non-validating by design (mirroring the paper's use of `sqlparse`): the
+/// parser accepts any dialect it can make sense of, and anything it cannot
+/// parse comes back as an `UnknownStatement` carrying the raw token run so
+/// pattern-based rules still apply. This function never returns null.
+StatementPtr ParseStatement(std::string_view sql);
+
+/// \brief Splits `script` on statement boundaries and parses each statement.
+std::vector<StatementPtr> ParseScript(std::string_view script);
+
+}  // namespace sqlcheck::sql

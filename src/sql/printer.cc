@@ -1,0 +1,371 @@
+#include "sql/printer.h"
+
+#include "common/strings.h"
+
+namespace sqlcheck::sql {
+
+namespace {
+
+std::string QuoteString(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') out += "''";
+    else out.push_back(c);
+  }
+  out += "'";
+  return out;
+}
+
+/// Identifiers are emitted bare unless they need quoting.
+std::string PrintName(const std::string& name) {
+  bool needs_quotes = name.empty();
+  for (char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) needs_quotes = true;
+  }
+  if (needs_quotes) return "\"" + name + "\"";
+  return name;
+}
+
+std::string PrintSelectBody(const SelectStatement& s);
+
+std::string PrintTableRef(const TableRef& ref) {
+  std::string out;
+  if (ref.subquery) {
+    out = "(" + PrintSelectBody(*ref.subquery) + ")";
+  } else {
+    out = PrintName(ref.name);
+  }
+  if (!ref.alias.empty()) out += " AS " + PrintName(ref.alias);
+  return out;
+}
+
+const char* JoinTypeName(JoinType t) {
+  switch (t) {
+    case JoinType::kInner: return "JOIN";
+    case JoinType::kLeft: return "LEFT JOIN";
+    case JoinType::kRight: return "RIGHT JOIN";
+    case JoinType::kFull: return "FULL JOIN";
+    case JoinType::kCross: return "CROSS JOIN";
+  }
+  return "JOIN";
+}
+
+std::string PrintExprImpl(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kNullLiteral:
+      return "NULL";
+    case ExprKind::kBoolLiteral:
+      return e.text == "true" ? "TRUE" : "FALSE";
+    case ExprKind::kNumberLiteral:
+      return e.text;
+    case ExprKind::kStringLiteral:
+      return QuoteString(e.text);
+    case ExprKind::kParam:
+      return e.text;
+    case ExprKind::kColumnRef: {
+      std::vector<std::string> parts;
+      for (const auto& p : e.name_parts) parts.push_back(PrintName(p));
+      return Join(parts, ".");
+    }
+    case ExprKind::kStar:
+      if (!e.name_parts.empty()) return PrintName(e.name_parts.back()) + ".*";
+      return "*";
+    case ExprKind::kUnary:
+      if (EqualsIgnoreCase(e.text, "not")) return "NOT (" + PrintExprImpl(*e.children[0]) + ")";
+      return e.text + PrintExprImpl(*e.children[0]);
+    case ExprKind::kBinary:
+      return "(" + PrintExprImpl(*e.children[0]) + " " + e.text + " " +
+             PrintExprImpl(*e.children[1]) + ")";
+    case ExprKind::kLike:
+      return "(" + PrintExprImpl(*e.children[0]) + (e.negated ? " NOT " : " ") + e.text + " " +
+             PrintExprImpl(*e.children[1]) + ")";
+    case ExprKind::kIsNull:
+      return "(" + PrintExprImpl(*e.children[0]) + (e.negated ? " IS NOT NULL" : " IS NULL") +
+             ")";
+    case ExprKind::kIn: {
+      std::string out = "(" + PrintExprImpl(*e.children[0]) + (e.negated ? " NOT IN (" : " IN (");
+      if (e.subquery) {
+        out += PrintSelectBody(*e.subquery);
+      } else {
+        for (size_t i = 1; i < e.children.size(); ++i) {
+          if (i > 1) out += ", ";
+          out += PrintExprImpl(*e.children[i]);
+        }
+      }
+      return out + "))";
+    }
+    case ExprKind::kBetween:
+      return "(" + PrintExprImpl(*e.children[0]) + (e.negated ? " NOT BETWEEN " : " BETWEEN ") +
+             PrintExprImpl(*e.children[1]) + " AND " + PrintExprImpl(*e.children[2]) + ")";
+    case ExprKind::kFunction: {
+      std::string out = ToUpper(e.text) + "(";
+      if (e.distinct_arg) out += "DISTINCT ";
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += PrintExprImpl(*e.children[i]);
+      }
+      return out + ")";
+    }
+    case ExprKind::kCase: {
+      std::string out = "CASE";
+      size_t i = 0;
+      bool has_operand = e.text == "operand";
+      if (has_operand) {
+        out += " " + PrintExprImpl(*e.children[i++]);
+      }
+      size_t remaining = e.children.size() - i;
+      bool has_else = e.negated;
+      size_t pairs = (remaining - (has_else ? 1 : 0)) / 2;
+      for (size_t p = 0; p < pairs; ++p) {
+        out += " WHEN " + PrintExprImpl(*e.children[i]) + " THEN " +
+               PrintExprImpl(*e.children[i + 1]);
+        i += 2;
+      }
+      if (has_else) out += " ELSE " + PrintExprImpl(*e.children[i]);
+      return out + " END";
+    }
+    case ExprKind::kExists:
+      return "EXISTS (" + (e.subquery ? PrintSelectBody(*e.subquery) : "") + ")";
+    case ExprKind::kSubquery:
+      return "(" + (e.subquery ? PrintSelectBody(*e.subquery) : "") + ")";
+    case ExprKind::kCast:
+      return "CAST(" + PrintExprImpl(*e.children[0]) + " AS " + e.text + ")";
+    case ExprKind::kRaw: {
+      std::vector<std::string> words;
+      for (const Token& t : e.raw_tokens) {
+        if (!t.Is(TokenKind::kEnd)) words.push_back(t.text);
+      }
+      return Join(words, " ");
+    }
+  }
+  return "";
+}
+
+std::string PrintSelectBody(const SelectStatement& s) {
+  std::string out = "SELECT ";
+  if (s.distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < s.items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += PrintExprImpl(*s.items[i].expr);
+    if (!s.items[i].alias.empty()) out += " AS " + PrintName(s.items[i].alias);
+  }
+  if (!s.from.empty()) {
+    out += " FROM ";
+    for (size_t i = 0; i < s.from.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += PrintTableRef(s.from[i]);
+    }
+  }
+  for (const auto& j : s.joins) {
+    out += std::string(" ") + JoinTypeName(j.type) + " " + PrintTableRef(j.table);
+    if (j.on) {
+      out += " ON " + PrintExprImpl(*j.on);
+    } else if (!j.using_columns.empty()) {
+      std::vector<std::string> cols;
+      for (const auto& c : j.using_columns) cols.push_back(PrintName(c));
+      out += " USING (" + Join(cols, ", ") + ")";
+    }
+  }
+  if (s.where) out += " WHERE " + PrintExprImpl(*s.where);
+  if (!s.group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < s.group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += PrintExprImpl(*s.group_by[i]);
+    }
+  }
+  if (s.having) out += " HAVING " + PrintExprImpl(*s.having);
+  if (!s.order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < s.order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += PrintExprImpl(*s.order_by[i].expr);
+      if (s.order_by[i].descending) out += " DESC";
+    }
+  }
+  if (s.limit.has_value()) out += " LIMIT " + std::to_string(*s.limit);
+  if (s.offset.has_value()) out += " OFFSET " + std::to_string(*s.offset);
+  return out;
+}
+
+std::string PrintColumnDef(const ColumnDefAst& col) {
+  std::string out = PrintName(col.name) + " " + col.type.ToString();
+  if (col.primary_key) out += " PRIMARY KEY";
+  if (col.auto_increment) out += " AUTO_INCREMENT";
+  if (col.not_null) out += " NOT NULL";
+  if (col.unique) out += " UNIQUE";
+  if (col.default_value) out += " DEFAULT " + PrintExprImpl(*col.default_value);
+  if (col.check) out += " CHECK (" + PrintExprImpl(*col.check) + ")";
+  if (col.references.has_value()) {
+    out += " REFERENCES " + PrintName(col.references->table);
+    if (!col.references->columns.empty()) {
+      std::vector<std::string> cols;
+      for (const auto& c : col.references->columns) cols.push_back(PrintName(c));
+      out += "(" + Join(cols, ", ") + ")";
+    }
+    if (col.references->on_delete_cascade) out += " ON DELETE CASCADE";
+  }
+  return out;
+}
+
+std::string PrintTableConstraint(const TableConstraintAst& c) {
+  std::string out;
+  if (!c.name.empty()) out += "CONSTRAINT " + PrintName(c.name) + " ";
+  std::vector<std::string> cols;
+  for (const auto& col : c.columns) cols.push_back(PrintName(col));
+  switch (c.kind) {
+    case TableConstraintKind::kPrimaryKey:
+      out += "PRIMARY KEY (" + Join(cols, ", ") + ")";
+      break;
+    case TableConstraintKind::kForeignKey: {
+      out += "FOREIGN KEY (" + Join(cols, ", ") + ") REFERENCES " +
+             PrintName(c.reference.table);
+      if (!c.reference.columns.empty()) {
+        std::vector<std::string> ref_cols;
+        for (const auto& rc : c.reference.columns) ref_cols.push_back(PrintName(rc));
+        out += "(" + Join(ref_cols, ", ") + ")";
+      }
+      if (c.reference.on_delete_cascade) out += " ON DELETE CASCADE";
+      break;
+    }
+    case TableConstraintKind::kUnique:
+      out += "UNIQUE (" + Join(cols, ", ") + ")";
+      break;
+    case TableConstraintKind::kCheck:
+      out += "CHECK (" + (c.check ? PrintExprImpl(*c.check) : "") + ")";
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string PrintExpr(const Expr& expr) { return PrintExprImpl(expr); }
+
+std::string PrintStatement(const Statement& stmt) {
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      return PrintSelectBody(static_cast<const SelectStatement&>(stmt)) + ";";
+    case StatementKind::kInsert: {
+      const auto& s = static_cast<const InsertStatement&>(stmt);
+      std::string out = s.or_replace ? "REPLACE INTO " : "INSERT INTO ";
+      out += PrintName(s.table);
+      if (!s.columns.empty()) {
+        std::vector<std::string> cols;
+        for (const auto& c : s.columns) cols.push_back(PrintName(c));
+        out += " (" + Join(cols, ", ") + ")";
+      }
+      if (s.select) {
+        out += " " + PrintSelectBody(*s.select);
+      } else {
+        out += " VALUES ";
+        for (size_t r = 0; r < s.rows.size(); ++r) {
+          if (r > 0) out += ", ";
+          out += "(";
+          for (size_t i = 0; i < s.rows[r].size(); ++i) {
+            if (i > 0) out += ", ";
+            out += PrintExprImpl(*s.rows[r][i]);
+          }
+          out += ")";
+        }
+      }
+      return out + ";";
+    }
+    case StatementKind::kUpdate: {
+      const auto& s = static_cast<const UpdateStatement&>(stmt);
+      std::string out = "UPDATE " + PrintName(s.table);
+      if (!s.alias.empty()) out += " AS " + PrintName(s.alias);
+      out += " SET ";
+      for (size_t i = 0; i < s.assignments.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += PrintName(s.assignments[i].first) + " = " +
+               PrintExprImpl(*s.assignments[i].second);
+      }
+      if (s.where) out += " WHERE " + PrintExprImpl(*s.where);
+      return out + ";";
+    }
+    case StatementKind::kDelete: {
+      const auto& s = static_cast<const DeleteStatement&>(stmt);
+      std::string out = "DELETE FROM " + PrintName(s.table);
+      if (s.where) out += " WHERE " + PrintExprImpl(*s.where);
+      return out + ";";
+    }
+    case StatementKind::kCreateTable: {
+      const auto& s = static_cast<const CreateTableStatement&>(stmt);
+      std::string out = "CREATE TABLE ";
+      if (s.if_not_exists) out += "IF NOT EXISTS ";
+      out += PrintName(s.table) + " (";
+      bool first = true;
+      for (const auto& c : s.columns) {
+        if (!first) out += ", ";
+        first = false;
+        out += PrintColumnDef(c);
+      }
+      for (const auto& c : s.constraints) {
+        if (!first) out += ", ";
+        first = false;
+        out += PrintTableConstraint(c);
+      }
+      return out + ");";
+    }
+    case StatementKind::kCreateIndex: {
+      const auto& s = static_cast<const CreateIndexStatement&>(stmt);
+      std::string out = s.unique ? "CREATE UNIQUE INDEX " : "CREATE INDEX ";
+      if (s.if_not_exists) out += "IF NOT EXISTS ";
+      out += PrintName(s.index) + " ON " + PrintName(s.table) + " (";
+      std::vector<std::string> cols;
+      for (const auto& c : s.columns) cols.push_back(PrintName(c));
+      return out + Join(cols, ", ") + ");";
+    }
+    case StatementKind::kAlterTable: {
+      const auto& s = static_cast<const AlterTableStatement&>(stmt);
+      std::string out = "ALTER TABLE " + PrintName(s.table) + " ";
+      switch (s.action) {
+        case AlterAction::kAddColumn:
+          out += "ADD COLUMN " + PrintColumnDef(s.column);
+          break;
+        case AlterAction::kDropColumn:
+          out += "DROP COLUMN ";
+          if (s.if_exists) out += "IF EXISTS ";
+          out += PrintName(s.target_name);
+          break;
+        case AlterAction::kAddConstraint:
+          out += "ADD " + PrintTableConstraint(s.constraint);
+          break;
+        case AlterAction::kDropConstraint:
+          out += "DROP CONSTRAINT ";
+          if (s.if_exists) out += "IF EXISTS ";
+          out += PrintName(s.target_name);
+          break;
+        case AlterAction::kAlterColumnType:
+          out += "ALTER COLUMN " + PrintName(s.column.name) + " TYPE " +
+                 s.column.type.ToString();
+          break;
+        case AlterAction::kRenameTable:
+          out += "RENAME TO " + PrintName(s.new_name);
+          break;
+        case AlterAction::kRenameColumn:
+          out += "RENAME COLUMN " + PrintName(s.target_name) + " TO " + PrintName(s.new_name);
+          break;
+        case AlterAction::kUnknown:
+          break;
+      }
+      return out + ";";
+    }
+    case StatementKind::kDropTable: {
+      const auto& s = static_cast<const DropTableStatement&>(stmt);
+      return std::string("DROP TABLE ") + (s.if_exists ? "IF EXISTS " : "") +
+             PrintName(s.table) + ";";
+    }
+    case StatementKind::kDropIndex: {
+      const auto& s = static_cast<const DropIndexStatement&>(stmt);
+      return std::string("DROP INDEX ") + (s.if_exists ? "IF EXISTS " : "") +
+             PrintName(s.index) + ";";
+    }
+    case StatementKind::kUnknown:
+      return stmt.raw_sql;
+  }
+  return stmt.raw_sql;
+}
+
+}  // namespace sqlcheck::sql

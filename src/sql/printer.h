@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace sqlcheck::sql {
+
+/// \brief Renders an expression back to SQL text.
+std::string PrintExpr(const Expr& expr);
+
+/// \brief Renders a statement back to SQL text (single line, canonical
+/// keyword casing). Used by ap-fix to emit rewritten queries; a printed
+/// statement re-parses to an equivalent tree (property-tested).
+std::string PrintStatement(const Statement& stmt);
+
+}  // namespace sqlcheck::sql

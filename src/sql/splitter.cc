@@ -1,0 +1,31 @@
+#include "sql/splitter.h"
+
+#include "common/strings.h"
+#include "sql/lexer.h"
+
+namespace sqlcheck::sql {
+
+std::vector<std::string> SplitStatements(std::string_view script) {
+  // Lexing handles all the quoting/comment subtleties; we just cut the raw
+  // text at top-level semicolon token offsets.
+  LexerOptions options;
+  options.keep_comments = true;
+  std::vector<Token> tokens = Lex(script, options);
+
+  std::vector<std::string> out;
+  size_t piece_start = 0;
+  for (const Token& t : tokens) {
+    if (t.Is(TokenKind::kSemicolon)) {
+      std::string_view piece = script.substr(piece_start, t.offset - piece_start);
+      if (!Trim(piece).empty()) out.emplace_back(Trim(piece));
+      piece_start = t.offset + 1;
+    }
+  }
+  if (piece_start < script.size()) {
+    std::string_view piece = script.substr(piece_start);
+    if (!Trim(piece).empty()) out.emplace_back(Trim(piece));
+  }
+  return out;
+}
+
+}  // namespace sqlcheck::sql

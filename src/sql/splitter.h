@@ -1,0 +1,14 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sqlcheck::sql {
+
+/// \brief Splits a SQL script into individual statements on `;` boundaries,
+/// respecting string literals, quoted identifiers, and comments. Statements
+/// are returned without the trailing semicolon; empty pieces are dropped.
+std::vector<std::string> SplitStatements(std::string_view script);
+
+}  // namespace sqlcheck::sql

@@ -1,0 +1,66 @@
+#include "sql/token.h"
+
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace sqlcheck::sql {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kKeyword: return "keyword";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kQuotedIdentifier: return "quoted_identifier";
+    case TokenKind::kString: return "string";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kOperator: return "operator";
+    case TokenKind::kComma: return "comma";
+    case TokenKind::kLeftParen: return "lparen";
+    case TokenKind::kRightParen: return "rparen";
+    case TokenKind::kDot: return "dot";
+    case TokenKind::kSemicolon: return "semicolon";
+    case TokenKind::kParam: return "param";
+    case TokenKind::kComment: return "comment";
+    case TokenKind::kEnd: return "end";
+  }
+  return "unknown";
+}
+
+bool Token::IsKeyword(std::string_view kw) const {
+  return kind == TokenKind::kKeyword && EqualsIgnoreCase(text, kw);
+}
+
+bool IsSqlKeyword(std::string_view word) {
+  // Keyword table spanning the dialects sqlcheck targets (PostgreSQL, MySQL,
+  // SQLite, SQL Server). Non-validating: unknown words simply lex as
+  // identifiers, so this list only needs the words grammar rules key off.
+  static const std::unordered_set<std::string>* kKeywords = [] {
+    auto* s = new std::unordered_set<std::string>{
+        "select",     "from",       "where",      "group",      "by",
+        "having",     "order",      "limit",      "offset",     "insert",
+        "into",       "values",     "update",     "set",        "delete",
+        "create",     "table",      "index",      "view",       "drop",
+        "alter",      "add",        "column",     "constraint", "primary",
+        "key",        "foreign",    "references", "unique",     "check",
+        "not",        "null",       "default",    "and",        "or",
+        "in",         "between",    "like",       "ilike",      "regexp",
+        "rlike",      "similar",    "is",         "as",         "on",
+        "join",       "inner",      "left",       "right",      "full",
+        "outer",      "cross",      "natural",    "using",      "union",
+        "all",        "distinct",   "exists",     "case",       "when",
+        "then",       "else",       "end",        "asc",        "desc",
+        "if",         "cascade",    "restrict",   "true",       "false",
+        "enum",       "auto_increment", "autoincrement",        "serial",
+        "temporary",  "temp",       "escape",     "collate",    "rename",
+        "to",         "type",       "modify",     "change",     "with",
+        "recursive",  "returning",  "conflict",   "replace",    "ignore",
+        "explain",    "analyze",    "vacuum",     "begin",      "commit",
+        "rollback",   "transaction","grant",      "revoke",     "truncate",
+        "intersect",  "except",     "any",        "some",       "cast",
+    };
+    return s;
+  }();
+  return kKeywords->count(ToLower(word)) > 0;
+}
+
+}  // namespace sqlcheck::sql

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sqlcheck::sql {
+
+/// \brief Lexical classes produced by the non-validating lexer.
+enum class TokenKind {
+  kKeyword,           ///< Recognized SQL keyword (SELECT, FROM, ...).
+  kIdentifier,        ///< Bare identifier.
+  kQuotedIdentifier,  ///< "x", `x`, or [x] — quotes stripped in `text`.
+  kString,            ///< 'x' or $$x$$ — quotes stripped in `text`.
+  kNumber,            ///< Integer or real literal.
+  kOperator,          ///< +, -, *, /, %, ||, =, ==, <>, !=, <=, >=, ::, ...
+  kComma,
+  kLeftParen,
+  kRightParen,
+  kDot,
+  kSemicolon,
+  kParam,    ///< ?, %s, :name, $1 — bind parameter placeholder.
+  kComment,  ///< -- ..., # ..., /* ... */ (only kept when requested).
+  kEnd,      ///< End of input sentinel.
+};
+
+/// \brief Returns a stable human-readable name for a token kind.
+const char* TokenKindName(TokenKind kind);
+
+/// \brief One lexical token with its source span.
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    ///< Normalized payload (quotes stripped, keywords as written).
+  size_t offset = 0;   ///< Byte offset of the token start in the original SQL.
+  size_t length = 0;   ///< Byte length of the original lexeme (with quotes).
+
+  bool Is(TokenKind k) const { return kind == k; }
+
+  /// True if this is a keyword matching `kw` case-insensitively.
+  bool IsKeyword(std::string_view kw) const;
+
+  /// True if this is an operator with exactly this spelling.
+  bool IsOperator(std::string_view op) const { return kind == TokenKind::kOperator && text == op; }
+};
+
+/// \brief True if `word` is in the SQL keyword table (case-insensitive).
+bool IsSqlKeyword(std::string_view word);
+
+}  // namespace sqlcheck::sql

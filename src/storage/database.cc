@@ -1,0 +1,72 @@
+#include "storage/database.h"
+
+#include "common/strings.h"
+
+namespace sqlcheck {
+
+Status Database::CreateTable(TableSchema schema) {
+  std::string key = ToLower(schema.name);
+  if (tables_.count(key) > 0) {
+    return Status::Error("table already exists: " + schema.name);
+  }
+  tables_.emplace(std::move(key), std::make_unique<Table>(std::move(schema)));
+  return Status::Ok();
+}
+
+Status Database::DropTable(std::string_view name) {
+  if (tables_.erase(ToLower(name)) == 0) {
+    return Status::Error("no such table: " + std::string(name));
+  }
+  return Status::Ok();
+}
+
+Table* Database::GetTable(std::string_view name) {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::GetTable(std::string_view name) const {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<Table*> Database::Tables() {
+  std::vector<Table*> out;
+  out.reserve(tables_.size());
+  for (auto& [_, table] : tables_) out.push_back(table.get());
+  return out;
+}
+
+std::vector<const Table*> Database::Tables() const {
+  std::vector<const Table*> out;
+  out.reserve(tables_.size());
+  for (const auto& [_, table] : tables_) out.push_back(table.get());
+  return out;
+}
+
+Status Database::CreateIndex(const IndexSchema& index) {
+  Table* table = GetTable(index.table);
+  if (table == nullptr) return Status::Error("no such table: " + index.table);
+  return table->CreateIndex(index);
+}
+
+Status Database::DropIndex(std::string_view name) {
+  for (auto& [_, table] : tables_) {
+    Status s = table->DropIndex(name);
+    if (s.ok()) return s;
+  }
+  return Status::Error("no such index: " + std::string(name));
+}
+
+Catalog Database::BuildCatalog() const {
+  Catalog catalog;
+  for (const auto& [_, table] : tables_) {
+    catalog.AddTable(table->schema());
+    for (const auto& index : table->indexes()) {
+      catalog.AddIndex(index->schema());
+    }
+  }
+  return catalog;
+}
+
+}  // namespace sqlcheck

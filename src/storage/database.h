@@ -1,0 +1,44 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace sqlcheck {
+
+/// \brief An in-memory database: named tables plus a catalog view. This is
+/// the substrate standing in for PostgreSQL/SQLite in the paper's
+/// experiments — it is what the data analyzer profiles and what the executor
+/// runs queries against.
+class Database {
+ public:
+  explicit Database(std::string name = "db") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  Status CreateTable(TableSchema schema);
+  Status DropTable(std::string_view name);
+  Table* GetTable(std::string_view name);
+  const Table* GetTable(std::string_view name) const;
+  std::vector<Table*> Tables();
+  std::vector<const Table*> Tables() const;
+
+  Status CreateIndex(const IndexSchema& index);
+  Status DropIndex(std::string_view name);
+
+  /// Rebuilds a Catalog snapshot (schemas + indexes) from current state.
+  Catalog BuildCatalog() const;
+
+  size_t table_count() const { return tables_.size(); }
+
+ private:
+  std::string name_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;  // keyed lowercased
+};
+
+}  // namespace sqlcheck

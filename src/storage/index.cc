@@ -1,0 +1,42 @@
+#include "storage/index.h"
+
+namespace sqlcheck {
+
+CompositeKey Index::KeyFor(const Row& row) const {
+  CompositeKey key;
+  key.values.reserve(column_positions_.size());
+  for (int pos : column_positions_) {
+    key.values.push_back(pos >= 0 && static_cast<size_t>(pos) < row.size()
+                             ? row[static_cast<size_t>(pos)]
+                             : Value::Null_());
+  }
+  return key;
+}
+
+void Index::Insert(const Row& row, size_t slot) { entries_.emplace(KeyFor(row), slot); }
+
+void Index::Remove(const Row& row, size_t slot) {
+  auto [begin, end] = entries_.equal_range(KeyFor(row));
+  for (auto it = begin; it != end; ++it) {
+    if (it->second == slot) {
+      entries_.erase(it);
+      return;
+    }
+  }
+}
+
+std::vector<size_t> Index::Lookup(const CompositeKey& key) const {
+  std::vector<size_t> out;
+  auto [begin, end] = entries_.equal_range(key);
+  for (auto it = begin; it != end; ++it) out.push_back(it->second);
+  return out;
+}
+
+bool Index::Contains(const CompositeKey& key) const { return entries_.count(key) > 0; }
+
+void Index::ForEachEntry(
+    const std::function<void(const CompositeKey&, size_t)>& fn) const {
+  for (const auto& [key, slot] : entries_) fn(key, slot);
+}
+
+}  // namespace sqlcheck

@@ -1,0 +1,36 @@
+#include "storage/sampler.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace sqlcheck {
+
+std::vector<size_t> SampleSlots(const Table& table, size_t limit, uint64_t seed) {
+  std::vector<size_t> reservoir;
+  if (limit == 0) return reservoir;
+  reservoir.reserve(limit);
+  Rng rng(seed);
+  size_t seen = 0;
+  table.ForEachLive([&](size_t slot, const Row&) {
+    if (reservoir.size() < limit) {
+      reservoir.push_back(slot);
+    } else {
+      size_t j = static_cast<size_t>(rng.NextBelow(seen + 1));
+      if (j < limit) reservoir[j] = slot;
+    }
+    ++seen;
+  });
+  std::sort(reservoir.begin(), reservoir.end());
+  return reservoir;
+}
+
+std::vector<Row> SampleRows(const Table& table, size_t limit, uint64_t seed) {
+  std::vector<Row> out;
+  for (size_t slot : SampleSlots(table, limit, seed)) {
+    out.push_back(table.RowAt(slot));
+  }
+  return out;
+}
+
+}  // namespace sqlcheck

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace sqlcheck {
+
+/// \brief Reservoir-samples up to `limit` live row slots from `table`
+/// (deterministic for a given seed). Used by the data analyzer because
+/// profiling full tables is the expensive part of data analysis (§4.2).
+std::vector<size_t> SampleSlots(const Table& table, size_t limit, uint64_t seed);
+
+/// \brief Materializes the sampled rows.
+std::vector<Row> SampleRows(const Table& table, size_t limit, uint64_t seed);
+
+}  // namespace sqlcheck

@@ -1,0 +1,148 @@
+#include "storage/statistics.h"
+
+#include <map>
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "storage/sampler.h"
+
+namespace sqlcheck {
+
+const ColumnStats* TableStats::FindColumn(std::string_view name) const {
+  for (const auto& c : columns) {
+    if (EqualsIgnoreCase(c.column, name)) return &c;
+  }
+  return nullptr;
+}
+
+bool LooksDelimited(const std::string& s, char* delimiter) {
+  // A multi-valued attribute looks like "U1,U2,U3": short fields separated by
+  // a consistent delimiter. Sentences (with spaces around words) do not count.
+  static constexpr char kDelims[] = {',', ';', '|'};
+  for (char d : kDelims) {
+    size_t fields = 0;
+    size_t field_len = 0;
+    bool ok = true;
+    for (char c : s) {
+      if (c == d) {
+        if (field_len == 0) {
+          ok = false;
+          break;
+        }
+        ++fields;
+        field_len = 0;
+      } else {
+        ++field_len;
+        if (field_len > 32) {  // long prose field — not a value list
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok && fields >= 1 && field_len > 0) {
+      // fields counts separators; >=1 separator means >=2 fields.
+      if (delimiter != nullptr) *delimiter = d;
+      return true;
+    }
+  }
+  return false;
+}
+
+TableStats ComputeTableStats(const Table& table, size_t sample_limit, uint64_t seed) {
+  TableStats stats;
+  stats.table = table.schema().name;
+  stats.row_count = table.live_row_count();
+
+  std::vector<size_t> slots;
+  if (sample_limit > 0 && table.live_row_count() > sample_limit) {
+    slots = SampleSlots(table, sample_limit, seed);
+  } else {
+    slots = table.LiveSlots();
+  }
+
+  const auto& columns = table.schema().columns;
+  stats.columns.resize(columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) {
+    ColumnStats& cs = stats.columns[c];
+    cs.column = columns[c].name;
+    cs.row_count = slots.size();
+
+    std::unordered_map<size_t, size_t> hash_buckets;  // value-hash -> count
+    std::map<size_t, Value> hash_rep;                 // representative values
+    double numeric_sum = 0.0;
+    size_t numeric_count = 0;
+    size_t string_count = 0;
+    size_t length_sum = 0;
+    size_t numeric_strings = 0;
+    size_t date_strings = 0;
+    size_t tz_strings = 0;
+    size_t delimited = 0;
+    std::map<char, size_t> delimiter_votes;
+
+    for (size_t slot : slots) {
+      const Row& row = table.RowAt(slot);
+      const Value& v = c < row.size() ? row[c] : Value::Null_();
+      if (v.is_null()) {
+        ++cs.null_count;
+        continue;
+      }
+      size_t h = v.Hash();
+      size_t& bucket = hash_buckets[h];
+      ++bucket;
+      hash_rep.emplace(h, v);
+      if (!cs.min.has_value() || v < *cs.min) cs.min = v;
+      if (!cs.max.has_value() || *cs.max < v) cs.max = v;
+      if (v.is_numeric()) {
+        numeric_sum += v.AsReal();
+        ++numeric_count;
+      }
+      if (v.is_string()) {
+        const std::string& s = v.AsString();
+        ++string_count;
+        length_sum += s.size();
+        if (LooksNumeric(s)) ++numeric_strings;
+        if (LooksLikeDate(s)) {
+          ++date_strings;
+          if (HasTimezoneSuffix(s)) ++tz_strings;
+        }
+        char delim = '\0';
+        if (LooksDelimited(s, &delim)) {
+          ++delimited;
+          ++delimiter_votes[delim];
+        }
+      }
+    }
+
+    cs.distinct_count = hash_buckets.size();
+    for (const auto& [h, count] : hash_buckets) {
+      if (count > cs.top_frequency) {
+        cs.top_frequency = count;
+        cs.top_value = hash_rep[h];
+      }
+    }
+    if (numeric_count > 0) cs.mean = numeric_sum / static_cast<double>(numeric_count);
+    if (string_count > 0) {
+      cs.avg_length = static_cast<double>(length_sum) / static_cast<double>(string_count);
+      cs.numeric_string_fraction =
+          static_cast<double>(numeric_strings) / static_cast<double>(string_count);
+      cs.date_string_fraction =
+          static_cast<double>(date_strings) / static_cast<double>(string_count);
+      cs.delimited_fraction =
+          static_cast<double>(delimited) / static_cast<double>(string_count);
+      if (date_strings > 0) {
+        cs.timezone_fraction =
+            static_cast<double>(tz_strings) / static_cast<double>(date_strings);
+      }
+      size_t best = 0;
+      for (const auto& [delim, votes] : delimiter_votes) {
+        if (votes > best) {
+          best = votes;
+          cs.dominant_delimiter = delim;
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace sqlcheck

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/value.h"
+#include "storage/table.h"
+
+namespace sqlcheck {
+
+/// \brief Column profile computed by the data analyzer (§4.2): the
+/// distribution facts that data rules key off.
+struct ColumnStats {
+  std::string column;
+  size_t row_count = 0;
+  size_t null_count = 0;
+  size_t distinct_count = 0;
+  std::optional<Value> min;
+  std::optional<Value> max;
+  double mean = 0.0;          ///< Over numeric values only.
+  double avg_length = 0.0;    ///< Over string values only.
+  Value top_value;            ///< Most frequent non-null value.
+  size_t top_frequency = 0;
+
+  // Fractions over non-null *string* values — the signals the paper's data
+  // rules use (multi-valued attributes, incorrect types, missing timezones).
+  double numeric_string_fraction = 0.0;  ///< Strings that parse as numbers.
+  double date_string_fraction = 0.0;     ///< Strings that look like dates/timestamps.
+  double timezone_fraction = 0.0;        ///< Date-like strings carrying a TZ.
+  double delimited_fraction = 0.0;       ///< Strings that look delimiter-separated.
+  char dominant_delimiter = '\0';        ///< Most common separator when delimited.
+
+  double NullFraction() const {
+    return row_count == 0 ? 0.0 : static_cast<double>(null_count) / row_count;
+  }
+  double DistinctRatio() const {
+    size_t non_null = row_count - null_count;
+    return non_null == 0 ? 0.0 : static_cast<double>(distinct_count) / non_null;
+  }
+};
+
+/// \brief Table-level profile.
+struct TableStats {
+  std::string table;
+  size_t row_count = 0;
+  std::vector<ColumnStats> columns;
+
+  const ColumnStats* FindColumn(std::string_view name) const;
+};
+
+/// \brief Profiles every column of `table`, optionally over a sample of at
+/// most `sample_limit` rows (0 = full scan). Deterministic for a given seed.
+TableStats ComputeTableStats(const Table& table, size_t sample_limit = 0,
+                             uint64_t seed = 42);
+
+/// \brief True if `s` looks like a delimiter-separated list of at least two
+/// non-empty fields; sets `*delimiter` to the separator found.
+bool LooksDelimited(const std::string& s, char* delimiter);
+
+}  // namespace sqlcheck

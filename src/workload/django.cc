@@ -1,0 +1,153 @@
+#include "workload/django.h"
+
+#include "common/random.h"
+#include "common/strings.h"
+
+namespace sqlcheck::workload {
+
+namespace {
+using AP = AntiPattern;
+}  // namespace
+
+const std::vector<DjangoAppSpec>& DjangoAppSpecs() {
+  // Table 7 of the paper (app, domain, #APs detected, APs reported).
+  static const std::vector<DjangoAppSpec>* kSpecs = new std::vector<DjangoAppSpec>{
+      {"Globaleaks", "Whistleblower", 10, {AP::kNoForeignKey, AP::kEnumeratedTypes}},
+      {"Django-oscar", "E-commerce", 12, {AP::kRoundingErrors, AP::kIndexOveruse}},
+      {"Saleor", "E-commerce", 10, {AP::kMultiValuedAttribute, AP::kIndexOveruse}},
+      {"Django-crm", "CRM", 8,
+       {AP::kIndexUnderuse, AP::kIndexOveruse, AP::kPatternMatching,
+        AP::kNoDomainConstraint}},
+      {"django-cms", "CMS", 11, {AP::kIndexOveruse}},
+      {"wagtail-autocomplete", "Utility", 1, {AP::kPatternMatching}},
+      {"shuup", "E-commerce", 6, {AP::kIndexOveruse}},
+      {"Pretix", "E-commerce", 11,
+       {AP::kIndexOveruse, AP::kPatternMatching, AP::kNoDomainConstraint}},
+      {"Django-countries", "Library", 1, {AP::kMultiValuedAttribute}},
+      {"micro-finance", "Finance", 8,
+       {AP::kIndexUnderuse, AP::kIndexOveruse, AP::kPatternMatching,
+        AP::kNoDomainConstraint}},
+      {"bootcamp", "Social Ntwrk", 5, {AP::kIndexOveruse}},
+      {"NetBox", "DCIM", 9,
+       {AP::kIndexOveruse, AP::kPatternMatching, AP::kNoDomainConstraint}},
+      {"Ralph", "Asset Mgmt", 12,
+       {AP::kIndexOveruse, AP::kPatternMatching, AP::kNoDomainConstraint}},
+      {"Tiaga", "E-commerce", 9, {AP::kIndexOveruse, AP::kNoDomainConstraint}},
+      {"wagtail", "CMS", 10, {AP::kIndexOveruse, AP::kNoDomainConstraint}},
+  };
+  return *kSpecs;
+}
+
+namespace {
+
+/// Emits statements that plant one instance of `type` in an ORM-ish workload.
+void EmitAp(AP type, const std::string& app_slug, int n, std::vector<std::string>* out,
+            Rng& rng) {
+  // Letter-coded table id: a numeric suffix would read as a Clone Table.
+  std::string t = app_slug + "_t";
+  for (int v = n + 1; v > 0; v /= 26) {
+    t.push_back(static_cast<char>('a' + v % 26));
+  }
+  switch (type) {
+    case AP::kIndexOveruse:
+      out->push_back("CREATE TABLE " + t +
+                     " (entry_id INTEGER PRIMARY KEY, a VARCHAR(10), b VARCHAR(10), "
+                     "c VARCHAR(10))");
+      out->push_back("CREATE INDEX idx_" + t + "_ab ON " + t + " (a, b)");
+      out->push_back("CREATE INDEX idx_" + t + "_a ON " + t + " (a)");
+      out->push_back("SELECT entry_id FROM " + t + " WHERE a = 'x' AND b = 'y'");
+      break;
+    case AP::kIndexUnderuse:
+      out->push_back("CREATE TABLE " + t +
+                     " (entry_id INTEGER PRIMARY KEY, owner VARCHAR(20), v INTEGER)");
+      out->push_back("SELECT v FROM " + t + " WHERE owner = 'o1'");
+      break;
+    case AP::kPatternMatching:
+      out->push_back("CREATE TABLE " + t +
+                     " (entry_id INTEGER PRIMARY KEY, title VARCHAR(80))");
+      out->push_back("SELECT entry_id FROM " + t + " WHERE title LIKE '%term%'");
+      break;
+    case AP::kNoDomainConstraint:
+      // Data AP: visible once the workload is executed and the database
+      // profiled (the bench deploys the app like §8.4 deployed on PostgreSQL).
+      out->push_back("CREATE TABLE " + t +
+                     " (entry_id INTEGER PRIMARY KEY, rating INTEGER)");
+      for (int i = 0; i < 8; ++i) {
+        out->push_back("INSERT INTO " + t + " (entry_id, rating) VALUES (" +
+                       std::to_string(i) + ", " + std::to_string(1 + i % 5) + ")");
+      }
+      break;
+    case AP::kRoundingErrors:
+      out->push_back("CREATE TABLE " + t +
+                     " (entry_id INTEGER PRIMARY KEY, total FLOAT)");
+      break;
+    case AP::kEnumeratedTypes:
+      out->push_back("CREATE TABLE " + t +
+                     " (entry_id INTEGER PRIMARY KEY, state VARCHAR(8) CHECK (state IN "
+                     "('new', 'open', 'done')))");
+      break;
+    case AP::kMultiValuedAttribute:
+      out->push_back("CREATE TABLE " + t +
+                     " (entry_id INTEGER PRIMARY KEY, country_ids TEXT)");
+      out->push_back("SELECT entry_id FROM " + t + " WHERE country_ids LIKE '%,US,%'");
+      break;
+    case AP::kNoForeignKey:
+      out->push_back("CREATE TABLE " + t +
+                     " (entry_id INTEGER PRIMARY KEY, name VARCHAR(20))");
+      out->push_back("CREATE TABLE " + t +
+                     "_child (child_id INTEGER PRIMARY KEY, entry_id INTEGER)");
+      out->push_back("SELECT c.child_id FROM " + t + " p JOIN " + t +
+                     "_child c ON p.entry_id = c.entry_id");
+      break;
+    case AP::kGenericPrimaryKey:
+      out->push_back("CREATE TABLE " + t + " (id INTEGER PRIMARY KEY, v VARCHAR(10))");
+      break;
+    case AP::kColumnWildcard:
+      out->push_back("CREATE TABLE " + t + " (entry_id INTEGER PRIMARY KEY, v VARCHAR(10))");
+      out->push_back("SELECT * FROM " + t);
+      break;
+    case AP::kImplicitColumns:
+      out->push_back("CREATE TABLE " + t + " (entry_id INTEGER PRIMARY KEY, v VARCHAR(10))");
+      out->push_back("INSERT INTO " + t + " VALUES (" + std::to_string(n) + ", 'v')");
+      break;
+    default:
+      out->push_back("CREATE TABLE " + t + " (id INTEGER PRIMARY KEY, v VARCHAR(10))");
+      break;
+  }
+  (void)rng;
+}
+
+/// Low-severity filler APs Django ORMs emit by default (the paper attributes
+/// several detections to Django's defaults, §8.4).
+const std::vector<AP>& FillerAps() {
+  static const std::vector<AP>* kFiller = new std::vector<AP>{
+      AP::kGenericPrimaryKey, AP::kColumnWildcard, AP::kImplicitColumns,
+  };
+  return *kFiller;
+}
+
+}  // namespace
+
+std::vector<std::string> GenerateDjangoWorkload(const DjangoAppSpec& spec, uint64_t seed) {
+  std::vector<std::string> out;
+  Rng rng(seed + std::hash<std::string>{}(spec.name));
+  std::string slug = ToLower(spec.name);
+  for (char& c : slug) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+
+  int n = 0;
+  // High-impact APs first (the ones the paper reported upstream)...
+  for (AP type : spec.reported) EmitAp(type, slug, n++, &out, rng);
+  // ...then ORM-default filler up to the detected count.
+  int remaining = spec.detected - static_cast<int>(spec.reported.size());
+  for (int i = 0; i < remaining; ++i) {
+    EmitAp(FillerAps()[static_cast<size_t>(i) % FillerAps().size()], slug, n++, &out, rng);
+  }
+  // A clean query so detection has negatives to skip (filters on the PK,
+  // which is implicitly indexed).
+  out.push_back("SELECT entry_id FROM " + slug + "_ta WHERE entry_id = 1");
+  return out;
+}
+
+}  // namespace sqlcheck::workload

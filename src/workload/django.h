@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rules/rule.h"
+
+namespace sqlcheck::workload {
+
+/// \brief Spec for one Django-style application from Table 7 of the paper:
+/// name, domain, the number of APs sqlcheck detected, and which high-impact
+/// AP classes were reported upstream.
+struct DjangoAppSpec {
+  std::string name;
+  std::string domain;
+  int detected = 0;                       ///< Table 7 "# AP" column.
+  std::vector<AntiPattern> reported;      ///< Table 7 "APs Reported" names.
+};
+
+/// \brief The 15 applications of Table 7.
+const std::vector<DjangoAppSpec>& DjangoAppSpecs();
+
+/// \brief Generates the SQL workload of one application: ORM-flavoured
+/// queries carrying `detected` seeded AP instances, biased toward the app's
+/// reported AP classes — the stand-in for deploying the app on PostgreSQL
+/// and capturing its queries (§8.4).
+std::vector<std::string> GenerateDjangoWorkload(const DjangoAppSpec& spec,
+                                                uint64_t seed = 15);
+
+}  // namespace sqlcheck::workload

@@ -1,0 +1,168 @@
+#include "workload/globaleaks.h"
+
+#include "common/random.h"
+#include "engine/executor.h"
+
+namespace sqlcheck::workload {
+
+namespace {
+
+std::string UserId(size_t i) { return "U" + std::to_string(i); }
+std::string TenantId(size_t i) { return "T" + std::to_string(i); }
+std::string Zone(Rng& rng) { return "Z" + std::to_string(rng.NextBelow(8)); }
+std::string Role(Rng& rng) { return "R" + std::to_string(1 + rng.NextBelow(3)); }
+
+void MustRun(Executor& exec, const std::string& sql_text) {
+  auto r = exec.ExecuteSql(sql_text);
+  if (!r.ok()) {
+    // Workload construction bugs should fail loudly in tests/benches.
+    std::abort();
+  }
+}
+
+}  // namespace
+
+void Globaleaks::BuildWithAps(Database* db, const GlobaleaksOptions& options) {
+  Executor exec(db, options.seed);
+  Rng rng(options.seed);
+
+  MustRun(exec,
+          "CREATE TABLE Tenants (tenant_id VARCHAR(16) PRIMARY KEY, zone_id VARCHAR(8), "
+          "active BOOLEAN, user_ids TEXT)");
+  MustRun(exec,
+          "CREATE TABLE Users (user_id VARCHAR(16) PRIMARY KEY, name VARCHAR(32), "
+          "role VARCHAR(4) CHECK (role IN ('R1', 'R2', 'R3')), email VARCHAR(48))");
+  // Questionnaire deliberately lacks the FK to Tenants (Example 3).
+  MustRun(exec,
+          "CREATE TABLE Questionnaire (questionnaire_id INTEGER PRIMARY KEY, "
+          "tenant_id VARCHAR(16), name VARCHAR(32), editable BOOLEAN)");
+
+  size_t user_count = options.tenant_count * options.users_per_tenant;
+  for (size_t u = 0; u < user_count; ++u) {
+    MustRun(exec, "INSERT INTO Users (user_id, name, role, email) VALUES ('" + UserId(u) +
+                      "', 'name_" + std::to_string(u) + "', '" + Role(rng) + "', 'u" +
+                      std::to_string(u) + "@example.org')");
+  }
+  for (size_t t = 0; t < options.tenant_count; ++t) {
+    // Pack this tenant's users into the comma-separated user_ids column.
+    std::string csv;
+    for (size_t k = 0; k < options.users_per_tenant; ++k) {
+      if (k > 0) csv += ",";
+      csv += UserId(t * options.users_per_tenant + k);
+    }
+    MustRun(exec, "INSERT INTO Tenants (tenant_id, zone_id, active, user_ids) VALUES ('" +
+                      TenantId(t) + "', '" + Zone(rng) + "', true, '" + csv + "')");
+    MustRun(exec,
+            "INSERT INTO Questionnaire (questionnaire_id, tenant_id, name, editable) "
+            "VALUES (" +
+                std::to_string(t) + ", '" + TenantId(t) + "', 'q_" + std::to_string(t) +
+                "', true)");
+  }
+}
+
+void Globaleaks::BuildRefactored(Database* db, const GlobaleaksOptions& options) {
+  Executor exec(db, options.seed);
+  Rng rng(options.seed);
+
+  MustRun(exec,
+          "CREATE TABLE Tenants (tenant_id VARCHAR(16) PRIMARY KEY, zone_id VARCHAR(8), "
+          "active BOOLEAN)");
+  MustRun(exec,
+          "CREATE TABLE Role (role_id INTEGER PRIMARY KEY, role_name VARCHAR(8) UNIQUE)");
+  MustRun(exec,
+          "CREATE TABLE Users (user_id VARCHAR(16) PRIMARY KEY, name VARCHAR(32), "
+          "role_id INTEGER REFERENCES Role (role_id), email VARCHAR(48))");
+  MustRun(exec,
+          "CREATE TABLE Hosting (user_id VARCHAR(16) REFERENCES Users (user_id), "
+          "tenant_id VARCHAR(16) REFERENCES Tenants (tenant_id), "
+          "PRIMARY KEY (user_id, tenant_id))");
+  MustRun(exec,
+          "CREATE TABLE Questionnaire (questionnaire_id INTEGER PRIMARY KEY, "
+          "tenant_id VARCHAR(16) REFERENCES Tenants (tenant_id), name VARCHAR(32), "
+          "editable BOOLEAN)");
+  // The intersection table is queried by user; index it (the refactor's point).
+  MustRun(exec, "CREATE INDEX idx_hosting_user ON Hosting (user_id)");
+  MustRun(exec, "CREATE INDEX idx_hosting_tenant ON Hosting (tenant_id)");
+
+  for (int r = 1; r <= 3; ++r) {
+    MustRun(exec, "INSERT INTO Role (role_id, role_name) VALUES (" + std::to_string(r) +
+                      ", 'R" + std::to_string(r) + "')");
+  }
+  size_t user_count = options.tenant_count * options.users_per_tenant;
+  for (size_t u = 0; u < user_count; ++u) {
+    MustRun(exec, "INSERT INTO Users (user_id, name, role_id, email) VALUES ('" +
+                      UserId(u) + "', 'name_" + std::to_string(u) + "', " +
+                      std::to_string(1 + rng.NextBelow(3)) + ", 'u" + std::to_string(u) +
+                      "@example.org')");
+  }
+  for (size_t t = 0; t < options.tenant_count; ++t) {
+    MustRun(exec, "INSERT INTO Tenants (tenant_id, zone_id, active) VALUES ('" +
+                      TenantId(t) + "', '" + Zone(rng) + "', true)");
+    MustRun(exec,
+            "INSERT INTO Questionnaire (questionnaire_id, tenant_id, name, editable) "
+            "VALUES (" +
+                std::to_string(t) + ", '" + TenantId(t) + "', 'q_" + std::to_string(t) +
+                "', true)");
+  }
+  for (size_t t = 0; t < options.tenant_count; ++t) {
+    for (size_t k = 0; k < options.users_per_tenant; ++k) {
+      MustRun(exec, "INSERT INTO Hosting (user_id, tenant_id) VALUES ('" +
+                        UserId(t * options.users_per_tenant + k) + "', '" + TenantId(t) +
+                        "')");
+    }
+  }
+}
+
+std::string Globaleaks::ApWorkloadScript() {
+  return R"sql(
+CREATE TABLE Tenants (tenant_id VARCHAR(16) PRIMARY KEY, zone_id VARCHAR(8), active BOOLEAN, user_ids TEXT);
+CREATE TABLE Users (user_id VARCHAR(16) PRIMARY KEY, name VARCHAR(32), role VARCHAR(4) CHECK (role IN ('R1', 'R2', 'R3')), email VARCHAR(48));
+CREATE TABLE Questionnaire (questionnaire_id INTEGER PRIMARY KEY, tenant_id VARCHAR(16), name VARCHAR(32), editable BOOLEAN);
+SELECT * FROM Tenants WHERE user_ids LIKE '[[:<:]]U1[[:>:]]';
+SELECT * FROM Tenants AS t JOIN Users AS u ON t.user_ids LIKE '[[:<:]]' || u.user_id || '[[:>:]]' WHERE t.tenant_id = 'T1';
+SELECT q.name, q.editable, t.active FROM Questionnaire q JOIN Tenants t ON t.tenant_id = q.tenant_id WHERE q.editable = true;
+INSERT INTO Tenants VALUES ('T1', 'Z1', true, 'U1,U2');
+UPDATE Tenants SET user_ids = REPLACE(user_ids, ',U1', '') WHERE user_ids LIKE '%U1%';
+)sql";
+}
+
+std::string Globaleaks::Task1Ap(const std::string& user_id) {
+  return "SELECT * FROM Tenants WHERE user_ids LIKE '[[:<:]]" + user_id + "[[:>:]]'";
+}
+
+std::string Globaleaks::Task1Fixed(const std::string& user_id) {
+  return "SELECT t.tenant_id, t.zone_id, t.active FROM Hosting h JOIN Tenants t "
+         "ON h.tenant_id = t.tenant_id WHERE h.user_id = '" +
+         user_id + "'";
+}
+
+std::string Globaleaks::Task2Ap(const std::string& tenant_id) {
+  return "SELECT u.user_id, u.name, u.email FROM Tenants AS t JOIN Users AS u "
+         "ON t.user_ids LIKE '[[:<:]]' || u.user_id || '[[:>:]]' WHERE t.tenant_id = '" +
+         tenant_id + "'";
+}
+
+std::string Globaleaks::Task2Fixed(const std::string& tenant_id) {
+  return "SELECT u.user_id, u.name, u.email FROM Hosting h JOIN Users u "
+         "ON h.user_id = u.user_id WHERE h.tenant_id = '" +
+         tenant_id + "'";
+}
+
+std::string Globaleaks::Task3Ap(const std::string& user_id) {
+  return "UPDATE Tenants SET user_ids = REPLACE(REPLACE(user_ids, '," + user_id +
+         "', ''), '" + user_id + ",', '') WHERE user_ids LIKE '%" + user_id + "%'";
+}
+
+std::string Globaleaks::Task3Fixed(const std::string& user_id) {
+  return "DELETE FROM Hosting WHERE user_id = '" + user_id + "'";
+}
+
+std::string Globaleaks::SomeUserId(const GlobaleaksOptions& options) {
+  return UserId(options.tenant_count * options.users_per_tenant / 2);
+}
+
+std::string Globaleaks::SomeTenantId(const GlobaleaksOptions& options) {
+  return TenantId(options.tenant_count / 2);
+}
+
+}  // namespace sqlcheck::workload

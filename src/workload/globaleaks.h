@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "storage/database.h"
+
+namespace sqlcheck::workload {
+
+/// \brief Scale knobs for the synthetic GlobaLeaks deployment. The paper
+/// loads 10M rows into PostgreSQL; we default to a laptop-scale row count
+/// that preserves the *ratios* the figures report.
+struct GlobaleaksOptions {
+  size_t tenant_count = 400;
+  size_t users_per_tenant = 25;  ///< => users = tenant_count * users_per_tenant.
+  uint64_t seed = 17;
+};
+
+/// \brief Builders for the GlobaLeaks case study (§2.1, §8.2): the same
+/// application in its anti-pattern form and its refactored form.
+///
+/// AP form (Figure 1):
+///   Tenants(tenant_id, zone_id, active, user_ids /* comma-separated! */)
+///   Users(user_id, name, role /* CHECK IN ('R1','R2','R3') */, email)
+///   Questionnaire(questionnaire_id, tenant_id /* no FK! */, name, editable)
+///
+/// Refactored form (Figures 2 and 5):
+///   Tenants(tenant_id, zone_id, active)
+///   Users(user_id, name, role_id -> Role, email)
+///   Role(role_id, role_name)
+///   Hosting(user_id -> Users, tenant_id -> Tenants)  [intersection table]
+///   Questionnaire(questionnaire_id, tenant_id -> Tenants, name, editable)
+class Globaleaks {
+ public:
+  /// Builds the anti-pattern deployment into `db`.
+  static void BuildWithAps(Database* db, const GlobaleaksOptions& options = {});
+
+  /// Builds the refactored deployment into `db`.
+  static void BuildRefactored(Database* db, const GlobaleaksOptions& options = {});
+
+  /// The application's SQL workload (DDL + representative queries) in AP
+  /// form — what sqlcheck analyzes in the §8.2 experiment.
+  static std::string ApWorkloadScript();
+
+  // --------- the three tasks of Figure 3 (AP vs no-AP variants) -----------
+  /// Task 1: list the tenants a user is associated with.
+  static std::string Task1Ap(const std::string& user_id);
+  static std::string Task1Fixed(const std::string& user_id);
+  /// Task 2: retrieve the users served by a tenant.
+  static std::string Task2Ap(const std::string& tenant_id);
+  static std::string Task2Fixed(const std::string& tenant_id);
+  /// Task 3: detach a deleted user from every tenant (the §5.1 integrity
+  /// chore vs a single indexed DELETE).
+  static std::string Task3Ap(const std::string& user_id);
+  static std::string Task3Fixed(const std::string& user_id);
+
+  /// Deterministic existing user/tenant ids at scale `options`.
+  static std::string SomeUserId(const GlobaleaksOptions& options);
+  static std::string SomeTenantId(const GlobaleaksOptions& options);
+};
+
+}  // namespace sqlcheck::workload

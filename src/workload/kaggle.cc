@@ -1,0 +1,248 @@
+#include "workload/kaggle.h"
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "engine/executor.h"
+
+namespace sqlcheck::workload {
+
+namespace {
+
+using AP = AntiPattern;
+
+void MustRun(Executor& exec, const std::string& sql_text) {
+  auto r = exec.ExecuteSql(sql_text);
+  if (!r.ok()) std::abort();
+}
+
+}  // namespace
+
+const std::vector<KaggleSpec>& KaggleSpecs() {
+  // Table 6 of the paper: database name, AP classes found, total AP count.
+  static const std::vector<KaggleSpec>* kSpecs = new std::vector<KaggleSpec>{
+      {"Board Games", {AP::kNoPrimaryKey, AP::kDataInMetadata, AP::kIncorrectDataType}, 12},
+      {"Pennsylvania Safe Schools Report", {AP::kNoPrimaryKey}, 1},
+      {"Soccer Dataset",
+       {AP::kGenericPrimaryKey, AP::kDataInMetadata, AP::kMissingTimezone,
+        AP::kMultiValuedAttribute},
+       20},
+      {"SF Bay Area Bike Share",
+       {AP::kNoPrimaryKey, AP::kGenericPrimaryKey, AP::kIncorrectDataType,
+        AP::kMissingTimezone, AP::kDenormalizedTable},
+       11},
+      {"US Baby Names", {AP::kGenericPrimaryKey}, 2},
+      {"Pitchfork Music Data",
+       {AP::kNoPrimaryKey, AP::kMissingTimezone, AP::kInformationDuplication,
+        AP::kDenormalizedTable},
+       10},
+      {"Acad. Research from Indian Univ.",
+       {AP::kNoPrimaryKey, AP::kIncorrectDataType, AP::kRedundantColumn,
+        AP::kMultiValuedAttribute},
+       17},
+      {"What.CD HipHop", {AP::kNoPrimaryKey, AP::kMultiValuedAttribute}, 3},
+      {"Snap Meme-Tracker", {AP::kMissingTimezone}, 1},
+      {"NIPS papers", {AP::kGenericPrimaryKey, AP::kDenormalizedTable}, 4},
+      {"US Wildfires", {AP::kNoPrimaryKey, AP::kRedundantColumn}, 2},
+      {"Que from crossvalidated StackExc", {AP::kNoPrimaryKey}, 3},
+      {"The History of Baseball",
+       {AP::kNoPrimaryKey, AP::kDataInMetadata, AP::kIncorrectDataType,
+        AP::kMultiValuedAttribute},
+       41},
+      {"Twitter US Airline Sentiment", {AP::kDenormalizedTable}, 2},
+      {"Hilary Clinton Emails", {AP::kGenericPrimaryKey, AP::kIncorrectDataType}, 8},
+      {"SEPTA - Regional Rail", {AP::kIncorrectDataType, AP::kMissingTimezone}, 2},
+      {"US Consumer finance Complaints",
+       {AP::kNoPrimaryKey, AP::kIncorrectDataType, AP::kMultiValuedAttribute,
+        AP::kDenormalizedTable},
+       9},
+      {"1st GOP Debate Twitter Sentiment", {AP::kGenericPrimaryKey}, 1},
+      {"SF Salaries", {AP::kGenericPrimaryKey, AP::kDenormalizedTable}, 2},
+      {"Freight Matrix Transportation",
+       {AP::kNoPrimaryKey, AP::kDataInMetadata, AP::kRedundantColumn},
+       5},
+      {"WDIdata", {AP::kNoPrimaryKey, AP::kMultiValuedAttribute}, 9},
+      {"Amazon Movie Reviews Dataset", {AP::kNoPrimaryKey, AP::kMultiValuedAttribute}, 2},
+      {"UK Arms Export License", {AP::kNoPrimaryKey}, 3},
+      {"Amazon Fine Food Reviews", {AP::kGenericPrimaryKey}, 1},
+      {"Stackoverflow Question Favourites", {AP::kMultiValuedAttribute}, 1},
+      {"Iron March", {AP::kRedundantColumn}, 1},
+      {"C# Methods with Doc. Comments", {AP::kGenericPrimaryKey}, 4},
+      {"Pesticide Data Program",
+       {AP::kNoPrimaryKey, AP::kIncorrectDataType, AP::kRedundantColumn},
+       13},
+      {"Monty Python Flying Circus",
+       {AP::kNoPrimaryKey, AP::kMissingTimezone, AP::kDenormalizedTable},
+       4},
+      {"Twitter Conv. about Black Panther", {}, 0},
+      {"2016 US Election",
+       {AP::kNoPrimaryKey, AP::kDataInMetadata, AP::kDenormalizedTable},
+       6},
+  };
+  return *kSpecs;
+}
+
+namespace {
+
+/// Per-AP table seeders. Each creates one small table whose *data* exhibits
+/// the AP class so the data-analysis rules (Algorithm 3) re-detect it.
+class KaggleSeeder {
+ public:
+  KaggleSeeder(Database* db, uint64_t seed) : exec_(db, seed), rng_(seed) {}
+
+  void Seed(AP type, int instance) {
+    std::string t = "t" + std::to_string(table_counter_++) + "_" + Slug(type);
+    switch (type) {
+      case AP::kNoPrimaryKey: {
+        MustRun(exec_, "CREATE TABLE " + t + " (label VARCHAR(20), v INTEGER)");
+        Fill(t, {"label", "v"}, [&](size_t i) {
+          return "('row_" + std::to_string(i) + "', " + std::to_string(i % 7) + ")";
+        });
+        break;
+      }
+      case AP::kGenericPrimaryKey: {
+        MustRun(exec_, "CREATE TABLE " + t + " (id INTEGER PRIMARY KEY, v VARCHAR(20))");
+        Fill(t, {"id", "v"}, [&](size_t i) {
+          return "(" + std::to_string(i) + ", 'v" + std::to_string(i) + "')";
+        });
+        break;
+      }
+      case AP::kDataInMetadata: {
+        MustRun(exec_, "CREATE TABLE " + t +
+                           " (k INTEGER PRIMARY KEY, stat1 INTEGER, stat2 INTEGER, "
+                           "stat3 INTEGER, stat4 INTEGER)");
+        // Values vary and are arithmetically unrelated so only the numbered
+        // column series fires (no RedundantColumn / InformationDuplication
+        // cross-detections).
+        Fill(t, {"k", "stat1", "stat2", "stat3", "stat4"}, [&](size_t i) {
+          return "(" + std::to_string(i) + ", " + std::to_string(i % 7) + ", " +
+                 std::to_string((i * 3 + 1) % 11) + ", " + std::to_string((i * 5 + 2) % 13) +
+                 ", " + std::to_string((i * 7 + 3) % 17) + ")";
+        });
+        break;
+      }
+      case AP::kIncorrectDataType: {
+        MustRun(exec_, "CREATE TABLE " + t +
+                           " (k INTEGER PRIMARY KEY, reading TEXT)");
+        Fill(t, {"k", "reading"}, [&](size_t i) {
+          return "(" + std::to_string(i) + ", '" + std::to_string(100 + i) + "')";
+        });
+        break;
+      }
+      case AP::kMissingTimezone: {
+        // Declared TIMESTAMP (not TEXT) so Incorrect Data Type stays quiet;
+        // the tz-less type itself is the AP.
+        MustRun(exec_, "CREATE TABLE " + t +
+                           " (k INTEGER PRIMARY KEY, observed_at TIMESTAMP)");
+        Fill(t, {"k", "observed_at"}, [&](size_t i) {
+          return "(" + std::to_string(i) + ", '2019-07-" +
+                 std::to_string(1 + i % 28) + " 12:30:00')";
+        });
+        break;
+      }
+      case AP::kMultiValuedAttribute: {
+        MustRun(exec_, "CREATE TABLE " + t +
+                           " (k INTEGER PRIMARY KEY, member_ids TEXT)");
+        Fill(t, {"k", "member_ids"}, [&](size_t i) {
+          return "(" + std::to_string(i) + ", 'M" + std::to_string(i) + ",M" +
+                 std::to_string(i + 1) + ",M" + std::to_string(i + 2) + "')";
+        });
+        break;
+      }
+      case AP::kDenormalizedTable: {
+        MustRun(exec_, "CREATE TABLE " + t +
+                           " (k INTEGER PRIMARY KEY, team_code VARCHAR(8), "
+                           "team_city VARCHAR(20))");
+        Fill(t, {"k", "team_code", "team_city"}, [&](size_t i) {
+          size_t team = i % 4;
+          return "(" + std::to_string(i) + ", 'TM" + std::to_string(team) + "', 'city_" +
+                 std::to_string(team) + "')";
+        });
+        break;
+      }
+      case AP::kInformationDuplication: {
+        MustRun(exec_, "CREATE TABLE " + t +
+                           " (k INTEGER PRIMARY KEY, birth_year INTEGER, age INTEGER)");
+        Fill(t, {"k", "birth_year", "age"}, [&](size_t i) {
+          int year = 1960 + static_cast<int>(i % 40);
+          return "(" + std::to_string(i) + ", " + std::to_string(year) + ", " +
+                 std::to_string(2020 - year) + ")";
+        });
+        break;
+      }
+      case AP::kRedundantColumn: {
+        // One redundant signal per table: the paper's hard-coded 'en-us'.
+        MustRun(exec_, "CREATE TABLE " + t +
+                           " (k INTEGER PRIMARY KEY, title VARCHAR(24), locale VARCHAR(8))");
+        Fill(t, {"k", "title", "locale"}, [&](size_t i) {
+          return "(" + std::to_string(i) + ", 'title_" + std::to_string(i) +
+                 "', 'en-us')";
+        });
+        break;
+      }
+      default: {
+        // AP classes not seeded by data (shouldn't appear in the spec table).
+        MustRun(exec_, "CREATE TABLE " + t + " (k INTEGER PRIMARY KEY)");
+        break;
+      }
+    }
+    (void)instance;
+  }
+
+ private:
+  static std::string Slug(AP type) {
+    std::string slug = ToLower(ApName(type));
+    for (char& c : slug) {
+      if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+    }
+    return slug;
+  }
+
+  template <typename RowFn>
+  void Fill(const std::string& table, const std::vector<std::string>& columns,
+            RowFn&& row) {
+    size_t rows = 24 + rng_.NextBelow(16);
+    std::string cols = Join(columns, ", ");
+    for (size_t i = 0; i < rows; ++i) {
+      MustRun(exec_, "INSERT INTO " + table + " (" + cols + ") VALUES " + row(i));
+    }
+  }
+
+  Executor exec_;
+  Rng rng_;
+  int table_counter_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Database> SynthesizeKaggleDatabase(const KaggleSpec& spec, uint64_t seed) {
+  auto db = std::make_unique<Database>(spec.name);
+  KaggleSeeder seeder(db.get(), seed);
+  if (spec.ap_types.empty()) {
+    // The clean database still has content (Table 6 row 30 found 0 APs).
+    Executor exec(db.get(), seed);
+    MustRun(exec,
+            "CREATE TABLE conversations (conv_id INTEGER PRIMARY KEY, "
+            "author VARCHAR(20) NOT NULL, posted_at TIMESTAMP WITH TIME ZONE)");
+    for (int i = 0; i < 20; ++i) {
+      MustRun(exec, "INSERT INTO conversations (conv_id, author, posted_at) VALUES (" +
+                        std::to_string(i) + ", 'a" + std::to_string(i) + "', '2020-01-" +
+                        std::to_string(1 + i % 27) + " 10:00:00Z')");
+    }
+    return db;
+  }
+  // Seed round-robin over the spec's AP classes until we approach the target.
+  int target = std::max<int>(spec.ap_target, static_cast<int>(spec.ap_types.size()));
+  int seeded = 0;
+  int instance = 0;
+  while (seeded < target) {
+    for (AP type : spec.ap_types) {
+      if (seeded >= target) break;
+      seeder.Seed(type, instance);
+      ++seeded;
+    }
+    ++instance;
+  }
+  return db;
+}
+
+}  // namespace sqlcheck::workload

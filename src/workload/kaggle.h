@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rules/rule.h"
+#include "storage/database.h"
+
+namespace sqlcheck::workload {
+
+/// \brief Spec for one synthetic Kaggle-style database: its display name and
+/// the AP classes the paper reports finding in the real dataset (Table 6).
+/// `ap_target` is the paper's per-database AP count; the synthesizer seeds
+/// enough instances of each class to land near it.
+struct KaggleSpec {
+  std::string name;
+  std::vector<AntiPattern> ap_types;
+  int ap_target = 0;
+};
+
+/// \brief The 31 database specs of Table 6 (name, detected AP classes, count).
+const std::vector<KaggleSpec>& KaggleSpecs();
+
+/// \brief Materializes one spec as a populated in-memory database whose data
+/// exhibits exactly the seeded AP classes — the stand-in for downloading the
+/// SQLite file from Kaggle (§8.4 "Data Analysis").
+std::unique_ptr<Database> SynthesizeKaggleDatabase(const KaggleSpec& spec,
+                                                   uint64_t seed = 31);
+
+}  // namespace sqlcheck::workload

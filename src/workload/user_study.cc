@@ -1,0 +1,249 @@
+#include "workload/user_study.h"
+
+#include "common/random.h"
+
+namespace sqlcheck::workload {
+
+namespace {
+using AP = AntiPattern;
+
+/// The bike e-commerce domain of §8.3: sixteen features, each tempting one
+/// or more APs. Participants with low skill take the tempting shortcut.
+struct Feature {
+  const char* name;
+  AP tempted;
+};
+
+const std::vector<Feature>& Features() {
+  static const std::vector<Feature>* kFeatures = new std::vector<Feature>{
+      {"products", AP::kNoPrimaryKey},
+      {"catalog_browse", AP::kColumnWildcard},
+      {"cart_items", AP::kMultiValuedAttribute},
+      {"order_status", AP::kEnumeratedTypes},
+      {"price_totals", AP::kRoundingErrors},
+      {"user_accounts", AP::kReadablePassword},
+      {"product_search", AP::kPatternMatching},
+      {"order_insert", AP::kImplicitColumns},
+      {"daily_deals", AP::kOrderingByRand},
+      {"inventory_lookup", AP::kIndexUnderuse},
+      {"catalog_tables", AP::kGodTable},
+      {"archive_tables", AP::kCloneTable},
+      {"spec_columns", AP::kDataInMetadata},
+      {"surrogate_keys", AP::kGenericPrimaryKey},
+      {"order_items_join", AP::kNoForeignKey},
+      {"report_dedup", AP::kDistinctAndJoin},
+  };
+  return *kFeatures;
+}
+
+/// Emits the AP or clean variant of one feature's SQL for participant `p`.
+void EmitFeature(const Feature& feature, bool take_shortcut, int p,
+                 std::vector<std::string>* statements,
+                 std::vector<std::vector<AP>>* truth) {
+  // Letter-coded suffix: numeric suffixes would read as Clone Table names.
+  std::string suffix = "_p";
+  for (int v = p + 1; v > 0; v /= 26) {
+    suffix.push_back(static_cast<char>('a' + v % 26));
+  }
+  auto add = [&](std::string sql, std::vector<AP> labels) {
+    statements->push_back(std::move(sql));
+    truth->push_back(std::move(labels));
+  };
+
+  switch (feature.tempted) {
+    case AP::kNoPrimaryKey:
+      if (take_shortcut) {
+        add("CREATE TABLE products" + suffix + " (sku VARCHAR(20), name VARCHAR(40))",
+            {AP::kNoPrimaryKey});
+      } else {
+        add("CREATE TABLE products" + suffix +
+                " (sku VARCHAR(20) PRIMARY KEY, name VARCHAR(40))",
+            {});
+      }
+      break;
+    case AP::kColumnWildcard:
+      add(take_shortcut ? "SELECT * FROM products" + suffix
+                        : "SELECT sku, name FROM products" + suffix,
+          take_shortcut ? std::vector<AP>{AP::kColumnWildcard} : std::vector<AP>{});
+      break;
+    case AP::kMultiValuedAttribute:
+      if (take_shortcut) {
+        add("CREATE TABLE cart" + suffix + " (cart_id INTEGER PRIMARY KEY, item_ids TEXT)",
+            {AP::kMultiValuedAttribute});
+        add("SELECT * FROM cart" + suffix + " WHERE item_ids LIKE '%,42,%'",
+            {AP::kMultiValuedAttribute, AP::kColumnWildcard, AP::kPatternMatching});
+      } else {
+        add("CREATE TABLE cart_items" + suffix +
+                " (cart_id INTEGER, sku VARCHAR(20), PRIMARY KEY (cart_id, sku))",
+            {});
+      }
+      break;
+    case AP::kEnumeratedTypes:
+      add(take_shortcut
+              ? "CREATE TABLE orders" + suffix +
+                    " (order_id INTEGER PRIMARY KEY, status ENUM('new', 'paid', "
+                    "'shipped'))"
+              : "CREATE TABLE orders" + suffix +
+                    " (order_id INTEGER PRIMARY KEY, status_id INTEGER)",
+          take_shortcut ? std::vector<AP>{AP::kEnumeratedTypes} : std::vector<AP>{});
+      break;
+    case AP::kRoundingErrors:
+      add(take_shortcut ? "CREATE TABLE totals" + suffix +
+                              " (order_id INTEGER PRIMARY KEY, amount FLOAT)"
+                        : "CREATE TABLE totals" + suffix +
+                              " (order_id INTEGER PRIMARY KEY, amount NUMERIC(12, 2))",
+          take_shortcut ? std::vector<AP>{AP::kRoundingErrors} : std::vector<AP>{});
+      break;
+    case AP::kReadablePassword:
+      add(take_shortcut ? "CREATE TABLE accounts" + suffix +
+                              " (account_id INTEGER PRIMARY KEY, password VARCHAR(32))"
+                        : "CREATE TABLE accounts" + suffix +
+                              " (account_id INTEGER PRIMARY KEY, pass_hash VARCHAR(64))",
+          take_shortcut ? std::vector<AP>{AP::kReadablePassword} : std::vector<AP>{});
+      break;
+    case AP::kPatternMatching:
+      add(take_shortcut
+              ? "SELECT sku FROM products" + suffix + " WHERE name LIKE '%gravel%'"
+              : "SELECT sku FROM products" + suffix + " WHERE name = 'gravel bike'",
+          take_shortcut ? std::vector<AP>{AP::kPatternMatching} : std::vector<AP>{});
+      break;
+    case AP::kImplicitColumns:
+      add(take_shortcut
+              ? "INSERT INTO orders" + suffix + " VALUES (1, 'new')"
+              : "INSERT INTO orders" + suffix + " (order_id, status) VALUES (1, 'new')",
+          take_shortcut ? std::vector<AP>{AP::kImplicitColumns} : std::vector<AP>{});
+      break;
+    case AP::kOrderingByRand:
+      add(take_shortcut
+              ? "SELECT sku FROM products" + suffix + " ORDER BY RAND() LIMIT 3"
+              : "SELECT sku FROM products" + suffix + " WHERE sku >= 'G' LIMIT 3",
+          take_shortcut ? std::vector<AP>{AP::kOrderingByRand} : std::vector<AP>{});
+      break;
+    case AP::kIndexUnderuse:
+      if (take_shortcut) {
+        add("SELECT name FROM products" + suffix + " WHERE name = 'saddle'",
+            {AP::kIndexUnderuse});
+      } else {
+        add("CREATE INDEX idx_products" + suffix + "_name ON products" + suffix +
+                " (name)",
+            {});
+        add("SELECT name FROM products" + suffix + " WHERE name = 'saddle'", {});
+      }
+      break;
+    case AP::kGodTable:
+      if (take_shortcut) {
+        std::string cols = "pid INTEGER PRIMARY KEY";
+        for (int i = 0; i < 11; ++i) cols += ", attr_" + std::to_string(i) + " VARCHAR(10)";
+        add("CREATE TABLE megacatalog" + suffix + " (" + cols + ")", {AP::kGodTable});
+      } else {
+        add("CREATE TABLE specs" + suffix +
+                " (sku VARCHAR(20) PRIMARY KEY, weight_g INTEGER, color VARCHAR(12))",
+            {});
+      }
+      break;
+    case AP::kCloneTable:
+      if (take_shortcut) {
+        // Year suffix LAST so the clone pattern <base>_N stays visible.
+        add("CREATE TABLE sales" + suffix + "_2019" +
+                " (sale_id INTEGER PRIMARY KEY, total NUMERIC(10, 2))",
+            {AP::kCloneTable});
+        add("CREATE TABLE sales" + suffix + "_2020" +
+                " (sale_id INTEGER PRIMARY KEY, total NUMERIC(10, 2))",
+            {AP::kCloneTable});
+      } else {
+        add("CREATE TABLE sales" + suffix +
+                " (sale_id INTEGER PRIMARY KEY, yr INTEGER, total NUMERIC(10, 2))",
+            {});
+      }
+      break;
+    case AP::kDataInMetadata:
+      add(take_shortcut ? "CREATE TABLE gears" + suffix +
+                              " (gid INTEGER PRIMARY KEY, ratio1 INTEGER, ratio2 "
+                              "INTEGER, ratio3 INTEGER)"
+                        : "CREATE TABLE gear_ratios" + suffix +
+                              " (gid INTEGER, slot INTEGER, ratio INTEGER, PRIMARY KEY "
+                              "(gid, slot))",
+          take_shortcut ? std::vector<AP>{AP::kDataInMetadata} : std::vector<AP>{});
+      break;
+    case AP::kGenericPrimaryKey:
+      add(take_shortcut ? "CREATE TABLE brands" + suffix +
+                              " (id INTEGER PRIMARY KEY, brand VARCHAR(20))"
+                        : "CREATE TABLE brands" + suffix +
+                              " (brand_id INTEGER PRIMARY KEY, brand VARCHAR(20))",
+          take_shortcut ? std::vector<AP>{AP::kGenericPrimaryKey} : std::vector<AP>{});
+      break;
+    case AP::kNoForeignKey:
+      if (take_shortcut) {
+        add("CREATE TABLE order_items" + suffix +
+                " (item_id INTEGER PRIMARY KEY, order_id INTEGER)",
+            {});
+        add("SELECT i.item_id FROM orders" + suffix + " o JOIN order_items" + suffix +
+                " i ON o.order_id = i.order_id",
+            {AP::kNoForeignKey});
+      } else {
+        add("CREATE TABLE order_items" + suffix +
+                " (item_id INTEGER PRIMARY KEY, order_id INTEGER REFERENCES orders" +
+                suffix + " (order_id))",
+            {});
+      }
+      break;
+    case AP::kDistinctAndJoin:
+      add(take_shortcut ? "SELECT DISTINCT o.order_id FROM orders" + suffix +
+                              " o JOIN order_items" + suffix +
+                              " i ON o.order_id = i.order_id"
+                        : "SELECT o.order_id FROM orders" + suffix +
+                              " o WHERE EXISTS (SELECT 1 FROM order_items" + suffix +
+                              " i WHERE i.order_id = o.order_id)",
+          take_shortcut ? std::vector<AP>{AP::kDistinctAndJoin, AP::kNoForeignKey}
+                        : std::vector<AP>{});
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+std::vector<Participant> GenerateUserStudy(const UserStudyOptions& options) {
+  std::vector<Participant> participants;
+  Rng rng(options.seed);
+  participants.reserve(static_cast<size_t>(options.participant_count));
+
+  // Rounds per participant so totals land near target_statements. Each
+  // feature emits 1-2 statements (~1.3 avg over the 16 features).
+  double stmts_per_round = 16 * 1.3;
+  int rounds = std::max<int>(
+      1, static_cast<int>(options.target_statements /
+                          (options.participant_count * stmts_per_round)));
+
+  for (int p = 0; p < options.participant_count; ++p) {
+    Participant participant;
+    participant.id = p;
+    participant.skill = rng.NextDouble();  // "varying degrees of expertise"
+    for (int round = 0; round < rounds; ++round) {
+      for (const Feature& feature : Features()) {
+        bool shortcut = rng.NextBool(0.75 * (1.0 - participant.skill) + 0.08);
+        EmitFeature(feature, shortcut, p * 100 + round, &participant.statements,
+                    &participant.truth);
+      }
+    }
+    participants.push_back(std::move(participant));
+  }
+  return participants;
+}
+
+FixOutcome SimulateFixOutcome(const Participant& participant, AntiPattern type,
+                              uint64_t seed) {
+  // Calibrated to the §8.3 split over considered fixes: 96/187 resolved,
+  // 31/187 ambiguous, 60/187 incorrect-for-requirements.
+  Rng rng(seed ^ (static_cast<uint64_t>(participant.id) << 32) ^
+          static_cast<uint64_t>(type));
+  double roll = rng.NextDouble();
+  // Skilled participants resolve a bit more.
+  double resolve_p = 0.45 + 0.15 * participant.skill;
+  if (roll < resolve_p) return FixOutcome::kResolved;
+  if (roll < resolve_p + 0.17) return FixOutcome::kAmbiguous;
+  return FixOutcome::kIncorrect;
+}
+
+}  // namespace sqlcheck::workload

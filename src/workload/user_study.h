@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rules/rule.h"
+
+namespace sqlcheck::workload {
+
+/// \brief One simulated study participant: their SQL for the bike e-commerce
+/// application (§8.3) plus the seeded ground truth per statement.
+struct Participant {
+  int id = 0;
+  double skill = 0.5;  ///< 0 = novice (many APs), 1 = expert (few APs).
+  std::vector<std::string> statements;
+  std::vector<std::vector<AntiPattern>> truth;  ///< Parallel to `statements`.
+};
+
+struct UserStudyOptions {
+  int participant_count = 23;       ///< The paper recruited 23 students.
+  int target_statements = 987;      ///< Total statements across participants.
+  uint64_t seed = 23;
+};
+
+/// \brief Simulated acceptance decision for one suggested fix, following the
+/// observed §8.3 split: resolved / ignored-as-ambiguous / ignored-as-incorrect.
+enum class FixOutcome { kResolved, kAmbiguous, kIncorrect };
+
+/// \brief Generates the 23 participants' query sets for the bike e-commerce
+/// schema, with per-participant AP propensity scaled by (1 - skill).
+std::vector<Participant> GenerateUserStudy(const UserStudyOptions& options = {});
+
+/// \brief Deterministically simulates whether a participant adopts a fix.
+/// Calibrated to the paper's observed acceptance rates (96 resolved, 31
+/// ambiguous, 60 incorrect out of 187 considered).
+FixOutcome SimulateFixOutcome(const Participant& participant, AntiPattern type,
+                              uint64_t seed);
+
+}  // namespace sqlcheck::workload

@@ -1,0 +1,117 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace sqlcheck {
+namespace {
+
+sql::StatementPtr Parse(std::string_view text) { return sql::ParseStatement(text); }
+
+TEST(SchemaTest, FromCreateTableExtractsEverything) {
+  auto stmt = Parse(
+      "CREATE TABLE users (user_id INTEGER PRIMARY KEY, email VARCHAR(60) NOT NULL "
+      "UNIQUE, role VARCHAR(4) CHECK (role IN ('a','b')), team_id INTEGER REFERENCES "
+      "teams(team_id) ON DELETE CASCADE, score INT DEFAULT 10)");
+  auto schema = TableSchema::FromCreateTable(
+      *stmt->As<sql::CreateTableStatement>());
+  EXPECT_EQ(schema.name, "users");
+  EXPECT_EQ(schema.primary_key, (std::vector<std::string>{"user_id"}));
+  ASSERT_EQ(schema.columns.size(), 5u);
+  EXPECT_TRUE(schema.columns[0].not_null);  // PK implies NOT NULL
+  EXPECT_TRUE(schema.columns[1].not_null);
+  EXPECT_TRUE(schema.columns[1].unique);
+  ASSERT_EQ(schema.checks.size(), 1u);
+  ASSERT_EQ(schema.foreign_keys.size(), 1u);
+  EXPECT_EQ(schema.foreign_keys[0].ref_table, "teams");
+  EXPECT_TRUE(schema.foreign_keys[0].on_delete_cascade);
+  ASSERT_TRUE(schema.columns[4].default_value.has_value());
+  EXPECT_EQ(schema.columns[4].default_value->AsInt(), 10);
+}
+
+TEST(SchemaTest, ColumnLookupIsCaseInsensitive) {
+  auto stmt = Parse("CREATE TABLE t (Alpha INT, beta INT)");
+  auto schema = TableSchema::FromCreateTable(*stmt->As<sql::CreateTableStatement>());
+  EXPECT_NE(schema.FindColumn("alpha"), nullptr);
+  EXPECT_NE(schema.FindColumn("BETA"), nullptr);
+  EXPECT_EQ(schema.FindColumn("gamma"), nullptr);
+  EXPECT_EQ(schema.ColumnIndex("ALPHA"), 0);
+  EXPECT_EQ(schema.ColumnIndex("nope"), -1);
+}
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  Status Apply(std::string_view ddl) { return catalog_.ApplyDdl(*Parse(ddl)); }
+  Catalog catalog_;
+};
+
+TEST_F(CatalogTest, CreateAndDropTable) {
+  EXPECT_TRUE(Apply("CREATE TABLE t (a INT)").ok());
+  EXPECT_NE(catalog_.FindTable("T"), nullptr);
+  EXPECT_FALSE(Apply("CREATE TABLE t (a INT)").ok());  // duplicate
+  EXPECT_TRUE(Apply("CREATE TABLE IF NOT EXISTS t (a INT)").ok());
+  EXPECT_TRUE(Apply("DROP TABLE t").ok());
+  EXPECT_EQ(catalog_.FindTable("t"), nullptr);
+  EXPECT_FALSE(Apply("DROP TABLE t").ok());
+  EXPECT_TRUE(Apply("DROP TABLE IF EXISTS t").ok());
+}
+
+TEST_F(CatalogTest, IndexLifecycleFollowsTable) {
+  Apply("CREATE TABLE t (a INT, b INT)");
+  EXPECT_TRUE(Apply("CREATE INDEX idx_a ON t (a)").ok());
+  EXPECT_NE(catalog_.FindIndex("idx_a"), nullptr);
+  EXPECT_TRUE(catalog_.HasIndexOnColumn("t", "a"));
+  EXPECT_FALSE(catalog_.HasIndexOnColumn("t", "b"));
+  EXPECT_EQ(catalog_.IndexesOnTable("t").size(), 1u);
+  Apply("DROP TABLE t");
+  EXPECT_EQ(catalog_.FindIndex("idx_a"), nullptr);  // dropped with the table
+}
+
+TEST_F(CatalogTest, AlterAddAndDropColumn) {
+  Apply("CREATE TABLE t (a INT)");
+  EXPECT_TRUE(Apply("ALTER TABLE t ADD COLUMN b VARCHAR(10)").ok());
+  EXPECT_NE(catalog_.FindTable("t")->FindColumn("b"), nullptr);
+  EXPECT_TRUE(Apply("ALTER TABLE t DROP COLUMN a").ok());
+  EXPECT_EQ(catalog_.FindTable("t")->FindColumn("a"), nullptr);
+  EXPECT_FALSE(Apply("ALTER TABLE t DROP COLUMN nope").ok());
+}
+
+TEST_F(CatalogTest, AlterConstraints) {
+  Apply("CREATE TABLE t (a INT, b INT)");
+  EXPECT_TRUE(Apply("ALTER TABLE t ADD CONSTRAINT chk CHECK (a > 0)").ok());
+  EXPECT_EQ(catalog_.FindTable("t")->checks.size(), 1u);
+  EXPECT_TRUE(Apply("ALTER TABLE t DROP CONSTRAINT chk").ok());
+  EXPECT_TRUE(catalog_.FindTable("t")->checks.empty());
+  EXPECT_FALSE(Apply("ALTER TABLE t DROP CONSTRAINT chk").ok());
+  EXPECT_TRUE(Apply("ALTER TABLE t DROP CONSTRAINT IF EXISTS chk").ok());
+
+  EXPECT_TRUE(Apply("ALTER TABLE t ADD PRIMARY KEY (a)").ok());
+  EXPECT_EQ(catalog_.FindTable("t")->primary_key, (std::vector<std::string>{"a"}));
+}
+
+TEST_F(CatalogTest, AlterColumnTypeAndRenames) {
+  Apply("CREATE TABLE t (a FLOAT)");
+  EXPECT_TRUE(Apply("ALTER TABLE t ALTER COLUMN a TYPE NUMERIC(10, 2)").ok());
+  EXPECT_EQ(catalog_.FindTable("t")->FindColumn("a")->type.id, TypeId::kNumeric);
+  EXPECT_TRUE(Apply("ALTER TABLE t RENAME COLUMN a TO amount").ok());
+  EXPECT_NE(catalog_.FindTable("t")->FindColumn("amount"), nullptr);
+  EXPECT_TRUE(Apply("ALTER TABLE t RENAME TO u").ok());
+  EXPECT_EQ(catalog_.FindTable("t"), nullptr);
+  EXPECT_NE(catalog_.FindTable("u"), nullptr);
+}
+
+TEST_F(CatalogTest, DmlIsIgnored) {
+  EXPECT_TRUE(Apply("SELECT 1").ok());
+  EXPECT_TRUE(Apply("INSERT INTO missing VALUES (1)").ok());
+  EXPECT_EQ(catalog_.table_count(), 0u);
+}
+
+TEST_F(CatalogTest, TablesEnumeration) {
+  Apply("CREATE TABLE a (x INT)");
+  Apply("CREATE TABLE b (y INT)");
+  EXPECT_EQ(catalog_.Tables().size(), 2u);
+}
+
+}  // namespace
+}  // namespace sqlcheck

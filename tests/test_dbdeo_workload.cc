@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "baseline/dbdeo.h"
+#include "workload/corpus.h"
+#include "workload/django.h"
+#include "workload/globaleaks.h"
+#include "workload/kaggle.h"
+#include "workload/user_study.h"
+#include "engine/executor.h"
+
+namespace sqlcheck {
+namespace {
+
+TEST(DbdeoTest, SupportsElevenTypes) {
+  EXPECT_EQ(Dbdeo::SupportedTypes().size(), 11u);
+}
+
+TEST(DbdeoTest, DetectsObviousSmells) {
+  Dbdeo dbdeo;
+  auto has = [&](const std::string& sql_text, AntiPattern type) {
+    for (const auto& d : dbdeo.Check(sql_text)) {
+      if (d.type == type) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("CREATE TABLE t (a INT)", AntiPattern::kNoPrimaryKey));
+  EXPECT_TRUE(has("CREATE TABLE t (s ENUM('a','b'))", AntiPattern::kEnumeratedTypes));
+  EXPECT_TRUE(has("CREATE TABLE t (x FLOAT)", AntiPattern::kRoundingErrors));
+  EXPECT_TRUE(has("SELECT a FROM t WHERE b LIKE '%x%'", AntiPattern::kPatternMatching));
+  EXPECT_TRUE(has("CREATE TABLE logs_2019 (k INT PRIMARY KEY)", AntiPattern::kCloneTable));
+}
+
+TEST(DbdeoTest, ContextFreeFalsePositives) {
+  Dbdeo dbdeo;
+  // 'enum' inside an identifier still fires — the precision gap sqlcheck
+  // closes (Table 2).
+  bool fired = false;
+  for (const auto& d : dbdeo.Check("SELECT enumeration_state FROM t WHERE k = 1")) {
+    if (d.type == AntiPattern::kEnumeratedTypes) fired = true;
+  }
+  EXPECT_TRUE(fired);
+  // Filtered SELECT flagged as index underuse without seeing the CREATE INDEX
+  // elsewhere in the application.
+  fired = false;
+  for (const auto& d : dbdeo.Check("SELECT a FROM t WHERE status = 'open'")) {
+    if (d.type == AntiPattern::kIndexUnderuse) fired = true;
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(CorpusTest, DeterministicForSeed) {
+  workload::CorpusOptions options;
+  options.repo_count = 5;
+  auto a = GenerateCorpus(options);
+  auto b = GenerateCorpus(options);
+  ASSERT_EQ(a.StatementCount(), b.StatementCount());
+  auto sa = a.AllStatements();
+  auto sb = b.AllStatements();
+  for (size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].sql, sb[i].sql);
+  }
+  options.seed = 99;
+  auto c = GenerateCorpus(options);
+  EXPECT_NE(a.StatementCount(), c.StatementCount());
+}
+
+TEST(CorpusTest, GroundTruthLabelsArePresent) {
+  workload::CorpusOptions options;
+  options.repo_count = 40;
+  auto corpus = GenerateCorpus(options);
+  size_t labeled = 0;
+  for (const auto& stmt : corpus.AllStatements()) {
+    labeled += stmt.truth.empty() ? 0 : 1;
+  }
+  EXPECT_GT(labeled, 0u);
+  EXPECT_LT(labeled, corpus.StatementCount());  // negatives exist too
+}
+
+TEST(CorpusTest, ScoreDetectionsCountsMatches) {
+  workload::CorpusOptions options;
+  options.repo_count = 3;
+  auto corpus = GenerateCorpus(options);
+  // A fake detector that reports exactly the truth scores perfectly.
+  std::vector<Detection> perfect;
+  for (const auto& stmt : corpus.AllStatements()) {
+    for (AntiPattern type : stmt.truth) {
+      Detection d;
+      d.type = type;
+      d.query = stmt.sql;
+      perfect.push_back(std::move(d));
+    }
+  }
+  auto scores = ScoreDetections(corpus, perfect, {});
+  for (const auto& [type, score] : scores) {
+    EXPECT_EQ(score.false_positives, 0) << ApName(type);
+    EXPECT_EQ(score.false_negatives, 0) << ApName(type);
+    EXPECT_DOUBLE_EQ(score.Precision(), 1.0);
+    EXPECT_DOUBLE_EQ(score.Recall(), 1.0);
+  }
+}
+
+TEST(GlobaleaksTest, PairedBuildsAgreeOnScale) {
+  workload::GlobaleaksOptions small;
+  small.tenant_count = 10;
+  small.users_per_tenant = 4;
+  Database ap, fixed;
+  workload::Globaleaks::BuildWithAps(&ap, small);
+  workload::Globaleaks::BuildRefactored(&fixed, small);
+  EXPECT_EQ(ap.GetTable("Users")->live_row_count(), 40u);
+  EXPECT_EQ(fixed.GetTable("Users")->live_row_count(), 40u);
+  EXPECT_EQ(fixed.GetTable("Hosting")->live_row_count(), 40u);
+  EXPECT_EQ(ap.GetTable("Tenants")->live_row_count(), 10u);
+}
+
+TEST(GlobaleaksTest, TaskQueriesReturnSameLogicalAnswer) {
+  workload::GlobaleaksOptions small;
+  small.tenant_count = 10;
+  small.users_per_tenant = 4;
+  Database ap, fixed;
+  workload::Globaleaks::BuildWithAps(&ap, small);
+  workload::Globaleaks::BuildRefactored(&fixed, small);
+  Executor ap_exec(&ap);
+  Executor fixed_exec(&fixed);
+  std::string user = workload::Globaleaks::SomeUserId(small);
+  auto a = ap_exec.ExecuteSql(workload::Globaleaks::Task1Ap(user));
+  auto b = fixed_exec.ExecuteSql(workload::Globaleaks::Task1Fixed(user));
+  ASSERT_TRUE(a.ok()) << a.message();
+  ASSERT_TRUE(b.ok()) << b.message();
+  EXPECT_EQ(a->rows.size(), b->rows.size());
+  EXPECT_EQ(a->rows.size(), 1u);  // each user belongs to exactly one tenant
+}
+
+TEST(KaggleTest, SpecsMatchPaperShape) {
+  const auto& specs = workload::KaggleSpecs();
+  EXPECT_EQ(specs.size(), 31u);
+  int total = 0;
+  for (const auto& spec : specs) total += spec.ap_target;
+  EXPECT_EQ(total, 200);  // Table 6's total
+}
+
+TEST(KaggleTest, CleanDatabaseExistsAndBuilds) {
+  for (const auto& spec : workload::KaggleSpecs()) {
+    if (spec.ap_target != 0) continue;
+    auto db = workload::SynthesizeKaggleDatabase(spec);
+    EXPECT_GE(db->table_count(), 1u);
+    return;
+  }
+  FAIL() << "expected one clean database in the spec table";
+}
+
+TEST(DjangoTest, FifteenAppsWithWorkloads) {
+  const auto& specs = workload::DjangoAppSpecs();
+  EXPECT_EQ(specs.size(), 15u);
+  for (const auto& spec : specs) {
+    auto workload_sql = GenerateDjangoWorkload(spec);
+    EXPECT_GE(static_cast<int>(workload_sql.size()), spec.detected)
+        << spec.name;
+  }
+}
+
+TEST(UserStudyTest, ParticipantsAndStatementVolume) {
+  auto participants = workload::GenerateUserStudy();
+  EXPECT_EQ(participants.size(), 23u);
+  size_t total = 0;
+  for (const auto& p : participants) {
+    EXPECT_EQ(p.statements.size(), p.truth.size());
+    total += p.statements.size();
+  }
+  EXPECT_GT(total, 500u);   // near the paper's 987 at default settings
+  EXPECT_LT(total, 1500u);
+}
+
+TEST(UserStudyTest, SkillAffectsApRate) {
+  auto participants = workload::GenerateUserStudy();
+  const workload::Participant* most_skilled = &participants[0];
+  const workload::Participant* least_skilled = &participants[0];
+  for (const auto& p : participants) {
+    if (p.skill > most_skilled->skill) most_skilled = &p;
+    if (p.skill < least_skilled->skill) least_skilled = &p;
+  }
+  auto ap_rate = [](const workload::Participant& p) {
+    size_t labeled = 0;
+    for (const auto& t : p.truth) labeled += t.empty() ? 0 : 1;
+    return static_cast<double>(labeled) / static_cast<double>(p.truth.size());
+  };
+  EXPECT_GT(ap_rate(*least_skilled), ap_rate(*most_skilled));
+}
+
+TEST(UserStudyTest, FixOutcomeIsDeterministic) {
+  auto participants = workload::GenerateUserStudy();
+  auto o1 = workload::SimulateFixOutcome(participants[0],
+                                         AntiPattern::kColumnWildcard, 42);
+  auto o2 = workload::SimulateFixOutcome(participants[0],
+                                         AntiPattern::kColumnWildcard, 42);
+  EXPECT_EQ(o1, o2);
+}
+
+}  // namespace
+}  // namespace sqlcheck

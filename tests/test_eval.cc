@@ -1,0 +1,173 @@
+#include "engine/eval.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace sqlcheck {
+namespace {
+
+/// Evaluates the expression of `SELECT <expr>` with an empty scope.
+Result<Value> EvalText(const std::string& expr_text) {
+  static std::vector<sql::StatementPtr> keep_alive;
+  keep_alive.push_back(sql::ParseStatement("SELECT " + expr_text));
+  auto* select = keep_alive.back()->As<sql::SelectStatement>();
+  EXPECT_NE(select, nullptr) << expr_text;
+  static Rng rng(99);
+  EvalScope scope;
+  scope.rng = &rng;
+  return Eval(*select->items[0].expr, scope);
+}
+
+Value MustEval(const std::string& expr_text) {
+  auto r = EvalText(expr_text);
+  EXPECT_TRUE(r.ok()) << r.message() << " for " << expr_text;
+  return r.ok() ? *r : Value::Null_();
+}
+
+TEST(EvalTest, Literals) {
+  EXPECT_EQ(MustEval("42").AsInt(), 42);
+  EXPECT_DOUBLE_EQ(MustEval("2.5").AsReal(), 2.5);
+  EXPECT_EQ(MustEval("'abc'").AsString(), "abc");
+  EXPECT_TRUE(MustEval("TRUE").AsBool());
+  EXPECT_TRUE(MustEval("NULL").is_null());
+}
+
+TEST(EvalTest, Arithmetic) {
+  EXPECT_EQ(MustEval("1 + 2 * 3").AsInt(), 7);
+  EXPECT_EQ(MustEval("7 / 2").AsInt(), 3);        // int division
+  EXPECT_DOUBLE_EQ(MustEval("7.0 / 2").AsReal(), 3.5);
+  EXPECT_EQ(MustEval("7 % 3").AsInt(), 1);
+  EXPECT_EQ(MustEval("-5").AsInt(), -5);
+  EXPECT_TRUE(MustEval("1 / 0").is_null());       // division by zero -> NULL
+}
+
+TEST(EvalTest, NullPropagatesThroughOperators) {
+  EXPECT_TRUE(MustEval("1 + NULL").is_null());
+  EXPECT_TRUE(MustEval("NULL = NULL").is_null());
+  EXPECT_TRUE(MustEval("'a' || NULL").is_null());
+  EXPECT_TRUE(MustEval("NOT NULL").is_null());
+}
+
+TEST(EvalTest, ThreeValuedLogic) {
+  // NULL AND FALSE is FALSE; NULL OR TRUE is TRUE; else NULL.
+  EXPECT_FALSE(MustEval("NULL AND FALSE").AsBool());
+  EXPECT_FALSE(MustEval("NULL AND FALSE").is_null());
+  EXPECT_TRUE(MustEval("NULL OR TRUE").AsBool());
+  EXPECT_TRUE(MustEval("NULL AND TRUE").is_null());
+  EXPECT_TRUE(MustEval("NULL OR FALSE").is_null());
+}
+
+TEST(EvalTest, Comparisons) {
+  EXPECT_TRUE(MustEval("2 > 1").AsBool());
+  EXPECT_TRUE(MustEval("2 >= 2").AsBool());
+  EXPECT_TRUE(MustEval("'a' < 'b'").AsBool());
+  EXPECT_TRUE(MustEval("1 <> 2").AsBool());
+  EXPECT_FALSE(MustEval("1 = 2").AsBool());
+}
+
+TEST(EvalTest, LikeAndRegexp) {
+  EXPECT_TRUE(MustEval("'hello' LIKE 'he%'").AsBool());
+  EXPECT_FALSE(MustEval("'hello' NOT LIKE 'he%'").AsBool());
+  EXPECT_TRUE(MustEval("'HELLO' ILIKE 'he%'").AsBool());
+  EXPECT_TRUE(MustEval("'U1,U2' REGEXP '[[:<:]]U2[[:>:]]'").AsBool());
+  EXPECT_TRUE(MustEval("'abc' LIKE NULL").is_null());
+}
+
+TEST(EvalTest, InAndBetween) {
+  EXPECT_TRUE(MustEval("2 IN (1, 2, 3)").AsBool());
+  EXPECT_FALSE(MustEval("9 IN (1, 2, 3)").AsBool());
+  EXPECT_TRUE(MustEval("9 NOT IN (1, 2, 3)").AsBool());
+  // NULL in the list makes a miss UNKNOWN, not FALSE.
+  EXPECT_TRUE(MustEval("9 IN (1, NULL)").is_null());
+  EXPECT_TRUE(MustEval("2 BETWEEN 1 AND 3").AsBool());
+  EXPECT_TRUE(MustEval("0 NOT BETWEEN 1 AND 3").AsBool());
+}
+
+TEST(EvalTest, IsNullForms) {
+  EXPECT_TRUE(MustEval("NULL IS NULL").AsBool());
+  EXPECT_FALSE(MustEval("1 IS NULL").AsBool());
+  EXPECT_TRUE(MustEval("1 IS NOT NULL").AsBool());
+}
+
+TEST(EvalTest, CaseExpression) {
+  EXPECT_EQ(MustEval("CASE WHEN 1 > 2 THEN 'a' WHEN 2 > 1 THEN 'b' ELSE 'c' END")
+                .AsString(),
+            "b");
+  EXPECT_EQ(MustEval("CASE WHEN 1 > 2 THEN 'a' ELSE 'c' END").AsString(), "c");
+  EXPECT_TRUE(MustEval("CASE WHEN 1 > 2 THEN 'a' END").is_null());
+  EXPECT_EQ(MustEval("CASE 2 WHEN 1 THEN 'one' WHEN 2 THEN 'two' END").AsString(), "two");
+}
+
+TEST(EvalTest, StringFunctions) {
+  EXPECT_EQ(MustEval("UPPER('ab')").AsString(), "AB");
+  EXPECT_EQ(MustEval("LOWER('AB')").AsString(), "ab");
+  EXPECT_EQ(MustEval("LENGTH('abc')").AsInt(), 3);
+  EXPECT_EQ(MustEval("REPLACE('a,b,a', 'a', 'x')").AsString(), "x,b,x");
+  EXPECT_EQ(MustEval("SUBSTR('hello', 2, 3)").AsString(), "ell");
+  EXPECT_EQ(MustEval("TRIM('  x ')").AsString(), "x");
+  EXPECT_EQ(MustEval("CONCAT('a', 'b', 'c')").AsString(), "abc");
+  EXPECT_TRUE(MustEval("CONCAT('a', NULL)").is_null());  // MySQL semantics
+  EXPECT_EQ(MustEval("CONCAT_WS('-', 'a', NULL, 'b')").AsString(), "a-b");
+}
+
+TEST(EvalTest, NullHandlingFunctions) {
+  EXPECT_EQ(MustEval("COALESCE(NULL, NULL, 'x')").AsString(), "x");
+  EXPECT_TRUE(MustEval("COALESCE(NULL, NULL)").is_null());
+  EXPECT_TRUE(MustEval("NULLIF(1, 1)").is_null());
+  EXPECT_EQ(MustEval("NULLIF(1, 2)").AsInt(), 1);
+  EXPECT_EQ(MustEval("IFNULL(NULL, 9)").AsInt(), 9);
+}
+
+TEST(EvalTest, MathFunctions) {
+  EXPECT_EQ(MustEval("ABS(-4)").AsInt(), 4);
+  EXPECT_DOUBLE_EQ(MustEval("ROUND(2.567, 1)").AsReal(), 2.6);
+  double r = MustEval("RAND()").AsReal();
+  EXPECT_GE(r, 0.0);
+  EXPECT_LT(r, 1.0);
+}
+
+TEST(EvalTest, CastExpressions) {
+  EXPECT_EQ(MustEval("CAST('42' AS INTEGER)").AsInt(), 42);
+  EXPECT_DOUBLE_EQ(MustEval("CAST('2.5' AS FLOAT)").AsReal(), 2.5);
+  EXPECT_EQ(MustEval("CAST(7 AS TEXT)").AsString(), "7");
+  EXPECT_EQ(MustEval("'42'::integer").AsInt(), 42);
+}
+
+TEST(EvalTest, ColumnResolutionThroughScope) {
+  auto stmt = sql::ParseStatement("CREATE TABLE t (a INTEGER, b VARCHAR(5))");
+  TableSchema schema =
+      TableSchema::FromCreateTable(*stmt->As<sql::CreateTableStatement>());
+  EvalScope scope;
+  scope.AddSource("t", &schema);
+  Row row{Value::Int(7), Value::Str("x")};
+  scope.BindRow(0, &row);
+
+  auto q = sql::ParseStatement("SELECT a + 1, t.b, missing FROM t");
+  auto* select = q->As<sql::SelectStatement>();
+  auto v0 = Eval(*select->items[0].expr, scope);
+  ASSERT_TRUE(v0.ok());
+  EXPECT_EQ(v0->AsInt(), 8);
+  auto v1 = Eval(*select->items[1].expr, scope);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1->AsString(), "x");
+  EXPECT_FALSE(Eval(*select->items[2].expr, scope).ok());
+}
+
+TEST(EvalTest, AggregateOutsideContextErrors) {
+  EXPECT_FALSE(EvalText("SUM(1)").ok());
+}
+
+TEST(EvalTest, ContainsAggregateDetection) {
+  auto q = sql::ParseStatement("SELECT SUM(a) + 1, b FROM t");
+  auto* select = q->As<sql::SelectStatement>();
+  EXPECT_TRUE(ContainsAggregate(*select->items[0].expr));
+  EXPECT_FALSE(ContainsAggregate(*select->items[1].expr));
+}
+
+TEST(EvalTest, UnboundParameterErrors) {
+  EXPECT_FALSE(EvalText("?").ok());
+}
+
+}  // namespace
+}  // namespace sqlcheck

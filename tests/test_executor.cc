@@ -1,0 +1,372 @@
+#include "engine/executor.h"
+
+#include <gtest/gtest.h>
+
+namespace sqlcheck {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() : exec_(&db_) {}
+
+  QueryResult Run(std::string_view sql_text) {
+    auto r = exec_.ExecuteSql(sql_text);
+    EXPECT_TRUE(r.ok()) << r.message() << " for: " << sql_text;
+    return r.ok() ? std::move(*r) : QueryResult{};
+  }
+
+  Status RunExpectError(std::string_view sql_text) {
+    auto r = exec_.ExecuteSql(sql_text);
+    EXPECT_FALSE(r.ok()) << "expected failure for: " << sql_text;
+    return r.status();
+  }
+
+  Database db_;
+  Executor exec_;
+};
+
+TEST_F(ExecutorTest, CreateInsertSelectRoundTrip) {
+  Run("CREATE TABLE t (id INTEGER PRIMARY KEY, name VARCHAR(20))");
+  Run("INSERT INTO t (id, name) VALUES (1, 'alice'), (2, 'bob')");
+  auto r = Run("SELECT name FROM t ORDER BY id");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "alice");
+  EXPECT_EQ(r.rows[1][0].AsString(), "bob");
+}
+
+TEST_F(ExecutorTest, SelectStarExpandsColumns) {
+  Run("CREATE TABLE t (a INT, b INT, c INT)");
+  Run("INSERT INTO t VALUES (1, 2, 3)");
+  auto r = Run("SELECT * FROM t");
+  EXPECT_EQ(r.columns, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][2].AsInt(), 3);
+}
+
+TEST_F(ExecutorTest, WhereFiltersAndComparisons) {
+  Run("CREATE TABLE t (x INT)");
+  Run("INSERT INTO t VALUES (1), (2), (3), (4), (5)");
+  EXPECT_EQ(Run("SELECT x FROM t WHERE x > 3").rows.size(), 2u);
+  EXPECT_EQ(Run("SELECT x FROM t WHERE x BETWEEN 2 AND 4").rows.size(), 3u);
+  EXPECT_EQ(Run("SELECT x FROM t WHERE x IN (1, 5, 9)").rows.size(), 2u);
+  EXPECT_EQ(Run("SELECT x FROM t WHERE x <> 3").rows.size(), 4u);
+}
+
+TEST_F(ExecutorTest, NullSemanticsInWhere) {
+  Run("CREATE TABLE t (x INT)");
+  Run("INSERT INTO t VALUES (1), (NULL), (3)");
+  // NULL comparisons are never true (the classic NULL Usage AP trap).
+  EXPECT_EQ(Run("SELECT x FROM t WHERE x = NULL").rows.size(), 0u);
+  EXPECT_EQ(Run("SELECT x FROM t WHERE x != NULL").rows.size(), 0u);
+  EXPECT_EQ(Run("SELECT x FROM t WHERE x IS NULL").rows.size(), 1u);
+  EXPECT_EQ(Run("SELECT x FROM t WHERE x IS NOT NULL").rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, ConcatenationPropagatesNull) {
+  Run("CREATE TABLE people (first VARCHAR(10), last VARCHAR(10))");
+  Run("INSERT INTO people VALUES ('ada', 'lovelace'), ('prince', NULL)");
+  auto r = Run("SELECT first || ' ' || last FROM people");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "ada lovelace");
+  EXPECT_TRUE(r.rows[1][0].is_null());  // the Concatenate NULLs AP in action
+}
+
+TEST_F(ExecutorTest, AggregatesSumCountAvgMinMax) {
+  Run("CREATE TABLE t (x INT)");
+  Run("INSERT INTO t VALUES (1), (2), (3), (NULL)");
+  auto r = Run("SELECT COUNT(*), COUNT(x), SUM(x), AVG(x), MIN(x), MAX(x) FROM t");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 4);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 3);
+  EXPECT_EQ(r.rows[0][2].AsInt(), 6);
+  EXPECT_DOUBLE_EQ(r.rows[0][3].AsReal(), 2.0);
+  EXPECT_EQ(r.rows[0][4].AsInt(), 1);
+  EXPECT_EQ(r.rows[0][5].AsInt(), 3);
+}
+
+TEST_F(ExecutorTest, GroupByWithHaving) {
+  Run("CREATE TABLE sales (dept VARCHAR(10), amount INT)");
+  Run("INSERT INTO sales VALUES ('a', 10), ('a', 20), ('b', 5), ('c', 7), ('c', 1)");
+  auto r = Run(
+      "SELECT dept, SUM(amount) FROM sales GROUP BY dept HAVING SUM(amount) > 6 "
+      "ORDER BY dept");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "a");
+  EXPECT_EQ(r.rows[0][1].AsInt(), 30);
+  EXPECT_EQ(r.rows[1][0].AsString(), "c");
+}
+
+TEST_F(ExecutorTest, CountDistinct) {
+  Run("CREATE TABLE t (x INT)");
+  Run("INSERT INTO t VALUES (1), (1), (2), (2), (3)");
+  auto r = Run("SELECT COUNT(DISTINCT x) FROM t");
+  EXPECT_EQ(r.Scalar().AsInt(), 3);
+}
+
+TEST_F(ExecutorTest, HashJoinOnEquality) {
+  Run("CREATE TABLE a (id INT PRIMARY KEY, v VARCHAR(5))");
+  Run("CREATE TABLE b (id INT, w VARCHAR(5))");
+  Run("INSERT INTO a VALUES (1, 'x'), (2, 'y')");
+  Run("INSERT INTO b VALUES (1, 'p'), (1, 'q'), (3, 'r')");
+  auto r = Run("SELECT a.v, b.w FROM a JOIN b ON a.id = b.id ORDER BY b.w");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][1].AsString(), "p");
+  EXPECT_EQ(r.rows[1][1].AsString(), "q");
+}
+
+TEST_F(ExecutorTest, LeftJoinPadsWithNulls) {
+  Run("CREATE TABLE a (id INT)");
+  Run("CREATE TABLE b (id INT, w VARCHAR(5))");
+  Run("INSERT INTO a VALUES (1), (2)");
+  Run("INSERT INTO b VALUES (1, 'p')");
+  auto r = Run("SELECT a.id, b.w FROM a LEFT JOIN b ON a.id = b.id ORDER BY a.id");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][1].AsString(), "p");
+  EXPECT_TRUE(r.rows[1][1].is_null());
+}
+
+TEST_F(ExecutorTest, ExpressionJoinWithLike) {
+  // The paper's multi-valued-attribute join (§2.1 Task 2).
+  Run("CREATE TABLE tenants (tenant_id VARCHAR(5), user_ids TEXT)");
+  Run("CREATE TABLE users (user_id VARCHAR(5), name VARCHAR(10))");
+  Run("INSERT INTO tenants VALUES ('T1', 'U1,U2'), ('T2', 'U3,U4')");
+  Run("INSERT INTO users VALUES ('U1', 'n1'), ('U2', 'n2'), ('U3', 'n3'), ('U4', 'n4')");
+  auto r = Run(
+      "SELECT u.name FROM tenants AS t JOIN users AS u "
+      "ON t.user_ids LIKE '[[:<:]]' || u.user_id || '[[:>:]]' "
+      "WHERE t.tenant_id = 'T1' ORDER BY u.name");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "n1");
+  EXPECT_EQ(r.rows[1][0].AsString(), "n2");
+}
+
+TEST_F(ExecutorTest, CommaJoinProducesCrossProduct) {
+  Run("CREATE TABLE a (x INT)");
+  Run("CREATE TABLE b (y INT)");
+  Run("INSERT INTO a VALUES (1), (2)");
+  Run("INSERT INTO b VALUES (10), (20), (30)");
+  EXPECT_EQ(Run("SELECT * FROM a, b").rows.size(), 6u);
+}
+
+TEST_F(ExecutorTest, DistinctRemovesDuplicates) {
+  Run("CREATE TABLE t (x INT)");
+  Run("INSERT INTO t VALUES (1), (1), (2)");
+  EXPECT_EQ(Run("SELECT DISTINCT x FROM t").rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, OrderByRandShuffles) {
+  Run("CREATE TABLE t (x INT)");
+  for (int i = 0; i < 50; ++i) {
+    Run("INSERT INTO t VALUES (" + std::to_string(i) + ")");
+  }
+  auto r = Run("SELECT x FROM t ORDER BY RAND()");
+  ASSERT_EQ(r.rows.size(), 50u);
+  bool out_of_order = false;
+  for (size_t i = 1; i < r.rows.size(); ++i) {
+    if (r.rows[i][0].AsInt() < r.rows[i - 1][0].AsInt()) out_of_order = true;
+  }
+  EXPECT_TRUE(out_of_order);
+}
+
+TEST_F(ExecutorTest, LimitAndOffset) {
+  Run("CREATE TABLE t (x INT)");
+  Run("INSERT INTO t VALUES (1), (2), (3), (4), (5)");
+  auto r = Run("SELECT x FROM t ORDER BY x LIMIT 2 OFFSET 1");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+  EXPECT_EQ(r.rows[1][0].AsInt(), 3);
+}
+
+TEST_F(ExecutorTest, UpdateWithWhere) {
+  Run("CREATE TABLE t (id INT PRIMARY KEY, v INT)");
+  Run("INSERT INTO t VALUES (1, 10), (2, 20)");
+  auto r = Run("UPDATE t SET v = v + 1 WHERE id = 2");
+  EXPECT_EQ(r.affected, 1u);
+  EXPECT_EQ(Run("SELECT v FROM t WHERE id = 2").Scalar().AsInt(), 21);
+}
+
+TEST_F(ExecutorTest, DeleteWithWhere) {
+  Run("CREATE TABLE t (id INT)");
+  Run("INSERT INTO t VALUES (1), (2), (3)");
+  EXPECT_EQ(Run("DELETE FROM t WHERE id >= 2").affected, 2u);
+  EXPECT_EQ(Run("SELECT COUNT(*) FROM t").Scalar().AsInt(), 1);
+}
+
+TEST_F(ExecutorTest, PrimaryKeyUniquenessEnforced) {
+  Run("CREATE TABLE t (id INT PRIMARY KEY)");
+  Run("INSERT INTO t VALUES (1)");
+  auto s = RunExpectError("INSERT INTO t VALUES (1)");
+  EXPECT_NE(s.message().find("PRIMARY KEY"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, NotNullEnforced) {
+  Run("CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(5) NOT NULL)");
+  RunExpectError("INSERT INTO t (id) VALUES (1)");
+}
+
+TEST_F(ExecutorTest, CheckConstraintEnforced) {
+  Run("CREATE TABLE t (rating INT CHECK (rating BETWEEN 1 AND 5))");
+  Run("INSERT INTO t VALUES (3)");
+  auto s = RunExpectError("INSERT INTO t VALUES (9)");
+  EXPECT_NE(s.message().find("CHECK"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, EnumDomainEnforced) {
+  Run("CREATE TABLE u (role ENUM('admin', 'user'))");
+  Run("INSERT INTO u VALUES ('admin')");
+  RunExpectError("INSERT INTO u VALUES ('superuser')");
+}
+
+TEST_F(ExecutorTest, ForeignKeyEnforcedOnInsert) {
+  Run("CREATE TABLE parent (id INT PRIMARY KEY)");
+  Run("CREATE TABLE child (pid INT REFERENCES parent(id))");
+  Run("INSERT INTO parent VALUES (1)");
+  Run("INSERT INTO child VALUES (1)");
+  auto s = RunExpectError("INSERT INTO child VALUES (99)");
+  EXPECT_NE(s.message().find("FOREIGN KEY"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, ForeignKeyRestrictsParentDelete) {
+  Run("CREATE TABLE parent (id INT PRIMARY KEY)");
+  Run("CREATE TABLE child (pid INT REFERENCES parent(id))");
+  Run("INSERT INTO parent VALUES (1)");
+  Run("INSERT INTO child VALUES (1)");
+  RunExpectError("DELETE FROM parent WHERE id = 1");
+}
+
+TEST_F(ExecutorTest, CascadeDeleteRemovesChildren) {
+  Run("CREATE TABLE parent (id INT PRIMARY KEY)");
+  Run("CREATE TABLE child (pid INT REFERENCES parent(id) ON DELETE CASCADE)");
+  Run("INSERT INTO parent VALUES (1), (2)");
+  Run("INSERT INTO child VALUES (1), (1), (2)");
+  Run("DELETE FROM parent WHERE id = 1");
+  EXPECT_EQ(Run("SELECT COUNT(*) FROM child").Scalar().AsInt(), 1);
+}
+
+TEST_F(ExecutorTest, AutoIncrementAssignsIds) {
+  Run("CREATE TABLE t (id SERIAL PRIMARY KEY, v VARCHAR(3))");
+  Run("INSERT INTO t (v) VALUES ('a')");
+  Run("INSERT INTO t (v) VALUES ('b')");
+  auto r = Run("SELECT id FROM t ORDER BY id");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(r.rows[1][0].AsInt(), 2);
+}
+
+TEST_F(ExecutorTest, DefaultValuesApplied) {
+  Run("CREATE TABLE t (id INT, status VARCHAR(10) DEFAULT 'new')");
+  Run("INSERT INTO t (id) VALUES (1)");
+  EXPECT_EQ(Run("SELECT status FROM t").Scalar().AsString(), "new");
+}
+
+TEST_F(ExecutorTest, InsertSelectCopiesRows) {
+  Run("CREATE TABLE src (x INT)");
+  Run("CREATE TABLE dst (x INT)");
+  Run("INSERT INTO src VALUES (1), (2), (3)");
+  auto r = Run("INSERT INTO dst (x) SELECT x FROM src WHERE x > 1");
+  EXPECT_EQ(r.affected, 2u);
+}
+
+TEST_F(ExecutorTest, ScalarSubqueryInWhere) {
+  Run("CREATE TABLE t (x INT)");
+  Run("INSERT INTO t VALUES (1), (5), (9)");
+  auto r = Run("SELECT x FROM t WHERE x > (SELECT AVG(x) FROM t)");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 9);
+}
+
+TEST_F(ExecutorTest, InSubquery) {
+  Run("CREATE TABLE a (x INT)");
+  Run("CREATE TABLE b (x INT)");
+  Run("INSERT INTO a VALUES (1), (2), (3)");
+  Run("INSERT INTO b VALUES (2), (3), (4)");
+  EXPECT_EQ(Run("SELECT x FROM a WHERE x IN (SELECT x FROM b)").rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, SubqueryInFrom) {
+  Run("CREATE TABLE t (x INT)");
+  Run("INSERT INTO t VALUES (1), (2), (3)");
+  auto r = Run("SELECT big FROM (SELECT x AS big FROM t WHERE x > 1) AS sub ORDER BY big");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+}
+
+TEST_F(ExecutorTest, IndexLookupMatchesScanResults) {
+  Run("CREATE TABLE t (id INT, v INT)");
+  for (int i = 0; i < 100; ++i) {
+    Run("INSERT INTO t VALUES (" + std::to_string(i % 10) + ", " + std::to_string(i) + ")");
+  }
+  auto before = Run("SELECT COUNT(*) FROM t WHERE id = 7");
+  Run("CREATE INDEX idx_id ON t (id)");
+  auto after = Run("SELECT COUNT(*) FROM t WHERE id = 7");
+  EXPECT_EQ(before.Scalar().AsInt(), after.Scalar().AsInt());
+}
+
+TEST_F(ExecutorTest, AlterAddCheckValidatesExistingRows) {
+  Run("CREATE TABLE u (role VARCHAR(5))");
+  Run("INSERT INTO u VALUES ('R1'), ('R9')");
+  RunExpectError("ALTER TABLE u ADD CONSTRAINT chk CHECK (role IN ('R1', 'R2'))");
+  Run("UPDATE u SET role = 'R2' WHERE role = 'R9'");
+  Run("ALTER TABLE u ADD CONSTRAINT chk CHECK (role IN ('R1', 'R2'))");
+  RunExpectError("INSERT INTO u VALUES ('R9')");
+}
+
+TEST_F(ExecutorTest, AlterDropConstraintRemovesCheck) {
+  Run("CREATE TABLE u (role VARCHAR(5))");
+  Run("ALTER TABLE u ADD CONSTRAINT chk CHECK (role IN ('R1'))");
+  RunExpectError("INSERT INTO u VALUES ('R2')");
+  Run("ALTER TABLE u DROP CONSTRAINT chk");
+  Run("INSERT INTO u VALUES ('R2')");
+}
+
+TEST_F(ExecutorTest, AlterAddAndDropColumn) {
+  Run("CREATE TABLE t (a INT)");
+  Run("INSERT INTO t VALUES (1)");
+  Run("ALTER TABLE t ADD COLUMN b VARCHAR(5) DEFAULT 'x'");
+  EXPECT_EQ(Run("SELECT b FROM t").Scalar().AsString(), "x");
+  Run("ALTER TABLE t DROP COLUMN a");
+  auto r = Run("SELECT * FROM t");
+  EXPECT_EQ(r.columns, (std::vector<std::string>{"b"}));
+}
+
+TEST_F(ExecutorTest, FloatColumnLosesPrecisionNumericDoesNot) {
+  // The Rounding Errors AP (§2.2): FLOAT storage drifts, NUMERIC stays exact.
+  Run("CREATE TABLE f (v FLOAT)");
+  Run("CREATE TABLE n (v NUMERIC(10, 2))");
+  for (int i = 0; i < 100; ++i) {
+    Run("INSERT INTO f VALUES (0.1)");
+    Run("INSERT INTO n VALUES (0.1)");
+  }
+  double fsum = Run("SELECT SUM(v) FROM f").Scalar().AsReal();
+  double nsum = Run("SELECT SUM(v) FROM n").Scalar().AsReal();
+  EXPECT_GT(std::abs(fsum - 10.0), 1e-9);   // float drifted
+  EXPECT_LT(std::abs(nsum - 10.0), 1e-9);   // numeric exact (double here)
+}
+
+TEST_F(ExecutorTest, ErrorsOnMissingTableAndColumn) {
+  RunExpectError("SELECT * FROM nope");
+  Run("CREATE TABLE t (a INT)");
+  RunExpectError("SELECT b FROM t");
+  RunExpectError("INSERT INTO t (b) VALUES (1)");
+}
+
+TEST_F(ExecutorTest, InsertColumnCountMismatchFails) {
+  Run("CREATE TABLE t (a INT, b INT)");
+  RunExpectError("INSERT INTO t (a) VALUES (1, 2)");
+}
+
+TEST_F(ExecutorTest, ScriptExecutionReturnsLastResult) {
+  auto r = exec_.ExecuteScript(
+      "CREATE TABLE t (x INT); INSERT INTO t VALUES (7); SELECT x FROM t;");
+  ASSERT_TRUE(r.ok()) << r.message();
+  EXPECT_EQ(r->Scalar().AsInt(), 7);
+}
+
+TEST_F(ExecutorTest, FromlessSelectEvaluatesExpressions) {
+  auto r = Run("SELECT 1 + 2, UPPER('abc')");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+  EXPECT_EQ(r.rows[0][1].AsString(), "ABC");
+}
+
+}  // namespace
+}  // namespace sqlcheck

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "core/sqlcheck.h"
+#include "workload/globaleaks.h"
+
+namespace sqlcheck {
+namespace {
+
+TEST(IntegrationTest, GlobaleaksWorkloadFindsThePaperHeadlineAps) {
+  SqlCheck checker;
+  checker.AddScript(workload::Globaleaks::ApWorkloadScript());
+  Report report = checker.Run();
+  ASSERT_FALSE(report.empty());
+
+  auto counts = report.CountsByType();
+  // The §2.1 / §8.2 anti-patterns must all surface.
+  EXPECT_GE(counts[AntiPattern::kMultiValuedAttribute], 1);
+  EXPECT_GE(counts[AntiPattern::kEnumeratedTypes], 1);
+  EXPECT_GE(counts[AntiPattern::kNoForeignKey], 1);
+  EXPECT_GE(counts[AntiPattern::kColumnWildcard], 1);
+  EXPECT_GE(counts[AntiPattern::kImplicitColumns], 1);
+  EXPECT_GE(counts[AntiPattern::kPatternMatching], 1);
+}
+
+TEST(IntegrationTest, DataAnalysisConfirmsMvaOnLiveDatabase) {
+  Database db;
+  workload::GlobaleaksOptions small;
+  small.tenant_count = 20;
+  small.users_per_tenant = 5;
+  workload::Globaleaks::BuildWithAps(&db, small);
+
+  SqlCheck checker;
+  checker.AttachDatabase(&db);
+  Report report = checker.Run();
+  auto counts = report.CountsByType();
+  // Pure data analysis (no queries!) still finds the packed user_ids column.
+  EXPECT_GE(counts[AntiPattern::kMultiValuedAttribute], 1) << report.ToText();
+}
+
+TEST(IntegrationTest, RefactoredGlobaleaksIsMvaClean) {
+  Database db;
+  workload::GlobaleaksOptions small;
+  small.tenant_count = 20;
+  small.users_per_tenant = 5;
+  workload::Globaleaks::BuildRefactored(&db, small);
+
+  SqlCheck checker;
+  checker.AttachDatabase(&db);
+  Report report = checker.Run();
+  auto counts = report.CountsByType();
+  EXPECT_EQ(counts[AntiPattern::kMultiValuedAttribute], 0) << report.ToText();
+  EXPECT_EQ(counts[AntiPattern::kEnumeratedTypes], 0) << report.ToText();
+}
+
+TEST(IntegrationTest, RankingPutsHighImpactFirstAndFixesAttach) {
+  SqlCheck checker;
+  checker.AddScript(workload::Globaleaks::ApWorkloadScript());
+  Report report = checker.Run();
+  ASSERT_GE(report.size(), 2u);
+  for (size_t i = 1; i < report.findings.size(); ++i) {
+    EXPECT_GE(report.findings[i - 1].ranked.score, report.findings[i].ranked.score);
+  }
+  // Every finding carries a fix (rewrite or textual).
+  for (const auto& finding : report.findings) {
+    EXPECT_FALSE(finding.fix.explanation.empty() && finding.fix.statements.empty());
+  }
+  // The report renders.
+  EXPECT_NE(report.ToText().find("sqlcheck report"), std::string::npos);
+}
+
+TEST(IntegrationTest, FindAntiPatternsOneShotApi) {
+  Report report = FindAntiPatterns("SELECT * FROM users");
+  EXPECT_GE(report.CountsByType()[AntiPattern::kColumnWildcard], 1);
+}
+
+}  // namespace
+}  // namespace sqlcheck

@@ -1,0 +1,163 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace sqlcheck::sql {
+namespace {
+
+std::vector<Token> LexNoEnd(std::string_view s, LexerOptions opts = {}) {
+  auto tokens = Lex(s, opts);
+  EXPECT_FALSE(tokens.empty());
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEnd);
+  tokens.pop_back();
+  return tokens;
+}
+
+TEST(LexerTest, EmptyInputYieldsOnlyEnd) {
+  auto tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  auto tokens = LexNoEnd("SELECT name FROM users");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_TRUE(tokens[0].IsKeyword("select"));
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "name");
+  EXPECT_TRUE(tokens[2].IsKeyword("from"));
+  EXPECT_EQ(tokens[3].text, "users");
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = LexNoEnd("sElEcT");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kKeyword);
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+}
+
+TEST(LexerTest, SingleQuotedStringWithDoubledEscape) {
+  auto tokens = LexNoEnd("'it''s'");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(LexerTest, BackslashEscapeInString) {
+  auto tokens = LexNoEnd(R"('a\'b')");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].text, "a'b");
+}
+
+TEST(LexerTest, QuotedIdentifierStyles) {
+  auto tokens = LexNoEnd(R"("col" `col` [col])");
+  ASSERT_EQ(tokens.size(), 3u);
+  for (const auto& t : tokens) {
+    EXPECT_EQ(t.kind, TokenKind::kQuotedIdentifier);
+    EXPECT_EQ(t.text, "col");
+  }
+}
+
+TEST(LexerTest, DollarQuotedString) {
+  auto tokens = LexNoEnd("$$hello world$$");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "hello world");
+}
+
+TEST(LexerTest, TaggedDollarQuotedString) {
+  auto tokens = LexNoEnd("$tag$a $$ b$tag$");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].text, "a $$ b");
+}
+
+TEST(LexerTest, NumbersIntegerRealExponent) {
+  auto tokens = LexNoEnd("1 2.5 3e10 4.2E-3 .5");
+  ASSERT_EQ(tokens.size(), 5u);
+  for (const auto& t : tokens) EXPECT_EQ(t.kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[0].text, "1");
+  EXPECT_EQ(tokens[1].text, "2.5");
+  EXPECT_EQ(tokens[2].text, "3e10");
+  EXPECT_EQ(tokens[3].text, "4.2E-3");
+  EXPECT_EQ(tokens[4].text, ".5");
+}
+
+TEST(LexerTest, LineCommentsAreSkippedByDefault) {
+  auto tokens = LexNoEnd("SELECT 1 -- trailing comment\n+ 2");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[2].text, "+");
+}
+
+TEST(LexerTest, HashCommentsAreSkipped) {
+  auto tokens = LexNoEnd("SELECT 1 # mysql comment\n, 2");
+  ASSERT_EQ(tokens.size(), 4u);
+}
+
+TEST(LexerTest, BlockCommentsAreSkipped) {
+  auto tokens = LexNoEnd("SELECT /* a\nmultiline\ncomment */ 42");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1].text, "42");
+}
+
+TEST(LexerTest, CommentsKeptWhenRequested) {
+  LexerOptions opts;
+  opts.keep_comments = true;
+  auto tokens = LexNoEnd("SELECT 1 -- note", opts);
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kComment);
+  EXPECT_EQ(tokens[2].text, "-- note");
+}
+
+TEST(LexerTest, BindParameterSpellings) {
+  auto tokens = LexNoEnd("? %s :named $3");
+  ASSERT_EQ(tokens.size(), 4u);
+  for (const auto& t : tokens) EXPECT_EQ(t.kind, TokenKind::kParam);
+  EXPECT_EQ(tokens[0].text, "?");
+  EXPECT_EQ(tokens[1].text, "%s");
+  EXPECT_EQ(tokens[2].text, ":named");
+  EXPECT_EQ(tokens[3].text, "$3");
+}
+
+TEST(LexerTest, MultiCharOperators) {
+  auto tokens = LexNoEnd("a || b <> c != d <= e >= f :: g == h");
+  std::vector<std::string> ops;
+  for (const auto& t : tokens) {
+    if (t.kind == TokenKind::kOperator) ops.push_back(t.text);
+  }
+  EXPECT_EQ(ops, (std::vector<std::string>{"||", "<>", "!=", "<=", ">=", "::", "=="}));
+}
+
+TEST(LexerTest, PunctuationKinds) {
+  auto tokens = LexNoEnd("(a, b.c);");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kLeftParen);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kComma);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kDot);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kRightParen);
+  EXPECT_EQ(tokens[7].kind, TokenKind::kSemicolon);
+}
+
+TEST(LexerTest, OffsetsAndLengthsTrackSource) {
+  std::string sql = "SELECT 'ab'";
+  auto tokens = LexNoEnd(sql);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[0].length, 6u);
+  EXPECT_EQ(tokens[1].offset, 7u);
+  EXPECT_EQ(tokens[1].length, 4u);  // includes quotes
+}
+
+TEST(LexerTest, UnterminatedStringDoesNotCrash) {
+  auto tokens = LexNoEnd("'never closed");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "never closed");
+}
+
+TEST(LexerTest, WordBoundaryPatternSurvivesAsString) {
+  auto tokens = LexNoEnd("WHERE User_IDs LIKE '[[:<:]]U1[[:>:]]'");
+  EXPECT_EQ(tokens.back().kind, TokenKind::kString);
+  EXPECT_EQ(tokens.back().text, "[[:<:]]U1[[:>:]]");
+}
+
+}  // namespace
+}  // namespace sqlcheck::sql

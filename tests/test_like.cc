@@ -1,0 +1,95 @@
+#include "engine/like.h"
+
+#include <gtest/gtest.h>
+
+namespace sqlcheck {
+namespace {
+
+TEST(LikeTest, ExactMatchWithoutWildcards) {
+  EXPECT_TRUE(LikeMatch("abc", "abc"));
+  EXPECT_FALSE(LikeMatch("abc", "abcd"));
+  EXPECT_FALSE(LikeMatch("abcd", "abc"));
+}
+
+TEST(LikeTest, PercentWildcard) {
+  EXPECT_TRUE(LikeMatch("hello world", "hello%"));
+  EXPECT_TRUE(LikeMatch("hello world", "%world"));
+  EXPECT_TRUE(LikeMatch("hello world", "%lo wo%"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("hello", "%x%"));
+}
+
+TEST(LikeTest, UnderscoreWildcard) {
+  EXPECT_TRUE(LikeMatch("cat", "c_t"));
+  EXPECT_FALSE(LikeMatch("cart", "c_t"));
+  EXPECT_TRUE(LikeMatch("cart", "c__t"));
+}
+
+TEST(LikeTest, ConsecutivePercentsCollapse) {
+  EXPECT_TRUE(LikeMatch("abc", "%%a%%c%%"));
+}
+
+TEST(LikeTest, CaseSensitivityFlag) {
+  EXPECT_FALSE(LikeMatch("ABC", "abc"));
+  EXPECT_TRUE(LikeMatch("ABC", "abc", /*case_insensitive=*/true));
+}
+
+TEST(LikeTest, EscapedWildcard) {
+  EXPECT_TRUE(LikeMatch("50%", "50\\%"));
+  EXPECT_FALSE(LikeMatch("50x", "50\\%"));
+}
+
+TEST(WordBoundaryTest, MarkerDetection) {
+  EXPECT_TRUE(HasWordBoundaryMarkers("[[:<:]]U1[[:>:]]"));
+  EXPECT_FALSE(HasWordBoundaryMarkers("%U1%"));
+}
+
+TEST(WordBoundaryTest, MatchesWholeTokensOnly) {
+  // The paper's §2.1 scenario: finding U1 in a comma-separated list.
+  EXPECT_TRUE(WordBoundaryMatch("U1,U2,U3", "[[:<:]]U1[[:>:]]"));
+  EXPECT_TRUE(WordBoundaryMatch("U2,U1", "[[:<:]]U1[[:>:]]"));
+  EXPECT_FALSE(WordBoundaryMatch("U11,U12", "[[:<:]]U1[[:>:]]"));  // no partials
+  EXPECT_FALSE(WordBoundaryMatch("XU1", "[[:<:]]U1[[:>:]]"));
+}
+
+TEST(WordBoundaryTest, ToleratesSurroundingPercents) {
+  EXPECT_TRUE(WordBoundaryMatch("a U1 b", "%[[:<:]]U1[[:>:]]%"));
+}
+
+TEST(WordBoundaryTest, SingleElementList) {
+  EXPECT_TRUE(WordBoundaryMatch("U1", "[[:<:]]U1[[:>:]]"));
+}
+
+TEST(SqlPatternTest, DispatchesByMarkerPresence) {
+  EXPECT_TRUE(SqlPatternMatch("U1,U2", "[[:<:]]U2[[:>:]]"));
+  EXPECT_TRUE(SqlPatternMatch("hello", "he%"));
+  EXPECT_FALSE(SqlPatternMatch("U12", "[[:<:]]U1[[:>:]]"));
+}
+
+TEST(SimpleRegexTest, SubstringSemantics) {
+  EXPECT_TRUE(SimpleRegexMatch("hello world", "world"));
+  EXPECT_FALSE(SimpleRegexMatch("hello", "world"));
+}
+
+TEST(SimpleRegexTest, AnchorsAndDotStar) {
+  EXPECT_TRUE(SimpleRegexMatch("hello", "^he"));
+  EXPECT_FALSE(SimpleRegexMatch("ahead", "^he"));
+  EXPECT_TRUE(SimpleRegexMatch("hello", "lo$"));
+  EXPECT_FALSE(SimpleRegexMatch("lonely", "lo$"));
+  EXPECT_TRUE(SimpleRegexMatch("abc123", "a.*3"));
+  EXPECT_TRUE(SimpleRegexMatch("ac", "ab*c"));
+  EXPECT_TRUE(SimpleRegexMatch("abbbc", "ab*c"));
+}
+
+TEST(SimpleRegexTest, WordBoundaryMarkers) {
+  EXPECT_TRUE(SimpleRegexMatch("U1,U2", "[[:<:]]U2[[:>:]]"));
+  EXPECT_FALSE(SimpleRegexMatch("U12", "[[:<:]]U1[[:>:]]"));
+}
+
+TEST(SimpleRegexTest, DotMatchesOneChar) {
+  EXPECT_TRUE(SimpleRegexMatch("cat", "c.t"));
+  EXPECT_FALSE(SimpleRegexMatch("ct", "c.t"));
+}
+
+}  // namespace
+}  // namespace sqlcheck

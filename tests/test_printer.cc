@@ -1,0 +1,103 @@
+#include "sql/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace sqlcheck::sql {
+namespace {
+
+TEST(PrinterTest, SimpleStatements) {
+  EXPECT_EQ(PrintStatement(*ParseStatement("select a from t")), "SELECT a FROM t;");
+  EXPECT_EQ(PrintStatement(*ParseStatement("delete from t where x = 1")),
+            "DELETE FROM t WHERE (x = 1);");
+}
+
+TEST(PrinterTest, QuotingInLiteralsAndIdentifiers) {
+  EXPECT_EQ(PrintStatement(*ParseStatement("SELECT 'it''s' FROM t")),
+            "SELECT 'it''s' FROM t;");
+  EXPECT_EQ(PrintStatement(*ParseStatement("SELECT \"weird col\" FROM t")),
+            "SELECT \"weird col\" FROM t;");
+}
+
+// Property: printing a parsed statement and re-parsing the output must yield
+// a tree that prints identically (print∘parse is a fixpoint after one round).
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, PrintParsePrintIsStable) {
+  StatementPtr first = ParseStatement(GetParam());
+  ASSERT_NE(first->kind, StatementKind::kUnknown) << GetParam();
+  std::string once = PrintStatement(*first);
+  StatementPtr second = ParseStatement(once);
+  ASSERT_NE(second->kind, StatementKind::kUnknown) << "re-parse failed: " << once;
+  EXPECT_EQ(PrintStatement(*second), once) << "unstable print for: " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Statements, RoundTripTest,
+    ::testing::Values(
+        "SELECT a, b FROM t",
+        "SELECT * FROM t",
+        "SELECT t.* FROM t",
+        "SELECT DISTINCT a FROM t WHERE b > 3",
+        "SELECT a AS x FROM t AS u",
+        "SELECT a FROM t WHERE a IN (1, 2, 3)",
+        "SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b IS NOT NULL",
+        "SELECT a FROM t WHERE name LIKE '%x%' ESCAPE '!'",
+        "SELECT a FROM t WHERE NOT (a = 1 OR b = 2)",
+        "SELECT COUNT(*), COUNT(DISTINCT a), SUM(b + 1) FROM t GROUP BY c HAVING "
+        "COUNT(*) > 2",
+        "SELECT a FROM t ORDER BY a DESC, b LIMIT 10 OFFSET 5",
+        "SELECT a FROM t1 JOIN t2 ON t1.id = t2.id LEFT JOIN t3 ON t2.id = t3.id",
+        "SELECT a FROM t1 CROSS JOIN t2",
+        "SELECT a FROM (SELECT a FROM u) AS sub",
+        "SELECT CASE WHEN a > 1 THEN 'x' ELSE 'y' END FROM t",
+        "SELECT CAST(a AS INTEGER) FROM t",
+        "SELECT a || '-' || b FROM t",
+        "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.id = t.id)",
+        "SELECT a FROM t WHERE id IN (SELECT id FROM u)",
+        "SELECT a FROM t ORDER BY RAND()",
+        "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')",
+        "INSERT INTO t VALUES (1, NULL, TRUE)",
+        "INSERT INTO t (a) SELECT a FROM u WHERE a > 0",
+        "UPDATE t SET a = a + 1, b = 'x' WHERE id = 3",
+        "DELETE FROM t",
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, name VARCHAR(30) NOT NULL, "
+        "score FLOAT DEFAULT 0)",
+        "CREATE TABLE t (a INTEGER, b INTEGER, PRIMARY KEY (a, b), "
+        "FOREIGN KEY (a) REFERENCES u (x) ON DELETE CASCADE)",
+        "CREATE TABLE t (role ENUM('a', 'b') NOT NULL)",
+        "CREATE TABLE t (v VARCHAR(10) CHECK (v IN ('x', 'y')))",
+        "CREATE UNIQUE INDEX idx ON t (a, b)",
+        "ALTER TABLE t ADD COLUMN c INTEGER",
+        "ALTER TABLE t DROP COLUMN c",
+        "ALTER TABLE t ADD CONSTRAINT chk CHECK (a > 0)",
+        "ALTER TABLE t DROP CONSTRAINT IF EXISTS chk",
+        "ALTER TABLE t ALTER COLUMN a TYPE NUMERIC(10, 2)",
+        "DROP TABLE IF EXISTS t",
+        "DROP INDEX idx"));
+
+// Property: expression printing respects structure (parenthesization keeps
+// the parsed precedence).
+class ExprPrecedenceTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ExprPrecedenceTest, ReparseKeepsStructure) {
+  std::string q = std::string("SELECT ") + GetParam() + " FROM t";
+  StatementPtr first = ParseStatement(q);
+  auto* s1 = first->As<SelectStatement>();
+  ASSERT_NE(s1, nullptr);
+  std::string printed = PrintExpr(*s1->items[0].expr);
+  StatementPtr second = ParseStatement("SELECT " + printed + " FROM t");
+  auto* s2 = second->As<SelectStatement>();
+  ASSERT_NE(s2, nullptr) << printed;
+  EXPECT_EQ(PrintExpr(*s2->items[0].expr), printed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Expressions, ExprPrecedenceTest,
+                         ::testing::Values("1 + 2 * 3", "(1 + 2) * 3", "a AND b OR c",
+                                           "a AND (b OR c)", "NOT a = b",
+                                           "a - b - c", "a / b / c",
+                                           "x || y || z", "-a + b"));
+
+}  // namespace
+}  // namespace sqlcheck::sql

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "sql/extractor.h"
+#include "sql/splitter.h"
+
+namespace sqlcheck::sql {
+namespace {
+
+TEST(SplitterTest, BasicSplit) {
+  auto parts = SplitStatements("SELECT 1; SELECT 2 ; SELECT 3");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "SELECT 1");
+  EXPECT_EQ(parts[2], "SELECT 3");
+}
+
+TEST(SplitterTest, SemicolonInsideStringIsNotABoundary) {
+  auto parts = SplitStatements("SELECT 'a;b' FROM t; SELECT 2");
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "SELECT 'a;b' FROM t");
+}
+
+TEST(SplitterTest, SemicolonInsideCommentIsNotABoundary) {
+  auto parts = SplitStatements("SELECT 1 -- trailing; comment\n; SELECT 2");
+  ASSERT_EQ(parts.size(), 2u);
+}
+
+TEST(SplitterTest, EmptyPiecesDropped) {
+  EXPECT_TRUE(SplitStatements(";;;  ; ").empty());
+  EXPECT_EQ(SplitStatements("SELECT 1;;").size(), 1u);
+}
+
+TEST(ExtractorTest, FindsSqlInHostStrings) {
+  auto found = ExtractEmbeddedSql(R"(
+cur.execute("SELECT * FROM users WHERE id = 1")
+name = "bob"
+db.run('INSERT INTO logs VALUES (1)')
+)");
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_EQ(found[0].sql, "SELECT * FROM users WHERE id = 1");
+  EXPECT_EQ(found[1].sql, "INSERT INTO logs VALUES (1)");
+}
+
+TEST(ExtractorTest, NonSqlStringsIgnored) {
+  auto found = ExtractEmbeddedSql("x = \"hello world\"\ny = 'select all the things!'");
+  // 'select all...' does start with "select " — extractor keeps it; the
+  // parser downstream degrades it to Unknown. "hello world" must be skipped.
+  ASSERT_EQ(found.size(), 1u);
+}
+
+TEST(ExtractorTest, TripleQuotedMultilineSql) {
+  auto found = ExtractEmbeddedSql(
+      "q = \"\"\"SELECT a,\n       b\nFROM t\nWHERE x = 1\"\"\"\n");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_NE(found[0].sql.find("FROM t"), std::string::npos);
+}
+
+TEST(ExtractorTest, MultiStatementStringSplits) {
+  auto found = ExtractEmbeddedSql("s = 'CREATE TABLE t (a INT); INSERT INTO t VALUES (1)'");
+  ASSERT_EQ(found.size(), 2u);
+}
+
+TEST(ExtractorTest, CommentedOutSqlSkipped) {
+  auto found = ExtractEmbeddedSql(
+      "# cur.execute('SELECT 1 FROM dual')\n"
+      "// db.run(\"SELECT 2\")\n"
+      "real = 'SELECT 3'\n");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].sql, "SELECT 3");
+}
+
+TEST(ExtractorTest, EscapedQuotesInsideHostString) {
+  auto found = ExtractEmbeddedSql(R"(q = "SELECT * FROM t WHERE name = \"x\"")");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_NE(found[0].sql.find("WHERE name ="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sqlcheck::sql

@@ -1,0 +1,107 @@
+#include "storage/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace sqlcheck {
+namespace {
+
+Table MakeTable(const std::string& ddl) {
+  auto stmt = sql::ParseStatement(ddl);
+  return Table(TableSchema::FromCreateTable(*stmt->As<sql::CreateTableStatement>()));
+}
+
+TEST(StatisticsTest, BasicCountsAndDistribution) {
+  Table t = MakeTable("CREATE TABLE t (v INTEGER)");
+  for (int i = 0; i < 10; ++i) t.Insert({Value::Int(i % 3)});
+  t.Insert({Value::Null_()});
+  TableStats stats = ComputeTableStats(t);
+  ASSERT_EQ(stats.columns.size(), 1u);
+  const ColumnStats& c = stats.columns[0];
+  EXPECT_EQ(c.row_count, 11u);
+  EXPECT_EQ(c.null_count, 1u);
+  EXPECT_EQ(c.distinct_count, 3u);
+  EXPECT_EQ(c.min->AsInt(), 0);
+  EXPECT_EQ(c.max->AsInt(), 2);
+  EXPECT_NEAR(c.mean, 0.9, 1e-9);  // (0+1+2)*3 + 0 = 9 over 10 non-null
+  EXPECT_NEAR(c.NullFraction(), 1.0 / 11.0, 1e-9);
+}
+
+TEST(StatisticsTest, TopValueAndFrequency) {
+  Table t = MakeTable("CREATE TABLE t (v VARCHAR(5))");
+  for (int i = 0; i < 7; ++i) t.Insert({Value::Str("a")});
+  for (int i = 0; i < 3; ++i) t.Insert({Value::Str("b")});
+  TableStats stats = ComputeTableStats(t);
+  EXPECT_EQ(stats.columns[0].top_value.AsString(), "a");
+  EXPECT_EQ(stats.columns[0].top_frequency, 7u);
+}
+
+TEST(StatisticsTest, StringShapeFractions) {
+  Table t = MakeTable("CREATE TABLE t (v TEXT)");
+  t.Insert({Value::Str("123")});
+  t.Insert({Value::Str("456")});
+  t.Insert({Value::Str("789")});
+  t.Insert({Value::Str("abc")});
+  TableStats stats = ComputeTableStats(t);
+  EXPECT_NEAR(stats.columns[0].numeric_string_fraction, 0.75, 1e-9);
+}
+
+TEST(StatisticsTest, DateAndTimezoneFractions) {
+  Table t = MakeTable("CREATE TABLE t (v TEXT)");
+  t.Insert({Value::Str("2020-01-01 10:00:00Z")});
+  t.Insert({Value::Str("2020-01-02 10:00:00")});
+  TableStats stats = ComputeTableStats(t);
+  EXPECT_DOUBLE_EQ(stats.columns[0].date_string_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(stats.columns[0].timezone_fraction, 0.5);
+}
+
+TEST(StatisticsTest, DelimitedDetection) {
+  Table t = MakeTable("CREATE TABLE t (v TEXT)");
+  t.Insert({Value::Str("U1,U2,U3")});
+  t.Insert({Value::Str("U4,U5")});
+  t.Insert({Value::Str("plain")});
+  TableStats stats = ComputeTableStats(t);
+  EXPECT_NEAR(stats.columns[0].delimited_fraction, 2.0 / 3.0, 1e-9);
+  EXPECT_EQ(stats.columns[0].dominant_delimiter, ',');
+}
+
+TEST(StatisticsTest, ProseWithCommasIsNotDelimited) {
+  char delim = '\0';
+  EXPECT_FALSE(LooksDelimited(
+      "This is a long sentence, with a comma, that describes something in "
+      "enough words to exceed the field-size bound.",
+      &delim));
+  EXPECT_TRUE(LooksDelimited("a,b,c", &delim));
+  EXPECT_EQ(delim, ',');
+  EXPECT_FALSE(LooksDelimited("trailing,", &delim));  // empty field
+  EXPECT_FALSE(LooksDelimited("nodelims", &delim));
+}
+
+TEST(StatisticsTest, SemicolonAndPipeDelimiters) {
+  char delim = '\0';
+  EXPECT_TRUE(LooksDelimited("U3;U4", &delim));
+  EXPECT_EQ(delim, ';');
+  EXPECT_TRUE(LooksDelimited("x|y|z", &delim));
+  EXPECT_EQ(delim, '|');
+}
+
+TEST(StatisticsTest, SamplingBoundsWork) {
+  Table t = MakeTable("CREATE TABLE t (v INTEGER)");
+  for (int i = 0; i < 1000; ++i) t.Insert({Value::Int(i)});
+  TableStats sampled = ComputeTableStats(t, /*sample_limit=*/50);
+  EXPECT_EQ(sampled.row_count, 1000u);          // table size is exact
+  EXPECT_EQ(sampled.columns[0].row_count, 50u); // stats over the sample
+  EXPECT_EQ(sampled.columns[0].distinct_count, 50u);
+}
+
+TEST(StatisticsTest, FindColumnLookup) {
+  Table t = MakeTable("CREATE TABLE t (alpha INTEGER, beta TEXT)");
+  t.Insert({Value::Int(1), Value::Str("x")});
+  TableStats stats = ComputeTableStats(t);
+  EXPECT_NE(stats.FindColumn("ALPHA"), nullptr);
+  EXPECT_EQ(stats.FindColumn("gamma"), nullptr);
+}
+
+}  // namespace
+}  // namespace sqlcheck

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "storage/database.h"
+#include "storage/sampler.h"
+
+namespace sqlcheck {
+namespace {
+
+TableSchema TwoColumnSchema(const std::string& name) {
+  auto stmt = sql::ParseStatement("CREATE TABLE " + name + " (id INTEGER, v VARCHAR(10))");
+  return TableSchema::FromCreateTable(*stmt->As<sql::CreateTableStatement>());
+}
+
+TEST(TableTest, InsertAndScan) {
+  Table table(TwoColumnSchema("t"));
+  table.Insert({Value::Int(1), Value::Str("a")});
+  table.Insert({Value::Int(2), Value::Str("b")});
+  EXPECT_EQ(table.live_row_count(), 2u);
+  int visited = 0;
+  table.ForEachLive([&](size_t, const Row& row) {
+    ++visited;
+    EXPECT_EQ(row.size(), 2u);
+  });
+  EXPECT_EQ(visited, 2);
+}
+
+TEST(TableTest, DeleteTombstones) {
+  Table table(TwoColumnSchema("t"));
+  size_t slot = table.Insert({Value::Int(1), Value::Str("a")});
+  table.Insert({Value::Int(2), Value::Str("b")});
+  EXPECT_TRUE(table.DeleteRow(slot).ok());
+  EXPECT_EQ(table.live_row_count(), 1u);
+  EXPECT_FALSE(table.IsLive(slot));
+  EXPECT_FALSE(table.DeleteRow(slot).ok());  // double delete rejected
+  EXPECT_EQ(table.LiveSlots().size(), 1u);
+}
+
+TEST(TableTest, UpdateRewritesRow) {
+  Table table(TwoColumnSchema("t"));
+  size_t slot = table.Insert({Value::Int(1), Value::Str("a")});
+  EXPECT_TRUE(table.UpdateRow(slot, {Value::Int(9), Value::Str("z")}).ok());
+  EXPECT_EQ(table.RowAt(slot)[0].AsInt(), 9);
+}
+
+TEST(TableTest, IndexMaintainedAcrossMutations) {
+  Table table(TwoColumnSchema("t"));
+  IndexSchema index_schema;
+  index_schema.name = "idx_id";
+  index_schema.table = "t";
+  index_schema.columns = {"id"};
+  ASSERT_TRUE(table.CreateIndex(index_schema).ok());
+  const Index* index = table.FindIndexOnColumn("id");
+  ASSERT_NE(index, nullptr);
+
+  size_t slot = table.Insert({Value::Int(5), Value::Str("a")});
+  CompositeKey five{{Value::Int(5)}};
+  EXPECT_EQ(index->Lookup(five).size(), 1u);
+
+  table.UpdateRow(slot, {Value::Int(6), Value::Str("a")});
+  EXPECT_TRUE(index->Lookup(five).empty());
+  CompositeKey six{{Value::Int(6)}};
+  EXPECT_EQ(index->Lookup(six).size(), 1u);
+
+  table.DeleteRow(slot);
+  EXPECT_TRUE(index->Lookup(six).empty());
+  EXPECT_EQ(index->entry_count(), 0u);
+}
+
+TEST(TableTest, CreateIndexOverExistingRows) {
+  Table table(TwoColumnSchema("t"));
+  for (int i = 0; i < 10; ++i) {
+    table.Insert({Value::Int(i % 3), Value::Str("x")});
+  }
+  IndexSchema index_schema;
+  index_schema.name = "idx";
+  index_schema.table = "t";
+  index_schema.columns = {"id"};
+  ASSERT_TRUE(table.CreateIndex(index_schema).ok());
+  CompositeKey key{{Value::Int(0)}};
+  EXPECT_EQ(table.FindIndexOnColumn("id")->Lookup(key).size(), 4u);  // 0,3,6,9
+}
+
+TEST(TableTest, IndexCreationFailures) {
+  Table table(TwoColumnSchema("t"));
+  IndexSchema bad;
+  bad.name = "idx";
+  bad.table = "t";
+  bad.columns = {"missing"};
+  EXPECT_FALSE(table.CreateIndex(bad).ok());
+  IndexSchema good = bad;
+  good.columns = {"id"};
+  EXPECT_TRUE(table.CreateIndex(good).ok());
+  EXPECT_FALSE(table.CreateIndex(good).ok());  // duplicate name
+  EXPECT_TRUE(table.DropIndex("idx").ok());
+  EXPECT_FALSE(table.DropIndex("idx").ok());
+}
+
+TEST(TableTest, FindSingleColumnIndexSkipsComposites) {
+  Table table(TwoColumnSchema("t"));
+  IndexSchema composite;
+  composite.name = "idx_both";
+  composite.table = "t";
+  composite.columns = {"id", "v"};
+  ASSERT_TRUE(table.CreateIndex(composite).ok());
+  EXPECT_NE(table.FindIndexOnColumn("id"), nullptr);        // leading column ok
+  EXPECT_EQ(table.FindSingleColumnIndex("id"), nullptr);    // but not single
+  IndexSchema single;
+  single.name = "idx_id";
+  single.table = "t";
+  single.columns = {"id"};
+  ASSERT_TRUE(table.CreateIndex(single).ok());
+  EXPECT_NE(table.FindSingleColumnIndex("id"), nullptr);
+}
+
+TEST(TableTest, AddAndDropColumnRewriteRows) {
+  Table table(TwoColumnSchema("t"));
+  table.Insert({Value::Int(1), Value::Str("a")});
+  ColumnSchema extra;
+  extra.name = "flag";
+  extra.type = DataType::Make(TypeId::kBoolean);
+  ASSERT_TRUE(table.AddColumn(extra, Value::Bool(false)).ok());
+  EXPECT_EQ(table.RowAt(0).size(), 3u);
+  EXPECT_FALSE(table.RowAt(0)[2].AsBool());
+
+  ASSERT_TRUE(table.DropColumn("id").ok());
+  EXPECT_EQ(table.RowAt(0).size(), 2u);
+  EXPECT_EQ(table.schema().ColumnIndex("flag"), 1);
+}
+
+TEST(TableTest, DropColumnRebuildsSurvivingIndexes) {
+  Table table(TwoColumnSchema("t"));
+  table.Insert({Value::Int(7), Value::Str("a")});
+  IndexSchema on_v;
+  on_v.name = "idx_v";
+  on_v.table = "t";
+  on_v.columns = {"v"};
+  ASSERT_TRUE(table.CreateIndex(on_v).ok());
+  ASSERT_TRUE(table.DropColumn("id").ok());
+  // Index on v survives and still finds the row at its shifted position.
+  const Index* index = table.FindIndexOnColumn("v");
+  ASSERT_NE(index, nullptr);
+  CompositeKey key{{Value::Str("a")}};
+  EXPECT_EQ(index->Lookup(key).size(), 1u);
+}
+
+TEST(TableTest, AutoIncrementObservesExplicitValues) {
+  Table table(TwoColumnSchema("t"));
+  EXPECT_EQ(table.NextAutoValue(), 1);
+  table.ObserveAutoValue(41);
+  EXPECT_EQ(table.NextAutoValue(), 42);
+}
+
+TEST(DatabaseTest, TableLifecycle) {
+  Database db;
+  EXPECT_TRUE(db.CreateTable(TwoColumnSchema("t")).ok());
+  EXPECT_FALSE(db.CreateTable(TwoColumnSchema("t")).ok());
+  EXPECT_NE(db.GetTable("T"), nullptr);  // case-insensitive
+  EXPECT_TRUE(db.DropTable("t").ok());
+  EXPECT_EQ(db.GetTable("t"), nullptr);
+}
+
+TEST(DatabaseTest, BuildCatalogReflectsState) {
+  Database db;
+  db.CreateTable(TwoColumnSchema("t"));
+  IndexSchema index;
+  index.name = "idx_id";
+  index.table = "t";
+  index.columns = {"id"};
+  db.CreateIndex(index);
+  Catalog catalog = db.BuildCatalog();
+  EXPECT_NE(catalog.FindTable("t"), nullptr);
+  EXPECT_NE(catalog.FindIndex("idx_id"), nullptr);
+}
+
+TEST(SamplerTest, SampleSmallerThanTableIsDeterministic) {
+  Table table(TwoColumnSchema("t"));
+  for (int i = 0; i < 100; ++i) table.Insert({Value::Int(i), Value::Str("x")});
+  auto a = SampleSlots(table, 10, 7);
+  auto b = SampleSlots(table, 10, 7);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 10u);
+  auto c = SampleSlots(table, 10, 8);
+  EXPECT_NE(a, c);  // different seed, different sample (overwhelmingly likely)
+}
+
+TEST(SamplerTest, SampleLargerThanTableReturnsAll) {
+  Table table(TwoColumnSchema("t"));
+  for (int i = 0; i < 5; ++i) table.Insert({Value::Int(i), Value::Str("x")});
+  EXPECT_EQ(SampleSlots(table, 50, 1).size(), 5u);
+  EXPECT_EQ(SampleRows(table, 50, 1).size(), 5u);
+  EXPECT_TRUE(SampleSlots(table, 0, 1).empty());
+}
+
+}  // namespace
+}  // namespace sqlcheck

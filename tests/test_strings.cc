@@ -1,0 +1,80 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace sqlcheck {
+namespace {
+
+TEST(StringsTest, CaseConversions) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(ToUpper("SeLeCt"), "SELECT");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  a b  "), "a b");
+  EXPECT_EQ(Trim("\t\nx\r "), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringsTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selects"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+}
+
+TEST(StringsTest, StartsAndContainsIgnoreCase) {
+  EXPECT_TRUE(StartsWithIgnoreCase("SELECT * FROM t", "select "));
+  EXPECT_FALSE(StartsWithIgnoreCase("SEL", "select"));
+  EXPECT_TRUE(ContainsIgnoreCase("a LIKE b", "like"));
+  EXPECT_FALSE(ContainsIgnoreCase("ab", "abc"));
+  EXPECT_TRUE(ContainsIgnoreCase("anything", ""));
+}
+
+TEST(StringsTest, SplitAndJoin) {
+  EXPECT_EQ(Split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Join({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ", "), "");
+}
+
+TEST(StringsTest, NumericPredicates) {
+  EXPECT_TRUE(IsAllDigits("0123"));
+  EXPECT_FALSE(IsAllDigits("12a"));
+  EXPECT_FALSE(IsAllDigits(""));
+  EXPECT_TRUE(LooksNumeric("42"));
+  EXPECT_TRUE(LooksNumeric("-3.14"));
+  EXPECT_TRUE(LooksNumeric("+7"));
+  EXPECT_FALSE(LooksNumeric("1.2.3"));
+  EXPECT_FALSE(LooksNumeric("abc"));
+  EXPECT_FALSE(LooksNumeric("."));
+}
+
+TEST(StringsTest, DateDetection) {
+  EXPECT_TRUE(LooksLikeDate("2019-07-04"));
+  EXPECT_TRUE(LooksLikeDate("2019/07/04 12:00"));
+  EXPECT_TRUE(LooksLikeDate("07/04/2019"));
+  EXPECT_FALSE(LooksLikeDate("not a date"));
+  EXPECT_FALSE(LooksLikeDate("2019-7-4"));  // needs zero padding
+}
+
+TEST(StringsTest, TimezoneSuffix) {
+  EXPECT_TRUE(HasTimezoneSuffix("2019-07-04 10:00:00Z"));
+  EXPECT_TRUE(HasTimezoneSuffix("2019-07-04 10:00:00+02:00"));
+  EXPECT_TRUE(HasTimezoneSuffix("2019-07-04 10:00:00-0500"));
+  EXPECT_FALSE(HasTimezoneSuffix("2019-07-04 10:00:00"));
+  EXPECT_FALSE(HasTimezoneSuffix("2019-07-04"));
+}
+
+TEST(StringsTest, Unquote) {
+  EXPECT_EQ(Unquote("'abc'"), "abc");
+  EXPECT_EQ(Unquote("\"abc\""), "abc");
+  EXPECT_EQ(Unquote("`abc`"), "abc");
+  EXPECT_EQ(Unquote("[abc]"), "abc");
+  EXPECT_EQ(Unquote("abc"), "abc");
+  EXPECT_EQ(Unquote("'"), "'");  // too short to strip
+}
+
+}  // namespace
+}  // namespace sqlcheck

@@ -1,0 +1,137 @@
+#include "catalog/value.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/data_type.h"
+
+namespace sqlcheck {
+namespace {
+
+TEST(ValueTest, ConstructorsAndPredicates) {
+  EXPECT_TRUE(Value::Null_().is_null());
+  EXPECT_TRUE(Value::Int(1).is_int());
+  EXPECT_TRUE(Value::Real(1.5).is_real());
+  EXPECT_TRUE(Value::Str("x").is_string());
+  EXPECT_TRUE(Value::Bool(true).is_bool());
+  EXPECT_TRUE(Value::Int(1).is_numeric());
+  EXPECT_TRUE(Value::Real(1.0).is_numeric());
+  EXPECT_FALSE(Value::Str("1").is_numeric());
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::Int(42).AsReal(), 42.0);
+  EXPECT_EQ(Value::Real(2.9).AsInt(), 2);  // truncation
+  EXPECT_EQ(Value::Str("hi").AsString(), "hi");
+  EXPECT_TRUE(Value::Int(1).AsBool());
+  EXPECT_FALSE(Value::Int(0).AsBool());
+}
+
+TEST(ValueTest, DisplayForms) {
+  EXPECT_EQ(Value::Null_().ToDisplay(), "NULL");
+  EXPECT_EQ(Value::Int(7).ToDisplay(), "7");
+  EXPECT_EQ(Value::Bool(true).ToDisplay(), "true");
+  EXPECT_EQ(Value::Str("abc").ToDisplay(), "abc");
+  EXPECT_EQ(Value::Real(2.5).ToDisplay(), "2.5");
+}
+
+TEST(ValueTest, CompareWithinTypes) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Int(2)), 0);
+  EXPECT_GT(Value::Str("b").Compare(Value::Str("a")), 0);
+  EXPECT_EQ(Value::Bool(false).Compare(Value::Bool(false)), 0);
+}
+
+TEST(ValueTest, MixedIntRealCompareNumerically) {
+  EXPECT_EQ(Value::Int(2).Compare(Value::Real(2.0)), 0);
+  EXPECT_LT(Value::Int(2).Compare(Value::Real(2.5)), 0);
+}
+
+TEST(ValueTest, CrossTypeOrderingIsStable) {
+  // NULL < bool < numeric < string.
+  EXPECT_LT(Value::Null_().Compare(Value::Bool(false)), 0);
+  EXPECT_LT(Value::Bool(true).Compare(Value::Int(-100)), 0);
+  EXPECT_LT(Value::Int(1000).Compare(Value::Str("")), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Int(5).Hash());
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Real(5.0).Hash());  // compare equal too
+  EXPECT_EQ(Value::Str("x").Hash(), Value::Str("x").Hash());
+}
+
+TEST(CompositeKeyTest, EqualityAndOrdering) {
+  CompositeKey a{{Value::Int(1), Value::Str("x")}};
+  CompositeKey b{{Value::Int(1), Value::Str("x")}};
+  CompositeKey c{{Value::Int(1), Value::Str("y")}};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_TRUE(a < c);
+  EXPECT_EQ(CompositeKeyHash{}(a), CompositeKeyHash{}(b));
+}
+
+TEST(CompositeKeyTest, PrefixOrdering) {
+  CompositeKey shorter{{Value::Int(1)}};
+  CompositeKey longer{{Value::Int(1), Value::Int(2)}};
+  EXPECT_TRUE(shorter < longer);
+  EXPECT_FALSE(longer < shorter);
+}
+
+TEST(DataTypeTest, ResolutionFromTypeNames) {
+  auto resolve = [](const char* name) {
+    sql::TypeName t;
+    t.name = name;
+    return DataType::FromTypeName(t).id;
+  };
+  EXPECT_EQ(resolve("int"), TypeId::kInteger);
+  EXPECT_EQ(resolve("INTEGER"), TypeId::kInteger);
+  EXPECT_EQ(resolve("bigint"), TypeId::kBigInt);
+  EXPECT_EQ(resolve("float"), TypeId::kFloat);
+  EXPECT_EQ(resolve("real"), TypeId::kFloat);
+  EXPECT_EQ(resolve("double precision"), TypeId::kDouble);
+  EXPECT_EQ(resolve("numeric"), TypeId::kNumeric);
+  EXPECT_EQ(resolve("varchar"), TypeId::kVarchar);
+  EXPECT_EQ(resolve("text"), TypeId::kText);
+  EXPECT_EQ(resolve("boolean"), TypeId::kBoolean);
+  EXPECT_EQ(resolve("timestamp"), TypeId::kTimestamp);
+  EXPECT_EQ(resolve("timestamptz"), TypeId::kTimestampTz);
+  EXPECT_EQ(resolve("serial"), TypeId::kSerial);
+  EXPECT_EQ(resolve("uuid"), TypeId::kUuid);
+  EXPECT_EQ(resolve("made_up_type"), TypeId::kUnknown);
+}
+
+TEST(DataTypeTest, TimestampWithTimeZoneFlag) {
+  sql::TypeName t;
+  t.name = "timestamp";
+  t.with_time_zone = true;
+  EXPECT_EQ(DataType::FromTypeName(t).id, TypeId::kTimestampTz);
+}
+
+TEST(DataTypeTest, FloatCoercionLosesPrecisionDoubleDoesNot) {
+  DataType f = DataType::Make(TypeId::kFloat);
+  DataType d = DataType::Make(TypeId::kDouble);
+  Value v = Value::Real(0.1);
+  EXPECT_NE(f.Coerce(v).AsReal(), 0.1);  // squeezed through a 32-bit float
+  EXPECT_EQ(d.Coerce(v).AsReal(), 0.1);
+}
+
+TEST(DataTypeTest, AcceptsRespectsKinds) {
+  EXPECT_TRUE(DataType::Make(TypeId::kInteger).Accepts(Value::Int(1)));
+  EXPECT_FALSE(DataType::Make(TypeId::kInteger).Accepts(Value::Str("x")));
+  EXPECT_TRUE(DataType::Make(TypeId::kText).Accepts(Value::Str("x")));
+  EXPECT_FALSE(DataType::Make(TypeId::kText).Accepts(Value::Int(1)));
+  // NULL is accepted everywhere (nullability is a separate constraint).
+  EXPECT_TRUE(DataType::Make(TypeId::kInteger).Accepts(Value::Null_()));
+}
+
+TEST(DataTypeTest, EnumRendering) {
+  sql::TypeName t;
+  t.name = "enum";
+  t.enum_values = {"a", "b"};
+  DataType dt = DataType::FromTypeName(t);
+  EXPECT_EQ(dt.id, TypeId::kEnum);
+  EXPECT_EQ(dt.ToSql(), "ENUM('a', 'b')");
+}
+
+}  // namespace
+}  // namespace sqlcheck
