@@ -1,0 +1,166 @@
+// Parallel batch-analysis scaling on the table-3 corpus: one flattened
+// GitHub-style workload, detected end-to-end at 1/2/4/8 worker threads.
+// Reports analysis + detection wall time per thread count, speedup over the
+// serial baseline, and verifies the merged detection streams stay
+// byte-identical (every detection field is folded into a digest). Exits
+// nonzero on divergence always; with --gate it additionally requires >1.5x
+// speedup at 4 threads (on hosts with at least 4 hardware threads).
+//
+//   $ ./bench_parallel_scaling [repo_count] [--gate]
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/context.h"
+#include "common/thread_pool.h"
+#include "rules/registry.h"
+#include "sql/extractor.h"
+#include "workload/corpus.h"
+
+using namespace sqlcheck;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+struct RunResult {
+  double build_ms = 0.0;
+  double detect_ms = 0.0;
+  size_t detections = 0;
+  uint64_t digest = 0;  ///< FNV-1a over every detection field, in order.
+};
+
+/// Folds every byte of every detection field into one order-sensitive hash,
+/// so any reorder/substitution in the merged stream changes the digest.
+uint64_t DigestDetections(const std::vector<Detection>& detections) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::string_view s) {
+    for (char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    h ^= 0xff;  // field separator
+    h *= 1099511628211ull;
+  };
+  for (const auto& d : detections) {
+    mix(std::to_string(static_cast<int>(d.type)));
+    mix(std::to_string(static_cast<int>(d.source)));
+    mix(d.table);
+    mix(d.column);
+    mix(d.query);
+    mix(d.message);
+  }
+  return h;
+}
+
+/// One full pipeline pass (context build + ap-detect), best of `repeats`.
+RunResult RunPipeline(const std::vector<std::string>& statements,
+                      const RuleRegistry& registry, int parallelism, int repeats) {
+  RunResult best;
+  for (int r = 0; r < repeats; ++r) {
+    ContextBuilder builder;
+    for (const auto& sql_text : statements) builder.AddQuery(sql_text);
+
+    auto build_start = Clock::now();
+    Context context = builder.Build(parallelism);
+    double build_ms = MsSince(build_start);
+
+    DetectorConfig config;
+    config.data_analysis = false;  // corpus workload carries no database
+    auto detect_start = Clock::now();
+    std::vector<Detection> detections =
+        DetectAntiPatterns(context, registry, config, parallelism);
+    double detect_ms = MsSince(detect_start);
+
+    if (r == 0) {
+      best.detections = detections.size();
+      best.digest = DigestDetections(detections);
+    }
+    if (r == 0 || build_ms + detect_ms < best.build_ms + best.detect_ms) {
+      best.build_ms = build_ms;
+      best.detect_ms = detect_ms;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  workload::CorpusOptions corpus_options;
+  corpus_options.repo_count = 600;
+  bool gate = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--gate") {
+      gate = true;
+    } else {
+      corpus_options.repo_count = std::atoi(argv[i]);
+    }
+  }
+
+  // Flatten the corpus the way bench_table3 feeds it: embedded SQL extracted
+  // from every synthetic repository into one batch workload.
+  workload::Corpus corpus = GenerateCorpus(corpus_options);
+  std::vector<std::string> statements;
+  for (const auto& repo : corpus.repos) {
+    for (const auto& found : sql::ExtractEmbeddedSql(repo.source)) {
+      statements.push_back(found.sql);
+    }
+  }
+
+  RuleRegistry registry = RuleRegistry::Default();
+  constexpr int kRepeats = 3;
+
+  std::printf("parallel scaling: table-3 corpus, %d repos, %zu statements, %zu rules\n\n",
+              corpus_options.repo_count, statements.size(), registry.size());
+  std::printf("%8s %12s %12s %12s %12s %10s\n", "threads", "build(ms)", "detect(ms)",
+              "total(ms)", "detections", "speedup");
+
+  RunResult serial = RunPipeline(statements, registry, 1, kRepeats);
+  double serial_total = serial.build_ms + serial.detect_ms;
+  std::printf("%8d %12.1f %12.1f %12.1f %12zu %9.2fx\n", 1, serial.build_ms,
+              serial.detect_ms, serial_total, serial.detections, 1.0);
+
+  double speedup_at_4 = 0.0;
+  for (int threads : {2, 4, 8}) {
+    RunResult result = RunPipeline(statements, registry, threads, kRepeats);
+    double total = result.build_ms + result.detect_ms;
+    double speedup = total > 0.0 ? serial_total / total : 0.0;
+    if (threads == 4) speedup_at_4 = speedup;
+    std::printf("%8d %12.1f %12.1f %12.1f %12zu %9.2fx\n", threads, result.build_ms,
+                result.detect_ms, total, result.detections, speedup);
+    if (result.detections != serial.detections || result.digest != serial.digest) {
+      std::printf("FAIL: detection stream diverged at %d threads "
+                  "(%zu vs %zu detections, digest %016llx vs %016llx)\n",
+                  threads, result.detections, serial.detections,
+                  static_cast<unsigned long long>(result.digest),
+                  static_cast<unsigned long long>(serial.digest));
+      return 1;
+    }
+  }
+
+  std::printf("\ndetection streams identical at every thread count (digest %016llx)\n",
+              static_cast<unsigned long long>(serial.digest));
+  std::printf("speedup at 4 threads: %.2fx (target > 1.5x)\n", speedup_at_4);
+
+  if (!gate) {
+    std::printf("speedup gate off — pass --gate to enforce the 1.5x target\n");
+    return 0;
+  }
+  // The speedup target only means something when the hardware can actually
+  // run shards concurrently; on fewer than 4 cores report-only, don't fail.
+  int hardware = ThreadPool::ResolveParallelism(0);
+  if (hardware < 4) {
+    std::printf("SKIP speedup gate: %d hardware thread(s) available\n", hardware);
+    return 0;
+  }
+  return speedup_at_4 > 1.5 ? 0 : 1;
+}

@@ -2,6 +2,7 @@
 
 #include "analysis/query_analyzer.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "sql/parser.h"
 
 namespace sqlcheck {
@@ -92,7 +93,7 @@ void ContextBuilder::AttachDatabase(const Database* db, DataAnalyzerOptions opti
   data_options_ = options;
 }
 
-Context ContextBuilder::Build() {
+Context ContextBuilder::Build(int parallelism, ThreadPool* pool) {
   Context context;
   context.database_ = database_;
 
@@ -106,11 +107,18 @@ Context ContextBuilder::Build() {
     context.catalog_.ApplyDdl(*stmt);  // ignores DML; duplicate DDL is a no-op error
   }
 
+  // Per-statement analysis is independent; shard it and write each
+  // statement's facts into its original slot so the build order never shows.
   context.statements_ = std::move(statements_);
-  context.query_facts_.reserve(context.statements_.size());
-  for (const auto& stmt : context.statements_) {
-    context.query_facts_.push_back(AnalyzeQuery(*stmt));
-  }
+  context.query_facts_.resize(context.statements_.size());
+  ParallelShards(
+      context.statements_.size(), ThreadPool::ResolveParallelism(parallelism),
+      [&context](int /*shard*/, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          context.query_facts_[i] = AnalyzeQuery(*context.statements_[i]);
+        }
+      },
+      pool);
   return context;
 }
 

@@ -13,6 +13,8 @@
 
 namespace sqlcheck {
 
+class ThreadPool;
+
 /// \brief The application context of Algorithm 1: the catalog (from DDL or a
 /// live database), the analyzed queries, and optional data profiles. It
 /// exposes the queryable interface the inter-query and data rules consume.
@@ -73,8 +75,13 @@ class ContextBuilder {
   /// its tables are profiled by the data analyzer.
   void AttachDatabase(const Database* db, DataAnalyzerOptions options = {});
 
-  /// Builds the context (consumes the builder's accumulated state).
-  Context Build();
+  /// Builds the context (consumes the builder's accumulated state). With
+  /// `parallelism > 1`, per-statement query analysis is sharded across a
+  /// ThreadPool; each statement's facts land in their original slot, so the
+  /// result is identical to a serial build. `parallelism <= 0` uses every
+  /// hardware thread. `pool` (optional) reuses an existing pool instead of
+  /// spinning up a transient one.
+  Context Build(int parallelism = 1, ThreadPool* pool = nullptr);
 
  private:
   std::vector<sql::StatementPtr> statements_;

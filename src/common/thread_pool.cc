@@ -1,0 +1,94 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace sqlcheck {
+
+int ThreadPool::ResolveParallelism(int requested) {
+  if (requested > 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  int n = ResolveParallelism(threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ParallelShards(size_t n, int parallelism,
+                    const std::function<void(int shard, size_t begin, size_t end)>& body,
+                    ThreadPool* pool) {
+  if (n == 0) return;
+  int shards = std::max(parallelism, 1);
+  if (static_cast<size_t>(shards) > n) shards = static_cast<int>(n);
+  if (shards <= 1) {
+    body(0, 0, n);
+    return;
+  }
+  std::unique_ptr<ThreadPool> transient;
+  if (pool == nullptr) {
+    transient = std::make_unique<ThreadPool>(shards);
+    pool = transient.get();
+  }
+  // Contiguous, near-equal shards: the first n % shards get one extra item.
+  // Boundaries are a pure function of (n, shards) — the determinism anchor.
+  size_t base = n / static_cast<size_t>(shards);
+  size_t extra = n % static_cast<size_t>(shards);
+  size_t begin = 0;
+  for (int s = 0; s < shards; ++s) {
+    size_t len = base + (static_cast<size_t>(s) < extra ? 1 : 0);
+    size_t end = begin + len;
+    pool->Submit([&body, s, begin, end] { body(s, begin, end); });
+    begin = end;
+  }
+  pool->Wait();
+}
+
+}  // namespace sqlcheck

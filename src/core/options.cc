@@ -12,4 +12,10 @@ SqlCheckOptions SqlCheckOptions::IntraQueryOnly() {
 
 SqlCheckOptions SqlCheckOptions::Full() { return SqlCheckOptions{}; }
 
+SqlCheckOptions SqlCheckOptions::Parallel(int threads) {
+  SqlCheckOptions options;
+  options.parallelism = threads;
+  return options;
+}
+
 }  // namespace sqlcheck

@@ -15,9 +15,18 @@ struct SqlCheckOptions {
   InterQueryMode ranking_mode = InterQueryMode::kByScore;
   bool suggest_fixes = true;
 
+  /// Worker threads for batch analysis (query analysis + rule evaluation).
+  /// 1 = serial; 0 or negative = use every hardware thread. Reports are
+  /// byte-identical at any setting.
+  int parallelism = 1;
+
   /// Convenience presets mirroring the paper's evaluation configurations.
   static SqlCheckOptions IntraQueryOnly();
   static SqlCheckOptions Full();
+
+  /// Full analysis with batch work sharded across `threads` workers
+  /// (0 = every hardware thread).
+  static SqlCheckOptions Parallel(int threads = 0);
 };
 
 }  // namespace sqlcheck

@@ -1,5 +1,9 @@
 #include "core/sqlcheck.h"
 
+#include <memory>
+
+#include "common/thread_pool.h"
+
 namespace sqlcheck {
 
 SqlCheck::SqlCheck(SqlCheckOptions options)
@@ -18,11 +22,16 @@ void SqlCheck::RegisterRule(std::unique_ptr<Rule> rule) {
 }
 
 Report SqlCheck::Run() {
-  Context context = builder_.Build();
+  // One pool serves every fork/join phase of the run (analysis + detection).
+  int threads = ThreadPool::ResolveParallelism(options_.parallelism);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
 
-  // ap-detect (Algorithm 1).
+  Context context = builder_.Build(threads, pool.get());
+
+  // ap-detect (Algorithm 1), sharded across options_.parallelism workers.
   std::vector<Detection> detections =
-      DetectAntiPatterns(context, registry_, options_.detector);
+      DetectAntiPatterns(context, registry_, options_.detector, threads, pool.get());
 
   // ap-rank (§5).
   RankingModel model(options_.ranking_weights, options_.ranking_mode);

@@ -1,5 +1,9 @@
 #include "rules/registry.h"
 
+#include <memory>
+#include <utility>
+
+#include "common/thread_pool.h"
 #include "rules/data_rules.h"
 #include "rules/logical_rules.h"
 #include "rules/physical_rules.h"
@@ -16,30 +20,102 @@ RuleRegistry RuleRegistry::Default() {
   return registry;
 }
 
-std::vector<Detection> DetectAntiPatterns(const Context& context,
-                                          const RuleRegistry& registry,
-                                          const DetectorConfig& config) {
-  std::vector<Detection> detections;
-  // Query rules over every analyzed statement (Algorithm 2).
-  for (const QueryFacts& facts : context.queries()) {
+namespace {
+
+/// Applies every rule to the query shard [begin, end), appending to `out` in
+/// the same (query-major, rule-minor) order the serial loop uses.
+void CheckQueryShard(const Context& context, const RuleRegistry& registry,
+                     const DetectorConfig& config, size_t begin, size_t end,
+                     std::vector<Detection>* out) {
+  const std::vector<QueryFacts>& queries = context.queries();
+  for (size_t i = begin; i < end; ++i) {
     for (const auto& rule : registry.rules()) {
-      rule->CheckQuery(facts, context, config, &detections);
+      rule->CheckQuery(queries[i], context, config, out);
     }
   }
-  // Data rules over every profiled table (Algorithm 3).
-  if (config.data_analysis) {
-    for (const auto& [_, profile] : context.data().profiles) {
-      for (const auto& rule : registry.rules()) {
-        rule->CheckData(profile, context, config, &detections);
-      }
+}
+
+/// Applies every rule to the profile shard [begin, end) of `profiles`.
+void CheckDataShard(const Context& context, const RuleRegistry& registry,
+                    const DetectorConfig& config,
+                    const std::vector<const TableProfile*>& profiles, size_t begin,
+                    size_t end, std::vector<Detection>* out) {
+  for (size_t i = begin; i < end; ++i) {
+    for (const auto& rule : registry.rules()) {
+      rule->CheckData(*profiles[i], context, config, out);
     }
+  }
+}
+
+}  // namespace
+
+std::vector<Detection> DetectAntiPatterns(const Context& context,
+                                          const RuleRegistry& registry,
+                                          const DetectorConfig& config,
+                                          int parallelism, ThreadPool* pool) {
+  // Profiles in map-iteration order, so serial and sharded runs agree.
+  std::vector<const TableProfile*> profiles;
+  if (config.data_analysis) {
+    profiles.reserve(context.data().profiles.size());
+    for (const auto& [_, profile] : context.data().profiles) profiles.push_back(&profile);
+  }
+
+  int threads = ThreadPool::ResolveParallelism(parallelism);
+  if (threads <= 1) {
+    // Serial reference path (Algorithms 2 and 3).
+    std::vector<Detection> detections;
+    CheckQueryShard(context, registry, config, 0, context.queries().size(), &detections);
+    CheckDataShard(context, registry, config, profiles, 0, profiles.size(), &detections);
+    return detections;
+  }
+
+  // Parallel path: per-shard buffers, merged in shard order. Queries shard
+  // [0..Q) then profiles shard [0..P) reproduces the serial detection order
+  // exactly, so N-thread output is byte-identical to the serial path. Both
+  // phases run on one pool — the caller's, or a transient one created here.
+  std::unique_ptr<ThreadPool> transient;
+  if (pool == nullptr) {
+    transient = std::make_unique<ThreadPool>(threads);
+    pool = transient.get();
+  }
+
+  std::vector<std::vector<Detection>> query_buffers(static_cast<size_t>(threads));
+  ParallelShards(
+      context.queries().size(), threads,
+      [&](int shard, size_t begin, size_t end) {
+        CheckQueryShard(context, registry, config, begin, end,
+                        &query_buffers[static_cast<size_t>(shard)]);
+      },
+      pool);
+
+  std::vector<std::vector<Detection>> data_buffers(static_cast<size_t>(threads));
+  ParallelShards(
+      profiles.size(), threads,
+      [&](int shard, size_t begin, size_t end) {
+        CheckDataShard(context, registry, config, profiles, begin, end,
+                       &data_buffers[static_cast<size_t>(shard)]);
+      },
+      pool);
+
+  size_t total = 0;
+  for (const auto& buffer : query_buffers) total += buffer.size();
+  for (const auto& buffer : data_buffers) total += buffer.size();
+
+  std::vector<Detection> detections;
+  detections.reserve(total);
+  for (auto& buffer : query_buffers) {
+    for (auto& d : buffer) detections.push_back(std::move(d));
+  }
+  for (auto& buffer : data_buffers) {
+    for (auto& d : buffer) detections.push_back(std::move(d));
   }
   return detections;
 }
 
 std::vector<Detection> DetectAntiPatterns(const Context& context,
-                                          const DetectorConfig& config) {
-  return DetectAntiPatterns(context, RuleRegistry::Default(), config);
+                                          const DetectorConfig& config,
+                                          int parallelism) {
+  return DetectAntiPatterns(context, RuleRegistry::Default(), config, parallelism);
 }
 
 }  // namespace sqlcheck

@@ -7,6 +7,8 @@
 
 namespace sqlcheck {
 
+class ThreadPool;
+
 /// \brief Extensible rule registry (§7 "Extensibility"): starts with the
 /// built-in 27 rules; callers may register their own Rule implementations.
 class RuleRegistry {
@@ -28,12 +30,24 @@ class RuleRegistry {
 /// \brief Runs ap-detect (Algorithm 1): applies every query rule to every
 /// analyzed query and every data rule to every profiled table, honouring the
 /// config's intra/inter/data switches.
+///
+/// With `parallelism > 1` the workload is sharded over a ThreadPool — queries
+/// and table profiles are split into contiguous index ranges, each worker
+/// evaluates the full rule set against its shard into a private detection
+/// buffer, and the buffers are merged in shard order. The merged report is
+/// byte-identical to a single-threaded run. `parallelism <= 0` uses every
+/// hardware thread; rules must stay stateless/`const`-thread-safe (the
+/// built-ins are). `pool` (optional) reuses an existing pool for both the
+/// query and data phases instead of spinning up a transient one.
 std::vector<Detection> DetectAntiPatterns(const Context& context,
                                           const RuleRegistry& registry,
-                                          const DetectorConfig& config = {});
+                                          const DetectorConfig& config = {},
+                                          int parallelism = 1,
+                                          ThreadPool* pool = nullptr);
 
 /// \brief Convenience: detect with the default registry.
 std::vector<Detection> DetectAntiPatterns(const Context& context,
-                                          const DetectorConfig& config = {});
+                                          const DetectorConfig& config = {},
+                                          int parallelism = 1);
 
 }  // namespace sqlcheck

@@ -1,0 +1,217 @@
+// Parallel batch-analysis pipeline: the N-thread run must be byte-identical
+// to the serial run, the ThreadPool must actually fork/join correctly, and
+// the built-in rules must tolerate concurrent evaluation (they are stateless;
+// these tests keep them that way).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/sqlcheck.h"
+#include "engine/executor.h"
+#include "rules/registry.h"
+#include "storage/database.h"
+#include "workload/corpus.h"
+
+namespace sqlcheck {
+namespace {
+
+// ------------------------------- ThreadPool --------------------------------
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossPhases) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int phase = 0; phase < 3; ++phase) {
+    for (int i = 0; i < 10; ++i) pool.Submit([&count] { count.fetch_add(1); });
+    pool.Wait();
+    EXPECT_EQ(count.load(), (phase + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, WaitOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // Nothing submitted; must not hang.
+}
+
+TEST(ThreadPoolTest, ResolveParallelismMapsNonPositiveToHardware) {
+  EXPECT_EQ(ThreadPool::ResolveParallelism(3), 3);
+  EXPECT_GE(ThreadPool::ResolveParallelism(0), 1);
+  EXPECT_GE(ThreadPool::ResolveParallelism(-1), 1);
+}
+
+TEST(ParallelShardsTest, CoversRangeExactlyOnceInShardOrder) {
+  for (int parallelism : {1, 2, 3, 4, 7}) {
+    for (size_t n : {size_t{0}, size_t{1}, size_t{5}, size_t{64}}) {
+      std::vector<int> hits(n, 0);
+      std::vector<std::pair<size_t, size_t>> bounds;
+      std::mutex mu;
+      ParallelShards(n, parallelism, [&](int shard, size_t begin, size_t end) {
+        std::lock_guard<std::mutex> lock(mu);
+        bounds.emplace_back(begin, end);
+        (void)shard;
+        for (size_t i = begin; i < end; ++i) ++hits[i];
+      });
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i], 1) << "n=" << n << " p=" << parallelism << " i=" << i;
+      }
+      size_t covered = 0;
+      for (const auto& [begin, end] : bounds) covered += end - begin;
+      EXPECT_EQ(covered, n);
+    }
+  }
+}
+
+// ---------------------- workload used for equality tests --------------------
+
+/// A mixed workload: the synthetic corpus statements (query + DDL rules)
+/// plus a small profiled database (data rules), so every detector path runs.
+std::string CorpusScript() {
+  workload::CorpusOptions options;
+  options.repo_count = 24;
+  std::string script;
+  for (const auto& labeled : workload::GenerateCorpus(options).AllStatements()) {
+    script += labeled.sql;
+    script += ";\n";
+  }
+  return script;
+}
+
+void PopulateDatabase(Database* db) {
+  Executor exec(db);
+  exec.ExecuteScript(R"sql(
+CREATE TABLE users (id INTEGER PRIMARY KEY, name VARCHAR(40), status TEXT,
+                    password VARCHAR(32), created_at TEXT);
+CREATE TABLE orders (id INTEGER PRIMARY KEY, user_id INTEGER, tag_ids TEXT,
+                     total FLOAT, subtotal FLOAT, tax FLOAT);
+)sql");
+  for (int i = 0; i < 32; ++i) {
+    std::string n = std::to_string(i);
+    exec.ExecuteSql("INSERT INTO users VALUES (" + n + ", 'user" + n +
+                    "', 'active', 'hunter2', '2019-07-0" + std::to_string(i % 9 + 1) +
+                    " 12:00:00')");
+    exec.ExecuteSql("INSERT INTO orders VALUES (" + n + ", " + n + ", '1,2,3', 10.5, 10.0, 0.5)");
+  }
+}
+
+Report RunWithParallelism(const std::string& script, const Database* db, int parallelism) {
+  SqlCheckOptions options;
+  options.parallelism = parallelism;
+  SqlCheck checker(options);
+  checker.AddScript(script);
+  if (db != nullptr) checker.AttachDatabase(db);
+  return checker.Run();
+}
+
+void ExpectSameDetections(const std::vector<Detection>& serial,
+                          const std::vector<Detection>& parallel) {
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].type, parallel[i].type) << "at " << i;
+    EXPECT_EQ(serial[i].source, parallel[i].source) << "at " << i;
+    EXPECT_EQ(serial[i].table, parallel[i].table) << "at " << i;
+    EXPECT_EQ(serial[i].column, parallel[i].column) << "at " << i;
+    EXPECT_EQ(serial[i].query, parallel[i].query) << "at " << i;
+    EXPECT_EQ(serial[i].message, parallel[i].message) << "at " << i;
+  }
+}
+
+// --------------------------- pipeline determinism ---------------------------
+
+TEST(ParallelPipelineTest, DetectionsMatchSerialAtEveryThreadCount) {
+  Database db;
+  PopulateDatabase(&db);
+  ContextBuilder builder;
+  builder.AddScript(CorpusScript());
+  builder.AttachDatabase(&db);
+  Context context = builder.Build();
+
+  RuleRegistry registry = RuleRegistry::Default();
+  std::vector<Detection> serial = DetectAntiPatterns(context, registry, {}, 1);
+  ASSERT_FALSE(serial.empty());
+  for (int threads : {2, 3, 4, 8}) {
+    ExpectSameDetections(serial, DetectAntiPatterns(context, registry, {}, threads));
+  }
+}
+
+TEST(ParallelPipelineTest, ParallelContextBuildMatchesSerial) {
+  std::string script = CorpusScript();
+  ContextBuilder serial_builder;
+  serial_builder.AddScript(script);
+  Context serial = serial_builder.Build(1);
+
+  ContextBuilder parallel_builder;
+  parallel_builder.AddScript(script);
+  Context parallel = parallel_builder.Build(4);
+
+  ASSERT_EQ(serial.queries().size(), parallel.queries().size());
+  for (size_t i = 0; i < serial.queries().size(); ++i) {
+    EXPECT_EQ(serial.queries()[i].raw_sql, parallel.queries()[i].raw_sql);
+    EXPECT_EQ(serial.queries()[i].tables, parallel.queries()[i].tables);
+    EXPECT_EQ(serial.queries()[i].predicates.size(), parallel.queries()[i].predicates.size());
+  }
+}
+
+TEST(ParallelPipelineTest, ReportTextIsByteIdenticalAcrossThreadCounts) {
+  std::string script = CorpusScript();
+  Database db;
+  PopulateDatabase(&db);
+
+  std::string serial_text = RunWithParallelism(script, &db, 1).ToText();
+  ASSERT_FALSE(serial_text.empty());
+  for (int threads : {2, 4, 8, 0}) {  // 0 = all hardware threads
+    EXPECT_EQ(serial_text, RunWithParallelism(script, &db, threads).ToText())
+        << "parallelism=" << threads;
+  }
+}
+
+TEST(ParallelPipelineTest, HandlesMoreThreadsThanWork) {
+  std::string tiny = "SELECT * FROM t";
+  std::string serial_text = RunWithParallelism(tiny, nullptr, 1).ToText();
+  EXPECT_EQ(serial_text, RunWithParallelism(tiny, nullptr, 16).ToText());
+}
+
+// ------------------------------ thread-safety -------------------------------
+
+TEST(ParallelPipelineTest, SharedDefaultRegistryIsSafeUnderConcurrentRuns) {
+  Database db;
+  PopulateDatabase(&db);
+  ContextBuilder builder;
+  builder.AddScript(CorpusScript());
+  builder.AttachDatabase(&db);
+  Context context = builder.Build();
+
+  // One registry, many concurrent full detections — each itself sharded.
+  // Any rule keeping hidden mutable state would corrupt at least one run.
+  RuleRegistry registry = RuleRegistry::Default();
+  std::vector<Detection> serial = DetectAntiPatterns(context, registry, {}, 1);
+
+  constexpr int kRunners = 8;
+  std::vector<std::vector<Detection>> results(kRunners);
+  std::vector<std::thread> runners;
+  runners.reserve(kRunners);
+  for (int r = 0; r < kRunners; ++r) {
+    runners.emplace_back([&, r] {
+      results[static_cast<size_t>(r)] = DetectAntiPatterns(context, registry, {}, 2);
+    });
+  }
+  for (auto& t : runners) t.join();
+  for (const auto& result : results) ExpectSameDetections(serial, result);
+}
+
+}  // namespace
+}  // namespace sqlcheck
