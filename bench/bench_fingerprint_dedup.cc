@@ -1,0 +1,213 @@
+// Fingerprint dedup cache on a duplicate-heavy workload: 90% of the batch
+// re-issues a small set of parameterized statement templates (with
+// whitespace / keyword-case / comment jitter, as real query logs have), 10%
+// is unique. Runs the analysis + detection pipeline with the dedup cache off
+// and on, verifies the detection streams are byte-identical (every field
+// folded into an order-sensitive digest), and reports the single-thread
+// speedup plus how dedup composes with the parallel pipeline. Exits nonzero
+// on digest divergence always; with --gate it additionally requires >=2x
+// single-thread speedup.
+//
+//   $ ./bench_fingerprint_dedup [statement_count] [--gate]
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/context.h"
+#include "rules/registry.h"
+
+using namespace sqlcheck;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+/// Folds every byte of every detection field into one order-sensitive hash,
+/// so any reorder/substitution in the merged stream changes the digest.
+uint64_t DigestDetections(const std::vector<Detection>& detections) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::string_view s) {
+    for (char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    h ^= 0xff;  // field separator
+    h *= 1099511628211ull;
+  };
+  for (const auto& d : detections) {
+    mix(std::to_string(static_cast<int>(d.type)));
+    mix(std::to_string(static_cast<int>(d.source)));
+    mix(d.table);
+    mix(d.column);
+    mix(d.query);
+    mix(d.message);
+  }
+  return h;
+}
+
+/// 90%-duplicate corpus: templates cycled with cosmetic jitter the canonical
+/// form folds away, plus 10% literal-unique statements.
+std::vector<std::string> BuildCorpus(size_t count) {
+  // Statement shapes mirror the paper's web-app corpora: multi-join selects
+  // with predicates and grouping, correlated subqueries, parameterized CRUD.
+  static const char* kTemplates[] = {
+      "SELECT * FROM users u JOIN profiles p ON u.id = p.user_id "
+      "LEFT JOIN addresses a ON a.user_id = u.id "
+      "WHERE u.created_at > ? AND u.status = 'active' AND u.email LIKE '%@example.com'",
+      "SELECT u.id, u.name, (SELECT o.total FROM orders o WHERE o.user_id = u.id "
+      "AND o.status = 'open') FROM users u WHERE u.region = ? AND u.age > ? "
+      "GROUP BY u.id, u.name ORDER BY u.created_at",
+      "SELECT name, password FROM users WHERE name LIKE '%smith' AND password = ?",
+      "SELECT DISTINCT u.name, o.total, i.sku FROM users u "
+      "JOIN orders o ON u.id = o.user_id JOIN items i ON i.order_id = o.id "
+      "WHERE o.created_at BETWEEN ? AND ? AND i.price > 100",
+      "INSERT INTO logs (user_id, action, detail, created_at) "
+      "SELECT u.id, ?, ?, ? FROM users u WHERE u.last_seen < ?",
+      "SELECT * FROM products p JOIN categories c ON p.category_id = c.id "
+      "WHERE c.name IN ('a', 'b', 'c') ORDER BY RAND()",
+      "SELECT a.x, b.y, c.z FROM a JOIN b ON a.id = b.a_id JOIN c ON b.id = c.b_id "
+      "JOIN d ON c.id = d.c_id JOIN e ON d.id = e.d_id JOIN f ON e.id = f.e_id "
+      "WHERE a.k = ? AND b.m = ? AND e.n || f.o = ?",
+      "UPDATE users SET name = ?, email = ?, updated_at = ? "
+      "WHERE id = ? AND status <> 'deleted'",
+  };
+  constexpr size_t kTemplateCount = sizeof(kTemplates) / sizeof(kTemplates[0]);
+
+  std::vector<std::string> statements;
+  statements.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (i % 10 == 9) {
+      // Unique statement: a distinct literal defeats the exact-canonical key.
+      statements.push_back(
+          "SELECT u.name, o.total FROM users u JOIN orders o ON u.id = o.user_id "
+          "WHERE o.created_at > '2020-01-01' AND o.id = " +
+          std::to_string(i));
+      continue;
+    }
+    std::string s = kTemplates[i % kTemplateCount];
+    switch ((i / kTemplateCount) % 4) {
+      case 1: s += "  "; break;
+      case 2: s += " -- issued by app"; break;
+      case 3: s.insert(0, "  "); break;
+      default: break;
+    }
+    statements.push_back(std::move(s));
+  }
+  return statements;
+}
+
+struct RunResult {
+  double build_ms = 0.0;
+  double detect_ms = 0.0;
+  size_t detections = 0;
+  size_t unique = 0;
+  uint64_t digest = 0;
+  double total() const { return build_ms + detect_ms; }
+};
+
+RunResult RunPipeline(const std::vector<std::string>& statements,
+                      const RuleRegistry& registry, bool dedup, int parallelism,
+                      int repeats) {
+  RunResult best;
+  for (int r = 0; r < repeats; ++r) {
+    ContextBuilder builder;
+    for (const auto& sql_text : statements) builder.AddQuery(sql_text);
+
+    auto build_start = Clock::now();
+    Context context = builder.Build(parallelism, nullptr, dedup);
+    double build_ms = MsSince(build_start);
+
+    DetectorConfig config;
+    config.data_analysis = false;
+    auto detect_start = Clock::now();
+    std::vector<Detection> detections =
+        DetectAntiPatterns(context, registry, config, parallelism);
+    double detect_ms = MsSince(detect_start);
+
+    if (r == 0) {
+      best.detections = detections.size();
+      best.unique = context.query_groups().unique_count();
+      best.digest = DigestDetections(detections);
+    }
+    if (r == 0 || build_ms + detect_ms < best.total()) {
+      best.build_ms = build_ms;
+      best.detect_ms = detect_ms;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t statement_count = 4000;
+  bool gate = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--gate") {
+      gate = true;
+    } else {
+      statement_count = static_cast<size_t>(std::atoll(argv[i]));
+    }
+  }
+
+  std::vector<std::string> statements = BuildCorpus(statement_count);
+  RuleRegistry registry = RuleRegistry::Default();
+  constexpr int kRepeats = 3;
+
+  std::printf(
+      "fingerprint dedup: %zu statements (90%% duplicate templates), %zu rules\n\n",
+      statements.size(), registry.size());
+  std::printf("%18s %8s %12s %12s %12s %12s %10s\n", "config", "threads", "build(ms)",
+              "detect(ms)", "total(ms)", "detections", "unique");
+
+  RunResult off = RunPipeline(statements, registry, /*dedup=*/false, 1, kRepeats);
+  std::printf("%18s %8d %12.1f %12.1f %12.1f %12zu %10zu\n", "dedup off", 1, off.build_ms,
+              off.detect_ms, off.total(), off.detections, off.unique);
+
+  RunResult on = RunPipeline(statements, registry, /*dedup=*/true, 1, kRepeats);
+  std::printf("%18s %8d %12.1f %12.1f %12.1f %12zu %10zu\n", "dedup on", 1, on.build_ms,
+              on.detect_ms, on.total(), on.detections, on.unique);
+
+  bool ok = true;
+  if (on.detections != off.detections || on.digest != off.digest) {
+    std::printf("FAIL: detection stream diverged with dedup on "
+                "(%zu vs %zu detections, digest %016llx vs %016llx)\n",
+                on.detections, off.detections, static_cast<unsigned long long>(on.digest),
+                static_cast<unsigned long long>(off.digest));
+    ok = false;
+  }
+
+  // Dedup composes with the parallel pipeline: shards cover unique
+  // fingerprints, and every thread count must reproduce the same stream.
+  for (int threads : {2, 4}) {
+    RunResult result =
+        RunPipeline(statements, registry, /*dedup=*/true, threads, kRepeats);
+    std::printf("%18s %8d %12.1f %12.1f %12.1f %12zu %10zu\n", "dedup on", threads,
+                result.build_ms, result.detect_ms, result.total(), result.detections,
+                result.unique);
+    if (result.detections != off.detections || result.digest != off.digest) {
+      std::printf("FAIL: detection stream diverged at %d threads\n", threads);
+      ok = false;
+    }
+  }
+  if (!ok) return 1;
+
+  double speedup = on.total() > 0.0 ? off.total() / on.total() : 0.0;
+  std::printf("\ndetection streams identical (digest %016llx)\n",
+              static_cast<unsigned long long>(off.digest));
+  std::printf("single-thread dedup speedup: %.2fx (target >= 2x)\n", speedup);
+
+  if (!gate) {
+    std::printf("speedup gate off — pass --gate to enforce the 2x target\n");
+    return 0;
+  }
+  return speedup >= 2.0 ? 0 : 1;
+}

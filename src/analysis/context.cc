@@ -1,8 +1,13 @@
 #include "analysis/context.h"
 
+#include <numeric>
+#include <string_view>
+#include <unordered_map>
+
 #include "analysis/query_analyzer.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "sql/fingerprint.h"
 #include "sql/parser.h"
 
 namespace sqlcheck {
@@ -93,7 +98,7 @@ void ContextBuilder::AttachDatabase(const Database* db, DataAnalyzerOptions opti
   data_options_ = options;
 }
 
-Context ContextBuilder::Build(int parallelism, ThreadPool* pool) {
+Context ContextBuilder::Build(int parallelism, ThreadPool* pool, bool dedup_queries) {
   Context context;
   context.database_ = database_;
 
@@ -107,15 +112,99 @@ Context ContextBuilder::Build(int parallelism, ThreadPool* pool) {
     context.catalog_.ApplyDdl(*stmt);  // ignores DML; duplicate DDL is a no-op error
   }
 
-  // Per-statement analysis is independent; shard it and write each
-  // statement's facts into its original slot so the build order never shows.
   context.statements_ = std::move(statements_);
-  context.query_facts_.resize(context.statements_.size());
+  const size_t n = context.statements_.size();
+  context.query_facts_.resize(n);
+  int threads = ThreadPool::ResolveParallelism(parallelism);
+
+  QueryGroups& groups = context.query_groups_;
+  groups.representative.resize(n);
+  if (dedup_queries) {
+    // Group statements whose exact-canonical form matches: they are
+    // guaranteed to analyze identically except for raw_sql/stmt. Grouping is
+    // keyed by the canonical string itself, so a 64-bit fingerprint
+    // collision can never merge distinct statements.
+    //
+    // Level 1: group byte-identical statements first — real query logs
+    // re-issue the same parameterized text verbatim, so this cheap hash pass
+    // shrinks the input before any canonicalization runs.
+    std::vector<size_t> raw_rep(n);
+    std::vector<size_t> raw_unique;
+    {
+      std::unordered_map<std::string_view, size_t> first_raw;
+      first_raw.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        auto [it, inserted] = first_raw.try_emplace(context.statements_[i]->raw_sql, i);
+        raw_rep[i] = it->second;
+        if (inserted) raw_unique.push_back(i);
+      }
+    }
+    // Level 2: canonicalize each distinct spelling (sharded — the scan is
+    // independent per statement) and merge spellings that canonicalize
+    // equal (whitespace / comment / keyword-case variants).
+    std::vector<std::string> keys(n);
+    groups.fingerprints.resize(n);
+    ParallelShards(
+        raw_unique.size(), threads,
+        [&context, &keys, &groups, &raw_unique](int /*shard*/, size_t begin, size_t end) {
+          for (size_t u = begin; u < end; ++u) {
+            size_t i = raw_unique[u];
+            keys[i] = sql::CanonicalizeSql(context.statements_[i]->raw_sql,
+                                           sql::FingerprintOptions::Exact());
+            groups.fingerprints[i] = sql::FingerprintCanonical(keys[i]);
+          }
+        },
+        pool);
+    std::vector<size_t> canon_rep(n);
+    {
+      std::unordered_map<std::string_view, size_t> first_canon;
+      first_canon.reserve(raw_unique.size());
+      for (size_t r : raw_unique) {
+        auto [it, inserted] = first_canon.try_emplace(keys[r], r);
+        canon_rep[r] = it->second;
+        if (inserted) groups.unique.push_back(r);
+      }
+    }
+    // A statement's representative is the first statement overall with the
+    // same canonical form (the first spelling of a canonical group is also
+    // the first occurrence of its own bytes, so composing the two levels
+    // preserves "first occurrence").
+    for (size_t i = 0; i < n; ++i) {
+      groups.representative[i] = canon_rep[raw_rep[i]];
+      groups.fingerprints[i] = groups.fingerprints[raw_rep[i]];
+    }
+  } else {
+    std::iota(groups.representative.begin(), groups.representative.end(), size_t{0});
+    groups.unique = groups.representative;
+  }
+
+  // Analysis is independent per unique statement; shard it and write each
+  // group's facts into the representative's slot so the build order never
+  // shows.
   ParallelShards(
-      context.statements_.size(), ThreadPool::ResolveParallelism(parallelism),
-      [&context](int /*shard*/, size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
+      groups.unique.size(), threads,
+      [&context, &groups](int /*shard*/, size_t begin, size_t end) {
+        for (size_t u = begin; u < end; ++u) {
+          size_t i = groups.unique[u];
           context.query_facts_[i] = AnalyzeQuery(*context.statements_[i]);
+        }
+      },
+      pool);
+
+  // Duplicates get a copy of their group's facts rebased onto their own raw
+  // text and parse tree — exactly what a fresh analysis would produce. The
+  // copies only read representative slots (already final) and write
+  // non-representative slots, so they shard race-free.
+  ParallelShards(
+      n, threads,
+      [&context, &groups](int /*shard*/, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          size_t rep = groups.representative[i];
+          if (rep == i) continue;
+          QueryFacts facts = context.query_facts_[rep];
+          facts.stmt = context.statements_[i].get();
+          facts.raw_sql = context.statements_[i]->raw_sql;
+          context.query_facts_[i] = std::move(facts);
         }
       },
       pool);

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -15,6 +16,27 @@ namespace sqlcheck {
 
 class ThreadPool;
 
+/// \brief Query fingerprint grouping produced by the dedup cache: every
+/// statement maps to the first statement with the same exact-canonical form
+/// (whitespace/comment/keyword-case folded, literal text preserved — see
+/// sql::FingerprintOptions::Exact()). Statements in one group are guaranteed
+/// to produce identical QueryFacts modulo their raw text and parse tree, so
+/// analysis and rule evaluation run once per group. With dedup disabled the
+/// mapping is the identity.
+struct QueryGroups {
+  /// Statement index -> index of its group's representative (first
+  /// occurrence). `representative[i] == i` iff statement i leads a group.
+  std::vector<size_t> representative;
+  /// Representative indices in ascending statement order.
+  std::vector<size_t> unique;
+  /// Per-statement exact-canonical 64-bit fingerprint (empty when the
+  /// context was built with dedup disabled).
+  std::vector<uint64_t> fingerprints;
+
+  size_t unique_count() const { return unique.size(); }
+  bool has_duplicates() const { return unique.size() < representative.size(); }
+};
+
 /// \brief The application context of Algorithm 1: the catalog (from DDL or a
 /// live database), the analyzed queries, and optional data profiles. It
 /// exposes the queryable interface the inter-query and data rules consume.
@@ -25,6 +47,10 @@ class Context {
   const DataContext& data() const { return data_; }
   const Database* database() const { return database_; }
   bool has_data() const { return !data_.empty(); }
+
+  /// Fingerprint grouping of the workload (identity when dedup was off).
+  /// DetectAntiPatterns uses it to evaluate query rules once per group.
+  const QueryGroups& query_groups() const { return query_groups_; }
 
   // ------------------------ queryable interface ----------------------------
   /// Queries referencing a table.
@@ -53,6 +79,7 @@ class Context {
   Catalog catalog_;
   std::vector<sql::StatementPtr> statements_;  ///< Owned parse trees.
   std::vector<QueryFacts> query_facts_;
+  QueryGroups query_groups_;
   DataContext data_;
   const Database* database_ = nullptr;  ///< Non-owning; may be null.
 };
@@ -81,7 +108,14 @@ class ContextBuilder {
   /// result is identical to a serial build. `parallelism <= 0` uses every
   /// hardware thread. `pool` (optional) reuses an existing pool instead of
   /// spinning up a transient one.
-  Context Build(int parallelism = 1, ThreadPool* pool = nullptr);
+  ///
+  /// With `dedup_queries` (default on), statements are grouped by their
+  /// exact-canonical fingerprint and the query analyzer runs once per unique
+  /// group; duplicates receive a copy of the group's facts rebased onto
+  /// their own raw text and parse tree. The resulting context — and any
+  /// report derived from it — is byte-identical to a non-deduped build.
+  Context Build(int parallelism = 1, ThreadPool* pool = nullptr,
+                bool dedup_queries = true);
 
  private:
   std::vector<sql::StatementPtr> statements_;

@@ -20,6 +20,16 @@ struct SqlCheckOptions {
   /// byte-identical at any setting.
   int parallelism = 1;
 
+  /// Memoize query analysis and rule evaluation by statement fingerprint:
+  /// statements whose canonical token stream matches (whitespace, comments,
+  /// and keyword case folded) are analyzed and rule-checked once, and the
+  /// results fan out to every occurrence. Real workloads re-issue the same
+  /// parameterized statements constantly, so this is a large win at zero
+  /// accuracy cost — reports are byte-identical either way. Disable it only
+  /// for custom rules that embed a statement's raw text outside
+  /// Detection::query (see Rule::CheckQuery).
+  bool dedup_queries = true;
+
   /// Convenience presets mirroring the paper's evaluation configurations.
   static SqlCheckOptions IntraQueryOnly();
   static SqlCheckOptions Full();

@@ -27,7 +27,7 @@ Report SqlCheck::Run() {
   std::unique_ptr<ThreadPool> pool;
   if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
 
-  Context context = builder_.Build(threads, pool.get());
+  Context context = builder_.Build(threads, pool.get(), options_.dedup_queries);
 
   // ap-detect (Algorithm 1), sharded across options_.parallelism workers.
   std::vector<Detection> detections =

@@ -405,19 +405,20 @@ class IndexUnderuseRule final : public Rule {
       out->push_back(std::move(d));
     };
 
+    // Early-exit once a filter or left-join-key detection is emitted;
+    // right-join keys and grouping keys may still add one each (they surface
+    // distinct index candidates).
+    const size_t baseline = out->size();
     for (const auto& p : facts.predicates) {
       if (p.op == "=" || p.op == "==" || p.op == "IN") {
         consider(p.table, p.column, "filter");
-        if (!out->empty() && out->back().type == type()) return;
+        if (out->size() > baseline) return;
       }
     }
     for (const auto& j : facts.joins) {
       if (j.expression_join) continue;
       consider(j.left_table, j.left_column, "join key");
-      if (!out->empty() && out->back().type == type() &&
-          EqualsIgnoreCase(out->back().query, facts.raw_sql)) {
-        return;
-      }
+      if (out->size() > baseline) return;
       consider(j.right_table, j.right_column, "join key");
     }
     for (const auto& g : facts.group_by_columns) {

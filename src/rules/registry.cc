@@ -22,19 +22,6 @@ RuleRegistry RuleRegistry::Default() {
 
 namespace {
 
-/// Applies every rule to the query shard [begin, end), appending to `out` in
-/// the same (query-major, rule-minor) order the serial loop uses.
-void CheckQueryShard(const Context& context, const RuleRegistry& registry,
-                     const DetectorConfig& config, size_t begin, size_t end,
-                     std::vector<Detection>* out) {
-  const std::vector<QueryFacts>& queries = context.queries();
-  for (size_t i = begin; i < end; ++i) {
-    for (const auto& rule : registry.rules()) {
-      rule->CheckQuery(queries[i], context, config, out);
-    }
-  }
-}
-
 /// Applies every rule to the profile shard [begin, end) of `profiles`.
 void CheckDataShard(const Context& context, const RuleRegistry& registry,
                     const DetectorConfig& config,
@@ -53,6 +40,22 @@ std::vector<Detection> DetectAntiPatterns(const Context& context,
                                           const RuleRegistry& registry,
                                           const DetectorConfig& config,
                                           int parallelism, ThreadPool* pool) {
+  const std::vector<QueryFacts>& queries = context.queries();
+  const size_t n = queries.size();
+
+  // Fingerprint grouping from the context build; fall back to the identity
+  // mapping for contexts that carry none (e.g. hand-constructed ones).
+  const QueryGroups& groups = context.query_groups();
+  QueryGroups identity;
+  const QueryGroups* g = &groups;
+  if (groups.representative.size() != n) {
+    identity.representative.resize(n);
+    identity.unique.resize(n);
+    for (size_t i = 0; i < n; ++i) identity.representative[i] = identity.unique[i] = i;
+    g = &identity;
+  }
+  const size_t unique_count = g->unique.size();
+
   // Profiles in map-iteration order, so serial and sharded runs agree.
   std::vector<const TableProfile*> profiles;
   if (config.data_analysis) {
@@ -60,35 +63,34 @@ std::vector<Detection> DetectAntiPatterns(const Context& context,
     for (const auto& [_, profile] : context.data().profiles) profiles.push_back(&profile);
   }
 
+  // Query rules run once per unique fingerprint group (Algorithm 2 memoized):
+  // every statement in a group carries identical facts modulo raw_sql/stmt,
+  // so one evaluation of the group's representative stands in for all of
+  // them. Results land in per-group slots, then fan back out to every
+  // occurrence in original statement order — reproducing the serial
+  // (query-major, rule-minor) detection stream byte-for-byte.
   int threads = ThreadPool::ResolveParallelism(parallelism);
-  if (threads <= 1) {
-    // Serial reference path (Algorithms 2 and 3).
-    std::vector<Detection> detections;
-    CheckQueryShard(context, registry, config, 0, context.queries().size(), &detections);
-    CheckDataShard(context, registry, config, profiles, 0, profiles.size(), &detections);
-    return detections;
-  }
-
-  // Parallel path: per-shard buffers, merged in shard order. Queries shard
-  // [0..Q) then profiles shard [0..P) reproduces the serial detection order
-  // exactly, so N-thread output is byte-identical to the serial path. Both
-  // phases run on one pool — the caller's, or a transient one created here.
   std::unique_ptr<ThreadPool> transient;
-  if (pool == nullptr) {
+  if (threads > 1 && pool == nullptr) {
     transient = std::make_unique<ThreadPool>(threads);
     pool = transient.get();
   }
 
-  std::vector<std::vector<Detection>> query_buffers(static_cast<size_t>(threads));
+  std::vector<std::vector<Detection>> per_group(unique_count);
   ParallelShards(
-      context.queries().size(), threads,
-      [&](int shard, size_t begin, size_t end) {
-        CheckQueryShard(context, registry, config, begin, end,
-                        &query_buffers[static_cast<size_t>(shard)]);
+      unique_count, threads,
+      [&](int /*shard*/, size_t begin, size_t end) {
+        for (size_t u = begin; u < end; ++u) {
+          std::vector<Detection>* out = &per_group[u];
+          for (const auto& rule : registry.rules()) {
+            rule->CheckQuery(queries[g->unique[u]], context, config, out);
+          }
+        }
       },
       pool);
 
-  std::vector<std::vector<Detection>> data_buffers(static_cast<size_t>(threads));
+  std::vector<std::vector<Detection>> data_buffers(
+      static_cast<size_t>(threads > 1 ? threads : 1));
   ParallelShards(
       profiles.size(), threads,
       [&](int shard, size_t begin, size_t end) {
@@ -97,14 +99,42 @@ std::vector<Detection> DetectAntiPatterns(const Context& context,
       },
       pool);
 
+  // Fan out: statement i gets its group's detections, rebased onto its own
+  // raw text / parse tree wherever the rule pointed them at the
+  // representative's. Statements that lead a single-occurrence group take
+  // their buffer by move (the common non-duplicate case costs nothing).
+  std::vector<size_t> group_pos(n);
+  std::vector<size_t> group_size(unique_count, 0);
+  for (size_t u = 0; u < unique_count; ++u) group_pos[g->unique[u]] = u;
+  for (size_t i = 0; i < n; ++i) ++group_size[group_pos[g->representative[i]]];
+
   size_t total = 0;
-  for (const auto& buffer : query_buffers) total += buffer.size();
+  for (size_t i = 0; i < n; ++i) {
+    total += per_group[group_pos[g->representative[i]]].size();
+  }
   for (const auto& buffer : data_buffers) total += buffer.size();
 
   std::vector<Detection> detections;
   detections.reserve(total);
-  for (auto& buffer : query_buffers) {
-    for (auto& d : buffer) detections.push_back(std::move(d));
+  for (size_t i = 0; i < n; ++i) {
+    size_t rep = g->representative[i];
+    std::vector<Detection>& buffer = per_group[group_pos[rep]];
+    if (rep == i && group_size[group_pos[rep]] == 1) {
+      for (auto& d : buffer) detections.push_back(std::move(d));
+      continue;
+    }
+    if (rep == i) {
+      for (const auto& d : buffer) detections.push_back(d);
+      continue;
+    }
+    const QueryFacts& rep_facts = queries[rep];
+    const QueryFacts& occ_facts = queries[i];
+    for (const auto& d : buffer) {
+      Detection rebased = d;
+      if (rebased.query == rep_facts.raw_sql) rebased.query = occ_facts.raw_sql;
+      if (rebased.stmt == rep_facts.stmt) rebased.stmt = occ_facts.stmt;
+      detections.push_back(std::move(rebased));
+    }
   }
   for (auto& buffer : data_buffers) {
     for (auto& d : buffer) detections.push_back(std::move(d));

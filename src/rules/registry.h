@@ -31,14 +31,22 @@ class RuleRegistry {
 /// analyzed query and every data rule to every profiled table, honouring the
 /// config's intra/inter/data switches.
 ///
-/// With `parallelism > 1` the workload is sharded over a ThreadPool — queries
-/// and table profiles are split into contiguous index ranges, each worker
-/// evaluates the full rule set against its shard into a private detection
-/// buffer, and the buffers are merged in shard order. The merged report is
-/// byte-identical to a single-threaded run. `parallelism <= 0` uses every
-/// hardware thread; rules must stay stateless/`const`-thread-safe (the
-/// built-ins are). `pool` (optional) reuses an existing pool for both the
-/// query and data phases instead of spinning up a transient one.
+/// Query rules are evaluated once per unique query fingerprint group (see
+/// Context::query_groups()) and the detections fan back out to every
+/// occurrence in original statement order, rebased onto each occurrence's
+/// own raw text/parse tree — so duplicate-heavy workloads pay for each
+/// distinct statement once while the report stays byte-identical to an
+/// unmemoized run.
+///
+/// With `parallelism > 1` the workload is sharded over a ThreadPool — unique
+/// query groups and table profiles are split into contiguous index ranges,
+/// each worker evaluates the full rule set against its shard into private
+/// detection buffers, and the buffers are merged deterministically. The
+/// merged report is byte-identical to a single-threaded run. `parallelism <=
+/// 0` uses every hardware thread; rules must stay stateless/
+/// `const`-thread-safe (the built-ins are). `pool` (optional) reuses an
+/// existing pool for both the query and data phases instead of spinning up a
+/// transient one.
 std::vector<Detection> DetectAntiPatterns(const Context& context,
                                           const RuleRegistry& registry,
                                           const DetectorConfig& config = {},

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sql/token.h"
+
+namespace sqlcheck::sql {
+
+/// \brief Controls how much of a statement the canonical form erases.
+///
+/// Two presets matter in practice:
+///  - Template() (the default): keyword case, whitespace, and comments are
+///    dropped AND every literal/bind-parameter collapses to a `?` placeholder.
+///    Statements that differ only in constants share a fingerprint — the
+///    "statement template" grouping used for workload statistics.
+///  - Exact(): only keyword case, whitespace, and comments are dropped;
+///    literal and parameter text is preserved. This is the key the
+///    memoized-analysis cache uses, because literal content is
+///    analysis-relevant (a leading `%` in a LIKE pattern, a plaintext
+///    password literal, the display form of a predicate constant) and two
+///    statements must agree on it before their analysis results can be
+///    shared byte-for-byte.
+struct FingerprintOptions {
+  bool collapse_literals = true;  ///< Strings/numbers -> `?` placeholder.
+  bool collapse_params = true;    ///< `?`, `%s`, `:name`, `$1` -> `?` placeholder.
+
+  static FingerprintOptions Template() { return FingerprintOptions{}; }
+  static FingerprintOptions Exact() { return FingerprintOptions{false, false}; }
+};
+
+/// \brief Renders a token stream into its canonical spelling: tokens joined
+/// by single spaces, keywords lowercased, identifiers/literals re-quoted with
+/// doubled-quote escaping (so the rendering is injective — two different
+/// token streams never produce the same canonical string), comments and the
+/// end sentinel skipped, literals/params replaced by `?` per `options`.
+std::string CanonicalizeTokens(const std::vector<Token>& tokens,
+                               const FingerprintOptions& options = {});
+
+/// \brief Canonicalizes `sql` directly — a single allocation-free scanning
+/// pass that produces exactly `CanonicalizeTokens(Lex(sql), options)`. The
+/// dedup cache canonicalizes every statement in a workload, so this is the
+/// hot path; the token-based form above is the reference implementation.
+std::string CanonicalizeSql(std::string_view sql, const FingerprintOptions& options = {});
+
+/// \brief 64-bit FNV-1a hash of a canonical form — the stable statement
+/// fingerprint. Equal canonical strings always hash equal; the dedup cache
+/// additionally compares canonical strings so a hash collision can never
+/// merge two distinct statements.
+uint64_t FingerprintCanonical(std::string_view canonical);
+
+/// \brief Fingerprint of a token stream under `options`.
+uint64_t FingerprintTokens(const std::vector<Token>& tokens,
+                           const FingerprintOptions& options = {});
+
+/// \brief Fingerprint of a SQL statement under `options`.
+uint64_t FingerprintSql(std::string_view sql, const FingerprintOptions& options = {});
+
+}  // namespace sqlcheck::sql

@@ -3,18 +3,15 @@
 #include <cctype>
 
 #include "common/strings.h"
+#include "sql/lexer_detail.h"
 
 namespace sqlcheck::sql {
 
 namespace {
 
-bool IsIdentStart(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == '$';
-}
-bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+using lexer_detail::IsDigit;
+using lexer_detail::IsIdentChar;
+using lexer_detail::IsIdentStart;
 
 class LexerImpl {
  public:
@@ -34,7 +31,8 @@ class LexerImpl {
         LexLineComment(start, out);
         continue;
       }
-      if (c == '#') {
+      if (c == '#' && Peek(1) != '>') {
+        // MySQL line comment; `#>` / `#>>` are PostgreSQL JSON path operators.
         LexLineComment(start, out);
         continue;
       }
@@ -67,7 +65,9 @@ class LexerImpl {
         ++pos_;
         continue;
       }
-      if (c == '%' && Peek(1) == 's') {
+      if (c == '%' && Peek(1) == 's' && !IsIdentChar(Peek(2))) {
+        // Python-style bind parameter — but only when the `s` is a whole
+        // word: in `id%salary` the `%` is the modulo operator.
         Emit(out, TokenKind::kParam, "%s", start, 2);
         pos_ += 2;
         continue;
@@ -117,8 +117,19 @@ class LexerImpl {
 
   void LexBlockComment(size_t start, std::vector<Token>& out) {
     pos_ += 2;
-    while (pos_ + 1 < sql_.size() && !(sql_[pos_] == '*' && sql_[pos_ + 1] == '/')) ++pos_;
-    pos_ = pos_ + 1 < sql_.size() ? pos_ + 2 : sql_.size();
+    // PostgreSQL block comments nest: `/* a /* b */ c */` is one comment.
+    int depth = 1;
+    while (pos_ < sql_.size() && depth > 0) {
+      if (sql_[pos_] == '/' && Peek(1) == '*') {
+        ++depth;
+        pos_ += 2;
+      } else if (sql_[pos_] == '*' && Peek(1) == '/') {
+        --depth;
+        pos_ += 2;
+      } else {
+        ++pos_;
+      }
+    }
     Emit(out, TokenKind::kComment, std::string(sql_.substr(start, pos_ - start)), start,
          pos_ - start);
   }
@@ -258,10 +269,7 @@ class LexerImpl {
       case '.': Emit(out, TokenKind::kDot, ".", start, 1); ++pos_; return;
       default: break;
     }
-    // Multi-character operators, longest match first.
-    static constexpr std::string_view kMulti[] = {"||", "==", "!=", "<>", "<=", ">=",
-                                                  "::", "->>", "->", "~*", "!~*", "!~"};
-    for (std::string_view op : kMulti) {
+    for (std::string_view op : lexer_detail::kMultiCharOperators) {
       if (sql_.substr(pos_).substr(0, op.size()) == op) {
         Emit(out, TokenKind::kOperator, std::string(op), start, op.size());
         pos_ += op.size();

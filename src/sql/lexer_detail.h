@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cctype>
+#include <string_view>
+
+namespace sqlcheck::sql::lexer_detail {
+
+// Character classes and the multi-character operator table shared by the
+// lexer and the streaming canonicalizer in fingerprint.cc. Keeping them in
+// one place guarantees the two passes tokenize identically — a divergence
+// would let the dedup cache disagree with what the analyzer sees.
+
+inline bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+inline bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == '$';
+}
+inline bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// Multi-character operators, longest match first (a prefix must come after
+/// every operator it prefixes: `<=>` before `<=`, `#>>` before `#>`).
+inline constexpr std::string_view kMultiCharOperators[] = {
+    "<=>", "||", "==", "!=", "<>", "<=", ">=", "::", "#>>",
+    "#>",  "->>", "->", "@>", "<@", "~*", "!~*", "!~"};
+
+}  // namespace sqlcheck::sql::lexer_detail

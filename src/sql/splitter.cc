@@ -5,21 +5,72 @@
 
 namespace sqlcheck::sql {
 
+namespace {
+
+/// Next non-comment token after `idx`, or nullptr at the end of the stream.
+const Token* NextCodeToken(const std::vector<Token>& tokens, size_t idx) {
+  for (size_t j = idx + 1; j < tokens.size(); ++j) {
+    if (!tokens[j].Is(TokenKind::kComment)) return &tokens[j];
+  }
+  return nullptr;
+}
+
+}  // namespace
+
 std::vector<std::string> SplitStatements(std::string_view script) {
-  // Lexing handles all the quoting/comment subtleties; we just cut the raw
-  // text at top-level semicolon token offsets.
+  // Lexing handles all the quoting/comment subtleties; we cut the raw text at
+  // semicolon token offsets, but only outside BEGIN...END / CASE...END
+  // compound bodies so trigger/procedure scripts survive in one piece.
   LexerOptions options;
   options.keep_comments = true;
   std::vector<Token> tokens = Lex(script, options);
 
   std::vector<std::string> out;
   size_t piece_start = 0;
-  for (const Token& t : tokens) {
-    if (t.Is(TokenKind::kSemicolon)) {
+  int block_depth = 0;  ///< Open BEGIN/CASE blocks at the current token.
+  const Token* prev_code = nullptr;  ///< Last non-comment token seen.
+  for (size_t ti = 0; ti < tokens.size(); ++ti) {
+    const Token& t = tokens[ti];
+    if (t.Is(TokenKind::kKeyword)) {
+      if (t.IsKeyword("begin")) {
+        // Transaction-control BEGIN (`BEGIN;`, `BEGIN WORK/TRANSACTION`,
+        // `BEGIN ISOLATION/READ ...`, SQLite's `BEGIN
+        // DEFERRED/IMMEDIATE/EXCLUSIVE`) is a complete statement, not a
+        // block opener.
+        const Token* next = NextCodeToken(tokens, ti);
+        bool transactional = next == nullptr || next->Is(TokenKind::kSemicolon) ||
+                             next->Is(TokenKind::kEnd) ||
+                             next->IsKeyword("transaction") || next->IsKeyword("work") ||
+                             EqualsIgnoreCase(next->text, "tran") ||
+                             EqualsIgnoreCase(next->text, "isolation") ||
+                             EqualsIgnoreCase(next->text, "read") ||
+                             EqualsIgnoreCase(next->text, "deferred") ||
+                             EqualsIgnoreCase(next->text, "immediate") ||
+                             EqualsIgnoreCase(next->text, "exclusive");
+        if (!transactional) ++block_depth;
+      } else if (t.IsKeyword("case")) {
+        // The CASE in `END CASE` closes a block (handled at the END token);
+        // it must not count as opening a new one.
+        if (prev_code == nullptr || !prev_code->IsKeyword("end")) ++block_depth;
+      } else if (t.IsKeyword("end")) {
+        // `END IF` / `END LOOP` / `END WHILE` / `END REPEAT` close constructs
+        // we never counted (their openers are ambiguous with functions and
+        // `IF EXISTS`); only bare END and `END CASE` close a tracked block.
+        const Token* next = NextCodeToken(tokens, ti);
+        bool closes_untracked =
+            next != nullptr &&
+            (next->IsKeyword("if") || EqualsIgnoreCase(next->text, "loop") ||
+             EqualsIgnoreCase(next->text, "while") ||
+             EqualsIgnoreCase(next->text, "repeat"));
+        if (!closes_untracked && block_depth > 0) --block_depth;
+      }
+    }
+    if (t.Is(TokenKind::kSemicolon) && block_depth == 0) {
       std::string_view piece = script.substr(piece_start, t.offset - piece_start);
       if (!Trim(piece).empty()) out.emplace_back(Trim(piece));
       piece_start = t.offset + 1;
     }
+    if (!t.Is(TokenKind::kComment)) prev_code = &t;
   }
   if (piece_start < script.size()) {
     std::string_view piece = script.substr(piece_start);

@@ -7,8 +7,11 @@
 namespace sqlcheck::sql {
 
 /// \brief Splits a SQL script into individual statements on `;` boundaries,
-/// respecting string literals, quoted identifiers, and comments. Statements
-/// are returned without the trailing semicolon; empty pieces are dropped.
+/// respecting string literals, quoted identifiers, comments, and
+/// BEGIN...END / CASE...END compound bodies (trigger and procedure scripts
+/// stay whole; transaction-control `BEGIN` still terminates normally).
+/// Statements are returned without the trailing semicolon; empty pieces are
+/// dropped.
 std::vector<std::string> SplitStatements(std::string_view script);
 
 }  // namespace sqlcheck::sql

@@ -118,6 +118,70 @@ TEST(LexerTest, BindParameterSpellings) {
   EXPECT_EQ(tokens[3].text, "$3");
 }
 
+TEST(LexerTest, ModuloBeforeIdentifierIsNotAParam) {
+  // Regression: `id%salary` used to lex as param `%s` + identifier `alary`.
+  auto tokens = LexNoEnd("id%salary");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "id");
+  EXPECT_TRUE(tokens[1].IsOperator("%"));
+  EXPECT_EQ(tokens[2].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[2].text, "salary");
+}
+
+TEST(LexerTest, ParamStillRecognizedAtWordBoundary) {
+  auto tokens = LexNoEnd("a = %s, b = %s) %s");
+  int params = 0;
+  for (const auto& t : tokens) {
+    if (t.kind == TokenKind::kParam) ++params;
+  }
+  EXPECT_EQ(params, 3);
+}
+
+TEST(LexerTest, NestedBlockCommentsAreOneComment) {
+  // Regression: PostgreSQL block comments nest; the inner `*/` used to end
+  // the comment and leak `c */` as live tokens.
+  auto tokens = LexNoEnd("SELECT /* a /* b */ c */ 42");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_TRUE(tokens[0].IsKeyword("select"));
+  EXPECT_EQ(tokens[1].text, "42");
+}
+
+TEST(LexerTest, NestedBlockCommentKeptWhole) {
+  LexerOptions opts;
+  opts.keep_comments = true;
+  auto tokens = LexNoEnd("/* a /* b */ c */", opts);
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kComment);
+  EXPECT_EQ(tokens[0].text, "/* a /* b */ c */");
+}
+
+TEST(LexerTest, UnterminatedNestedBlockCommentConsumesRest) {
+  auto tokens = LexNoEnd("SELECT /* outer /* inner */ still comment");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_TRUE(tokens[0].IsKeyword("select"));
+}
+
+TEST(LexerTest, MySqlNullSafeEqualsIsOneToken) {
+  auto tokens = LexNoEnd("a <=> b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_TRUE(tokens[1].IsOperator("<=>"));
+}
+
+TEST(LexerTest, JsonPathOperatorsAreSingleTokens) {
+  auto tokens = LexNoEnd("j #>> 'p' #> 'q' @> r <@ s");
+  std::vector<std::string> ops;
+  for (const auto& t : tokens) {
+    if (t.kind == TokenKind::kOperator) ops.push_back(t.text);
+  }
+  EXPECT_EQ(ops, (std::vector<std::string>{"#>>", "#>", "@>", "<@"}));
+}
+
+TEST(LexerTest, HashStillStartsCommentWhenNotJsonOperator) {
+  auto tokens = LexNoEnd("SELECT 1 # comment with #> inside\n+ 2");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[2].text, "+");
+}
+
 TEST(LexerTest, MultiCharOperators) {
   auto tokens = LexNoEnd("a || b <> c != d <= e >= f :: g == h");
   std::vector<std::string> ops;

@@ -29,6 +29,91 @@ TEST(SplitterTest, EmptyPiecesDropped) {
   EXPECT_EQ(SplitStatements("SELECT 1;;").size(), 1u);
 }
 
+TEST(SplitterTest, TriggerBodyWithSemicolonsStaysWhole) {
+  // Regression: MySQL trigger/procedure scripts used to be cut mid-body.
+  auto parts = SplitStatements(
+      "CREATE TABLE t (a INT);\n"
+      "CREATE TRIGGER trg BEFORE INSERT ON t FOR EACH ROW\n"
+      "BEGIN\n"
+      "  INSERT INTO log VALUES (1);\n"
+      "  UPDATE counters SET n = n + 1;\n"
+      "END;\n"
+      "SELECT * FROM t");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_NE(parts[1].find("UPDATE counters"), std::string::npos);
+  EXPECT_NE(parts[1].find("END"), std::string::npos);
+  EXPECT_EQ(parts[2], "SELECT * FROM t");
+}
+
+TEST(SplitterTest, EndIfInsideBodyDoesNotCloseTheBlock) {
+  auto parts = SplitStatements(
+      "CREATE TRIGGER trg BEFORE INSERT ON t FOR EACH ROW\n"
+      "BEGIN\n"
+      "  IF NEW.x IS NULL THEN SET NEW.x = 0; END IF;\n"
+      "  INSERT INTO log VALUES (1);\n"
+      "END;\n"
+      "SELECT 1");
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_NE(parts[0].find("INSERT INTO log"), std::string::npos);
+  EXPECT_EQ(parts[1], "SELECT 1");
+}
+
+TEST(SplitterTest, NestedBeginBlocksTrackDepth) {
+  auto parts = SplitStatements(
+      "CREATE PROCEDURE p()\n"
+      "BEGIN\n"
+      "  BEGIN\n"
+      "    SELECT 1;\n"
+      "  END;\n"
+      "  SELECT 2;\n"
+      "END;\n"
+      "SELECT 3");
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1], "SELECT 3");
+}
+
+TEST(SplitterTest, TransactionBeginIsNotABlock) {
+  auto parts = SplitStatements("BEGIN; SELECT 1; COMMIT; BEGIN TRANSACTION; SELECT 2");
+  ASSERT_EQ(parts.size(), 5u);
+  EXPECT_EQ(parts[0], "BEGIN");
+  EXPECT_EQ(parts[3], "BEGIN TRANSACTION");
+}
+
+TEST(SplitterTest, SqliteAndPostgresTransactionBeginVariants) {
+  auto parts = SplitStatements(
+      "BEGIN IMMEDIATE; INSERT INTO t VALUES (1); COMMIT; "
+      "BEGIN DEFERRED; SELECT 1; COMMIT; "
+      "BEGIN EXCLUSIVE; SELECT 2; COMMIT; "
+      "BEGIN READ ONLY; SELECT 3; COMMIT; "
+      "BEGIN TRAN; UPDATE t SET a = 1; COMMIT");
+  ASSERT_EQ(parts.size(), 15u);
+  EXPECT_EQ(parts[0], "BEGIN IMMEDIATE");
+  EXPECT_EQ(parts[9], "BEGIN READ ONLY");
+  EXPECT_EQ(parts[12], "BEGIN TRAN");
+  EXPECT_EQ(parts[14], "COMMIT");
+}
+
+TEST(SplitterTest, EndCaseClosesItsBlock) {
+  // Regression: the CASE token in `END CASE` re-incremented the depth the
+  // END had just released, so the block never closed.
+  auto parts = SplitStatements(
+      "CREATE PROCEDURE p()\n"
+      "BEGIN\n"
+      "  CASE x WHEN 1 THEN SELECT 1; ELSE SELECT 2; END CASE;\n"
+      "END;\n"
+      "SELECT 3");
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_NE(parts[0].find("END CASE"), std::string::npos);
+  EXPECT_EQ(parts[1], "SELECT 3");
+}
+
+TEST(SplitterTest, CaseExpressionDoesNotSwallowBoundaries) {
+  auto parts = SplitStatements(
+      "SELECT CASE WHEN a = 1 THEN 'x' ELSE 'y' END FROM t; SELECT 2");
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1], "SELECT 2");
+}
+
 TEST(ExtractorTest, FindsSqlInHostStrings) {
   auto found = ExtractEmbeddedSql(R"(
 cur.execute("SELECT * FROM users WHERE id = 1")
