@@ -14,6 +14,15 @@ namespace sqlcheck {
 
 std::vector<const QueryFacts*> Context::QueriesReferencing(std::string_view table) const {
   std::vector<const QueryFacts*> out;
+  if (stats_.statement_count() == query_facts_.size()) {
+    const std::vector<size_t>* refs = stats_.StatementsReferencing(table);
+    if (refs != nullptr) {
+      out.reserve(refs->size());
+      for (size_t i : *refs) out.push_back(&query_facts_[i]);
+    }
+    return out;
+  }
+  // Fallback scan for contexts whose aggregates were never populated.
   for (const auto& facts : query_facts_) {
     if (facts.ReferencesTable(table)) out.push_back(&facts);
   }
@@ -21,6 +30,9 @@ std::vector<const QueryFacts*> Context::QueriesReferencing(std::string_view tabl
 }
 
 int Context::EqualityUseCount(std::string_view table, std::string_view column) const {
+  if (stats_.statement_count() == query_facts_.size()) {
+    return stats_.EqualityUseCount(table, column);
+  }
   int count = 0;
   for (const auto& facts : query_facts_) {
     for (const auto& p : facts.predicates) {
@@ -46,6 +58,9 @@ int Context::EqualityUseCount(std::string_view table, std::string_view column) c
 }
 
 bool Context::TablesJoined(std::string_view left, std::string_view right) const {
+  if (stats_.statement_count() == query_facts_.size()) {
+    return stats_.TablesJoined(left, right);
+  }
   for (const auto& facts : query_facts_) {
     for (const auto& j : facts.joins) {
       if (j.expression_join) continue;
@@ -201,13 +216,17 @@ Context ContextBuilder::Build(int parallelism, ThreadPool* pool, bool dedup_quer
         for (size_t i = begin; i < end; ++i) {
           size_t rep = groups.representative[i];
           if (rep == i) continue;
-          QueryFacts facts = context.query_facts_[rep];
-          facts.stmt = context.statements_[i].get();
-          facts.raw_sql = context.statements_[i]->raw_sql;
-          context.query_facts_[i] = std::move(facts);
+          context.query_facts_[i] =
+              RebaseFacts(context.query_facts_[rep], *context.statements_[i]);
         }
       },
       pool);
+
+  // Fold every statement into the workload aggregates (workload order); the
+  // queryable interface answers from these instead of re-scanning the facts.
+  for (size_t i = 0; i < n; ++i) {
+    context.stats_.AddStatementFacts(i, context.query_facts_[i]);
+  }
   return context;
 }
 

@@ -8,6 +8,7 @@
 #include "analysis/data_analyzer.h"
 #include "analysis/data_context.h"
 #include "analysis/query_context.h"
+#include "analysis/workload_stats.h"
 #include "catalog/catalog.h"
 #include "sql/ast.h"
 #include "storage/database.h"
@@ -52,6 +53,11 @@ class Context {
   /// DetectAntiPatterns uses it to evaluate query rules once per group.
   const QueryGroups& query_groups() const { return query_groups_; }
 
+  /// Maintained workload aggregates backing the queryable interface below.
+  /// ContextBuilder populates them at Build(); AnalysisSession folds each
+  /// statement in as it streams, so the O(1) answers stay current.
+  const WorkloadStats& stats() const { return stats_; }
+
   // ------------------------ queryable interface ----------------------------
   /// Queries referencing a table.
   std::vector<const QueryFacts*> QueriesReferencing(std::string_view table) const;
@@ -75,11 +81,13 @@ class Context {
 
  private:
   friend class ContextBuilder;
+  friend class AnalysisSession;
 
   Catalog catalog_;
   std::vector<sql::StatementPtr> statements_;  ///< Owned parse trees.
   std::vector<QueryFacts> query_facts_;
   QueryGroups query_groups_;
+  WorkloadStats stats_;
   DataContext data_;
   const Database* database_ = nullptr;  ///< Non-owning; may be null.
 };

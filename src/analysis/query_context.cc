@@ -11,4 +11,11 @@ bool QueryFacts::ReferencesTable(std::string_view table) const {
   return false;
 }
 
+QueryFacts RebaseFacts(const QueryFacts& rep, const sql::Statement& stmt) {
+  QueryFacts facts = rep;
+  facts.stmt = &stmt;
+  facts.raw_sql = stmt.raw_sql;
+  return facts;
+}
+
 }  // namespace sqlcheck

@@ -67,4 +67,10 @@ struct QueryFacts {
   bool ReferencesTable(std::string_view table) const;
 };
 
+/// \brief Copies a fingerprint-group representative's facts onto another
+/// occurrence of the same canonical statement: identical analysis results,
+/// rebased onto the occurrence's own raw text and parse tree. Shared by the
+/// batch context build and the incremental session so the two cannot drift.
+QueryFacts RebaseFacts(const QueryFacts& rep, const sql::Statement& stmt);
+
 }  // namespace sqlcheck

@@ -1,0 +1,80 @@
+#include "analysis/workload_stats.h"
+
+#include <algorithm>
+
+#include "analysis/query_context.h"
+#include "common/strings.h"
+
+namespace sqlcheck {
+
+namespace {
+
+std::string ColumnKey(std::string_view table, std::string_view column) {
+  std::string key = ToLower(table);
+  key.push_back('\0');
+  key += ToLower(column);
+  return key;
+}
+
+}  // namespace
+
+std::string WorkloadStats::PairKey(std::string_view a, std::string_view b) {
+  std::string left = ToLower(a);
+  std::string right = ToLower(b);
+  if (right < left) std::swap(left, right);
+  left.push_back('\0');
+  left += right;
+  return left;
+}
+
+void WorkloadStats::AddStatementFacts(size_t stmt_index, const QueryFacts& facts) {
+  ++statement_count_;
+  // Case-folded, deduped table list: ReferencesTable-style membership must
+  // credit a statement once per table even if two spellings resolve equal.
+  std::vector<std::string> tables;
+  tables.reserve(facts.tables.size());
+  for (const auto& table : facts.tables) {
+    std::string lower = ToLower(table);
+    if (std::find(tables.begin(), tables.end(), lower) == tables.end()) {
+      tables.push_back(std::move(lower));
+    }
+  }
+  for (const auto& table : tables) by_table_[table].push_back(stmt_index);
+  for (const auto& p : facts.predicates) {
+    if (p.op != "=" && p.op != "==" && p.op != "IN") continue;
+    if (!p.table.empty()) {
+      ++equality_use_[ColumnKey(p.table, p.column)];
+    } else {
+      // An unqualified predicate counts toward every table the statement
+      // references — exactly the statements the per-call scan would have
+      // credited when asked about that table.
+      for (const auto& table : tables) {
+        ++equality_use_[ColumnKey(table, p.column)];
+      }
+    }
+  }
+  for (const auto& j : facts.joins) {
+    if (j.expression_join) continue;
+    ++equality_use_[ColumnKey(j.left_table, j.left_column)];
+    ++equality_use_[ColumnKey(j.right_table, j.right_column)];
+    joined_pairs_.insert(PairKey(j.left_table, j.right_table));
+  }
+}
+
+int WorkloadStats::EqualityUseCount(std::string_view table,
+                                    std::string_view column) const {
+  auto it = equality_use_.find(ColumnKey(table, column));
+  return it == equality_use_.end() ? 0 : it->second;
+}
+
+bool WorkloadStats::TablesJoined(std::string_view left, std::string_view right) const {
+  return joined_pairs_.count(PairKey(left, right)) > 0;
+}
+
+const std::vector<size_t>* WorkloadStats::StatementsReferencing(
+    std::string_view table) const {
+  auto it = by_table_.find(ToLower(table));
+  return it == by_table_.end() ? nullptr : &it->second;
+}
+
+}  // namespace sqlcheck

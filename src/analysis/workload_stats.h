@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace sqlcheck {
+
+struct QueryFacts;
+
+/// \brief Updatable workload aggregates: per-table/per-column usage counters
+/// the inter-query rules consume (promoted out of per-call scans over
+/// Context::queries() so a long-lived AnalysisSession can answer them in
+/// O(1) as statements stream in).
+///
+/// The counters reproduce the original scan semantics exactly (they are the
+/// same sums, just maintained incrementally), so a Context answering through
+/// its stats produces byte-identical reports:
+///  - EqualityUseCount(t, c): qualified equality/IN predicates on `t.c`, plus
+///    unqualified ones on `c` inside statements referencing `t`, plus every
+///    non-expression join edge endpoint on `t.c`.
+///  - TablesJoined(l, r): any non-expression join edge between the tables, in
+///    either direction.
+///  - StatementsReferencing(t): statement indices touching `t`, in workload
+///    order.
+/// All lookups fold ASCII case, matching EqualsIgnoreCase.
+class WorkloadStats {
+ public:
+  /// Folds one analyzed statement into the aggregates. `stmt_index` must be
+  /// the statement's position in the workload; statements must be added in
+  /// workload order (indices strictly increasing).
+  void AddStatementFacts(size_t stmt_index, const QueryFacts& facts);
+
+  /// How many equality predicates/join edges across the workload touch
+  /// `table.column`.
+  int EqualityUseCount(std::string_view table, std::string_view column) const;
+
+  /// True if any statement joins `left` and `right` on any columns.
+  bool TablesJoined(std::string_view left, std::string_view right) const;
+
+  /// Indices of statements referencing `table` in workload order, or nullptr
+  /// when none do.
+  const std::vector<size_t>* StatementsReferencing(std::string_view table) const;
+
+  /// Number of statements folded in so far.
+  size_t statement_count() const { return statement_count_; }
+
+ private:
+  static std::string PairKey(std::string_view a, std::string_view b);
+
+  size_t statement_count_ = 0;
+  /// lowercase "table\0column" -> use count.
+  std::unordered_map<std::string, int> equality_use_;
+  /// Unordered lowercase "min\0max" table pairs with at least one join edge.
+  std::unordered_set<std::string> joined_pairs_;
+  /// lowercase table -> referencing statement indices (ascending).
+  std::unordered_map<std::string, std::vector<size_t>> by_table_;
+};
+
+}  // namespace sqlcheck

@@ -1,0 +1,220 @@
+#include "core/emit.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace sqlcheck {
+
+namespace {
+
+/// Stable machine identifier for an anti-pattern: the display name lowered
+/// with non-alphanumerics folded to '-' (e.g. "column-wildcard-usage").
+std::string ApSlug(AntiPattern type) {
+  std::string slug;
+  for (char c : std::string_view(ApName(type))) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!slug.empty() && slug.back() != '-') {
+      slug.push_back('-');
+    }
+  }
+  if (!slug.empty() && slug.back() == '-') slug.pop_back();
+  return slug;
+}
+
+const char* SourceName(DetectionSource source) {
+  switch (source) {
+    case DetectionSource::kIntraQuery: return "intra-query";
+    case DetectionSource::kInterQuery: return "inter-query";
+    case DetectionSource::kDataAnalysis: return "data-analysis";
+  }
+  return "unknown";
+}
+
+/// %.6g matches the precision ToText's ostream formatting uses, and always
+/// yields a valid JSON number for the bounded [0, 1] scores.
+std::string FormatScore(double score) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", score);
+  return buffer;
+}
+
+size_t EmitLimit(const Report& report, const EmitOptions& options) {
+  if (options.max_findings == 0) return report.findings.size();
+  return std::min(options.max_findings, report.findings.size());
+}
+
+void AppendQuoted(std::ostringstream& out, std::string_view s) {
+  out << '"' << JsonEscape(s) << '"';
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buffer;
+        } else {
+          out.push_back(c);  // UTF-8 bytes pass through untouched
+        }
+    }
+  }
+  return out;
+}
+
+std::string ToJson(const Report& report, const EmitOptions& options) {
+  const size_t limit = EmitLimit(report, options);
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"tool\": \"sqlcheck\",\n";
+  out << "  \"findings\": " << report.findings.size() << ",\n";
+  out << "  \"distinct_types\": " << report.DistinctTypes() << ",\n";
+  out << "  \"results\": [";
+  for (size_t i = 0; i < limit; ++i) {
+    const Finding& f = report.findings[i];
+    const Detection& d = f.ranked.detection;
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\n";
+    out << "      \"rank\": " << (i + 1) << ",\n";
+    out << "      \"rule\": ";
+    AppendQuoted(out, ApName(d.type));
+    out << ",\n      \"id\": ";
+    AppendQuoted(out, ApSlug(d.type));
+    out << ",\n      \"category\": ";
+    AppendQuoted(out, CategoryName(InfoFor(d.type).category));
+    out << ",\n      \"source\": ";
+    AppendQuoted(out, SourceName(d.source));
+    out << ",\n      \"score\": " << FormatScore(f.ranked.score);
+    out << ",\n      \"table\": ";
+    AppendQuoted(out, d.table);
+    out << ",\n      \"column\": ";
+    AppendQuoted(out, d.column);
+    out << ",\n      \"query\": ";
+    AppendQuoted(out, d.query);
+    out << ",\n      \"message\": ";
+    AppendQuoted(out, d.message);
+    out << ",\n      \"fix\": {\n";
+    out << "        \"kind\": \""
+        << (f.fix.kind == FixKind::kRewrite ? "rewrite" : "textual") << "\",\n";
+    out << "        \"explanation\": ";
+    AppendQuoted(out, f.fix.explanation);
+    out << ",\n        \"statements\": [";
+    for (size_t s = 0; s < f.fix.statements.size(); ++s) {
+      out << (s == 0 ? "" : ", ");
+      AppendQuoted(out, f.fix.statements[s]);
+    }
+    out << "],\n";
+    out << "        \"impacted_queries\": " << f.fix.impacted_queries.size() << "\n";
+    out << "      }\n";
+    out << "    }";
+  }
+  out << (limit == 0 ? "]" : "\n  ]");
+  if (limit < report.findings.size()) {
+    out << ",\n  \"suppressed\": " << (report.findings.size() - limit);
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+std::string ToSarif(const Report& report, const EmitOptions& options) {
+  const size_t limit = EmitLimit(report, options);
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"$schema\": "
+         "\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+         "Schemata/sarif-schema-2.1.0.json\",\n";
+  out << "  \"version\": \"2.1.0\",\n";
+  out << "  \"runs\": [\n";
+  out << "    {\n";
+  out << "      \"tool\": {\n";
+  out << "        \"driver\": {\n";
+  out << "          \"name\": \"sqlcheck\",\n";
+  out << "          \"informationUri\": "
+         "\"https://doi.org/10.1145/3318464.3389754\",\n";
+  out << "          \"rules\": [";
+  // The full catalog, in enum order, so result ruleIndex values are stable.
+  for (int t = 0; t < kAntiPatternCount; ++t) {
+    AntiPattern type = InfoFor(static_cast<AntiPattern>(t)).type;
+    out << (t == 0 ? "\n" : ",\n");
+    out << "            {\n";
+    out << "              \"id\": ";
+    AppendQuoted(out, ApSlug(type));
+    out << ",\n              \"name\": ";
+    AppendQuoted(out, ApName(type));
+    out << ",\n              \"shortDescription\": { \"text\": ";
+    AppendQuoted(out, ApName(type));
+    out << " },\n              \"properties\": { \"category\": ";
+    AppendQuoted(out, CategoryName(InfoFor(type).category));
+    out << " }\n            }";
+  }
+  out << "\n          ]\n";
+  out << "        }\n";
+  out << "      },\n";
+  out << "      \"results\": [";
+  for (size_t i = 0; i < limit; ++i) {
+    const Finding& f = report.findings[i];
+    const Detection& d = f.ranked.detection;
+    out << (i == 0 ? "\n" : ",\n");
+    out << "        {\n";
+    out << "          \"ruleId\": ";
+    AppendQuoted(out, ApSlug(d.type));
+    out << ",\n          \"ruleIndex\": " << static_cast<int>(d.type);
+    out << ",\n          \"level\": \"warning\"";
+    out << ",\n          \"message\": { \"text\": ";
+    std::string text = d.message;
+    if (!d.query.empty()) text += " | query: " + d.query;
+    AppendQuoted(out, text);
+    out << " }";
+    if (!d.table.empty() || !options.artifact_uri.empty()) {
+      out << ",\n          \"locations\": [\n            {";
+      bool first = true;
+      if (!options.artifact_uri.empty()) {
+        out << "\n              \"physicalLocation\": { \"artifactLocation\": "
+               "{ \"uri\": ";
+        AppendQuoted(out, options.artifact_uri);
+        out << " } }";
+        first = false;
+      }
+      if (!d.table.empty()) {
+        out << (first ? "\n" : ",\n");
+        out << "              \"logicalLocations\": [ { \"name\": ";
+        AppendQuoted(out,
+                     d.column.empty() ? d.table : d.table + "." + d.column);
+        out << ", \"kind\": \"member\" } ]";
+      }
+      out << "\n            }\n          ]";
+    }
+    out << ",\n          \"properties\": { \"score\": " << FormatScore(f.ranked.score)
+        << ", \"source\": ";
+    AppendQuoted(out, SourceName(d.source));
+    out << " }\n        }";
+  }
+  out << (limit == 0 ? "]\n" : "\n      ]\n");
+  out << "    }\n";
+  out << "  ]\n";
+  out << "}\n";
+  return out.str();
+}
+
+std::string Report::ToJson() const { return sqlcheck::ToJson(*this); }
+
+std::string Report::ToSarif() const { return sqlcheck::ToSarif(*this); }
+
+}  // namespace sqlcheck

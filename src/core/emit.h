@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/report.h"
+
+namespace sqlcheck {
+
+/// \brief Options for the structured report emitters.
+struct EmitOptions {
+  /// Cap on emitted findings (0 = all) — the CLI's --top flag.
+  size_t max_findings = 0;
+  /// Artifact URI recorded in SARIF result locations ("" = omit physical
+  /// locations; logical locations — table/column — are always emitted).
+  std::string artifact_uri;
+};
+
+/// \brief Renders the report as deterministic, pretty-printed JSON: run
+/// totals plus one result object per finding (rule, category, source, score,
+/// table/column, offending query, message, and the suggested fix). Byte
+/// stability is part of the contract — golden-file tested.
+std::string ToJson(const Report& report, const EmitOptions& options = {});
+
+/// \brief Renders the report as a SARIF 2.1.0 log (the GitHub code scanning
+/// / IDE interchange format): one run, the full 27-rule driver catalog, and
+/// one result per finding with logical (table/column) locations. Validated
+/// against the SARIF 2.1.0 required-key set by golden-file tests.
+std::string ToSarif(const Report& report, const EmitOptions& options = {});
+
+/// \brief Escapes a string for embedding inside a JSON string literal
+/// (quotes, backslashes, and control characters; no surrounding quotes).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace sqlcheck

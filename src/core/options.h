@@ -1,5 +1,8 @@
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "analysis/data_analyzer.h"
 #include "ranking/model.h"
 #include "rules/rule.h"
@@ -29,6 +32,14 @@ struct SqlCheckOptions {
   /// for custom rules that embed a statement's raw text outside
   /// Detection::query (see Rule::CheckQuery).
   bool dedup_queries = true;
+
+  /// Rules to leave out of the run, by anti-pattern display name (ApName,
+  /// ASCII-case-insensitive — e.g. "Column Wildcard Usage"). Validated
+  /// against the known anti-patterns when the checker is constructed: an
+  /// unknown name surfaces as an error status (AnalysisSession::status())
+  /// and the full rule set stays active. The CLI's --disable flag plumbs
+  /// straight into this.
+  std::vector<std::string> disabled_rules;
 
   /// Convenience presets mirroring the paper's evaluation configurations.
   static SqlCheckOptions IntraQueryOnly();

@@ -12,16 +12,25 @@ std::map<AntiPattern, int> Report::CountsByType() const {
 
 int Report::DistinctTypes() const { return static_cast<int>(CountsByType().size()); }
 
-std::string Report::ToText(size_t max_findings) const {
+std::string Report::ToText(size_t max_findings, bool color) const {
   std::ostringstream out;
   size_t limit = max_findings == 0 ? findings.size() : std::min(max_findings, findings.size());
+  const char* reset = color ? "\x1b[0m" : "";
+  const char* bold = color ? "\x1b[1m" : "";
   out << "sqlcheck report: " << findings.size() << " anti-pattern(s), "
       << DistinctTypes() << " distinct type(s)\n";
   for (size_t i = 0; i < limit; ++i) {
     const Finding& f = findings[i];
     const Detection& d = f.ranked.detection;
-    out << "\n[" << (i + 1) << "] " << ApName(d.type) << "  (category: "
-        << CategoryName(InfoFor(d.type).category) << ", score: " << f.ranked.score << ")\n";
+    // Severity-graded highlight: red for high-impact findings, yellow for
+    // mid, cyan for low (thresholds on the Figure 6 score).
+    const char* severity = !color            ? ""
+                           : f.ranked.score >= 0.5  ? "\x1b[31m"
+                           : f.ranked.score >= 0.15 ? "\x1b[33m"
+                                                    : "\x1b[36m";
+    out << "\n[" << (i + 1) << "] " << bold << severity << ApName(d.type) << reset
+        << "  (category: " << CategoryName(InfoFor(d.type).category)
+        << ", score: " << severity << f.ranked.score << reset << ")\n";
     if (!d.table.empty()) {
       out << "    at: " << d.table;
       if (!d.column.empty()) out << "." << d.column;

@@ -28,8 +28,16 @@ struct Report {
   /// Number of distinct anti-pattern *types* present.
   int DistinctTypes() const;
 
-  /// Renders a human-readable report (the CLI/GUI surface of §7).
-  std::string ToText(size_t max_findings = 0) const;
+  /// Renders a human-readable report (the CLI/GUI surface of §7). With
+  /// `color`, severity-graded ANSI escapes highlight rule names and scores.
+  std::string ToText(size_t max_findings = 0, bool color = false) const;
+
+  /// Deterministic JSON rendering (src/core/emit.cc; see ToJson for the
+  /// shape and EmitOptions for caps/URIs).
+  std::string ToJson() const;
+
+  /// SARIF 2.1.0 rendering for code-scanning upload (src/core/emit.cc).
+  std::string ToSarif() const;
 };
 
 }  // namespace sqlcheck

@@ -1,0 +1,230 @@
+#include "core/session.h"
+
+#include <utility>
+
+#include "analysis/query_analyzer.h"
+#include "common/thread_pool.h"
+#include "fix/repair_engine.h"
+#include "sql/fingerprint.h"
+#include "sql/parser.h"
+
+namespace sqlcheck {
+
+AnalysisSession::AnalysisSession(SqlCheckOptions options)
+    : options_(std::move(options)), registry_(RuleRegistry::Default()) {
+  status_ = registry_.Disable(options_.disabled_rules);
+}
+
+void AnalysisSession::AttachDatabase(const Database* db) {
+  context_.database_ = db;
+  if (db != nullptr) {
+    context_.catalog_ = db->BuildCatalog();
+    context_.data_ = AnalyzeDatabase(*db, options_.data_analyzer);
+  } else {
+    context_.catalog_ = Catalog();
+    context_.data_ = DataContext();
+  }
+  // Workload DDL layers on top of the database schema, exactly as a batch
+  // build orders it — so attaching late reproduces attaching first.
+  for (const auto& stmt : context_.statements_) {
+    context_.catalog_.ApplyDdl(*stmt);
+  }
+}
+
+void AnalysisSession::RegisterRule(std::unique_ptr<Rule> rule) {
+  registry_.Register(std::move(rule));
+}
+
+size_t AnalysisSession::AddQuery(std::string_view sql_text) {
+  std::vector<sql::StatementPtr> stmts;
+  stmts.push_back(sql::ParseStatement(sql_text));
+  return IngestChunk(std::move(stmts));
+}
+
+size_t AnalysisSession::AddScript(std::string_view script) {
+  std::vector<sql::StatementPtr> stmts = sql::ParseScript(script);
+  size_t count = stmts.size();
+  IngestChunk(std::move(stmts));
+  return count;
+}
+
+void AnalysisSession::AddStatement(sql::StatementPtr stmt) {
+  std::vector<sql::StatementPtr> stmts;
+  stmts.push_back(std::move(stmt));
+  IngestChunk(std::move(stmts));
+}
+
+size_t AnalysisSession::IngestChunk(std::vector<sql::StatementPtr> stmts) {
+  const size_t first = context_.statements_.size();
+  if (stmts.empty()) return first;
+
+  QueryGroups& groups = context_.query_groups_;
+  std::vector<size_t> new_uniques;  // unique-list positions added by this chunk
+
+  // Serial pass: catalog, dedup bookkeeping, slot allocation. The memos make
+  // a repeated statement cost one hash lookup here.
+  for (auto& stmt : stmts) {
+    const size_t i = context_.statements_.size();
+    context_.catalog_.ApplyDdl(*stmt);  // ignores DML; duplicate DDL is a no-op
+
+    size_t rep = i;
+    if (options_.dedup_queries) {
+      uint64_t fingerprint = 0;
+      auto raw_it = raw_memo_.find(stmt->raw_sql);
+      if (raw_it != raw_memo_.end()) {
+        rep = raw_it->second;
+        fingerprint = groups.fingerprints[rep];
+      } else {
+        std::string canonical =
+            sql::CanonicalizeSql(stmt->raw_sql, sql::FingerprintOptions::Exact());
+        fingerprint = sql::FingerprintCanonical(canonical);
+        auto [canon_it, inserted] = canonical_memo_.try_emplace(std::move(canonical), i);
+        rep = canon_it->second;
+        raw_memo_.emplace(stmt->raw_sql, rep);
+      }
+      groups.representative.push_back(rep);
+      groups.fingerprints.push_back(fingerprint);
+    } else {
+      groups.representative.push_back(i);
+    }
+    if (rep == i) {
+      unique_pos_.emplace(i, groups.unique.size());
+      new_uniques.push_back(groups.unique.size());
+      groups.unique.push_back(i);
+      local_cache_.emplace_back();
+    }
+    context_.statements_.push_back(std::move(stmt));
+    context_.query_facts_.emplace_back();
+  }
+
+  const size_t n = context_.statements_.size();
+  int threads = ThreadPool::ResolveParallelism(options_.parallelism);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1 && new_uniques.size() > 1) {
+    pool = std::make_unique<ThreadPool>(threads);
+  }
+
+  // Analyze each new unique statement (sharded — analysis is independent per
+  // statement) and pre-evaluate its statement-local rules into the cache.
+  ParallelShards(
+      new_uniques.size(), threads,
+      [this, &new_uniques](int /*shard*/, size_t begin, size_t end) {
+        for (size_t x = begin; x < end; ++x) {
+          size_t u = new_uniques[x];
+          size_t i = context_.query_groups_.unique[u];
+          context_.query_facts_[i] = AnalyzeQuery(*context_.statements_[i]);
+          EnsureCacheRow(u);
+        }
+      },
+      pool.get());
+
+  // Duplicates take a copy of their group's facts rebased onto their own raw
+  // text and parse tree, then everything folds into the workload aggregates
+  // in workload order.
+  for (size_t i = first; i < n; ++i) {
+    size_t rep = context_.query_groups_.representative[i];
+    if (rep != i) {
+      context_.query_facts_[i] =
+          RebaseFacts(context_.query_facts_[rep], *context_.statements_[i]);
+    }
+    context_.stats_.AddStatementFacts(i, context_.query_facts_[i]);
+  }
+  return first;
+}
+
+void AnalysisSession::EnsureCacheRow(size_t u) {
+  const auto& rules = registry_.rules();
+  std::vector<std::vector<Detection>>& row = local_cache_[u];
+  if (row.size() >= rules.size()) return;
+  const size_t i = context_.query_groups_.unique[u];
+  const QueryFacts& facts = context_.query_facts_[i];
+  size_t from = row.size();
+  row.resize(rules.size());
+  for (size_t r = from; r < rules.size(); ++r) {
+    if (rules[r]->query_scope() != QueryRuleScope::kStatementLocal) continue;
+    rules[r]->CheckQuery(facts, context_, options_.detector, &row[r]);
+  }
+}
+
+void AnalysisSession::AssembleGroupDetections(size_t u, std::vector<Detection>* out) {
+  EnsureCacheRow(u);
+  const auto& rules = registry_.rules();
+  const size_t i = context_.query_groups_.unique[u];
+  const QueryFacts& facts = context_.query_facts_[i];
+  const std::vector<std::vector<Detection>>& row = local_cache_[u];
+  for (size_t r = 0; r < rules.size(); ++r) {
+    if (rules[r]->query_scope() == QueryRuleScope::kStatementLocal) {
+      out->insert(out->end(), row[r].begin(), row[r].end());
+    } else {
+      rules[r]->CheckQuery(facts, context_, options_.detector, out);
+    }
+  }
+}
+
+Report AnalysisSession::Check(std::string_view sql) {
+  const size_t first = context_.statements_.size();
+  AddScript(sql);
+  const size_t n = context_.statements_.size();
+
+  std::vector<Detection> detections;
+  for (size_t i = first; i < n; ++i) {
+    size_t rep = context_.query_groups_.representative[i];
+    std::vector<Detection> buffer;
+    AssembleGroupDetections(unique_pos_.at(rep), &buffer);
+    if (rep == i) {
+      for (auto& d : buffer) detections.push_back(std::move(d));
+      continue;
+    }
+    for (auto& d : buffer) {
+      detections.push_back(RebaseDetection(std::move(d), context_.query_facts_[rep],
+                                           context_.query_facts_[i]));
+    }
+  }
+  return MakeReport(std::move(detections));
+}
+
+Report AnalysisSession::Snapshot() {
+  const size_t unique_count = context_.query_groups_.unique.size();
+  int threads = ThreadPool::ResolveParallelism(options_.parallelism);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
+  // Per-group buffers assemble in shards (cache rows are disjoint, workload
+  // rules are stateless/const); the shared fan-out then reproduces the
+  // serial batch stream byte-for-byte.
+  std::vector<std::vector<Detection>> per_group(unique_count);
+  ParallelShards(
+      unique_count, threads,
+      [this, &per_group](int /*shard*/, size_t begin, size_t end) {
+        for (size_t u = begin; u < end; ++u) {
+          AssembleGroupDetections(u, &per_group[u]);
+        }
+      },
+      pool.get());
+
+  std::vector<Detection> data_detections =
+      DetectDataAntiPatterns(context_, registry_, options_.detector);
+  return MakeReport(FanOutDetections(context_, context_.query_groups_,
+                                     std::move(per_group), std::move(data_detections)));
+}
+
+Report AnalysisSession::MakeReport(std::vector<Detection> detections) const {
+  // ap-rank (§5).
+  RankingModel model(options_.ranking_weights, options_.ranking_mode);
+  std::vector<RankedDetection> ranked = model.Rank(detections);
+
+  // ap-fix (§6).
+  RepairEngine repair;
+  Report report;
+  report.findings.reserve(ranked.size());
+  for (auto& r : ranked) {
+    Finding finding;
+    finding.fix =
+        options_.suggest_fixes ? repair.SuggestFix(r.detection, context_) : Fix{};
+    finding.ranked = std::move(r);
+    report.findings.push_back(std::move(finding));
+  }
+  return report;
+}
+
+}  // namespace sqlcheck

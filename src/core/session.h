@@ -1,0 +1,130 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/context.h"
+#include "common/status.h"
+#include "core/options.h"
+#include "core/report.h"
+#include "rules/registry.h"
+#include "storage/database.h"
+
+namespace sqlcheck {
+
+/// \brief The incremental analysis engine: accepts statements one at a time
+/// (or in chunks), updates the Context in place, and re-runs only the
+/// affected rules. This is the long-lived core the paper's interactive
+/// toolchain (§3, §7) implies — an editor/CI/monitor integration appends new
+/// statements for the lifetime of an application instead of re-analyzing the
+/// whole workload per call.
+///
+/// What stays incremental:
+///  - Parsing/analysis: each statement is parsed once; the PR-2 fingerprint
+///    memo persists across calls, so a repeated statement costs one hash
+///    lookup and a facts rebase instead of a fresh analysis.
+///  - Statement-local rules (Rule::query_scope() == kStatementLocal) run
+///    once per unique statement; their detections are cached and replayed.
+///  - Workload-sensitive rules re-evaluate against maintained aggregates
+///    (Context::stats(), updated per append) rather than O(workload) scans.
+///
+/// Snapshot() assembles the full report through the same fan-out as the
+/// batch detector, so its output is byte-identical to SqlCheck::Run() over
+/// the same statement order — enforced by tests/test_session.cc.
+///
+/// \code
+///   AnalysisSession session;                     // or session(options)
+///   session.AddScript(schema_sql);               // bulk history
+///   Report delta = session.Check(incoming_sql);  // findings for new stmt only
+///   Report full  = session.Snapshot();           // == batch Run() output
+/// \endcode
+class AnalysisSession {
+ public:
+  explicit AnalysisSession(SqlCheckOptions options = {});
+
+  /// Non-OK when the options were invalid (e.g. an unknown name in
+  /// disabled_rules); the session still works with the full rule set.
+  const Status& status() const { return status_; }
+
+  /// Connects the target database: its schema becomes the catalog baseline
+  /// (workload DDL re-applies on top) and its tables are profiled once, now.
+  /// May be called before or after statements are added; call again with the
+  /// same database to re-profile after its data changes.
+  void AttachDatabase(const Database* db);
+
+  /// Registers a custom rule (extensibility hook of §7). Takes effect from
+  /// the next Check()/Snapshot(); statements already ingested are covered
+  /// (statement-local detections for them are backfilled lazily).
+  void RegisterRule(std::unique_ptr<Rule> rule);
+
+  /// Appends one statement. Returns its workload index.
+  size_t AddQuery(std::string_view sql_text);
+
+  /// Appends every statement in a script (one chunk — analysis of new unique
+  /// statements is sharded across SqlCheckOptions::parallelism workers).
+  /// Returns the number of statements appended.
+  size_t AddScript(std::string_view script);
+
+  /// Appends an already-parsed statement (takes ownership).
+  void AddStatement(sql::StatementPtr stmt);
+
+  /// Streaming check: appends every statement in `sql` and returns a ranked
+  /// report of the findings *on those statements only*, evaluated against
+  /// the whole workload seen so far (aggregates include the new statements).
+  /// Table-level data-analysis findings are not re-examined here — they
+  /// belong to Snapshot(). This is the per-statement hot path: O(rules) with
+  /// O(1) aggregate lookups, independent of history length.
+  Report Check(std::string_view sql);
+
+  /// Full report over everything ingested so far: byte-identical to
+  /// SqlCheck::Run() on the same statements, in the same order. Idempotent —
+  /// the session remains usable (and appendable) afterwards.
+  Report Snapshot();
+
+  const Context& context() const { return context_; }
+  const SqlCheckOptions& options() const { return options_; }
+  size_t statement_count() const { return context_.statements_.size(); }
+  /// Unique fingerprint groups seen (== statement_count() with dedup off).
+  size_t unique_count() const { return context_.query_groups_.unique.size(); }
+
+ private:
+  /// Appends `stmts` as one chunk: dedup bookkeeping serially, analysis and
+  /// statement-local rule evaluation for new uniques sharded. Returns the
+  /// index of the first appended statement.
+  size_t IngestChunk(std::vector<sql::StatementPtr> stmts);
+
+  /// Fills cache slots for rules registered after row `u` was created (late
+  /// RegisterRule); statement-local rules are context-free, so backfilling
+  /// at any time yields what ingest-time evaluation would have.
+  void EnsureCacheRow(size_t u);
+
+  /// Appends group `u`'s detections in registry order: statement-local rules
+  /// from the cache, workload rules evaluated fresh against the current
+  /// context. Rows are disjoint, so concurrent calls on distinct `u` are
+  /// safe.
+  void AssembleGroupDetections(size_t u, std::vector<Detection>* out);
+
+  /// ap-rank + ap-fix over an assembled detection stream.
+  Report MakeReport(std::vector<Detection> detections) const;
+
+  SqlCheckOptions options_;
+  RuleRegistry registry_;
+  Status status_;
+  Context context_;
+
+  /// Fingerprint memo (persists across calls): raw statement bytes -> group
+  /// representative index, and exact-canonical form -> representative.
+  std::unordered_map<std::string, size_t> raw_memo_;
+  std::unordered_map<std::string, size_t> canonical_memo_;
+  /// Representative statement index -> position in query_groups().unique.
+  std::unordered_map<size_t, size_t> unique_pos_;
+
+  /// Per unique group: per registry rule, the cached detections of every
+  /// statement-local rule (workload-rule slots stay empty).
+  std::vector<std::vector<std::vector<Detection>>> local_cache_;
+};
+
+}  // namespace sqlcheck

@@ -1,59 +1,27 @@
 #include "core/sqlcheck.h"
 
-#include <memory>
-
-#include "common/thread_pool.h"
+#include <utility>
 
 namespace sqlcheck {
 
-SqlCheck::SqlCheck(SqlCheckOptions options)
-    : options_(options), registry_(RuleRegistry::Default()) {}
+SqlCheck::SqlCheck(SqlCheckOptions options) : session_(std::move(options)) {}
 
-void SqlCheck::AddQuery(std::string_view sql_text) { builder_.AddQuery(sql_text); }
+void SqlCheck::AddQuery(std::string_view sql_text) { session_.AddQuery(sql_text); }
 
-void SqlCheck::AddScript(std::string_view script) { builder_.AddScript(script); }
+void SqlCheck::AddScript(std::string_view script) { session_.AddScript(script); }
 
-void SqlCheck::AttachDatabase(const Database* db) {
-  builder_.AttachDatabase(db, options_.data_analyzer);
-}
+void SqlCheck::AttachDatabase(const Database* db) { session_.AttachDatabase(db); }
 
 void SqlCheck::RegisterRule(std::unique_ptr<Rule> rule) {
-  registry_.Register(std::move(rule));
+  session_.RegisterRule(std::move(rule));
 }
 
-Report SqlCheck::Run() {
-  // One pool serves every fork/join phase of the run (analysis + detection).
-  int threads = ThreadPool::ResolveParallelism(options_.parallelism);
-  std::unique_ptr<ThreadPool> pool;
-  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
-
-  Context context = builder_.Build(threads, pool.get(), options_.dedup_queries);
-
-  // ap-detect (Algorithm 1), sharded across options_.parallelism workers.
-  std::vector<Detection> detections =
-      DetectAntiPatterns(context, registry_, options_.detector, threads, pool.get());
-
-  // ap-rank (§5).
-  RankingModel model(options_.ranking_weights, options_.ranking_mode);
-  std::vector<RankedDetection> ranked = model.Rank(detections);
-
-  // ap-fix (§6).
-  RepairEngine repair;
-  Report report;
-  report.findings.reserve(ranked.size());
-  for (auto& r : ranked) {
-    Finding finding;
-    finding.fix = options_.suggest_fixes ? repair.SuggestFix(r.detection, context) : Fix{};
-    finding.ranked = std::move(r);
-    report.findings.push_back(std::move(finding));
-  }
-  return report;
-}
+Report SqlCheck::Run() { return session_.Snapshot(); }
 
 Report FindAntiPatterns(std::string_view sql_text, const SqlCheckOptions& options) {
-  SqlCheck checker(options);
-  checker.AddQuery(sql_text);
-  return checker.Run();
+  AnalysisSession session(options);
+  session.AddQuery(sql_text);
+  return session.Snapshot();
 }
 
 }  // namespace sqlcheck

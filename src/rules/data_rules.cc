@@ -26,6 +26,9 @@ Detection DataDetection(AntiPattern type, std::string table, std::string column,
 class MissingTimezoneRule final : public Rule {
  public:
   AntiPattern type() const override { return AntiPattern::kMissingTimezone; }
+  QueryRuleScope query_scope() const override {
+    return QueryRuleScope::kStatementLocal;
+  }
 
   void CheckQuery(const QueryFacts& facts, const Context& context,
                   const DetectorConfig& config, std::vector<Detection>* out) const override {

@@ -136,6 +136,9 @@ class MultiValuedAttributeRule final : public Rule {
 class NoPrimaryKeyRule final : public Rule {
  public:
   AntiPattern type() const override { return AntiPattern::kNoPrimaryKey; }
+  QueryRuleScope query_scope() const override {
+    return QueryRuleScope::kStatementLocal;
+  }
 
   void CheckQuery(const QueryFacts& facts, const Context& context,
                   const DetectorConfig& config, std::vector<Detection>* out) const override {
@@ -237,6 +240,9 @@ class NoForeignKeyRule final : public Rule {
 class GenericPrimaryKeyRule final : public Rule {
  public:
   AntiPattern type() const override { return AntiPattern::kGenericPrimaryKey; }
+  QueryRuleScope query_scope() const override {
+    return QueryRuleScope::kStatementLocal;
+  }
 
   void CheckQuery(const QueryFacts& facts, const Context& context,
                   const DetectorConfig& config, std::vector<Detection>* out) const override {
@@ -298,6 +304,9 @@ class GenericPrimaryKeyRule final : public Rule {
 class DataInMetadataRule final : public Rule {
  public:
   AntiPattern type() const override { return AntiPattern::kDataInMetadata; }
+  QueryRuleScope query_scope() const override {
+    return QueryRuleScope::kStatementLocal;
+  }
 
   void CheckQuery(const QueryFacts& facts, const Context& context,
                   const DetectorConfig& config, std::vector<Detection>* out) const override {
@@ -371,6 +380,9 @@ class DataInMetadataRule final : public Rule {
 class AdjacencyListRule final : public Rule {
  public:
   AntiPattern type() const override { return AntiPattern::kAdjacencyList; }
+  QueryRuleScope query_scope() const override {
+    return QueryRuleScope::kStatementLocal;
+  }
 
   void CheckQuery(const QueryFacts& facts, const Context& context,
                   const DetectorConfig& config, std::vector<Detection>* out) const override {
@@ -414,6 +426,9 @@ class AdjacencyListRule final : public Rule {
 class GodTableRule final : public Rule {
  public:
   AntiPattern type() const override { return AntiPattern::kGodTable; }
+  QueryRuleScope query_scope() const override {
+    return QueryRuleScope::kStatementLocal;
+  }
 
   void CheckQuery(const QueryFacts& facts, const Context& context,
                   const DetectorConfig& config, std::vector<Detection>* out) const override {

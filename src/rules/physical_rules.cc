@@ -21,6 +21,9 @@ const sql::CreateTableStatement* AsCreateTable(const QueryFacts& facts) {
 class RoundingErrorsRule final : public Rule {
  public:
   AntiPattern type() const override { return AntiPattern::kRoundingErrors; }
+  QueryRuleScope query_scope() const override {
+    return QueryRuleScope::kStatementLocal;
+  }
 
   void CheckQuery(const QueryFacts& facts, const Context& context,
                   const DetectorConfig& config, std::vector<Detection>* out) const override {
@@ -71,6 +74,9 @@ class RoundingErrorsRule final : public Rule {
 class EnumeratedTypesRule final : public Rule {
  public:
   AntiPattern type() const override { return AntiPattern::kEnumeratedTypes; }
+  QueryRuleScope query_scope() const override {
+    return QueryRuleScope::kStatementLocal;
+  }
 
   void CheckQuery(const QueryFacts& facts, const Context& context,
                   const DetectorConfig& config, std::vector<Detection>* out) const override {
@@ -189,6 +195,9 @@ class EnumeratedTypesRule final : public Rule {
 class ExternalDataStorageRule final : public Rule {
  public:
   AntiPattern type() const override { return AntiPattern::kExternalDataStorage; }
+  QueryRuleScope query_scope() const override {
+    return QueryRuleScope::kStatementLocal;
+  }
 
   void CheckQuery(const QueryFacts& facts, const Context& context,
                   const DetectorConfig& config, std::vector<Detection>* out) const override {
@@ -332,12 +341,11 @@ class IndexOveruseRule final : public Rule {
   static bool AnyQueryUsesLeadingAlone(const Context& context, const std::string& table,
                                        const std::string& leading,
                                        const std::vector<std::string>& composite) {
-    for (const auto& facts : context.queries()) {
-      if (!facts.ReferencesTable(table)) continue;
+    for (const QueryFacts* facts : context.QueriesReferencing(table)) {
       bool has_leading = false;
       size_t covered = 0;
       for (const auto& col : composite) {
-        for (const auto& p : facts.predicates) {
+        for (const auto& p : facts->predicates) {
           if (EqualsIgnoreCase(p.column, col)) {
             if (EqualsIgnoreCase(col, leading)) has_leading = true;
             ++covered;

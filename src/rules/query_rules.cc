@@ -25,6 +25,9 @@ Detection MakeDetection(AntiPattern type, DetectionSource source, const QueryFac
 class ColumnWildcardRule final : public Rule {
  public:
   AntiPattern type() const override { return AntiPattern::kColumnWildcard; }
+  QueryRuleScope query_scope() const override {
+    return QueryRuleScope::kStatementLocal;
+  }
 
   void CheckQuery(const QueryFacts& facts, const Context& context,
                   const DetectorConfig& config, std::vector<Detection>* out) const override {
@@ -75,6 +78,9 @@ class ConcatenateNullsRule final : public Rule {
 class OrderingByRandRule final : public Rule {
  public:
   AntiPattern type() const override { return AntiPattern::kOrderingByRand; }
+  QueryRuleScope query_scope() const override {
+    return QueryRuleScope::kStatementLocal;
+  }
 
   void CheckQuery(const QueryFacts& facts, const Context& context,
                   const DetectorConfig& config, std::vector<Detection>* out) const override {
@@ -94,6 +100,9 @@ class OrderingByRandRule final : public Rule {
 class PatternMatchingRule final : public Rule {
  public:
   AntiPattern type() const override { return AntiPattern::kPatternMatching; }
+  QueryRuleScope query_scope() const override {
+    return QueryRuleScope::kStatementLocal;
+  }
 
   void CheckQuery(const QueryFacts& facts, const Context& context,
                   const DetectorConfig& config, std::vector<Detection>* out) const override {
@@ -120,6 +129,9 @@ class PatternMatchingRule final : public Rule {
 class ImplicitColumnsRule final : public Rule {
  public:
   AntiPattern type() const override { return AntiPattern::kImplicitColumns; }
+  QueryRuleScope query_scope() const override {
+    return QueryRuleScope::kStatementLocal;
+  }
 
   void CheckQuery(const QueryFacts& facts, const Context& context,
                   const DetectorConfig& config, std::vector<Detection>* out) const override {
@@ -140,6 +152,9 @@ class ImplicitColumnsRule final : public Rule {
 class DistinctAndJoinRule final : public Rule {
  public:
   AntiPattern type() const override { return AntiPattern::kDistinctAndJoin; }
+  QueryRuleScope query_scope() const override {
+    return QueryRuleScope::kStatementLocal;
+  }
 
   void CheckQuery(const QueryFacts& facts, const Context& context,
                   const DetectorConfig& config, std::vector<Detection>* out) const override {
@@ -163,6 +178,9 @@ class DistinctAndJoinRule final : public Rule {
 class TooManyJoinsRule final : public Rule {
  public:
   AntiPattern type() const override { return AntiPattern::kTooManyJoins; }
+  QueryRuleScope query_scope() const override {
+    return QueryRuleScope::kStatementLocal;
+  }
 
   void CheckQuery(const QueryFacts& facts, const Context& context,
                   const DetectorConfig& config, std::vector<Detection>* out) const override {
@@ -187,6 +205,9 @@ class TooManyJoinsRule final : public Rule {
 class ReadablePasswordRule final : public Rule {
  public:
   AntiPattern type() const override { return AntiPattern::kReadablePassword; }
+  QueryRuleScope query_scope() const override {
+    return QueryRuleScope::kStatementLocal;
+  }
 
   void CheckQuery(const QueryFacts& facts, const Context& context,
                   const DetectorConfig& config, std::vector<Detection>* out) const override {

@@ -20,6 +20,27 @@ RuleRegistry RuleRegistry::Default() {
   return registry;
 }
 
+Status RuleRegistry::Disable(const std::vector<std::string>& names) {
+  std::vector<AntiPattern> disabled;
+  disabled.reserve(names.size());
+  for (const auto& name : names) {
+    const ApInfo* info = FindApInfoByName(name);
+    if (info == nullptr) {
+      return Status::Error("unknown rule name '" + name +
+                           "' in disabled_rules (rule names are the anti-pattern "
+                           "display names, e.g. 'Column Wildcard Usage')");
+    }
+    disabled.push_back(info->type);
+  }
+  std::erase_if(rules_, [&disabled](const std::unique_ptr<Rule>& rule) {
+    for (AntiPattern type : disabled) {
+      if (rule->type() == type) return true;
+    }
+    return false;
+  });
+  return Status::Ok();
+}
+
 namespace {
 
 /// Applies every rule to the profile shard [begin, end) of `profiles`.
@@ -99,25 +120,43 @@ std::vector<Detection> DetectAntiPatterns(const Context& context,
       },
       pool);
 
+  // Merge the per-shard data buffers in shard order (== profile map order),
+  // then serialize the final stream through the shared fan-out.
+  std::vector<Detection> data_detections;
+  size_t data_total = 0;
+  for (const auto& buffer : data_buffers) data_total += buffer.size();
+  data_detections.reserve(data_total);
+  for (auto& buffer : data_buffers) {
+    for (auto& d : buffer) data_detections.push_back(std::move(d));
+  }
+  return FanOutDetections(context, *g, std::move(per_group), std::move(data_detections));
+}
+
+std::vector<Detection> FanOutDetections(const Context& context, const QueryGroups& groups,
+                                        std::vector<std::vector<Detection>> per_group,
+                                        std::vector<Detection> data_detections) {
+  const std::vector<QueryFacts>& queries = context.queries();
+  const size_t n = groups.representative.size();
+  const size_t unique_count = groups.unique.size();
+
   // Fan out: statement i gets its group's detections, rebased onto its own
   // raw text / parse tree wherever the rule pointed them at the
   // representative's. Statements that lead a single-occurrence group take
   // their buffer by move (the common non-duplicate case costs nothing).
   std::vector<size_t> group_pos(n);
   std::vector<size_t> group_size(unique_count, 0);
-  for (size_t u = 0; u < unique_count; ++u) group_pos[g->unique[u]] = u;
-  for (size_t i = 0; i < n; ++i) ++group_size[group_pos[g->representative[i]]];
+  for (size_t u = 0; u < unique_count; ++u) group_pos[groups.unique[u]] = u;
+  for (size_t i = 0; i < n; ++i) ++group_size[group_pos[groups.representative[i]]];
 
-  size_t total = 0;
+  size_t total = data_detections.size();
   for (size_t i = 0; i < n; ++i) {
-    total += per_group[group_pos[g->representative[i]]].size();
+    total += per_group[group_pos[groups.representative[i]]].size();
   }
-  for (const auto& buffer : data_buffers) total += buffer.size();
 
   std::vector<Detection> detections;
   detections.reserve(total);
   for (size_t i = 0; i < n; ++i) {
-    size_t rep = g->representative[i];
+    size_t rep = groups.representative[i];
     std::vector<Detection>& buffer = per_group[group_pos[rep]];
     if (rep == i && group_size[group_pos[rep]] == 1) {
       for (auto& d : buffer) detections.push_back(std::move(d));
@@ -127,19 +166,32 @@ std::vector<Detection> DetectAntiPatterns(const Context& context,
       for (const auto& d : buffer) detections.push_back(d);
       continue;
     }
-    const QueryFacts& rep_facts = queries[rep];
-    const QueryFacts& occ_facts = queries[i];
     for (const auto& d : buffer) {
-      Detection rebased = d;
-      if (rebased.query == rep_facts.raw_sql) rebased.query = occ_facts.raw_sql;
-      if (rebased.stmt == rep_facts.stmt) rebased.stmt = occ_facts.stmt;
-      detections.push_back(std::move(rebased));
+      detections.push_back(RebaseDetection(d, queries[rep], queries[i]));
     }
   }
-  for (auto& buffer : data_buffers) {
-    for (auto& d : buffer) detections.push_back(std::move(d));
-  }
+  for (auto& d : data_detections) detections.push_back(std::move(d));
   return detections;
+}
+
+Detection RebaseDetection(Detection d, const QueryFacts& rep_facts,
+                          const QueryFacts& occ_facts) {
+  if (d.query == rep_facts.raw_sql) d.query = occ_facts.raw_sql;
+  if (d.stmt == rep_facts.stmt) d.stmt = occ_facts.stmt;
+  return d;
+}
+
+std::vector<Detection> DetectDataAntiPatterns(const Context& context,
+                                              const RuleRegistry& registry,
+                                              const DetectorConfig& config) {
+  std::vector<Detection> out;
+  if (!config.data_analysis) return out;
+  for (const auto& [_, profile] : context.data().profiles) {
+    for (const auto& rule : registry.rules()) {
+      rule->CheckData(profile, context, config, &out);
+    }
+  }
+  return out;
 }
 
 std::vector<Detection> DetectAntiPatterns(const Context& context,

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "rules/rule.h"
 
 namespace sqlcheck {
@@ -22,6 +24,13 @@ class RuleRegistry {
   void Register(std::unique_ptr<Rule> rule) { rules_.push_back(std::move(rule)); }
   const std::vector<std::unique_ptr<Rule>>& rules() const { return rules_; }
   size_t size() const { return rules_.size(); }
+
+  /// Removes every rule whose anti-pattern display name (ApName, matched
+  /// ASCII-case-insensitively) appears in `names`. A name that matches no
+  /// known anti-pattern returns an error and leaves the registry unchanged;
+  /// a valid name with no registered rule (e.g. already disabled) is fine.
+  /// Backs SqlCheckOptions::disabled_rules and the CLI's --disable flag.
+  Status Disable(const std::vector<std::string>& names);
 
  private:
   std::vector<std::unique_ptr<Rule>> rules_;
@@ -57,5 +66,32 @@ std::vector<Detection> DetectAntiPatterns(const Context& context,
 std::vector<Detection> DetectAntiPatterns(const Context& context,
                                           const DetectorConfig& config = {},
                                           int parallelism = 1);
+
+/// \brief Fans per-unique-group query-rule detection buffers back out to
+/// every statement occurrence in workload order — rebasing each detection's
+/// `query`/`stmt` from the group representative onto the occurrence — then
+/// appends the data-rule stream. `per_group[u]` must hold the detections of
+/// group `groups.unique[u]`'s representative, in registry rule order.
+///
+/// This is the single serialization point for detection streams: both the
+/// batch detector and the incremental AnalysisSession assemble their final
+/// order through it, so the two paths cannot drift.
+std::vector<Detection> FanOutDetections(const Context& context, const QueryGroups& groups,
+                                        std::vector<std::vector<Detection>> per_group,
+                                        std::vector<Detection> data_detections);
+
+/// \brief Runs every rule's CheckData over the profiled tables (profile map
+/// order, profile-major / rule-minor) into one stream — the serial reference
+/// shape of the batch data phase, reused by the incremental session.
+std::vector<Detection> DetectDataAntiPatterns(const Context& context,
+                                              const RuleRegistry& registry,
+                                              const DetectorConfig& config);
+
+/// \brief Rebases one group-representative detection onto another occurrence
+/// of the same canonical statement: query text and parse-tree pointer move
+/// from the representative's to the occurrence's, everything else is shared.
+/// Used by both the batch fan-out and the streaming Check() path.
+Detection RebaseDetection(Detection d, const QueryFacts& rep_facts,
+                          const QueryFacts& occ_facts);
 
 }  // namespace sqlcheck

@@ -1,5 +1,7 @@
 #include "rules/rule.h"
 
+#include "common/strings.h"
+
 namespace sqlcheck {
 
 namespace {
@@ -79,6 +81,13 @@ const ApInfo& InfoFor(AntiPattern type) {
 }
 
 const char* ApName(AntiPattern type) { return InfoFor(type).name; }
+
+const ApInfo* FindApInfoByName(std::string_view name) {
+  for (const ApInfo& info : kApTable) {
+    if (EqualsIgnoreCase(info.name, name)) return &info;
+  }
+  return nullptr;
+}
 
 const char* CategoryName(ApCategory category) {
   switch (category) {

@@ -67,6 +67,11 @@ const ApInfo& InfoFor(AntiPattern type);
 const char* ApName(AntiPattern type);
 const char* CategoryName(ApCategory category);
 
+/// Reverse lookup by display name (ApName, ASCII-case-insensitive); nullptr
+/// when no anti-pattern carries that name. Used to validate user-supplied
+/// rule lists (e.g. SqlCheckOptions::disabled_rules, the CLI's --disable).
+const ApInfo* FindApInfoByName(std::string_view name);
+
 /// \brief How a detection was established — used for the intra/inter/data
 /// ablation experiments (§8.1).
 enum class DetectionSource { kIntraQuery, kInterQuery, kDataAnalysis };
@@ -101,6 +106,19 @@ struct DetectorConfig {
   double low_cardinality_ratio = 0.01;  ///< Index underuse suppression (Fig 8c).
 };
 
+/// \brief What CheckQuery reads — the contract the incremental engine
+/// (AnalysisSession) relies on to decide what it may cache.
+enum class QueryRuleScope {
+  /// Detections derive from (facts, config) alone; the context argument is
+  /// never read. Safe to evaluate once per unique statement and replay
+  /// verbatim no matter how the workload grows afterwards.
+  kStatementLocal,
+  /// Detections read the evolving workload context (catalog, other queries,
+  /// workload aggregates, data profiles); must be re-evaluated whenever the
+  /// context may have changed.
+  kWorkload,
+};
+
 /// \brief A detection rule: a named check over queries and/or data. Mirrors
 /// the paper's generic rule interface (name, type, detection rule) — ranking
 /// metrics and repair rules attach by AntiPattern type in ranking/ and fix/.
@@ -110,6 +128,12 @@ class Rule {
 
   virtual AntiPattern type() const = 0;
   const ApInfo& info() const { return InfoFor(type()); }
+
+  /// Caching contract for CheckQuery (see QueryRuleScope). The conservative
+  /// default forces re-evaluation; built-in rules that never touch the
+  /// context override to kStatementLocal so the incremental session can
+  /// serve them from its per-fingerprint cache.
+  virtual QueryRuleScope query_scope() const { return QueryRuleScope::kWorkload; }
 
   /// Applied to each analyzed query (Algorithm 2). Implementations honour
   /// `config.intra_query` / `config.inter_query` to scope what they use.

@@ -17,7 +17,7 @@ const Token* NextCodeToken(const std::vector<Token>& tokens, size_t idx) {
 
 }  // namespace
 
-std::vector<std::string> SplitStatements(std::string_view script) {
+std::vector<std::string> SplitStatements(std::string_view script, bool* complete) {
   // Lexing handles all the quoting/comment subtleties; we cut the raw text at
   // semicolon token offsets, but only outside BEGIN...END / CASE...END
   // compound bodies so trigger/procedure scripts survive in one piece.
@@ -72,10 +72,15 @@ std::vector<std::string> SplitStatements(std::string_view script) {
     }
     if (!t.Is(TokenKind::kComment)) prev_code = &t;
   }
+  bool has_trailing_fragment = false;
   if (piece_start < script.size()) {
     std::string_view piece = script.substr(piece_start);
-    if (!Trim(piece).empty()) out.emplace_back(Trim(piece));
+    if (!Trim(piece).empty()) {
+      out.emplace_back(Trim(piece));
+      has_trailing_fragment = true;
+    }
   }
+  if (complete != nullptr) *complete = !has_trailing_fragment;
   return out;
 }
 

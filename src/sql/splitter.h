@@ -12,6 +12,13 @@ namespace sqlcheck::sql {
 /// stay whole; transaction-control `BEGIN` still terminates normally).
 /// Statements are returned without the trailing semicolon; empty pieces are
 /// dropped.
-std::vector<std::string> SplitStatements(std::string_view script);
+///
+/// If `complete` is non-null it reports whether the script ended cleanly at
+/// a top-level `;` — i.e. every returned piece is a finished statement. It
+/// is false when the final piece is a trailing fragment (mid-statement, or a
+/// `;` only inside a still-open BEGIN...END body or string literal), which
+/// streaming callers should keep buffering instead of analyzing.
+std::vector<std::string> SplitStatements(std::string_view script,
+                                         bool* complete = nullptr);
 
 }  // namespace sqlcheck::sql

@@ -1,0 +1,169 @@
+// Structured report emitters: the JSON shape is golden-file tested byte for
+// byte (determinism is part of the contract — CI diffs, dashboards, and
+// code-scanning uploads all depend on it), and the SARIF rendering is pinned
+// to the 2.1.0 required-key set plus the full 27-rule driver catalog.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/emit.h"
+#include "core/sqlcheck.h"
+
+namespace sqlcheck {
+namespace {
+
+size_t CountOccurrences(const std::string& haystack, const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(EmitJsonTest, GoldenSingleFinding) {
+  Report report = FindAntiPatterns("SELECT * FROM users");
+  const char* kGolden = R"json({
+  "tool": "sqlcheck",
+  "findings": 1,
+  "distinct_types": 1,
+  "results": [
+    {
+      "rank": 1,
+      "rule": "Column Wildcard Usage",
+      "id": "column-wildcard-usage",
+      "category": "Query",
+      "source": "intra-query",
+      "score": 0.212,
+      "table": "users",
+      "column": "",
+      "query": "SELECT * FROM users",
+      "message": "SELECT * couples the application to the table layout; it breaks on refactoring and fetches columns the caller never reads",
+      "fix": {
+        "kind": "textual",
+        "explanation": "replace SELECT * with the columns the caller actually reads",
+        "statements": [],
+        "impacted_queries": 0
+      }
+    }
+  ]
+}
+)json";
+  EXPECT_EQ(report.ToJson(), kGolden);
+  EXPECT_EQ(ToJson(report), kGolden);  // member delegates to the free emitter
+}
+
+TEST(EmitJsonTest, GoldenEmptyReport) {
+  Report report = FindAntiPatterns("SELECT id FROM t WHERE id = 1");
+  ASSERT_TRUE(report.empty());
+  EXPECT_EQ(report.ToJson(),
+            "{\n"
+            "  \"tool\": \"sqlcheck\",\n"
+            "  \"findings\": 0,\n"
+            "  \"distinct_types\": 0,\n"
+            "  \"results\": []\n"
+            "}\n");
+}
+
+TEST(EmitJsonTest, MaxFindingsCapsResultsAndReportsSuppressed) {
+  SqlCheck checker;
+  checker.AddScript(
+      "SELECT * FROM a; SELECT * FROM b; SELECT x FROM c ORDER BY RAND();");
+  Report report = checker.Run();
+  ASSERT_EQ(report.size(), 3u);
+
+  EmitOptions options;
+  options.max_findings = 1;
+  std::string json = ToJson(report, options);
+  EXPECT_EQ(CountOccurrences(json, "\"rank\":"), 1u);
+  EXPECT_NE(json.find("\"findings\": 3"), std::string::npos);  // totals stay honest
+  EXPECT_NE(json.find("\"suppressed\": 2"), std::string::npos);
+}
+
+TEST(EmitJsonTest, EscapesQuotesNewlinesAndControlCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("line1\nline2\ttab"), "line1\\nline2\\ttab");
+  EXPECT_EQ(JsonEscape(std::string("nul\x01", 4)), "nul\\u0001");
+
+  Report report = FindAntiPatterns("SELECT * FROM users WHERE name = 'a\"b\nc'");
+  std::string json = report.ToJson();
+  EXPECT_NE(json.find("a\\\"b\\nc"), std::string::npos);
+  EXPECT_EQ(json.find("a\"b"), std::string::npos);  // raw quote never leaks
+  EXPECT_EQ(json.find("b\nc"), std::string::npos);  // raw newline never leaks
+}
+
+TEST(EmitSarifTest, CarriesRequiredSarifKeysAndCatalog) {
+  Report report = FindAntiPatterns("SELECT * FROM users");
+  EmitOptions options;
+  options.artifact_uri = "app/queries.sql";
+  std::string sarif = ToSarif(report, options);
+
+  // SARIF 2.1.0 required keys.
+  EXPECT_NE(sarif.find("\"$schema\": "
+                       "\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                       "master/Schemata/sarif-schema-2.1.0.json\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"runs\": ["), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"sqlcheck\""), std::string::npos);
+
+  // Full 27-rule driver catalog, one entry per anti-pattern.
+  EXPECT_EQ(CountOccurrences(sarif, "\"shortDescription\""),
+            static_cast<size_t>(kAntiPatternCount));
+
+  // The result block, pinned exactly.
+  const char* kResult = R"json(        {
+          "ruleId": "column-wildcard-usage",
+          "ruleIndex": 13,
+          "level": "warning",
+          "message": { "text": "SELECT * couples the application to the table layout; it breaks on refactoring and fetches columns the caller never reads | query: SELECT * FROM users" },
+          "locations": [
+            {
+              "physicalLocation": { "artifactLocation": { "uri": "app/queries.sql" } },
+              "logicalLocations": [ { "name": "users", "kind": "member" } ]
+            }
+          ],
+          "properties": { "score": 0.212, "source": "intra-query" }
+        })json";
+  EXPECT_NE(sarif.find(kResult), std::string::npos) << sarif;
+}
+
+TEST(EmitSarifTest, OmitsPhysicalLocationWithoutArtifactUri) {
+  Report report = FindAntiPatterns("SELECT * FROM users");
+  std::string sarif = report.ToSarif();
+  EXPECT_EQ(sarif.find("physicalLocation"), std::string::npos);
+  EXPECT_NE(sarif.find("logicalLocations"), std::string::npos);
+}
+
+TEST(EmitSarifTest, EmptyReportIsStillAValidRun) {
+  Report report;
+  std::string sarif = report.ToSarif();
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"results\": []"), std::string::npos);
+  EXPECT_EQ(CountOccurrences(sarif, "\"shortDescription\""),
+            static_cast<size_t>(kAntiPatternCount));
+}
+
+TEST(ReportTextTest, ColorAddsAnsiWithoutChangingDefaultOutput) {
+  Report report = FindAntiPatterns("SELECT * FROM users");
+  std::string plain = report.ToText();
+  std::string colored = report.ToText(0, /*color=*/true);
+  EXPECT_EQ(plain.find('\x1b'), std::string::npos);
+  EXPECT_NE(colored.find("\x1b[1m"), std::string::npos);
+  EXPECT_NE(plain, colored);
+
+  // Stripping the escape codes recovers the plain rendering exactly.
+  std::string stripped;
+  for (size_t i = 0; i < colored.size(); ++i) {
+    if (colored[i] == '\x1b') {
+      while (i < colored.size() && colored[i] != 'm') ++i;
+      continue;
+    }
+    stripped.push_back(colored[i]);
+  }
+  EXPECT_EQ(stripped, plain);
+}
+
+}  // namespace
+}  // namespace sqlcheck

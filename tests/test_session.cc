@@ -1,0 +1,334 @@
+// Incremental session engine: feeding any prefix — or any chunking — of a
+// script through AnalysisSession must yield reports byte-identical to one
+// batch run over the same statement order, with the pre-session batch
+// pipeline (ContextBuilder + DetectAntiPatterns + rank + fix) as the anchor
+// so neither path can drift.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/context.h"
+#include "core/session.h"
+#include "core/sqlcheck.h"
+#include "engine/executor.h"
+#include "fix/repair_engine.h"
+#include "ranking/model.h"
+#include "rules/registry.h"
+#include "sql/splitter.h"
+#include "workload/corpus.h"
+
+namespace sqlcheck {
+namespace {
+
+// Mixed workload: DDL (design rules), duplicate-heavy queries (the memo),
+// index DDL (inter-query rules), and data-sensitive predicates.
+const char* kScript = R"sql(
+CREATE TABLE users (id INT PRIMARY KEY, name VARCHAR(64), password VARCHAR(64),
+                    tag_ids TEXT, balance FLOAT, created_at TIMESTAMP);
+CREATE TABLE orders (id INT PRIMARY KEY, user_id INT,
+                     status VARCHAR(8) CHECK (status IN ('open', 'paid')));
+CREATE INDEX idx_orders_user ON orders (user_id);
+CREATE INDEX idx_orders_user_status ON orders (user_id, status);
+SELECT * FROM users WHERE id = ?;
+select * from users where id = ?;
+SELECT * FROM users WHERE id = ?  -- comment jitter
+;
+SELECT u.name, o.status FROM users u JOIN orders o ON u.id = o.user_id;
+SELECT name FROM users WHERE tag_ids LIKE '%,7,%';
+SELECT name, password FROM users WHERE password = 'hunter2';
+SELECT DISTINCT u.name FROM users u JOIN orders o ON u.id = o.user_id
+    ORDER BY RAND();
+INSERT INTO orders VALUES (1, 1, 'open');
+INSERT INTO orders VALUES (1, 1, 'open');
+UPDATE users SET balance = 0 WHERE id = 3;
+)sql";
+
+/// The pre-session batch pipeline, verbatim — the reference every
+/// incremental feeding order is compared against.
+Report ReferencePipeline(const std::vector<std::string>& statements,
+                         const SqlCheckOptions& options, const Database* db = nullptr) {
+  ContextBuilder builder;
+  for (const auto& s : statements) builder.AddQuery(s);
+  if (db != nullptr) builder.AttachDatabase(db, options.data_analyzer);
+  Context context = builder.Build(1, nullptr, options.dedup_queries);
+
+  RuleRegistry registry = RuleRegistry::Default();
+  EXPECT_TRUE(registry.Disable(options.disabled_rules).ok());
+  std::vector<Detection> detections =
+      DetectAntiPatterns(context, registry, options.detector);
+
+  RankingModel model(options.ranking_weights, options.ranking_mode);
+  std::vector<RankedDetection> ranked = model.Rank(detections);
+  RepairEngine repair;
+  Report report;
+  for (auto& r : ranked) {
+    Finding finding;
+    finding.fix = options.suggest_fixes ? repair.SuggestFix(r.detection, context) : Fix{};
+    finding.ranked = std::move(r);
+    report.findings.push_back(std::move(finding));
+  }
+  return report;
+}
+
+/// Full serialized form — ToText and ToJson together catch every field.
+std::string Serialize(const Report& report) {
+  return report.ToText() + "\n---\n" + report.ToJson();
+}
+
+std::vector<std::string> ScriptStatements() {
+  return sql::SplitStatements(kScript);
+}
+
+TEST(SessionTest, EveryPrefixMatchesBatch) {
+  std::vector<std::string> statements = ScriptStatements();
+  ASSERT_GE(statements.size(), 10u);
+
+  AnalysisSession session;  // one long-lived session, statements stream in
+  std::vector<std::string> prefix;
+  for (const auto& stmt : statements) {
+    session.AddQuery(stmt);
+    prefix.push_back(stmt);
+    EXPECT_EQ(Serialize(session.Snapshot()),
+              Serialize(ReferencePipeline(prefix, SqlCheckOptions{})))
+        << "prefix length " << prefix.size();
+  }
+}
+
+TEST(SessionTest, ChunkPermutationsMatchBatchOnSameOrder) {
+  std::vector<std::string> statements = ScriptStatements();
+  const size_t third = statements.size() / 3;
+  std::vector<std::vector<std::string>> chunks = {
+      {statements.begin(), statements.begin() + third},
+      {statements.begin() + third, statements.begin() + 2 * third},
+      {statements.begin() + 2 * third, statements.end()},
+  };
+
+  for (const std::vector<size_t>& order :
+       std::vector<std::vector<size_t>>{{0, 1, 2}, {2, 0, 1}, {1, 2, 0}, {2, 1, 0}}) {
+    AnalysisSession session;
+    std::vector<std::string> fed_order;
+    for (size_t c : order) {
+      std::string chunk_script;
+      for (const auto& stmt : chunks[c]) {
+        chunk_script += stmt;
+        // ';' on its own line: a piece ending in a '--' comment must not
+        // swallow the separator when the chunk is re-split.
+        chunk_script += "\n;\n";
+        fed_order.push_back(stmt);
+      }
+      session.AddScript(chunk_script);
+    }
+    EXPECT_EQ(Serialize(session.Snapshot()),
+              Serialize(ReferencePipeline(fed_order, SqlCheckOptions{})))
+        << "chunk order " << order[0] << order[1] << order[2];
+  }
+}
+
+TEST(SessionTest, SnapshotIsIdempotentAndAppendable) {
+  AnalysisSession session;
+  session.AddScript(kScript);
+  std::string first = Serialize(session.Snapshot());
+  EXPECT_EQ(Serialize(session.Snapshot()), first);
+
+  session.AddQuery("SELECT * FROM orders");
+  std::string grown = Serialize(session.Snapshot());
+  EXPECT_NE(grown, first);
+  EXPECT_EQ(grown, Serialize(session.Snapshot()));
+}
+
+TEST(SessionTest, MatchesBatchWithDedupOff) {
+  SqlCheckOptions options;
+  options.dedup_queries = false;
+  AnalysisSession session(options);
+  std::vector<std::string> statements = ScriptStatements();
+  for (const auto& stmt : statements) session.AddQuery(stmt);
+  EXPECT_EQ(Serialize(session.Snapshot()),
+            Serialize(ReferencePipeline(statements, options)));
+}
+
+TEST(SessionTest, MatchesBatchAtEveryParallelism) {
+  std::vector<std::string> statements = ScriptStatements();
+  std::string reference = Serialize(ReferencePipeline(statements, SqlCheckOptions{}));
+  for (int threads : {1, 2, 4, 0}) {
+    SqlCheckOptions options;
+    options.parallelism = threads;
+    AnalysisSession session(options);
+    for (const auto& stmt : statements) session.AddQuery(stmt);
+    EXPECT_EQ(Serialize(session.Snapshot()), reference) << "threads=" << threads;
+  }
+}
+
+TEST(SessionTest, CorpusWorkloadWithDatabaseMatchesBatch) {
+  workload::CorpusOptions corpus_options;
+  corpus_options.repo_count = 12;
+  std::vector<std::string> statements;
+  for (const auto& labeled : workload::GenerateCorpus(corpus_options).AllStatements()) {
+    statements.push_back(labeled.sql);
+  }
+
+  Database db;
+  Executor exec(&db);
+  exec.ExecuteScript(R"sql(
+CREATE TABLE users (id INTEGER PRIMARY KEY, name VARCHAR(40), status TEXT,
+                    password VARCHAR(32), created_at TEXT);
+)sql");
+  for (int i = 0; i < 16; ++i) {
+    std::string n = std::to_string(i);
+    exec.ExecuteSql("INSERT INTO users VALUES (" + n + ", 'user" + n +
+                    "', 'active', 'hunter2', '2019-07-04 12:00:00')");
+  }
+
+  // Attach-early and attach-late sessions must both match the batch build.
+  std::string reference =
+      Serialize(ReferencePipeline(statements, SqlCheckOptions{}, &db));
+
+  AnalysisSession early;
+  early.AttachDatabase(&db);
+  for (const auto& stmt : statements) early.AddQuery(stmt);
+  EXPECT_EQ(Serialize(early.Snapshot()), reference);
+
+  AnalysisSession late;
+  for (const auto& stmt : statements) late.AddQuery(stmt);
+  late.AttachDatabase(&db);
+  EXPECT_EQ(Serialize(late.Snapshot()), reference);
+}
+
+TEST(SessionTest, RepeatedStatementReusesFingerprintMemo) {
+  AnalysisSession session;
+  session.AddQuery("SELECT * FROM users WHERE id = ?");
+  for (int i = 0; i < 100; ++i) {
+    session.AddQuery("SELECT * FROM users WHERE id = ?");
+    session.AddQuery("select * from users where id = ?");  // case jitter
+  }
+  EXPECT_EQ(session.statement_count(), 201u);
+  EXPECT_EQ(session.unique_count(), 1u);
+}
+
+TEST(SessionTest, CheckReportsFindingsForAppendedStatementOnly) {
+  AnalysisSession session;
+  session.AddScript(
+      "CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(8));"
+      "SELECT * FROM t;");
+
+  Report delta = session.Check("SELECT v FROM t ORDER BY RAND()");
+  ASSERT_EQ(delta.size(), 1u);
+  EXPECT_EQ(delta.findings[0].ranked.detection.type, AntiPattern::kOrderingByRand);
+  // The wildcard finding from the earlier statement is not replayed...
+  for (const auto& f : delta.findings) {
+    EXPECT_NE(f.ranked.detection.type, AntiPattern::kColumnWildcard);
+  }
+  // ...but the full snapshot still carries both.
+  Report full = session.Snapshot();
+  EXPECT_EQ(full.CountsByType().count(AntiPattern::kColumnWildcard), 1u);
+  EXPECT_EQ(full.CountsByType().count(AntiPattern::kOrderingByRand), 1u);
+}
+
+TEST(SessionTest, CheckOnDuplicateUsesCachedGroup) {
+  AnalysisSession session;
+  Report first = session.Check("SELECT * FROM users");
+  ASSERT_EQ(first.size(), 1u);
+  size_t uniques = session.unique_count();
+
+  Report again = session.Check("select  *  from users  -- dup");
+  EXPECT_EQ(session.unique_count(), uniques);  // memo hit, no new analysis
+  ASSERT_EQ(again.size(), 1u);
+  // Rebased onto the duplicate occurrence's own raw text.
+  EXPECT_EQ(again.findings[0].ranked.detection.query, "select  *  from users  -- dup");
+  EXPECT_EQ(again.findings[0].ranked.detection.type,
+            first.findings[0].ranked.detection.type);
+}
+
+// ------------------------------ disabled rules ------------------------------
+
+TEST(SessionTest, DisabledRulesAreHonored) {
+  SqlCheckOptions options;
+  options.disabled_rules = {"Column Wildcard Usage", "ordering by rand"};  // any case
+  AnalysisSession session(options);
+  EXPECT_TRUE(session.status().ok());
+  session.AddScript(kScript);
+  Report report = session.Snapshot();
+  EXPECT_FALSE(report.empty());
+  for (const auto& f : report.findings) {
+    EXPECT_NE(f.ranked.detection.type, AntiPattern::kColumnWildcard);
+    EXPECT_NE(f.ranked.detection.type, AntiPattern::kOrderingByRand);
+  }
+  // And the session output still matches a batch run with the same options.
+  EXPECT_EQ(Serialize(session.Snapshot()),
+            Serialize(ReferencePipeline(ScriptStatements(), options)));
+}
+
+TEST(SessionTest, UnknownDisabledRuleSurfacesErrorStatus) {
+  SqlCheckOptions options;
+  options.disabled_rules = {"Not A Rule"};
+  AnalysisSession session(options);
+  EXPECT_FALSE(session.status().ok());
+  EXPECT_NE(session.status().message().find("Not A Rule"), std::string::npos);
+  // The full rule set stays active.
+  session.AddQuery("SELECT * FROM users");
+  EXPECT_EQ(session.Snapshot().size(), 1u);
+}
+
+TEST(RuleRegistryTest, DisableRemovesMatchingRulesOnly) {
+  RuleRegistry registry = RuleRegistry::Default();
+  size_t all = registry.size();
+  EXPECT_TRUE(registry.Disable({"Too Many Joins"}).ok());
+  EXPECT_EQ(registry.size(), all - 1);
+  for (const auto& rule : registry.rules()) {
+    EXPECT_NE(rule->type(), AntiPattern::kTooManyJoins);
+  }
+  // Unknown names error and leave the registry unchanged.
+  EXPECT_FALSE(registry.Disable({"Bogus"}).ok());
+  EXPECT_EQ(registry.size(), all - 1);
+}
+
+// -------------------------- facade / one-shot paths -------------------------
+
+TEST(SessionTest, FindAntiPatternsMatchesSessionAndFacade) {
+  const char* sql = "SELECT DISTINCT a.x FROM a JOIN b ON a.id = b.a_id ORDER BY RAND()";
+
+  AnalysisSession session;
+  session.AddQuery(sql);
+  std::string via_session = Serialize(session.Snapshot());
+
+  SqlCheck checker;
+  checker.AddQuery(sql);
+  std::string via_facade = Serialize(checker.Run());
+
+  EXPECT_EQ(Serialize(FindAntiPatterns(sql)), via_session);
+  EXPECT_EQ(via_facade, via_session);
+  EXPECT_EQ(via_session, Serialize(ReferencePipeline({sql}, SqlCheckOptions{})));
+}
+
+TEST(SessionTest, CustomRuleRegisteredLateCoversEarlierStatements) {
+  class UpdateEverythingRule final : public Rule {
+   public:
+    AntiPattern type() const override { return AntiPattern::kImplicitColumns; }
+    void CheckQuery(const QueryFacts& facts, const Context& context,
+                    const DetectorConfig& config,
+                    std::vector<Detection>* out) const override {
+      (void)context;
+      (void)config;
+      if (facts.kind != sql::StatementKind::kUpdate) return;
+      Detection d;
+      d.type = type();
+      d.query = facts.raw_sql;
+      d.message = "custom: update spotted";
+      out->push_back(d);
+    }
+  };
+
+  AnalysisSession session;
+  session.AddQuery("UPDATE t SET a = 1");  // ingested before the rule exists
+  session.RegisterRule(std::make_unique<UpdateEverythingRule>());
+  Report report = session.Snapshot();
+  bool found = false;
+  for (const auto& f : report.findings) {
+    if (f.ranked.detection.message == "custom: update spotted") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace sqlcheck

@@ -159,5 +159,36 @@ TEST(ExtractorTest, EscapedQuotesInsideHostString) {
   EXPECT_NE(found[0].sql.find("WHERE name ="), std::string::npos);
 }
 
+TEST(SplitterTest, CompleteFlagTracksTopLevelTermination) {
+  bool complete = false;
+
+  SplitStatements("SELECT 1; SELECT 2;", &complete);
+  EXPECT_TRUE(complete);
+
+  // Trailing fragment: the last piece is mid-statement.
+  std::vector<std::string> pieces = SplitStatements("SELECT 1; SELECT", &complete);
+  EXPECT_FALSE(complete);
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[1], "SELECT");
+
+  // A ';' inside a still-open BEGIN...END body does not terminate — the
+  // streaming CLI relies on this to buffer trigger bodies whole.
+  SplitStatements("CREATE TRIGGER t AFTER INSERT ON u FOR EACH ROW\nBEGIN\n"
+                  "UPDATE audit SET n = n + 1;",
+                  &complete);
+  EXPECT_FALSE(complete);
+
+  // ...and closing the block restores completeness.
+  pieces = SplitStatements("CREATE TRIGGER t AFTER INSERT ON u FOR EACH ROW\nBEGIN\n"
+                           "UPDATE audit SET n = n + 1;\nEND;",
+                           &complete);
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(pieces.size(), 1u);
+
+  // A ';' inside a string literal does not terminate either.
+  SplitStatements("SELECT * FROM t WHERE name = 'a;", &complete);
+  EXPECT_FALSE(complete);
+}
+
 }  // namespace
 }  // namespace sqlcheck::sql

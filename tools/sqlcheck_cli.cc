@@ -1,0 +1,298 @@
+// The sqlcheck command-line tool: the deployable surface of the paper's
+// toolchain (§3, §7). Batch mode checks files (or stdin) and renders the
+// ranked report as text, JSON, or SARIF 2.1.0; --follow turns the process
+// into a long-lived monitor that feeds stdin line-by-line through the
+// incremental AnalysisSession and reports findings per statement as they
+// stream in, at O(rules) per statement regardless of history length.
+//
+// Exit codes (for CI gating):
+//   0  clean — no anti-patterns found
+//   1  findings reported
+//   2  usage, I/O, or configuration error
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/strings.h"
+#include "core/emit.h"
+#include "core/session.h"
+#include "core/sqlcheck.h"
+#include "sql/splitter.h"
+
+namespace {
+
+using namespace sqlcheck;
+
+constexpr std::string_view kUsage = R"(usage: sqlcheck [options] [file.sql ...]
+
+Detects, ranks, and suggests fixes for SQL anti-patterns. With no files (or
+"-"), reads stdin.
+
+options:
+  --format <text|json|sarif>  output format (default: text)
+  --follow                    streaming mode: read input line by line and
+                              report findings per completed statement as it
+                              arrives (formats: text, or json as one JSON
+                              object per statement)
+  --color                     highlight text output with ANSI colors
+  --top <N>                   emit only the N highest-impact findings
+  --disable <NAME[,NAME...]>  disable rules by anti-pattern name, e.g.
+                              --disable "Column Wildcard Usage" (repeatable)
+  --rules                     list every rule with its category and exit
+  --parallel <N>              worker threads for batch analysis (0 = all)
+  -h, --help                  show this help
+
+exit codes: 0 = clean, 1 = findings reported, 2 = usage or I/O error
+)";
+
+enum class Format { kText, kJson, kSarif };
+
+struct CliOptions {
+  Format format = Format::kText;
+  bool follow = false;
+  bool color = false;
+  size_t top = 0;
+  int parallelism = 1;
+  std::vector<std::string> disabled;
+  std::vector<std::string> files;
+};
+
+int UsageError(const std::string& message) {
+  std::cerr << "sqlcheck: " << message << "\n\n" << kUsage;
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* cli, int* exit_code) {
+  auto value_of = [&](int* i, std::string_view flag, std::string* out) {
+    if (*i + 1 >= argc) {
+      *exit_code = UsageError(std::string(flag) + " requires a value");
+      return false;
+    }
+    *out = argv[++*i];
+    return true;
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    std::string value;
+    if (arg == "-h" || arg == "--help") {
+      std::cout << kUsage;
+      *exit_code = 0;
+      return false;
+    } else if (arg == "--rules") {
+      std::cout << "sqlcheck rules (disable with --disable \"<name>\"):\n\n";
+      for (int t = 0; t < kAntiPatternCount; ++t) {
+        const ApInfo& info = InfoFor(static_cast<AntiPattern>(t));
+        std::printf("  %-28s %-16s impact:%s%s%s%s%s\n", info.name,
+                    CategoryName(info.category), info.performance ? " perf" : "",
+                    info.maintainability ? " maint" : "",
+                    info.data_amplification ? " amplification" : "",
+                    info.data_integrity ? " integrity" : "",
+                    info.accuracy ? " accuracy" : "");
+      }
+      *exit_code = 0;
+      return false;
+    } else if (arg == "--format") {
+      if (!value_of(&i, arg, &value)) return false;
+      if (value == "text") {
+        cli->format = Format::kText;
+      } else if (value == "json") {
+        cli->format = Format::kJson;
+      } else if (value == "sarif") {
+        cli->format = Format::kSarif;
+      } else {
+        *exit_code = UsageError("unknown format '" + value + "'");
+        return false;
+      }
+    } else if (arg == "--follow") {
+      cli->follow = true;
+    } else if (arg == "--color") {
+      cli->color = true;
+    } else if (arg == "--top") {
+      if (!value_of(&i, arg, &value)) return false;
+      // 9-digit cap keeps std::stoull comfortably in range.
+      if (!IsAllDigits(value) || value.size() > 9) {
+        *exit_code = UsageError("--top expects a number, got '" + value + "'");
+        return false;
+      }
+      cli->top = static_cast<size_t>(std::stoull(value));
+    } else if (arg == "--parallel") {
+      if (!value_of(&i, arg, &value)) return false;
+      if (!IsAllDigits(value) || value.size() > 4) {
+        *exit_code = UsageError("--parallel expects a thread count, got '" + value + "'");
+        return false;
+      }
+      cli->parallelism = std::stoi(value);
+    } else if (arg == "--disable") {
+      if (!value_of(&i, arg, &value)) return false;
+      for (const auto& name : Split(value, ',')) {
+        std::string trimmed(Trim(name));
+        if (!trimmed.empty()) cli->disabled.push_back(std::move(trimmed));
+      }
+    } else if (arg.size() > 1 && arg[0] == '-' && arg != "-") {
+      *exit_code = UsageError("unknown option '" + std::string(arg) + "'");
+      return false;
+    } else {
+      cli->files.emplace_back(arg);
+    }
+  }
+  return true;
+}
+
+/// Streams findings for one just-checked statement (text flavor).
+void PrintDeltaText(const Report& report, size_t statement_index, bool color) {
+  const char* reset = color ? "\x1b[0m" : "";
+  const char* bold = color ? "\x1b[1m" : "";
+  for (const Finding& f : report.findings) {
+    const Detection& d = f.ranked.detection;
+    std::cout << "stmt " << statement_index << "  " << bold << ApName(d.type) << reset
+              << " (score " << f.ranked.score << ")";
+    if (!d.table.empty()) {
+      std::cout << " at " << d.table;
+      if (!d.column.empty()) std::cout << "." << d.column;
+    }
+    std::cout << ": " << d.message << "\n";
+  }
+  std::cout.flush();
+}
+
+/// Streams findings for one just-checked statement (NDJSON flavor: one
+/// compact object per statement).
+void PrintDeltaJson(const Report& report, size_t statement_index,
+                    const std::string& sql) {
+  std::cout << "{\"statement\": " << statement_index << ", \"sql\": \""
+            << JsonEscape(sql) << "\", \"findings\": [";
+  for (size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    const Detection& d = f.ranked.detection;
+    std::cout << (i == 0 ? "" : ", ") << "{\"rule\": \"" << JsonEscape(ApName(d.type))
+              << "\", \"score\": " << f.ranked.score << ", \"table\": \""
+              << JsonEscape(d.table) << "\", \"column\": \"" << JsonEscape(d.column)
+              << "\", \"message\": \"" << JsonEscape(d.message) << "\"}";
+  }
+  std::cout << "]}" << std::endl;  // flush per statement: monitors tail this
+}
+
+/// --follow loop: accumulate lines, peel off completed statements, and
+/// Check each against the session. Statement completeness comes from the
+/// splitter itself (a top-level terminating `;`), so a `;` inside a
+/// BEGIN...END trigger body or a string literal keeps buffering instead of
+/// mis-analyzing a fragment. Returns the number of findings streamed out.
+size_t FollowStream(std::istream& in, AnalysisSession* session, const CliOptions& cli) {
+  size_t findings = 0;
+  std::string buffer;
+  std::string line;
+  auto drain = [&](bool flush) {
+    if (Trim(buffer).empty()) return;
+    bool terminated = false;
+    std::vector<std::string> pieces = sql::SplitStatements(buffer, &terminated);
+    size_t complete = flush || terminated ? pieces.size()
+                      : pieces.empty()   ? 0
+                                         : pieces.size() - 1;
+    for (size_t p = 0; p < complete; ++p) {
+      Report report = session->Check(pieces[p]);
+      findings += report.findings.size();
+      size_t index = session->statement_count() - 1;
+      if (cli.format == Format::kJson) {
+        PrintDeltaJson(report, index, pieces[p]);
+      } else {
+        PrintDeltaText(report, index, cli.color);
+      }
+    }
+    // Keep the unterminated fragment (newline restored so a trailing `--`
+    // comment cannot swallow the next line).
+    buffer = complete < pieces.size() ? pieces.back() + "\n" : std::string();
+  };
+  while (std::getline(in, line)) {
+    buffer += line;
+    buffer += '\n';
+    // Any ';' in the buffer may have completed a statement — even
+    // mid-line, with trailing comments or a second fragment after it. The
+    // splitter's `complete` flag rejects the false positives (';' inside
+    // strings or open BEGIN...END bodies), at the cost of re-lexing the
+    // retained buffer; that buffer only spans the current open statement.
+    if (buffer.find(';') == std::string::npos) continue;
+    drain(/*flush=*/false);
+  }
+  drain(/*flush=*/true);
+  return findings;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  int exit_code = 0;
+  if (!ParseArgs(argc, argv, &cli, &exit_code)) return exit_code;
+
+  // Validate --disable against the known anti-pattern names up front.
+  for (const auto& name : cli.disabled) {
+    if (FindApInfoByName(name) == nullptr) {
+      return UsageError("--disable: unknown rule '" + name +
+                        "' (see --rules for the catalog)");
+    }
+  }
+  if (cli.follow && cli.format == Format::kSarif) {
+    return UsageError("--follow supports text and json output, not sarif");
+  }
+
+  SqlCheckOptions options;
+  options.parallelism = cli.parallelism;
+  options.disabled_rules = cli.disabled;
+  AnalysisSession session(options);
+  if (!session.status().ok()) {
+    std::cerr << "sqlcheck: " << session.status().message() << "\n";
+    return 2;
+  }
+
+  bool use_stdin = cli.files.empty() || (cli.files.size() == 1 && cli.files[0] == "-");
+
+  if (cli.follow) {
+    size_t findings = 0;
+    if (use_stdin) {
+      findings = FollowStream(std::cin, &session, cli);
+    } else {
+      for (const auto& path : cli.files) {
+        std::ifstream in(path);
+        if (!in) {
+          std::cerr << "sqlcheck: cannot open '" << path << "'\n";
+          return 2;
+        }
+        findings += FollowStream(in, &session, cli);
+      }
+    }
+    return findings > 0 ? 1 : 0;
+  }
+
+  // Batch: ingest everything, snapshot once.
+  if (use_stdin) {
+    std::ostringstream content;
+    content << std::cin.rdbuf();
+    session.AddScript(content.str());
+  } else {
+    for (const auto& path : cli.files) {
+      std::ifstream in(path);
+      if (!in) {
+        std::cerr << "sqlcheck: cannot open '" << path << "'\n";
+        return 2;
+      }
+      std::ostringstream content;
+      content << in.rdbuf();
+      session.AddScript(content.str());
+    }
+  }
+
+  Report report = session.Snapshot();
+  EmitOptions emit;
+  emit.max_findings = cli.top;
+  if (cli.files.size() == 1 && cli.files[0] != "-") emit.artifact_uri = cli.files[0];
+  switch (cli.format) {
+    case Format::kText: std::cout << report.ToText(cli.top, cli.color); break;
+    case Format::kJson: std::cout << ToJson(report, emit); break;
+    case Format::kSarif: std::cout << ToSarif(report, emit); break;
+  }
+  return report.empty() ? 0 : 1;
+}
