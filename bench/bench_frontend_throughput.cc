@@ -1,0 +1,292 @@
+// Frontend throughput: lex MB/s, lex+parse MB/s, and end-to-end batch
+// `SqlCheck::Run()` statements/sec over the table-3 synthetic corpus (the
+// same generator the detection-quality benches use). Writes the measurements
+// to BENCH_frontend.json next to the committed pre-refactor baseline, and
+// always cross-checks the report detection digest against the recorded
+// baseline digest — a digest mismatch means the frontend rewrite changed
+// analysis results and the bench exits nonzero no matter the flags. With
+// --gate it additionally enforces the zero-copy-frontend speedup targets:
+// >=2x lex+parse MB/s and >=1.5x end-to-end statements/sec versus the
+// recorded baseline.
+//
+// The baseline block below was measured on this container immediately
+// before the arena/interner refactor (PR 4), with the same corpus seed and
+// repo count, so current/baseline pairs are like-for-like on any rebuild of
+// that commit range. CI machines differ from the recording machine, so the
+// ratio gate only runs when explicitly requested (--gate), and the digest
+// identity check — which is hardware-independent — runs everywhere.
+//
+//   $ ./bench_frontend_throughput [repo_count] [--gate] [--record-baseline]
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/sqlcheck.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "workload/corpus.h"
+
+using namespace sqlcheck;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Order-sensitive FNV digest over every detection field (same fold as
+/// bench_fingerprint_dedup / bench_parallel_scaling, so the streams are
+/// comparable across benches).
+uint64_t DigestReport(const Report& report) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::string_view s) {
+    for (char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    h ^= 0xff;
+    h *= 1099511628211ull;
+  };
+  for (const auto& f : report.findings) {
+    const Detection& d = f.ranked.detection;
+    mix(std::to_string(static_cast<int>(d.type)));
+    mix(std::to_string(static_cast<int>(d.source)));
+    mix(d.table);
+    mix(d.column);
+    mix(d.query);
+    mix(d.message);
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Pre-refactor baseline, recorded with --record-baseline at repo_count=200 on
+// the reference container (1-core, gcc Release) right before the zero-copy
+// frontend landed. The digest is hardware-independent ground truth; the
+// throughput figures are the denominators for the --gate ratios.
+// ---------------------------------------------------------------------------
+constexpr int kBaselineRepoCount = 200;
+constexpr double kBaselineLexMBs = 68.49;
+constexpr double kBaselineLexParseMBs = 36.14;
+constexpr double kBaselineRunStmtsPerSec = 95614.0;
+constexpr uint64_t kBaselineDigest = 3179248164023172358ull;
+
+struct Measurement {
+  double lex_mbs = 0.0;
+  double lex_parse_mbs = 0.0;
+  double run_stmts_per_sec = 0.0;
+  uint64_t digest = 0;
+  size_t statements = 0;
+  size_t bytes = 0;
+  size_t token_count = 0;  ///< Anti-DCE witness.
+};
+
+/// Repeats `body` until it has consumed at least `min_seconds`, returning
+/// the BEST (minimum) seconds per repetition — the standard noise-robust
+/// estimator for a deterministic workload: scheduler preemption and cache
+/// pollution only ever make a rep slower, so the minimum is the cleanest
+/// observation of the code's real cost.
+template <typename Fn>
+double TimedReps(double min_seconds, Fn&& body) {
+  // One warm-up rep (first-touch page faults, lazy statics).
+  body();
+  double best = 1e100;
+  double elapsed = 0.0;
+  do {
+    Clock::time_point start = Clock::now();
+    body();
+    double secs = SecondsSince(start);
+    if (secs < best) best = secs;
+    elapsed += secs;
+  } while (elapsed < min_seconds);
+  return best;
+}
+
+Measurement Measure(const std::vector<std::string>& statements) {
+  Measurement m;
+  m.statements = statements.size();
+  for (const auto& s : statements) m.bytes += s.size();
+  const double mb = static_cast<double>(m.bytes) / (1024.0 * 1024.0);
+
+  // Lex only: reusable token buffer, zero per-token allocations steady-state.
+  {
+    sql::TokenBuffer buffer;
+    size_t tokens = 0;
+    double secs = TimedReps(0.4, [&] {
+      tokens = 0;
+      for (const auto& s : statements) {
+        tokens += sql::Lex(s, buffer).size();
+      }
+    });
+    m.token_count = tokens;
+    m.lex_mbs = mb / secs;
+  }
+
+  // Lex + parse into an arena (the context build's statement path).
+  {
+    size_t parsed = 0;
+    sql::Arena arena;
+    sql::TokenBuffer buffer;
+    double secs = TimedReps(0.4, [&] {
+      arena.Reset();
+      parsed = 0;
+      for (const auto& s : statements) {
+        sql::StatementPtr stmt = sql::ParseStatement(s, &arena, &buffer);
+        parsed += stmt != nullptr;
+      }
+    });
+    if (parsed != statements.size()) {
+      std::fprintf(stderr, "FAIL: parser returned null (%zu/%zu)\n", parsed,
+                   statements.size());
+      std::exit(1);
+    }
+    m.lex_parse_mbs = mb / secs;
+  }
+
+  // End-to-end batch Run(): default options (serial, dedup on, fixes on).
+  {
+    double secs = TimedReps(1.0, [&] {
+      SqlCheck checker;
+      for (const auto& s : statements) checker.AddQuery(s);
+      Report report = checker.Run();
+      m.digest = DigestReport(report);
+    });
+    m.run_stmts_per_sec = static_cast<double>(m.statements) / secs;
+  }
+  return m;
+}
+
+void WriteJson(const Measurement& m, int repo_count, bool gated, bool passed) {
+  FILE* f = std::fopen("BENCH_frontend.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FAIL: cannot write BENCH_frontend.json\n");
+    std::exit(1);
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"frontend_throughput\",\n"
+               "  \"repo_count\": %d,\n"
+               "  \"statements\": %zu,\n"
+               "  \"corpus_bytes\": %zu,\n"
+               "  \"lex_mb_per_s\": %.2f,\n"
+               "  \"lex_parse_mb_per_s\": %.2f,\n"
+               "  \"run_stmts_per_s\": %.0f,\n"
+               "  \"baseline_lex_mb_per_s\": %.2f,\n"
+               "  \"baseline_lex_parse_mb_per_s\": %.2f,\n"
+               "  \"baseline_run_stmts_per_s\": %.0f,\n"
+               "  \"lex_speedup\": %.2f,\n"
+               "  \"lex_parse_speedup\": %.2f,\n"
+               "  \"run_speedup\": %.2f,\n"
+               "  \"digest_matches_baseline\": %s,\n"
+               "  \"gate\": %s\n"
+               "}\n",
+               repo_count, m.statements, m.bytes, m.lex_mbs, m.lex_parse_mbs,
+               m.run_stmts_per_sec, kBaselineLexMBs, kBaselineLexParseMBs,
+               kBaselineRunStmtsPerSec, m.lex_mbs / kBaselineLexMBs,
+               m.lex_parse_mbs / kBaselineLexParseMBs,
+               m.run_stmts_per_sec / kBaselineRunStmtsPerSec,
+               m.digest == kBaselineDigest ? "true" : "false",
+               gated ? (passed ? "\"pass\"" : "\"fail\"") : "\"not-run\"");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int repo_count = kBaselineRepoCount;
+  bool gate = false;
+  bool record = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gate") == 0) {
+      gate = true;
+    } else if (std::strcmp(argv[i], "--record-baseline") == 0) {
+      record = true;
+    } else {
+      repo_count = std::atoi(argv[i]);
+      if (repo_count <= 0) {
+        std::fprintf(stderr,
+                     "usage: %s [repo_count] [--gate] [--record-baseline]\n",
+                     argv[0]);
+        return 2;
+      }
+    }
+  }
+
+  if (gate && repo_count != kBaselineRepoCount) {
+    std::fprintf(stderr,
+                 "--gate compares against the recorded baseline and requires "
+                 "repo_count=%d (got %d)\n",
+                 kBaselineRepoCount, repo_count);
+    return 2;
+  }
+
+  workload::CorpusOptions options;
+  options.repo_count = repo_count;
+  workload::Corpus corpus = workload::GenerateCorpus(options);
+  std::vector<std::string> statements;
+  for (const auto& labeled : corpus.AllStatements()) statements.push_back(labeled.sql);
+
+  Measurement m = Measure(statements);
+
+  std::printf("frontend throughput (repo_count=%d, %zu statements, %.2f MB, %zu tokens)\n",
+              repo_count, m.statements,
+              static_cast<double>(m.bytes) / (1024.0 * 1024.0), m.token_count);
+  std::printf("  lex             %8.2f MB/s   (baseline %8.2f, %5.2fx)\n", m.lex_mbs,
+              kBaselineLexMBs, m.lex_mbs / kBaselineLexMBs);
+  std::printf("  lex+parse       %8.2f MB/s   (baseline %8.2f, %5.2fx)\n",
+              m.lex_parse_mbs, kBaselineLexParseMBs,
+              m.lex_parse_mbs / kBaselineLexParseMBs);
+  std::printf("  batch Run()     %8.0f stmt/s (baseline %8.0f, %5.2fx)\n",
+              m.run_stmts_per_sec, kBaselineRunStmtsPerSec,
+              m.run_stmts_per_sec / kBaselineRunStmtsPerSec);
+  std::printf("  report digest   %llu\n", static_cast<unsigned long long>(m.digest));
+
+  if (record) {
+    std::printf(
+        "\npaste into the baseline block:\n"
+        "constexpr int kBaselineRepoCount = %d;\n"
+        "constexpr double kBaselineLexMBs = %.2f;\n"
+        "constexpr double kBaselineLexParseMBs = %.2f;\n"
+        "constexpr double kBaselineRunStmtsPerSec = %.0f;\n"
+        "constexpr uint64_t kBaselineDigest = %lluull;\n",
+        repo_count, m.lex_mbs, m.lex_parse_mbs, m.run_stmts_per_sec,
+        static_cast<unsigned long long>(m.digest));
+    WriteJson(m, repo_count, false, false);
+    return 0;
+  }
+
+  // Digest identity is hardware-independent and therefore unconditional: the
+  // zero-copy frontend must not change a single detection byte.
+  bool ok = true;
+  if (repo_count == kBaselineRepoCount && m.digest != kBaselineDigest) {
+    std::fprintf(stderr,
+                 "FAIL: report digest %llu != recorded pre-refactor digest %llu\n",
+                 static_cast<unsigned long long>(m.digest),
+                 static_cast<unsigned long long>(kBaselineDigest));
+    ok = false;
+  }
+
+  bool gate_passed = true;
+  if (gate && repo_count == kBaselineRepoCount) {
+    if (m.lex_parse_mbs < 2.0 * kBaselineLexParseMBs) {
+      std::fprintf(stderr, "FAIL: lex+parse %.2f MB/s < 2x baseline %.2f MB/s\n",
+                   m.lex_parse_mbs, kBaselineLexParseMBs);
+      gate_passed = false;
+    }
+    if (m.run_stmts_per_sec < 1.5 * kBaselineRunStmtsPerSec) {
+      std::fprintf(stderr, "FAIL: Run() %.0f stmt/s < 1.5x baseline %.0f stmt/s\n",
+                   m.run_stmts_per_sec, kBaselineRunStmtsPerSec);
+      gate_passed = false;
+    }
+  }
+
+  WriteJson(m, repo_count, gate, gate_passed);
+  return ok && gate_passed ? 0 : 1;
+}

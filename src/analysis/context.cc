@@ -95,11 +95,11 @@ bool Context::ColumnNullable(std::string_view table, std::string_view column) co
 }
 
 void ContextBuilder::AddQuery(std::string_view sql_text) {
-  statements_.push_back(sql::ParseStatement(sql_text));
+  statements_.push_back(sql::ParseStatement(sql_text, arena_.get(), &buffer_));
 }
 
 void ContextBuilder::AddScript(std::string_view script) {
-  for (auto& stmt : sql::ParseScript(script)) {
+  for (auto& stmt : sql::ParseScript(script, arena_.get(), &buffer_)) {
     statements_.push_back(std::move(stmt));
   }
 }
@@ -115,6 +115,10 @@ void ContextBuilder::AttachDatabase(const Database* db, DataAnalyzerOptions opti
 
 Context ContextBuilder::Build(int parallelism, ThreadPool* pool, bool dedup_queries) {
   Context context;
+  // The accumulated statements live in the builder's arena; hand it over
+  // (and start a fresh one so the builder stays usable).
+  context.arena_ = std::move(arena_);
+  arena_ = std::make_unique<Arena>();
   context.database_ = database_;
 
   // Catalog baseline: live database schema when available...

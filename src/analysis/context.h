@@ -10,7 +10,9 @@
 #include "analysis/query_context.h"
 #include "analysis/workload_stats.h"
 #include "catalog/catalog.h"
+#include "common/arena.h"
 #include "sql/ast.h"
+#include "sql/lexer.h"
 #include "storage/database.h"
 
 namespace sqlcheck {
@@ -58,6 +60,15 @@ class Context {
   /// statement in as it streams, so the O(1) answers stay current.
   const WorkloadStats& stats() const { return stats_; }
 
+  /// Case-insensitive table/column name table populated as statements fold
+  /// into the aggregates (one instance per Context; see NameInterner).
+  const NameInterner& names() const { return stats_.names(); }
+
+  /// The arena owning this context's parse trees. Statements placed here
+  /// must not outlive the Context. Stable address for the Context's life
+  /// (moved Contexts keep the same arena).
+  Arena* arena() { return arena_.get(); }
+
   // ------------------------ queryable interface ----------------------------
   /// Queries referencing a table.
   std::vector<const QueryFacts*> QueriesReferencing(std::string_view table) const;
@@ -84,6 +95,10 @@ class Context {
   friend class AnalysisSession;
 
   Catalog catalog_;
+  /// Owns every arena-tier parse tree in statements_ (created up front so
+  /// incremental sessions can keep parsing into it). Held by pointer so the
+  /// arena address survives Context moves.
+  std::unique_ptr<Arena> arena_ = std::make_unique<Arena>();
   std::vector<sql::StatementPtr> statements_;  ///< Owned parse trees.
   std::vector<QueryFacts> query_facts_;
   QueryGroups query_groups_;
@@ -126,6 +141,8 @@ class ContextBuilder {
                 bool dedup_queries = true);
 
  private:
+  std::unique_ptr<Arena> arena_ = std::make_unique<Arena>();  ///< Parse-tree arena.
+  sql::TokenBuffer buffer_;  ///< Reused across AddQuery/AddScript parses.
   std::vector<sql::StatementPtr> statements_;
   const Database* database_ = nullptr;
   DataAnalyzerOptions data_options_;

@@ -5,7 +5,7 @@
 namespace sqlcheck {
 
 const TableProfile* DataContext::Find(std::string_view table) const {
-  auto it = profiles.find(ToLower(table));
+  auto it = profiles.find(LowerProbe(table).view());
   return it == profiles.end() ? nullptr : &it->second;
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/strings.h"
 #include "storage/statistics.h"
 #include "storage/table.h"
 
@@ -20,7 +21,8 @@ struct TableProfile {
 
 /// \brief All table profiles of the attached database.
 struct DataContext {
-  std::map<std::string, TableProfile> profiles;  // keyed by lowercased name
+  // Keyed by lowercased name; Find probes are stack-lowered (LowerProbe).
+  std::map<std::string, TableProfile, std::less<>> profiles;
 
   const TableProfile* Find(std::string_view table) const;
   bool empty() const { return profiles.empty(); }

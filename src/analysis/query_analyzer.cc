@@ -1,6 +1,8 @@
 #include "analysis/query_analyzer.h"
 
-#include <map>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/strings.h"
 #include "engine/like.h"
@@ -10,23 +12,54 @@ namespace sqlcheck {
 
 namespace {
 
-/// Alias -> table map for one statement.
-using AliasMap = std::map<std::string, std::string>;
+/// Alias -> table bindings for one statement: a flat map with inline
+/// case-insensitive probing. Statements bind a handful of sources, so a
+/// linear scan beats the old `std::map<std::string, std::string>` — no
+/// per-binding `ToLower` temporaries, no per-lookup allocation, no tree
+/// nodes. Views borrow from the statement's AST, which outlives the map.
+class AliasMap {
+ public:
+  /// Binds `key` -> `table`, overwriting a case-insensitively equal key
+  /// (matching the old map's last-writer-wins insert semantics).
+  void Bind(std::string_view key, std::string_view table) {
+    for (auto& e : entries_) {
+      if (EqualsIgnoreCase(e.first, key)) {
+        e.second = table;
+        return;
+      }
+    }
+    entries_.emplace_back(key, table);
+  }
 
-void AddBinding(AliasMap* aliases, const sql::TableRef& ref) {
-  if (ref.name.empty()) return;
-  (*aliases)[ToLower(ref.EffectiveName())] = ref.name;
-  (*aliases)[ToLower(ref.name)] = ref.name;
-}
+  /// Binds a FROM/JOIN source: its effective name (alias if present) and —
+  /// only when it actually differs — its real name. The old implementation
+  /// inserted both unconditionally, wasting an insert per unaliased source.
+  void AddBinding(const sql::TableRef& ref) {
+    if (ref.name.empty()) return;
+    Bind(ref.EffectiveName(), ref.name);
+    if (!EqualsIgnoreCase(ref.EffectiveName(), ref.name)) Bind(ref.name, ref.name);
+  }
+
+  /// The bound table for `qualifier`, or an empty view when unbound.
+  std::string_view Resolve(std::string_view qualifier) const {
+    for (const auto& e : entries_) {
+      if (EqualsIgnoreCase(e.first, qualifier)) return e.second;
+    }
+    return {};
+  }
+
+ private:
+  std::vector<std::pair<std::string_view, std::string_view>> entries_;
+};
 
 /// Resolves a column ref's qualifier through the alias map. Falls back to the
 /// sole bound table for unqualified refs in single-table statements.
-std::string ResolveTable(const AliasMap& aliases, const sql::Expr& column_ref,
-                         const std::string& sole_table) {
-  std::string qualifier = column_ref.TableQualifier();
+std::string_view ResolveTable(const AliasMap& aliases, const sql::Expr& column_ref,
+                              std::string_view sole_table) {
+  std::string_view qualifier = column_ref.TableQualifier();
   if (!qualifier.empty()) {
-    auto it = aliases.find(ToLower(qualifier));
-    return it != aliases.end() ? it->second : qualifier;
+    std::string_view resolved = aliases.Resolve(qualifier);
+    return resolved.empty() ? qualifier : resolved;
   }
   return sole_table;
 }
@@ -37,7 +70,7 @@ bool IsLiteralExpr(const sql::Expr& e) {
          e.kind == sql::ExprKind::kParam;
 }
 
-std::string LiteralDisplay(const sql::Expr& e) {
+std::string_view LiteralDisplay(const sql::Expr& e) {
   switch (e.kind) {
     case sql::ExprKind::kNullLiteral: return "NULL";
     case sql::ExprKind::kBoolLiteral: return e.text;
@@ -50,8 +83,8 @@ std::string LiteralDisplay(const sql::Expr& e) {
 
 class FactCollector {
  public:
-  FactCollector(QueryFacts* facts, AliasMap aliases, std::string sole_table)
-      : facts_(facts), aliases_(std::move(aliases)), sole_table_(std::move(sole_table)) {}
+  FactCollector(QueryFacts* facts, const AliasMap& aliases, std::string_view sole_table)
+      : facts_(facts), aliases_(aliases), sole_table_(sole_table) {}
 
   /// Walks a predicate expression (WHERE/ON/HAVING) collecting predicate,
   /// pattern, and concat usages.
@@ -59,7 +92,7 @@ class FactCollector {
     using sql::ExprKind;
     switch (e.kind) {
       case ExprKind::kBinary: {
-        const std::string& op = e.text;
+        std::string_view op = e.text;
         if (op == "AND" || op == "OR") {
           CollectPredicates(*e.children[0]);
           CollectPredicates(*e.children[1]);
@@ -87,7 +120,8 @@ class FactCollector {
         return;
       }
       case ExprKind::kLike:
-        RecordPattern(e, ToUpper(e.text));
+        // kLike nodes carry their operator pre-uppercased by the parser.
+        RecordPattern(e, e.text);
         return;
       case ExprKind::kIn:
         if (!e.children.empty() && e.children[0]->kind == ExprKind::kColumnRef) {
@@ -124,10 +158,16 @@ class FactCollector {
   void CollectConcat(const sql::Expr& e) {
     sql::VisitExpr(e, false, [&](const sql::Expr& node) {
       if (node.kind == sql::ExprKind::kColumnRef) {
-        std::string table = ResolveTable(aliases_, node, sole_table_);
-        std::string qualified = table.empty() ? node.ColumnName()
-                                              : table + "." + node.ColumnName();
-        facts_->concat_columns.push_back(qualified);
+        std::string_view table = ResolveTable(aliases_, node, sole_table_);
+        std::string qualified;
+        if (table.empty()) {
+          qualified = node.ColumnName();
+        } else {
+          qualified = table;
+          qualified += '.';
+          qualified += node.ColumnName();
+        }
+        facts_->concat_columns.push_back(std::move(qualified));
       }
     });
   }
@@ -139,7 +179,7 @@ class FactCollector {
       if (node.kind == sql::ExprKind::kFunction && EqualsIgnoreCase(node.text, "concat")) {
         CollectConcat(node);
       }
-      if (node.kind == sql::ExprKind::kLike) RecordPattern(node, ToUpper(node.text));
+      if (node.kind == sql::ExprKind::kLike) RecordPattern(node, node.text);
     });
   }
 
@@ -179,18 +219,19 @@ class FactCollector {
     }
   }
 
-  void RecordPredicate(const sql::Expr& column_ref, std::string op, std::string literal) {
+  void RecordPredicate(const sql::Expr& column_ref, std::string_view op,
+                       std::string_view literal) {
     PredicateUse use;
     use.table = ResolveTable(aliases_, column_ref, sole_table_);
     use.column = column_ref.ColumnName();
-    use.op = std::move(op);
-    use.literal = std::move(literal);
+    use.op = op;
+    use.literal = literal;
     facts_->predicates.push_back(std::move(use));
   }
 
-  void RecordPattern(const sql::Expr& e, std::string op) {
+  void RecordPattern(const sql::Expr& e, std::string_view op) {
     PatternUse use;
-    use.op = std::move(op);
+    use.op = op;
     if (!e.children.empty() && e.children[0]->kind == sql::ExprKind::kColumnRef) {
       use.table = ResolveTable(aliases_, *e.children[0], sole_table_);
       use.column = e.children[0]->ColumnName();
@@ -218,16 +259,16 @@ class FactCollector {
   }
 
   QueryFacts* facts_;
-  AliasMap aliases_;
-  std::string sole_table_;
+  const AliasMap& aliases_;
+  std::string_view sole_table_;
 };
 
 void AnalyzeSelect(const sql::SelectStatement& s, QueryFacts* facts) {
   AliasMap aliases;
-  for (const auto& f : s.from) AddBinding(&aliases, f);
-  for (const auto& j : s.joins) AddBinding(&aliases, j.table);
+  for (const auto& f : s.from) aliases.AddBinding(f);
+  for (const auto& j : s.joins) aliases.AddBinding(j.table);
 
-  std::string sole_table;
+  std::string_view sole_table;
   if (s.from.size() == 1 && s.joins.empty() && !s.from[0].name.empty()) {
     sole_table = s.from[0].name;
   }
@@ -236,9 +277,11 @@ void AnalyzeSelect(const sql::SelectStatement& s, QueryFacts* facts) {
   facts->distinct = s.distinct;
   facts->join_count = s.JoinCount();
   facts->has_where = s.where != nullptr;
-  for (const auto& t : s.ReferencedTables()) {
+  std::vector<std::string_view> referenced;
+  s.CollectReferencedTables(&referenced);
+  for (std::string_view t : referenced) {
     bool seen = false;
-    for (const auto& existing : facts->tables) {
+    for (std::string_view existing : facts->tables) {
       if (EqualsIgnoreCase(existing, t)) seen = true;
     }
     if (!seen) facts->tables.push_back(t);
@@ -255,7 +298,7 @@ void AnalyzeSelect(const sql::SelectStatement& s, QueryFacts* facts) {
     if (j.on) collector.RecordJoinOn(*j.on);
     for (const auto& col : j.using_columns) {
       JoinEdge edge;
-      edge.left_table = s.from.empty() ? "" : s.from[0].name;
+      if (!s.from.empty()) edge.left_table = s.from[0].name;
       edge.left_column = col;
       edge.right_table = j.table.name;
       edge.right_column = col;
@@ -266,12 +309,19 @@ void AnalyzeSelect(const sql::SelectStatement& s, QueryFacts* facts) {
   if (s.having) collector.CollectPredicates(*s.having);
   for (const auto& g : s.group_by) {
     if (g->kind == sql::ExprKind::kColumnRef) {
-      std::string table = g->TableQualifier();
-      auto it = aliases.find(ToLower(table));
-      std::string resolved = it != aliases.end() ? it->second : table;
+      std::string_view table = g->TableQualifier();
+      std::string_view resolved = aliases.Resolve(table);
+      if (resolved.empty()) resolved = table;
       if (resolved.empty()) resolved = sole_table;
-      facts->group_by_columns.push_back(
-          resolved.empty() ? g->ColumnName() : resolved + "." + g->ColumnName());
+      std::string qualified;
+      if (resolved.empty()) {
+        qualified = g->ColumnName();
+      } else {
+        qualified = resolved;
+        qualified += '.';
+        qualified += g->ColumnName();
+      }
+      facts->group_by_columns.push_back(std::move(qualified));
     }
   }
   for (const auto& ob : s.order_by) {
@@ -287,7 +337,7 @@ void AnalyzeSelect(const sql::SelectStatement& s, QueryFacts* facts) {
   auto scan_subqueries = [&](const sql::SelectStatement& inner) {
     QueryFacts inner_facts;
     AnalyzeSelect(inner, &inner_facts);
-    for (auto& t : inner_facts.tables) {
+    for (std::string_view t : inner_facts.tables) {
       if (!facts->ReferencesTable(t)) facts->tables.push_back(t);
     }
     for (auto& p : inner_facts.predicates) facts->predicates.push_back(std::move(p));
@@ -324,13 +374,14 @@ QueryFacts AnalyzeQuery(const sql::Statement& stmt) {
       break;
     case sql::StatementKind::kInsert: {
       const auto& s = static_cast<const sql::InsertStatement&>(stmt);
-      facts.tables.push_back(s.table);
+      facts.tables.emplace_back(s.table);
       facts.insert_without_columns = s.columns.empty();
-      facts.insert_columns = s.columns;
+      facts.insert_columns.reserve(s.columns.size());
+      for (const auto& c : s.columns) facts.insert_columns.push_back(c);
       if (s.select) {
         QueryFacts inner;
         AnalyzeSelect(*s.select, &inner);
-        for (auto& t : inner.tables) {
+        for (std::string_view t : inner.tables) {
           if (!facts.ReferencesTable(t)) facts.tables.push_back(t);
         }
         facts.selects_wildcard = inner.selects_wildcard;
@@ -339,14 +390,15 @@ QueryFacts AnalyzeQuery(const sql::Statement& stmt) {
     }
     case sql::StatementKind::kUpdate: {
       const auto& s = static_cast<const sql::UpdateStatement&>(stmt);
-      facts.tables.push_back(s.table);
+      facts.tables.emplace_back(s.table);
       facts.has_where = s.where != nullptr;
       AliasMap aliases;
-      aliases[ToLower(s.alias.empty() ? s.table : s.alias)] = s.table;
-      aliases[ToLower(s.table)] = s.table;
+      aliases.Bind(s.alias.empty() ? std::string_view(s.table) : std::string_view(s.alias),
+                   s.table);
+      aliases.Bind(s.table, s.table);
       FactCollector collector(&facts, aliases, s.table);
       for (const auto& [col, expr] : s.assignments) {
-        facts.updated_columns.push_back(col);
+        facts.updated_columns.emplace_back(col);
         collector.ScanExpression(*expr);
       }
       if (s.where) collector.CollectPredicates(*s.where);
@@ -354,25 +406,25 @@ QueryFacts AnalyzeQuery(const sql::Statement& stmt) {
     }
     case sql::StatementKind::kDelete: {
       const auto& s = static_cast<const sql::DeleteStatement&>(stmt);
-      facts.tables.push_back(s.table);
+      facts.tables.emplace_back(s.table);
       facts.has_where = s.where != nullptr;
       AliasMap aliases;
-      aliases[ToLower(s.table)] = s.table;
+      aliases.Bind(s.table, s.table);
       FactCollector collector(&facts, aliases, s.table);
       if (s.where) collector.CollectPredicates(*s.where);
       break;
     }
     case sql::StatementKind::kCreateTable:
-      facts.tables.push_back(static_cast<const sql::CreateTableStatement&>(stmt).table);
+      facts.tables.emplace_back(static_cast<const sql::CreateTableStatement&>(stmt).table);
       break;
     case sql::StatementKind::kCreateIndex:
-      facts.tables.push_back(static_cast<const sql::CreateIndexStatement&>(stmt).table);
+      facts.tables.emplace_back(static_cast<const sql::CreateIndexStatement&>(stmt).table);
       break;
     case sql::StatementKind::kAlterTable:
-      facts.tables.push_back(static_cast<const sql::AlterTableStatement&>(stmt).table);
+      facts.tables.emplace_back(static_cast<const sql::AlterTableStatement&>(stmt).table);
       break;
     case sql::StatementKind::kDropTable:
-      facts.tables.push_back(static_cast<const sql::DropTableStatement&>(stmt).table);
+      facts.tables.emplace_back(static_cast<const sql::DropTableStatement&>(stmt).table);
       break;
     default:
       break;

@@ -2,26 +2,32 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sql/ast.h"
 
 namespace sqlcheck {
 
+// Facts borrow: every string_view below points into the analyzed statement's
+// AST (or static storage), so facts are zero-copy to build and to rebase.
+// The Context owns both the statements and the facts, which pins the
+// lifetimes together; facts must not outlive their statement.
+
 /// \brief One column-vs-literal predicate found in a WHERE clause.
 struct PredicateUse {
-  std::string table;    ///< Resolved table name ("" when unresolvable).
-  std::string column;
-  std::string op;       ///< "=", "<", "LIKE", "REGEXP", "IN", "BETWEEN", ...
-  std::string literal;  ///< Display form of the literal side ("" if non-literal).
+  std::string_view table;    ///< Resolved table name ("" when unresolvable).
+  std::string_view column;
+  std::string_view op;       ///< "=", "<", "LIKE", "REGEXP", "IN", "BETWEEN", ...
+  std::string_view literal;  ///< Display form of the literal side ("" if non-literal).
 };
 
 /// \brief One LIKE/REGEXP usage.
 struct PatternUse {
-  std::string table;
-  std::string column;
-  std::string op;         ///< LIKE / ILIKE / REGEXP / SIMILAR TO / ~ ...
-  std::string pattern;    ///< Literal pattern text ("" when computed).
+  std::string_view table;
+  std::string_view column;
+  std::string_view op;       ///< LIKE / ILIKE / REGEXP / SIMILAR TO / ~ ...
+  std::string_view pattern;  ///< Literal pattern text ("" when computed).
   bool leading_wildcard = false;  ///< '%...' / '.*...' — index-hostile.
   bool computed_pattern = false;  ///< Pattern built from expressions (e.g. ||).
   bool word_boundary = false;     ///< Uses [[:<:]] / [[:>:]] markers.
@@ -29,10 +35,10 @@ struct PatternUse {
 
 /// \brief One equality join edge `left_table.left_column = right_table.right_column`.
 struct JoinEdge {
-  std::string left_table;
-  std::string left_column;
-  std::string right_table;
-  std::string right_column;
+  std::string_view left_table;
+  std::string_view left_column;
+  std::string_view right_table;
+  std::string_view right_column;
   bool expression_join = false;  ///< ON was not a plain equality.
 };
 
@@ -41,9 +47,9 @@ struct JoinEdge {
 struct QueryFacts {
   const sql::Statement* stmt = nullptr;  ///< Non-owning; Context keeps it alive.
   sql::StatementKind kind = sql::StatementKind::kUnknown;
-  std::string raw_sql;
+  std::string_view raw_sql;  ///< View of stmt->raw_sql.
 
-  std::vector<std::string> tables;  ///< Referenced table names (resolved, deduped).
+  std::vector<std::string_view> tables;  ///< Referenced table names (resolved, deduped).
 
   // SELECT shape.
   bool selects_wildcard = false;
@@ -51,7 +57,7 @@ struct QueryFacts {
   int join_count = 0;
   bool has_where = false;
   bool order_by_rand = false;
-  std::vector<std::string> group_by_columns;      ///< "table.column" or "column".
+  std::vector<std::string> group_by_columns;      ///< "table.column" or "column" (owned).
   std::vector<PredicateUse> predicates;
   std::vector<PatternUse> patterns;
   std::vector<JoinEdge> joins;
@@ -59,10 +65,10 @@ struct QueryFacts {
 
   // INSERT shape.
   bool insert_without_columns = false;
-  std::vector<std::string> insert_columns;
+  std::vector<std::string_view> insert_columns;
 
   // UPDATE/DELETE shape.
-  std::vector<std::string> updated_columns;
+  std::vector<std::string_view> updated_columns;
 
   bool ReferencesTable(std::string_view table) const;
 };

@@ -1,10 +1,12 @@
 #pragma once
 
-#include <string>
+#include <cstdint>
 #include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
+
+#include "common/interner.h"
 
 namespace sqlcheck {
 
@@ -14,6 +16,11 @@ struct QueryFacts;
 /// the inter-query rules consume (promoted out of per-call scans over
 /// Context::queries() so a long-lived AnalysisSession can answer them in
 /// O(1) as statements stream in).
+///
+/// Names are interned case-insensitively into the per-instance NameInterner,
+/// so the hot lookups are integer-keyed hash probes — no `ToLower`
+/// temporaries, no string-concatenated keys. Lookups for names the workload
+/// has never mentioned short-circuit without touching the tables.
 ///
 /// The counters reproduce the original scan semantics exactly (they are the
 /// same sums, just maintained incrementally), so a Context answering through
@@ -30,7 +37,9 @@ class WorkloadStats {
  public:
   /// Folds one analyzed statement into the aggregates. `stmt_index` must be
   /// the statement's position in the workload; statements must be added in
-  /// workload order (indices strictly increasing).
+  /// workload order (indices strictly increasing). Single-threaded (the fold
+  /// is the serial phase of a build; parallel shards hand their facts over
+  /// rather than touching the interner).
   void AddStatementFacts(size_t stmt_index, const QueryFacts& facts);
 
   /// How many equality predicates/join edges across the workload touch
@@ -47,16 +56,32 @@ class WorkloadStats {
   /// Number of statements folded in so far.
   size_t statement_count() const { return statement_count_; }
 
+  /// The name table backing the aggregates (tables/columns seen so far).
+  const NameInterner& names() const { return interner_; }
+
  private:
-  static std::string PairKey(std::string_view a, std::string_view b);
+  static uint64_t PairKey(NameId a, NameId b) {
+    // Unordered pair: smaller id first, so (l, r) and (r, l) collide.
+    NameId lo = a < b ? a : b;
+    NameId hi = a < b ? b : a;
+    return (static_cast<uint64_t>(lo) << 32) | hi;
+  }
+  static uint64_t ColumnKey(NameId table, NameId column) {
+    return (static_cast<uint64_t>(table) << 32) | column;
+  }
+
+  /// Looks both names up without interning; false when either non-empty name
+  /// was never seen (no aggregate can involve it).
+  bool FindIds(std::string_view a, std::string_view b, NameId* ida, NameId* idb) const;
 
   size_t statement_count_ = 0;
-  /// lowercase "table\0column" -> use count.
-  std::unordered_map<std::string, int> equality_use_;
-  /// Unordered lowercase "min\0max" table pairs with at least one join edge.
-  std::unordered_set<std::string> joined_pairs_;
-  /// lowercase table -> referencing statement indices (ascending).
-  std::unordered_map<std::string, std::vector<size_t>> by_table_;
+  NameInterner interner_;
+  /// (table id, column id) -> use count.
+  std::unordered_map<uint64_t, int> equality_use_;
+  /// Unordered table-id pairs with at least one join edge.
+  std::unordered_set<uint64_t> joined_pairs_;
+  /// table id -> referencing statement indices (ascending).
+  std::unordered_map<NameId, std::vector<size_t>> by_table_;
 };
 
 }  // namespace sqlcheck

@@ -24,8 +24,7 @@ Status Catalog::AddIndex(IndexSchema index) {
 }
 
 Status Catalog::DropTable(std::string_view name) {
-  std::string key = ToLower(name);
-  if (tables_.erase(key) == 0) {
+  if (tables_.erase(std::string(ToLower(name))) == 0) {
     return Status::Error("no such table: " + std::string(name));
   }
   // Indexes on the table go with it.
@@ -50,16 +49,26 @@ Status Catalog::ApplyDdl(const sql::Statement& stmt) {
   switch (stmt.kind) {
     case sql::StatementKind::kCreateTable: {
       const auto& create = static_cast<const sql::CreateTableStatement&>(stmt);
-      if (create.if_not_exists && FindTable(create.table) != nullptr) return Status::Ok();
+      // Existence pre-check before materializing the schema: workloads
+      // re-issue the same CREATE TABLE constantly, and converting the full
+      // column/constraint list (check-expression clones included) only to
+      // have AddTable reject the duplicate was pure waste.
+      if (FindTable(create.table) != nullptr) {
+        if (create.if_not_exists) return Status::Ok();
+        return Status::Error("table already exists: " + std::string(create.table));
+      }
       return AddTable(TableSchema::FromCreateTable(create));
     }
     case sql::StatementKind::kCreateIndex: {
       const auto& create = static_cast<const sql::CreateIndexStatement&>(stmt);
-      if (create.if_not_exists && FindIndex(create.index) != nullptr) return Status::Ok();
+      if (FindIndex(create.index) != nullptr) {
+        if (create.if_not_exists) return Status::Ok();
+        return Status::Error("index already exists: " + std::string(create.index));
+      }
       IndexSchema index;
       index.name = create.index;
       index.table = create.table;
-      index.columns = create.columns;
+      index.columns = sql::ToStringVector(create.columns);
       index.unique = create.unique;
       return AddIndex(std::move(index));
     }
@@ -78,7 +87,7 @@ Status Catalog::ApplyDdl(const sql::Statement& stmt) {
       TableSchema* table = FindTableMutable(alter.table);
       if (table == nullptr) {
         return alter.if_exists ? Status::Ok()
-                               : Status::Error("no such table: " + alter.table);
+                               : Status::Error("no such table: " + std::string(alter.table));
       }
       switch (alter.action) {
         case sql::AlterAction::kAddColumn: {
@@ -88,12 +97,12 @@ Status Catalog::ApplyDdl(const sql::Statement& stmt) {
           c.not_null = alter.column.not_null;
           c.unique = alter.column.unique;
           table->columns.push_back(std::move(c));
-          if (alter.column.primary_key) table->primary_key.push_back(alter.column.name);
+          if (alter.column.primary_key) table->primary_key.emplace_back(alter.column.name);
           if (alter.column.references.has_value()) {
             ForeignKeySchema fk;
-            fk.columns = {alter.column.name};
+            fk.columns = {std::string(alter.column.name)};
             fk.ref_table = alter.column.references->table;
-            fk.ref_columns = alter.column.references->columns;
+            fk.ref_columns = sql::ToStringVector(alter.column.references->columns);
             fk.on_delete_cascade = alter.column.references->on_delete_cascade;
             table->foreign_keys.push_back(std::move(fk));
           }
@@ -103,7 +112,7 @@ Status Catalog::ApplyDdl(const sql::Statement& stmt) {
           int idx = table->ColumnIndex(alter.target_name);
           if (idx < 0) {
             return alter.if_exists ? Status::Ok()
-                                   : Status::Error("no such column: " + alter.target_name);
+                                   : Status::Error("no such column: " + std::string(alter.target_name));
           }
           table->columns.erase(table->columns.begin() + idx);
           std::erase_if(table->primary_key, [&](const std::string& c) {
@@ -121,20 +130,20 @@ Status Catalog::ApplyDdl(const sql::Statement& stmt) {
           const auto& con = alter.constraint;
           switch (con.kind) {
             case sql::TableConstraintKind::kPrimaryKey:
-              table->primary_key = con.columns;
+              table->primary_key = sql::ToStringVector(con.columns);
               break;
             case sql::TableConstraintKind::kForeignKey: {
               ForeignKeySchema fk;
               fk.name = con.name;
-              fk.columns = con.columns;
+              fk.columns = sql::ToStringVector(con.columns);
               fk.ref_table = con.reference.table;
-              fk.ref_columns = con.reference.columns;
+              fk.ref_columns = sql::ToStringVector(con.reference.columns);
               fk.on_delete_cascade = con.reference.on_delete_cascade;
               table->foreign_keys.push_back(std::move(fk));
               break;
             }
             case sql::TableConstraintKind::kUnique:
-              table->unique_constraints.push_back(con.columns);
+              table->unique_constraints.push_back(sql::ToStringVector(con.columns));
               break;
             case sql::TableConstraintKind::kCheck: {
               CheckConstraintSchema check;
@@ -160,13 +169,13 @@ Status Catalog::ApplyDdl(const sql::Statement& stmt) {
           });
           size_t after = table->checks.size() + table->foreign_keys.size();
           if (before == after && !alter.if_exists) {
-            return Status::Error("no such constraint: " + alter.target_name);
+            return Status::Error("no such constraint: " + std::string(alter.target_name));
           }
           return Status::Ok();
         }
         case sql::AlterAction::kAlterColumnType: {
           int idx = table->ColumnIndex(alter.column.name);
-          if (idx < 0) return Status::Error("no such column: " + alter.column.name);
+          if (idx < 0) return Status::Error("no such column: " + std::string(alter.column.name));
           table->columns[static_cast<size_t>(idx)].type =
               DataType::FromTypeName(alter.column.type);
           return Status::Ok();
@@ -179,7 +188,7 @@ Status Catalog::ApplyDdl(const sql::Statement& stmt) {
         }
         case sql::AlterAction::kRenameColumn: {
           int idx = table->ColumnIndex(alter.target_name);
-          if (idx < 0) return Status::Error("no such column: " + alter.target_name);
+          if (idx < 0) return Status::Error("no such column: " + std::string(alter.target_name));
           table->columns[static_cast<size_t>(idx)].name = alter.new_name;
           for (auto& pk : table->primary_key) {
             if (EqualsIgnoreCase(pk, alter.target_name)) pk = alter.new_name;
@@ -197,17 +206,17 @@ Status Catalog::ApplyDdl(const sql::Statement& stmt) {
 }
 
 const TableSchema* Catalog::FindTable(std::string_view name) const {
-  auto it = tables_.find(ToLower(name));
+  auto it = tables_.find(LowerProbe(name).view());
   return it == tables_.end() ? nullptr : &it->second;
 }
 
 TableSchema* Catalog::FindTableMutable(std::string_view name) {
-  auto it = tables_.find(ToLower(name));
+  auto it = tables_.find(LowerProbe(name).view());
   return it == tables_.end() ? nullptr : &it->second;
 }
 
 const IndexSchema* Catalog::FindIndex(std::string_view name) const {
-  auto it = indexes_.find(ToLower(name));
+  auto it = indexes_.find(LowerProbe(name).view());
   return it == indexes_.end() ? nullptr : &it->second;
 }
 

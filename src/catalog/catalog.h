@@ -6,6 +6,7 @@
 
 #include "catalog/schema.h"
 #include "common/status.h"
+#include "common/strings.h"
 #include "sql/ast.h"
 
 namespace sqlcheck {
@@ -38,9 +39,11 @@ class Catalog {
   size_t table_count() const { return tables_.size(); }
 
  private:
-  // Keyed by lowercased name; values keep original casing.
-  std::map<std::string, TableSchema> tables_;
-  std::map<std::string, IndexSchema> indexes_;
+  // Keyed by lowercased name; values keep original casing. Probes stack-
+  // lower the caller's name (LowerProbe) and descend with plain byte
+  // compares — no ToLower temporary, no per-character case folding.
+  std::map<std::string, TableSchema, std::less<>> tables_;
+  std::map<std::string, IndexSchema, std::less<>> indexes_;
 };
 
 }  // namespace sqlcheck

@@ -1,5 +1,8 @@
 #include "catalog/data_type.h"
 
+#include <string_view>
+#include <unordered_map>
+
 #include "common/strings.h"
 
 namespace sqlcheck {
@@ -30,58 +33,74 @@ const char* TypeIdName(TypeId id) {
   return "UNKNOWN";
 }
 
+namespace {
+
+/// Lowercased spelling -> TypeId; one hash probe instead of the ~40 string
+/// compares this function used to chain (it runs per column per type-aware
+/// rule evaluation). "enum"/"timestamp"-family special cases are handled by
+/// the caller.
+const std::unordered_map<std::string_view, TypeId>& TypeNameMap() {
+  static const auto* map = new std::unordered_map<std::string_view, TypeId>{
+      {"smallint", TypeId::kSmallInt}, {"int2", TypeId::kSmallInt},
+      {"tinyint", TypeId::kSmallInt},  {"int", TypeId::kInteger},
+      {"integer", TypeId::kInteger},   {"int4", TypeId::kInteger},
+      {"mediumint", TypeId::kInteger}, {"bigint", TypeId::kBigInt},
+      {"int8", TypeId::kBigInt},       {"serial", TypeId::kSerial},
+      {"bigserial", TypeId::kSerial},  {"smallserial", TypeId::kSerial},
+      {"float", TypeId::kFloat},       {"real", TypeId::kFloat},
+      {"float4", TypeId::kFloat},      {"double", TypeId::kDouble},
+      {"double precision", TypeId::kDouble}, {"float8", TypeId::kDouble},
+      {"numeric", TypeId::kNumeric},   {"decimal", TypeId::kNumeric},
+      {"dec", TypeId::kNumeric},       {"money", TypeId::kNumeric},
+      {"char", TypeId::kChar},         {"character", TypeId::kChar},
+      {"nchar", TypeId::kChar},        {"varchar", TypeId::kVarchar},
+      {"character varying", TypeId::kVarchar}, {"nvarchar", TypeId::kVarchar},
+      {"varchar2", TypeId::kVarchar},  {"text", TypeId::kText},
+      {"clob", TypeId::kText},         {"string", TypeId::kText},
+      {"tinytext", TypeId::kText},     {"mediumtext", TypeId::kText},
+      {"longtext", TypeId::kText},     {"boolean", TypeId::kBoolean},
+      {"bool", TypeId::kBoolean},      {"bit", TypeId::kBoolean},
+      {"date", TypeId::kDate},         {"time", TypeId::kTime},
+      {"timestamp", TypeId::kTimestamp}, {"datetime", TypeId::kTimestamp},
+      {"smalldatetime", TypeId::kTimestamp}, {"timestamptz", TypeId::kTimestampTz},
+      {"datetimeoffset", TypeId::kTimestampTz}, {"blob", TypeId::kBlob},
+      {"bytea", TypeId::kBlob},        {"binary", TypeId::kBlob},
+      {"varbinary", TypeId::kBlob},    {"longblob", TypeId::kBlob},
+      {"mediumblob", TypeId::kBlob},   {"image", TypeId::kBlob},
+      {"uuid", TypeId::kUuid},         {"uniqueidentifier", TypeId::kUuid},
+      {"guid", TypeId::kUuid},         {"json", TypeId::kJson},
+      {"jsonb", TypeId::kJson},
+  };
+  return *map;
+}
+
+}  // namespace
+
 DataType DataType::FromTypeName(const sql::TypeName& name) {
   DataType t;
-  std::string n = ToLower(name.name);
+  LowerProbe probe(name.name);
+  std::string_view n = probe.view();
   if (!name.enum_values.empty() || n == "enum") {
     t.id = TypeId::kEnum;
-    t.enum_values = name.enum_values;
+    t.enum_values = sql::ToStringVector(name.enum_values);
     return t;
   }
-  if (n == "smallint" || n == "int2" || n == "tinyint") {
-    t.id = TypeId::kSmallInt;
-  } else if (n == "int" || n == "integer" || n == "int4" || n == "mediumint") {
-    t.id = TypeId::kInteger;
-  } else if (n == "bigint" || n == "int8") {
-    t.id = TypeId::kBigInt;
-  } else if (n == "serial" || n == "bigserial" || n == "smallserial") {
-    t.id = TypeId::kSerial;
-  } else if (n == "float" || n == "real" || n == "float4") {
-    t.id = TypeId::kFloat;
-  } else if (n == "double" || n == "double precision" || n == "float8") {
-    t.id = TypeId::kDouble;
-  } else if (n == "numeric" || n == "decimal" || n == "dec" || n == "money") {
-    t.id = TypeId::kNumeric;
-    if (!name.params.empty()) t.precision = name.params[0];
-    if (name.params.size() > 1) t.scale = name.params[1];
-  } else if (n == "char" || n == "character" || n == "nchar") {
-    t.id = TypeId::kChar;
-    if (!name.params.empty()) t.length = name.params[0];
-  } else if (n == "varchar" || n == "character varying" || n == "nvarchar" || n == "varchar2") {
-    t.id = TypeId::kVarchar;
-    if (!name.params.empty()) t.length = name.params[0];
-  } else if (n == "text" || n == "clob" || n == "string" || n == "tinytext" ||
-             n == "mediumtext" || n == "longtext") {
-    t.id = TypeId::kText;
-  } else if (n == "boolean" || n == "bool" || n == "bit") {
-    t.id = TypeId::kBoolean;
-  } else if (n == "date") {
-    t.id = TypeId::kDate;
-  } else if (n == "time") {
-    t.id = TypeId::kTime;
-  } else if (n == "timestamp" || n == "datetime" || n == "smalldatetime") {
-    t.id = name.with_time_zone ? TypeId::kTimestampTz : TypeId::kTimestamp;
-  } else if (n == "timestamptz" || n == "datetimeoffset") {
-    t.id = TypeId::kTimestampTz;
-  } else if (n == "blob" || n == "bytea" || n == "binary" || n == "varbinary" ||
-             n == "longblob" || n == "mediumblob" || n == "image") {
-    t.id = TypeId::kBlob;
-  } else if (n == "uuid" || n == "uniqueidentifier" || n == "guid") {
-    t.id = TypeId::kUuid;
-  } else if (n == "json" || n == "jsonb") {
-    t.id = TypeId::kJson;
-  } else {
-    t.id = TypeId::kUnknown;
+  auto it = TypeNameMap().find(n);
+  t.id = it == TypeNameMap().end() ? TypeId::kUnknown : it->second;
+  switch (t.id) {
+    case TypeId::kNumeric:
+      if (!name.params.empty()) t.precision = name.params[0];
+      if (name.params.size() > 1) t.scale = name.params[1];
+      break;
+    case TypeId::kChar:
+    case TypeId::kVarchar:
+      if (!name.params.empty()) t.length = name.params[0];
+      break;
+    case TypeId::kTimestamp:
+      if (name.with_time_zone) t.id = TypeId::kTimestampTz;
+      break;
+    default:
+      break;
   }
   return t;
 }

@@ -41,7 +41,7 @@ Value LiteralToValue(const sql::Expr& e) {
       }
       return Value::Int(std::strtoll(e.text.c_str(), nullptr, 10));
     case sql::ExprKind::kStringLiteral:
-      return Value::Str(e.text);
+      return Value::Str(std::string(e.text));
     default:
       return Value::Null_();
   }
@@ -62,12 +62,12 @@ TableSchema TableSchema::FromCreateTable(const sql::CreateTableStatement& stmt) 
     if (col.default_value) c.default_value = LiteralToValue(*col.default_value);
     schema.columns.push_back(std::move(c));
 
-    if (col.primary_key) schema.primary_key.push_back(col.name);
+    if (col.primary_key) schema.primary_key.emplace_back(col.name);
     if (col.references.has_value()) {
       ForeignKeySchema fk;
-      fk.columns = {col.name};
+      fk.columns = {std::string(col.name)};
       fk.ref_table = col.references->table;
-      fk.ref_columns = col.references->columns;
+      fk.ref_columns = sql::ToStringVector(col.references->columns);
       fk.on_delete_cascade = col.references->on_delete_cascade;
       schema.foreign_keys.push_back(std::move(fk));
     }
@@ -81,7 +81,7 @@ TableSchema TableSchema::FromCreateTable(const sql::CreateTableStatement& stmt) 
   for (const auto& con : stmt.constraints) {
     switch (con.kind) {
       case sql::TableConstraintKind::kPrimaryKey:
-        schema.primary_key = con.columns;
+        schema.primary_key = sql::ToStringVector(con.columns);
         for (const auto& pk_col : con.columns) {
           int idx = schema.ColumnIndex(pk_col);
           if (idx >= 0) schema.columns[static_cast<size_t>(idx)].not_null = true;
@@ -90,15 +90,15 @@ TableSchema TableSchema::FromCreateTable(const sql::CreateTableStatement& stmt) 
       case sql::TableConstraintKind::kForeignKey: {
         ForeignKeySchema fk;
         fk.name = con.name;
-        fk.columns = con.columns;
+        fk.columns = sql::ToStringVector(con.columns);
         fk.ref_table = con.reference.table;
-        fk.ref_columns = con.reference.columns;
+        fk.ref_columns = sql::ToStringVector(con.reference.columns);
         fk.on_delete_cascade = con.reference.on_delete_cascade;
         schema.foreign_keys.push_back(std::move(fk));
         break;
       }
       case sql::TableConstraintKind::kUnique:
-        schema.unique_constraints.push_back(con.columns);
+        schema.unique_constraints.push_back(sql::ToStringVector(con.columns));
         break;
       case sql::TableConstraintKind::kCheck: {
         CheckConstraintSchema check;

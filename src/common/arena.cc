@@ -1,0 +1,114 @@
+#include "common/arena.h"
+
+#include <cstring>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define SQLCHECK_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SQLCHECK_ASAN 1
+#endif
+#endif
+
+#ifdef SQLCHECK_ASAN
+#include <sanitizer/asan_interface.h>
+#define SQLCHECK_POISON(addr, size) ASAN_POISON_MEMORY_REGION(addr, size)
+#define SQLCHECK_UNPOISON(addr, size) ASAN_UNPOISON_MEMORY_REGION(addr, size)
+#else
+#define SQLCHECK_POISON(addr, size) ((void)(addr), (void)(size))
+#define SQLCHECK_UNPOISON(addr, size) ((void)(addr), (void)(size))
+#endif
+
+namespace sqlcheck {
+
+namespace {
+
+constexpr size_t AlignUp(size_t n, size_t align) { return (n + align - 1) & ~(align - 1); }
+
+}  // namespace
+
+Arena::Arena(size_t first_chunk_bytes)
+    : next_chunk_bytes_(first_chunk_bytes < 64 ? 64 : first_chunk_bytes) {}
+
+Arena::~Arena() {
+  for (Chunk* chunk : chunks_) {
+    UnpoisonChunk(chunk);
+    ::operator delete(chunk);
+  }
+}
+
+Arena::Chunk* Arena::NewChunk(size_t min_payload) {
+  size_t payload = next_chunk_bytes_;
+  if (payload < min_payload) payload = AlignUp(min_payload, alignof(std::max_align_t));
+  if (next_chunk_bytes_ < kMaxChunkBytes) next_chunk_bytes_ *= 2;
+
+  void* raw = ::operator new(sizeof(Chunk) + payload);
+  Chunk* chunk = static_cast<Chunk*>(raw);
+  chunk->capacity = payload;
+  chunks_.push_back(chunk);
+  bytes_reserved_ += payload;
+  // The whole payload starts poisoned; Allocate unpoisons what it hands out.
+  SQLCHECK_POISON(chunk->data(), payload);
+  return chunk;
+}
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  if (bytes == 0) bytes = 1;
+  char* aligned =
+      reinterpret_cast<char*>(AlignUp(reinterpret_cast<uintptr_t>(cursor_), align));
+  if (aligned == nullptr || aligned + bytes > limit_) {
+    // Reuse a retained chunk (Reset keeps them all for steady-state refill
+    // cycles) before reserving a new one from the heap.
+    Chunk* chunk = nullptr;
+    while (++active_ < chunks_.size()) {
+      if (chunks_[active_]->capacity >= bytes + align) {
+        chunk = chunks_[active_];
+        break;
+      }
+    }
+    if (chunk == nullptr) {
+      chunk = NewChunk(bytes + align);
+      active_ = chunks_.size() - 1;
+    }
+    cursor_ = chunk->data();
+    limit_ = chunk->data() + chunk->capacity;
+    aligned = reinterpret_cast<char*>(AlignUp(reinterpret_cast<uintptr_t>(cursor_), align));
+  }
+  SQLCHECK_UNPOISON(aligned, bytes);
+  cursor_ = aligned + bytes;
+  bytes_used_ += bytes;
+  ++allocation_count_;
+  return aligned;
+}
+
+std::string_view Arena::Dup(std::string_view s) {
+  if (s.empty()) return {};
+  char* copy = static_cast<char*>(Allocate(s.size(), 1));
+  std::memcpy(copy, s.data(), s.size());
+  return std::string_view(copy, s.size());
+}
+
+void Arena::Reset() {
+  bytes_used_ = 0;
+  allocation_count_ = 0;
+  // Retain every chunk: a steady Reset/refill loop reuses the same memory
+  // and never touches the heap again (the zero-allocation contract the parse
+  // path is tested against). Memory is only returned on destruction.
+  for (Chunk* chunk : chunks_) {
+    SQLCHECK_POISON(chunk->data(), chunk->capacity);
+  }
+  active_ = 0;
+  if (chunks_.empty()) {
+    cursor_ = nullptr;
+    limit_ = nullptr;
+  } else {
+    cursor_ = chunks_[0]->data();
+    limit_ = chunks_[0]->data() + chunks_[0]->capacity;
+  }
+}
+
+void Arena::UnpoisonChunk(Chunk* chunk) {
+  SQLCHECK_UNPOISON(chunk->data(), chunk->capacity);
+}
+
+}  // namespace sqlcheck

@@ -44,6 +44,11 @@ bool EqualsIgnoreCase(std::string_view s, std::string_view other) {
   return true;
 }
 
+bool EndsWithIgnoreCase(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         EqualsIgnoreCase(s.substr(s.size() - suffix.size()), suffix);
+}
+
 bool StartsWithIgnoreCase(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && EqualsIgnoreCase(s.substr(0, prefix.size()), prefix);
 }

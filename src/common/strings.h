@@ -1,10 +1,54 @@
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace sqlcheck {
+
+/// \brief Stack-lowered copy of a (short) SQL name, for byte-compare probes
+/// into containers keyed by lowercased names. Allocation-free up to 64
+/// bytes; longer names spill to a heap string.
+class LowerProbe {
+ public:
+  explicit LowerProbe(std::string_view s) {
+    if (s.size() <= sizeof(buf_)) {
+      for (size_t i = 0; i < s.size(); ++i) {
+        char c = s[i];
+        buf_[i] = c >= 'A' && c <= 'Z' ? static_cast<char>(c + 32) : c;
+      }
+      view_ = std::string_view(buf_, s.size());
+    } else {
+      spill_.reserve(s.size());
+      for (char c : s) {
+        spill_.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c + 32) : c);
+      }
+      view_ = spill_;
+    }
+  }
+  LowerProbe(const LowerProbe&) = delete;
+  LowerProbe& operator=(const LowerProbe&) = delete;
+
+  operator std::string_view() const { return view_; }
+  std::string_view view() const { return view_; }
+
+ private:
+  char buf_[64];
+  std::string spill_;
+  std::string_view view_;
+};
+
+/// \brief Transparent hash for heterogeneous unordered-container lookup:
+/// lets a map keyed by std::string answer find(std::string_view) without
+/// materializing a temporary key string.
+struct StringViewHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 /// \brief ASCII-lowercases a copy of `s` (SQL identifiers/keywords are
 /// case-insensitive in every dialect we target).
@@ -21,6 +65,9 @@ bool EqualsIgnoreCase(std::string_view s, std::string_view other);
 
 /// \brief True if `s` starts with `prefix` ignoring ASCII case.
 bool StartsWithIgnoreCase(std::string_view s, std::string_view prefix);
+
+/// \brief True if `s` ends with `suffix` ignoring ASCII case.
+bool EndsWithIgnoreCase(std::string_view s, std::string_view suffix);
 
 /// \brief True if `haystack` contains `needle` ignoring ASCII case.
 bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);

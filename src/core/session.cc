@@ -37,12 +37,13 @@ void AnalysisSession::RegisterRule(std::unique_ptr<Rule> rule) {
 
 size_t AnalysisSession::AddQuery(std::string_view sql_text) {
   std::vector<sql::StatementPtr> stmts;
-  stmts.push_back(sql::ParseStatement(sql_text));
+  stmts.push_back(sql::ParseStatement(sql_text, context_.arena(), &token_buffer_));
   return IngestChunk(std::move(stmts));
 }
 
 size_t AnalysisSession::AddScript(std::string_view script) {
-  std::vector<sql::StatementPtr> stmts = sql::ParseScript(script);
+  std::vector<sql::StatementPtr> stmts =
+      sql::ParseScript(script, context_.arena(), &token_buffer_);
   size_t count = stmts.size();
   IngestChunk(std::move(stmts));
   return count;
@@ -70,7 +71,7 @@ size_t AnalysisSession::IngestChunk(std::vector<sql::StatementPtr> stmts) {
     size_t rep = i;
     if (options_.dedup_queries) {
       uint64_t fingerprint = 0;
-      auto raw_it = raw_memo_.find(stmt->raw_sql);
+      auto raw_it = raw_memo_.find(std::string_view(stmt->raw_sql));
       if (raw_it != raw_memo_.end()) {
         rep = raw_it->second;
         fingerprint = groups.fingerprints[rep];
@@ -80,7 +81,7 @@ size_t AnalysisSession::IngestChunk(std::vector<sql::StatementPtr> stmts) {
         fingerprint = sql::FingerprintCanonical(canonical);
         auto [canon_it, inserted] = canonical_memo_.try_emplace(std::move(canonical), i);
         rep = canon_it->second;
-        raw_memo_.emplace(stmt->raw_sql, rep);
+        raw_memo_.emplace(std::string(stmt->raw_sql), rep);
       }
       groups.representative.push_back(rep);
       groups.fingerprints.push_back(fingerprint);
@@ -152,6 +153,11 @@ void AnalysisSession::AssembleGroupDetections(size_t u, std::vector<Detection>* 
   const size_t i = context_.query_groups_.unique[u];
   const QueryFacts& facts = context_.query_facts_[i];
   const std::vector<std::vector<Detection>>& row = local_cache_[u];
+  // Pre-size from the known cache-row counts so replaying the cached
+  // statement-local detections never regrows the buffer mid-assembly.
+  size_t cached = 0;
+  for (const auto& slot : row) cached += slot.size();
+  out->reserve(out->size() + cached);
   for (size_t r = 0; r < rules.size(); ++r) {
     if (rules[r]->query_scope() == QueryRuleScope::kStatementLocal) {
       out->insert(out->end(), row[r].begin(), row[r].end());
@@ -211,7 +217,7 @@ Report AnalysisSession::Snapshot() {
 Report AnalysisSession::MakeReport(std::vector<Detection> detections) const {
   // ap-rank (§5).
   RankingModel model(options_.ranking_weights, options_.ranking_mode);
-  std::vector<RankedDetection> ranked = model.Rank(detections);
+  std::vector<RankedDetection> ranked = model.Rank(std::move(detections));
 
   // ap-fix (§6).
   RepairEngine repair;

@@ -8,6 +8,7 @@
 
 #include "analysis/context.h"
 #include "common/status.h"
+#include "common/strings.h"
 #include "core/options.h"
 #include "core/report.h"
 #include "rules/registry.h"
@@ -114,11 +115,14 @@ class AnalysisSession {
   RuleRegistry registry_;
   Status status_;
   Context context_;
+  sql::TokenBuffer token_buffer_;  ///< Reused across every parse this session runs.
 
   /// Fingerprint memo (persists across calls): raw statement bytes -> group
   /// representative index, and exact-canonical form -> representative.
-  std::unordered_map<std::string, size_t> raw_memo_;
-  std::unordered_map<std::string, size_t> canonical_memo_;
+  /// Transparent hashing so the per-statement probe takes a view of the
+  /// statement's own raw_sql — no temporary key string.
+  std::unordered_map<std::string, size_t, StringViewHash, std::equal_to<>> raw_memo_;
+  std::unordered_map<std::string, size_t, StringViewHash, std::equal_to<>> canonical_memo_;
   /// Representative statement index -> position in query_groups().unique.
   std::unordered_map<size_t, size_t> unique_pos_;
 

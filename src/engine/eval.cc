@@ -9,26 +9,26 @@
 
 namespace sqlcheck {
 
-Result<Value> EvalScope::ResolveColumn(const std::vector<std::string>& parts) const {
+Result<Value> EvalScope::ResolveColumn(const sql::AstVector<sql::AstString>& parts) const {
   size_t source_index = 0;
   int column_index = -1;
   if (!ResolvePosition(parts, &source_index, &column_index)) {
-    return Result<Value>::Error("unknown column: " + Join(parts, "."));
+    return Result<Value>::Error("unknown column: " + Join(sql::ToStringVector(parts), "."));
   }
   const Source& src = sources_[source_index];
   if (src.row == nullptr) {
-    return Result<Value>::Error("column outside row context: " + Join(parts, "."));
+    return Result<Value>::Error("column outside row context: " + Join(sql::ToStringVector(parts), "."));
   }
   size_t ci = static_cast<size_t>(column_index);
   return ci < src.row->size() ? (*src.row)[ci] : Value::Null_();
 }
 
-bool EvalScope::ResolvePosition(const std::vector<std::string>& parts, size_t* source_index,
+bool EvalScope::ResolvePosition(const sql::AstVector<sql::AstString>& parts, size_t* source_index,
                                 int* column_index) const {
   if (parts.empty()) return false;
-  const std::string& column = parts.back();
+  std::string_view column = parts.back();
   if (parts.size() >= 2) {
-    const std::string& qualifier = parts[parts.size() - 2];
+    std::string_view qualifier = parts[parts.size() - 2];
     for (size_t s = 0; s < sources_.size(); ++s) {
       if (!EqualsIgnoreCase(sources_[s].binding, qualifier)) continue;
       int ci = sources_[s].schema->ColumnIndex(column);
@@ -129,11 +129,11 @@ Result<Value> EvalImpl(const sql::Expr& expr, const EvalScope& scope) {
     case ExprKind::kBoolLiteral:
       return Value::Bool(expr.text == "true");
     case ExprKind::kNumberLiteral:
-      return ParseNumberLiteral(expr.text);
+      return ParseNumberLiteral(std::string(expr.text));
     case ExprKind::kStringLiteral:
-      return Value::Str(expr.text);
+      return Value::Str(std::string(expr.text));
     case ExprKind::kParam:
-      return Result<Value>::Error("unbound parameter: " + expr.text);
+      return Result<Value>::Error("unbound parameter: " + std::string(expr.text));
     case ExprKind::kColumnRef:
       return scope.ResolveColumn(expr.name_parts);
     case ExprKind::kStar:
@@ -149,10 +149,10 @@ Result<Value> EvalImpl(const sql::Expr& expr, const EvalScope& scope) {
         if (v->is_null()) return Value::Null_();
         return v->is_int() ? Value::Int(-v->AsInt()) : Value::Real(-v->AsReal());
       }
-      return Result<Value>::Error("unknown unary operator: " + expr.text);
+      return Result<Value>::Error("unknown unary operator: " + std::string(expr.text));
     }
     case ExprKind::kBinary: {
-      const std::string& op = expr.text;
+      std::string_view op = expr.text;
       if (op == "AND" || op == "OR") {
         auto lhs = EvalImpl(*expr.children[0], scope);
         if (!lhs.ok()) return lhs;
@@ -195,7 +195,7 @@ Result<Value> EvalImpl(const sql::Expr& expr, const EvalScope& scope) {
         if (lhs->is_null() || rhs->is_null()) return Value::Null_();
         return Value::Bool(!SimpleRegexMatch(ToStringValue(*lhs), ToStringValue(*rhs)));
       }
-      return CompareValues(*lhs, *rhs, op);
+      return CompareValues(*lhs, *rhs, std::string(op));
     }
     case ExprKind::kLike: {
       auto text = EvalImpl(*expr.children[0], scope);
@@ -311,7 +311,7 @@ Result<Value> EvalFunction(const sql::Expr& expr, const EvalScope& scope) {
       auto it = scope.aggregates->find(sql::PrintExpr(expr));
       if (it != scope.aggregates->end()) return it->second;
     }
-    return Result<Value>::Error("aggregate outside aggregation context: " + expr.text);
+    return Result<Value>::Error("aggregate outside aggregation context: " + std::string(expr.text));
   }
 
   // COALESCE short-circuits, so evaluate args lazily.
@@ -436,7 +436,7 @@ Result<Value> EvalFunction(const sql::Expr& expr, const EvalScope& scope) {
     }
     return args[0];
   }
-  return Result<Value>::Error("unknown function: " + expr.text);
+  return Result<Value>::Error("unknown function: " + std::string(expr.text));
 }
 
 }  // namespace

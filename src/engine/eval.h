@@ -30,11 +30,11 @@ class EvalScope {
   const std::vector<Source>& sources() const { return sources_; }
 
   /// Resolves `parts` (possibly qualified) to a value in the bound rows.
-  Result<Value> ResolveColumn(const std::vector<std::string>& parts) const;
+  Result<Value> ResolveColumn(const sql::AstVector<sql::AstString>& parts) const;
 
   /// Resolves to (source index, column index) without reading a value — used
   /// by the planner.
-  bool ResolvePosition(const std::vector<std::string>& parts, size_t* source_index,
+  bool ResolvePosition(const sql::AstVector<sql::AstString>& parts, size_t* source_index,
                        int* column_index) const;
 
   Rng* rng = nullptr;  ///< For RAND()/RANDOM(); owned by the executor.

@@ -34,7 +34,7 @@ Value LiteralOf(const sql::Expr& e) {
   switch (e.kind) {
     case sql::ExprKind::kNullLiteral: return Value::Null_();
     case sql::ExprKind::kBoolLiteral: return Value::Bool(e.text == "true");
-    case sql::ExprKind::kStringLiteral: return Value::Str(e.text);
+    case sql::ExprKind::kStringLiteral: return Value::Str(std::string(e.text));
     case sql::ExprKind::kNumberLiteral:
       if (e.text.find('.') != std::string::npos || e.text.find('e') != std::string::npos ||
           e.text.find('E') != std::string::npos) {
@@ -80,8 +80,8 @@ bool MatchEqualityLiteral(const sql::Expr& e, std::string* column, Value* value)
 }
 
 std::string OutputNameFor(const sql::SelectItem& item) {
-  if (!item.alias.empty()) return item.alias;
-  if (item.expr->kind == sql::ExprKind::kColumnRef) return item.expr->ColumnName();
+  if (!item.alias.empty()) return std::string(item.alias);
+  if (item.expr->kind == sql::ExprKind::kColumnRef) return std::string(item.expr->ColumnName());
   return sql::PrintExpr(*item.expr);
 }
 
@@ -108,7 +108,7 @@ Result<QueryResult> Executor::Execute(const sql::Statement& stmt) {
     case sql::StatementKind::kDropIndex:
       return ExecuteDropIndex(static_cast<const sql::DropIndexStatement&>(stmt));
     case sql::StatementKind::kUnknown:
-      return Result<QueryResult>::Error("cannot execute unparsed statement: " + stmt.raw_sql);
+      return Result<QueryResult>::Error("cannot execute unparsed statement: " + std::string(stmt.raw_sql));
   }
   return Result<QueryResult>::Error("unhandled statement kind");
 }
@@ -171,7 +171,7 @@ Status Executor::FlattenSubqueries(sql::Expr* expr) {
     case sql::ExprKind::kIn: {
       for (const Row& row : sub->rows) {
         if (row.empty()) continue;
-        auto lit = std::make_unique<sql::Expr>();
+        sql::ExprPtr lit(new sql::Expr());
         const Value& v = row[0];
         if (v.is_null()) {
           lit->kind = sql::ExprKind::kNullLiteral;
@@ -201,7 +201,7 @@ Status Executor::FlattenSubqueries(sql::Expr* expr) {
 
 Result<QueryResult> Executor::ExecuteSelect(const sql::SelectStatement& original) {
   // Work on a copy so subquery flattening never mutates the caller's tree.
-  std::unique_ptr<sql::SelectStatement> owned = original.CloneSelect();
+  sql::SelectPtr owned = original.CloneSelect();
   sql::SelectStatement& stmt = *owned;
 
   // ------------------------------ bind sources ----------------------------
@@ -227,7 +227,7 @@ Result<QueryResult> Executor::ExecuteSelect(const sql::SelectStatement& original
       src.materialized = std::move(sub->rows);
     } else {
       const Table* table = db_->GetTable(ref.name);
-      if (table == nullptr) return Status::Error("no such table: " + ref.name);
+      if (table == nullptr) return Status::Error("no such table: " + std::string(ref.name));
       src.table = table;
       src.schema = &table->schema();
     }
@@ -300,7 +300,7 @@ Result<QueryResult> Executor::ExecuteSelect(const sql::SelectStatement& original
         size_t si = 0;
         int ci = -1;
         if (!scope.ResolvePosition(e.name_parts, &si, &ci)) {
-          bad = Status::Error("unknown column: " + Join(e.name_parts, "."));
+          bad = Status::Error("unknown column: " + Join(sql::ToStringVector(e.name_parts), "."));
         }
       });
     };
@@ -470,8 +470,8 @@ Result<QueryResult> Executor::ExecuteSelect(const sql::SelectStatement& original
     if (on == nullptr && !join.using_columns.empty()) {
       for (const auto& col : join.using_columns) {
         auto eq = sql::MakeBinary(
-            "=", sql::MakeColumnRef({sources[0].binding, col}),
-            sql::MakeColumnRef({src.binding, col}));
+            "=", sql::MakeColumnRef({sources[0].binding, std::string(col)}),
+            sql::MakeColumnRef({src.binding, std::string(col)}));
         synthesized_on = synthesized_on
                              ? sql::MakeBinary("AND", std::move(synthesized_on), std::move(eq))
                              : std::move(eq);
@@ -494,7 +494,7 @@ Result<QueryResult> Executor::ExecuteSelect(const sql::SelectStatement& original
           const sql::Expr& b = *conj->children[static_cast<size_t>(1 - side)];
           if (a.kind != sql::ExprKind::kColumnRef) continue;
           // `a` must resolve inside the new source.
-          std::string qualifier = a.TableQualifier();
+          std::string_view qualifier = a.TableQualifier();
           if (!qualifier.empty() && !EqualsIgnoreCase(qualifier, src.binding)) continue;
           int ci = src.schema->ColumnIndex(a.ColumnName());
           if (ci < 0) continue;
@@ -510,7 +510,7 @@ Result<QueryResult> Executor::ExecuteSelect(const sql::SelectStatement& original
           bool touches_new = false;
           sql::VisitExpr(b, false, [&](const sql::Expr& e) {
             if (e.kind != sql::ExprKind::kColumnRef) return;
-            std::string q = e.TableQualifier();
+            std::string_view q = e.TableQualifier();
             if (!q.empty() && EqualsIgnoreCase(q, src.binding)) touches_new = true;
             if (q.empty() && src.schema->ColumnIndex(e.ColumnName()) >= 0) {
               bool elsewhere = false;
@@ -1100,7 +1100,7 @@ Status Executor::ValidateRow(Table& table, const Row& row, size_t self_slot) {
 
 Result<QueryResult> Executor::ExecuteInsert(const sql::InsertStatement& stmt) {
   Table* table = db_->GetTable(stmt.table);
-  if (table == nullptr) return Result<QueryResult>::Error("no such table: " + stmt.table);
+  if (table == nullptr) return Result<QueryResult>::Error("no such table: " + std::string(stmt.table));
   const TableSchema& schema = table->schema();
 
   // Resolve the target column positions.
@@ -1110,7 +1110,7 @@ Result<QueryResult> Executor::ExecuteInsert(const sql::InsertStatement& stmt) {
   } else {
     for (const auto& col : stmt.columns) {
       int ci = schema.ColumnIndex(col);
-      if (ci < 0) return Result<QueryResult>::Error("no such column: " + col);
+      if (ci < 0) return Result<QueryResult>::Error("no such column: " + std::string(col));
       positions.push_back(ci);
     }
   }
@@ -1139,7 +1139,7 @@ Result<QueryResult> Executor::ExecuteInsert(const sql::InsertStatement& stmt) {
     if (source_row.size() != positions.size()) {
       return Result<QueryResult>::Error(
           "INSERT value count " + std::to_string(source_row.size()) + " does not match " +
-          std::to_string(positions.size()) + " target columns on " + stmt.table);
+          std::to_string(positions.size()) + " target columns on " + std::string(stmt.table));
     }
     Row full(schema.columns.size(), Value::Null_());
     for (size_t k = 0; k < positions.size(); ++k) {
@@ -1178,9 +1178,9 @@ Result<QueryResult> Executor::ExecuteUpdate(const sql::UpdateStatement& original
   auto& stmt = static_cast<sql::UpdateStatement&>(*owned);
 
   Table* table = db_->GetTable(stmt.table);
-  if (table == nullptr) return Result<QueryResult>::Error("no such table: " + stmt.table);
+  if (table == nullptr) return Result<QueryResult>::Error("no such table: " + std::string(stmt.table));
   const TableSchema& schema = table->schema();
-  std::string binding = stmt.alias.empty() ? stmt.table : stmt.alias;
+  std::string binding(stmt.alias.empty() ? stmt.table : stmt.alias);
 
   if (stmt.where) {
     Status s = FlattenSubqueries(stmt.where.get());
@@ -1235,7 +1235,7 @@ Result<QueryResult> Executor::ExecuteUpdate(const sql::UpdateStatement& original
     scope.BindRow(0, &table->RowAt(slot));
     for (const auto& [col, expr] : stmt.assignments) {
       int ci = schema.ColumnIndex(col);
-      if (ci < 0) return Result<QueryResult>::Error("no such column: " + col);
+      if (ci < 0) return Result<QueryResult>::Error("no such column: " + std::string(col));
       auto v = Eval(*expr, scope);
       if (!v.ok()) return v.status();
       updated[static_cast<size_t>(ci)] =
@@ -1329,7 +1329,7 @@ Result<QueryResult> Executor::ExecuteDelete(const sql::DeleteStatement& original
   auto& stmt = static_cast<sql::DeleteStatement&>(*owned);
 
   Table* table = db_->GetTable(stmt.table);
-  if (table == nullptr) return Result<QueryResult>::Error("no such table: " + stmt.table);
+  if (table == nullptr) return Result<QueryResult>::Error("no such table: " + std::string(stmt.table));
 
   if (stmt.where) {
     Status s = FlattenSubqueries(stmt.where.get());
@@ -1338,7 +1338,7 @@ Result<QueryResult> Executor::ExecuteDelete(const sql::DeleteStatement& original
 
   EvalScope scope;
   scope.rng = &rng_;
-  scope.AddSource(stmt.table, &table->schema());
+  scope.AddSource(std::string(stmt.table), &table->schema());
 
   // Index fast path on an equality conjunct, then residual filtering.
   std::vector<size_t> candidates;
@@ -1409,7 +1409,7 @@ Result<QueryResult> Executor::ExecuteCreateTable(const sql::CreateTableStatement
 
 Result<QueryResult> Executor::ExecuteCreateIndex(const sql::CreateIndexStatement& stmt) {
   Table* table = db_->GetTable(stmt.table);
-  if (table == nullptr) return Result<QueryResult>::Error("no such table: " + stmt.table);
+  if (table == nullptr) return Result<QueryResult>::Error("no such table: " + std::string(stmt.table));
   if (stmt.if_not_exists) {
     for (const auto& index : table->indexes()) {
       if (EqualsIgnoreCase(index->schema().name, stmt.index)) return QueryResult{};
@@ -1418,7 +1418,7 @@ Result<QueryResult> Executor::ExecuteCreateIndex(const sql::CreateIndexStatement
   IndexSchema schema;
   schema.name = stmt.index;
   schema.table = stmt.table;
-  schema.columns = stmt.columns;
+  schema.columns = sql::ToStringVector(stmt.columns);
   schema.unique = stmt.unique;
   Status s = table->CreateIndex(schema);
   if (!s.ok()) return s;
@@ -1429,7 +1429,7 @@ Result<QueryResult> Executor::ExecuteAlterTable(const sql::AlterTableStatement& 
   Table* table = db_->GetTable(stmt.table);
   if (table == nullptr) {
     if (stmt.if_exists) return QueryResult{};
-    return Result<QueryResult>::Error("no such table: " + stmt.table);
+    return Result<QueryResult>::Error("no such table: " + std::string(stmt.table));
   }
   TableSchema& schema = table->schema_mutable();
 
@@ -1496,11 +1496,11 @@ Result<QueryResult> Executor::ExecuteAlterTable(const sql::AlterTableStatement& 
           return QueryResult{};
         }
         case sql::TableConstraintKind::kPrimaryKey: {
-          schema.primary_key = con.columns;
+          schema.primary_key = sql::ToStringVector(con.columns);
           IndexSchema pk_index;
           pk_index.name = "pk_" + ToLower(schema.name);
           pk_index.table = schema.name;
-          pk_index.columns = con.columns;
+          pk_index.columns = sql::ToStringVector(con.columns);
           pk_index.unique = true;
           pk_index.system = true;
           Status s = table->CreateIndex(pk_index);
@@ -1510,9 +1510,9 @@ Result<QueryResult> Executor::ExecuteAlterTable(const sql::AlterTableStatement& 
         case sql::TableConstraintKind::kForeignKey: {
           ForeignKeySchema fk;
           fk.name = con.name;
-          fk.columns = con.columns;
+          fk.columns = sql::ToStringVector(con.columns);
           fk.ref_table = con.reference.table;
-          fk.ref_columns = con.reference.columns;
+          fk.ref_columns = sql::ToStringVector(con.reference.columns);
           fk.on_delete_cascade = con.reference.on_delete_cascade;
           // Validate existing rows (full scan, like a real ADD CONSTRAINT).
           schema.foreign_keys.push_back(fk);
@@ -1529,7 +1529,7 @@ Result<QueryResult> Executor::ExecuteAlterTable(const sql::AlterTableStatement& 
           return QueryResult{};
         }
         case sql::TableConstraintKind::kUnique: {
-          schema.unique_constraints.push_back(con.columns);
+          schema.unique_constraints.push_back(sql::ToStringVector(con.columns));
           return QueryResult{};
         }
       }
@@ -1545,13 +1545,13 @@ Result<QueryResult> Executor::ExecuteAlterTable(const sql::AlterTableStatement& 
       });
       size_t after = schema.checks.size() + schema.foreign_keys.size();
       if (before == after && !stmt.if_exists) {
-        return Result<QueryResult>::Error("no such constraint: " + stmt.target_name);
+        return Result<QueryResult>::Error("no such constraint: " + std::string(stmt.target_name));
       }
       return QueryResult{};
     }
     case sql::AlterAction::kAlterColumnType: {
       int ci = schema.ColumnIndex(stmt.column.name);
-      if (ci < 0) return Result<QueryResult>::Error("no such column: " + stmt.column.name);
+      if (ci < 0) return Result<QueryResult>::Error("no such column: " + std::string(stmt.column.name));
       DataType new_type = DataType::FromTypeName(stmt.column.type);
       schema.columns[static_cast<size_t>(ci)].type = new_type;
       // Rewrite every value (full-table cost, as in a real ALTER TYPE).
@@ -1565,7 +1565,7 @@ Result<QueryResult> Executor::ExecuteAlterTable(const sql::AlterTableStatement& 
     }
     case sql::AlterAction::kRenameColumn: {
       int ci = schema.ColumnIndex(stmt.target_name);
-      if (ci < 0) return Result<QueryResult>::Error("no such column: " + stmt.target_name);
+      if (ci < 0) return Result<QueryResult>::Error("no such column: " + std::string(stmt.target_name));
       schema.columns[static_cast<size_t>(ci)].name = stmt.new_name;
       for (auto& pk : schema.primary_key) {
         if (EqualsIgnoreCase(pk, stmt.target_name)) pk = stmt.new_name;

@@ -50,7 +50,7 @@ bool LikeMatch(const std::string& text, const std::string& pattern, bool case_in
   return LikeMatchAt(text, 0, pattern, 0, case_insensitive);
 }
 
-bool HasWordBoundaryMarkers(const std::string& pattern) {
+bool HasWordBoundaryMarkers(std::string_view pattern) {
   return pattern.find("[[:<:]]") != std::string::npos ||
          pattern.find("[[:>:]]") != std::string::npos;
 }

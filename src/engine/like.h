@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 namespace sqlcheck {
 
@@ -15,7 +16,7 @@ bool LikeMatch(const std::string& text, const std::string& pattern,
 bool WordBoundaryMatch(const std::string& text, const std::string& pattern);
 
 /// \brief True if the pattern uses the word-boundary marker syntax.
-bool HasWordBoundaryMarkers(const std::string& pattern);
+bool HasWordBoundaryMarkers(std::string_view pattern);
 
 /// \brief Dispatch helper: word-boundary match when markers are present,
 /// plain LIKE otherwise.

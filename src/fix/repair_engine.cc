@@ -15,7 +15,7 @@ void WrapConcatNulls(sql::Expr* e, const Context& context,
       (e->kind == sql::ExprKind::kFunction && EqualsIgnoreCase(e->text, "concat"));
   for (auto& child : e->children) {
     if ((under_concat || concat_here) && child->kind == sql::ExprKind::kColumnRef) {
-      std::string table = child->TableQualifier();
+      std::string table(child->TableQualifier());
       if (table.empty()) table = default_table;
       if (context.ColumnNullable(table, child->ColumnName())) {
         std::vector<sql::ExprPtr> args;
@@ -44,7 +44,7 @@ std::vector<std::string> ImpactedQueries(const Context& context, const std::stri
         facts->kind == sql::StatementKind::kCreateIndex) {
       continue;
     }
-    out.push_back(facts->raw_sql);
+    out.emplace_back(facts->raw_sql);
   }
   return out;
 }
@@ -57,8 +57,7 @@ std::string PkCandidate(const Context& context, const std::string& table) {
   const TableProfile* profile = context.ProfileFor(table);
   std::string fallback;
   for (const auto& col : schema->columns) {
-    std::string lower = ToLower(col.name);
-    bool idish = lower == "id" || lower.ends_with("_id");
+    bool idish = EqualsIgnoreCase(col.name, "id") || EndsWithIgnoreCase(col.name, "_id");
     bool unique_in_data = false;
     if (profile != nullptr) {
       const ColumnStats* stats = profile->stats.FindColumn(col.name);
@@ -92,7 +91,8 @@ Fix RepairEngine::SuggestFix(const Detection& d, const Context& context) const {
            insert->rows[0].size() == schema->columns.size())) {
         auto cloned = insert->CloneStatement();
         auto* fixed = static_cast<sql::InsertStatement*>(cloned.get());
-        fixed->columns = schema->ColumnNames();
+        fixed->columns.clear();
+        for (const auto& c : schema->columns) fixed->columns.emplace_back(c.name);
         fix.kind = FixKind::kRewrite;
         fix.statements.push_back(sql::PrintStatement(*fixed));
         fix.explanation = "named the target columns explicitly so the INSERT survives "
@@ -111,7 +111,9 @@ Fix RepairEngine::SuggestFix(const Detection& d, const Context& context) const {
       bool expandable = select != nullptr;
       std::vector<std::string> columns;
       if (select != nullptr) {
-        for (const auto& table : select->ReferencedTables()) {
+        std::vector<std::string_view> tables;
+        select->CollectReferencedTables(&tables);
+        for (std::string_view table : tables) {
           const TableSchema* schema = context.catalog().FindTable(table);
           if (schema == nullptr) {
             expandable = false;
@@ -122,7 +124,7 @@ Fix RepairEngine::SuggestFix(const Detection& d, const Context& context) const {
       }
       if (expandable && !columns.empty()) {
         auto cloned = select->CloneSelect();
-        std::vector<sql::SelectItem> items;
+        sql::AstVector<sql::SelectItem> items;
         for (auto& item : cloned->items) {
           if (item.expr->kind != sql::ExprKind::kStar) {
             items.push_back(std::move(item));
@@ -151,8 +153,8 @@ Fix RepairEngine::SuggestFix(const Detection& d, const Context& context) const {
           d.stmt != nullptr ? d.stmt->As<sql::SelectStatement>() : nullptr;
       if (select != nullptr) {
         auto cloned = select->CloneSelect();
-        std::string default_table =
-            cloned->from.size() == 1 ? cloned->from[0].name : "";
+        std::string default_table;
+        if (cloned->from.size() == 1) default_table = cloned->from[0].name;
         for (auto& item : cloned->items) {
           if (item.expr) WrapConcatNulls(item.expr.get(), context, default_table, false);
         }
@@ -184,7 +186,7 @@ Fix RepairEngine::SuggestFix(const Detection& d, const Context& context) const {
           d.stmt != nullptr ? d.stmt->As<sql::CreateIndexStatement>() : nullptr;
       if (create != nullptr) {
         fix.kind = FixKind::kRewrite;
-        fix.statements.push_back("DROP INDEX " + create->index + ";");
+        fix.statements.push_back("DROP INDEX " + std::string(create->index) + ";");
         fix.explanation = "dropped the redundant index; every write was paying its "
                           "maintenance cost (Fig. 8a shows ~10x slower UPDATEs)";
       } else {

@@ -23,9 +23,8 @@ double RankingModel::Score(const ApMetrics& m) const {
          weights_.a * static_cast<double>(m.accuracy);
 }
 
-RankedDetection RankingModel::ScoreDetection(const Detection& detection) const {
+RankedDetection RankingModel::ScoreDetection(Detection detection) const {
   RankedDetection ranked;
-  ranked.detection = detection;
   ranked.metrics = metrics_.For(detection.type);
 
   // Query-aware adjustment (§5.2): map the offending statement to the
@@ -46,14 +45,14 @@ RankedDetection RankingModel::ScoreDetection(const Detection& detection) const {
     }
   }
   ranked.score = Score(ranked.metrics);
+  ranked.detection = std::move(detection);
   return ranked;
 }
 
-std::vector<RankedDetection> RankingModel::Rank(
-    const std::vector<Detection>& detections) const {
+std::vector<RankedDetection> RankingModel::Rank(std::vector<Detection> detections) const {
   std::vector<RankedDetection> ranked;
   ranked.reserve(detections.size());
-  for (const Detection& d : detections) ranked.push_back(ScoreDetection(d));
+  for (Detection& d : detections) ranked.push_back(ScoreDetection(std::move(d)));
 
   if (mode_ == InterQueryMode::kByApCount) {
     // ❶ queries with more APs first; score breaks ties within and across.

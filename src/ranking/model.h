@@ -50,10 +50,10 @@ class RankingModel {
 
   /// Scores one detection using the metric store (query-aware: detections on
   /// read-only statements emphasize RP, write statements WP).
-  RankedDetection ScoreDetection(const Detection& detection) const;
+  RankedDetection ScoreDetection(Detection detection) const;
 
   /// Ranks all detections, highest impact first.
-  std::vector<RankedDetection> Rank(const std::vector<Detection>& detections) const;
+  std::vector<RankedDetection> Rank(std::vector<Detection> detections) const;
 
   const MetricsStore& metrics_store() const { return metrics_; }
   MetricsStore& metrics_store() { return metrics_; }

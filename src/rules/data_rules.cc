@@ -195,9 +195,9 @@ class InformationDuplicationRule final : public Rule {
     int age_idx = -1;
     int dob_idx = -1;
     for (size_t c = 0; c < columns.size(); ++c) {
-      std::string lower = ToLower(columns[c].name);
-      if (lower == "age") age_idx = static_cast<int>(c);
-      if (lower.find("birth") != std::string::npos || lower == "dob") {
+      std::string_view name = columns[c].name;
+      if (EqualsIgnoreCase(name, "age")) age_idx = static_cast<int>(c);
+      if (ContainsIgnoreCase(name, "birth") || EqualsIgnoreCase(name, "dob")) {
         dob_idx = static_cast<int>(c);
       }
     }
@@ -319,12 +319,10 @@ class NoDomainConstraintRule final : public Rule {
 
  private:
   static bool SoundsBounded(std::string_view name) {
-    std::string lower = ToLower(name);
-    return lower.find("rating") != std::string::npos ||
-           lower.find("score") != std::string::npos ||
-           lower.find("percent") != std::string::npos ||
-           lower.find("grade") != std::string::npos || lower == "stars" ||
-           lower == "priority" || lower == "level";
+    return ContainsIgnoreCase(name, "rating") || ContainsIgnoreCase(name, "score") ||
+           ContainsIgnoreCase(name, "percent") || ContainsIgnoreCase(name, "grade") ||
+           EqualsIgnoreCase(name, "stars") || EqualsIgnoreCase(name, "priority") ||
+           EqualsIgnoreCase(name, "level");
   }
   static bool HasCheckOn(const TableSchema& schema, const std::string& column) {
     for (const auto& check : schema.checks) {

@@ -21,10 +21,10 @@ bool IsProseColumnName(std::string_view name) {
 
 /// Column names that *sound* like packed value lists.
 bool SoundsLikeValueList(std::string_view name) {
-  std::string lower = ToLower(name);
-  return lower.size() > 3 &&
-         (lower.ends_with("_ids") || lower.ends_with("ids") || lower.ends_with("_list") ||
-          lower.ends_with("_tags") || lower == "tags");
+  return name.size() > 3 &&
+         (EndsWithIgnoreCase(name, "_ids") || EndsWithIgnoreCase(name, "ids") ||
+          EndsWithIgnoreCase(name, "_list") || EndsWithIgnoreCase(name, "_tags") ||
+          EqualsIgnoreCase(name, "tags"));
 }
 
 const sql::CreateTableStatement* AsCreateTable(const QueryFacts& facts) {
@@ -77,7 +77,7 @@ class MultiValuedAttributeRule final : public Rule {
       d.column = p.column;
       d.query = facts.raw_sql;
       d.stmt = facts.stmt;
-      d.message = "column '" + p.column +
+      d.message = "column '" + std::string(p.column) +
                   "' is queried with pattern matching, suggesting a delimiter-separated "
                   "value list (violates 1NF); use an intersection table instead";
       out->push_back(std::move(d));
@@ -199,8 +199,9 @@ class NoForeignKeyRule final : public Rule {
       d.column = j.right_column;
       d.query = facts.raw_sql;
       d.stmt = facts.stmt;
-      d.message = "tables '" + j.left_table + "' and '" + j.right_table +
-                  "' are joined on " + j.left_column +
+      d.message = "tables '" + std::string(j.left_table) + "' and '" +
+                  std::string(j.right_table) + "' are joined on " +
+                  std::string(j.left_column) +
                   " but no FOREIGN KEY links them; referential integrity is unenforced";
       out->push_back(std::move(d));
       return;
@@ -215,11 +216,14 @@ class NoForeignKeyRule final : public Rule {
     // Column named <other_table>_id (or matching another table's PK) with no
     // FK recorded anywhere.
     for (const auto& col : schema->columns) {
-      std::string lower = ToLower(col.name);
-      if (!lower.ends_with("_id") || lower == "_id") continue;
-      std::string target = lower.substr(0, lower.size() - 3);
+      if (!EndsWithIgnoreCase(col.name, "_id") || EqualsIgnoreCase(col.name, "_id")) {
+        continue;
+      }
+      std::string_view target = std::string_view(col.name).substr(0, col.name.size() - 3);
       const TableSchema* parent = context.catalog().FindTable(target);
-      if (parent == nullptr) parent = context.catalog().FindTable(target + "s");
+      if (parent == nullptr) {
+        parent = context.catalog().FindTable(std::string(target) + "s");
+      }
       if (parent == nullptr || EqualsIgnoreCase(parent->name, profile.table)) continue;
       Detection d;
       d.type = type();
@@ -284,7 +288,7 @@ class GenericPrimaryKeyRule final : public Rule {
   }
 
  private:
-  void Emit(const std::string& table, const QueryFacts& facts,
+  void Emit(std::string_view table, const QueryFacts& facts,
             std::vector<Detection>* out) const {
     Detection d;
     d.type = type();
@@ -293,7 +297,7 @@ class GenericPrimaryKeyRule final : public Rule {
     d.column = "id";
     d.query = facts.raw_sql;
     d.stmt = facts.stmt;
-    d.message = "table '" + table + "' defines a generic primary key column 'id'";
+    d.message = "table '" + std::string(table) + "' defines a generic primary key column 'id'";
     out->push_back(std::move(d));
   }
 };
@@ -324,7 +328,7 @@ class DataInMetadataRule final : public Rule {
       d.table = create->table;
       d.query = facts.raw_sql;
       d.stmt = facts.stmt;
-      d.message = "table '" + create->table + "' defines " + std::to_string(series) +
+      d.message = "table '" + std::string(create->table) + "' defines " + std::to_string(series) +
                   " numbered sibling columns; the series index is data hiding in "
                   "metadata — move it into rows of a child table";
       out->push_back(std::move(d));
@@ -338,13 +342,13 @@ class DataInMetadataRule final : public Rule {
     if (schema == nullptr) return;
     int series = 0;
     for (const auto& col : schema->columns) {
-      std::string lower = ToLower(col.name);
+      std::string_view name = col.name;
       size_t digits = 0;
-      while (digits < lower.size() &&
-             std::isdigit(static_cast<unsigned char>(lower[lower.size() - 1 - digits]))) {
+      while (digits < name.size() &&
+             std::isdigit(static_cast<unsigned char>(name[name.size() - 1 - digits]))) {
         ++digits;
       }
-      if (digits > 0 && digits < lower.size()) ++series;
+      if (digits > 0 && digits < name.size()) ++series;
     }
     if (series >= 3) {
       Detection d;
@@ -362,7 +366,7 @@ class DataInMetadataRule final : public Rule {
   static int CountNumberedSeries(const sql::CreateTableStatement* create) {
     int count = 0;
     for (const auto& col : create->columns) {
-      const std::string& name = col.name;
+      std::string_view name = col.name;
       size_t digits = 0;
       while (digits < name.size() &&
              std::isdigit(static_cast<unsigned char>(name[name.size() - 1 - digits]))) {
@@ -390,7 +394,7 @@ class AdjacencyListRule final : public Rule {
     if (!config.intra_query) return;
     const auto* create = AsCreateTable(facts);
     if (create == nullptr) return;
-    auto emit = [&](const std::string& column) {
+    auto emit = [&](std::string_view column) {
       Detection d;
       d.type = type();
       d.source = DetectionSource::kIntraQuery;
@@ -398,7 +402,8 @@ class AdjacencyListRule final : public Rule {
       d.column = column;
       d.query = facts.raw_sql;
       d.stmt = facts.stmt;
-      d.message = "table '" + create->table + "' references itself via '" + column +
+      d.message = "table '" + std::string(create->table) + "' references itself via '" +
+                  std::string(column) +
                   "' (adjacency list); hierarchical queries will need recursive "
                   "traversal — consider a path enumeration or closure table";
       out->push_back(std::move(d));
@@ -443,7 +448,7 @@ class GodTableRule final : public Rule {
     d.table = create->table;
     d.query = facts.raw_sql;
     d.stmt = facts.stmt;
-    d.message = "table '" + create->table + "' defines " +
+    d.message = "table '" + std::string(create->table) + "' defines " +
                 std::to_string(create->columns.size()) +
                 " columns (threshold " + std::to_string(config.god_table_columns) +
                 "); it likely conflates several entities";

@@ -41,7 +41,7 @@ class RoundingErrorsRule final : public Rule {
       d.column = col.name;
       d.query = facts.raw_sql;
       d.stmt = facts.stmt;
-      d.message = "column '" + col.name + "' stores fractional data as " + t.ToSql() +
+      d.message = "column '" + std::string(col.name) + "' stores fractional data as " + t.ToSql() +
                   "; binary floating point drifts under aggregation — use NUMERIC/DECIMAL";
       out->push_back(std::move(d));
     }
@@ -174,8 +174,8 @@ class EnumeratedTypesRule final : public Rule {
     return column;
   }
 
-  void Emit(const std::string& table, const std::string& column, const QueryFacts& facts,
-            const std::string& how, std::vector<Detection>* out) const {
+  void Emit(std::string_view table, std::string_view column, const QueryFacts& facts,
+            std::string_view how, std::vector<Detection>* out) const {
     Detection d;
     d.type = type();
     d.source = DetectionSource::kIntraQuery;
@@ -183,7 +183,8 @@ class EnumeratedTypesRule final : public Rule {
     d.column = column;
     d.query = facts.raw_sql;
     d.stmt = facts.stmt;
-    d.message = "column '" + column + "' restricts its domain via " + how +
+    d.message = "column '" + std::string(column) + "' restricts its domain via " +
+                std::string(how) +
                 "; renaming or extending values requires DDL — use a lookup table";
     out->push_back(std::move(d));
   }
@@ -257,10 +258,9 @@ class ExternalDataStorageRule final : public Rule {
 
  private:
   static bool SoundsLikePath(std::string_view name) {
-    std::string lower = ToLower(name);
-    return lower.find("path") != std::string::npos ||
-           lower.find("filename") != std::string::npos || lower == "file" ||
-           lower.ends_with("_file") || lower.ends_with("_url") || lower == "url";
+    return ContainsIgnoreCase(name, "path") || ContainsIgnoreCase(name, "filename") ||
+           EqualsIgnoreCase(name, "file") || EndsWithIgnoreCase(name, "_file") ||
+           EndsWithIgnoreCase(name, "_url") || EqualsIgnoreCase(name, "url");
   }
   static bool LooksLikeFilePath(const std::string& s) {
     if (s.size() < 3) return false;
@@ -300,7 +300,7 @@ class IndexOveruseRule final : public Rule {
       d.table = create->table;
       d.query = facts.raw_sql;
       d.stmt = facts.stmt;
-      d.message = "table '" + create->table + "' carries " +
+      d.message = "table '" + std::string(create->table) + "' carries " +
                   std::to_string(user_indexes.size()) +
                   " user indexes; every write must maintain all of them";
       out->push_back(std::move(d));
@@ -330,7 +330,7 @@ class IndexOveruseRule final : public Rule {
       d.column = create->columns.empty() ? "" : create->columns[0];
       d.query = facts.raw_sql;
       d.stmt = facts.stmt;
-      d.message = "index '" + create->index + "' is a prefix of '" + other->name +
+      d.message = "index '" + std::string(create->index) + "' is a prefix of '" + other->name +
                   "' and the workload never needs it separately";
       out->push_back(std::move(d));
       return;
@@ -338,8 +338,8 @@ class IndexOveruseRule final : public Rule {
   }
 
  private:
-  static bool AnyQueryUsesLeadingAlone(const Context& context, const std::string& table,
-                                       const std::string& leading,
+  static bool AnyQueryUsesLeadingAlone(const Context& context, std::string_view table,
+                                       std::string_view leading,
                                        const std::vector<std::string>& composite) {
     for (const QueryFacts* facts : context.QueriesReferencing(table)) {
       bool has_leading = false;
@@ -371,7 +371,7 @@ class IndexUnderuseRule final : public Rule {
     if (!config.inter_query) return;
     // Performance-critical access paths: equality predicates, join keys, and
     // GROUP BY columns without a supporting index.
-    auto consider = [&](const std::string& table, const std::string& column,
+    auto consider = [&](std::string_view table, std::string_view column,
                         const char* role) {
       if (table.empty() || column.empty()) return;
       const TableSchema* schema = context.catalog().FindTable(table);
@@ -408,8 +408,8 @@ class IndexUnderuseRule final : public Rule {
       d.column = column;
       d.query = facts.raw_sql;
       d.stmt = facts.stmt;
-      d.message = "column '" + table + "." + column + "' is used as a " + role +
-                  " but has no index";
+      d.message = "column '" + std::string(table) + "." + std::string(column) +
+                  "' is used as a " + role + " but has no index";
       out->push_back(std::move(d));
     };
 
@@ -462,7 +462,7 @@ class CloneTableRule final : public Rule {
         d.table = create->table;
         d.query = facts.raw_sql;
         d.stmt = facts.stmt;
-        d.message = "tables '" + create->table + "' and '" + other->name +
+        d.message = "tables '" + std::string(create->table) + "' and '" + other->name +
                     "' are clones of '" + base +
                     "_N'; the suffix is data — fold it into a column";
         out->push_back(std::move(d));

@@ -7,12 +7,12 @@ namespace sqlcheck {
 namespace {
 
 Detection MakeDetection(AntiPattern type, DetectionSource source, const QueryFacts& facts,
-                        std::string table, std::string column, std::string message) {
+                        std::string_view table, std::string_view column, std::string message) {
   Detection d;
   d.type = type;
   d.source = source;
-  d.table = std::move(table);
-  d.column = std::move(column);
+  d.table = table;
+  d.column = column;
   d.query = facts.raw_sql;
   d.stmt = facts.stmt;
   d.message = std::move(message);
@@ -115,7 +115,7 @@ class PatternMatchingRule final : public Rule {
       if (!regex && !hostile_like) continue;
       out->push_back(MakeDetection(
           type(), DetectionSource::kIntraQuery, facts, p.table, p.column,
-          "predicate on '" + p.column + "' uses " + p.op +
+          "predicate on '" + std::string(p.column) + "' uses " + std::string(p.op) +
               (p.leading_wildcard ? " with a leading wildcard" : "") +
               "; it defeats indexes and scans every row — consider full-text search"));
       return;
@@ -218,7 +218,7 @@ class ReadablePasswordRule final : public Rule {
         if (!IsPasswordName(col.name)) continue;
         out->push_back(MakeDetection(
             type(), DetectionSource::kIntraQuery, facts, create->table, col.name,
-            "column '" + col.name +
+            "column '" + std::string(col.name) +
                 "' appears to store passwords; store salted hashes, never plaintext"));
         return;
       }
@@ -229,7 +229,7 @@ class ReadablePasswordRule final : public Rule {
       if ((p.op == "=" || p.op == "==") && IsPasswordName(p.column) && !p.literal.empty()) {
         out->push_back(MakeDetection(
             type(), DetectionSource::kIntraQuery, facts, p.table, p.column,
-            "query compares '" + p.column +
+            "query compares '" + std::string(p.column) +
                 "' to a plaintext literal; authenticate against a salted hash"));
         return;
       }
@@ -238,9 +238,8 @@ class ReadablePasswordRule final : public Rule {
 
  private:
   static bool IsPasswordName(std::string_view name) {
-    std::string lower = ToLower(name);
-    return lower == "password" || lower == "passwd" || lower == "pwd" ||
-           lower.ends_with("_password");
+    return EqualsIgnoreCase(name, "password") || EqualsIgnoreCase(name, "passwd") ||
+           EqualsIgnoreCase(name, "pwd") || EndsWithIgnoreCase(name, "_password");
   }
 };
 

@@ -155,15 +155,29 @@ std::vector<Detection> FanOutDetections(const Context& context, const QueryGroup
 
   std::vector<Detection> detections;
   detections.reserve(total);
+  std::vector<size_t> remaining(unique_count);
+  for (size_t u = 0; u < unique_count; ++u) remaining[u] = group_size[u];
   for (size_t i = 0; i < n; ++i) {
     size_t rep = groups.representative[i];
-    std::vector<Detection>& buffer = per_group[group_pos[rep]];
-    if (rep == i && group_size[group_pos[rep]] == 1) {
-      for (auto& d : buffer) detections.push_back(std::move(d));
+    size_t g = group_pos[rep];
+    std::vector<Detection>& buffer = per_group[g];
+    bool last_occurrence = --remaining[g] == 0;
+    if (rep == i) {
+      // The representative's detections are already correctly based; move
+      // them when no later duplicate still needs the originals.
+      if (last_occurrence) {
+        for (auto& d : buffer) detections.push_back(std::move(d));
+      } else {
+        for (const auto& d : buffer) detections.push_back(d);
+      }
       continue;
     }
-    if (rep == i) {
-      for (const auto& d : buffer) detections.push_back(d);
+    if (last_occurrence) {
+      // Final fan-out of this group: rebase the buffer in place and move it
+      // out instead of copying every string field one more time.
+      for (auto& d : buffer) {
+        detections.push_back(RebaseDetection(std::move(d), queries[rep], queries[i]));
+      }
       continue;
     }
     for (const auto& d : buffer) {

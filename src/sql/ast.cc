@@ -4,67 +4,89 @@
 
 namespace sqlcheck::sql {
 
+std::vector<std::string> ToStringVector(const AstVector<AstString>& v) {
+  std::vector<std::string> out;
+  out.reserve(v.size());
+  for (const auto& s : v) out.emplace_back(s);
+  return out;
+}
+
+// ----------------------------- AstDelete -----------------------------------
+
+void AstDelete::operator()(Expr* e) const {
+  // Arena-tier nodes are reclaimed wholesale by their arena; running their
+  // destructor would be wasted work (every member is arena-backed).
+  if (e != nullptr && !e->arena_managed) delete e;
+}
+
+void AstDelete::operator()(Statement* s) const {
+  if (s != nullptr && !s->arena_managed) delete s;
+}
+
 // --------------------------------- Expr -----------------------------------
 
-std::unique_ptr<Expr> Expr::Clone() const {
-  auto out = std::make_unique<Expr>();
+ExprPtr MakeExpr(ExprKind kind) {
+  ExprPtr e(new Expr());
+  e->kind = kind;
+  return e;
+}
+
+ExprPtr Expr::Clone() const {
+  ExprPtr out(new Expr());
   out->kind = kind;
   out->text = text;
-  out->name_parts = name_parts;
+  out->name_parts.reserve(name_parts.size());
+  for (const auto& p : name_parts) out->name_parts.emplace_back(p);
   out->negated = negated;
   out->distinct_arg = distinct_arg;
-  out->raw_tokens = raw_tokens;
   out->children.reserve(children.size());
   for (const auto& c : children) out->children.push_back(c->Clone());
   if (subquery) out->subquery = subquery->CloneSelect();
   return out;
 }
 
-std::string Expr::ColumnName() const {
-  if (kind != ExprKind::kColumnRef || name_parts.empty()) return "";
+std::string_view Expr::ColumnName() const {
+  if (kind != ExprKind::kColumnRef || name_parts.empty()) return {};
   return name_parts.back();
 }
 
-std::string Expr::TableQualifier() const {
-  if (kind != ExprKind::kColumnRef || name_parts.size() < 2) return "";
+std::string_view Expr::TableQualifier() const {
+  if (kind != ExprKind::kColumnRef || name_parts.size() < 2) return {};
   return name_parts[name_parts.size() - 2];
 }
 
 ExprPtr MakeColumnRef(std::vector<std::string> name_parts) {
-  auto e = std::make_unique<Expr>();
-  e->kind = ExprKind::kColumnRef;
-  e->name_parts = std::move(name_parts);
+  ExprPtr e = MakeExpr(ExprKind::kColumnRef);
+  e->name_parts.reserve(name_parts.size());
+  for (auto& p : name_parts) e->name_parts.emplace_back(p);
   return e;
 }
 
 ExprPtr MakeStringLiteral(std::string value) {
-  auto e = std::make_unique<Expr>();
-  e->kind = ExprKind::kStringLiteral;
-  e->text = std::move(value);
+  ExprPtr e = MakeExpr(ExprKind::kStringLiteral);
+  e->text = value;
   return e;
 }
 
 ExprPtr MakeNumberLiteral(std::string value) {
-  auto e = std::make_unique<Expr>();
-  e->kind = ExprKind::kNumberLiteral;
-  e->text = std::move(value);
+  ExprPtr e = MakeExpr(ExprKind::kNumberLiteral);
+  e->text = value;
   return e;
 }
 
 ExprPtr MakeBinary(std::string op, ExprPtr lhs, ExprPtr rhs) {
-  auto e = std::make_unique<Expr>();
-  e->kind = ExprKind::kBinary;
-  e->text = std::move(op);
+  ExprPtr e = MakeExpr(ExprKind::kBinary);
+  e->text = op;
   e->children.push_back(std::move(lhs));
   e->children.push_back(std::move(rhs));
   return e;
 }
 
 ExprPtr MakeFunction(std::string name, std::vector<ExprPtr> args) {
-  auto e = std::make_unique<Expr>();
-  e->kind = ExprKind::kFunction;
-  e->text = std::move(name);
-  e->children = std::move(args);
+  ExprPtr e = MakeExpr(ExprKind::kFunction);
+  e->text = name;
+  e->children.reserve(args.size());
+  for (auto& a : args) e->children.push_back(std::move(a));
   return e;
 }
 
@@ -131,7 +153,8 @@ JoinClause JoinClause::Clone() const {
   out.type = type;
   out.table = table.Clone();
   if (on) out.on = on->Clone();
-  out.using_columns = using_columns;
+  out.using_columns.reserve(using_columns.size());
+  for (const auto& c : using_columns) out.using_columns.emplace_back(c);
   return out;
 }
 
@@ -149,39 +172,47 @@ OrderItem OrderItem::Clone() const {
   return out;
 }
 
-std::unique_ptr<SelectStatement> SelectStatement::CloneSelect() const {
-  auto out = std::make_unique<SelectStatement>();
+SelectPtr SelectStatement::CloneSelect() const {
+  SelectPtr out(new SelectStatement());
   out->raw_sql = raw_sql;
   out->distinct = distinct;
+  out->items.reserve(items.size());
   for (const auto& i : items) out->items.push_back(i.Clone());
+  out->from.reserve(from.size());
   for (const auto& f : from) out->from.push_back(f.Clone());
+  out->joins.reserve(joins.size());
   for (const auto& j : joins) out->joins.push_back(j.Clone());
   if (where) out->where = where->Clone();
+  out->group_by.reserve(group_by.size());
   for (const auto& g : group_by) out->group_by.push_back(g->Clone());
   if (having) out->having = having->Clone();
+  out->order_by.reserve(order_by.size());
   for (const auto& o : order_by) out->order_by.push_back(o.Clone());
   out->limit = limit;
   out->offset = offset;
   return out;
 }
 
+StatementPtr SelectStatement::CloneStatement() const { return CloneSelect(); }
+
 std::vector<std::string> SelectStatement::ReferencedTables() const {
+  std::vector<std::string_view> views;
+  CollectReferencedTables(&views);
   std::vector<std::string> out;
+  out.reserve(views.size());
+  for (std::string_view v : views) out.emplace_back(v);
+  return out;
+}
+
+void SelectStatement::CollectReferencedTables(std::vector<std::string_view>* out) const {
   for (const auto& f : from) {
-    if (!f.name.empty()) out.push_back(f.name);
-    if (f.subquery) {
-      auto inner = f.subquery->ReferencedTables();
-      out.insert(out.end(), inner.begin(), inner.end());
-    }
+    if (!f.name.empty()) out->push_back(f.name);
+    if (f.subquery) f.subquery->CollectReferencedTables(out);
   }
   for (const auto& j : joins) {
-    if (!j.table.name.empty()) out.push_back(j.table.name);
-    if (j.table.subquery) {
-      auto inner = j.table.subquery->ReferencedTables();
-      out.insert(out.end(), inner.begin(), inner.end());
-    }
+    if (!j.table.name.empty()) out->push_back(j.table.name);
+    if (j.table.subquery) j.table.subquery->CollectReferencedTables(out);
   }
-  return out;
 }
 
 int SelectStatement::JoinCount() const {
@@ -190,47 +221,54 @@ int SelectStatement::JoinCount() const {
 }
 
 StatementPtr InsertStatement::CloneStatement() const {
-  auto out = std::make_unique<InsertStatement>();
+  auto* out = new InsertStatement();
   out->raw_sql = raw_sql;
   out->table = table;
-  out->columns = columns;
+  out->columns.reserve(columns.size());
+  for (const auto& c : columns) out->columns.emplace_back(c);
+  out->rows.reserve(rows.size());
   for (const auto& row : rows) {
-    std::vector<ExprPtr> r;
+    AstVector<ExprPtr> r;
+    r.reserve(row.size());
     for (const auto& e : row) r.push_back(e->Clone());
     out->rows.push_back(std::move(r));
   }
   if (select) out->select = select->CloneSelect();
   out->or_replace = or_replace;
-  return out;
+  return StatementPtr(out);
 }
 
 StatementPtr UpdateStatement::CloneStatement() const {
-  auto out = std::make_unique<UpdateStatement>();
+  auto* out = new UpdateStatement();
   out->raw_sql = raw_sql;
   out->table = table;
   out->alias = alias;
+  out->assignments.reserve(assignments.size());
   for (const auto& [col, e] : assignments) {
-    out->assignments.emplace_back(col, e->Clone());
+    out->assignments.emplace_back(std::piecewise_construct, std::forward_as_tuple(col),
+                                  std::forward_as_tuple(e->Clone()));
   }
   if (where) out->where = where->Clone();
-  return out;
+  return StatementPtr(out);
 }
 
 StatementPtr DeleteStatement::CloneStatement() const {
-  auto out = std::make_unique<DeleteStatement>();
+  auto* out = new DeleteStatement();
   out->raw_sql = raw_sql;
   out->table = table;
   if (where) out->where = where->Clone();
-  return out;
+  return StatementPtr(out);
 }
 
 std::string TypeName::ToString() const {
-  std::string out = name;
+  std::string out(name);
   if (!enum_values.empty()) {
     out += "(";
     for (size_t i = 0; i < enum_values.size(); ++i) {
       if (i > 0) out += ", ";
-      out += "'" + enum_values[i] + "'";
+      out += "'";
+      out += enum_values[i];
+      out += "'";
     }
     out += ")";
   } else if (!params.empty()) {
@@ -255,7 +293,14 @@ ColumnDefAst ColumnDefAst::Clone() const {
   out.auto_increment = auto_increment;
   if (default_value) out.default_value = default_value->Clone();
   if (check) out.check = check->Clone();
-  out.references = references;
+  if (references.has_value()) {
+    ForeignKeyRefAst ref;
+    ref.table = references->table;
+    ref.columns.reserve(references->columns.size());
+    for (const auto& c : references->columns) ref.columns.emplace_back(c);
+    ref.on_delete_cascade = references->on_delete_cascade;
+    out.references = std::move(ref);
+  }
   return out;
 }
 
@@ -263,20 +308,26 @@ TableConstraintAst TableConstraintAst::Clone() const {
   TableConstraintAst out;
   out.kind = kind;
   out.name = name;
-  out.columns = columns;
-  out.reference = reference;
+  out.columns.reserve(columns.size());
+  for (const auto& c : columns) out.columns.emplace_back(c);
+  out.reference.table = reference.table;
+  out.reference.columns.reserve(reference.columns.size());
+  for (const auto& c : reference.columns) out.reference.columns.emplace_back(c);
+  out.reference.on_delete_cascade = reference.on_delete_cascade;
   if (check) out.check = check->Clone();
   return out;
 }
 
 StatementPtr CreateTableStatement::CloneStatement() const {
-  auto out = std::make_unique<CreateTableStatement>();
+  auto* out = new CreateTableStatement();
   out->raw_sql = raw_sql;
   out->table = table;
   out->if_not_exists = if_not_exists;
+  out->columns.reserve(columns.size());
   for (const auto& c : columns) out->columns.push_back(c.Clone());
+  out->constraints.reserve(constraints.size());
   for (const auto& c : constraints) out->constraints.push_back(c.Clone());
-  return out;
+  return StatementPtr(out);
 }
 
 const ColumnDefAst* CreateTableStatement::FindColumn(std::string_view name) const {
@@ -307,13 +358,19 @@ bool CreateTableStatement::HasForeignKey() const {
 }
 
 StatementPtr CreateIndexStatement::CloneStatement() const {
-  auto out = std::make_unique<CreateIndexStatement>();
-  *out = *this;  // all value members
-  return out;
+  auto* out = new CreateIndexStatement();
+  out->raw_sql = raw_sql;
+  out->index = index;
+  out->table = table;
+  out->columns.reserve(columns.size());
+  for (const auto& c : columns) out->columns.emplace_back(c);
+  out->unique = unique;
+  out->if_not_exists = if_not_exists;
+  return StatementPtr(out);
 }
 
 StatementPtr AlterTableStatement::CloneStatement() const {
-  auto out = std::make_unique<AlterTableStatement>();
+  auto* out = new AlterTableStatement();
   out->raw_sql = raw_sql;
   out->table = table;
   out->action = action;
@@ -322,26 +379,94 @@ StatementPtr AlterTableStatement::CloneStatement() const {
   out->new_name = new_name;
   out->constraint = constraint.Clone();
   out->if_exists = if_exists;
-  return out;
+  return StatementPtr(out);
 }
 
 StatementPtr DropTableStatement::CloneStatement() const {
-  auto out = std::make_unique<DropTableStatement>();
-  *out = *this;
-  return out;
+  auto* out = new DropTableStatement();
+  out->raw_sql = raw_sql;
+  out->table = table;
+  out->if_exists = if_exists;
+  return StatementPtr(out);
 }
 
 StatementPtr DropIndexStatement::CloneStatement() const {
-  auto out = std::make_unique<DropIndexStatement>();
-  *out = *this;
-  return out;
+  auto* out = new DropIndexStatement();
+  out->raw_sql = raw_sql;
+  out->index = index;
+  out->if_exists = if_exists;
+  return StatementPtr(out);
+}
+
+void UnknownStatement::AdoptTokens(const std::vector<Token>& source_tokens,
+                                   std::string_view lex_source) {
+  // raw_sql is the trimmed substring of lex_source; almost every
+  // non-normalized token text is a subview of lex_source within the trimmed
+  // range and rebases to a view of raw_sql. The exceptions — escape-stripped
+  // payloads, and the pathological unterminated-quote case whose body runs
+  // into the whitespace Trim removed — get owned copies instead, so the
+  // stored bytes always equal the lexed bytes.
+  const char* base = lex_source.data();
+  const size_t trim_offset =
+      raw_sql.empty() ? 0 : static_cast<size_t>(Trim(lex_source).data() - base);
+  std::string_view raw_view(raw_sql);
+
+  auto rebases_to_view = [&](const Token& t) {
+    if (t.normalized) return false;
+    if (t.text.empty()) return true;
+    size_t pos = static_cast<size_t>(t.text.data() - base);
+    return pos >= trim_offset && pos - trim_offset + t.text.size() <= raw_view.size();
+  };
+
+  size_t owned_count = 0;
+  for (const Token& t : source_tokens) owned_count += rebases_to_view(t) ? 0 : 1;
+  // Exact reserve: views into owned_texts stay valid because the vector
+  // never regrows after this.
+  owned_texts.clear();
+  owned_texts.reserve(owned_count);
+
+  tokens.clear();
+  tokens.reserve(source_tokens.size());
+  for (const Token& t : source_tokens) {
+    Token copy = t;
+    if (!rebases_to_view(t)) {
+      owned_texts.emplace_back(t.text);
+      copy.text = owned_texts.back();
+      copy.normalized = true;  // marks "text lives in owned_texts" for Clone
+    } else if (!t.text.empty()) {
+      size_t pos = static_cast<size_t>(t.text.data() - base);
+      copy.text = raw_view.substr(pos - trim_offset, t.text.size());
+    } else {
+      copy.text = {};
+    }
+    tokens.push_back(copy);
+  }
 }
 
 StatementPtr UnknownStatement::CloneStatement() const {
-  auto out = std::make_unique<UnknownStatement>();
+  auto* out = new UnknownStatement();
   out->raw_sql = raw_sql;
-  out->tokens = tokens;
-  return out;
+  // Rebase the token views onto the clone's own raw_sql / owned_texts;
+  // normalized payloads appear in token order, so a single index walks them.
+  out->owned_texts.reserve(owned_texts.size());
+  for (const auto& s : owned_texts) out->owned_texts.emplace_back(s);
+  out->tokens.reserve(tokens.size());
+  std::string_view from_raw(raw_sql);
+  std::string_view to_raw(out->raw_sql);
+  size_t owned_index = 0;
+  for (const Token& t : tokens) {
+    Token copy = t;
+    if (t.normalized) {
+      copy.text = out->owned_texts[owned_index++];
+    } else if (!t.text.empty()) {
+      size_t pos = static_cast<size_t>(t.text.data() - from_raw.data());
+      copy.text = to_raw.substr(pos, t.text.size());
+    } else {
+      copy.text = {};
+    }
+    out->tokens.push_back(copy);
+  }
+  return StatementPtr(out);
 }
 
 }  // namespace sqlcheck::sql

@@ -1,14 +1,69 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <memory_resource>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "sql/token.h"
 
 namespace sqlcheck::sql {
+
+// ---------------------------------------------------------------------------
+// Allocation model
+// ---------------------------------------------------------------------------
+//
+// AST nodes live in one of two tiers:
+//
+//  * Arena tier (the hot path): the parser places nodes in a Context-owned
+//    Arena and every string/vector member draws from the same arena through
+//    `std::pmr`. Nothing is heap-allocated per node, and nothing is freed
+//    per node either — `AstDelete` sees `arena_managed` and skips the
+//    destructor entirely; the arena reclaims everything wholesale. This is
+//    only safe because arena nodes never own heap memory, which is why every
+//    member below is a pmr type or a trivially-destructible value.
+//
+//  * Heap tier (tests, fix-engine clones, hand-built trees): default-
+//    constructed nodes use the default memory resource (new/delete) and
+//    `AstDelete` runs the normal destructor. Semantics are exactly the
+//    pre-arena ones.
+//
+// The two tiers share one node type; `ExprPtr`/`StatementPtr` carry the
+// stateless `AstDelete` so ownership code is identical in both. Do not mix
+// tiers inside one tree: a tree is uniformly arena (parser-built with an
+// arena) or uniformly heap (everything else).
+
+/// String/vector member types for AST nodes. `AstString` keeps short
+/// payloads inline (SSO) and spills long ones to the node's memory resource;
+/// it converts implicitly to `std::string_view` and assigns from any
+/// string-like, so most call sites read like plain `std::string`.
+using AstString = std::pmr::string;
+template <typename T>
+using AstVector = std::pmr::vector<T>;
+
+struct Expr;
+struct Statement;
+struct SelectStatement;
+
+/// Copies an AST string list into owned std::strings — the boundary helper
+/// for layers (catalog, facts, reports) that keep their own storage.
+std::vector<std::string> ToStringVector(const AstVector<AstString>& v);
+
+/// \brief Deleter shared by all AST owning pointers: deletes heap-tier
+/// nodes, leaves arena-tier nodes for their arena to reclaim.
+struct AstDelete {
+  void operator()(Expr* e) const;
+  void operator()(Statement* s) const;
+};
+
+using ExprPtr = std::unique_ptr<Expr, AstDelete>;
+using StatementPtr = std::unique_ptr<Statement, AstDelete>;
+using SelectPtr = std::unique_ptr<SelectStatement, AstDelete>;
 
 // ---------------------------------------------------------------------------
 // Expressions
@@ -38,38 +93,40 @@ enum class ExprKind {
   kExists,         ///< EXISTS (subquery).
   kSubquery,       ///< Scalar subquery.
   kCast,           ///< CAST(children[0] AS text) or children[0]::text.
-  kRaw,            ///< Unparsed token run — non-validating fallback.
+  kRaw,            ///< Unparsed fallback — non-validating placeholder.
 };
-
-struct SelectStatement;  // forward
 
 /// \brief One node of the expression tree.
 struct Expr {
   ExprKind kind = ExprKind::kRaw;
-  std::string text;                    ///< Operator / function name / literal payload.
-  std::vector<std::string> name_parts; ///< Column qualifier chain for kColumnRef/kStar.
-  std::vector<std::unique_ptr<Expr>> children;
-  std::unique_ptr<SelectStatement> subquery;  ///< For kSubquery/kExists/kIn-subquery.
   bool negated = false;        ///< NOT LIKE / NOT IN / NOT BETWEEN / IS NOT NULL.
   bool distinct_arg = false;   ///< COUNT(DISTINCT x) style.
-  std::vector<Token> raw_tokens;  ///< For kRaw.
+  bool arena_managed = false;  ///< Set by the parser for arena-tier nodes.
+  AstString text;                    ///< Operator / function name / literal payload.
+  AstVector<AstString> name_parts;   ///< Column qualifier chain for kColumnRef/kStar.
+  AstVector<ExprPtr> children;
+  SelectPtr subquery;                ///< For kSubquery/kExists/kIn-subquery.
 
   Expr() = default;
+  explicit Expr(std::pmr::memory_resource* mr)
+      : text(mr), name_parts(mr), children(mr) {}
   Expr(const Expr&) = delete;
   Expr& operator=(const Expr&) = delete;
 
-  /// Deep copy (fix rules transform copies, never the originals).
-  std::unique_ptr<Expr> Clone() const;
+  /// Deep copy onto the heap tier (fix rules transform copies, never the
+  /// originals; clones of arena nodes safely outlive the arena).
+  ExprPtr Clone() const;
 
-  /// Unqualified column name ("" when not a column ref).
-  std::string ColumnName() const;
+  /// Unqualified column name ("" when not a column ref). The view borrows
+  /// from this node.
+  std::string_view ColumnName() const;
   /// Table qualifier for a column ref ("" when unqualified).
-  std::string TableQualifier() const;
+  std::string_view TableQualifier() const;
 };
 
-using ExprPtr = std::unique_ptr<Expr>;
-
 /// Convenience constructors used by the parser, fix engine, and tests.
+/// Always heap-tier.
+ExprPtr MakeExpr(ExprKind kind);
 ExprPtr MakeColumnRef(std::vector<std::string> name_parts);
 ExprPtr MakeStringLiteral(std::string value);
 ExprPtr MakeNumberLiteral(std::string value);
@@ -103,31 +160,38 @@ const char* StatementKindName(StatementKind kind);
 enum class JoinType { kInner, kLeft, kRight, kFull, kCross };
 
 struct TableRef {
-  std::string name;   ///< Empty when this is a subquery source.
-  std::string alias;  ///< Empty when not aliased.
-  std::unique_ptr<SelectStatement> subquery;
+  AstString name;   ///< Empty when this is a subquery source.
+  AstString alias;  ///< Empty when not aliased.
+  SelectPtr subquery;
 
   TableRef() = default;
+  explicit TableRef(std::pmr::memory_resource* mr) : name(mr), alias(mr) {}
   TableRef(TableRef&&) = default;
   TableRef& operator=(TableRef&&) = default;
 
   TableRef Clone() const;
   /// The name queries refer to this source by (alias if set, else name).
-  const std::string& EffectiveName() const { return alias.empty() ? name : alias; }
+  const AstString& EffectiveName() const { return alias.empty() ? name : alias; }
 };
 
 struct JoinClause {
   JoinType type = JoinType::kInner;
   TableRef table;
   ExprPtr on;                          ///< Null for CROSS / USING joins.
-  std::vector<std::string> using_columns;
+  AstVector<AstString> using_columns;
+
+  JoinClause() = default;
+  explicit JoinClause(std::pmr::memory_resource* mr) : table(mr), using_columns(mr) {}
 
   JoinClause Clone() const;
 };
 
 struct SelectItem {
   ExprPtr expr;
-  std::string alias;
+  AstString alias;
+
+  SelectItem() = default;
+  explicit SelectItem(std::pmr::memory_resource* mr) : alias(mr) {}
 
   SelectItem Clone() const;
 };
@@ -142,12 +206,18 @@ struct OrderItem {
 /// \brief Base statement. Concrete statements derive and carry their clauses.
 struct Statement {
   StatementKind kind = StatementKind::kUnknown;
-  std::string raw_sql;  ///< Original text (trimmed), kept for reporting.
+  bool arena_managed = false;  ///< Set by the parser for arena-tier nodes.
+  AstString raw_sql;  ///< Original text (trimmed), kept for reporting. Owned
+                      ///< by the statement; stable for the statement's life.
 
   explicit Statement(StatementKind k) : kind(k) {}
+  Statement(StatementKind k, std::pmr::memory_resource* mr) : kind(k), raw_sql(mr) {}
+  Statement(const Statement&) = delete;
+  Statement& operator=(const Statement&) = delete;
   virtual ~Statement() = default;
 
-  virtual std::unique_ptr<Statement> CloneStatement() const = 0;
+  /// Deep copy onto the heap tier.
+  virtual StatementPtr CloneStatement() const = 0;
 
   template <typename T>
   const T* As() const {
@@ -159,28 +229,31 @@ struct Statement {
   }
 };
 
-using StatementPtr = std::unique_ptr<Statement>;
-
 struct SelectStatement : Statement {
   static constexpr StatementKind kKind = StatementKind::kSelect;
   SelectStatement() : Statement(kKind) {}
+  explicit SelectStatement(std::pmr::memory_resource* mr)
+      : Statement(kKind, mr), items(mr), from(mr), joins(mr), group_by(mr), order_by(mr) {}
 
   bool distinct = false;
-  std::vector<SelectItem> items;
-  std::vector<TableRef> from;  ///< Comma-separated sources (implicit cross join).
-  std::vector<JoinClause> joins;
+  AstVector<SelectItem> items;
+  AstVector<TableRef> from;  ///< Comma-separated sources (implicit cross join).
+  AstVector<JoinClause> joins;
   ExprPtr where;
-  std::vector<ExprPtr> group_by;
+  AstVector<ExprPtr> group_by;
   ExprPtr having;
-  std::vector<OrderItem> order_by;
+  AstVector<OrderItem> order_by;
   std::optional<int64_t> limit;
   std::optional<int64_t> offset;
 
-  std::unique_ptr<SelectStatement> CloneSelect() const;
-  StatementPtr CloneStatement() const override { return CloneSelect(); }
+  SelectPtr CloneSelect() const;
+  StatementPtr CloneStatement() const override;
 
   /// All source names (tables + join tables), in syntactic order.
   std::vector<std::string> ReferencedTables() const;
+  /// View-based variant for hot paths: appends instead of allocating a
+  /// fresh vector; views borrow from this statement.
+  void CollectReferencedTables(std::vector<std::string_view>* out) const;
   /// Total number of JOIN clauses (explicit joins + implicit comma joins).
   int JoinCount() const;
 };
@@ -188,11 +261,13 @@ struct SelectStatement : Statement {
 struct InsertStatement : Statement {
   static constexpr StatementKind kKind = StatementKind::kInsert;
   InsertStatement() : Statement(kKind) {}
+  explicit InsertStatement(std::pmr::memory_resource* mr)
+      : Statement(kKind, mr), table(mr), columns(mr), rows(mr) {}
 
-  std::string table;
-  std::vector<std::string> columns;  ///< Empty => implicit column list (an AP!).
-  std::vector<std::vector<ExprPtr>> rows;
-  std::unique_ptr<SelectStatement> select;  ///< INSERT ... SELECT form.
+  AstString table;
+  AstVector<AstString> columns;  ///< Empty => implicit column list (an AP!).
+  AstVector<AstVector<ExprPtr>> rows;
+  SelectPtr select;  ///< INSERT ... SELECT form.
   bool or_replace = false;
 
   StatementPtr CloneStatement() const override;
@@ -201,10 +276,12 @@ struct InsertStatement : Statement {
 struct UpdateStatement : Statement {
   static constexpr StatementKind kKind = StatementKind::kUpdate;
   UpdateStatement() : Statement(kKind) {}
+  explicit UpdateStatement(std::pmr::memory_resource* mr)
+      : Statement(kKind, mr), table(mr), alias(mr), assignments(mr) {}
 
-  std::string table;
-  std::string alias;
-  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  AstString table;
+  AstString alias;
+  AstVector<std::pair<AstString, ExprPtr>> assignments;
   ExprPtr where;
 
   StatementPtr CloneStatement() const override;
@@ -213,8 +290,10 @@ struct UpdateStatement : Statement {
 struct DeleteStatement : Statement {
   static constexpr StatementKind kKind = StatementKind::kDelete;
   DeleteStatement() : Statement(kKind) {}
+  explicit DeleteStatement(std::pmr::memory_resource* mr)
+      : Statement(kKind, mr), table(mr) {}
 
-  std::string table;
+  AstString table;
   ExprPtr where;
 
   StatementPtr CloneStatement() const override;
@@ -224,22 +303,33 @@ struct DeleteStatement : Statement {
 
 /// \brief Type name as written (resolution to catalog types happens later).
 struct TypeName {
-  std::string name;               ///< Upper/lower as written; compare case-insensitively.
-  std::vector<int64_t> params;    ///< VARCHAR(30) -> {30}; NUMERIC(10,2) -> {10,2}.
-  std::vector<std::string> enum_values;  ///< ENUM('a','b') members.
-  bool with_time_zone = false;    ///< TIMESTAMP WITH TIME ZONE / TIMESTAMPTZ.
+  AstString name;               ///< Upper/lower as written; compare case-insensitively.
+  AstVector<int64_t> params;    ///< VARCHAR(30) -> {30}; NUMERIC(10,2) -> {10,2}.
+  AstVector<AstString> enum_values;  ///< ENUM('a','b') members.
+  bool with_time_zone = false;  ///< TIMESTAMP WITH TIME ZONE / TIMESTAMPTZ.
+
+  TypeName() = default;
+  explicit TypeName(std::pmr::memory_resource* mr)
+      : name(mr), params(mr), enum_values(mr) {}
+  TypeName(TypeName&&) = default;
+  TypeName& operator=(TypeName&&) = default;
+  TypeName(const TypeName&) = default;
+  TypeName& operator=(const TypeName&) = default;
 
   std::string ToString() const;
 };
 
 struct ForeignKeyRefAst {
-  std::string table;
-  std::vector<std::string> columns;  ///< May be empty (references PK implicitly).
+  AstString table;
+  AstVector<AstString> columns;  ///< May be empty (references PK implicitly).
   bool on_delete_cascade = false;
+
+  ForeignKeyRefAst() = default;
+  explicit ForeignKeyRefAst(std::pmr::memory_resource* mr) : table(mr), columns(mr) {}
 };
 
 struct ColumnDefAst {
-  std::string name;
+  AstString name;
   TypeName type;
   bool not_null = false;
   bool primary_key = false;
@@ -249,6 +339,9 @@ struct ColumnDefAst {
   ExprPtr check;  ///< Column-level CHECK expression.
   std::optional<ForeignKeyRefAst> references;
 
+  ColumnDefAst() = default;
+  explicit ColumnDefAst(std::pmr::memory_resource* mr) : name(mr), type(mr) {}
+
   ColumnDefAst Clone() const;
 };
 
@@ -256,10 +349,14 @@ enum class TableConstraintKind { kPrimaryKey, kForeignKey, kUnique, kCheck };
 
 struct TableConstraintAst {
   TableConstraintKind kind = TableConstraintKind::kPrimaryKey;
-  std::string name;  ///< CONSTRAINT <name>, may be empty.
-  std::vector<std::string> columns;
+  AstString name;  ///< CONSTRAINT <name>, may be empty.
+  AstVector<AstString> columns;
   ForeignKeyRefAst reference;  ///< For kForeignKey.
   ExprPtr check;               ///< For kCheck.
+
+  TableConstraintAst() = default;
+  explicit TableConstraintAst(std::pmr::memory_resource* mr)
+      : name(mr), columns(mr), reference(mr) {}
 
   TableConstraintAst Clone() const;
 };
@@ -267,11 +364,13 @@ struct TableConstraintAst {
 struct CreateTableStatement : Statement {
   static constexpr StatementKind kKind = StatementKind::kCreateTable;
   CreateTableStatement() : Statement(kKind) {}
+  explicit CreateTableStatement(std::pmr::memory_resource* mr)
+      : Statement(kKind, mr), table(mr), columns(mr), constraints(mr) {}
 
-  std::string table;
+  AstString table;
   bool if_not_exists = false;
-  std::vector<ColumnDefAst> columns;
-  std::vector<TableConstraintAst> constraints;
+  AstVector<ColumnDefAst> columns;
+  AstVector<TableConstraintAst> constraints;
 
   StatementPtr CloneStatement() const override;
 
@@ -283,10 +382,12 @@ struct CreateTableStatement : Statement {
 struct CreateIndexStatement : Statement {
   static constexpr StatementKind kKind = StatementKind::kCreateIndex;
   CreateIndexStatement() : Statement(kKind) {}
+  explicit CreateIndexStatement(std::pmr::memory_resource* mr)
+      : Statement(kKind, mr), index(mr), table(mr), columns(mr) {}
 
-  std::string index;
-  std::string table;
-  std::vector<std::string> columns;
+  AstString index;
+  AstString table;
+  AstVector<AstString> columns;
   bool unique = false;
   bool if_not_exists = false;
 
@@ -307,12 +408,19 @@ enum class AlterAction {
 struct AlterTableStatement : Statement {
   static constexpr StatementKind kKind = StatementKind::kAlterTable;
   AlterTableStatement() : Statement(kKind) {}
+  explicit AlterTableStatement(std::pmr::memory_resource* mr)
+      : Statement(kKind, mr),
+        table(mr),
+        column(mr),
+        target_name(mr),
+        new_name(mr),
+        constraint(mr) {}
 
-  std::string table;
+  AstString table;
   AlterAction action = AlterAction::kUnknown;
   ColumnDefAst column;            ///< For add-column / alter-type.
-  std::string target_name;        ///< Column or constraint being dropped/renamed.
-  std::string new_name;           ///< For renames.
+  AstString target_name;          ///< Column or constraint being dropped/renamed.
+  AstString new_name;             ///< For renames.
   TableConstraintAst constraint;  ///< For add-constraint.
   bool if_exists = false;
 
@@ -322,8 +430,10 @@ struct AlterTableStatement : Statement {
 struct DropTableStatement : Statement {
   static constexpr StatementKind kKind = StatementKind::kDropTable;
   DropTableStatement() : Statement(kKind) {}
+  explicit DropTableStatement(std::pmr::memory_resource* mr)
+      : Statement(kKind, mr), table(mr) {}
 
-  std::string table;
+  AstString table;
   bool if_exists = false;
 
   StatementPtr CloneStatement() const override;
@@ -332,19 +442,35 @@ struct DropTableStatement : Statement {
 struct DropIndexStatement : Statement {
   static constexpr StatementKind kKind = StatementKind::kDropIndex;
   DropIndexStatement() : Statement(kKind) {}
+  explicit DropIndexStatement(std::pmr::memory_resource* mr)
+      : Statement(kKind, mr), index(mr) {}
 
-  std::string index;
+  AstString index;
   bool if_exists = false;
 
   StatementPtr CloneStatement() const override;
 };
 
 /// \brief Non-validating fallback: the token run of an unparseable statement.
+///
+/// The stored tokens are self-contained: `AdoptTokens` rebases every view
+/// onto this statement's own `raw_sql` (or `owned_texts` for normalized
+/// payloads), so they stay valid for the statement's lifetime regardless of
+/// what happens to the lex-time source buffer or TokenBuffer.
 struct UnknownStatement : Statement {
   static constexpr StatementKind kKind = StatementKind::kUnknown;
   UnknownStatement() : Statement(kKind) {}
+  explicit UnknownStatement(std::pmr::memory_resource* mr)
+      : Statement(kKind, mr), tokens(mr), owned_texts(mr) {}
 
-  std::vector<Token> tokens;
+  AstVector<Token> tokens;
+  AstVector<AstString> owned_texts;  ///< Normalized payloads, in token order.
+
+  /// Copies `source_tokens` (lexed from `lex_source`, of which `raw_sql`
+  /// must be the trimmed substring) and rebases every text view onto
+  /// `raw_sql`/`owned_texts`. Call after `raw_sql` is set, never mutate
+  /// `raw_sql`/`owned_texts` afterwards.
+  void AdoptTokens(const std::vector<Token>& source_tokens, std::string_view lex_source);
 
   StatementPtr CloneStatement() const override;
 };

@@ -66,9 +66,9 @@ std::vector<EmbeddedSql> ExtractEmbeddedSql(std::string_view source) {
       size_t literal_start = pos;
       std::string body = ScanHostString(source, pos);
       if (LooksLikeSql(body)) {
-        for (std::string& piece : SplitStatements(body)) {
+        for (std::string_view piece : SplitStatements(body)) {
           EmbeddedSql found;
-          found.sql = std::move(piece);
+          found.sql = piece;
           found.offset = literal_start;
           out.push_back(std::move(found));
         }

@@ -26,6 +26,7 @@ void AppendQuoted(std::string* out, char quote, std::string_view text) {
 using lexer_detail::IsDigit;
 using lexer_detail::IsIdentChar;
 using lexer_detail::IsIdentStart;
+using lexer_detail::IsSpace;
 
 char LowerChar(char c) {
   return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
@@ -46,8 +47,17 @@ class StreamingCanonicalizer {
     out_.reserve(sql_.size());
     while (pos_ < sql_.size()) {
       char c = sql_[pos_];
-      if (std::isspace(static_cast<unsigned char>(c))) {
+      // Hot cases first: words and whitespace dominate real SQL.
+      if (IsIdentStart(c)) {
+        EmitWord();
+        continue;
+      }
+      if (IsSpace(c)) {
         ++pos_;
+        continue;
+      }
+      if (IsDigit(c) || (c == '.' && IsDigit(Peek(1)))) {
+        EmitNumber();
         continue;
       }
       if (c == '-' && Peek(1) == '-') {
@@ -101,14 +111,6 @@ class StreamingCanonicalizer {
         size_t start = pos_++;
         while (pos_ < sql_.size() && IsIdentChar(sql_[pos_])) ++pos_;
         EmitParam(sql_.substr(start, pos_ - start));
-        continue;
-      }
-      if (IsDigit(c) || (c == '.' && IsDigit(Peek(1)))) {
-        EmitNumber();
-        continue;
-      }
-      if (IsIdentStart(c)) {
-        EmitWord();
         continue;
       }
       EmitOperatorOrPunct();
@@ -301,12 +303,11 @@ class StreamingCanonicalizer {
   }
 
   void EmitOperatorOrPunct() {
-    for (std::string_view op : lexer_detail::kMultiCharOperators) {
-      if (sql_.substr(pos_).substr(0, op.size()) == op) {
-        Emit(op);
-        pos_ += op.size();
-        return;
-      }
+    if (int m = lexer_detail::MatchMultiCharOperator(sql_.substr(pos_))) {
+      std::string_view op = lexer_detail::kMultiCharOperators[m - 1];
+      Emit(op);
+      pos_ += op.size();
+      return;
     }
     Emit(sql_.substr(pos_, 1));
     ++pos_;

@@ -1,7 +1,5 @@
 #include "sql/lexer.h"
 
-#include <cctype>
-
 #include "common/strings.h"
 #include "sql/lexer_detail.h"
 
@@ -12,85 +10,90 @@ namespace {
 using lexer_detail::IsDigit;
 using lexer_detail::IsIdentChar;
 using lexer_detail::IsIdentStart;
+using lexer_detail::IsSpace;
 
+/// Zero-copy lexer core. Token text is a view into `sql_` wherever the
+/// payload equals a source substring; only escape-stripped payloads are
+/// materialized (built in `scratch_`, then copied into the TokenBuffer's
+/// side arena so they survive `scratch_` reuse).
 class LexerImpl {
  public:
-  LexerImpl(std::string_view sql, const LexerOptions& options)
-      : sql_(sql), options_(options) {}
+  LexerImpl(std::string_view sql, const LexerOptions& options, std::vector<Token>& out,
+            Arena& norm, std::string& scratch)
+      : sql_(sql), options_(options), out_(out), norm_(norm), scratch_(scratch) {}
 
-  std::vector<Token> Run() {
-    std::vector<Token> out;
+  void Run() {
     while (pos_ < sql_.size()) {
       size_t start = pos_;
       char c = sql_[pos_];
-      if (std::isspace(static_cast<unsigned char>(c))) {
+      // Hot cases first: words and whitespace dominate real SQL.
+      if (IsIdentStart(c)) {
+        LexWord(start);
+        continue;
+      }
+      if (IsSpace(c)) {
         ++pos_;
         continue;
       }
+      if (IsDigit(c) || (c == '.' && IsDigit(Peek(1)))) {
+        LexNumber(start);
+        continue;
+      }
       if (c == '-' && Peek(1) == '-') {
-        LexLineComment(start, out);
+        LexLineComment(start);
         continue;
       }
       if (c == '#' && Peek(1) != '>') {
         // MySQL line comment; `#>` / `#>>` are PostgreSQL JSON path operators.
-        LexLineComment(start, out);
+        LexLineComment(start);
         continue;
       }
       if (c == '/' && Peek(1) == '*') {
-        LexBlockComment(start, out);
+        LexBlockComment(start);
         continue;
       }
       if (c == '\'') {
-        LexSingleQuoted(start, out);
+        LexSingleQuoted(start);
         continue;
       }
       if (c == '"' || c == '`') {
-        LexQuotedIdentifier(start, c, out);
+        LexQuotedIdentifier(start, c);
         continue;
       }
       if (c == '[') {
-        LexBracketIdentifier(start, out);
+        LexBracketIdentifier(start);
         continue;
       }
       if (c == '$' && (Peek(1) == '$' || IsIdentStart(Peek(1)))) {
-        if (LexDollarQuoted(start, out)) continue;
+        if (LexDollarQuoted(start)) continue;
         // Fall through: not a dollar-quote after all.
       }
       if (c == '$' && IsDigit(Peek(1))) {
-        LexNumberedParam(start, out);
+        LexNumberedParam(start);
         continue;
       }
       if (c == '?') {
-        Emit(out, TokenKind::kParam, "?", start, 1);
         ++pos_;
+        Emit(TokenKind::kParam, Slice(start, 1), start, 1);
         continue;
       }
       if (c == '%' && Peek(1) == 's' && !IsIdentChar(Peek(2))) {
         // Python-style bind parameter — but only when the `s` is a whole
         // word: in `id%salary` the `%` is the modulo operator.
-        Emit(out, TokenKind::kParam, "%s", start, 2);
         pos_ += 2;
+        Emit(TokenKind::kParam, Slice(start, 2), start, 2);
         continue;
       }
       if (c == ':' && IsIdentStart(Peek(1))) {
-        LexNamedParam(start, out);
+        LexNamedParam(start);
         continue;
       }
-      if (IsDigit(c) || (c == '.' && IsDigit(Peek(1)))) {
-        LexNumber(start, out);
-        continue;
-      }
-      if (IsIdentStart(c)) {
-        LexWord(start, out);
-        continue;
-      }
-      LexOperatorOrPunct(start, out);
+      LexOperatorOrPunct(start);
     }
     Token end;
     end.kind = TokenKind::kEnd;
     end.offset = sql_.size();
-    out.push_back(end);
-    return out;
+    out_.push_back(end);
   }
 
  private:
@@ -98,24 +101,36 @@ class LexerImpl {
     return pos_ + ahead < sql_.size() ? sql_[pos_ + ahead] : '\0';
   }
 
-  void Emit(std::vector<Token>& out, TokenKind kind, std::string text, size_t start,
-            size_t length) {
-    if (kind == TokenKind::kComment && !options_.keep_comments) return;
-    Token t;
+  std::string_view Slice(size_t start, size_t length) const {
+    return sql_.substr(start, length);
+  }
+
+  Token& Emit(TokenKind kind, std::string_view text, size_t start, size_t length) {
+    Token& t = out_.emplace_back();
     t.kind = kind;
-    t.text = std::move(text);
+    t.text = text;
     t.offset = start;
     t.length = length;
-    out.push_back(std::move(t));
+    return t;
   }
 
-  void LexLineComment(size_t start, std::vector<Token>& out) {
+  /// Emits a token whose payload was built in `scratch_` (escape stripping):
+  /// the bytes move to the side arena so the next normalized token can reuse
+  /// the scratch string.
+  void EmitNormalized(TokenKind kind, size_t start, size_t length) {
+    Token& t = Emit(kind, norm_.Dup(scratch_), start, length);
+    t.normalized = true;
+    scratch_.clear();
+  }
+
+  void LexLineComment(size_t start) {
     while (pos_ < sql_.size() && sql_[pos_] != '\n') ++pos_;
-    Emit(out, TokenKind::kComment, std::string(sql_.substr(start, pos_ - start)), start,
-         pos_ - start);
+    if (options_.keep_comments) {
+      Emit(TokenKind::kComment, Slice(start, pos_ - start), start, pos_ - start);
+    }
   }
 
-  void LexBlockComment(size_t start, std::vector<Token>& out) {
+  void LexBlockComment(size_t start) {
     pos_ += 2;
     // PostgreSQL block comments nest: `/* a /* b */ c */` is one comment.
     int depth = 1;
@@ -130,107 +145,142 @@ class LexerImpl {
         ++pos_;
       }
     }
-    Emit(out, TokenKind::kComment, std::string(sql_.substr(start, pos_ - start)), start,
-         pos_ - start);
+    if (options_.keep_comments) {
+      Emit(TokenKind::kComment, Slice(start, pos_ - start), start, pos_ - start);
+    }
   }
 
-  void LexSingleQuoted(size_t start, std::vector<Token>& out) {
+  void LexSingleQuoted(size_t start) {
     ++pos_;  // opening quote
-    std::string text;
+    // Fast path: scan for the closing quote; the payload is a pure source
+    // substring unless an escape ('' doubling or backslash) intervenes.
+    size_t body_start = pos_;
+    while (pos_ < sql_.size()) {
+      char c = sql_[pos_];
+      if (c == '\\' && pos_ + 1 < sql_.size()) break;
+      if (c == '\'') {
+        if (Peek(1) == '\'') break;  // doubled-quote escape
+        size_t body_len = pos_ - body_start;
+        ++pos_;
+        Emit(TokenKind::kString, Slice(body_start, body_len), start, pos_ - start);
+        return;
+      }
+      ++pos_;
+    }
+    if (pos_ >= sql_.size()) {
+      // Unterminated: the rest of the input is the body.
+      Emit(TokenKind::kString, Slice(body_start, pos_ - body_start), start, pos_ - start);
+      return;
+    }
+    // Slow path: materialize the escape-stripped payload.
+    scratch_.assign(sql_.data() + body_start, pos_ - body_start);
     while (pos_ < sql_.size()) {
       char c = sql_[pos_];
       if (c == '\\' && pos_ + 1 < sql_.size()) {
         // MySQL-style backslash escape: keep the escaped char literally.
-        text.push_back(sql_[pos_ + 1]);
+        scratch_.push_back(sql_[pos_ + 1]);
         pos_ += 2;
         continue;
       }
       if (c == '\'') {
         if (Peek(1) == '\'') {  // doubled-quote escape
-          text.push_back('\'');
+          scratch_.push_back('\'');
           pos_ += 2;
           continue;
         }
         ++pos_;
         break;
       }
-      text.push_back(c);
+      scratch_.push_back(c);
       ++pos_;
     }
-    Emit(out, TokenKind::kString, std::move(text), start, pos_ - start);
+    EmitNormalized(TokenKind::kString, start, pos_ - start);
   }
 
-  void LexQuotedIdentifier(size_t start, char quote, std::vector<Token>& out) {
+  void LexQuotedIdentifier(size_t start, char quote) {
     ++pos_;
-    std::string text;
+    size_t body_start = pos_;
+    while (pos_ < sql_.size()) {
+      char c = sql_[pos_];
+      if (c == quote) {
+        if (Peek(1) == quote) break;  // doubled-quote escape -> slow path
+        size_t body_len = pos_ - body_start;
+        ++pos_;
+        Emit(TokenKind::kQuotedIdentifier, Slice(body_start, body_len), start,
+             pos_ - start);
+        return;
+      }
+      ++pos_;
+    }
+    if (pos_ >= sql_.size()) {
+      Emit(TokenKind::kQuotedIdentifier, Slice(body_start, pos_ - body_start), start,
+           pos_ - start);
+      return;
+    }
+    scratch_.assign(sql_.data() + body_start, pos_ - body_start);
     while (pos_ < sql_.size()) {
       char c = sql_[pos_];
       if (c == quote) {
         if (Peek(1) == quote) {
-          text.push_back(quote);
+          scratch_.push_back(quote);
           pos_ += 2;
           continue;
         }
         ++pos_;
         break;
       }
-      text.push_back(c);
+      scratch_.push_back(c);
       ++pos_;
     }
-    Emit(out, TokenKind::kQuotedIdentifier, std::move(text), start, pos_ - start);
+    EmitNormalized(TokenKind::kQuotedIdentifier, start, pos_ - start);
   }
 
-  void LexBracketIdentifier(size_t start, std::vector<Token>& out) {
+  void LexBracketIdentifier(size_t start) {
     ++pos_;
-    std::string text;
-    while (pos_ < sql_.size() && sql_[pos_] != ']') {
-      text.push_back(sql_[pos_]);
-      ++pos_;
-    }
+    size_t body_start = pos_;
+    while (pos_ < sql_.size() && sql_[pos_] != ']') ++pos_;
+    size_t body_len = pos_ - body_start;
     if (pos_ < sql_.size()) ++pos_;  // closing bracket
-    Emit(out, TokenKind::kQuotedIdentifier, std::move(text), start, pos_ - start);
+    Emit(TokenKind::kQuotedIdentifier, Slice(body_start, body_len), start, pos_ - start);
   }
 
-  /// PostgreSQL $tag$...$tag$ strings. Returns false if this is not actually a
-  /// dollar quote (e.g. `$foo` used as an identifier character elsewhere).
-  bool LexDollarQuoted(size_t start, std::vector<Token>& out) {
+  /// PostgreSQL $tag$...$tag$ strings (no escapes inside, so the body is
+  /// always a pure source substring). Returns false if this is not actually
+  /// a dollar quote (e.g. `$foo` used as an identifier character elsewhere).
+  bool LexDollarQuoted(size_t start) {
     size_t tag_end = pos_ + 1;
     while (tag_end < sql_.size() && IsIdentChar(sql_[tag_end]) && sql_[tag_end] != '$') {
       ++tag_end;
     }
     if (tag_end >= sql_.size() || sql_[tag_end] != '$') return false;
-    std::string tag(sql_.substr(pos_, tag_end - pos_ + 1));  // includes both $s
+    std::string_view tag = sql_.substr(pos_, tag_end - pos_ + 1);  // includes both $s
     size_t body_start = tag_end + 1;
     size_t close = sql_.find(tag, body_start);
     if (close == std::string_view::npos) {
       // Unterminated: take the rest of the input as the string body.
-      close = sql_.size();
-      Emit(out, TokenKind::kString, std::string(sql_.substr(body_start)), start,
-           sql_.size() - start);
+      Emit(TokenKind::kString, sql_.substr(body_start), start, sql_.size() - start);
       pos_ = sql_.size();
       return true;
     }
-    Emit(out, TokenKind::kString, std::string(sql_.substr(body_start, close - body_start)),
-         start, close + tag.size() - start);
+    Emit(TokenKind::kString, Slice(body_start, close - body_start), start,
+         close + tag.size() - start);
     pos_ = close + tag.size();
     return true;
   }
 
-  void LexNumberedParam(size_t start, std::vector<Token>& out) {
+  void LexNumberedParam(size_t start) {
     ++pos_;  // '$'
     while (pos_ < sql_.size() && IsDigit(sql_[pos_])) ++pos_;
-    Emit(out, TokenKind::kParam, std::string(sql_.substr(start, pos_ - start)), start,
-         pos_ - start);
+    Emit(TokenKind::kParam, Slice(start, pos_ - start), start, pos_ - start);
   }
 
-  void LexNamedParam(size_t start, std::vector<Token>& out) {
+  void LexNamedParam(size_t start) {
     ++pos_;  // ':'
     while (pos_ < sql_.size() && IsIdentChar(sql_[pos_])) ++pos_;
-    Emit(out, TokenKind::kParam, std::string(sql_.substr(start, pos_ - start)), start,
-         pos_ - start);
+    Emit(TokenKind::kParam, Slice(start, pos_ - start), start, pos_ - start);
   }
 
-  void LexNumber(size_t start, std::vector<Token>& out) {
+  void LexNumber(size_t start) {
     bool seen_dot = false;
     bool seen_exp = false;
     while (pos_ < sql_.size()) {
@@ -248,47 +298,60 @@ class LexerImpl {
         break;
       }
     }
-    Emit(out, TokenKind::kNumber, std::string(sql_.substr(start, pos_ - start)), start,
-         pos_ - start);
+    Emit(TokenKind::kNumber, Slice(start, pos_ - start), start, pos_ - start);
   }
 
-  void LexWord(size_t start, std::vector<Token>& out) {
+  void LexWord(size_t start) {
     while (pos_ < sql_.size() && IsIdentChar(sql_[pos_])) ++pos_;
-    std::string word(sql_.substr(start, pos_ - start));
-    TokenKind kind = IsSqlKeyword(word) ? TokenKind::kKeyword : TokenKind::kIdentifier;
-    Emit(out, kind, std::move(word), start, pos_ - start);
+    std::string_view word = Slice(start, pos_ - start);
+    KeywordId kw = LookupKeyword(word);
+    if (kw == KeywordId::kNoKeyword) {
+      Emit(TokenKind::kIdentifier, word, start, word.size());
+    } else {
+      Emit(TokenKind::kKeyword, word, start, word.size()).keyword = kw;
+    }
   }
 
-  void LexOperatorOrPunct(size_t start, std::vector<Token>& out) {
+  void LexOperatorOrPunct(size_t start) {
     char c = sql_[pos_];
+    TokenKind kind = TokenKind::kOperator;
     switch (c) {
-      case ',': Emit(out, TokenKind::kComma, ",", start, 1); ++pos_; return;
-      case '(': Emit(out, TokenKind::kLeftParen, "(", start, 1); ++pos_; return;
-      case ')': Emit(out, TokenKind::kRightParen, ")", start, 1); ++pos_; return;
-      case ';': Emit(out, TokenKind::kSemicolon, ";", start, 1); ++pos_; return;
-      case '.': Emit(out, TokenKind::kDot, ".", start, 1); ++pos_; return;
-      default: break;
-    }
-    for (std::string_view op : lexer_detail::kMultiCharOperators) {
-      if (sql_.substr(pos_).substr(0, op.size()) == op) {
-        Emit(out, TokenKind::kOperator, std::string(op), start, op.size());
-        pos_ += op.size();
-        return;
+      case ',': kind = TokenKind::kComma; break;
+      case '(': kind = TokenKind::kLeftParen; break;
+      case ')': kind = TokenKind::kRightParen; break;
+      case ';': kind = TokenKind::kSemicolon; break;
+      case '.': kind = TokenKind::kDot; break;
+      default: {
+        if (int m = lexer_detail::MatchMultiCharOperator(sql_.substr(pos_))) {
+          size_t len = lexer_detail::kMultiCharOperators[m - 1].size();
+          pos_ += len;
+          Emit(TokenKind::kOperator, Slice(start, len), start, len).op =
+              lexer_detail::MultiCharOpCode(m);
+          return;
+        }
+        break;
       }
     }
-    Emit(out, TokenKind::kOperator, std::string(1, c), start, 1);
     ++pos_;
+    Token& t = Emit(kind, Slice(start, 1), start, 1);
+    if (kind == TokenKind::kOperator) t.op = lexer_detail::SingleCharOpCode(c);
   }
 
   std::string_view sql_;
   LexerOptions options_;
+  std::vector<Token>& out_;
+  Arena& norm_;
+  std::string& scratch_;
   size_t pos_ = 0;
 };
 
 }  // namespace
 
-std::vector<Token> Lex(std::string_view sql, const LexerOptions& options) {
-  return LexerImpl(sql, options).Run();
+const std::vector<Token>& Lex(std::string_view sql, TokenBuffer& buffer,
+                              const LexerOptions& options) {
+  buffer.Clear();
+  LexerImpl(sql, options, buffer.tokens_, buffer.norm_, buffer.scratch_).Run();
+  return buffer.tokens();
 }
 
 }  // namespace sqlcheck::sql

@@ -1,15 +1,46 @@
 #pragma once
 
+#include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/arena.h"
 #include "sql/token.h"
 
 namespace sqlcheck::sql {
 
+using sqlcheck::Arena;
+
 /// \brief Options controlling lexing behaviour.
 struct LexerOptions {
   bool keep_comments = false;  ///< Emit kComment tokens instead of skipping.
+};
+
+/// \brief Reusable token storage for the zero-copy lexer: the token vector
+/// plus a side arena holding the rare normalized payloads (escape-stripped
+/// strings/identifiers) that cannot be views into the source. Reusing one
+/// buffer across statements makes the steady-state lex path allocation-free:
+/// the vector's capacity and the arena's chunk are recycled by `Clear()`.
+///
+/// Tokens returned by `Lex` view the source buffer and this TokenBuffer;
+/// they are invalidated by the next `Lex`/`Clear` on the same buffer.
+class TokenBuffer {
+ public:
+  const std::vector<Token>& tokens() const { return tokens_; }
+
+  void Clear() {
+    tokens_.clear();
+    norm_.Reset();
+    scratch_.clear();
+  }
+
+ private:
+  friend const std::vector<Token>& Lex(std::string_view, TokenBuffer&,
+                                       const LexerOptions&);
+
+  std::vector<Token> tokens_;
+  Arena norm_{4 * 1024};  ///< Normalized payload bytes.
+  std::string scratch_;   ///< Escape-stripping workspace (capacity reused).
 };
 
 /// \brief Dialect-tolerant, non-validating SQL lexer.
@@ -19,6 +50,12 @@ struct LexerOptions {
 /// strings, and the common bind-parameter spellings (`?`, `%s`, `:name`,
 /// `$1`). Never fails: unknown bytes lex as single-character operators so the
 /// parser always has a token stream to work with.
-std::vector<Token> Lex(std::string_view sql, const LexerOptions& options = {});
+///
+/// Zero-copy: clears `buffer` and fills it with tokens whose `text` views
+/// `sql` (or the buffer's side arena for normalized payloads). `sql` must
+/// stay alive and unmodified while the tokens are in use. Returns
+/// `buffer.tokens()` for convenience.
+const std::vector<Token>& Lex(std::string_view sql, TokenBuffer& buffer,
+                              const LexerOptions& options = {});
 
 }  // namespace sqlcheck::sql

@@ -1,38 +1,83 @@
 #include "sql/parser.h"
 
-#include <cstdlib>
+#include <charconv>
 
 #include "common/strings.h"
-#include "sql/lexer.h"
+#include "sql/lexer_detail.h"
 #include "sql/splitter.h"
 
 namespace sqlcheck::sql {
 
 namespace {
 
+using Kw = KeywordId;
+using lexer_detail::OpCode;
+
 /// Recursive-descent parser over the lexed token stream. `ok_` latches false
 /// on the first construct we cannot handle; the caller then falls back to an
 /// UnknownStatement so detection rules degrade gracefully instead of erroring.
+///
+/// With an arena, every node (and through `std::pmr`, every node member) is
+/// bump-allocated — the steady-state parse path performs zero heap
+/// allocations. Without one, nodes are ordinary heap objects (used by tests
+/// and one-off callers). Keyword dispatch is by precomputed KeywordId, so no
+/// token comparison re-examines string bytes.
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  Parser(const std::vector<Token>& tokens, Arena* arena)
+      : tokens_(tokens),
+        arena_(arena),
+        mr_(arena != nullptr ? static_cast<std::pmr::memory_resource*>(arena)
+                             : std::pmr::get_default_resource()) {}
 
   StatementPtr Parse(std::string_view raw) {
     StatementPtr stmt = ParseStatementTop();
     // Trailing semicolon is fine; anything else unparsed means we mis-read.
     Match(TokenKind::kSemicolon);
     if (!ok_ || stmt == nullptr || !Peek().Is(TokenKind::kEnd)) {
-      auto unknown = std::make_unique<UnknownStatement>();
-      unknown->tokens = tokens_;
-      unknown->raw_sql = std::string(Trim(raw));
+      auto unknown = NewStmt<UnknownStatement>();
+      unknown->raw_sql = Trim(raw);
+      unknown->AdoptTokens(tokens_, raw);
       return unknown;
     }
-    stmt->raw_sql = std::string(Trim(raw));
+    stmt->raw_sql = Trim(raw);
     return stmt;
   }
 
  private:
   // ------------------------------ plumbing --------------------------------
+  /// Places a node in the arena when present (destructor skipped — all its
+  /// members draw from the arena), else on the heap.
+  template <typename T>
+  std::unique_ptr<T, AstDelete> NewStmt() {
+    if (arena_ != nullptr) {
+      T* node = arena_->New<T>(mr_);
+      node->arena_managed = true;
+      return std::unique_ptr<T, AstDelete>(node);
+    }
+    return std::unique_ptr<T, AstDelete>(new T());
+  }
+
+  ExprPtr NewExpr(ExprKind kind) {
+    Expr* node;
+    if (arena_ != nullptr) {
+      node = arena_->New<Expr>(mr_);
+      node->arena_managed = true;
+    } else {
+      node = new Expr();
+    }
+    node->kind = kind;
+    return ExprPtr(node);
+  }
+
+  ExprPtr NewBinary(std::string_view op, ExprPtr lhs, ExprPtr rhs) {
+    ExprPtr e = NewExpr(ExprKind::kBinary);
+    e->text = op;
+    e->children.push_back(std::move(lhs));
+    e->children.push_back(std::move(rhs));
+    return e;
+  }
+
   const Token& Peek(size_t ahead = 0) const {
     size_t i = pos_ + ahead;
     return i < tokens_.size() ? tokens_[i] : tokens_.back();
@@ -49,15 +94,15 @@ class Parser {
     }
     return false;
   }
-  bool MatchKeyword(std::string_view kw) {
+  bool MatchKeyword(Kw kw) {
     if (Peek().IsKeyword(kw)) {
       Advance();
       return true;
     }
     return false;
   }
-  bool MatchOperator(std::string_view op) {
-    if (Peek().IsOperator(op)) {
+  bool MatchOperator(uint8_t code) {
+    if (Peek().IsOperator(code)) {
       Advance();
       return true;
     }
@@ -66,36 +111,44 @@ class Parser {
   void Expect(TokenKind kind) {
     if (!Match(kind)) ok_ = false;
   }
-  void ExpectKeyword(std::string_view kw) {
+  void ExpectKeyword(Kw kw) {
     if (!MatchKeyword(kw)) ok_ = false;
   }
 
   /// Accepts identifiers, quoted identifiers, and (dialect-tolerantly) any
-  /// keyword used as a name (e.g. a column called "type" or "key").
-  std::string ParseName() {
+  /// keyword used as a name (e.g. a column called "type" or "key"). The view
+  /// borrows from the token stream — assign it into an AST string before the
+  /// next Lex on the same buffer.
+  std::string_view ParseName() {
     const Token& t = Peek();
     if (t.Is(TokenKind::kIdentifier) || t.Is(TokenKind::kQuotedIdentifier) ||
         t.Is(TokenKind::kKeyword)) {
       return Advance().text;
     }
     ok_ = false;
-    return "";
+    return {};
   }
 
   /// Strict variant: keywords are NOT acceptable (used where a keyword is a
   /// legitimate clause boundary, e.g. after a table name).
-  std::string ParseStrictName() {
+  std::string_view ParseStrictName() {
     const Token& t = Peek();
     if (t.Is(TokenKind::kIdentifier) || t.Is(TokenKind::kQuotedIdentifier)) {
       return Advance().text;
     }
     ok_ = false;
-    return "";
+    return {};
+  }
+
+  static int64_t ParseInt(std::string_view text) {
+    int64_t value = 0;
+    std::from_chars(text.data(), text.data() + text.size(), value);
+    return value;
   }
 
   std::optional<int64_t> ParseIntLiteral() {
     if (Peek().Is(TokenKind::kNumber)) {
-      return std::strtoll(Advance().text.c_str(), nullptr, 10);
+      return ParseInt(Advance().text);
     }
     return std::nullopt;
   }
@@ -103,28 +156,28 @@ class Parser {
   // ----------------------------- statements -------------------------------
   StatementPtr ParseStatementTop() {
     const Token& t = Peek();
-    if (t.IsKeyword("select")) return ParseSelect();
-    if (t.IsKeyword("insert") || t.IsKeyword("replace")) return ParseInsert();
-    if (t.IsKeyword("update")) return ParseUpdate();
-    if (t.IsKeyword("delete")) return ParseDelete();
-    if (t.IsKeyword("create")) return ParseCreate();
-    if (t.IsKeyword("alter")) return ParseAlter();
-    if (t.IsKeyword("drop")) return ParseDrop();
+    if (t.IsKeyword(Kw::kSelect)) return ParseSelect();
+    if (t.IsKeyword(Kw::kInsert) || t.IsKeyword(Kw::kReplace)) return ParseInsert();
+    if (t.IsKeyword(Kw::kUpdate)) return ParseUpdate();
+    if (t.IsKeyword(Kw::kDelete)) return ParseDelete();
+    if (t.IsKeyword(Kw::kCreate)) return ParseCreate();
+    if (t.IsKeyword(Kw::kAlter)) return ParseAlter();
+    if (t.IsKeyword(Kw::kDrop)) return ParseDrop();
     ok_ = false;
     return nullptr;
   }
 
-  std::unique_ptr<SelectStatement> ParseSelect() {
-    ExpectKeyword("select");
-    auto stmt = std::make_unique<SelectStatement>();
-    if (MatchKeyword("distinct")) stmt->distinct = true;
-    MatchKeyword("all");
+  SelectPtr ParseSelect() {
+    ExpectKeyword(Kw::kSelect);
+    SelectPtr stmt = NewStmt<SelectStatement>();
+    if (MatchKeyword(Kw::kDistinct)) stmt->distinct = true;
+    MatchKeyword(Kw::kAll);
 
     // Select list.
     do {
-      SelectItem item;
+      SelectItem item(mr_);
       item.expr = ParseExpr();
-      if (MatchKeyword("as")) {
+      if (MatchKeyword(Kw::kAs)) {
         item.alias = ParseName();
       } else if (Peek().Is(TokenKind::kIdentifier) || Peek().Is(TokenKind::kQuotedIdentifier)) {
         item.alias = Advance().text;
@@ -132,7 +185,7 @@ class Parser {
       stmt->items.push_back(std::move(item));
     } while (Match(TokenKind::kComma));
 
-    if (MatchKeyword("from")) {
+    if (MatchKeyword(Kw::kFrom)) {
       stmt->from.push_back(ParseTableRef());
       while (true) {
         if (Match(TokenKind::kComma)) {
@@ -141,15 +194,15 @@ class Parser {
         }
         std::optional<JoinType> jt = TryParseJoinPrefix();
         if (!jt.has_value()) break;
-        JoinClause join;
+        JoinClause join(mr_);
         join.type = *jt;
         join.table = ParseTableRef();
-        if (MatchKeyword("on")) {
+        if (MatchKeyword(Kw::kOn)) {
           join.on = ParseExpr();
-        } else if (MatchKeyword("using")) {
+        } else if (MatchKeyword(Kw::kUsing)) {
           Expect(TokenKind::kLeftParen);
           do {
-            join.using_columns.push_back(ParseName());
+            join.using_columns.emplace_back(ParseName());
           } while (Match(TokenKind::kComma));
           Expect(TokenKind::kRightParen);
         }
@@ -157,64 +210,64 @@ class Parser {
       }
     }
 
-    if (MatchKeyword("where")) stmt->where = ParseExpr();
-    if (MatchKeyword("group")) {
-      ExpectKeyword("by");
+    if (MatchKeyword(Kw::kWhere)) stmt->where = ParseExpr();
+    if (MatchKeyword(Kw::kGroup)) {
+      ExpectKeyword(Kw::kBy);
       do {
         stmt->group_by.push_back(ParseExpr());
       } while (Match(TokenKind::kComma));
     }
-    if (MatchKeyword("having")) stmt->having = ParseExpr();
-    if (MatchKeyword("order")) {
-      ExpectKeyword("by");
+    if (MatchKeyword(Kw::kHaving)) stmt->having = ParseExpr();
+    if (MatchKeyword(Kw::kOrder)) {
+      ExpectKeyword(Kw::kBy);
       do {
         OrderItem item;
         item.expr = ParseExpr();
-        if (MatchKeyword("desc")) {
+        if (MatchKeyword(Kw::kDesc)) {
           item.descending = true;
         } else {
-          MatchKeyword("asc");
+          MatchKeyword(Kw::kAsc);
         }
         stmt->order_by.push_back(std::move(item));
       } while (Match(TokenKind::kComma));
     }
-    if (MatchKeyword("limit")) {
+    if (MatchKeyword(Kw::kLimit)) {
       stmt->limit = ParseIntLiteral();
       if (Match(TokenKind::kComma)) {  // MySQL LIMIT off, count
         stmt->offset = stmt->limit;
         stmt->limit = ParseIntLiteral();
       }
     }
-    if (MatchKeyword("offset")) stmt->offset = ParseIntLiteral();
+    if (MatchKeyword(Kw::kOffset)) stmt->offset = ParseIntLiteral();
     return stmt;
   }
 
   std::optional<JoinType> TryParseJoinPrefix() {
     size_t save = pos_;
     JoinType type = JoinType::kInner;
-    if (MatchKeyword("inner")) {
+    if (MatchKeyword(Kw::kInner)) {
       type = JoinType::kInner;
-    } else if (MatchKeyword("left")) {
-      MatchKeyword("outer");
+    } else if (MatchKeyword(Kw::kLeft)) {
+      MatchKeyword(Kw::kOuter);
       type = JoinType::kLeft;
-    } else if (MatchKeyword("right")) {
-      MatchKeyword("outer");
+    } else if (MatchKeyword(Kw::kRight)) {
+      MatchKeyword(Kw::kOuter);
       type = JoinType::kRight;
-    } else if (MatchKeyword("full")) {
-      MatchKeyword("outer");
+    } else if (MatchKeyword(Kw::kFull)) {
+      MatchKeyword(Kw::kOuter);
       type = JoinType::kFull;
-    } else if (MatchKeyword("cross")) {
+    } else if (MatchKeyword(Kw::kCross)) {
       type = JoinType::kCross;
     }
-    if (MatchKeyword("join")) return type;
+    if (MatchKeyword(Kw::kJoin)) return type;
     pos_ = save;
     return std::nullopt;
   }
 
   TableRef ParseTableRef() {
-    TableRef ref;
+    TableRef ref(mr_);
     if (Match(TokenKind::kLeftParen)) {
-      if (Peek().IsKeyword("select")) {
+      if (Peek().IsKeyword(Kw::kSelect)) {
         ref.subquery = ParseSelect();
         Expect(TokenKind::kRightParen);
       } else {
@@ -228,7 +281,7 @@ class Parser {
         ref.name = ParseStrictName();
       }
     }
-    if (MatchKeyword("as")) {
+    if (MatchKeyword(Kw::kAs)) {
       ref.alias = ParseName();
     } else if (Peek().Is(TokenKind::kIdentifier) || Peek().Is(TokenKind::kQuotedIdentifier)) {
       ref.alias = Advance().text;
@@ -236,19 +289,19 @@ class Parser {
     return ref;
   }
 
-  std::unique_ptr<InsertStatement> ParseInsert() {
-    auto stmt = std::make_unique<InsertStatement>();
-    if (MatchKeyword("replace")) {
+  std::unique_ptr<InsertStatement, AstDelete> ParseInsert() {
+    auto stmt = NewStmt<InsertStatement>();
+    if (MatchKeyword(Kw::kReplace)) {
       stmt->or_replace = true;
     } else {
-      ExpectKeyword("insert");
-      if (MatchKeyword("or")) {
-        if (MatchKeyword("replace")) stmt->or_replace = true;
-        else MatchKeyword("ignore");
+      ExpectKeyword(Kw::kInsert);
+      if (MatchKeyword(Kw::kOr)) {
+        if (MatchKeyword(Kw::kReplace)) stmt->or_replace = true;
+        else MatchKeyword(Kw::kIgnore);
       }
-      MatchKeyword("ignore");
+      MatchKeyword(Kw::kIgnore);
     }
-    MatchKeyword("into");
+    MatchKeyword(Kw::kInto);
     stmt->table = ParseStrictName();
     while (Match(TokenKind::kDot)) stmt->table = ParseStrictName();
 
@@ -256,20 +309,20 @@ class Parser {
       // Could be a column list or directly a SELECT subquery.
       size_t save = pos_;
       Advance();
-      if (Peek().IsKeyword("select")) {
+      if (Peek().IsKeyword(Kw::kSelect)) {
         pos_ = save;
       } else {
         do {
-          stmt->columns.push_back(ParseName());
+          stmt->columns.emplace_back(ParseName());
         } while (Match(TokenKind::kComma));
         Expect(TokenKind::kRightParen);
       }
     }
 
-    if (MatchKeyword("values")) {
+    if (MatchKeyword(Kw::kValues)) {
       do {
         Expect(TokenKind::kLeftParen);
-        std::vector<ExprPtr> row;
+        AstVector<ExprPtr> row(mr_);
         if (!Peek().Is(TokenKind::kRightParen)) {
           do {
             row.push_back(ParseExpr());
@@ -278,10 +331,10 @@ class Parser {
         Expect(TokenKind::kRightParen);
         stmt->rows.push_back(std::move(row));
       } while (Match(TokenKind::kComma));
-    } else if (Peek().IsKeyword("select")) {
+    } else if (Peek().IsKeyword(Kw::kSelect)) {
       stmt->select = ParseSelect();
     } else if (Match(TokenKind::kLeftParen)) {
-      if (Peek().IsKeyword("select")) {
+      if (Peek().IsKeyword(Kw::kSelect)) {
         stmt->select = ParseSelect();
         Expect(TokenKind::kRightParen);
       } else {
@@ -295,82 +348,83 @@ class Parser {
     return stmt;
   }
 
-  std::unique_ptr<UpdateStatement> ParseUpdate() {
-    ExpectKeyword("update");
-    auto stmt = std::make_unique<UpdateStatement>();
+  std::unique_ptr<UpdateStatement, AstDelete> ParseUpdate() {
+    ExpectKeyword(Kw::kUpdate);
+    auto stmt = NewStmt<UpdateStatement>();
     stmt->table = ParseStrictName();
     while (Match(TokenKind::kDot)) stmt->table = ParseStrictName();
-    if (MatchKeyword("as")) {
+    if (MatchKeyword(Kw::kAs)) {
       stmt->alias = ParseName();
     } else if (Peek().Is(TokenKind::kIdentifier)) {
       stmt->alias = Advance().text;
     }
-    ExpectKeyword("set");
+    ExpectKeyword(Kw::kSet);
     do {
-      std::string col = ParseName();
+      std::string_view col = ParseName();
       while (Match(TokenKind::kDot)) col = ParseName();
-      if (!MatchOperator("=")) ok_ = false;
-      stmt->assignments.emplace_back(std::move(col), ParseExpr());
+      if (!MatchOperator(OpCode("="))) ok_ = false;
+      ExprPtr value = ParseExpr();
+      stmt->assignments.emplace_back(col, std::move(value));
     } while (Match(TokenKind::kComma));
-    if (MatchKeyword("where")) stmt->where = ParseExpr();
+    if (MatchKeyword(Kw::kWhere)) stmt->where = ParseExpr();
     SkipToStatementEnd();
     return stmt;
   }
 
-  std::unique_ptr<DeleteStatement> ParseDelete() {
-    ExpectKeyword("delete");
-    ExpectKeyword("from");
-    auto stmt = std::make_unique<DeleteStatement>();
+  std::unique_ptr<DeleteStatement, AstDelete> ParseDelete() {
+    ExpectKeyword(Kw::kDelete);
+    ExpectKeyword(Kw::kFrom);
+    auto stmt = NewStmt<DeleteStatement>();
     stmt->table = ParseStrictName();
     while (Match(TokenKind::kDot)) stmt->table = ParseStrictName();
-    if (MatchKeyword("where")) stmt->where = ParseExpr();
+    if (MatchKeyword(Kw::kWhere)) stmt->where = ParseExpr();
     SkipToStatementEnd();
     return stmt;
   }
 
   StatementPtr ParseCreate() {
-    ExpectKeyword("create");
-    MatchKeyword("temporary");
-    MatchKeyword("temp");
-    bool unique = MatchKeyword("unique");
-    if (MatchKeyword("index")) return ParseCreateIndex(unique);
+    ExpectKeyword(Kw::kCreate);
+    MatchKeyword(Kw::kTemporary);
+    MatchKeyword(Kw::kTemp);
+    bool unique = MatchKeyword(Kw::kUnique);
+    if (MatchKeyword(Kw::kIndex)) return ParseCreateIndex(unique);
     if (unique) {
       ok_ = false;
       return nullptr;
     }
-    if (MatchKeyword("table")) return ParseCreateTable();
+    if (MatchKeyword(Kw::kTable)) return ParseCreateTable();
     ok_ = false;  // CREATE VIEW / TRIGGER / ... -> Unknown fallback.
     return nullptr;
   }
 
-  std::unique_ptr<CreateIndexStatement> ParseCreateIndex(bool unique) {
-    auto stmt = std::make_unique<CreateIndexStatement>();
+  std::unique_ptr<CreateIndexStatement, AstDelete> ParseCreateIndex(bool unique) {
+    auto stmt = NewStmt<CreateIndexStatement>();
     stmt->unique = unique;
-    if (MatchKeyword("if")) {
-      ExpectKeyword("not");
-      ExpectKeyword("exists");
+    if (MatchKeyword(Kw::kIf)) {
+      ExpectKeyword(Kw::kNot);
+      ExpectKeyword(Kw::kExists);
       stmt->if_not_exists = true;
     }
     stmt->index = ParseStrictName();
-    ExpectKeyword("on");
+    ExpectKeyword(Kw::kOn);
     stmt->table = ParseStrictName();
     while (Match(TokenKind::kDot)) stmt->table = ParseStrictName();
     Expect(TokenKind::kLeftParen);
     do {
-      stmt->columns.push_back(ParseName());
-      MatchKeyword("asc");
-      MatchKeyword("desc");
+      stmt->columns.emplace_back(ParseName());
+      MatchKeyword(Kw::kAsc);
+      MatchKeyword(Kw::kDesc);
     } while (Match(TokenKind::kComma));
     Expect(TokenKind::kRightParen);
     SkipToStatementEnd();
     return stmt;
   }
 
-  std::unique_ptr<CreateTableStatement> ParseCreateTable() {
-    auto stmt = std::make_unique<CreateTableStatement>();
-    if (MatchKeyword("if")) {
-      ExpectKeyword("not");
-      ExpectKeyword("exists");
+  std::unique_ptr<CreateTableStatement, AstDelete> ParseCreateTable() {
+    auto stmt = NewStmt<CreateTableStatement>();
+    if (MatchKeyword(Kw::kIf)) {
+      ExpectKeyword(Kw::kNot);
+      ExpectKeyword(Kw::kExists);
       stmt->if_not_exists = true;
     }
     stmt->table = ParseStrictName();
@@ -390,43 +444,43 @@ class Parser {
 
   bool IsTableConstraintStart() const {
     const Token& t = Peek();
-    if (t.IsKeyword("constraint")) return true;
-    if (t.IsKeyword("primary") && Peek(1).IsKeyword("key")) return true;
-    if (t.IsKeyword("foreign") && Peek(1).IsKeyword("key")) return true;
-    if (t.IsKeyword("unique") && Peek(1).Is(TokenKind::kLeftParen)) return true;
-    if (t.IsKeyword("check") && Peek(1).Is(TokenKind::kLeftParen)) return true;
+    if (t.IsKeyword(Kw::kConstraint)) return true;
+    if (t.IsKeyword(Kw::kPrimary) && Peek(1).IsKeyword(Kw::kKey)) return true;
+    if (t.IsKeyword(Kw::kForeign) && Peek(1).IsKeyword(Kw::kKey)) return true;
+    if (t.IsKeyword(Kw::kUnique) && Peek(1).Is(TokenKind::kLeftParen)) return true;
+    if (t.IsKeyword(Kw::kCheck) && Peek(1).Is(TokenKind::kLeftParen)) return true;
     return false;
   }
 
   TableConstraintAst ParseTableConstraint() {
-    TableConstraintAst c;
-    if (MatchKeyword("constraint")) c.name = ParseName();
-    if (MatchKeyword("primary")) {
-      ExpectKeyword("key");
+    TableConstraintAst c(mr_);
+    if (MatchKeyword(Kw::kConstraint)) c.name = ParseName();
+    if (MatchKeyword(Kw::kPrimary)) {
+      ExpectKeyword(Kw::kKey);
       c.kind = TableConstraintKind::kPrimaryKey;
       Expect(TokenKind::kLeftParen);
       do {
-        c.columns.push_back(ParseName());
+        c.columns.emplace_back(ParseName());
       } while (Match(TokenKind::kComma));
       Expect(TokenKind::kRightParen);
-    } else if (MatchKeyword("foreign")) {
-      ExpectKeyword("key");
+    } else if (MatchKeyword(Kw::kForeign)) {
+      ExpectKeyword(Kw::kKey);
       c.kind = TableConstraintKind::kForeignKey;
       Expect(TokenKind::kLeftParen);
       do {
-        c.columns.push_back(ParseName());
+        c.columns.emplace_back(ParseName());
       } while (Match(TokenKind::kComma));
       Expect(TokenKind::kRightParen);
-      ExpectKeyword("references");
+      ExpectKeyword(Kw::kReferences);
       c.reference = ParseForeignKeyTarget();
-    } else if (MatchKeyword("unique")) {
+    } else if (MatchKeyword(Kw::kUnique)) {
       c.kind = TableConstraintKind::kUnique;
       Expect(TokenKind::kLeftParen);
       do {
-        c.columns.push_back(ParseName());
+        c.columns.emplace_back(ParseName());
       } while (Match(TokenKind::kComma));
       Expect(TokenKind::kRightParen);
-    } else if (MatchKeyword("check")) {
+    } else if (MatchKeyword(Kw::kCheck)) {
       c.kind = TableConstraintKind::kCheck;
       Expect(TokenKind::kLeftParen);
       c.check = ParseExpr();
@@ -438,26 +492,29 @@ class Parser {
   }
 
   ForeignKeyRefAst ParseForeignKeyTarget() {
-    ForeignKeyRefAst ref;
+    ForeignKeyRefAst ref(mr_);
     ref.table = ParseStrictName();
     while (Match(TokenKind::kDot)) ref.table = ParseStrictName();
     if (Match(TokenKind::kLeftParen)) {
       do {
-        ref.columns.push_back(ParseName());
+        ref.columns.emplace_back(ParseName());
       } while (Match(TokenKind::kComma));
       Expect(TokenKind::kRightParen);
     }
-    while (MatchKeyword("on")) {
-      if (MatchKeyword("delete")) {
-        if (MatchKeyword("cascade")) {
+    while (MatchKeyword(Kw::kOn)) {
+      if (MatchKeyword(Kw::kDelete)) {
+        if (MatchKeyword(Kw::kCascade)) {
           ref.on_delete_cascade = true;
         } else {
           Advance();  // SET NULL / RESTRICT / NO ACTION — skip one word...
-          MatchKeyword("null");
-          MatchKeyword("action");
+          MatchKeyword(Kw::kNull);  // ("action" lexes as an identifier; the
+                                    // trailing word is tolerated by skip-to-end)
         }
-      } else if (MatchKeyword("update")) {
-        MatchKeyword("cascade") || (Advance(), MatchKeyword("null"), MatchKeyword("action"));
+      } else if (MatchKeyword(Kw::kUpdate)) {
+        if (!MatchKeyword(Kw::kCascade)) {
+          Advance();
+          MatchKeyword(Kw::kNull);
+        }
       } else {
         break;
       }
@@ -466,34 +523,34 @@ class Parser {
   }
 
   ColumnDefAst ParseColumnDef() {
-    ColumnDefAst col;
+    ColumnDefAst col(mr_);
     col.name = ParseStrictName();
     col.type = ParseTypeName();
     // Column options in any order.
     while (true) {
-      if (MatchKeyword("not")) {
-        ExpectKeyword("null");
+      if (MatchKeyword(Kw::kNot)) {
+        ExpectKeyword(Kw::kNull);
         col.not_null = true;
-      } else if (MatchKeyword("null")) {
+      } else if (MatchKeyword(Kw::kNull)) {
         // explicit NULLable
-      } else if (MatchKeyword("primary")) {
-        ExpectKeyword("key");
+      } else if (MatchKeyword(Kw::kPrimary)) {
+        ExpectKeyword(Kw::kKey);
         col.primary_key = true;
-      } else if (MatchKeyword("unique")) {
+      } else if (MatchKeyword(Kw::kUnique)) {
         col.unique = true;
-      } else if (MatchKeyword("auto_increment") || MatchKeyword("autoincrement")) {
+      } else if (MatchKeyword(Kw::kAutoIncrement) || MatchKeyword(Kw::kAutoincrement)) {
         col.auto_increment = true;
-      } else if (MatchKeyword("default")) {
+      } else if (MatchKeyword(Kw::kDefault)) {
         col.default_value = ParsePrimary();
-      } else if (MatchKeyword("references")) {
+      } else if (MatchKeyword(Kw::kReferences)) {
         col.references = ParseForeignKeyTarget();
-      } else if (MatchKeyword("check")) {
+      } else if (MatchKeyword(Kw::kCheck)) {
         Expect(TokenKind::kLeftParen);
         col.check = ParseExpr();
         Expect(TokenKind::kRightParen);
-      } else if (MatchKeyword("collate")) {
+      } else if (MatchKeyword(Kw::kCollate)) {
         ParseName();
-      } else if (MatchKeyword("constraint")) {
+      } else if (MatchKeyword(Kw::kConstraint)) {
         ParseName();  // named inline constraint; the kind follows next loop.
       } else {
         break;
@@ -503,7 +560,7 @@ class Parser {
   }
 
   TypeName ParseTypeName() {
-    TypeName type;
+    TypeName type(mr_);
     const Token& t = Peek();
     if (!(t.Is(TokenKind::kIdentifier) || t.Is(TokenKind::kKeyword))) {
       ok_ = false;
@@ -513,17 +570,19 @@ class Parser {
     // Multi-word types: DOUBLE PRECISION, CHARACTER VARYING, TIMESTAMP WITH(OUT) TIME ZONE.
     if (EqualsIgnoreCase(type.name, "double") && Peek().Is(TokenKind::kIdentifier) &&
         EqualsIgnoreCase(Peek().text, "precision")) {
-      type.name += " " + Advance().text;
+      type.name += ' ';
+      type.name += Advance().text;
     }
     if (EqualsIgnoreCase(type.name, "character") && Peek().Is(TokenKind::kIdentifier) &&
         EqualsIgnoreCase(Peek().text, "varying")) {
-      type.name += " " + Advance().text;
+      type.name += ' ';
+      type.name += Advance().text;
     }
     if (EqualsIgnoreCase(type.name, "enum") && Peek().Is(TokenKind::kLeftParen)) {
       Advance();
       do {
         if (Peek().Is(TokenKind::kString)) {
-          type.enum_values.push_back(Advance().text);
+          type.enum_values.emplace_back(Advance().text);
         } else {
           ok_ = false;
           break;
@@ -533,7 +592,7 @@ class Parser {
     } else if (Match(TokenKind::kLeftParen)) {
       do {
         if (Peek().Is(TokenKind::kNumber)) {
-          type.params.push_back(std::strtoll(Advance().text.c_str(), nullptr, 10));
+          type.params.push_back(ParseInt(Advance().text));
         } else {
           Advance();  // e.g. VARCHAR(MAX)
         }
@@ -541,7 +600,7 @@ class Parser {
       Expect(TokenKind::kRightParen);
     }
     // TIMESTAMP/TIME WITH|WITHOUT TIME ZONE.
-    if (Peek().IsKeyword("with") && Peek(1).Is(TokenKind::kIdentifier) &&
+    if (Peek().IsKeyword(Kw::kWith) && Peek(1).Is(TokenKind::kIdentifier) &&
         EqualsIgnoreCase(Peek(1).text, "time")) {
       Advance();
       Advance();
@@ -556,66 +615,66 @@ class Parser {
   }
 
   StatementPtr ParseAlter() {
-    ExpectKeyword("alter");
-    ExpectKeyword("table");
-    auto stmt = std::make_unique<AlterTableStatement>();
-    if (MatchKeyword("if")) {
-      ExpectKeyword("exists");
+    ExpectKeyword(Kw::kAlter);
+    ExpectKeyword(Kw::kTable);
+    auto stmt = NewStmt<AlterTableStatement>();
+    if (MatchKeyword(Kw::kIf)) {
+      ExpectKeyword(Kw::kExists);
       stmt->if_exists = true;
     }
     stmt->table = ParseStrictName();
     while (Match(TokenKind::kDot)) stmt->table = ParseStrictName();
 
-    if (MatchKeyword("add")) {
+    if (MatchKeyword(Kw::kAdd)) {
       if (IsTableConstraintStart()) {
         stmt->action = AlterAction::kAddConstraint;
         stmt->constraint = ParseTableConstraint();
       } else {
-        MatchKeyword("column");
+        MatchKeyword(Kw::kColumn);
         stmt->action = AlterAction::kAddColumn;
         stmt->column = ParseColumnDef();
       }
-    } else if (MatchKeyword("drop")) {
-      if (MatchKeyword("constraint")) {
+    } else if (MatchKeyword(Kw::kDrop)) {
+      if (MatchKeyword(Kw::kConstraint)) {
         stmt->action = AlterAction::kDropConstraint;
-        if (MatchKeyword("if")) {
-          ExpectKeyword("exists");
+        if (MatchKeyword(Kw::kIf)) {
+          ExpectKeyword(Kw::kExists);
           stmt->if_exists = true;
         }
         stmt->target_name = ParseName();
       } else {
-        MatchKeyword("column");
+        MatchKeyword(Kw::kColumn);
         stmt->action = AlterAction::kDropColumn;
-        if (MatchKeyword("if")) {
-          ExpectKeyword("exists");
+        if (MatchKeyword(Kw::kIf)) {
+          ExpectKeyword(Kw::kExists);
           stmt->if_exists = true;
         }
         stmt->target_name = ParseName();
       }
-    } else if (MatchKeyword("alter")) {
-      MatchKeyword("column");
+    } else if (MatchKeyword(Kw::kAlter)) {
+      MatchKeyword(Kw::kColumn);
       stmt->action = AlterAction::kAlterColumnType;
       stmt->column.name = ParseStrictName();
-      MatchKeyword("set");  // tolerate SET DATA TYPE
-      MatchKeyword("type");
+      MatchKeyword(Kw::kSet);  // tolerate SET DATA TYPE
+      MatchKeyword(Kw::kType);
       if (Peek().Is(TokenKind::kIdentifier) && EqualsIgnoreCase(Peek().text, "data")) {
         Advance();
-        MatchKeyword("type");
+        MatchKeyword(Kw::kType);
       }
       stmt->column.type = ParseTypeName();
-    } else if (MatchKeyword("modify")) {
-      MatchKeyword("column");
+    } else if (MatchKeyword(Kw::kModify)) {
+      MatchKeyword(Kw::kColumn);
       stmt->action = AlterAction::kAlterColumnType;
       stmt->column.name = ParseStrictName();
       stmt->column.type = ParseTypeName();
-    } else if (MatchKeyword("rename")) {
-      if (MatchKeyword("column")) {
+    } else if (MatchKeyword(Kw::kRename)) {
+      if (MatchKeyword(Kw::kColumn)) {
         stmt->action = AlterAction::kRenameColumn;
         stmt->target_name = ParseStrictName();
-        ExpectKeyword("to");
+        ExpectKeyword(Kw::kTo);
         stmt->new_name = ParseStrictName();
       } else {
-        MatchKeyword("to");
+        MatchKeyword(Kw::kTo);
         stmt->action = AlterAction::kRenameTable;
         stmt->new_name = ParseStrictName();
       }
@@ -627,21 +686,21 @@ class Parser {
   }
 
   StatementPtr ParseDrop() {
-    ExpectKeyword("drop");
-    if (MatchKeyword("table")) {
-      auto stmt = std::make_unique<DropTableStatement>();
-      if (MatchKeyword("if")) {
-        ExpectKeyword("exists");
+    ExpectKeyword(Kw::kDrop);
+    if (MatchKeyword(Kw::kTable)) {
+      auto stmt = NewStmt<DropTableStatement>();
+      if (MatchKeyword(Kw::kIf)) {
+        ExpectKeyword(Kw::kExists);
         stmt->if_exists = true;
       }
       stmt->table = ParseStrictName();
       SkipToStatementEnd();
       return stmt;
     }
-    if (MatchKeyword("index")) {
-      auto stmt = std::make_unique<DropIndexStatement>();
-      if (MatchKeyword("if")) {
-        ExpectKeyword("exists");
+    if (MatchKeyword(Kw::kIndex)) {
+      auto stmt = NewStmt<DropIndexStatement>();
+      if (MatchKeyword(Kw::kIf)) {
+        ExpectKeyword(Kw::kExists);
         stmt->if_exists = true;
       }
       stmt->index = ParseStrictName();
@@ -663,24 +722,23 @@ class Parser {
 
   ExprPtr ParseOr() {
     ExprPtr lhs = ParseAnd();
-    while (MatchKeyword("or")) {
-      lhs = MakeBinary("OR", std::move(lhs), ParseAnd());
+    while (MatchKeyword(Kw::kOr)) {
+      lhs = NewBinary("OR", std::move(lhs), ParseAnd());
     }
     return lhs;
   }
 
   ExprPtr ParseAnd() {
     ExprPtr lhs = ParseNot();
-    while (MatchKeyword("and")) {
-      lhs = MakeBinary("AND", std::move(lhs), ParseNot());
+    while (MatchKeyword(Kw::kAnd)) {
+      lhs = NewBinary("AND", std::move(lhs), ParseNot());
     }
     return lhs;
   }
 
   ExprPtr ParseNot() {
-    if (MatchKeyword("not")) {
-      auto e = std::make_unique<Expr>();
-      e->kind = ExprKind::kUnary;
+    if (MatchKeyword(Kw::kNot)) {
+      ExprPtr e = NewExpr(ExprKind::kUnary);
       e->text = "NOT";
       e->children.push_back(ParseNot());
       return e;
@@ -692,36 +750,31 @@ class Parser {
     ExprPtr lhs = ParseAdditive();
     while (true) {
       const Token& t = Peek();
-      if (t.Is(TokenKind::kOperator) &&
-          (t.text == "=" || t.text == "==" || t.text == "!=" || t.text == "<>" ||
-           t.text == "<" || t.text == ">" || t.text == "<=" || t.text == ">=" ||
-           t.text == "~*" || t.text == "!~" || t.text == "!~*" || t.text == "~")) {
-        std::string op = Advance().text;
-        lhs = MakeBinary(std::move(op), std::move(lhs), ParseAdditive());
+      if (t.Is(TokenKind::kOperator) && IsComparisonOp(t.op)) {
+        std::string_view op = Advance().text;
+        lhs = NewBinary(op, std::move(lhs), ParseAdditive());
         continue;
       }
       bool negated = false;
       size_t save = pos_;
-      if (Peek().IsKeyword("not")) {
+      if (Peek().IsKeyword(Kw::kNot)) {
         Advance();
         negated = true;
       }
-      if (MatchKeyword("like") || MatchKeyword("ilike") || MatchKeyword("regexp") ||
-          MatchKeyword("rlike")) {
-        auto e = std::make_unique<Expr>();
-        e->kind = ExprKind::kLike;
+      if (MatchKeyword(Kw::kLike) || MatchKeyword(Kw::kIlike) ||
+          MatchKeyword(Kw::kRegexp) || MatchKeyword(Kw::kRlike)) {
+        ExprPtr e = NewExpr(ExprKind::kLike);
         e->text = ToUpper(tokens_[pos_ - 1].text);
         e->negated = negated;
         e->children.push_back(std::move(lhs));
         e->children.push_back(ParseAdditive());
-        if (MatchKeyword("escape")) ParsePrimary();
+        if (MatchKeyword(Kw::kEscape)) ParsePrimary();
         lhs = std::move(e);
         continue;
       }
-      if (MatchKeyword("similar")) {
-        ExpectKeyword("to");
-        auto e = std::make_unique<Expr>();
-        e->kind = ExprKind::kLike;
+      if (MatchKeyword(Kw::kSimilar)) {
+        ExpectKeyword(Kw::kTo);
+        ExprPtr e = NewExpr(ExprKind::kLike);
         e->text = "SIMILAR TO";
         e->negated = negated;
         e->children.push_back(std::move(lhs));
@@ -729,13 +782,12 @@ class Parser {
         lhs = std::move(e);
         continue;
       }
-      if (MatchKeyword("in")) {
-        auto e = std::make_unique<Expr>();
-        e->kind = ExprKind::kIn;
+      if (MatchKeyword(Kw::kIn)) {
+        ExprPtr e = NewExpr(ExprKind::kIn);
         e->negated = negated;
         e->children.push_back(std::move(lhs));
         Expect(TokenKind::kLeftParen);
-        if (Peek().IsKeyword("select")) {
+        if (Peek().IsKeyword(Kw::kSelect)) {
           e->subquery = ParseSelect();
         } else {
           do {
@@ -746,13 +798,12 @@ class Parser {
         lhs = std::move(e);
         continue;
       }
-      if (MatchKeyword("between")) {
-        auto e = std::make_unique<Expr>();
-        e->kind = ExprKind::kBetween;
+      if (MatchKeyword(Kw::kBetween)) {
+        ExprPtr e = NewExpr(ExprKind::kBetween);
         e->negated = negated;
         e->children.push_back(std::move(lhs));
         e->children.push_back(ParseAdditive());
-        ExpectKeyword("and");
+        ExpectKeyword(Kw::kAnd);
         e->children.push_back(ParseAdditive());
         lhs = std::move(e);
         continue;
@@ -761,18 +812,17 @@ class Parser {
         pos_ = save;  // NOT belonged to something else.
         break;
       }
-      if (MatchKeyword("is")) {
-        bool is_not = MatchKeyword("not");
-        if (MatchKeyword("null")) {
-          auto e = std::make_unique<Expr>();
-          e->kind = ExprKind::kIsNull;
+      if (MatchKeyword(Kw::kIs)) {
+        bool is_not = MatchKeyword(Kw::kNot);
+        if (MatchKeyword(Kw::kNull)) {
+          ExprPtr e = NewExpr(ExprKind::kIsNull);
           e->negated = is_not;
           e->children.push_back(std::move(lhs));
           lhs = std::move(e);
           continue;
         }
         // IS TRUE / IS FALSE / IS DISTINCT FROM — treat as binary with "IS".
-        lhs = MakeBinary(is_not ? "IS NOT" : "IS", std::move(lhs), ParseAdditive());
+        lhs = NewBinary(is_not ? "IS NOT" : "IS", std::move(lhs), ParseAdditive());
         continue;
       }
       break;
@@ -783,12 +833,12 @@ class Parser {
   ExprPtr ParseAdditive() {
     ExprPtr lhs = ParseMultiplicative();
     while (true) {
-      if (MatchOperator("||")) {
-        lhs = MakeBinary("||", std::move(lhs), ParseMultiplicative());
-      } else if (MatchOperator("+")) {
-        lhs = MakeBinary("+", std::move(lhs), ParseMultiplicative());
-      } else if (MatchOperator("-")) {
-        lhs = MakeBinary("-", std::move(lhs), ParseMultiplicative());
+      if (MatchOperator(OpCode("||"))) {
+        lhs = NewBinary("||", std::move(lhs), ParseMultiplicative());
+      } else if (MatchOperator(OpCode("+"))) {
+        lhs = NewBinary("+", std::move(lhs), ParseMultiplicative());
+      } else if (MatchOperator(OpCode("-"))) {
+        lhs = NewBinary("-", std::move(lhs), ParseMultiplicative());
       } else {
         break;
       }
@@ -799,12 +849,12 @@ class Parser {
   ExprPtr ParseMultiplicative() {
     ExprPtr lhs = ParseUnary();
     while (true) {
-      if (MatchOperator("*")) {
-        lhs = MakeBinary("*", std::move(lhs), ParseUnary());
-      } else if (MatchOperator("/")) {
-        lhs = MakeBinary("/", std::move(lhs), ParseUnary());
-      } else if (MatchOperator("%")) {
-        lhs = MakeBinary("%", std::move(lhs), ParseUnary());
+      if (MatchOperator(OpCode("*"))) {
+        lhs = NewBinary("*", std::move(lhs), ParseUnary());
+      } else if (MatchOperator(OpCode("/"))) {
+        lhs = NewBinary("/", std::move(lhs), ParseUnary());
+      } else if (MatchOperator(OpCode("%"))) {
+        lhs = NewBinary("%", std::move(lhs), ParseUnary());
       } else {
         break;
       }
@@ -813,21 +863,19 @@ class Parser {
   }
 
   ExprPtr ParseUnary() {
-    if (MatchOperator("-")) {
-      auto e = std::make_unique<Expr>();
-      e->kind = ExprKind::kUnary;
+    if (MatchOperator(OpCode("-"))) {
+      ExprPtr e = NewExpr(ExprKind::kUnary);
       e->text = "-";
       e->children.push_back(ParseUnary());
       return ParsePostfix(std::move(e));
     }
-    if (MatchOperator("+")) return ParseUnary();
+    if (MatchOperator(OpCode("+"))) return ParseUnary();
     return ParsePostfix(ParsePrimary());
   }
 
   ExprPtr ParsePostfix(ExprPtr base) {
-    while (MatchOperator("::")) {
-      auto e = std::make_unique<Expr>();
-      e->kind = ExprKind::kCast;
+    while (MatchOperator(OpCode("::"))) {
+      ExprPtr e = NewExpr(ExprKind::kCast);
       e->text = ParseTypeName().ToString();
       e->children.push_back(std::move(base));
       base = std::move(e);
@@ -837,24 +885,27 @@ class Parser {
 
   ExprPtr ParsePrimary() {
     const Token& t = Peek();
-    auto e = std::make_unique<Expr>();
     switch (t.kind) {
-      case TokenKind::kNumber:
-        e->kind = ExprKind::kNumberLiteral;
+      case TokenKind::kNumber: {
+        ExprPtr e = NewExpr(ExprKind::kNumberLiteral);
         e->text = Advance().text;
         return e;
-      case TokenKind::kString:
-        e->kind = ExprKind::kStringLiteral;
+      }
+      case TokenKind::kString: {
+        ExprPtr e = NewExpr(ExprKind::kStringLiteral);
         e->text = Advance().text;
         return e;
-      case TokenKind::kParam:
-        e->kind = ExprKind::kParam;
+      }
+      case TokenKind::kParam: {
+        ExprPtr e = NewExpr(ExprKind::kParam);
         e->text = Advance().text;
         return e;
+      }
       case TokenKind::kLeftParen: {
         Advance();
-        if (Peek().IsKeyword("select")) {
-          e->kind = ExprKind::kSubquery;
+        ExprPtr e;
+        if (Peek().IsKeyword(Kw::kSelect)) {
+          e = NewExpr(ExprKind::kSubquery);
           e->subquery = ParseSelect();
         } else {
           e = ParseExpr();
@@ -866,21 +917,20 @@ class Parser {
         break;
     }
 
-    if (t.IsKeyword("null")) {
+    if (t.IsKeyword(Kw::kNull)) {
       Advance();
-      e->kind = ExprKind::kNullLiteral;
-      return e;
+      return NewExpr(ExprKind::kNullLiteral);
     }
-    if (t.IsKeyword("true") || t.IsKeyword("false")) {
-      e->kind = ExprKind::kBoolLiteral;
+    if (t.IsKeyword(Kw::kTrue) || t.IsKeyword(Kw::kFalse)) {
+      ExprPtr e = NewExpr(ExprKind::kBoolLiteral);
       e->text = ToLower(Advance().text);
       return e;
     }
-    if (t.IsKeyword("exists")) {
+    if (t.IsKeyword(Kw::kExists)) {
       Advance();
       Expect(TokenKind::kLeftParen);
-      e->kind = ExprKind::kExists;
-      if (Peek().IsKeyword("select")) {
+      ExprPtr e = NewExpr(ExprKind::kExists);
+      if (Peek().IsKeyword(Kw::kSelect)) {
         e->subquery = ParseSelect();
       } else {
         ok_ = false;
@@ -888,39 +938,36 @@ class Parser {
       Expect(TokenKind::kRightParen);
       return e;
     }
-    if (t.IsKeyword("case")) return ParseCase();
-    if (t.IsKeyword("cast")) {
+    if (t.IsKeyword(Kw::kCase)) return ParseCase();
+    if (t.IsKeyword(Kw::kCast)) {
       Advance();
       Expect(TokenKind::kLeftParen);
-      e->kind = ExprKind::kCast;
+      ExprPtr e = NewExpr(ExprKind::kCast);
       e->children.push_back(ParseExpr());
-      ExpectKeyword("as");
+      ExpectKeyword(Kw::kAs);
       e->text = ParseTypeName().ToString();
       Expect(TokenKind::kRightParen);
       return e;
     }
-    if (t.IsOperator("*")) {
+    if (t.IsOperator(OpCode("*"))) {
       Advance();
-      e->kind = ExprKind::kStar;
-      return e;
+      return NewExpr(ExprKind::kStar);
     }
 
     if (t.Is(TokenKind::kIdentifier) || t.Is(TokenKind::kQuotedIdentifier) ||
         t.Is(TokenKind::kKeyword)) {
       // Function call?
       if (Peek(1).Is(TokenKind::kLeftParen) && !t.Is(TokenKind::kQuotedIdentifier)) {
-        std::string name = Advance().text;
+        std::string_view name = Advance().text;
         Advance();  // '('
-        e->kind = ExprKind::kFunction;
-        e->text = std::move(name);
-        if (MatchKeyword("distinct")) e->distinct_arg = true;
+        ExprPtr e = NewExpr(ExprKind::kFunction);
+        e->text = name;
+        if (MatchKeyword(Kw::kDistinct)) e->distinct_arg = true;
         if (!Peek().Is(TokenKind::kRightParen)) {
           do {
-            if (Peek().IsOperator("*")) {
+            if (Peek().IsOperator(OpCode("*"))) {
               Advance();
-              auto star = std::make_unique<Expr>();
-              star->kind = ExprKind::kStar;
-              e->children.push_back(std::move(star));
+              e->children.push_back(NewExpr(ExprKind::kStar));
             } else {
               e->children.push_back(ParseExpr());
             }
@@ -931,80 +978,136 @@ class Parser {
       }
       // Column reference: a / a.b / a.b.c / a.* — bare keywords allowed only
       // when they cannot start a clause (non-validating leniency).
-      if (t.Is(TokenKind::kKeyword) && !IsSafeKeywordAsName(t.text)) {
+      if (t.Is(TokenKind::kKeyword) && !IsSafeKeywordAsName(t.keyword)) {
         ok_ = false;
         Advance();
-        return e;
+        return NewExpr(ExprKind::kRaw);
       }
-      e->kind = ExprKind::kColumnRef;
-      e->name_parts.push_back(Advance().text);
+      ExprPtr e = NewExpr(ExprKind::kColumnRef);
+      e->name_parts.emplace_back(Advance().text);
       while (Match(TokenKind::kDot)) {
-        if (Peek().IsOperator("*")) {
+        if (Peek().IsOperator(OpCode("*"))) {
           Advance();
           e->kind = ExprKind::kStar;
           return e;
         }
-        e->name_parts.push_back(ParseName());
+        e->name_parts.emplace_back(ParseName());
       }
       return e;
     }
 
     ok_ = false;
     Advance();
-    return e;
+    return NewExpr(ExprKind::kRaw);
+  }
+
+  static bool IsComparisonOp(uint8_t op) {
+    switch (op) {
+      case OpCode("="):
+      case OpCode("=="):
+      case OpCode("!="):
+      case OpCode("<>"):
+      case OpCode("<"):
+      case OpCode(">"):
+      case OpCode("<="):
+      case OpCode(">="):
+      case OpCode("~*"):
+      case OpCode("!~"):
+      case OpCode("!~*"):
+      case OpCode("~"):
+        return true;
+      default:
+        return false;
+    }
   }
 
   /// Keywords commonly used as bare column names in real schemas.
-  static bool IsSafeKeywordAsName(std::string_view word) {
-    static constexpr std::string_view kSafe[] = {
-        "key", "type", "column", "index", "view", "if", "replace", "ignore",
-        "enum", "check", "default", "unique", "limit", "offset", "values",
-        "begin", "end", "desc", "asc", "to",
-    };
-    for (std::string_view w : kSafe) {
-      if (EqualsIgnoreCase(word, w)) return true;
+  static bool IsSafeKeywordAsName(KeywordId kw) {
+    switch (kw) {
+      case Kw::kKey:
+      case Kw::kType:
+      case Kw::kColumn:
+      case Kw::kIndex:
+      case Kw::kView:
+      case Kw::kIf:
+      case Kw::kReplace:
+      case Kw::kIgnore:
+      case Kw::kEnum:
+      case Kw::kCheck:
+      case Kw::kDefault:
+      case Kw::kUnique:
+      case Kw::kLimit:
+      case Kw::kOffset:
+      case Kw::kValues:
+      case Kw::kBegin:
+      case Kw::kEnd:
+      case Kw::kDesc:
+      case Kw::kAsc:
+      case Kw::kTo:
+        return true;
+      default:
+        return false;
     }
-    return false;
   }
 
   ExprPtr ParseCase() {
-    ExpectKeyword("case");
-    auto e = std::make_unique<Expr>();
-    e->kind = ExprKind::kCase;
-    if (!Peek().IsKeyword("when")) {
+    ExpectKeyword(Kw::kCase);
+    ExprPtr e = NewExpr(ExprKind::kCase);
+    if (!Peek().IsKeyword(Kw::kWhen)) {
       e->children.push_back(ParseExpr());  // CASE <operand> WHEN ...
       e->text = "operand";
     }
-    while (MatchKeyword("when")) {
+    while (MatchKeyword(Kw::kWhen)) {
       e->children.push_back(ParseExpr());
-      ExpectKeyword("then");
+      ExpectKeyword(Kw::kThen);
       e->children.push_back(ParseExpr());
     }
-    if (MatchKeyword("else")) {
+    if (MatchKeyword(Kw::kElse)) {
       e->children.push_back(ParseExpr());
       e->negated = true;  // repurposed: marks the presence of an ELSE arm.
     }
-    ExpectKeyword("end");
+    ExpectKeyword(Kw::kEnd);
     return e;
   }
 
-  std::vector<Token> tokens_;
+  const std::vector<Token>& tokens_;
+  Arena* arena_;
+  std::pmr::memory_resource* mr_;
   size_t pos_ = 0;
   bool ok_ = true;
 };
 
-}  // namespace
-
-StatementPtr ParseStatement(std::string_view sql) {
-  Parser parser(Lex(sql));
+StatementPtr ParseWithBuffer(std::string_view sql, Arena* arena, TokenBuffer& buffer) {
+  const std::vector<Token>& tokens = Lex(sql, buffer);
+  Parser parser(tokens, arena);
   return parser.Parse(sql);
 }
 
+}  // namespace
+
+StatementPtr ParseStatement(std::string_view sql) {
+  TokenBuffer buffer;
+  return ParseWithBuffer(sql, nullptr, buffer);
+}
+
+StatementPtr ParseStatement(std::string_view sql, Arena* arena, TokenBuffer* buffer) {
+  if (buffer != nullptr) return ParseWithBuffer(sql, arena, *buffer);
+  TokenBuffer local;
+  return ParseWithBuffer(sql, arena, local);
+}
+
 std::vector<StatementPtr> ParseScript(std::string_view script) {
+  return ParseScript(script, nullptr, nullptr);
+}
+
+std::vector<StatementPtr> ParseScript(std::string_view script, Arena* arena,
+                                      TokenBuffer* buffer) {
+  TokenBuffer local;
+  TokenBuffer& buf = buffer != nullptr ? *buffer : local;
   std::vector<StatementPtr> out;
-  for (const std::string& piece : SplitStatements(script)) {
+  for (std::string_view piece : SplitStatements(script, nullptr, &buf)) {
     if (Trim(piece).empty()) continue;
-    out.push_back(ParseStatement(piece));
+    out.push_back(ParseWithBuffer(piece, arena, buf));
   }
   return out;
 }

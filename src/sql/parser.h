@@ -3,7 +3,9 @@
 #include <string_view>
 #include <vector>
 
+#include "common/arena.h"
 #include "sql/ast.h"
+#include "sql/lexer.h"
 
 namespace sqlcheck::sql {
 
@@ -13,9 +15,19 @@ namespace sqlcheck::sql {
 /// parser accepts any dialect it can make sense of, and anything it cannot
 /// parse comes back as an `UnknownStatement` carrying the raw token run so
 /// pattern-based rules still apply. This function never returns null.
+///
+/// The one-argument form builds a heap-tier statement (self-contained,
+/// deleted normally). The arena form is the hot path: the statement and its
+/// whole tree are placed in `arena` — zero heap allocations per node — and
+/// reclaimed when the arena is destroyed; `buffer` (optional) reuses token
+/// storage across calls. Arena statements must not outlive their arena.
 StatementPtr ParseStatement(std::string_view sql);
+StatementPtr ParseStatement(std::string_view sql, Arena* arena,
+                            TokenBuffer* buffer = nullptr);
 
 /// \brief Splits `script` on statement boundaries and parses each statement.
 std::vector<StatementPtr> ParseScript(std::string_view script);
+std::vector<StatementPtr> ParseScript(std::string_view script, Arena* arena,
+                                      TokenBuffer* buffer = nullptr);
 
 }  // namespace sqlcheck::sql

@@ -6,7 +6,7 @@ namespace sqlcheck::sql {
 
 namespace {
 
-std::string QuoteString(const std::string& s) {
+std::string QuoteString(std::string_view s) {
   std::string out = "'";
   for (char c : s) {
     if (c == '\'') out += "''";
@@ -17,13 +17,13 @@ std::string QuoteString(const std::string& s) {
 }
 
 /// Identifiers are emitted bare unless they need quoting.
-std::string PrintName(const std::string& name) {
+std::string PrintName(std::string_view name) {
   bool needs_quotes = name.empty();
   for (char c : name) {
     if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) needs_quotes = true;
   }
-  if (needs_quotes) return "\"" + name + "\"";
-  return name;
+  if (needs_quotes) return "\"" + std::string(name) + "\"";
+  return std::string(name);
 }
 
 std::string PrintSelectBody(const SelectStatement& s);
@@ -57,11 +57,11 @@ std::string PrintExprImpl(const Expr& e) {
     case ExprKind::kBoolLiteral:
       return e.text == "true" ? "TRUE" : "FALSE";
     case ExprKind::kNumberLiteral:
-      return e.text;
+      return std::string(e.text);
     case ExprKind::kStringLiteral:
       return QuoteString(e.text);
     case ExprKind::kParam:
-      return e.text;
+      return std::string(e.text);
     case ExprKind::kColumnRef: {
       std::vector<std::string> parts;
       for (const auto& p : e.name_parts) parts.push_back(PrintName(p));
@@ -72,13 +72,13 @@ std::string PrintExprImpl(const Expr& e) {
       return "*";
     case ExprKind::kUnary:
       if (EqualsIgnoreCase(e.text, "not")) return "NOT (" + PrintExprImpl(*e.children[0]) + ")";
-      return e.text + PrintExprImpl(*e.children[0]);
+      return std::string(e.text) + PrintExprImpl(*e.children[0]);
     case ExprKind::kBinary:
-      return "(" + PrintExprImpl(*e.children[0]) + " " + e.text + " " +
+      return "(" + PrintExprImpl(*e.children[0]) + " " + std::string(e.text) + " " +
              PrintExprImpl(*e.children[1]) + ")";
     case ExprKind::kLike:
-      return "(" + PrintExprImpl(*e.children[0]) + (e.negated ? " NOT " : " ") + e.text + " " +
-             PrintExprImpl(*e.children[1]) + ")";
+      return "(" + PrintExprImpl(*e.children[0]) + (e.negated ? " NOT " : " ") +
+             std::string(e.text) + " " + PrintExprImpl(*e.children[1]) + ")";
     case ExprKind::kIsNull:
       return "(" + PrintExprImpl(*e.children[0]) + (e.negated ? " IS NOT NULL" : " IS NULL") +
              ")";
@@ -129,14 +129,11 @@ std::string PrintExprImpl(const Expr& e) {
     case ExprKind::kSubquery:
       return "(" + (e.subquery ? PrintSelectBody(*e.subquery) : "") + ")";
     case ExprKind::kCast:
-      return "CAST(" + PrintExprImpl(*e.children[0]) + " AS " + e.text + ")";
-    case ExprKind::kRaw: {
-      std::vector<std::string> words;
-      for (const Token& t : e.raw_tokens) {
-        if (!t.Is(TokenKind::kEnd)) words.push_back(t.text);
-      }
-      return Join(words, " ");
-    }
+      return "CAST(" + PrintExprImpl(*e.children[0]) + " AS " + std::string(e.text) + ")";
+    case ExprKind::kRaw:
+      // Non-validating placeholder: parse failures fall back to
+      // UnknownStatement (printed from raw_sql), so kRaw has no payload.
+      return "";
   }
   return "";
 }
@@ -363,9 +360,9 @@ std::string PrintStatement(const Statement& stmt) {
              PrintName(s.index) + ";";
     }
     case StatementKind::kUnknown:
-      return stmt.raw_sql;
+      return std::string(stmt.raw_sql);
   }
-  return stmt.raw_sql;
+  return std::string(stmt.raw_sql);
 }
 
 }  // namespace sqlcheck::sql

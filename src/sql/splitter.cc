@@ -1,11 +1,12 @@
 #include "sql/splitter.h"
 
 #include "common/strings.h"
-#include "sql/lexer.h"
 
 namespace sqlcheck::sql {
 
 namespace {
+
+using Kw = KeywordId;
 
 /// Next non-comment token after `idx`, or nullptr at the end of the stream.
 const Token* NextCodeToken(const std::vector<Token>& tokens, size_t idx) {
@@ -17,22 +18,25 @@ const Token* NextCodeToken(const std::vector<Token>& tokens, size_t idx) {
 
 }  // namespace
 
-std::vector<std::string> SplitStatements(std::string_view script, bool* complete) {
+std::vector<std::string_view> SplitStatements(std::string_view script, bool* complete,
+                                              TokenBuffer* buffer) {
   // Lexing handles all the quoting/comment subtleties; we cut the raw text at
   // semicolon token offsets, but only outside BEGIN...END / CASE...END
   // compound bodies so trigger/procedure scripts survive in one piece.
   LexerOptions options;
   options.keep_comments = true;
-  std::vector<Token> tokens = Lex(script, options);
+  TokenBuffer local;
+  TokenBuffer& buf = buffer != nullptr ? *buffer : local;
+  const std::vector<Token>& tokens = Lex(script, buf, options);
 
-  std::vector<std::string> out;
+  std::vector<std::string_view> out;
   size_t piece_start = 0;
   int block_depth = 0;  ///< Open BEGIN/CASE blocks at the current token.
   const Token* prev_code = nullptr;  ///< Last non-comment token seen.
   for (size_t ti = 0; ti < tokens.size(); ++ti) {
     const Token& t = tokens[ti];
     if (t.Is(TokenKind::kKeyword)) {
-      if (t.IsKeyword("begin")) {
+      if (t.IsKeyword(Kw::kBegin)) {
         // Transaction-control BEGIN (`BEGIN;`, `BEGIN WORK/TRANSACTION`,
         // `BEGIN ISOLATION/READ ...`, SQLite's `BEGIN
         // DEFERRED/IMMEDIATE/EXCLUSIVE`) is a complete statement, not a
@@ -40,7 +44,8 @@ std::vector<std::string> SplitStatements(std::string_view script, bool* complete
         const Token* next = NextCodeToken(tokens, ti);
         bool transactional = next == nullptr || next->Is(TokenKind::kSemicolon) ||
                              next->Is(TokenKind::kEnd) ||
-                             next->IsKeyword("transaction") || next->IsKeyword("work") ||
+                             next->IsKeyword(Kw::kTransaction) ||
+                             EqualsIgnoreCase(next->text, "work") ||
                              EqualsIgnoreCase(next->text, "tran") ||
                              EqualsIgnoreCase(next->text, "isolation") ||
                              EqualsIgnoreCase(next->text, "read") ||
@@ -48,18 +53,18 @@ std::vector<std::string> SplitStatements(std::string_view script, bool* complete
                              EqualsIgnoreCase(next->text, "immediate") ||
                              EqualsIgnoreCase(next->text, "exclusive");
         if (!transactional) ++block_depth;
-      } else if (t.IsKeyword("case")) {
+      } else if (t.IsKeyword(Kw::kCase)) {
         // The CASE in `END CASE` closes a block (handled at the END token);
         // it must not count as opening a new one.
-        if (prev_code == nullptr || !prev_code->IsKeyword("end")) ++block_depth;
-      } else if (t.IsKeyword("end")) {
+        if (prev_code == nullptr || !prev_code->IsKeyword(Kw::kEnd)) ++block_depth;
+      } else if (t.IsKeyword(Kw::kEnd)) {
         // `END IF` / `END LOOP` / `END WHILE` / `END REPEAT` close constructs
         // we never counted (their openers are ambiguous with functions and
         // `IF EXISTS`); only bare END and `END CASE` close a tracked block.
         const Token* next = NextCodeToken(tokens, ti);
         bool closes_untracked =
             next != nullptr &&
-            (next->IsKeyword("if") || EqualsIgnoreCase(next->text, "loop") ||
+            (next->IsKeyword(Kw::kIf) || EqualsIgnoreCase(next->text, "loop") ||
              EqualsIgnoreCase(next->text, "while") ||
              EqualsIgnoreCase(next->text, "repeat"));
         if (!closes_untracked && block_depth > 0) --block_depth;
@@ -67,16 +72,17 @@ std::vector<std::string> SplitStatements(std::string_view script, bool* complete
     }
     if (t.Is(TokenKind::kSemicolon) && block_depth == 0) {
       std::string_view piece = script.substr(piece_start, t.offset - piece_start);
-      if (!Trim(piece).empty()) out.emplace_back(Trim(piece));
+      piece = Trim(piece);
+      if (!piece.empty()) out.push_back(piece);
       piece_start = t.offset + 1;
     }
     if (!t.Is(TokenKind::kComment)) prev_code = &t;
   }
   bool has_trailing_fragment = false;
   if (piece_start < script.size()) {
-    std::string_view piece = script.substr(piece_start);
-    if (!Trim(piece).empty()) {
-      out.emplace_back(Trim(piece));
+    std::string_view piece = Trim(script.substr(piece_start));
+    if (!piece.empty()) {
+      out.push_back(piece);
       has_trailing_fragment = true;
     }
   }

@@ -1,8 +1,9 @@
 #pragma once
 
-#include <string>
 #include <string_view>
 #include <vector>
+
+#include "sql/lexer.h"
 
 namespace sqlcheck::sql {
 
@@ -13,12 +14,18 @@ namespace sqlcheck::sql {
 /// Statements are returned without the trailing semicolon; empty pieces are
 /// dropped.
 ///
+/// Zero-copy: the returned pieces are trimmed views into `script`, valid
+/// while `script`'s buffer is. `buffer` (optional) reuses token storage
+/// across calls; the splitter is done with it when it returns, so callers
+/// may hand the same buffer straight to the parser for each piece.
+///
 /// If `complete` is non-null it reports whether the script ended cleanly at
 /// a top-level `;` — i.e. every returned piece is a finished statement. It
 /// is false when the final piece is a trailing fragment (mid-statement, or a
 /// `;` only inside a still-open BEGIN...END body or string literal), which
 /// streaming callers should keep buffering instead of analyzing.
-std::vector<std::string> SplitStatements(std::string_view script,
-                                         bool* complete = nullptr);
+std::vector<std::string_view> SplitStatements(std::string_view script,
+                                              bool* complete = nullptr,
+                                              TokenBuffer* buffer = nullptr);
 
 }  // namespace sqlcheck::sql

@@ -1,7 +1,10 @@
 #pragma once
 
-#include <string>
-#include <vector>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "sql/keywords.h"
 
 namespace sqlcheck::sql {
 
@@ -26,20 +29,39 @@ enum class TokenKind {
 /// \brief Returns a stable human-readable name for a token kind.
 const char* TokenKindName(TokenKind kind);
 
-/// \brief One lexical token with its source span.
+/// \brief One lexical token with its source span. Zero-copy: `text` is a
+/// view into the lexed source buffer for every token except the rare
+/// normalized payloads (quote-escape stripping, backslash escapes), which
+/// view the owning TokenBuffer's side arena instead (`normalized` set).
+/// Tokens are therefore only valid while their source buffer and TokenBuffer
+/// are; anything that outlives them (UnknownStatement) rebases the views
+/// onto storage it owns.
 struct Token {
   TokenKind kind = TokenKind::kEnd;
-  std::string text;    ///< Normalized payload (quotes stripped, keywords as written).
-  size_t offset = 0;   ///< Byte offset of the token start in the original SQL.
-  size_t length = 0;   ///< Byte length of the original lexeme (with quotes).
+  KeywordId keyword = KeywordId::kNoKeyword;  ///< Set for kKeyword tokens.
+  uint8_t op = 0;           ///< Operator code for kOperator (lexer_detail::OpCode).
+  bool normalized = false;  ///< `text` views the TokenBuffer, not the source.
+  std::string_view text;    ///< Normalized payload (quotes stripped, keywords as written).
+  size_t offset = 0;        ///< Byte offset of the token start in the original SQL.
+  size_t length = 0;        ///< Byte length of the original lexeme (with quotes).
 
   bool Is(TokenKind k) const { return kind == k; }
 
-  /// True if this is a keyword matching `kw` case-insensitively.
+  /// True if this is the given keyword — one integer compare.
+  bool IsKeyword(KeywordId k) const { return kind == TokenKind::kKeyword && keyword == k; }
+
+  /// True if this is a keyword matching `kw` case-insensitively. Prefer the
+  /// KeywordId overload on hot paths.
   bool IsKeyword(std::string_view kw) const;
 
-  /// True if this is an operator with exactly this spelling.
-  bool IsOperator(std::string_view op) const { return kind == TokenKind::kOperator && text == op; }
+  /// True if this is the operator with this code — one integer compare.
+  bool IsOperator(uint8_t code) const { return kind == TokenKind::kOperator && op == code; }
+
+  /// True if this is an operator with exactly this spelling. Prefer the
+  /// code overload on hot paths.
+  bool IsOperator(std::string_view spelling) const {
+    return kind == TokenKind::kOperator && text == spelling;
+  }
 };
 
 /// \brief True if `word` is in the SQL keyword table (case-insensitive).

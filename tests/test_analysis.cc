@@ -24,7 +24,7 @@ TEST(QueryAnalyzerTest, SelectShape) {
   EXPECT_TRUE(facts.has_where);
   EXPECT_TRUE(facts.order_by_rand);
   EXPECT_EQ(facts.join_count, 1);
-  EXPECT_EQ(facts.tables, (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_EQ(facts.tables, (std::vector<std::string_view>{"alpha", "beta"}));
   ASSERT_EQ(facts.joins.size(), 1u);
   EXPECT_EQ(facts.joins[0].left_table, "alpha");   // alias resolved
   EXPECT_EQ(facts.joins[0].right_table, "beta");
@@ -58,13 +58,13 @@ TEST(QueryAnalyzerTest, InsertShape) {
   EXPECT_TRUE(implicit.insert_without_columns);
   QueryFacts explicit_cols = Analyze("INSERT INTO t (a) VALUES (1)");
   EXPECT_FALSE(explicit_cols.insert_without_columns);
-  EXPECT_EQ(explicit_cols.insert_columns, (std::vector<std::string>{"a"}));
+  EXPECT_EQ(explicit_cols.insert_columns, (std::vector<std::string_view>{"a"}));
 }
 
 TEST(QueryAnalyzerTest, UpdateAndConcatColumns) {
   QueryFacts facts =
       Analyze("UPDATE t SET label = first || '-' || last WHERE id = 3");
-  EXPECT_EQ(facts.updated_columns, (std::vector<std::string>{"label"}));
+  EXPECT_EQ(facts.updated_columns, (std::vector<std::string_view>{"label"}));
   // Nested || nodes may re-visit operands; the contract is coverage, not
   // exact multiplicity.
   EXPECT_GE(facts.concat_columns.size(), 2u);

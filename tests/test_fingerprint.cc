@@ -93,6 +93,7 @@ TEST(FingerprintTest, CanonicalRenderingIsInjective) {
 }
 
 TEST(FingerprintTest, StreamingCanonicalizerMatchesTokenPath) {
+  sql::TokenBuffer buffer;
   // CanonicalizeSql is a tuned scanning pass; CanonicalizeTokens(Lex(...)) is
   // the reference. Any disagreement here could let the dedup cache merge two
   // statements the lexer distinguishes — keep them in lockstep.
@@ -114,7 +115,7 @@ TEST(FingerprintTest, StreamingCanonicalizerMatchesTokenPath) {
   };
   for (const FingerprintOptions& options : {kTemplate, kExact}) {
     for (const char* sql : tricky) {
-      EXPECT_EQ(CanonicalizeSql(sql, options), CanonicalizeTokens(Lex(sql), options))
+      EXPECT_EQ(CanonicalizeSql(sql, options), CanonicalizeTokens(Lex(sql, buffer), options))
           << "input: " << sql;
     }
   }

@@ -5,8 +5,19 @@
 namespace sqlcheck::sql {
 namespace {
 
+/// Shared buffer for the whole test binary: tokens from one LexAll stay
+/// valid until the next call, which is all these tests need.
+TokenBuffer& SharedBuffer() {
+  static TokenBuffer* buffer = new TokenBuffer();
+  return *buffer;
+}
+
+std::vector<Token> LexAll(std::string_view s, LexerOptions opts = {}) {
+  return Lex(s, SharedBuffer(), opts);
+}
+
 std::vector<Token> LexNoEnd(std::string_view s, LexerOptions opts = {}) {
-  auto tokens = Lex(s, opts);
+  auto tokens = LexAll(s, opts);
   EXPECT_FALSE(tokens.empty());
   EXPECT_EQ(tokens.back().kind, TokenKind::kEnd);
   tokens.pop_back();
@@ -14,7 +25,7 @@ std::vector<Token> LexNoEnd(std::string_view s, LexerOptions opts = {}) {
 }
 
 TEST(LexerTest, EmptyInputYieldsOnlyEnd) {
-  auto tokens = Lex("");
+  auto tokens = LexAll("");
   ASSERT_EQ(tokens.size(), 1u);
   EXPECT_EQ(tokens[0].kind, TokenKind::kEnd);
 }
@@ -171,7 +182,7 @@ TEST(LexerTest, JsonPathOperatorsAreSingleTokens) {
   auto tokens = LexNoEnd("j #>> 'p' #> 'q' @> r <@ s");
   std::vector<std::string> ops;
   for (const auto& t : tokens) {
-    if (t.kind == TokenKind::kOperator) ops.push_back(t.text);
+    if (t.kind == TokenKind::kOperator) ops.emplace_back(t.text);
   }
   EXPECT_EQ(ops, (std::vector<std::string>{"#>>", "#>", "@>", "<@"}));
 }
@@ -186,7 +197,7 @@ TEST(LexerTest, MultiCharOperators) {
   auto tokens = LexNoEnd("a || b <> c != d <= e >= f :: g == h");
   std::vector<std::string> ops;
   for (const auto& t : tokens) {
-    if (t.kind == TokenKind::kOperator) ops.push_back(t.text);
+    if (t.kind == TokenKind::kOperator) ops.emplace_back(t.text);
   }
   EXPECT_EQ(ops, (std::vector<std::string>{"||", "<>", "!=", "<=", ">=", "::", "=="}));
 }

@@ -59,7 +59,8 @@ TEST(ParserSelectTest, JoinVariants) {
 TEST(ParserSelectTest, JoinUsing) {
   const auto& s = ParseAs<SelectStatement>("SELECT * FROM a JOIN b USING (id, ts)");
   ASSERT_EQ(s.joins.size(), 1u);
-  EXPECT_EQ(s.joins[0].using_columns, (std::vector<std::string>{"id", "ts"}));
+  EXPECT_EQ(sql::ToStringVector(s.joins[0].using_columns),
+            (std::vector<std::string>{"id", "ts"}));
 }
 
 TEST(ParserSelectTest, CommaJoinCountsAsImplicitJoin) {
@@ -183,7 +184,7 @@ TEST(ParserInsertTest, ImplicitColumns) {
 TEST(ParserInsertTest, ExplicitColumnsMultiRow) {
   const auto& s =
       ParseAs<InsertStatement>("INSERT INTO t (a, b) VALUES (1, 2), (3, 4)");
-  EXPECT_EQ(s.columns, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(sql::ToStringVector(s.columns), (std::vector<std::string>{"a", "b"}));
   EXPECT_EQ(s.rows.size(), 2u);
 }
 
@@ -222,7 +223,9 @@ TEST(ParserCreateTableTest, ColumnsTypesConstraints) {
   EXPECT_TRUE(s.columns[0].primary_key);
   EXPECT_TRUE(s.columns[1].not_null);
   EXPECT_TRUE(s.columns[1].unique);
-  EXPECT_EQ(s.columns[1].type.params, (std::vector<int64_t>{120}));
+  EXPECT_EQ(std::vector<int64_t>(s.columns[1].type.params.begin(),
+                                 s.columns[1].type.params.end()),
+            (std::vector<int64_t>{120}));
   EXPECT_NE(s.columns[2].default_value, nullptr);
   ASSERT_TRUE(s.columns[3].references.has_value());
   EXPECT_EQ(s.columns[3].references->table, "roles");
@@ -250,7 +253,7 @@ TEST(ParserCreateTableTest, EnumType) {
   const auto& s = ParseAs<CreateTableStatement>(
       "CREATE TABLE u (role ENUM('admin', 'user', 'guest'))");
   ASSERT_EQ(s.columns.size(), 1u);
-  EXPECT_EQ(s.columns[0].type.enum_values,
+  EXPECT_EQ(sql::ToStringVector(s.columns[0].type.enum_values),
             (std::vector<std::string>{"admin", "user", "guest"}));
 }
 
@@ -267,7 +270,7 @@ TEST(ParserCreateIndexTest, UniqueAndPlain) {
   EXPECT_TRUE(s.unique);
   EXPECT_EQ(s.index, "idx_u");
   EXPECT_EQ(s.table, "t");
-  EXPECT_EQ(s.columns, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(sql::ToStringVector(s.columns), (std::vector<std::string>{"a", "b"}));
 }
 
 TEST(ParserAlterTest, AddDropColumnAndConstraint) {

@@ -78,7 +78,9 @@ std::string Serialize(const Report& report) {
 }
 
 std::vector<std::string> ScriptStatements() {
-  return sql::SplitStatements(kScript);
+  std::vector<std::string> out;
+  for (std::string_view piece : sql::SplitStatements(kScript)) out.emplace_back(piece);
+  return out;
 }
 
 TEST(SessionTest, EveryPrefixMatchesBatch) {

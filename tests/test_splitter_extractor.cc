@@ -166,7 +166,7 @@ TEST(SplitterTest, CompleteFlagTracksTopLevelTermination) {
   EXPECT_TRUE(complete);
 
   // Trailing fragment: the last piece is mid-statement.
-  std::vector<std::string> pieces = SplitStatements("SELECT 1; SELECT", &complete);
+  std::vector<std::string_view> pieces = SplitStatements("SELECT 1; SELECT", &complete);
   EXPECT_FALSE(complete);
   ASSERT_EQ(pieces.size(), 2u);
   EXPECT_EQ(pieces[1], "SELECT");

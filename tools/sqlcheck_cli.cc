@@ -162,7 +162,7 @@ void PrintDeltaText(const Report& report, size_t statement_index, bool color) {
 /// Streams findings for one just-checked statement (NDJSON flavor: one
 /// compact object per statement).
 void PrintDeltaJson(const Report& report, size_t statement_index,
-                    const std::string& sql) {
+                    std::string_view sql) {
   std::cout << "{\"statement\": " << statement_index << ", \"sql\": \""
             << JsonEscape(sql) << "\", \"findings\": [";
   for (size_t i = 0; i < report.findings.size(); ++i) {
@@ -188,7 +188,7 @@ size_t FollowStream(std::istream& in, AnalysisSession* session, const CliOptions
   auto drain = [&](bool flush) {
     if (Trim(buffer).empty()) return;
     bool terminated = false;
-    std::vector<std::string> pieces = sql::SplitStatements(buffer, &terminated);
+    std::vector<std::string_view> pieces = sql::SplitStatements(buffer, &terminated);
     size_t complete = flush || terminated ? pieces.size()
                       : pieces.empty()   ? 0
                                          : pieces.size() - 1;
@@ -204,7 +204,11 @@ size_t FollowStream(std::istream& in, AnalysisSession* session, const CliOptions
     }
     // Keep the unterminated fragment (newline restored so a trailing `--`
     // comment cannot swallow the next line).
-    buffer = complete < pieces.size() ? pieces.back() + "\n" : std::string();
+    // Keep the unterminated fragment. The pieces are views into `buffer`,
+    // so materialize the tail before overwriting it.
+    std::string remainder =
+        complete < pieces.size() ? std::string(pieces.back()) + "\n" : std::string();
+    buffer = std::move(remainder);
   };
   while (std::getline(in, line)) {
     buffer += line;
