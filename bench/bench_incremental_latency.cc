@@ -130,6 +130,27 @@ int main(int argc, char** argv) {
   double batch_ms = UsSince(batch_start) / 1000.0;
 
   bool identical = incremental_report.ToJson() == batch_report.ToJson();
+
+  // ---- Fix-suggestion overhead: the same history with fixes disabled. ----
+  // The diagnosis pipeline (per-rule fixers + rewrite verification) must be
+  // pay-for-what-you-use: with suggest_fixes off the snapshot must stay
+  // byte-identical between streaming and batch, and its timing prices what
+  // fix suggestion adds on top.
+  SqlCheckOptions no_fix_options;
+  no_fix_options.suggest_fixes = false;
+  AnalysisSession no_fix_session(no_fix_options);
+  for (const auto& sql : statements) no_fix_session.AddQuery(sql);
+  Report no_fix_report;
+  double snapshot_no_fix_ms = 1e100;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto start = Clock::now();
+    no_fix_report = no_fix_session.Snapshot();
+    snapshot_no_fix_ms = std::min(snapshot_no_fix_ms, UsSince(start) / 1000.0);
+  }
+  SqlCheck no_fix_batch(no_fix_options);
+  for (const auto& sql : statements) no_fix_batch.AddQuery(sql);
+  bool identical_no_fixes = no_fix_report.ToJson() == no_fix_batch.Run().ToJson();
+  double fix_overhead_ms = snapshot_ms - snapshot_no_fix_ms;
   double speedup = p99 > 0.0 ? (batch_ms * 1000.0) / p99 : 0.0;
 
   std::printf("%28s %12s\n", "metric", "value");
@@ -139,6 +160,10 @@ int main(int argc, char** argv) {
   std::printf("%28s %10.1fus\n", "append p99", p99);
   std::printf("%28s %10.1fus\n", "append mean", mean);
   std::printf("%28s %10.1fms\n", "full snapshot", snapshot_ms);
+  std::printf("%28s %10.1fms\n", "snapshot (fixes off)", snapshot_no_fix_ms);
+  std::printf("%28s %10.1fms\n", "fix suggestion overhead", fix_overhead_ms);
+  std::printf("%28s %9zu/%zu\n", "fix cache hits/misses", session.fix_cache_hits(),
+              session.fix_cache_misses());
   std::printf("%28s %10.1fms\n", "batch facade re-run", batch_ms);
   std::printf("%28s %11.1fx\n", "append speedup vs batch", speedup);
 
@@ -157,12 +182,20 @@ int main(int argc, char** argv) {
                  "  \"append_p99_us\": %.2f,\n"
                  "  \"append_mean_us\": %.2f,\n"
                  "  \"snapshot_ms\": %.2f,\n"
+                 "  \"snapshot_no_fixes_ms\": %.2f,\n"
+                 "  \"fix_overhead_ms\": %.2f,\n"
+                 "  \"fix_cache_hits\": %zu,\n"
+                 "  \"fix_cache_misses\": %zu,\n"
                  "  \"batch_rerun_ms\": %.2f,\n"
                  "  \"append_speedup_vs_batch\": %.2f,\n"
-                 "  \"reports_identical\": %s\n"
+                 "  \"reports_identical\": %s,\n"
+                 "  \"reports_identical_no_fixes\": %s\n"
                  "}\n",
                  statements.size(), session.unique_count(), p50, p99, mean,
-                 snapshot_ms, batch_ms, speedup, identical ? "true" : "false");
+                 snapshot_ms, snapshot_no_fix_ms, fix_overhead_ms,
+                 session.fix_cache_hits(), session.fix_cache_misses(), batch_ms,
+                 speedup, identical ? "true" : "false",
+                 identical_no_fixes ? "true" : "false");
     std::fclose(out);
     std::printf("\nwrote BENCH_incremental.json\n");
   }
@@ -171,7 +204,12 @@ int main(int argc, char** argv) {
     std::printf("FAIL: incremental snapshot diverged from the batch report\n");
     return 1;
   }
-  std::printf("incremental snapshot byte-identical to batch report\n");
+  if (!identical_no_fixes) {
+    std::printf(
+        "FAIL: fixes-disabled incremental snapshot diverged from the batch report\n");
+    return 1;
+  }
+  std::printf("incremental snapshot byte-identical to batch report (fixes on and off)\n");
 
   if (!gate) {
     std::printf("speedup gate off — pass --gate to enforce the 10x target\n");

@@ -3,7 +3,7 @@
 // sqlcheck 'yes' cross-checked against the module that provides it.
 #include <cstdio>
 
-#include "fix/repair_engine.h"
+#include "fix/fix_engine.h"
 #include "rules/registry.h"
 
 using namespace sqlcheck;

@@ -155,21 +155,31 @@ class FactCollector {
   }
 
   /// Records columns appearing under a concatenation (`a || b`, CONCAT(..)).
+  /// Columns inside a NULL-defaulting wrapper (COALESCE/IFNULL/NVL) are
+  /// skipped: the wrapper already supplies a fallback, so they cannot void
+  /// the concatenation — and the COALESCE rewrite the fix engine emits must
+  /// re-analyze clean.
   void CollectConcat(const sql::Expr& e) {
-    sql::VisitExpr(e, false, [&](const sql::Expr& node) {
-      if (node.kind == sql::ExprKind::kColumnRef) {
-        std::string_view table = ResolveTable(aliases_, node, sole_table_);
-        std::string qualified;
-        if (table.empty()) {
-          qualified = node.ColumnName();
-        } else {
-          qualified = table;
-          qualified += '.';
-          qualified += node.ColumnName();
-        }
-        facts_->concat_columns.push_back(std::move(qualified));
+    if (IsNullDefaulted(e)) return;
+    if (e.kind == sql::ExprKind::kColumnRef) {
+      std::string_view table = ResolveTable(aliases_, e, sole_table_);
+      std::string qualified;
+      if (table.empty()) {
+        qualified = e.ColumnName();
+      } else {
+        qualified = table;
+        qualified += '.';
+        qualified += e.ColumnName();
       }
-    });
+      facts_->concat_columns.push_back(std::move(qualified));
+    }
+    for (const auto& child : e.children) CollectConcat(*child);
+  }
+
+  static bool IsNullDefaulted(const sql::Expr& e) {
+    return e.kind == sql::ExprKind::kFunction &&
+           (EqualsIgnoreCase(e.text, "coalesce") || EqualsIgnoreCase(e.text, "ifnull") ||
+            EqualsIgnoreCase(e.text, "nvl"));
   }
 
   /// Scans any expression for embedded concat/pattern usages (select lists).

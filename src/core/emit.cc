@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cstdio>
 #include <sstream>
+#include <unordered_map>
 
 namespace sqlcheck {
 
@@ -49,6 +50,69 @@ size_t EmitLimit(const Report& report, const EmitOptions& options) {
 
 void AppendQuoted(std::ostringstream& out, std::string_view s) {
   out << '"' << JsonEscape(s) << '"';
+}
+
+/// Emits the SARIF 2.1.0 `fixes[]` member for one verified rewrite: one fix
+/// with one artifactChange whose replacement region is located inside the
+/// workload text. Statement-replacing rewrites delete the offending
+/// statement's span (found by its exact bytes — statements are stored as
+/// trimmed substrings of the source, so the match is the original span —
+/// extended over the trailing `;` so the `;`-terminated rewrite drops in
+/// without doubling the terminator); additive DDL inserts at end-of-artifact
+/// (charLength 0). `cursors` tracks the next search position per
+/// (rule, anchor) so repeated offending statements anchor to successive
+/// occurrences instead of all deleting the first one — same-type duplicates
+/// rank adjacently in stream order, so sequential assignment matches. Emits
+/// nothing when the anchor cannot be located or no content was supplied.
+void AppendSarifFixes(std::ostringstream& out, const Fix& fix,
+                      const EmitOptions& options,
+                      std::unordered_map<std::string, size_t>* cursors) {
+  if (!options.include_fixes || fix.kind != FixKind::kRewrite || !fix.verified ||
+      fix.statements.empty() || options.artifact_uri.empty() ||
+      options.artifact_content.empty()) {
+    return;
+  }
+  const std::string& content = options.artifact_content;
+  size_t offset = 0;
+  size_t length = 0;
+  if (fix.replaces_original) {
+    if (fix.original_sql.empty()) return;
+    std::string key = std::to_string(static_cast<int>(fix.type));
+    key += '\x1f';
+    key += fix.original_sql;
+    size_t& from = (*cursors)[key];
+    offset = content.find(fix.original_sql, from);
+    if (offset == std::string::npos) return;
+    from = offset + 1;  // the next duplicate anchors to the next occurrence
+    length = fix.original_sql.size();
+    // Fold the statement's own terminator into the deleted region.
+    size_t end = offset + length;
+    while (end < content.size() &&
+           std::isspace(static_cast<unsigned char>(content[end]))) {
+      ++end;
+    }
+    if (end < content.size() && content[end] == ';') length = end - offset + 1;
+  } else {
+    offset = content.size();  // insertion point: end of file
+  }
+  std::string inserted;
+  for (size_t s = 0; s < fix.statements.size(); ++s) {
+    if (s > 0) inserted += "\n";
+    inserted += fix.statements[s];
+  }
+  out << ",\n          \"fixes\": [\n            {\n";
+  out << "              \"description\": { \"text\": ";
+  AppendQuoted(out, fix.explanation);
+  out << " },\n              \"artifactChanges\": [\n                {\n";
+  out << "                  \"artifactLocation\": { \"uri\": ";
+  AppendQuoted(out, options.artifact_uri);
+  out << " },\n                  \"replacements\": [\n                    {\n";
+  out << "                      \"deletedRegion\": { \"charOffset\": " << offset
+      << ", \"charLength\": " << length << " },\n";
+  out << "                      \"insertedContent\": { \"text\": ";
+  AppendQuoted(out, inserted);
+  out << " }\n                    }\n                  ]\n                }\n"
+         "              ]\n            }\n          ]";
 }
 
 }  // namespace
@@ -102,6 +166,10 @@ std::string ToJson(const Report& report, const EmitOptions& options) {
     out << ",\n      \"source\": ";
     AppendQuoted(out, SourceName(d.source));
     out << ",\n      \"score\": " << FormatScore(f.ranked.score);
+    if (options.include_fixes) {
+      out << ",\n      \"severity\": ";
+      AppendQuoted(out, SeverityName(ScoreSeverity(f.ranked.score)));
+    }
     out << ",\n      \"table\": ";
     AppendQuoted(out, d.table);
     out << ",\n      \"column\": ";
@@ -121,8 +189,25 @@ std::string ToJson(const Report& report, const EmitOptions& options) {
       AppendQuoted(out, f.fix.statements[s]);
     }
     out << "],\n";
-    out << "        \"impacted_queries\": " << f.fix.impacted_queries.size() << "\n";
-    out << "      }\n";
+    out << "        \"impacted_queries\": " << f.fix.impacted_queries.size();
+    if (options.include_fixes) {
+      // Extended diagnosis surface (--fixes): verification status, anchor,
+      // and the impacted-query list itself.
+      out << ",\n        \"verified\": " << (f.fix.verified ? "true" : "false");
+      out << ",\n        \"replaces_original\": "
+          << (f.fix.replaces_original ? "true" : "false");
+      out << ",\n        \"verify_note\": ";
+      AppendQuoted(out, f.fix.verify_note);
+      out << ",\n        \"anchor\": ";
+      AppendQuoted(out, f.fix.original_sql);
+      out << ",\n        \"impacted\": [";
+      for (size_t q = 0; q < f.fix.impacted_queries.size(); ++q) {
+        out << (q == 0 ? "" : ", ");
+        AppendQuoted(out, f.fix.impacted_queries[q]);
+      }
+      out << "]";
+    }
+    out << "\n      }\n";
     out << "    }";
   }
   out << (limit == 0 ? "]" : "\n  ]");
@@ -168,6 +253,7 @@ std::string ToSarif(const Report& report, const EmitOptions& options) {
   out << "        }\n";
   out << "      },\n";
   out << "      \"results\": [";
+  std::unordered_map<std::string, size_t> fix_cursors;
   for (size_t i = 0; i < limit; ++i) {
     const Finding& f = report.findings[i];
     const Detection& d = f.ranked.detection;
@@ -201,6 +287,7 @@ std::string ToSarif(const Report& report, const EmitOptions& options) {
       }
       out << "\n            }\n          ]";
     }
+    AppendSarifFixes(out, f.fix, options, &fix_cursors);
     out << ",\n          \"properties\": { \"score\": " << FormatScore(f.ranked.score)
         << ", \"source\": ";
     AppendQuoted(out, SourceName(d.source));

@@ -14,6 +14,16 @@ struct EmitOptions {
   /// Artifact URI recorded in SARIF result locations ("" = omit physical
   /// locations; logical locations — table/column — are always emitted).
   std::string artifact_uri;
+  /// Surface the full diagnosis (the CLI's --fixes flag): ToJson adds the
+  /// verification fields and impacted-query list to each fix object, and
+  /// ToSarif emits SARIF 2.1.0 `fixes[]` with artifactChanges/replacements
+  /// whose regions are located inside `artifact_content`. Off by default so
+  /// the baseline emission stays byte-stable.
+  bool include_fixes = false;
+  /// The workload text behind `artifact_uri`; SARIF fix replacement regions
+  /// (deletedRegion charOffset/charLength) are computed by locating each
+  /// fix's anchor statement in it. Leave empty to omit fixes[] regions.
+  std::string artifact_content;
 };
 
 /// \brief Renders the report as deterministic, pretty-printed JSON: run

@@ -16,6 +16,12 @@ struct SqlCheckOptions {
   DataAnalyzerOptions data_analyzer;
   RankingWeights ranking_weights = RankingWeights::C1();
   InterQueryMode ranking_mode = InterQueryMode::kByScore;
+
+  /// Run ap-fix (Algorithm 4) after ranking: each detection's registered
+  /// Fixer proposes a repair and every mechanical rewrite is self-verified
+  /// (re-parse + re-analysis) before it is attached. Turning this off skips
+  /// the whole diagnosis pipeline — findings carry an empty Fix and the
+  /// detection stream is byte-identical either way.
   bool suggest_fixes = true;
 
   /// Worker threads for batch analysis (query analysis + rule evaluation).

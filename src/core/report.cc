@@ -23,11 +23,15 @@ std::string Report::ToText(size_t max_findings, bool color) const {
     const Finding& f = findings[i];
     const Detection& d = f.ranked.detection;
     // Severity-graded highlight: red for high-impact findings, yellow for
-    // mid, cyan for low (thresholds on the Figure 6 score).
-    const char* severity = !color            ? ""
-                           : f.ranked.score >= 0.5  ? "\x1b[31m"
-                           : f.ranked.score >= 0.15 ? "\x1b[33m"
-                                                    : "\x1b[36m";
+    // mid, cyan for low (thresholds live in ranking/model.h).
+    const char* severity = "";
+    if (color) {
+      switch (ScoreSeverity(f.ranked.score)) {
+        case Severity::kHigh: severity = "\x1b[31m"; break;
+        case Severity::kMedium: severity = "\x1b[33m"; break;
+        case Severity::kLow: severity = "\x1b[36m"; break;
+      }
+    }
     out << "\n[" << (i + 1) << "] " << bold << severity << ApName(d.type) << reset
         << "  (category: " << CategoryName(InfoFor(d.type).category)
         << ", score: " << severity << f.ranked.score << reset << ")\n";
@@ -39,10 +43,13 @@ std::string Report::ToText(size_t max_findings, bool color) const {
     if (!d.query.empty()) out << "    query: " << d.query << "\n";
     out << "    why: " << d.message << "\n";
     if (f.fix.kind == FixKind::kRewrite && !f.fix.statements.empty()) {
-      out << "    fix:\n";
+      out << (f.fix.verified ? "    fix (verified rewrite):\n" : "    fix:\n");
       for (const auto& stmt : f.fix.statements) out << "      " << stmt << "\n";
     } else {
       out << "    fix (manual): " << f.fix.explanation << "\n";
+      if (!f.fix.verify_note.empty()) {
+        out << "    note: rewrite withheld — " << f.fix.verify_note << "\n";
+      }
     }
     if (!f.fix.impacted_queries.empty()) {
       out << "    impacted queries: " << f.fix.impacted_queries.size() << "\n";

@@ -4,7 +4,8 @@
 
 #include "analysis/query_analyzer.h"
 #include "common/thread_pool.h"
-#include "fix/repair_engine.h"
+#include "fix/fix_engine.h"
+#include "fix/fixer.h"
 #include "sql/fingerprint.h"
 #include "sql/parser.h"
 
@@ -93,6 +94,7 @@ size_t AnalysisSession::IngestChunk(std::vector<sql::StatementPtr> stmts) {
       new_uniques.push_back(groups.unique.size());
       groups.unique.push_back(i);
       local_cache_.emplace_back();
+      fix_cache_.emplace_back();
     }
     context_.statements_.push_back(std::move(stmt));
     context_.query_facts_.emplace_back();
@@ -214,23 +216,49 @@ Report AnalysisSession::Snapshot() {
                                      std::move(per_group), std::move(data_detections)));
 }
 
-Report AnalysisSession::MakeReport(std::vector<Detection> detections) const {
+Report AnalysisSession::MakeReport(std::vector<Detection> detections) {
   // ap-rank (§5).
   RankingModel model(options_.ranking_weights, options_.ranking_mode);
   std::vector<RankedDetection> ranked = model.Rank(std::move(detections));
 
-  // ap-fix (§6).
-  RepairEngine repair;
+  // ap-fix (§6): per-rule fixers + verification, attached in rank order so
+  // fixes surface with the impact model's ordering.
+  FixEngine engine(registry_, options_.detector);
   Report report;
   report.findings.reserve(ranked.size());
   for (auto& r : ranked) {
     Finding finding;
-    finding.fix =
-        options_.suggest_fixes ? repair.SuggestFix(r.detection, context_) : Fix{};
+    if (options_.suggest_fixes) finding.fix = FixForDetection(r.detection, engine);
     finding.ranked = std::move(r);
     report.findings.push_back(std::move(finding));
   }
   return report;
+}
+
+Fix AnalysisSession::FixForDetection(const Detection& d, const FixEngine& engine) {
+  const Fixer* fixer = registry_.FindFixer(d.type);
+  const Rule* rule = registry_.FindRule(d.type);
+  bool cacheable = options_.dedup_queries && !d.query.empty() && fixer != nullptr &&
+                   fixer->fix_scope() == QueryRuleScope::kStatementLocal &&
+                   rule != nullptr &&
+                   rule->query_scope() == QueryRuleScope::kStatementLocal;
+  if (!cacheable) return engine.SuggestFix(d, context_);
+  auto raw_it = raw_memo_.find(std::string_view(d.query));
+  if (raw_it == raw_memo_.end()) return engine.SuggestFix(d, context_);
+  const size_t u = unique_pos_.at(raw_it->second);
+  for (const CachedFix& cached : fix_cache_[u]) {
+    if (cached.type == d.type && cached.table == d.table &&
+        cached.column == d.column) {
+      ++fix_cache_hits_;
+      Fix fix = cached.fix;
+      fix.original_sql = d.query;  // rebase the anchor onto this occurrence
+      return fix;
+    }
+  }
+  ++fix_cache_misses_;
+  Fix fix = engine.SuggestFix(d, context_);
+  fix_cache_[u].push_back({d.type, d.table, d.column, fix});
+  return fix;
 }
 
 }  // namespace sqlcheck

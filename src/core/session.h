@@ -16,6 +16,8 @@
 
 namespace sqlcheck {
 
+class FixEngine;
+
 /// \brief The incremental analysis engine: accepts statements one at a time
 /// (or in chunks), updates the Context in place, and re-runs only the
 /// affected rules. This is the long-lived core the paper's interactive
@@ -90,6 +92,11 @@ class AnalysisSession {
   size_t statement_count() const { return context_.statements_.size(); }
   /// Unique fingerprint groups seen (== statement_count() with dedup off).
   size_t unique_count() const { return context_.query_groups_.unique.size(); }
+  /// Fix-cache telemetry: replays served from / entries added to the
+  /// per-fingerprint-group fix cache (statement-local detection/action pairs
+  /// only; workload-sensitive fixes always re-evaluate).
+  size_t fix_cache_hits() const { return fix_cache_hits_; }
+  size_t fix_cache_misses() const { return fix_cache_misses_; }
 
  private:
   /// Appends `stmts` as one chunk: dedup bookkeeping serially, analysis and
@@ -108,8 +115,19 @@ class AnalysisSession {
   /// safe.
   void AssembleGroupDetections(size_t u, std::vector<Detection>* out);
 
-  /// ap-rank + ap-fix over an assembled detection stream.
-  Report MakeReport(std::vector<Detection> detections) const;
+  /// ap-rank + ap-fix over an assembled detection stream. Non-const: fix
+  /// suggestion funnels through the per-group fix cache.
+  Report MakeReport(std::vector<Detection> detections);
+
+  /// Cache-aware ap-fix for one ranked detection. Fixes whose detection half
+  /// *and* action half are both statement-local (Rule::query_scope() and
+  /// Fixer::fix_scope() == kStatementLocal) are computed once per unique
+  /// fingerprint group and replayed for every duplicate occurrence with the
+  /// anchor rebased onto the occurrence's raw text — exactly the detection
+  /// cache's contract. Everything else (catalog-driven expansions,
+  /// profile-driven DDL) re-evaluates against the current context, which is
+  /// what keeps replayed fixes valid as the workload grows.
+  Fix FixForDetection(const Detection& d, const FixEngine& engine);
 
   SqlCheckOptions options_;
   RuleRegistry registry_;
@@ -129,6 +147,20 @@ class AnalysisSession {
   /// Per unique group: per registry rule, the cached detections of every
   /// statement-local rule (workload-rule slots stay empty).
   std::vector<std::vector<std::vector<Detection>>> local_cache_;
+
+  /// One statement-local fix, keyed by what distinguishes detections within
+  /// a group (a rule may flag several columns of one statement).
+  struct CachedFix {
+    AntiPattern type;
+    std::string table;
+    std::string column;
+    Fix fix;
+  };
+  /// Per unique group: cached fixes of statement-local detection/action
+  /// pairs (parallel to local_cache_; grown per unique statement).
+  std::vector<std::vector<CachedFix>> fix_cache_;
+  size_t fix_cache_hits_ = 0;
+  size_t fix_cache_misses_ = 0;
 };
 
 }  // namespace sqlcheck

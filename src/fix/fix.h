@@ -13,14 +13,32 @@ namespace sqlcheck {
 enum class FixKind { kRewrite, kTextual };
 
 /// \brief One suggested fix for a detection.
+///
+/// `kRewrite` fixes produced by the built-in fixers are *self-verified*
+/// before they leave the FixEngine: every rewritten statement must re-lex and
+/// re-parse cleanly, and re-analysis with the originating rule must no longer
+/// report the anti-pattern. A proposal that fails verification is demoted to
+/// `kTextual` with the reason in `verify_note`, so a consumer can trust that
+/// `kind == kRewrite && verified` means "safe to apply mechanically".
 struct Fix {
   AntiPattern type = AntiPattern::kColumnWildcard;
   FixKind kind = FixKind::kTextual;
-  std::string original_sql;            ///< The offending statement ("" for data APs).
+  std::string original_sql;            ///< The offending statement; for data
+                                       ///< anti-patterns, the owning table's DDL
+                                       ///< (or "table.column") so emitters can
+                                       ///< always anchor a location.
   std::vector<std::string> statements; ///< New/rewritten SQL to apply, in order.
   std::vector<std::string> impacted_queries;  ///< Other workload queries the fix
                                               ///< touches (Algorithm 4's I set).
   std::string explanation;             ///< Why, and what to do when kind==kTextual.
+
+  /// statements[0..] *replace* the offending statement in place (query-shape
+  /// rewrites). False for additive fixes (new DDL the developer runs once).
+  bool replaces_original = false;
+  /// The rewrite passed the verification loop (re-parse + re-analysis).
+  bool verified = false;
+  /// Why a proposed rewrite was demoted to kTextual ("" when it was not).
+  std::string verify_note;
 };
 
 }  // namespace sqlcheck

@@ -1,0 +1,122 @@
+#include "fix/fix_engine.h"
+
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "common/strings.h"
+#include "fix/fixer.h"
+#include "fix/rewriter.h"
+
+namespace sqlcheck {
+
+namespace {
+
+/// Data anti-patterns detect on table profiles, not statements, so their
+/// fixes arrive with no query to anchor to. Anchor them to the owning
+/// table's DDL when the workload carries it (the per-table statement index
+/// makes this O(statements-on-table)), else to a "table.column" locator.
+void AnchorProvenance(Fix* fix, const Detection& d, const Context& context) {
+  if (!fix->original_sql.empty() || d.table.empty()) return;
+  for (const QueryFacts* facts : context.QueriesReferencing(d.table)) {
+    if (facts->kind == sql::StatementKind::kCreateTable && !facts->raw_sql.empty()) {
+      fix->original_sql = facts->raw_sql;
+      return;
+    }
+  }
+  fix->original_sql = d.table;
+  if (!d.column.empty()) {
+    fix->original_sql += '.';
+    fix->original_sql += d.column;
+  }
+}
+
+}  // namespace
+
+FixEngine::FixEngine(const RuleRegistry& registry, DetectorConfig config)
+    : registry_(&registry), config_(config) {}
+
+Fix FixEngine::SuggestFix(const Detection& d, const Context& context) const {
+  Fix fix;
+  const Fixer* fixer = registry_->FindFixer(d.type);
+  if (fixer == nullptr) {
+    // Custom rule without a registered action half: generic guidance.
+    fix.type = d.type;
+    fix.original_sql = d.query;
+    fix.kind = FixKind::kTextual;
+    fix.explanation = "review the detected anti-pattern";
+  } else {
+    fix = fixer->Propose(d, context);
+  }
+  AnchorProvenance(&fix, d, context);
+
+  if (fix.kind == FixKind::kRewrite) {
+    std::string memo_key;
+    memo_key.reserve(64);
+    memo_key += std::to_string(static_cast<int>(fix.type));
+    for (const std::string& stmt : fix.statements) {
+      memo_key += '\x1f';
+      memo_key += stmt;
+    }
+    auto [it, inserted] = verify_memo_.try_emplace(std::move(memo_key));
+    if (inserted) {
+      it->second = VerifyRewrite(fix, registry_->FindRule(d.type), context, config_);
+    }
+    const RewriteCheck& check = it->second;
+    if (check.ok) {
+      fix.verified = true;
+    } else {
+      // The proposal keeps its statements as a sketch, but loses the
+      // "mechanically applicable" promise.
+      fix.kind = FixKind::kTextual;
+      fix.verified = false;
+      fix.verify_note = check.reason;
+    }
+  }
+  return fix;
+}
+
+std::vector<Fix> FixEngine::SuggestFixes(const std::vector<Detection>& detections,
+                                         const Context& context) const {
+  std::vector<Fix> fixes;
+  fixes.reserve(detections.size());
+  for (const Detection& d : detections) fixes.push_back(SuggestFix(d, context));
+  return fixes;
+}
+
+std::string ApplyFixes(const Context& context, const Report& report,
+                       size_t* applied_count) {
+  // Highest-ranked verified rewrite per offending statement wins; the keys
+  // view the report's own Fix storage, which outlives this call.
+  std::unordered_map<std::string_view, const Fix*> replacements;
+  for (const Finding& f : report.findings) {
+    const Fix& fix = f.fix;
+    if (fix.kind != FixKind::kRewrite || !fix.verified || !fix.replaces_original) {
+      continue;
+    }
+    if (fix.original_sql.empty() || fix.statements.empty()) continue;
+    replacements.try_emplace(std::string_view(fix.original_sql), &fix);
+  }
+
+  std::string out;
+  size_t applied = 0;
+  for (const QueryFacts& facts : context.queries()) {
+    auto it = replacements.find(facts.raw_sql);
+    if (it == replacements.end()) {
+      out.append(facts.raw_sql);
+      // Statements are stored trimmed; restore the terminator they lost.
+      if (!facts.raw_sql.empty() && facts.raw_sql.back() != ';') out.push_back(';');
+      out.push_back('\n');
+      continue;
+    }
+    ++applied;
+    for (const std::string& stmt : it->second->statements) {
+      out.append(stmt);
+      out.push_back('\n');
+    }
+  }
+  if (applied_count != nullptr) *applied_count = applied;
+  return out;
+}
+
+}  // namespace sqlcheck

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/context.h"
+#include "core/report.h"
+#include "fix/fix.h"
+#include "fix/rewriter.h"
+#include "rules/registry.h"
+
+namespace sqlcheck {
+
+/// \brief ap-fix (Algorithm 4), refactored from a monolithic switch into the
+/// registry's per-rule Fixer objects plus this thin orchestrator. For each
+/// detection the engine
+///   1. looks up the detection's action half (RuleRegistry::FindFixer),
+///   2. lets it propose a fix (mechanical AST rewrite or textual guidance),
+///   3. anchors provenance — data anti-patterns get the owning table's DDL
+///      (or "table.column") as original_sql so emitters can always place the
+///      fix somewhere,
+///   4. self-verifies every kRewrite proposal (fix/rewriter.h): re-parse must
+///      succeed and re-analysis with the originating rule must come back
+///      clean, otherwise the proposal is demoted to kTextual with the reason
+///      in Fix::verify_note.
+class FixEngine {
+ public:
+  /// `registry` supplies both halves (rules for verification, fixers for
+  /// proposals) and must outlive the engine. `config` is the detector
+  /// configuration re-analysis runs under (thresholds change what "fixed"
+  /// means).
+  explicit FixEngine(const RuleRegistry& registry, DetectorConfig config = {});
+
+  /// Suggests a (verified) fix for one detection.
+  Fix SuggestFix(const Detection& detection, const Context& context) const;
+
+  /// Suggests fixes for a ranked batch, in order.
+  std::vector<Fix> SuggestFixes(const std::vector<Detection>& detections,
+                                const Context& context) const;
+
+ private:
+  const RuleRegistry* registry_;
+  DetectorConfig config_;
+  /// Verification verdict per unique (type, rewritten statements) proposal.
+  /// The engine is scoped to one report assembly (the context does not
+  /// change under it), so re-verifying an identical rewrite — workloads
+  /// repeat the same offending shapes constantly — is pure waste; this memo
+  /// collapses it to one parse + re-analysis per distinct proposal.
+  mutable std::unordered_map<std::string, RewriteCheck> verify_memo_;
+};
+
+/// \brief Applies every verified statement-replacing rewrite in `report` to
+/// the workload `context` was built from and returns the rewritten script:
+/// statements stay in workload order, each offender replaced by its rewrite.
+/// Findings are visited in report order (ap-rank order), so when two fixes
+/// target the same statement the higher-impact rewrite wins. Additive DDL
+/// fixes (CREATE INDEX, ALTER TABLE, ...) are *not* appended — they change
+/// the schema and belong to a migration the developer reviews. Backs the
+/// CLI's --apply flag. `applied_count` (optional) receives the number of
+/// statements that were replaced.
+std::string ApplyFixes(const Context& context, const Report& report,
+                       size_t* applied_count = nullptr);
+
+}  // namespace sqlcheck

@@ -1,0 +1,40 @@
+#pragma once
+
+#include "analysis/context.h"
+#include "fix/fix.h"
+#include "rules/rule.h"
+
+namespace sqlcheck {
+
+/// \brief The action half of a rule (Algorithm 4): proposes a fix for one
+/// detection of its anti-pattern. Fixers are registered in the RuleRegistry
+/// alongside their detection halves, so detection/action pairs travel
+/// together and custom deployments can swap either side independently.
+///
+/// A fixer only *proposes*; the FixEngine owns the verification loop that
+/// promotes a proposal to a trusted `kRewrite` (or demotes it to `kTextual`
+/// with a reason). Implementations should route mechanical transformations
+/// through the AST rewriter (fix/rewriter.h) rather than string pasting, so
+/// the proposal inherits the printer's round-trip guarantees.
+class Fixer {
+ public:
+  virtual ~Fixer() = default;
+
+  /// The anti-pattern this fixer repairs (pairs it with the Rule of the same
+  /// type in the registry).
+  virtual AntiPattern type() const = 0;
+
+  /// Caching contract, mirroring Rule::query_scope(): kStatementLocal means
+  /// Propose() derives the fix from the detection (and its parse tree) alone
+  /// and never reads the evolving workload context — the incremental session
+  /// may compute it once per unique fingerprint group and replay it verbatim.
+  /// The conservative default forces re-evaluation whenever the workload may
+  /// have changed (catalog-driven expansions, data-profile-driven DDL, ...).
+  virtual QueryRuleScope fix_scope() const { return QueryRuleScope::kWorkload; }
+
+  /// Proposes a fix for one detection of type(). `d.stmt` may be null (data
+  /// anti-patterns); implementations must degrade to a textual fix then.
+  virtual Fix Propose(const Detection& d, const Context& context) const = 0;
+};
+
+}  // namespace sqlcheck

@@ -74,4 +74,19 @@ std::vector<RankedDetection> RankingModel::Rank(std::vector<Detection> detection
   return ranked;
 }
 
+Severity ScoreSeverity(double score) {
+  if (score >= 0.5) return Severity::kHigh;
+  if (score >= 0.15) return Severity::kMedium;
+  return Severity::kLow;
+}
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kHigh: return "high";
+    case Severity::kMedium: return "medium";
+    case Severity::kLow: return "low";
+  }
+  return "low";
+}
+
 }  // namespace sqlcheck

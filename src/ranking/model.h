@@ -35,6 +35,17 @@ struct RankedDetection {
   ApMetrics metrics;
 };
 
+/// \brief Severity grading of a Figure-6 impact score — the single place
+/// the thresholds live, so every consumer (the text renderer's color
+/// grading, the --fixes JSON "severity" field) draws the same lines.
+enum class Severity { kHigh, kMedium, kLow };
+
+/// >= 0.5 is high, >= 0.15 medium, below that low.
+Severity ScoreSeverity(double score);
+
+/// Stable lowercase name ("high" / "medium" / "low").
+const char* SeverityName(Severity severity);
+
 /// \brief ap-rank: scores detections with the Figure 6 formulae and orders
 /// them so the developer's attention lands on high-impact APs first.
 class RankingModel {

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "fix/fixers.h"
 #include "rules/data_rules.h"
 #include "rules/logical_rules.h"
 #include "rules/physical_rules.h"
@@ -17,7 +18,22 @@ RuleRegistry RuleRegistry::Default() {
   for (auto& rule : MakePhysicalDesignRules()) registry.Register(std::move(rule));
   for (auto& rule : MakeQueryRules()) registry.Register(std::move(rule));
   for (auto& rule : MakeDataRules()) registry.Register(std::move(rule));
+  for (auto& fixer : MakeBuiltinFixers()) registry.RegisterFixer(std::move(fixer));
   return registry;
+}
+
+const Rule* RuleRegistry::FindRule(AntiPattern type) const {
+  for (const auto& rule : rules_) {
+    if (rule->type() == type) return rule.get();
+  }
+  return nullptr;
+}
+
+const Fixer* RuleRegistry::FindFixer(AntiPattern type) const {
+  for (auto it = fixers_.rbegin(); it != fixers_.rend(); ++it) {
+    if ((*it)->type() == type) return it->get();
+  }
+  return nullptr;
 }
 
 Status RuleRegistry::Disable(const std::vector<std::string>& names) {

@@ -145,6 +145,137 @@ TEST(EmitSarifTest, EmptyReportIsStillAValidRun) {
             static_cast<size_t>(kAntiPatternCount));
 }
 
+TEST(EmitFixesTest, GoldenJsonWithVerifiedRewrite) {
+  // --fixes surface: the fix object gains verification fields and the
+  // impacted list; everything before them is byte-identical to the default
+  // emission (the baseline shape is golden-tested above).
+  SqlCheck checker;
+  checker.AddScript(
+      "CREATE TABLE users (user_id INTEGER PRIMARY KEY, name VARCHAR(10));\n"
+      "SELECT * FROM users;\n");
+  Report report = checker.Run();
+  ASSERT_EQ(report.size(), 1u);
+
+  EmitOptions options;
+  options.include_fixes = true;
+  const char* kGoldenFix = R"json(      "fix": {
+        "kind": "rewrite",
+        "explanation": "expanded SELECT * into the concrete column list so schema changes cannot silently alter the result shape",
+        "statements": ["SELECT user_id, name FROM users;"],
+        "impacted_queries": 0,
+        "verified": true,
+        "replaces_original": true,
+        "verify_note": "",
+        "anchor": "SELECT * FROM users",
+        "impacted": []
+      })json";
+  std::string json = ToJson(report, options);
+  EXPECT_NE(json.find(kGoldenFix), std::string::npos) << json;
+  // Severity grading (ranking/model.h thresholds) rides the same surface.
+  EXPECT_NE(json.find("\"severity\": \"medium\""), std::string::npos) << json;
+
+  // Without --fixes the very same report emits the baseline fix shape.
+  std::string baseline = ToJson(report);
+  EXPECT_EQ(baseline.find("\"verified\""), std::string::npos);
+  EXPECT_NE(baseline.find("\"impacted_queries\": 0\n"), std::string::npos);
+}
+
+TEST(EmitFixesTest, GoldenSarifFixesShape) {
+  const char* kWorkload =
+      "CREATE TABLE users (user_id INTEGER PRIMARY KEY, name VARCHAR(10));\n"
+      "SELECT * FROM users;\n";
+  SqlCheck checker;
+  checker.AddScript(kWorkload);
+  Report report = checker.Run();
+  ASSERT_EQ(report.size(), 1u);
+
+  EmitOptions options;
+  options.include_fixes = true;
+  options.artifact_uri = "app/queries.sql";
+  options.artifact_content = kWorkload;
+  std::string sarif = ToSarif(report, options);
+
+  // SARIF 2.1.0 fixes[] shape, pinned exactly: one fix, one artifactChange,
+  // one replacement whose deletedRegion spans the offending statement's
+  // bytes inside the artifact.
+  const char* kGoldenFixes = R"json(          "fixes": [
+            {
+              "description": { "text": "expanded SELECT * into the concrete column list so schema changes cannot silently alter the result shape" },
+              "artifactChanges": [
+                {
+                  "artifactLocation": { "uri": "app/queries.sql" },
+                  "replacements": [
+                    {
+                      "deletedRegion": { "charOffset": 68, "charLength": 20 },
+                      "insertedContent": { "text": "SELECT user_id, name FROM users;" }
+                    }
+                  ]
+                }
+              ]
+            }
+          ],)json";
+  EXPECT_NE(sarif.find(kGoldenFixes), std::string::npos) << sarif;
+
+  // The deleted region really is the offending statement, terminator
+  // included — applying the ;-terminated rewrite must not double it.
+  EXPECT_EQ(std::string(kWorkload).substr(68, 20), "SELECT * FROM users;");
+
+  // Default SARIF emission stays fix-free.
+  EmitOptions plain;
+  plain.artifact_uri = "app/queries.sql";
+  EXPECT_EQ(ToSarif(report, plain).find("\"fixes\""), std::string::npos);
+}
+
+TEST(EmitFixesTest, DuplicateOffendersAnchorToSuccessiveOccurrences) {
+  const char* kWorkload =
+      "CREATE TABLE users (user_id INTEGER PRIMARY KEY, name VARCHAR(10));\n"
+      "SELECT * FROM users;\n"
+      "SELECT * FROM users;\n";
+  SqlCheck checker;
+  checker.AddScript(kWorkload);
+  Report report = checker.Run();
+  ASSERT_EQ(report.size(), 2u);
+
+  EmitOptions options;
+  options.include_fixes = true;
+  options.artifact_uri = "app/queries.sql";
+  options.artifact_content = kWorkload;
+  std::string sarif = ToSarif(report, options);
+  // Two identical offending statements: each result's fix must delete its
+  // own occurrence, not both the first.
+  std::string content(kWorkload);
+  size_t first = content.find("SELECT * FROM users;");
+  size_t second = content.find("SELECT * FROM users;", first + 1);
+  EXPECT_NE(sarif.find("\"charOffset\": " + std::to_string(first) + ","),
+            std::string::npos)
+      << sarif;
+  EXPECT_NE(sarif.find("\"charOffset\": " + std::to_string(second) + ","),
+            std::string::npos)
+      << sarif;
+}
+
+TEST(EmitFixesTest, AdditiveDdlFixInsertsAtEndOfArtifact) {
+  const char* kWorkload =
+      "CREATE TABLE t (k INTEGER PRIMARY KEY, owner VARCHAR(10));\n"
+      "SELECT k FROM t WHERE owner = 'x';\n";
+  SqlCheck checker;
+  checker.AddScript(kWorkload);
+  Report report = checker.Run();
+
+  EmitOptions options;
+  options.include_fixes = true;
+  options.artifact_uri = "app/queries.sql";
+  options.artifact_content = kWorkload;
+  std::string sarif = ToSarif(report, options);
+  // Index Underuse proposes CREATE INDEX — an additive fix: zero-length
+  // deletion at end-of-artifact.
+  std::string expected = "\"deletedRegion\": { \"charOffset\": " +
+                         std::to_string(std::string(kWorkload).size()) +
+                         ", \"charLength\": 0 }";
+  EXPECT_NE(sarif.find(expected), std::string::npos) << sarif;
+  EXPECT_NE(sarif.find("CREATE INDEX idx_t_owner ON t (owner);"), std::string::npos);
+}
+
 TEST(ReportTextTest, ColorAddsAnsiWithoutChangingDefaultOutput) {
   Report report = FindAntiPatterns("SELECT * FROM users");
   std::string plain = report.ToText();

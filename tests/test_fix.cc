@@ -1,4 +1,4 @@
-#include "fix/repair_engine.h"
+#include "fix/fix_engine.h"
 
 #include <gtest/gtest.h>
 
@@ -23,7 +23,8 @@ FixResult FixFor(const std::string& script, AntiPattern type,
   if (db != nullptr) builder.AttachDatabase(db);
   Context context = builder.Build();
   auto detections = DetectAntiPatterns(context, DetectorConfig{});
-  RepairEngine engine;
+  RuleRegistry registry = RuleRegistry::Default();
+  FixEngine engine(registry, DetectorConfig{});
   for (const auto& d : detections) {
     if (d.type == type) return {engine.SuggestFix(d, context), true};
   }
@@ -185,7 +186,8 @@ TEST(FixTest, EveryDetectionGetsSomeFix) {
   Context context = builder.Build();
   auto detections = DetectAntiPatterns(context, DetectorConfig{});
   ASSERT_GE(detections.size(), 4u);
-  RepairEngine engine;
+  RuleRegistry registry = RuleRegistry::Default();
+  FixEngine engine(registry);
   auto fixes = engine.SuggestFixes(detections, context);
   ASSERT_EQ(fixes.size(), detections.size());
   for (const auto& fix : fixes) {
@@ -201,7 +203,8 @@ TEST(FixTest, RewrittenStatementsAllParse) {
       "SELECT * FROM t;");
   Context context = builder.Build();
   auto detections = DetectAntiPatterns(context, DetectorConfig{});
-  RepairEngine engine;
+  RuleRegistry registry = RuleRegistry::Default();
+  FixEngine engine(registry);
   for (const auto& fix : engine.SuggestFixes(detections, context)) {
     if (fix.kind != FixKind::kRewrite) continue;
     for (const auto& stmt : fix.statements) {

@@ -13,7 +13,7 @@
 #include "core/session.h"
 #include "core/sqlcheck.h"
 #include "engine/executor.h"
-#include "fix/repair_engine.h"
+#include "fix/fix_engine.h"
 #include "ranking/model.h"
 #include "rules/registry.h"
 #include "sql/splitter.h"
@@ -61,7 +61,7 @@ Report ReferencePipeline(const std::vector<std::string>& statements,
 
   RankingModel model(options.ranking_weights, options.ranking_mode);
   std::vector<RankedDetection> ranked = model.Rank(detections);
-  RepairEngine repair;
+  FixEngine repair(registry, options.detector);
   Report report;
   for (auto& r : ranked) {
     Finding finding;

@@ -21,6 +21,8 @@
 #include "core/emit.h"
 #include "core/session.h"
 #include "core/sqlcheck.h"
+#include "fix/fix_engine.h"
+#include "fix/fixers.h"
 #include "sql/splitter.h"
 
 namespace {
@@ -38,6 +40,14 @@ options:
                               report findings per completed statement as it
                               arrives (formats: text, or json as one JSON
                               object per statement)
+  --fixes                     surface the full diagnosis: json gains the fix
+                              verification fields, sarif gains fixes[] with
+                              artifactChange replacements (ingestible by
+                              GitHub code scanning)
+  --apply <out.sql>           write the workload with every verified rewrite
+                              applied in place (batch mode only)
+  --explain <NAME>            describe one rule — detection scope, impact
+                              flags, and its repair strategy — and exit
   --color                     highlight text output with ANSI colors
   --top <N>                   emit only the N highest-impact findings
   --disable <NAME[,NAME...]>  disable rules by anti-pattern name, e.g.
@@ -54,9 +64,11 @@ enum class Format { kText, kJson, kSarif };
 struct CliOptions {
   Format format = Format::kText;
   bool follow = false;
+  bool fixes = false;
   bool color = false;
   size_t top = 0;
   int parallelism = 1;
+  std::string apply_path;  ///< --apply target ("" = off).
   std::vector<std::string> disabled;
   std::vector<std::string> files;
 };
@@ -109,6 +121,38 @@ bool ParseArgs(int argc, char** argv, CliOptions* cli, int* exit_code) {
       }
     } else if (arg == "--follow") {
       cli->follow = true;
+    } else if (arg == "--fixes") {
+      cli->fixes = true;
+    } else if (arg == "--apply") {
+      if (!value_of(&i, arg, &value)) return false;
+      cli->apply_path = value;
+    } else if (arg == "--explain") {
+      if (!value_of(&i, arg, &value)) return false;
+      const ApInfo* info = FindApInfoByName(Trim(value));
+      if (info == nullptr) {
+        *exit_code = UsageError("--explain: unknown rule '" + value +
+                                "' (see --rules for the catalog)");
+        return false;
+      }
+      RuleRegistry registry = RuleRegistry::Default();
+      const Rule* rule = registry.FindRule(info->type);
+      std::printf("%s  (category: %s)\n", info->name, CategoryName(info->category));
+      std::printf("  impact:%s%s%s%s%s\n", info->performance ? " performance" : "",
+                  info->maintainability ? " maintainability" : "",
+                  info->data_amplification ? " data-amplification" : "",
+                  info->data_integrity ? " data-integrity" : "",
+                  info->accuracy ? " accuracy" : "");
+      std::printf("  detection: %s\n",
+                  rule != nullptr &&
+                          rule->query_scope() == QueryRuleScope::kStatementLocal
+                      ? "statement-local (cached per unique statement)"
+                      : "workload-sensitive (re-evaluated as the workload grows)");
+      std::printf("  fix: %s\n", FixerContract(info->type));
+      std::printf("  every mechanical rewrite is self-verified: it must re-parse and "
+                  "re-analysis must no longer\n  report the anti-pattern, else the fix "
+                  "falls back to guidance with the reason attached\n");
+      *exit_code = 0;
+      return false;
     } else if (arg == "--color") {
       cli->color = true;
     } else if (arg == "--top") {
@@ -242,6 +286,9 @@ int main(int argc, char** argv) {
   if (cli.follow && cli.format == Format::kSarif) {
     return UsageError("--follow supports text and json output, not sarif");
   }
+  if (cli.follow && !cli.apply_path.empty()) {
+    return UsageError("--apply requires batch mode, not --follow");
+  }
 
   SqlCheckOptions options;
   options.parallelism = cli.parallelism;
@@ -271,11 +318,14 @@ int main(int argc, char** argv) {
     return findings > 0 ? 1 : 0;
   }
 
-  // Batch: ingest everything, snapshot once.
+  // Batch: ingest everything, snapshot once. The raw workload text is kept
+  // for SARIF fix replacement regions (--fixes).
+  std::string workload;
   if (use_stdin) {
     std::ostringstream content;
     content << std::cin.rdbuf();
-    session.AddScript(content.str());
+    workload = content.str();
+    session.AddScript(workload);
   } else {
     for (const auto& path : cli.files) {
       std::ifstream in(path);
@@ -285,18 +335,37 @@ int main(int argc, char** argv) {
       }
       std::ostringstream content;
       content << in.rdbuf();
-      session.AddScript(content.str());
+      std::string text = content.str();
+      session.AddScript(text);
+      workload += text;
     }
   }
 
   Report report = session.Snapshot();
   EmitOptions emit;
   emit.max_findings = cli.top;
-  if (cli.files.size() == 1 && cli.files[0] != "-") emit.artifact_uri = cli.files[0];
+  emit.include_fixes = cli.fixes;
+  if (cli.files.size() == 1 && cli.files[0] != "-") {
+    emit.artifact_uri = cli.files[0];
+    if (cli.fixes) emit.artifact_content = workload;
+  }
   switch (cli.format) {
     case Format::kText: std::cout << report.ToText(cli.top, cli.color); break;
     case Format::kJson: std::cout << ToJson(report, emit); break;
     case Format::kSarif: std::cout << ToSarif(report, emit); break;
+  }
+
+  if (!cli.apply_path.empty()) {
+    size_t applied = 0;
+    std::string rewritten = ApplyFixes(session.context(), report, &applied);
+    std::ofstream out(cli.apply_path);
+    if (!out) {
+      std::cerr << "sqlcheck: cannot write '" << cli.apply_path << "'\n";
+      return 2;
+    }
+    out << rewritten;
+    std::cerr << "sqlcheck: wrote " << cli.apply_path << " (" << applied
+              << " statement(s) rewritten)\n";
   }
   return report.empty() ? 0 : 1;
 }
