@@ -1,0 +1,360 @@
+// Server load: drives an in-process sqlcheck-server with N concurrent
+// tenant sessions (default 1000), each streaming the same statement mix
+// over loopback TCP, and measures aggregate statements/sec plus the
+// per-request round-trip latency distribution (p50/p99). Two correctness
+// checks are always enforced, not just under --gate:
+//   * byte-identity — every session's final snapshot findings must equal,
+//     byte for byte, the offline AnalysisSession run of the same stream;
+//   * bounded memory — every session must stay within the configured
+//     per-session arena cap (plus at most one chunk of slack).
+// Results go to BENCH_server.json. With --gate the run additionally
+// requires >= 1000 concurrent sessions, >= 1000 statements/sec, and a
+// request p99 under 250ms.
+//
+//   $ ./bench_server_load [sessions] [statements_per_session] [--gate]
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/emit.h"
+#include "core/session.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/wire.h"
+
+using namespace sqlcheck;
+using server::LineClient;
+using server::ServerOptions;
+using server::SqlCheckServer;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr size_t kArenaCapBytes = 512 << 10;
+constexpr size_t kArenaSlackBytes = 64 << 10;  // at most one chunk of overshoot
+
+double UsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+}
+
+/// The per-tenant statement stream: DDL to seed design rules, duplicate-heavy
+/// queries for the memo, and a tail of unique statements. Identical across
+/// sessions so one offline run prices the expected bytes for all of them.
+std::vector<std::string> BuildStream(size_t count) {
+  static const char* kTemplates[] = {
+      "SELECT * FROM users WHERE status = 'active'",
+      "SELECT u.name, o.total FROM users u JOIN orders o ON u.id = o.user_id",
+      "SELECT name FROM users WHERE email LIKE '%@example.com'",
+      "SELECT id, name FROM users GROUP BY id, name ORDER BY RAND()",
+      "SELECT name, password FROM users WHERE password = 'hunter2'",
+  };
+  constexpr size_t kTemplateCount = sizeof(kTemplates) / sizeof(kTemplates[0]);
+  std::vector<std::string> stream;
+  stream.reserve(count + 2);
+  stream.push_back(
+      "CREATE TABLE users (id INT, name VARCHAR(64), email VARCHAR(64), "
+      "password VARCHAR(64), status VARCHAR(8), tag_ids TEXT)");
+  stream.push_back("CREATE TABLE orders (id INT, user_id INT, total FLOAT)");
+  for (size_t i = 0; stream.size() < count + 2; ++i) {
+    if (i % 5 == 4) {
+      stream.push_back("SELECT name FROM users WHERE id = " + std::to_string(i));
+    } else {
+      stream.push_back(kTemplates[i % kTemplateCount]);
+    }
+  }
+  return stream;
+}
+
+std::string CheckRequest(const std::string& sql) {
+  return R"({"op": "check", "sql": ")" + JsonEscape(sql) + "\"}";
+}
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  size_t index = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[index];
+}
+
+/// Pulls one numeric field out of a stats response — enough JSON for a bench.
+uint64_t ExtractNumber(const std::string& json, const std::string& key) {
+  size_t at = json.find("\"" + key + "\": ");
+  if (at == std::string::npos) return 0;
+  return static_cast<uint64_t>(std::atoll(json.c_str() + at + key.size() + 4));
+}
+
+/// Reads one full response (finding lines + terminal); returns the terminal
+/// line, appending any finding lines to `findings` when non-null.
+bool ReadResponse(LineClient* client, std::string* terminal,
+                  std::vector<std::string>* findings = nullptr) {
+  std::string line;
+  while (client->ReadLine(&line).ok()) {
+    if (line.rfind("{\"op\": \"finding\", ", 0) == 0) {
+      if (findings != nullptr) findings->push_back(line);
+      continue;
+    }
+    *terminal = line;
+    return true;
+  }
+  return false;
+}
+
+struct WorkerResult {
+  std::vector<double> latencies_us;
+  size_t identity_mismatches = 0;
+  size_t cap_breaches = 0;
+  size_t errors = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t sessions = 1000;
+  size_t per_session = 20;
+  bool gate = false;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--gate") {
+      gate = true;
+    } else if (positional++ == 0) {
+      sessions = static_cast<size_t>(std::atoll(argv[i]));
+    } else {
+      per_session = static_cast<size_t>(std::atoll(argv[i]));
+    }
+  }
+
+  // One fd per session plus epoll/listen/wake overhead; raise the soft
+  // RLIMIT_NOFILE toward the hard cap (best-effort — CI runners often
+  // default to 1024 soft).
+  rlimit nofile{};
+  if (getrlimit(RLIMIT_NOFILE, &nofile) == 0 && nofile.rlim_cur < nofile.rlim_max) {
+    nofile.rlim_cur = nofile.rlim_max;
+    setrlimit(RLIMIT_NOFILE, &nofile);
+  }
+  if (getrlimit(RLIMIT_NOFILE, &nofile) == 0 &&
+      nofile.rlim_cur < 2 * sessions + 64) {
+    std::fprintf(stderr,
+                 "FAIL: RLIMIT_NOFILE %llu too low for %zu sessions "
+                 "(need ~%zu; raise with ulimit -n)\n",
+                 static_cast<unsigned long long>(nofile.rlim_cur), sessions,
+                 2 * sessions + 64);
+    return 1;
+  }
+
+  std::vector<std::string> stream = BuildStream(per_session);
+  std::printf("server load: %zu concurrent sessions x %zu statements "
+              "(arena cap %zuKiB/session)\n\n",
+              sessions, stream.size(), kArenaCapBytes >> 10);
+
+  // The expected bytes, priced once offline: the same stream through a plain
+  // AnalysisSession, findings serialized with the same emitter the server
+  // streams through.
+  SqlCheckOptions offline_options;
+  AnalysisSession offline(offline_options);
+  for (const auto& sql : stream) offline.Check(sql);
+  Report offline_report = offline.Snapshot();
+  std::vector<std::string> expected;
+  expected.reserve(offline_report.findings.size());
+  for (size_t i = 0; i < offline_report.findings.size(); ++i) {
+    expected.push_back("{\"op\": \"finding\", \"finding\": " +
+                       FindingToJsonLine(offline_report.findings[i], i + 1) + "}");
+  }
+
+  ServerOptions options;
+  options.port = 0;
+  options.max_sessions = sessions + 16;
+  options.analysis.limits.arena_cap_bytes = kArenaCapBytes;
+  SqlCheckServer srv(options);
+  Status status = srv.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "FAIL: %s\n", status.message().c_str());
+    return 1;
+  }
+
+  // ---- Phase 1: open every session up front; all stay connected. ----
+  auto connect_start = Clock::now();
+  std::vector<LineClient> clients(sessions);
+  {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> failures{0};
+    auto connect_some = [&] {
+      for (size_t i = next.fetch_add(1); i < sessions; i = next.fetch_add(1)) {
+        std::string hello;
+        if (!clients[i].Connect("127.0.0.1", srv.port()).ok() ||
+            !clients[i].ReadLine(&hello).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    };
+    std::vector<std::thread> connectors;
+    for (int t = 0; t < 8; ++t) connectors.emplace_back(connect_some);
+    for (auto& t : connectors) t.join();
+    if (failures.load() != 0) {
+      std::fprintf(stderr, "FAIL: %zu/%zu connections failed\n", failures.load(),
+                   sessions);
+      return 1;
+    }
+  }
+  double connect_ms = UsSince(connect_start) / 1000.0;
+  size_t concurrent = srv.gauges().active_sessions.load();
+
+  // ---- Phase 2: every session streams every statement. ----
+  const int driver_threads = 8;
+  std::vector<WorkerResult> results(driver_threads);
+  auto load_start = Clock::now();
+  {
+    std::vector<std::thread> drivers;
+    for (int t = 0; t < driver_threads; ++t) {
+      drivers.emplace_back([&, t] {
+        WorkerResult& r = results[t];
+        for (size_t i = t; i < sessions; i += driver_threads) {
+          for (const auto& sql : stream) {
+            auto start = Clock::now();
+            std::string terminal;
+            if (!clients[i].SendLine(CheckRequest(sql)).ok() ||
+                !ReadResponse(&clients[i], &terminal) ||
+                terminal.find("\"ok\": true") == std::string::npos) {
+              ++r.errors;
+              continue;
+            }
+            r.latencies_us.push_back(UsSince(start));
+          }
+        }
+      });
+    }
+    for (auto& t : drivers) t.join();
+  }
+  double load_secs = UsSince(load_start) / 1e6;
+
+  // ---- Phase 3: per-session identity + cap audit. ----
+  {
+    std::vector<std::thread> auditors;
+    for (int t = 0; t < driver_threads; ++t) {
+      auditors.emplace_back([&, t] {
+        WorkerResult& r = results[t];
+        for (size_t i = t; i < sessions; i += driver_threads) {
+          std::vector<std::string> findings;
+          std::string terminal;
+          if (!clients[i].SendLine(R"({"op": "snapshot"})").ok() ||
+              !ReadResponse(&clients[i], &terminal, &findings)) {
+            ++r.errors;
+            continue;
+          }
+          if (findings != expected) ++r.identity_mismatches;
+          if (!clients[i].SendLine(R"({"op": "stats"})").ok() ||
+              !ReadResponse(&clients[i], &terminal)) {
+            ++r.errors;
+            continue;
+          }
+          if (ExtractNumber(terminal, "arena_reserved_bytes") >
+              kArenaCapBytes + kArenaSlackBytes) {
+            ++r.cap_breaches;
+          }
+        }
+      });
+    }
+    for (auto& t : auditors) t.join();
+  }
+  for (auto& client : clients) client.Close();
+  srv.Stop();
+
+  std::vector<double> latencies;
+  size_t identity_mismatches = 0, cap_breaches = 0, errors = 0;
+  for (const auto& r : results) {
+    latencies.insert(latencies.end(), r.latencies_us.begin(), r.latencies_us.end());
+    identity_mismatches += r.identity_mismatches;
+    cap_breaches += r.cap_breaches;
+    errors += r.errors;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  double p50 = Percentile(latencies, 0.50);
+  double p99 = Percentile(latencies, 0.99);
+  double stmts_per_sec =
+      load_secs > 0.0 ? static_cast<double>(latencies.size()) / load_secs : 0.0;
+
+  std::printf("%28s %12s\n", "metric", "value");
+  std::printf("%28s %12zu\n", "concurrent sessions", concurrent);
+  std::printf("%28s %10.1fms\n", "connect all", connect_ms);
+  std::printf("%28s %12zu\n", "check requests", latencies.size());
+  std::printf("%28s %11.0f/s\n", "statements", stmts_per_sec);
+  std::printf("%28s %10.1fus\n", "request p50", p50);
+  std::printf("%28s %10.1fus\n", "request p99", p99);
+  std::printf("%28s %12zu\n", "identity mismatches", identity_mismatches);
+  std::printf("%28s %12zu\n", "arena cap breaches", cap_breaches);
+  std::printf("%28s %12zu\n", "request errors", errors);
+
+  FILE* out = std::fopen("BENCH_server.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "FAIL: cannot write BENCH_server.json\n");
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"server_load\",\n"
+               "  \"sessions\": %zu,\n"
+               "  \"concurrent_sessions\": %zu,\n"
+               "  \"statements_per_session\": %zu,\n"
+               "  \"arena_cap_bytes\": %zu,\n"
+               "  \"connect_all_ms\": %.2f,\n"
+               "  \"check_requests\": %zu,\n"
+               "  \"statements_per_sec\": %.1f,\n"
+               "  \"request_p50_us\": %.2f,\n"
+               "  \"request_p99_us\": %.2f,\n"
+               "  \"identity_mismatches\": %zu,\n"
+               "  \"cap_breaches\": %zu,\n"
+               "  \"request_errors\": %zu\n"
+               "}\n",
+               sessions, concurrent, stream.size(), kArenaCapBytes, connect_ms,
+               latencies.size(), stmts_per_sec, p50, p99, identity_mismatches,
+               cap_breaches, errors);
+  std::fclose(out);
+  std::printf("\nwrote BENCH_server.json\n");
+
+  if (identity_mismatches != 0) {
+    std::printf("FAIL: %zu session(s) diverged from the offline report bytes\n",
+                identity_mismatches);
+    return 1;
+  }
+  if (cap_breaches != 0) {
+    std::printf("FAIL: %zu session(s) exceeded the arena cap\n", cap_breaches);
+    return 1;
+  }
+  if (errors != 0) {
+    std::printf("FAIL: %zu request(s) errored\n", errors);
+    return 1;
+  }
+  std::printf("all %zu sessions byte-identical to the offline run, caps held\n",
+              sessions);
+
+  if (!gate) {
+    std::printf("load gate off — pass --gate to enforce the 1k-session targets\n");
+    return 0;
+  }
+  bool pass = true;
+  if (concurrent < 1000) {
+    std::printf("FAIL: only %zu concurrent sessions (target 1000)\n", concurrent);
+    pass = false;
+  }
+  if (stmts_per_sec < 1000.0) {
+    std::printf("FAIL: %.0f statements/sec (target 1000)\n", stmts_per_sec);
+    pass = false;
+  }
+  if (p99 > 250000.0) {
+    std::printf("FAIL: request p99 %.1fms (target 250ms)\n", p99 / 1000.0);
+    pass = false;
+  }
+  if (!pass) return 1;
+  std::printf("gate passed: %zu sessions, %.0f stmts/sec, p99 %.1fms\n", concurrent,
+              stmts_per_sec, p99 / 1000.0);
+  return 0;
+}

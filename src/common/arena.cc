@@ -107,6 +107,30 @@ void Arena::Reset() {
   }
 }
 
+void Arena::Trim(size_t keep_bytes) {
+  if (bytes_used_ != 0) return;  // live allocations would dangle — refuse
+  while (chunks_.size() > 1 && bytes_reserved_ > keep_bytes) {
+    Chunk* chunk = chunks_.back();
+    bytes_reserved_ -= chunk->capacity;
+    UnpoisonChunk(chunk);
+    ::operator delete(chunk);
+    chunks_.pop_back();
+  }
+  // Re-anchor the cursor (the freed tail may have held it) and restart the
+  // doubling schedule from what is left, as a fresh arena of this size would.
+  active_ = 0;
+  if (chunks_.empty()) {
+    cursor_ = nullptr;
+    limit_ = nullptr;
+  } else {
+    cursor_ = chunks_[0]->data();
+    limit_ = chunks_[0]->data() + chunks_[0]->capacity;
+    next_chunk_bytes_ = chunks_[0]->capacity < kMaxChunkBytes / 2
+                            ? chunks_[0]->capacity * 2
+                            : kMaxChunkBytes;
+  }
+}
+
 void Arena::UnpoisonChunk(Chunk* chunk) {
   SQLCHECK_UNPOISON(chunk->data(), chunk->capacity);
 }

@@ -58,8 +58,17 @@ class Arena final : public std::pmr::memory_resource {
 
   /// Invalidates all allocations; retains every chunk for reuse, so a
   /// steady-state Reset/refill cycle never touches the heap. Memory is
-  /// returned to the system only on destruction.
+  /// returned to the system only on destruction (or an explicit Trim).
   void Reset();
+
+  /// Returns retained chunks to the heap until `bytes_reserved()` drops to
+  /// `keep_bytes` (later chunks freed first; the first chunk always stays).
+  /// Only legal when nothing is live — i.e. immediately after Reset() — and
+  /// checked: a Trim with `bytes_used() != 0` is a no-op. This is the
+  /// memory-discipline valve for long-lived per-tenant scratch buffers: one
+  /// giant statement must not pin its high-water chunks for the rest of the
+  /// session (see AnalysisSession's scratch trimming).
+  void Trim(size_t keep_bytes = 0);
 
   /// Bytes handed out since construction/Reset (live payload).
   size_t bytes_used() const { return bytes_used_; }

@@ -31,6 +31,14 @@ NameId NameInterner::Find(std::string_view name) const {
   return it == map_.end() ? kNoName : it->second;
 }
 
+size_t NameInterner::memory_bytes() const {
+  // Arena reservation + dense entry table + an estimate of the node-based
+  // hash map (one pointer-linked node per entry, one bucket pointer each).
+  return storage_->bytes_reserved() + entries_.capacity() * sizeof(Entry) +
+         map_.bucket_count() * sizeof(void*) +
+         map_.size() * (sizeof(std::pair<std::string_view, NameId>) + 2 * sizeof(void*));
+}
+
 void NameInterner::Merge(const NameInterner& other, std::vector<NameId>* remap) {
   if (remap != nullptr) {
     remap->assign(other.entries_.size(), kNoName);

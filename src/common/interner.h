@@ -55,6 +55,12 @@ class NameInterner {
   /// Number of distinct names interned (ids run 1..size()).
   size_t size() const { return entries_.size() - 1; }
 
+  /// Approximate heap footprint: name-byte arena reservation plus the entry
+  /// table and hash-map structures. Feeds per-tenant accounting (the server's
+  /// `stats` op and SessionLimits::interner_cap_names sizing guidance) — an
+  /// estimate, not an allocator-exact byte count.
+  size_t memory_bytes() const;
+
   /// Folds every name of `other` into this interner. `remap` (optional) maps
   /// other's ids to this interner's: `remap[other_id] == Intern(spelling)`.
   /// This is the shard-merge path: parallel workers intern lock-free into

@@ -10,22 +10,6 @@ namespace sqlcheck {
 
 namespace {
 
-/// Stable machine identifier for an anti-pattern: the display name lowered
-/// with non-alphanumerics folded to '-' (e.g. "column-wildcard-usage").
-std::string ApSlug(AntiPattern type) {
-  std::string slug;
-  for (char c : std::string_view(ApName(type))) {
-    if (std::isalnum(static_cast<unsigned char>(c))) {
-      slug.push_back(
-          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
-    } else if (!slug.empty() && slug.back() != '-') {
-      slug.push_back('-');
-    }
-  }
-  if (!slug.empty() && slug.back() == '-') slug.pop_back();
-  return slug;
-}
-
 const char* SourceName(DetectionSource source) {
   switch (source) {
     case DetectionSource::kIntraQuery: return "intra-query";
@@ -50,6 +34,83 @@ size_t EmitLimit(const Report& report, const EmitOptions& options) {
 
 void AppendQuoted(std::ostringstream& out, std::string_view s) {
   out << '"' << JsonEscape(s) << '"';
+}
+
+/// The one finding serializer behind both renderings: pretty (`pretty` with
+/// `pad` as the object's base indent — ToJson's result entries, byte-stable
+/// and golden-tested) and compact (single line — the server's NDJSON finding
+/// unit). Field set and ordering are identical by construction.
+void AppendFindingObject(std::ostringstream& out, const Finding& f, size_t rank,
+                         bool include_fixes, bool pretty, std::string_view pad) {
+  const Detection& d = f.ranked.detection;
+  const std::string nl = pretty ? "\n" : "";
+  const std::string ind2 = pretty ? std::string(pad) + "  " : "";
+  const std::string ind3 = pretty ? std::string(pad) + "    " : "";
+  const char* comma = pretty ? "," : ", ";
+  auto key = [&](const std::string& ind, const char* name, bool first) {
+    out << (first ? "" : comma) << nl << ind << '"' << name << "\": ";
+  };
+  out << pad << "{";
+  key(ind2, "rank", true);
+  out << rank;
+  key(ind2, "rule", false);
+  AppendQuoted(out, ApName(d.type));
+  key(ind2, "id", false);
+  AppendQuoted(out, ApSlug(d.type));
+  key(ind2, "category", false);
+  AppendQuoted(out, CategoryName(InfoFor(d.type).category));
+  key(ind2, "source", false);
+  AppendQuoted(out, SourceName(d.source));
+  key(ind2, "score", false);
+  out << FormatScore(f.ranked.score);
+  if (include_fixes) {
+    key(ind2, "severity", false);
+    AppendQuoted(out, SeverityName(ScoreSeverity(f.ranked.score)));
+  }
+  key(ind2, "table", false);
+  AppendQuoted(out, d.table);
+  key(ind2, "column", false);
+  AppendQuoted(out, d.column);
+  key(ind2, "query", false);
+  AppendQuoted(out, d.query);
+  key(ind2, "message", false);
+  AppendQuoted(out, d.message);
+  key(ind2, "fix", false);
+  out << "{";
+  key(ind3, "kind", true);
+  out << '"' << (f.fix.kind == FixKind::kRewrite ? "rewrite" : "textual") << '"';
+  key(ind3, "explanation", false);
+  AppendQuoted(out, f.fix.explanation);
+  key(ind3, "statements", false);
+  out << "[";
+  for (size_t s = 0; s < f.fix.statements.size(); ++s) {
+    out << (s == 0 ? "" : ", ");
+    AppendQuoted(out, f.fix.statements[s]);
+  }
+  out << "]";
+  key(ind3, "impacted_queries", false);
+  out << f.fix.impacted_queries.size();
+  if (include_fixes) {
+    // Extended diagnosis surface (--fixes): verification status, anchor,
+    // and the impacted-query list itself.
+    key(ind3, "verified", false);
+    out << (f.fix.verified ? "true" : "false");
+    key(ind3, "replaces_original", false);
+    out << (f.fix.replaces_original ? "true" : "false");
+    key(ind3, "verify_note", false);
+    AppendQuoted(out, f.fix.verify_note);
+    key(ind3, "anchor", false);
+    AppendQuoted(out, f.fix.original_sql);
+    key(ind3, "impacted", false);
+    out << "[";
+    for (size_t q = 0; q < f.fix.impacted_queries.size(); ++q) {
+      out << (q == 0 ? "" : ", ");
+      AppendQuoted(out, f.fix.impacted_queries[q]);
+    }
+    out << "]";
+  }
+  out << nl << ind2 << "}";
+  out << nl << pad << "}";
 }
 
 /// Emits the SARIF 2.1.0 `fixes[]` member for one verified rewrite: one fix
@@ -143,6 +204,25 @@ std::string JsonEscape(std::string_view s) {
   return out;
 }
 
+std::string ApSlug(AntiPattern type) {
+  std::string slug;
+  for (char c : std::string_view(ApName(type))) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!slug.empty() && slug.back() != '-') {
+      slug.push_back('-');
+    }
+  }
+  if (!slug.empty() && slug.back() == '-') slug.pop_back();
+  return slug;
+}
+
+std::string FindingToJsonLine(const Finding& finding, size_t rank, bool include_fixes) {
+  std::ostringstream out;
+  AppendFindingObject(out, finding, rank, include_fixes, /*pretty=*/false, "");
+  return out.str();
+}
+
 std::string ToJson(const Report& report, const EmitOptions& options) {
   const size_t limit = EmitLimit(report, options);
   std::ostringstream out;
@@ -152,63 +232,9 @@ std::string ToJson(const Report& report, const EmitOptions& options) {
   out << "  \"distinct_types\": " << report.DistinctTypes() << ",\n";
   out << "  \"results\": [";
   for (size_t i = 0; i < limit; ++i) {
-    const Finding& f = report.findings[i];
-    const Detection& d = f.ranked.detection;
     out << (i == 0 ? "\n" : ",\n");
-    out << "    {\n";
-    out << "      \"rank\": " << (i + 1) << ",\n";
-    out << "      \"rule\": ";
-    AppendQuoted(out, ApName(d.type));
-    out << ",\n      \"id\": ";
-    AppendQuoted(out, ApSlug(d.type));
-    out << ",\n      \"category\": ";
-    AppendQuoted(out, CategoryName(InfoFor(d.type).category));
-    out << ",\n      \"source\": ";
-    AppendQuoted(out, SourceName(d.source));
-    out << ",\n      \"score\": " << FormatScore(f.ranked.score);
-    if (options.include_fixes) {
-      out << ",\n      \"severity\": ";
-      AppendQuoted(out, SeverityName(ScoreSeverity(f.ranked.score)));
-    }
-    out << ",\n      \"table\": ";
-    AppendQuoted(out, d.table);
-    out << ",\n      \"column\": ";
-    AppendQuoted(out, d.column);
-    out << ",\n      \"query\": ";
-    AppendQuoted(out, d.query);
-    out << ",\n      \"message\": ";
-    AppendQuoted(out, d.message);
-    out << ",\n      \"fix\": {\n";
-    out << "        \"kind\": \""
-        << (f.fix.kind == FixKind::kRewrite ? "rewrite" : "textual") << "\",\n";
-    out << "        \"explanation\": ";
-    AppendQuoted(out, f.fix.explanation);
-    out << ",\n        \"statements\": [";
-    for (size_t s = 0; s < f.fix.statements.size(); ++s) {
-      out << (s == 0 ? "" : ", ");
-      AppendQuoted(out, f.fix.statements[s]);
-    }
-    out << "],\n";
-    out << "        \"impacted_queries\": " << f.fix.impacted_queries.size();
-    if (options.include_fixes) {
-      // Extended diagnosis surface (--fixes): verification status, anchor,
-      // and the impacted-query list itself.
-      out << ",\n        \"verified\": " << (f.fix.verified ? "true" : "false");
-      out << ",\n        \"replaces_original\": "
-          << (f.fix.replaces_original ? "true" : "false");
-      out << ",\n        \"verify_note\": ";
-      AppendQuoted(out, f.fix.verify_note);
-      out << ",\n        \"anchor\": ";
-      AppendQuoted(out, f.fix.original_sql);
-      out << ",\n        \"impacted\": [";
-      for (size_t q = 0; q < f.fix.impacted_queries.size(); ++q) {
-        out << (q == 0 ? "" : ", ");
-        AppendQuoted(out, f.fix.impacted_queries[q]);
-      }
-      out << "]";
-    }
-    out << "\n      }\n";
-    out << "    }";
+    AppendFindingObject(out, report.findings[i], i + 1, options.include_fixes,
+                        /*pretty=*/true, "    ");
   }
   out << (limit == 0 ? "]" : "\n  ]");
   if (limit < report.findings.size()) {

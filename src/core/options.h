@@ -9,6 +9,33 @@
 
 namespace sqlcheck {
 
+/// \brief Hard growth caps for a long-lived AnalysisSession. A batch run
+/// obviously bounds its own memory (the workload is finite), but a session
+/// fed by an untrusted network peer does not — the parse-tree arena, the
+/// fingerprint memos, and the name interner all grow monotonically with the
+/// statement stream. The sqlcheck-server holds one session per tenant, so
+/// each cap here is a per-tenant quota: once a limit is reached the session
+/// refuses further appends (AnalysisSession::quota_status() reports why)
+/// while Check()/Snapshot() over the already-ingested history keep working.
+/// 0 = unlimited (the default, so process-local callers are unaffected).
+struct SessionLimits {
+  /// Statements the session may hold; appends are refused at the cap.
+  size_t max_statements = 0;
+  /// Raw SQL bytes the session may ingest across its lifetime. Enforced
+  /// before parsing: a request that would cross the cap is refused whole.
+  size_t max_ingest_bytes = 0;
+  /// Reserved-byte cap on the session's parse-tree arena. Checked before
+  /// each append, so growth overshoots by at most one chunk (<= 1 MiB).
+  size_t arena_cap_bytes = 0;
+  /// Distinct identifiers the session's name interner may hold.
+  size_t interner_cap_names = 0;
+
+  bool unlimited() const {
+    return max_statements == 0 && max_ingest_bytes == 0 && arena_cap_bytes == 0 &&
+           interner_cap_names == 0;
+  }
+};
+
 /// \brief Top-level configuration for a SqlCheck run: which analyses are
 /// enabled, rule thresholds, sampling, and the ranking model shape.
 struct SqlCheckOptions {
@@ -46,6 +73,10 @@ struct SqlCheckOptions {
   /// and the full rule set stays active. The CLI's --disable flag plumbs
   /// straight into this.
   std::vector<std::string> disabled_rules;
+
+  /// Per-session growth quotas (see SessionLimits). Defaults to unlimited;
+  /// the sqlcheck-server sets these per tenant from its flags.
+  SessionLimits limits;
 
   /// Convenience presets mirroring the paper's evaluation configurations.
   static SqlCheckOptions IntraQueryOnly();

@@ -36,24 +36,92 @@ void AnalysisSession::RegisterRule(std::unique_ptr<Rule> rule) {
   registry_.Register(std::move(rule));
 }
 
+namespace {
+
+/// Scratch (TokenBuffer) reservation above which the post-append trim kicks
+/// in: steady-state statements stay far below this, so only a pathological
+/// one-off statement ever pays the trim/regrow cycle.
+constexpr size_t kScratchTrimBytes = 1 << 20;
+
+}  // namespace
+
+Status AnalysisSession::CheckQuota(size_t incoming_bytes) const {
+  const SessionLimits& limits = options_.limits;
+  if (limits.unlimited()) return Status::Ok();
+  if (limits.max_statements != 0 &&
+      context_.statements_.size() >= limits.max_statements) {
+    return Status::Error("statement quota exhausted (max_statements=" +
+                         std::to_string(limits.max_statements) + ")");
+  }
+  if (limits.max_ingest_bytes != 0 &&
+      ingested_bytes_ + incoming_bytes > limits.max_ingest_bytes) {
+    return Status::Error("ingest byte quota exhausted (max_ingest_bytes=" +
+                         std::to_string(limits.max_ingest_bytes) + ")");
+  }
+  if (limits.arena_cap_bytes != 0 &&
+      context_.arena_->bytes_reserved() >= limits.arena_cap_bytes) {
+    return Status::Error("session arena cap reached (arena_cap_bytes=" +
+                         std::to_string(limits.arena_cap_bytes) + ")");
+  }
+  if (limits.interner_cap_names != 0 &&
+      context_.names().size() >= limits.interner_cap_names) {
+    return Status::Error("interner name cap reached (interner_cap_names=" +
+                         std::to_string(limits.interner_cap_names) + ")");
+  }
+  return Status::Ok();
+}
+
+SessionUsage AnalysisSession::Usage() const {
+  SessionUsage usage;
+  usage.statements = context_.statements_.size();
+  usage.unique_groups = context_.query_groups_.unique.size();
+  usage.ingested_bytes = ingested_bytes_;
+  usage.arena_reserved_bytes = context_.arena_->bytes_reserved();
+  usage.arena_used_bytes = context_.arena_->bytes_used();
+  usage.scratch_reserved_bytes = token_buffer_.reserved_bytes();
+  usage.interner_names = context_.names().size();
+  usage.interner_bytes = context_.names().memory_bytes();
+  return usage;
+}
+
 size_t AnalysisSession::AddQuery(std::string_view sql_text) {
+  if (!GateAppend(sql_text.size())) return 0;
   std::vector<sql::StatementPtr> stmts;
   stmts.push_back(sql::ParseStatement(sql_text, context_.arena(), &token_buffer_));
-  return IngestChunk(std::move(stmts));
+  size_t first = IngestChunk(std::move(stmts));
+  TrimScratch();
+  return first;
 }
 
 size_t AnalysisSession::AddScript(std::string_view script) {
+  if (!GateAppend(script.size())) return 0;
   std::vector<sql::StatementPtr> stmts =
       sql::ParseScript(script, context_.arena(), &token_buffer_);
   size_t count = stmts.size();
   IngestChunk(std::move(stmts));
+  TrimScratch();
   return count;
 }
 
 void AnalysisSession::AddStatement(sql::StatementPtr stmt) {
+  if (!GateAppend(stmt->raw_sql.size())) return;
   std::vector<sql::StatementPtr> stmts;
   stmts.push_back(std::move(stmt));
   IngestChunk(std::move(stmts));
+}
+
+bool AnalysisSession::GateAppend(size_t incoming_bytes) {
+  Status quota = CheckQuota(incoming_bytes);
+  if (!quota.ok()) {
+    quota_status_ = std::move(quota);
+    return false;
+  }
+  ingested_bytes_ += incoming_bytes;
+  return true;
+}
+
+void AnalysisSession::TrimScratch() {
+  if (token_buffer_.reserved_bytes() > kScratchTrimBytes) token_buffer_.Trim();
 }
 
 size_t AnalysisSession::IngestChunk(std::vector<sql::StatementPtr> stmts) {

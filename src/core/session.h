@@ -18,6 +18,19 @@ namespace sqlcheck {
 
 class FixEngine;
 
+/// \brief Point-in-time memory/ingest accounting for one AnalysisSession —
+/// the numbers behind the server's `stats` op and SessionLimits sizing.
+struct SessionUsage {
+  size_t statements = 0;            ///< Statements ingested.
+  size_t unique_groups = 0;         ///< Distinct fingerprint groups.
+  size_t ingested_bytes = 0;        ///< Raw SQL bytes accepted so far.
+  size_t arena_reserved_bytes = 0;  ///< Parse-tree arena heap reservation.
+  size_t arena_used_bytes = 0;      ///< Parse-tree arena live payload.
+  size_t scratch_reserved_bytes = 0;  ///< Lexer scratch (TokenBuffer) arena.
+  size_t interner_names = 0;        ///< Distinct identifiers interned.
+  size_t interner_bytes = 0;        ///< Interner footprint (estimate).
+};
+
 /// \brief The incremental analysis engine: accepts statements one at a time
 /// (or in chunks), updates the Context in place, and re-runs only the
 /// affected rules. This is the long-lived core the paper's interactive
@@ -98,11 +111,36 @@ class AnalysisSession {
   size_t fix_cache_hits() const { return fix_cache_hits_; }
   size_t fix_cache_misses() const { return fix_cache_misses_; }
 
+  /// Would appending `incoming_bytes` of raw SQL breach SessionLimits? OK
+  /// when every cap holds; otherwise an error naming the exhausted quota.
+  /// The append paths consult this themselves — the public form lets a
+  /// caller (the server) reject a request before paying for its parse.
+  Status CheckQuota(size_t incoming_bytes) const;
+
+  /// OK until an append was refused by SessionLimits; then the refusal
+  /// reason, sticky until more room appears (it never does — caps only
+  /// tighten as the session grows — so treat non-OK as terminal and either
+  /// drop the tenant or start a fresh session). Snapshot()/Check() over the
+  /// already-ingested history keep working either way.
+  const Status& quota_status() const { return quota_status_; }
+
+  /// Current memory/ingest accounting (see SessionUsage).
+  SessionUsage Usage() const;
+
  private:
   /// Appends `stmts` as one chunk: dedup bookkeeping serially, analysis and
   /// statement-local rule evaluation for new uniques sharded. Returns the
   /// index of the first appended statement.
   size_t IngestChunk(std::vector<sql::StatementPtr> stmts);
+
+  /// Quota gate for every append path: true = proceed (bytes are charged),
+  /// false = refused (quota_status_ records why, nothing is ingested).
+  bool GateAppend(size_t incoming_bytes);
+
+  /// Releases high-water lexer scratch after an append (see
+  /// TokenBuffer::Trim) so one huge statement cannot pin megabytes of
+  /// per-session scratch for the rest of a long-lived session.
+  void TrimScratch();
 
   /// Fills cache slots for rules registered after row `u` was created (late
   /// RegisterRule); statement-local rules are context-free, so backfilling
@@ -132,6 +170,8 @@ class AnalysisSession {
   SqlCheckOptions options_;
   RuleRegistry registry_;
   Status status_;
+  Status quota_status_;
+  size_t ingested_bytes_ = 0;  ///< Raw SQL bytes accepted (quota accounting).
   Context context_;
   sql::TokenBuffer token_buffer_;  ///< Reused across every parse this session runs.
 

@@ -1,0 +1,107 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace sqlcheck {
+namespace server {
+
+LineClient::~LineClient() { Close(); }
+
+LineClient::LineClient(LineClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+LineClient& LineClient::operator=(LineClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+Status LineClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Status::Error("socket(): " + std::string(strerror(errno)));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::Error("bad host '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::Error("connect(" + host + ":" + std::to_string(port) +
+                                  "): " + std::string(strerror(errno)));
+    Close();
+    return status;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::Ok();
+}
+
+Status LineClient::SendLine(std::string_view line) {
+  std::string framed(line);
+  if (framed.empty() || framed.back() != '\n') framed.push_back('\n');
+  return SendRaw(framed);
+}
+
+Status LineClient::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::Error("not connected");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::Error("send(): " + std::string(strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+Status LineClient::ReadLine(std::string* out) {
+  if (fd_ < 0) return Status::Error("not connected");
+  while (true) {
+    size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      out->assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      return Status::Ok();
+    }
+    char chunk[16 * 1024];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) return Status::Error("connection closed by server");
+    return Status::Error("recv(): " + std::string(strerror(errno)));
+  }
+}
+
+void LineClient::ShutdownWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void LineClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+}  // namespace server
+}  // namespace sqlcheck

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace sqlcheck {
+namespace server {
+
+/// \brief Minimal blocking NDJSON client for the sqlcheck-server protocol —
+/// the test suite's and bench harness's view of the wire. One TCP
+/// connection, SendLine() to write a request, ReadLine() to pull the next
+/// LF-terminated response (buffered, so pipelined responses are returned one
+/// at a time). Not thread-safe; one LineClient per thread.
+class LineClient {
+ public:
+  LineClient() = default;
+  ~LineClient();
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+  LineClient(LineClient&& other) noexcept;
+  LineClient& operator=(LineClient&& other) noexcept;
+
+  /// Connects to host:port (IPv4 dotted quad). Non-OK on failure.
+  Status Connect(const std::string& host, uint16_t port);
+
+  /// Writes `line` plus a trailing '\n' (appended if missing), blocking
+  /// until every byte is accepted.
+  Status SendLine(std::string_view line);
+
+  /// Writes exactly `bytes` — no framing newline. Lets tests exercise the
+  /// server's reassembly of requests split across TCP pushes.
+  Status SendRaw(std::string_view bytes);
+
+  /// Blocks until one full response line arrives; returns it without the
+  /// trailing newline. Non-OK on EOF or socket error.
+  Status ReadLine(std::string* out);
+
+  /// Half-closes the write side (like `nc` after stdin EOF): the server
+  /// finishes pending work, flushes, and closes.
+  void ShutdownWrite();
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< Bytes read past the last returned line.
+};
+
+}  // namespace server
+}  // namespace sqlcheck

@@ -1,0 +1,180 @@
+#include "server/handler.h"
+
+#include <utility>
+
+#include "core/emit.h"
+#include "server/wire.h"
+
+namespace sqlcheck {
+namespace server {
+
+namespace {
+
+void AppendField(std::string* out, const char* key, uint64_t value, bool first = false) {
+  if (!first) *out += ", ";
+  *out += '"';
+  *out += key;
+  *out += "\": ";
+  *out += std::to_string(value);
+}
+
+void AppendField(std::string* out, const char* key, std::string_view value,
+                 bool first = false) {
+  if (!first) *out += ", ";
+  *out += '"';
+  *out += key;
+  *out += "\": \"";
+  *out += JsonEscape(value);
+  *out += '"';
+}
+
+}  // namespace
+
+SessionHandler::SessionHandler(const SqlCheckOptions& options, bool include_fixes,
+                               const ServerGauges* gauges)
+    : options_(options),
+      include_fixes_(include_fixes),
+      gauges_(gauges),
+      session_(std::make_unique<AnalysisSession>(options)) {}
+
+std::string SessionHandler::HandleLine(std::string_view line) {
+  ++requests_;
+  Request request = ParseRequest(line);
+  if (!request.ok) return ErrorLine(request.error_code, request.error_message);
+  if (request.op == "check") return HandleCheck(request);
+  if (request.op == "snapshot") return HandleSnapshot(request);
+  if (request.op == "reset") return HandleReset();
+  if (request.op == "stats") return HandleStats();
+  if (request.op == "ping") return "{\"op\": \"ping\", \"ok\": true}\n";
+  if (request.op == "quit") {
+    quit_ = true;
+    return "{\"op\": \"quit\", \"ok\": true}\n";
+  }
+  return ErrorLine(ErrorCode::kBadRequest, "unknown op '" + request.op + "'");
+}
+
+std::string SessionHandler::FindingLine(const Finding& finding, size_t rank) const {
+  std::string line = "{\"op\": \"finding\", \"finding\": ";
+  line += FindingToJsonLine(finding, rank, include_fixes_);
+  line += "}\n";
+  return line;
+}
+
+std::string SessionHandler::HandleCheck(const Request& request) {
+  if (request.sql.empty()) {
+    return ErrorLine(ErrorCode::kBadRequest, "check requires a non-empty 'sql'");
+  }
+  // Reject before parsing: a request that would cross a quota is refused
+  // whole, leaving the session's ingested history fully usable.
+  Status quota = session_->CheckQuota(request.sql.size());
+  if (!quota.ok()) return ErrorLine(ErrorCode::kQuotaExceeded, quota.message());
+
+  const size_t before = session_->statement_count();
+  Report delta = session_->Check(request.sql);
+  if (!session_->quota_status().ok()) {
+    // A mid-append breach (e.g. the arena crossed its cap while this script
+    // was ingesting) still answers quota_exceeded — nothing was appended.
+    return ErrorLine(ErrorCode::kQuotaExceeded, session_->quota_status().message());
+  }
+  std::string response;
+  for (size_t i = 0; i < delta.findings.size(); ++i) {
+    response += FindingLine(delta.findings[i], i + 1);
+  }
+  findings_streamed_ += delta.findings.size();
+  response += "{\"op\": \"check\", \"ok\": true";
+  AppendField(&response, "statements", session_->statement_count() - before);
+  AppendField(&response, "total_statements", session_->statement_count());
+  AppendField(&response, "findings", delta.findings.size());
+  response += "}\n";
+  return response;
+}
+
+std::string SessionHandler::HandleSnapshot(const Request& request) {
+  Report report = session_->Snapshot();
+  if (request.format == "json" || request.format == "sarif") {
+    // Whole-document flavor: the PR-3 emitters' exact batch output, shipped
+    // as one escaped string so the NDJSON framing stays line-per-message.
+    EmitOptions emit;
+    emit.include_fixes = include_fixes_;
+    std::string document =
+        request.format == "json" ? ToJson(report, emit) : ToSarif(report, emit);
+    std::string response = "{\"op\": \"snapshot\", \"ok\": true";
+    AppendField(&response, "format", request.format);
+    AppendField(&response, "findings", report.findings.size());
+    AppendField(&response, "document", document);
+    response += "}\n";
+    return response;
+  }
+  if (!request.format.empty() && request.format != "ndjson") {
+    return ErrorLine(ErrorCode::kBadRequest,
+                     "unknown snapshot format '" + request.format + "'");
+  }
+  std::string response;
+  for (size_t i = 0; i < report.findings.size(); ++i) {
+    response += FindingLine(report.findings[i], i + 1);
+  }
+  findings_streamed_ += report.findings.size();
+  response += "{\"op\": \"snapshot\", \"ok\": true";
+  AppendField(&response, "findings", report.findings.size());
+  AppendField(&response, "statements", session_->statement_count());
+  response += "}\n";
+  return response;
+}
+
+std::string SessionHandler::HandleReset() {
+  // A fresh session: history, memos, arena, interner, and quota accounting
+  // all restart from zero. This is the tenant-facing recovery path after
+  // quota_exceeded.
+  session_ = std::make_unique<AnalysisSession>(options_);
+  return "{\"op\": \"reset\", \"ok\": true}\n";
+}
+
+std::string SessionHandler::HandleStats() {
+  SessionUsage usage = session_->Usage();
+  const SessionLimits& limits = options_.limits;
+  uint64_t uptime = static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::seconds>(
+                                              std::chrono::steady_clock::now() - started_)
+                                              .count());
+  std::string response = "{\"op\": \"stats\", \"ok\": true, \"session\": {";
+  AppendField(&response, "statements", usage.statements, /*first=*/true);
+  AppendField(&response, "unique_groups", usage.unique_groups);
+  AppendField(&response, "ingested_bytes", usage.ingested_bytes);
+  AppendField(&response, "arena_reserved_bytes", usage.arena_reserved_bytes);
+  AppendField(&response, "arena_used_bytes", usage.arena_used_bytes);
+  AppendField(&response, "scratch_reserved_bytes", usage.scratch_reserved_bytes);
+  AppendField(&response, "interner_names", usage.interner_names);
+  AppendField(&response, "interner_bytes", usage.interner_bytes);
+  AppendField(&response, "fix_cache_hits", session_->fix_cache_hits());
+  AppendField(&response, "fix_cache_misses", session_->fix_cache_misses());
+  AppendField(&response, "requests", requests_);
+  AppendField(&response, "findings_streamed", findings_streamed_);
+  AppendField(&response, "uptime_secs", uptime);
+  response += ", \"quota_ok\": ";
+  response += session_->quota_status().ok() ? "true" : "false";
+  if (!session_->quota_status().ok()) {
+    AppendField(&response, "quota_message", session_->quota_status().message());
+  }
+  response += "}, \"limits\": {";
+  AppendField(&response, "max_statements", limits.max_statements, /*first=*/true);
+  AppendField(&response, "max_ingest_bytes", limits.max_ingest_bytes);
+  AppendField(&response, "arena_cap_bytes", limits.arena_cap_bytes);
+  AppendField(&response, "interner_cap_names", limits.interner_cap_names);
+  response += '}';
+  if (gauges_ != nullptr) {
+    response += ", \"server\": {";
+    AppendField(&response, "active_sessions", gauges_->active_sessions.load(),
+                /*first=*/true);
+    AppendField(&response, "connections_accepted", gauges_->connections_accepted.load());
+    AppendField(&response, "connections_rejected", gauges_->connections_rejected.load());
+    AppendField(&response, "evictions", gauges_->evictions.load());
+    AppendField(&response, "requests", gauges_->requests.load());
+    AppendField(&response, "bytes_in", gauges_->bytes_in.load());
+    AppendField(&response, "bytes_out", gauges_->bytes_out.load());
+    response += '}';
+  }
+  response += "}\n";
+  return response;
+}
+
+}  // namespace server
+}  // namespace sqlcheck

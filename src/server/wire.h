@@ -1,0 +1,60 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace sqlcheck {
+namespace server {
+
+/// Wire protocol version (see docs/PROTOCOL.md "Versioning"). Bumped only
+/// for breaking changes; additive fields/ops do not bump it — clients must
+/// ignore object members they do not recognize, and the server ignores
+/// unknown request members for the same reason.
+inline constexpr int kProtocolVersion = 1;
+
+/// \brief Stable error codes of the wire protocol (the `error.code` field —
+/// docs/PROTOCOL.md "Errors"). Messages are human-readable and may change;
+/// codes are contract.
+struct ErrorCode {
+  static constexpr const char* kBadRequest = "bad_request";
+  static constexpr const char* kLineTooLong = "line_too_long";
+  static constexpr const char* kQuotaExceeded = "quota_exceeded";
+  static constexpr const char* kCapacity = "capacity";
+  static constexpr const char* kEvicted = "evicted";
+};
+
+/// \brief One parsed request line. The protocol is newline-delimited JSON:
+/// every request is a single-line flat JSON object whose recognized members
+/// (`op`, `sql`, `format`) are strings; unknown members are ignored for
+/// forward compatibility. `ok == false` means the line was not a valid
+/// request — `error_code`/`error_message` carry the bad_request diagnosis.
+struct Request {
+  bool ok = false;
+  std::string op;
+  std::string sql;
+  std::string format;
+  std::string error_code;
+  std::string error_message;
+};
+
+/// \brief Parses one request line (without its trailing newline). Rejects
+/// invalid UTF-8, malformed JSON, non-object payloads, trailing garbage, and
+/// non-string values for recognized keys. JSON string escapes (including
+/// \uXXXX with surrogate pairs) are decoded into the returned fields.
+Request ParseRequest(std::string_view line);
+
+/// \brief True iff `s` is well-formed UTF-8 (rejects overlong encodings,
+/// surrogates, and codepoints past U+10FFFF) — the framing-level validity
+/// check every request line must pass.
+bool ValidUtf8(std::string_view s);
+
+/// \brief One protocol error line: {"ok": false, "error": {"code": ...,
+/// "message": ...}} with trailing newline, ready to write to the socket.
+std::string ErrorLine(std::string_view code, std::string_view message);
+
+/// \brief The greeting pushed to every accepted connection: protocol
+/// version, tool name, and rule count.
+std::string HelloLine(int rule_count);
+
+}  // namespace server
+}  // namespace sqlcheck

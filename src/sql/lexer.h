@@ -34,6 +34,29 @@ class TokenBuffer {
     scratch_.clear();
   }
 
+  /// Heap bytes this buffer holds onto between Lex() calls (token vector
+  /// capacity, normalization arena reservation, escape workspace). Grows to
+  /// the largest statement ever lexed — which is why long-lived sessions
+  /// call Trim().
+  size_t reserved_bytes() const {
+    return tokens_.capacity() * sizeof(Token) + norm_.bytes_reserved() +
+           scratch_.capacity();
+  }
+
+  /// Releases high-water scratch memory: the normalization arena trims to
+  /// `keep_bytes` and the token vector / workspace drop their capacity. One
+  /// pathological statement must not pin megabytes for the rest of a
+  /// session's life. Invalidates any outstanding tokens — only call between
+  /// Lex() rounds.
+  void Trim(size_t keep_bytes = 0) {
+    tokens_.clear();
+    tokens_.shrink_to_fit();
+    norm_.Reset();
+    norm_.Trim(keep_bytes);
+    scratch_.clear();
+    scratch_.shrink_to_fit();
+  }
+
  private:
   friend const std::vector<Token>& Lex(std::string_view, TokenBuffer&,
                                        const LexerOptions&);

@@ -96,6 +96,46 @@ TEST(ArenaTest, ResetRetainsCapacityAndInvalidatesCounts) {
   EXPECT_EQ(arena.bytes_reserved(), reserved);
 }
 
+TEST(ArenaTest, TrimReleasesTailChunksWhenEmpty) {
+  Arena arena(64);
+  for (int i = 0; i < 200; ++i) arena.Dup("some moderately long payload here");
+  size_t grown = arena.bytes_reserved();
+
+  // Trim on a non-empty arena is a no-op: live objects must never move.
+  arena.Trim(0);
+  EXPECT_EQ(arena.bytes_reserved(), grown);
+
+  arena.Reset();
+  arena.Trim(0);
+  size_t trimmed = arena.bytes_reserved();
+  EXPECT_LT(trimmed, grown);
+  EXPECT_GT(trimmed, 0u);  // chunk 0 is always retained
+
+  // The trimmed arena is immediately usable and regrows on demand.
+  for (int i = 0; i < 200; ++i) arena.Dup("some moderately long payload here");
+  EXPECT_GE(arena.bytes_reserved(), trimmed);
+
+  // A keep_bytes floor retains capacity up to (at least) that budget.
+  arena.Reset();
+  arena.Trim(grown);
+  EXPECT_GE(arena.bytes_reserved(), trimmed);
+}
+
+TEST(TokenBufferTest, TrimShedsScratchReservation) {
+  TokenBuffer buffer;
+  std::string big = "SELECT '";
+  for (int i = 0; i < (1 << 14); ++i) big += "x''";  // escaped quotes: the
+  big += "' FROM t";  // payload normalizes through the norm arena
+  sql::Lex(big, buffer);
+  size_t grown = buffer.reserved_bytes();
+  ASSERT_GT(grown, 0u);
+  buffer.Trim(0);
+  EXPECT_LT(buffer.reserved_bytes(), grown);
+  // Still lexes correctly after the trim.
+  sql::Lex("SELECT 1 FROM t", buffer);
+  EXPECT_GT(buffer.tokens().size(), 0u);
+}
+
 TEST(ArenaTest, WorksAsPmrResource) {
   Arena arena;
   std::pmr::vector<std::pmr::string> v(&arena);

@@ -48,6 +48,9 @@ options:
                               applied in place (batch mode only)
   --explain <NAME>            describe one rule — detection scope, impact
                               flags, and its repair strategy — and exit
+  --explain-all               describe every rule and exit; with --format md,
+                              emit the markdown rule reference (docs/RULES.md
+                              is generated from this, CI checks the drift)
   --color                     highlight text output with ANSI colors
   --top <N>                   emit only the N highest-impact findings
   --disable <NAME[,NAME...]>  disable rules by anti-pattern name, e.g.
@@ -59,10 +62,11 @@ options:
 exit codes: 0 = clean, 1 = findings reported, 2 = usage or I/O error
 )";
 
-enum class Format { kText, kJson, kSarif };
+enum class Format { kText, kJson, kSarif, kMarkdown };
 
 struct CliOptions {
   Format format = Format::kText;
+  bool explain_all = false;
   bool follow = false;
   bool fixes = false;
   bool color = false;
@@ -115,6 +119,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* cli, int* exit_code) {
         cli->format = Format::kJson;
       } else if (value == "sarif") {
         cli->format = Format::kSarif;
+      } else if (value == "md") {
+        cli->format = Format::kMarkdown;
       } else {
         *exit_code = UsageError("unknown format '" + value + "'");
         return false;
@@ -153,6 +159,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* cli, int* exit_code) {
                   "falls back to guidance with the reason attached\n");
       *exit_code = 0;
       return false;
+    } else if (arg == "--explain-all") {
+      cli->explain_all = true;
     } else if (arg == "--color") {
       cli->color = true;
     } else if (arg == "--top") {
@@ -184,6 +192,78 @@ bool ParseArgs(int argc, char** argv, CliOptions* cli, int* exit_code) {
     }
   }
   return true;
+}
+
+std::string ImpactList(const ApInfo& info) {
+  std::string out;
+  auto add = [&](bool on, const char* label) {
+    if (!on) return;
+    if (!out.empty()) out += ", ";
+    out += label;
+  };
+  add(info.performance, "performance");
+  add(info.maintainability, "maintainability");
+  add(info.data_amplification, "data-amplification");
+  add(info.data_integrity, "data-integrity");
+  add(info.accuracy, "accuracy");
+  return out.empty() ? "—" : out;
+}
+
+const char* ScopeDescription(const Rule* rule) {
+  return rule != nullptr && rule->query_scope() == QueryRuleScope::kStatementLocal
+             ? "statement-local (analyzed once per unique statement, memoized)"
+             : "workload-sensitive (re-evaluated as the workload grows)";
+}
+
+/// --explain-all: the whole 27-rule catalog. The md flavor IS docs/RULES.md —
+/// CI regenerates it and fails on drift, so the rule reference can never fall
+/// out of sync with the registry.
+int ExplainAll(Format format) {
+  RuleRegistry registry = RuleRegistry::Default();
+  if (format == Format::kMarkdown) {
+    std::printf(
+        "<!-- GENERATED FILE - do not edit by hand.\n"
+        "     Regenerate with: sqlcheck --explain-all --format md > docs/RULES.md\n"
+        "     CI regenerates this file and fails the build on any diff. -->\n\n");
+    std::printf("# Rule Reference\n\n");
+    std::printf(
+        "All %d anti-pattern rules, grouped by catalog category. **Slug** is the\n"
+        "stable machine identifier used as the SARIF rule id; **Name** is the\n"
+        "display name accepted by `--disable` and `--explain`. Detection scope\n"
+        "explains the incremental-analysis cost model: statement-local rules are\n"
+        "memoized per unique statement, workload-sensitive rules re-run as\n"
+        "context accumulates. Every mechanical fix is self-verified (it must\n"
+        "re-parse, and re-analysis must no longer report the anti-pattern) or it\n"
+        "falls back to guidance.\n",
+        kAntiPatternCount);
+    constexpr ApCategory kCategories[] = {ApCategory::kLogicalDesign,
+                                          ApCategory::kPhysicalDesign,
+                                          ApCategory::kQuery, ApCategory::kData};
+    for (ApCategory category : kCategories) {
+      std::printf("\n## %s\n", CategoryName(category));
+      for (int t = 0; t < kAntiPatternCount; ++t) {
+        const ApInfo& info = InfoFor(static_cast<AntiPattern>(t));
+        if (info.category != category) continue;
+        const Rule* rule = registry.FindRule(info.type);
+        std::printf("\n### %s\n\n", info.name);
+        std::printf("- **Slug:** `%s`\n", ApSlug(info.type).c_str());
+        std::printf("- **Impact:** %s\n", ImpactList(info).c_str());
+        std::printf("- **Detection:** %s\n", ScopeDescription(rule));
+        std::printf("- **Fix:** %s\n", FixerContract(info.type));
+      }
+    }
+    return 0;
+  }
+  for (int t = 0; t < kAntiPatternCount; ++t) {
+    const ApInfo& info = InfoFor(static_cast<AntiPattern>(t));
+    const Rule* rule = registry.FindRule(info.type);
+    std::printf("%s  (category: %s)\n", info.name, CategoryName(info.category));
+    std::printf("  slug: %s\n", ApSlug(info.type).c_str());
+    std::printf("  impact: %s\n", ImpactList(info).c_str());
+    std::printf("  detection: %s\n", ScopeDescription(rule));
+    std::printf("  fix: %s\n\n", FixerContract(info.type));
+  }
+  return 0;
 }
 
 /// Streams findings for one just-checked statement (text flavor).
@@ -283,6 +363,10 @@ int main(int argc, char** argv) {
                         "' (see --rules for the catalog)");
     }
   }
+  if (cli.explain_all) return ExplainAll(cli.format);
+  if (cli.format == Format::kMarkdown) {
+    return UsageError("--format md is only meaningful with --explain-all");
+  }
   if (cli.follow && cli.format == Format::kSarif) {
     return UsageError("--follow supports text and json output, not sarif");
   }
@@ -353,6 +437,7 @@ int main(int argc, char** argv) {
     case Format::kText: std::cout << report.ToText(cli.top, cli.color); break;
     case Format::kJson: std::cout << ToJson(report, emit); break;
     case Format::kSarif: std::cout << ToSarif(report, emit); break;
+    case Format::kMarkdown: break;  // rejected above: md pairs with --explain-all
   }
 
   if (!cli.apply_path.empty()) {
