@@ -1,0 +1,218 @@
+// Differential-execution verification cost: runs a fix-heavy workload
+// through the batch facade three ways — fixes on with Tier-3 verification
+// off, on, and required — and prices what --verify-exec adds to a fixes-on
+// snapshot. Verifies first that Tier 3 never perturbs detection (the
+// fixes-off emitter output must stay byte-identical across modes, always
+// enforced), then writes the measurements to BENCH_verify.json. With --gate
+// it additionally requires the verify-on snapshot to cost at most 2x the
+// verify-off snapshot at the configured workload size.
+//
+//   $ ./bench_verify_exec [statement_count] [--gate]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/emit.h"
+#include "core/session.h"
+#include "core/sqlcheck.h"
+
+using namespace sqlcheck;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double UsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+}
+
+/// A duplicate-heavy workload biased toward statements whose fixes carry an
+/// executable equivalence contract (wildcards, implicit INSERT columns,
+/// leading-wildcard LIKEs, ORDER BY RAND, NULL-swallowing concats), so the
+/// verify-on run actually exercises the ephemeral-database pipeline instead
+/// of skipping through kNotApplicable fixes.
+std::vector<std::string> BuildWorkload(size_t count) {
+  static const char* kDdl[] = {
+      "CREATE TABLE users (id INTEGER PRIMARY KEY, name VARCHAR(24), "
+      "email VARCHAR(40), status VARCHAR(8))",
+      "CREATE TABLE orders (oid INTEGER PRIMARY KEY, user_id INTEGER "
+      "REFERENCES users(id), total INTEGER, note VARCHAR(30))",
+  };
+  static const char* kTemplates[] = {
+      "SELECT * FROM users WHERE status = 'active'",
+      "SELECT * FROM orders WHERE total > 100",
+      "SELECT id FROM users WHERE email LIKE '%@example.com'",
+      "SELECT oid FROM orders WHERE note LIKE '%rush'",
+      "SELECT * FROM users ORDER BY RAND() LIMIT 1",
+      "INSERT INTO users VALUES (1, 'ada', 'ada@example.com', 'active')",
+      "SELECT name || email FROM users",
+      "SELECT u.name, o.total FROM users u JOIN orders o ON u.id = o.user_id "
+      "WHERE o.total > 40",
+  };
+  constexpr size_t kTemplateCount = sizeof(kTemplates) / sizeof(kTemplates[0]);
+
+  std::vector<std::string> statements;
+  statements.reserve(count + 2);
+  for (const char* ddl : kDdl) statements.push_back(ddl);
+  for (size_t i = 0; i < count; ++i) {
+    if (i % 8 == 7) {
+      // A unique-literal tail keeps the dedup cache honest: every eighth
+      // statement opens a fresh fingerprint group (and a fresh memo probe).
+      statements.push_back("SELECT * FROM orders WHERE oid = " + std::to_string(i));
+      continue;
+    }
+    statements.push_back(kTemplates[i % kTemplateCount]);
+  }
+  return statements;
+}
+
+struct ModeRun {
+  Report report;
+  double snapshot_ms = 0.0;
+  VerifyStats stats;
+  std::string detection_json;  // fixes-off emitter output: detection identity
+};
+
+ModeRun RunMode(const std::vector<std::string>& statements, ExecVerifyMode mode) {
+  SqlCheckOptions options;
+  options.verify_exec.mode = mode;
+  SqlCheck checker(options);
+  for (const auto& sql : statements) checker.AddQuery(sql);
+  ModeRun run;
+  // Best-of-3: Run() is idempotent and the first snapshot pays one-time
+  // profiling, which is not what this bench prices.
+  run.snapshot_ms = 1e100;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto start = Clock::now();
+    run.report = checker.Run();
+    run.snapshot_ms = std::min(run.snapshot_ms, UsSince(start) / 1000.0);
+  }
+  run.stats = checker.session().verify_stats();
+  run.detection_json = ToJson(run.report, EmitOptions{});
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t count = 4000;
+  bool gate = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--gate") {
+      gate = true;
+    } else {
+      count = static_cast<size_t>(std::atoll(argv[i]));
+    }
+  }
+
+  std::vector<std::string> statements = BuildWorkload(count);
+  std::printf("verify-exec cost: %zu-statement fix-heavy workload\n\n",
+              statements.size());
+
+  ModeRun off = RunMode(statements, ExecVerifyMode::kOff);
+  ModeRun on = RunMode(statements, ExecVerifyMode::kOn);
+  ModeRun required = RunMode(statements, ExecVerifyMode::kRequired);
+
+  bool detection_identical =
+      off.detection_json == on.detection_json && on.detection_json == required.detection_json;
+
+  const VerifyStats& stats = on.stats;
+  uint64_t memo_total = stats.memo_hits + stats.memo_misses;
+  double memo_hit_rate =
+      memo_total > 0 ? static_cast<double>(stats.memo_hits) /
+                           static_cast<double>(memo_total)
+                     : 0.0;
+  double overhead_ms = on.snapshot_ms - off.snapshot_ms;
+  double per_exec_us =
+      stats.exec_runs > 0 ? (overhead_ms * 1000.0) / static_cast<double>(stats.exec_runs)
+                          : 0.0;
+  double ratio = off.snapshot_ms > 0.0 ? on.snapshot_ms / off.snapshot_ms : 0.0;
+
+  std::printf("%28s %12s\n", "metric", "value");
+  std::printf("%28s %12zu\n", "findings", on.report.size());
+  std::printf("%28s %10.1fms\n", "snapshot (verify off)", off.snapshot_ms);
+  std::printf("%28s %10.1fms\n", "snapshot (verify on)", on.snapshot_ms);
+  std::printf("%28s %10.1fms\n", "snapshot (verify required)", required.snapshot_ms);
+  std::printf("%28s %10.1fms\n", "tier-3 overhead", overhead_ms);
+  std::printf("%28s %11.2fx\n", "on/off snapshot ratio", ratio);
+  std::printf("%28s %12llu\n", "tier-3 executions",
+              static_cast<unsigned long long>(stats.exec_runs));
+  std::printf("%28s %12llu\n", "tier-3 infeasible",
+              static_cast<unsigned long long>(stats.exec_infeasible));
+  std::printf("%28s %10.1fus\n", "cost per execution", per_exec_us);
+  std::printf("%28s %9llu/%llu\n", "memo hits/probes",
+              static_cast<unsigned long long>(stats.memo_hits),
+              static_cast<unsigned long long>(memo_total));
+  std::printf("%28s %12llu\n", "exec-tier fixes",
+              static_cast<unsigned long long>(stats.tier_exec));
+  std::printf("%28s %12llu\n", "analysis-tier fixes",
+              static_cast<unsigned long long>(stats.tier_analysis));
+  std::printf("%28s %12llu\n", "demoted fixes",
+              static_cast<unsigned long long>(stats.demoted));
+
+  FILE* out = std::fopen("BENCH_verify.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "FAIL: cannot write BENCH_verify.json\n");
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"verify_exec\",\n"
+               "  \"statements\": %zu,\n"
+               "  \"findings\": %zu,\n"
+               "  \"snapshot_off_ms\": %.2f,\n"
+               "  \"snapshot_on_ms\": %.2f,\n"
+               "  \"snapshot_required_ms\": %.2f,\n"
+               "  \"tier3_overhead_ms\": %.2f,\n"
+               "  \"on_off_ratio\": %.3f,\n"
+               "  \"exec_runs\": %llu,\n"
+               "  \"exec_infeasible\": %llu,\n"
+               "  \"cost_per_exec_us\": %.2f,\n"
+               "  \"memo_hits\": %llu,\n"
+               "  \"memo_misses\": %llu,\n"
+               "  \"memo_hit_rate\": %.4f,\n"
+               "  \"tier_exec\": %llu,\n"
+               "  \"tier_analysis\": %llu,\n"
+               "  \"demoted\": %llu,\n"
+               "  \"detection_identical\": %s\n"
+               "}\n",
+               statements.size(), on.report.size(), off.snapshot_ms, on.snapshot_ms,
+               required.snapshot_ms, overhead_ms, ratio,
+               static_cast<unsigned long long>(stats.exec_runs),
+               static_cast<unsigned long long>(stats.exec_infeasible), per_exec_us,
+               static_cast<unsigned long long>(stats.memo_hits),
+               static_cast<unsigned long long>(stats.memo_misses), memo_hit_rate,
+               static_cast<unsigned long long>(stats.tier_exec),
+               static_cast<unsigned long long>(stats.tier_analysis),
+               static_cast<unsigned long long>(stats.demoted),
+               detection_identical ? "true" : "false");
+  std::fclose(out);
+  std::printf("\nwrote BENCH_verify.json\n");
+
+  if (!detection_identical) {
+    std::printf("FAIL: --verify-exec changed the fixes-off emitter output\n");
+    return 1;
+  }
+  std::printf("detection output byte-identical across verify modes\n");
+  if (stats.exec_runs == 0) {
+    std::printf("FAIL: workload produced no Tier-3 executions to measure\n");
+    return 1;
+  }
+
+  if (!gate) {
+    std::printf("cost gate off — pass --gate to enforce the 2x budget\n");
+    return 0;
+  }
+  if (ratio > 2.0) {
+    std::printf("FAIL: verify-on snapshot %.2fx the verify-off snapshot (budget 2x)\n",
+                ratio);
+    return 1;
+  }
+  std::printf("gate passed: verify-on snapshot %.2fx the verify-off snapshot (budget 2x)\n",
+              ratio);
+  return 0;
+}

@@ -95,6 +95,8 @@ void AppendFindingObject(std::ostringstream& out, const Finding& f, size_t rank,
     // and the impacted-query list itself.
     key(ind3, "verified", false);
     out << (f.fix.verified ? "true" : "false");
+    key(ind3, "verify_tier", false);
+    AppendQuoted(out, VerifyTierName(f.fix.verify_tier));
     key(ind3, "replaces_original", false);
     out << (f.fix.replaces_original ? "true" : "false");
     key(ind3, "verify_note", false);
@@ -164,6 +166,8 @@ void AppendSarifFixes(std::ostringstream& out, const Fix& fix,
   out << ",\n          \"fixes\": [\n            {\n";
   out << "              \"description\": { \"text\": ";
   AppendQuoted(out, fix.explanation);
+  out << " },\n              \"properties\": { \"verify_tier\": ";
+  AppendQuoted(out, VerifyTierName(fix.verify_tier));
   out << " },\n              \"artifactChanges\": [\n                {\n";
   out << "                  \"artifactLocation\": { \"uri\": ";
   AppendQuoted(out, options.artifact_uri);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "analysis/data_analyzer.h"
+#include "fix/verify.h"
 #include "ranking/model.h"
 #include "rules/rule.h"
 
@@ -65,6 +66,14 @@ struct SqlCheckOptions {
   /// for custom rules that embed a statement's raw text outside
   /// Detection::query (see Rule::CheckQuery).
   bool dedup_queries = true;
+
+  /// Tier-3 differential execution of rewrite fixes (fix/verify.h): off (the
+  /// default — fixes stop at Tier 2, output stays byte-identical to PR 5),
+  /// on (rewrites that diverge under their fixer's equivalence contract are
+  /// demoted; engine-infeasible checks keep Tier 2), or required (infeasible
+  /// checks demote too). The seed makes the generated datasets — and thus
+  /// the verdicts — reproducible.
+  ExecVerifyOptions verify_exec;
 
   /// Rules to leave out of the run, by anti-pattern display name (ApName,
   /// ASCII-case-insensitive — e.g. "Column Wildcard Usage"). Validated

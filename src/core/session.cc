@@ -291,7 +291,8 @@ Report AnalysisSession::MakeReport(std::vector<Detection> detections) {
 
   // ap-fix (§6): per-rule fixers + verification, attached in rank order so
   // fixes surface with the impact model's ordering.
-  FixEngine engine(registry_, options_.detector);
+  FixEngine engine(registry_, options_.detector, options_.verify_exec,
+                   &verify_memo_, &verify_stats_);
   Report report;
   report.findings.reserve(ranked.size());
   for (auto& r : ranked) {

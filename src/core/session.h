@@ -110,6 +110,11 @@ class AnalysisSession {
   /// only; workload-sensitive fixes always re-evaluate).
   size_t fix_cache_hits() const { return fix_cache_hits_; }
   size_t fix_cache_misses() const { return fix_cache_misses_; }
+  /// Rewrite-verification telemetry (fix/verify.h): per-tier counts of the
+  /// fixes this session suggested, demotions, differential-execution runs,
+  /// and verification-memo hit rates. Counters accumulate across
+  /// Check()/Snapshot() calls for the session's lifetime.
+  const VerifyStats& verify_stats() const { return verify_stats_; }
 
   /// Would appending `incoming_bytes` of raw SQL breach SessionLimits? OK
   /// when every cap holds; otherwise an error naming the exhausted quota.
@@ -201,6 +206,18 @@ class AnalysisSession {
   std::vector<std::vector<CachedFix>> fix_cache_;
   size_t fix_cache_hits_ = 0;
   size_t fix_cache_misses_ = 0;
+
+  /// Verification verdicts memoized across snapshots: each MakeReport builds
+  /// a fresh FixEngine, but the engine writes its verdicts here, so a unique
+  /// proposal pays the (Tier-3-expensive) pipeline once per session, not
+  /// once per Snapshot(). Sound because verdicts are deterministic in the
+  /// proposal + options, both session-constant. Tier-2 verdicts over
+  /// *workload-sensitive* rules could in principle flip as the catalog
+  /// grows; the memo key includes the original statement and the rewritten
+  /// spelling, and catalog growth changes the rewritten spelling (expansions
+  /// name the new columns), so stale entries are simply never probed again.
+  VerifyMemo verify_memo_;
+  VerifyStats verify_stats_;
 };
 
 }  // namespace sqlcheck

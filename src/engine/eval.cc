@@ -1,5 +1,6 @@
 #include "engine/eval.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 
@@ -435,6 +436,27 @@ Result<Value> EvalFunction(const sql::Expr& expr, const EvalScope& scope) {
       return Value::Null_();
     }
     return args[0];
+  }
+  if (name == "reverse") {
+    // Byte-wise, matching the rewriter's ReversibleTail guard (it refuses
+    // multi-byte tails precisely because engines reverse bytes, not glyphs).
+    if (!require(1)) return Result<Value>::Error("REVERSE needs 1 arg");
+    if (args[0].is_null()) return Value::Null_();
+    std::string s = ToStringValue(args[0]);
+    std::reverse(s.begin(), s.end());
+    return Value::Str(s);
+  }
+  if (name == "floor") {
+    if (!require(1)) return Result<Value>::Error("FLOOR needs 1 arg");
+    if (args[0].is_null()) return Value::Null_();
+    if (args[0].is_int()) return args[0];
+    return Value::Int(static_cast<int64_t>(std::floor(args[0].AsReal())));
+  }
+  if (name == "ceil" || name == "ceiling") {
+    if (!require(1)) return Result<Value>::Error("CEIL needs 1 arg");
+    if (args[0].is_null()) return Value::Null_();
+    if (args[0].is_int()) return args[0];
+    return Value::Int(static_cast<int64_t>(std::ceil(args[0].AsReal())));
   }
   return Result<Value>::Error("unknown function: " + std::string(expr.text));
 }

@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "fix/verify.h"
 #include "rules/rule.h"
 
 namespace sqlcheck {
@@ -15,11 +16,15 @@ enum class FixKind { kRewrite, kTextual };
 /// \brief One suggested fix for a detection.
 ///
 /// `kRewrite` fixes produced by the built-in fixers are *self-verified*
-/// before they leave the FixEngine: every rewritten statement must re-lex and
-/// re-parse cleanly, and re-analysis with the originating rule must no longer
-/// report the anti-pattern. A proposal that fails verification is demoted to
-/// `kTextual` with the reason in `verify_note`, so a consumer can trust that
-/// `kind == kRewrite && verified` means "safe to apply mechanically".
+/// before they leave the FixEngine, through the tiered pipeline in
+/// fix/verify.h: every rewritten statement must re-lex and re-parse cleanly
+/// (Tier 1), re-analysis with the originating rule must no longer report the
+/// anti-pattern (Tier 2), and — when differential execution is enabled —
+/// original and rewrite must execute to equivalent results on an ephemeral
+/// seeded database under the fixer's equivalence contract (Tier 3). A
+/// proposal that fails verification is demoted to `kTextual` with the reason
+/// in `verify_note`, so a consumer can trust that `kind == kRewrite &&
+/// verified` means "safe to apply mechanically".
 struct Fix {
   AntiPattern type = AntiPattern::kColumnWildcard;
   FixKind kind = FixKind::kTextual;
@@ -35,9 +40,16 @@ struct Fix {
   /// statements[0..] *replace* the offending statement in place (query-shape
   /// rewrites). False for additive fixes (new DDL the developer runs once).
   bool replaces_original = false;
-  /// The rewrite passed the verification loop (re-parse + re-analysis).
+  /// The rewrite passed the verification pipeline (see verify_tier for how
+  /// far it climbed).
   bool verified = false;
-  /// Why a proposed rewrite was demoted to kTextual ("" when it was not).
+  /// Highest verification tier the proposal reached: kParse/kAnalysis from
+  /// the re-parse + re-analysis loop, kExec when differential execution
+  /// proved result equivalence under the fixer's declared contract. kNone
+  /// for textual fixes and demoted proposals.
+  VerifyTier verify_tier = VerifyTier::kNone;
+  /// Why a proposed rewrite was demoted to kTextual, or what Tier 3 observed
+  /// ("" for a clean, unremarkable pass).
   std::string verify_note;
 };
 

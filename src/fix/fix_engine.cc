@@ -7,6 +7,7 @@
 #include "common/strings.h"
 #include "fix/fixer.h"
 #include "fix/rewriter.h"
+#include "fix/verify_exec.h"
 
 namespace sqlcheck {
 
@@ -33,8 +34,68 @@ void AnchorProvenance(Fix* fix, const Detection& d, const Context& context) {
 
 }  // namespace
 
-FixEngine::FixEngine(const RuleRegistry& registry, DetectorConfig config)
-    : registry_(&registry), config_(config) {}
+FixEngine::FixEngine(const RuleRegistry& registry, DetectorConfig config,
+                     ExecVerifyOptions exec_options, VerifyMemo* memo,
+                     VerifyStats* stats)
+    : registry_(&registry),
+      config_(config),
+      exec_options_(exec_options),
+      memo_(memo),
+      stats_(stats) {}
+
+VerifyVerdict FixEngine::VerifyTiered(const Fix& fix, const Fixer* fixer,
+                                      const Context& context) const {
+  VerifyVerdict verdict;
+
+  // Tiers 1 + 2: re-parse, then re-analysis with the originating rule. When
+  // the rule is unavailable (custom fixer without a detection half) the
+  // check stops at the parse tier.
+  const Rule* rule = registry_->FindRule(fix.type);
+  RewriteCheck check = VerifyRewrite(fix, rule, context, config_);
+  if (!check.ok) {
+    verdict.ok = false;
+    verdict.tier = VerifyTier::kNone;
+    verdict.note = check.reason;
+    return verdict;
+  }
+  verdict.ok = true;
+  verdict.tier = rule != nullptr ? VerifyTier::kAnalysis : VerifyTier::kParse;
+
+  // Tier 3: differential execution, gated on the mode and the fixer's
+  // declared contract.
+  if (exec_options_.mode == ExecVerifyMode::kOff) return verdict;
+  EquivalenceContract contract = fixer != nullptr
+                                     ? fixer->equivalence()
+                                     : EquivalenceContract::kNotApplicable;
+  ExecCheck exec = VerifyByExecution(fix, contract, context, exec_options_);
+  switch (exec.outcome) {
+    case ExecCheck::Outcome::kSkipped:
+      // Tier 3 does not apply to this fix; Tier 2 is its ceiling.
+      return verdict;
+    case ExecCheck::Outcome::kEquivalent:
+      if (stats_ != nullptr) ++stats_->exec_runs;
+      verdict.tier = VerifyTier::kExec;
+      return verdict;
+    case ExecCheck::Outcome::kDivergent:
+      if (stats_ != nullptr) ++stats_->exec_runs;
+      verdict.ok = false;
+      verdict.tier = VerifyTier::kNone;
+      verdict.note = "differential execution (" +
+                     std::string(EquivalenceContractName(contract)) +
+                     " contract): " + exec.note;
+      return verdict;
+    case ExecCheck::Outcome::kInfeasible:
+      if (stats_ != nullptr) ++stats_->exec_infeasible;
+      if (exec_options_.mode == ExecVerifyMode::kRequired) {
+        verdict.ok = false;
+        verdict.tier = VerifyTier::kNone;
+        verdict.note = "differential execution required but infeasible: " + exec.note;
+      }
+      // kOn: an engine limitation must not demote a fix that passed Tier 2.
+      return verdict;
+  }
+  return verdict;
+}
 
 Fix FixEngine::SuggestFix(const Detection& d, const Context& context) const {
   Fix fix;
@@ -51,26 +112,45 @@ Fix FixEngine::SuggestFix(const Detection& d, const Context& context) const {
   AnchorProvenance(&fix, d, context);
 
   if (fix.kind == FixKind::kRewrite) {
+    // Tier 3 executes the original too, so the memo key must cover it:
+    // distinct originals can share a rewritten spelling yet behave
+    // differently on the ephemeral database.
     std::string memo_key;
-    memo_key.reserve(64);
+    memo_key.reserve(96);
     memo_key += std::to_string(static_cast<int>(fix.type));
+    memo_key += '\x1f';
+    memo_key += fix.original_sql;
     for (const std::string& stmt : fix.statements) {
       memo_key += '\x1f';
       memo_key += stmt;
     }
-    auto [it, inserted] = verify_memo_.try_emplace(std::move(memo_key));
+    VerifyMemo& memo = memo_ != nullptr ? *memo_ : own_memo_;
+    auto [it, inserted] = memo.try_emplace(std::move(memo_key));
     if (inserted) {
-      it->second = VerifyRewrite(fix, registry_->FindRule(d.type), context, config_);
+      if (stats_ != nullptr) ++stats_->memo_misses;
+      it->second = VerifyTiered(fix, fixer, context);
+    } else if (stats_ != nullptr) {
+      ++stats_->memo_hits;
     }
-    const RewriteCheck& check = it->second;
-    if (check.ok) {
+    const VerifyVerdict& verdict = it->second;
+    if (verdict.ok) {
       fix.verified = true;
+      fix.verify_tier = verdict.tier;
     } else {
       // The proposal keeps its statements as a sketch, but loses the
       // "mechanically applicable" promise.
       fix.kind = FixKind::kTextual;
       fix.verified = false;
-      fix.verify_note = check.reason;
+      fix.verify_tier = VerifyTier::kNone;
+      fix.verify_note = verdict.note;
+    }
+    if (stats_ != nullptr) {
+      switch (fix.verify_tier) {
+        case VerifyTier::kParse: ++stats_->tier_parse; break;
+        case VerifyTier::kAnalysis: ++stats_->tier_analysis; break;
+        case VerifyTier::kExec: ++stats_->tier_exec; break;
+        case VerifyTier::kNone: ++stats_->demoted; break;
+      }
     }
   }
   return fix;

@@ -32,6 +32,17 @@ class Fixer {
   /// have changed (catalog-driven expansions, data-profile-driven DDL, ...).
   virtual QueryRuleScope fix_scope() const { return QueryRuleScope::kWorkload; }
 
+  /// The Tier-3 equivalence contract this fixer's rewrites are judged under
+  /// (fix/verify.h): whether differential execution must find exact ordered
+  /// results, a matching multiset, or a documented divergence — or does not
+  /// apply at all (additive DDL, textual guidance). The default keeps Tier 3
+  /// off for fixers that never emit statement-replacing rewrites; every
+  /// mechanical fixer declares its contract explicitly so the verifier never
+  /// demotes an intentionally-divergent rewrite by default.
+  virtual EquivalenceContract equivalence() const {
+    return EquivalenceContract::kNotApplicable;
+  }
+
   /// Proposes a fix for one detection of type(). `d.stmt` may be null (data
   /// anti-patterns); implementations must degrade to a textual fix then.
   virtual Fix Propose(const Detection& d, const Context& context) const = 0;

@@ -70,6 +70,11 @@ std::string PkCandidate(const Context& context, std::string_view table) {
 class ImplicitColumnsFixer final : public Fixer {
  public:
   AntiPattern type() const override { return AntiPattern::kImplicitColumns; }
+  // Naming the columns of a full-width INSERT must not change what lands in
+  // the table: Tier 3 compares the resulting table states exactly.
+  EquivalenceContract equivalence() const override {
+    return EquivalenceContract::kExactOrdered;
+  }
 
   Fix Propose(const Detection& d, const Context& context) const override {
     Fix fix = BaseFix(d);
@@ -94,6 +99,11 @@ class ImplicitColumnsFixer final : public Fixer {
 class ColumnWildcardFixer final : public Fixer {
  public:
   AntiPattern type() const override { return AntiPattern::kColumnWildcard; }
+  // Expanding * into the concrete column list is a pure spelling change:
+  // same rows, same order, same columns.
+  EquivalenceContract equivalence() const override {
+    return EquivalenceContract::kExactOrdered;
+  }
 
   Fix Propose(const Detection& d, const Context& context) const override {
     Fix fix = BaseFix(d);
@@ -117,6 +127,12 @@ class ColumnWildcardFixer final : public Fixer {
 class ConcatenateNullsFixer final : public Fixer {
  public:
   AntiPattern type() const override { return AntiPattern::kConcatenateNulls; }
+  // The COALESCE wrap is the point of the fix: rows where a nullable operand
+  // is NULL change from NULL to the non-null concatenation. Judging this
+  // exact-equivalent would demote every correct proposal.
+  EquivalenceContract equivalence() const override {
+    return EquivalenceContract::kDocumentedDivergence;
+  }
 
   Fix Propose(const Detection& d, const Context& context) const override {
     Fix fix = BaseFix(d);
@@ -141,6 +157,11 @@ class ConcatenateNullsFixer final : public Fixer {
 class OrderingByRandFixer final : public Fixer {
  public:
   AntiPattern type() const override { return AntiPattern::kOrderingByRand; }
+  // Both sides sample at random — identical results are neither possible nor
+  // wanted. Tier 3 only requires the pk-probe to execute on populated tables.
+  EquivalenceContract equivalence() const override {
+    return EquivalenceContract::kDocumentedDivergence;
+  }
 
   Fix Propose(const Detection& d, const Context& context) const override {
     Fix fix = BaseFix(d);
@@ -169,6 +190,12 @@ class PatternMatchingFixer final : public Fixer {
  public:
   AntiPattern type() const override { return AntiPattern::kPatternMatching; }
   QueryRuleScope fix_scope() const override { return QueryRuleScope::kStatementLocal; }
+  // REVERSE(col) LIKE 'liat%' selects the same rows but frees the engine to
+  // return them in a different order (the index it enables sorts by the
+  // reversed value), so the contract is multiset, not ordered.
+  EquivalenceContract equivalence() const override {
+    return EquivalenceContract::kMultiset;
+  }
 
   Fix Propose(const Detection& d, const Context& context) const override {
     (void)context;
@@ -680,22 +707,31 @@ const char* FixerContract(AntiPattern type) {
     case AntiPattern::kColumnWildcard:
       return "mechanical rewrite: expands * into the catalog's column list "
              "(qualified per source when several tables are read); textual when a "
-             "source is a subquery or missing from the catalog";
+             "source is a subquery or missing from the catalog; equivalence "
+             "contract: exact-ordered — differential execution requires identical "
+             "rows in identical order";
     case AntiPattern::kImplicitColumns:
       return "mechanical rewrite: names the INSERT's target columns from the "
              "catalog; textual when the table is unknown or the VALUES arity "
-             "mismatches the schema";
+             "mismatches the schema; equivalence contract: exact-ordered — "
+             "differential execution requires identical table states afterward";
     case AntiPattern::kConcatenateNulls:
       return "mechanical rewrite: wraps nullable || / CONCAT operands in "
-             "COALESCE(col, '')";
+             "COALESCE(col, ''); equivalence contract: documented-divergence — "
+             "rows with NULL operands intentionally change from NULL to the "
+             "non-null concatenation, so execution is checked but results are not "
+             "compared";
     case AntiPattern::kOrderingByRand:
       return "mechanical rewrite: ORDER BY RAND() ... LIMIT n becomes a random "
              "primary-key range probe; textual without a LIMIT or a single-column "
-             "primary key";
+             "primary key; equivalence contract: documented-divergence — both "
+             "sides sample at random, so execution is checked but results are not "
+             "compared";
     case AntiPattern::kPatternMatching:
       return "mechanical rewrite: col LIKE '%tail' becomes REVERSE(col) LIKE "
              "'liat%' (serviceable by a functional index); textual for regexes and "
-             "infix patterns";
+             "infix patterns; equivalence contract: multiset — differential "
+             "execution requires the same rows, in any order";
     case AntiPattern::kIndexUnderuse:
       return "emits CREATE INDEX on the unindexed performance-critical access path";
     case AntiPattern::kIndexOveruse:

@@ -146,6 +146,15 @@ std::string SessionHandler::HandleStats() {
   AppendField(&response, "interner_bytes", usage.interner_bytes);
   AppendField(&response, "fix_cache_hits", session_->fix_cache_hits());
   AppendField(&response, "fix_cache_misses", session_->fix_cache_misses());
+  const VerifyStats& verify = session_->verify_stats();
+  AppendField(&response, "verify_tier_exec", verify.tier_exec);
+  AppendField(&response, "verify_tier_analysis", verify.tier_analysis);
+  AppendField(&response, "verify_tier_parse", verify.tier_parse);
+  AppendField(&response, "verify_demoted", verify.demoted);
+  AppendField(&response, "verify_exec_runs", verify.exec_runs);
+  AppendField(&response, "verify_exec_infeasible", verify.exec_infeasible);
+  AppendField(&response, "verify_memo_hits", verify.memo_hits);
+  AppendField(&response, "verify_memo_misses", verify.memo_misses);
   AppendField(&response, "requests", requests_);
   AppendField(&response, "findings_streamed", findings_streamed_);
   AppendField(&response, "uptime_secs", uptime);

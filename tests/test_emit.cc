@@ -164,6 +164,7 @@ TEST(EmitFixesTest, GoldenJsonWithVerifiedRewrite) {
         "statements": ["SELECT user_id, name FROM users;"],
         "impacted_queries": 0,
         "verified": true,
+        "verify_tier": "analysis",
         "replaces_original": true,
         "verify_note": "",
         "anchor": "SELECT * FROM users",
@@ -201,6 +202,7 @@ TEST(EmitFixesTest, GoldenSarifFixesShape) {
   const char* kGoldenFixes = R"json(          "fixes": [
             {
               "description": { "text": "expanded SELECT * into the concrete column list so schema changes cannot silently alter the result shape" },
+              "properties": { "verify_tier": "analysis" },
               "artifactChanges": [
                 {
                   "artifactLocation": { "uri": "app/queries.sql" },

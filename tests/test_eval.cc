@@ -127,6 +127,28 @@ TEST(EvalTest, MathFunctions) {
   EXPECT_LT(r, 1.0);
 }
 
+TEST(EvalTest, FloorAndCeil) {
+  // These back the ORDER BY RAND() key-probe rewrite, so the Tier-3
+  // verifier needs them executable.
+  EXPECT_EQ(MustEval("FLOOR(2.9)").AsInt(), 2);
+  EXPECT_EQ(MustEval("FLOOR(-2.1)").AsInt(), -3);
+  EXPECT_EQ(MustEval("FLOOR(7)").AsInt(), 7);
+  EXPECT_EQ(MustEval("CEIL(2.1)").AsInt(), 3);
+  EXPECT_EQ(MustEval("CEILING(-2.9)").AsInt(), -2);
+  EXPECT_EQ(MustEval("CEIL(7)").AsInt(), 7);
+  EXPECT_TRUE(MustEval("FLOOR(NULL)").is_null());
+  EXPECT_TRUE(MustEval("CEIL(NULL)").is_null());
+}
+
+TEST(EvalTest, ReverseFunction) {
+  // Backs the leading-wildcard LIKE rewrite; byte-wise, matching the
+  // rewriter's ASCII-only guard.
+  EXPECT_EQ(MustEval("REVERSE('abc')").AsString(), "cba");
+  EXPECT_EQ(MustEval("REVERSE('')").AsString(), "");
+  EXPECT_TRUE(MustEval("REVERSE(NULL)").is_null());
+  EXPECT_EQ(MustEval("REVERSE(REVERSE('smith'))").AsString(), "smith");
+}
+
 TEST(EvalTest, CastExpressions) {
   EXPECT_EQ(MustEval("CAST('42' AS INTEGER)").AsInt(), 42);
   EXPECT_DOUBLE_EQ(MustEval("CAST('2.5' AS FLOAT)").AsReal(), 2.5);

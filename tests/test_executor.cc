@@ -368,5 +368,106 @@ TEST_F(ExecutorTest, FromlessSelectEvaluatesExpressions) {
   EXPECT_EQ(r.rows[0][1].AsString(), "ABC");
 }
 
+// ---------------------------------------------------------------------------
+// Edge cases the Tier-3 differential verifier leans on: the engine is now a
+// load-bearing oracle for rewrite equivalence, so its three-valued logic,
+// LIKE matching, and write-path constraint checks get pinned down here.
+// ---------------------------------------------------------------------------
+
+TEST_F(ExecutorTest, ThreeValuedLogicInCompoundPredicates) {
+  Run("CREATE TABLE t (x INT, y INT)");
+  Run("INSERT INTO t VALUES (1, 1), (2, NULL), (NULL, 3), (NULL, NULL)");
+  // UNKNOWN AND FALSE = FALSE, UNKNOWN OR TRUE = TRUE; WHERE keeps only TRUE.
+  EXPECT_EQ(Run("SELECT x FROM t WHERE x = 1 OR y = 3").rows.size(), 2u);
+  EXPECT_EQ(Run("SELECT x FROM t WHERE x = 1 AND y = 1").rows.size(), 1u);
+  // NOT (UNKNOWN) is UNKNOWN: negating a NULL comparison rescues nothing.
+  EXPECT_EQ(Run("SELECT x FROM t WHERE NOT (x = 1)").rows.size(), 1u);
+  // A predicate and its negation never cover rows where it is UNKNOWN.
+  size_t hits = Run("SELECT x FROM t WHERE x < 2").rows.size() +
+                Run("SELECT x FROM t WHERE NOT (x < 2)").rows.size();
+  EXPECT_EQ(hits, 2u);
+  EXPECT_EQ(Run("SELECT x FROM t").rows.size(), 4u);
+  // NOT IN with a NULL in the list matches nothing (the NULL Usage trap).
+  EXPECT_EQ(Run("SELECT x FROM t WHERE x NOT IN (2, NULL)").rows.size(), 0u);
+  EXPECT_EQ(Run("SELECT x FROM t WHERE x IN (1, NULL)").rows.size(), 1u);
+}
+
+TEST_F(ExecutorTest, LikeBoundaryAndEscapeCases) {
+  Run("CREATE TABLE s (v VARCHAR(20))");
+  Run("INSERT INTO s VALUES (''), ('a'), ('ab'), ('ba'), ('aba'), "
+      "('100%'), ('a_b'), ('ab_'), ('%')");
+  // '%' alone matches everything, including the empty string.
+  EXPECT_EQ(Run("SELECT v FROM s WHERE v LIKE '%'").rows.size(), 9u);
+  // Leading/trailing/both-sided wildcards at string boundaries.
+  EXPECT_EQ(Run("SELECT v FROM s WHERE v LIKE 'a%'").rows.size(), 5u);
+  EXPECT_EQ(Run("SELECT v FROM s WHERE v LIKE '%a'").rows.size(), 3u);
+  EXPECT_EQ(Run("SELECT v FROM s WHERE v LIKE '%a%'").rows.size(), 6u);
+  // '_' demands exactly one character — the empty string never matches.
+  EXPECT_EQ(Run("SELECT v FROM s WHERE v LIKE '_'").rows.size(), 2u);  // 'a', '%'
+  EXPECT_EQ(Run("SELECT v FROM s WHERE v LIKE '_b'").rows.size(), 1u);
+  EXPECT_EQ(Run("SELECT v FROM s WHERE v LIKE 'a_'").rows.size(), 1u);
+  // Escaped wildcards match literally. The lexer itself consumes one level
+  // of backslash escaping inside string literals, so the SQL text needs
+  // \\% for the matcher to receive \% (a literal percent sign).
+  EXPECT_EQ(Run("SELECT v FROM s WHERE v LIKE '100\\\\%'").rows.size(), 1u);
+  EXPECT_EQ(Run("SELECT v FROM s WHERE v LIKE 'a\\\\_b'").rows.size(), 1u);
+  EXPECT_EQ(Run("SELECT v FROM s WHERE v LIKE '\\\\%'").rows.size(), 1u);
+  // Unescaped, the same pattern text is pure wildcard: everything matches.
+  EXPECT_EQ(Run("SELECT v FROM s WHERE v LIKE '\\%'").rows.size(), 9u);
+  // The empty pattern matches only the empty string.
+  EXPECT_EQ(Run("SELECT v FROM s WHERE v LIKE ''").rows.size(), 1u);
+}
+
+TEST_F(ExecutorTest, ForeignKeyValidatedOnChildUpdate) {
+  Run("CREATE TABLE parent (id INT PRIMARY KEY)");
+  Run("CREATE TABLE child (pid INT REFERENCES parent(id))");
+  Run("INSERT INTO parent VALUES (1), (2)");
+  Run("INSERT INTO child VALUES (1)");
+  Run("UPDATE child SET pid = 2 WHERE pid = 1");
+  auto s = RunExpectError("UPDATE child SET pid = 99");
+  EXPECT_NE(s.message().find("FOREIGN KEY"), std::string::npos);
+  // The failed update must not have clobbered the row.
+  EXPECT_EQ(Run("SELECT pid FROM child").Scalar().AsInt(), 2);
+}
+
+TEST_F(ExecutorTest, NullForeignKeyIsAlwaysAccepted) {
+  Run("CREATE TABLE parent (id INT PRIMARY KEY)");
+  Run("CREATE TABLE child (pid INT REFERENCES parent(id))");
+  // SQL FK semantics: a NULL reference is UNKNOWN, which passes.
+  Run("INSERT INTO child VALUES (NULL)");
+  Run("INSERT INTO parent VALUES (1)");
+  Run("INSERT INTO child VALUES (1)");
+  Run("UPDATE child SET pid = NULL WHERE pid = 1");
+  EXPECT_EQ(Run("SELECT COUNT(*) FROM child WHERE pid IS NULL").Scalar().AsInt(), 2);
+}
+
+TEST_F(ExecutorTest, CheckConstraintPassesOnNullResult) {
+  // CHECK rejects only FALSE; NULL (UNKNOWN) passes — both at insert time
+  // and when ALTER ... ADD CHECK revalidates existing rows.
+  Run("CREATE TABLE t (rating INT CHECK (rating BETWEEN 1 AND 5))");
+  Run("INSERT INTO t VALUES (NULL)");
+  Run("CREATE TABLE u (score INT)");
+  Run("INSERT INTO u VALUES (3), (NULL)");
+  Run("ALTER TABLE u ADD CONSTRAINT chk CHECK (score > 0)");
+  RunExpectError("INSERT INTO u VALUES (-1)");
+  Run("INSERT INTO u VALUES (NULL)");
+}
+
+TEST_F(ExecutorTest, AlterAddCheckRevalidationLeavesSchemaUnchangedOnFailure) {
+  Run("CREATE TABLE t (v INT)");
+  Run("INSERT INTO t VALUES (10)");
+  RunExpectError("ALTER TABLE t ADD CONSTRAINT neg CHECK (v < 0)");
+  // The rejected constraint must not linger: this insert would violate it.
+  Run("INSERT INTO t VALUES (5)");
+}
+
+TEST_F(ExecutorTest, UpdateRevalidatesCheckConstraints) {
+  Run("CREATE TABLE t (rating INT CHECK (rating BETWEEN 1 AND 5))");
+  Run("INSERT INTO t VALUES (3)");
+  auto s = RunExpectError("UPDATE t SET rating = 9");
+  EXPECT_NE(s.message().find("CHECK"), std::string::npos);
+  EXPECT_EQ(Run("SELECT rating FROM t").Scalar().AsInt(), 3);
+}
+
 }  // namespace
 }  // namespace sqlcheck

@@ -46,6 +46,17 @@ options:
                               GitHub code scanning)
   --apply <out.sql>           write the workload with every verified rewrite
                               applied in place (batch mode only)
+  --verify-exec <on|off|required>
+                              Tier-3 differential execution of rewrite fixes:
+                              original and rewrite run on an ephemeral seeded
+                              database and must agree under the fixer's
+                              equivalence contract. off (default) stops at
+                              re-analysis; on demotes divergent rewrites;
+                              required also demotes rewrites the engine
+                              cannot execute. Prints per-tier counts to
+                              stderr after the batch report
+  --verify-seed <N>           seed for the generated verification datasets
+                              (default 42); same seed, same verdicts
   --explain <NAME>            describe one rule — detection scope, impact
                               flags, and its repair strategy — and exit
   --explain-all               describe every rule and exit; with --format md,
@@ -72,6 +83,7 @@ struct CliOptions {
   bool color = false;
   size_t top = 0;
   int parallelism = 1;
+  ExecVerifyOptions verify_exec;  ///< --verify-exec / --verify-seed.
   std::string apply_path;  ///< --apply target ("" = off).
   std::vector<std::string> disabled;
   std::vector<std::string> files;
@@ -132,6 +144,26 @@ bool ParseArgs(int argc, char** argv, CliOptions* cli, int* exit_code) {
     } else if (arg == "--apply") {
       if (!value_of(&i, arg, &value)) return false;
       cli->apply_path = value;
+    } else if (arg == "--verify-exec") {
+      if (!value_of(&i, arg, &value)) return false;
+      if (value == "off") {
+        cli->verify_exec.mode = ExecVerifyMode::kOff;
+      } else if (value == "on") {
+        cli->verify_exec.mode = ExecVerifyMode::kOn;
+      } else if (value == "required") {
+        cli->verify_exec.mode = ExecVerifyMode::kRequired;
+      } else {
+        *exit_code = UsageError("--verify-exec expects on, off, or required, got '" +
+                                value + "'");
+        return false;
+      }
+    } else if (arg == "--verify-seed") {
+      if (!value_of(&i, arg, &value)) return false;
+      if (!IsAllDigits(value) || value.size() > 18) {
+        *exit_code = UsageError("--verify-seed expects a number, got '" + value + "'");
+        return false;
+      }
+      cli->verify_exec.seed = std::stoull(value);
     } else if (arg == "--explain") {
       if (!value_of(&i, arg, &value)) return false;
       const ApInfo* info = FindApInfoByName(Trim(value));
@@ -154,9 +186,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* cli, int* exit_code) {
                       ? "statement-local (cached per unique statement)"
                       : "workload-sensitive (re-evaluated as the workload grows)");
       std::printf("  fix: %s\n", FixerContract(info->type));
-      std::printf("  every mechanical rewrite is self-verified: it must re-parse and "
-                  "re-analysis must no longer\n  report the anti-pattern, else the fix "
-                  "falls back to guidance with the reason attached\n");
+      std::printf("  every mechanical rewrite climbs a tiered verification pipeline: "
+                  "it must re-parse (tier 1),\n  re-analysis must no longer report the "
+                  "anti-pattern (tier 2), and under --verify-exec the\n  rewrite must "
+                  "execute to results equivalent to the original under the fixer's "
+                  "declared\n  contract (tier 3); any failure demotes the fix to "
+                  "guidance with the reason attached\n");
       *exit_code = 0;
       return false;
     } else if (arg == "--explain-all") {
@@ -232,9 +267,13 @@ int ExplainAll(Format format) {
         "display name accepted by `--disable` and `--explain`. Detection scope\n"
         "explains the incremental-analysis cost model: statement-local rules are\n"
         "memoized per unique statement, workload-sensitive rules re-run as\n"
-        "context accumulates. Every mechanical fix is self-verified (it must\n"
-        "re-parse, and re-analysis must no longer report the anti-pattern) or it\n"
-        "falls back to guidance.\n",
+        "context accumulates. Every mechanical fix climbs a tiered verification\n"
+        "pipeline: it must re-parse (tier 1), re-analysis must no longer report\n"
+        "the anti-pattern (tier 2), and under `--verify-exec` the rewrite must\n"
+        "execute to results equivalent to the original on an ephemeral seeded\n"
+        "database, judged under the fixer's declared equivalence contract\n"
+        "(tier 3). Any failure demotes the fix to guidance with the reason\n"
+        "attached.\n",
         kAntiPatternCount);
     constexpr ApCategory kCategories[] = {ApCategory::kLogicalDesign,
                                           ApCategory::kPhysicalDesign,
@@ -377,6 +416,7 @@ int main(int argc, char** argv) {
   SqlCheckOptions options;
   options.parallelism = cli.parallelism;
   options.disabled_rules = cli.disabled;
+  options.verify_exec = cli.verify_exec;
   AnalysisSession session(options);
   if (!session.status().ok()) {
     std::cerr << "sqlcheck: " << session.status().message() << "\n";
@@ -438,6 +478,17 @@ int main(int argc, char** argv) {
     case Format::kJson: std::cout << ToJson(report, emit); break;
     case Format::kSarif: std::cout << ToSarif(report, emit); break;
     case Format::kMarkdown: break;  // rejected above: md pairs with --explain-all
+  }
+
+  if (cli.verify_exec.mode != ExecVerifyMode::kOff) {
+    // Tier telemetry goes to stderr so the report stream stays parseable.
+    const VerifyStats& vs = session.verify_stats();
+    std::cerr << "sqlcheck: verify tiers — exec: " << vs.tier_exec
+              << ", analysis: " << vs.tier_analysis << ", parse: " << vs.tier_parse
+              << ", demoted: " << vs.demoted << " (exec runs: " << vs.exec_runs
+              << ", infeasible: " << vs.exec_infeasible
+              << ", memo hits: " << vs.memo_hits << "/"
+              << (vs.memo_hits + vs.memo_misses) << ")\n";
   }
 
   if (!cli.apply_path.empty()) {

@@ -43,6 +43,12 @@ options:
   --interner-cap <N>          per-session interned-name quota, 0 = off
   --fixes                     include the fix verification fields on finding
                               lines
+  --verify-exec <on|off|required>
+                              Tier-3 differential execution of rewrite fixes
+                              (default: off); per-tier counts surface in the
+                              `stats` op
+  --verify-seed <N>           seed for the generated verification datasets
+                              (default: 42)
   --disable <NAME[,NAME...]>  disable rules by anti-pattern name (repeatable)
   -h, --help                  show this help
 
@@ -129,6 +135,22 @@ int main(int argc, char** argv) {
         return UsageError("--interner-cap expects a count");
       }
       options.analysis.limits.interner_cap_names = number;
+    } else if (arg == "--verify-exec") {
+      if (!value_of(&value)) return UsageError("--verify-exec requires a value");
+      if (value == "off") {
+        options.analysis.verify_exec.mode = ExecVerifyMode::kOff;
+      } else if (value == "on") {
+        options.analysis.verify_exec.mode = ExecVerifyMode::kOn;
+      } else if (value == "required") {
+        options.analysis.verify_exec.mode = ExecVerifyMode::kRequired;
+      } else {
+        return UsageError("--verify-exec expects on, off, or required");
+      }
+    } else if (arg == "--verify-seed") {
+      if (!value_of(&value) || !ParseSize(value, &number)) {
+        return UsageError("--verify-seed expects a number");
+      }
+      options.analysis.verify_exec.seed = number;
     } else if (arg == "--fixes") {
       options.include_fixes = true;
     } else if (arg == "--disable") {
