@@ -9,6 +9,18 @@
 // >=2x lex+parse MB/s and >=1.5x end-to-end statements/sec versus the
 // recorded baseline.
 //
+// The SIMD/SWAR frontend (PR 8) adds two sections on top: the lex stage is
+// measured on both the block-scan fast tier and the forced-scalar reference
+// (their token streams are asserted identical by tests/test_block_scan.cc;
+// here they are separate throughput rows), and bulk ingestion is measured at
+// ingest_parallelism 1/2/4/8 over the corpus joined into one script. Every
+// shard count must produce the same report digest — that identity is
+// unconditional, like the baseline digest check. Under --gate the fast lex
+// tier must clear 1.7x the pre-SIMD lex figure (kPrevLexMBs, the PR-7-era
+// recorded 325.37 MB/s; see the constant for the measured same-host ratio)
+// and 1.25x the same-run scalar tier, and on hosts with >=4 hardware
+// threads 4-way sharded ingestion must clear 1.5x serial ingestion.
+//
 // The baseline block below was measured on this container immediately
 // before the arena/interner refactor (PR 4), with the same corpus seed and
 // repo count, so current/baseline pairs are like-for-like on any rebuild of
@@ -24,9 +36,12 @@
 #include <cstring>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
+#include "core/session.h"
 #include "core/sqlcheck.h"
+#include "sql/block_scan.h"
 #include "sql/lexer.h"
 #include "sql/parser.h"
 #include "workload/corpus.h"
@@ -78,11 +93,37 @@ constexpr double kBaselineLexParseMBs = 36.14;
 constexpr double kBaselineRunStmtsPerSec = 95614.0;
 constexpr uint64_t kBaselineDigest = 3179248164023172358ull;
 
+// Lex MB/s recorded by this bench immediately before the SIMD/SWAR block
+// scanner landed (PR 7 era, same corpus, possibly a faster container than
+// the one gating today: re-building that commit on the current host measured
+// 313 MB/s against 612 MB/s for the SIMD tier — a 1.96x same-host speedup,
+// 1.88x against this recorded constant). The --gate floor is 1.7x so host
+// drift and container noise do not flake CI; the recorded
+// `lex_speedup_vs_prev` field reports the actual ratio each run.
+constexpr double kPrevLexMBs = 325.37;
+constexpr double kLexSpeedupFloor = 1.7;
+
+// Same-run SIMD-vs-scalar floor: unlike the cross-host ratio above, both
+// sides are measured in this process on this machine, so the gate is
+// host-independent. The scalar reference itself got faster than the PR-7
+// lexer (span-oriented restructure, ~1.3x), so the fast tier clearing 1.25x
+// *scalar* confirms the SIMD tiers are doing real work on top of that.
+constexpr double kLexFastVsScalarFloor = 1.25;
+
+/// One bulk-ingestion measurement: AddScript + Snapshot at a shard count.
+struct IngestRow {
+  int shards = 0;
+  double stmts_per_sec = 0.0;
+  uint64_t digest = 0;
+};
+
 struct Measurement {
-  double lex_mbs = 0.0;
+  double lex_mbs = 0.0;         ///< Block-scan fast tier (SSE2/NEON/SWAR).
+  double lex_scalar_mbs = 0.0;  ///< Forced-scalar reference path.
   double lex_parse_mbs = 0.0;
   double run_stmts_per_sec = 0.0;
   double run_with_fixes_stmts_per_sec = 0.0;
+  std::vector<IngestRow> ingest;  ///< Sharded bulk ingestion, 1/2/4/8 shards.
   uint64_t digest = 0;
   size_t statements = 0;
   size_t bytes = 0;
@@ -117,17 +158,31 @@ Measurement Measure(const std::vector<std::string>& statements) {
   const double mb = static_cast<double>(m.bytes) / (1024.0 * 1024.0);
 
   // Lex only: reusable token buffer, zero per-token allocations steady-state.
+  // Measured twice — once on the block-scan fast tier, once forced scalar —
+  // so the SIMD speedup is visible as its own row. The ambient force-scalar
+  // mode (SQLCHECK_FORCE_SCALAR) is restored afterwards so the end-to-end
+  // sections below still run in whatever mode the caller selected.
   {
+    const bool ambient_scalar = sql::blockscan::ForceScalar();
     sql::TokenBuffer buffer;
     size_t tokens = 0;
-    double secs = TimedReps(0.4, [&] {
+    auto lex_all = [&] {
       tokens = 0;
       for (const auto& s : statements) {
         tokens += sql::Lex(s, buffer).size();
       }
-    });
+    };
+    sql::blockscan::SetForceScalarForTest(false);
+    m.lex_mbs = mb / TimedReps(0.4, lex_all);
     m.token_count = tokens;
-    m.lex_mbs = mb / secs;
+    sql::blockscan::SetForceScalarForTest(true);
+    m.lex_scalar_mbs = mb / TimedReps(0.4, lex_all);
+    if (tokens != m.token_count) {
+      std::fprintf(stderr, "FAIL: scalar token count %zu != fast %zu\n", tokens,
+                   m.token_count);
+      std::exit(1);
+    }
+    sql::blockscan::SetForceScalarForTest(ambient_scalar);
   }
 
   // Lex + parse into an arena (the context build's statement path).
@@ -186,6 +241,39 @@ Measurement Measure(const std::vector<std::string>& statements) {
     });
     m.run_with_fixes_stmts_per_sec = static_cast<double>(m.statements) / secs;
   }
+
+  // Sharded bulk ingestion: the whole corpus as one script through
+  // AnalysisSession::AddScript at ingest_parallelism 1/2/4/8, snapshot
+  // included (the merge is part of the cost being measured). The digest of
+  // every row must match — main() enforces that identity unconditionally.
+  {
+    std::string script;
+    script.reserve(m.bytes + 2 * m.statements);
+    for (const auto& s : statements) {
+      script += s;
+      script += ";\n";
+    }
+    for (int shards : {1, 2, 4, 8}) {
+      SqlCheckOptions opt;
+      opt.suggest_fixes = false;
+      opt.ingest_parallelism = shards;
+      IngestRow row;
+      row.shards = shards;
+      size_t count = 0;
+      double secs = TimedReps(0.6, [&] {
+        AnalysisSession session(opt);
+        count = session.AddScript(script);
+        row.digest = DigestReport(session.Snapshot());
+      });
+      if (count != m.statements) {
+        std::fprintf(stderr, "FAIL: %d-shard ingest saw %zu statements, want %zu\n",
+                     shards, count, m.statements);
+        std::exit(1);
+      }
+      row.stmts_per_sec = static_cast<double>(count) / secs;
+      m.ingest.push_back(row);
+    }
+  }
   return m;
 }
 
@@ -201,25 +289,43 @@ void WriteJson(const Measurement& m, int repo_count, bool gated, bool passed) {
                "  \"repo_count\": %d,\n"
                "  \"statements\": %zu,\n"
                "  \"corpus_bytes\": %zu,\n"
+               "  \"block_scan_tier\": \"%s\",\n"
+               "  \"hardware_threads\": %u,\n"
                "  \"lex_mb_per_s\": %.2f,\n"
+               "  \"lex_scalar_mb_per_s\": %.2f,\n"
                "  \"lex_parse_mb_per_s\": %.2f,\n"
                "  \"run_stmts_per_s\": %.0f,\n"
                "  \"run_with_fixes_stmts_per_s\": %.0f,\n"
                "  \"baseline_lex_mb_per_s\": %.2f,\n"
                "  \"baseline_lex_parse_mb_per_s\": %.2f,\n"
                "  \"baseline_run_stmts_per_s\": %.0f,\n"
+               "  \"prev_lex_mb_per_s\": %.2f,\n"
                "  \"lex_speedup\": %.2f,\n"
+               "  \"lex_speedup_vs_prev\": %.2f,\n"
                "  \"lex_parse_speedup\": %.2f,\n"
-               "  \"run_speedup\": %.2f,\n"
+               "  \"run_speedup\": %.2f,\n",
+               repo_count, m.statements, m.bytes, sql::blockscan::FastTierName(),
+               std::thread::hardware_concurrency(), m.lex_mbs, m.lex_scalar_mbs,
+               m.lex_parse_mbs, m.run_stmts_per_sec, m.run_with_fixes_stmts_per_sec,
+               kBaselineLexMBs, kBaselineLexParseMBs, kBaselineRunStmtsPerSec,
+               kPrevLexMBs, m.lex_mbs / kBaselineLexMBs, m.lex_mbs / kPrevLexMBs,
+               m.lex_parse_mbs / kBaselineLexParseMBs,
+               m.run_stmts_per_sec / kBaselineRunStmtsPerSec);
+  std::fprintf(f, "  \"ingest_scaling\": [\n");
+  for (size_t i = 0; i < m.ingest.size(); ++i) {
+    const IngestRow& row = m.ingest[i];
+    std::fprintf(f,
+                 "    {\"shards\": %d, \"stmts_per_s\": %.0f, "
+                 "\"digest_matches_serial\": %s}%s\n",
+                 row.shards, row.stmts_per_sec,
+                 row.digest == m.ingest.front().digest ? "true" : "false",
+                 i + 1 < m.ingest.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n"
                "  \"digest_matches_baseline\": %s,\n"
                "  \"gate\": %s\n"
                "}\n",
-               repo_count, m.statements, m.bytes, m.lex_mbs, m.lex_parse_mbs,
-               m.run_stmts_per_sec, m.run_with_fixes_stmts_per_sec, kBaselineLexMBs,
-               kBaselineLexParseMBs,
-               kBaselineRunStmtsPerSec, m.lex_mbs / kBaselineLexMBs,
-               m.lex_parse_mbs / kBaselineLexParseMBs,
-               m.run_stmts_per_sec / kBaselineRunStmtsPerSec,
                m.digest == kBaselineDigest ? "true" : "false",
                gated ? (passed ? "\"pass\"" : "\"fail\"") : "\"not-run\"");
   std::fclose(f);
@@ -266,8 +372,13 @@ int main(int argc, char** argv) {
   std::printf("frontend throughput (repo_count=%d, %zu statements, %.2f MB, %zu tokens)\n",
               repo_count, m.statements,
               static_cast<double>(m.bytes) / (1024.0 * 1024.0), m.token_count);
-  std::printf("  lex             %8.2f MB/s   (baseline %8.2f, %5.2fx)\n", m.lex_mbs,
-              kBaselineLexMBs, m.lex_mbs / kBaselineLexMBs);
+  std::printf("  lex (%s)%*s %8.2f MB/s   (pre-SIMD %8.2f, %5.2fx; baseline %5.2fx)\n",
+              sql::blockscan::FastTierName(),
+              static_cast<int>(9 - std::strlen(sql::blockscan::FastTierName())), "",
+              m.lex_mbs, kPrevLexMBs, m.lex_mbs / kPrevLexMBs,
+              m.lex_mbs / kBaselineLexMBs);
+  std::printf("  lex (scalar)    %8.2f MB/s   (fast tier is %5.2fx scalar)\n",
+              m.lex_scalar_mbs, m.lex_mbs / m.lex_scalar_mbs);
   std::printf("  lex+parse       %8.2f MB/s   (baseline %8.2f, %5.2fx)\n",
               m.lex_parse_mbs, kBaselineLexParseMBs,
               m.lex_parse_mbs / kBaselineLexParseMBs);
@@ -276,6 +387,12 @@ int main(int argc, char** argv) {
               m.run_stmts_per_sec / kBaselineRunStmtsPerSec);
   std::printf("  batch Run()+fix %8.0f stmt/s (fix suggestion + verification)\n",
               m.run_with_fixes_stmts_per_sec);
+  for (const IngestRow& row : m.ingest) {
+    std::printf("  ingest x%d       %8.0f stmt/s (%5.2fx serial, digest %s)\n",
+                row.shards, row.stmts_per_sec,
+                row.stmts_per_sec / m.ingest.front().stmts_per_sec,
+                row.digest == m.ingest.front().digest ? "ok" : "MISMATCH");
+  }
   std::printf("  report digest   %llu\n", static_cast<unsigned long long>(m.digest));
 
   if (record) {
@@ -293,7 +410,9 @@ int main(int argc, char** argv) {
   }
 
   // Digest identity is hardware-independent and therefore unconditional: the
-  // zero-copy frontend must not change a single detection byte.
+  // zero-copy frontend must not change a single detection byte, and sharded
+  // bulk ingestion must reproduce serial ingestion exactly at every shard
+  // count (and match the per-AddQuery batch digest).
   bool ok = true;
   if (repo_count == kBaselineRepoCount && m.digest != kBaselineDigest) {
     std::fprintf(stderr,
@@ -302,9 +421,29 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(kBaselineDigest));
     ok = false;
   }
+  for (const IngestRow& row : m.ingest) {
+    if (row.digest != m.digest) {
+      std::fprintf(stderr,
+                   "FAIL: %d-shard ingest digest %llu != batch digest %llu\n",
+                   row.shards, static_cast<unsigned long long>(row.digest),
+                   static_cast<unsigned long long>(m.digest));
+      ok = false;
+    }
+  }
 
   bool gate_passed = true;
   if (gate && repo_count == kBaselineRepoCount) {
+    if (m.lex_mbs < kLexSpeedupFloor * kPrevLexMBs) {
+      std::fprintf(stderr, "FAIL: lex %.2f MB/s < %.1fx pre-SIMD %.2f MB/s\n",
+                   m.lex_mbs, kLexSpeedupFloor, kPrevLexMBs);
+      gate_passed = false;
+    }
+    if (m.lex_mbs < kLexFastVsScalarFloor * m.lex_scalar_mbs) {
+      std::fprintf(stderr,
+                   "FAIL: fast lex %.2f MB/s < %.2fx same-run scalar %.2f MB/s\n",
+                   m.lex_mbs, kLexFastVsScalarFloor, m.lex_scalar_mbs);
+      gate_passed = false;
+    }
     if (m.lex_parse_mbs < 2.0 * kBaselineLexParseMBs) {
       std::fprintf(stderr, "FAIL: lex+parse %.2f MB/s < 2x baseline %.2f MB/s\n",
                    m.lex_parse_mbs, kBaselineLexParseMBs);
@@ -314,6 +453,21 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "FAIL: Run() %.0f stmt/s < 1.5x baseline %.0f stmt/s\n",
                    m.run_stmts_per_sec, kBaselineRunStmtsPerSec);
       gate_passed = false;
+    }
+    // The shard-scaling ratio gate needs the cores to scale onto; the digest
+    // identity above runs everywhere regardless.
+    if (std::thread::hardware_concurrency() >= 4) {
+      const double serial = m.ingest.front().stmts_per_sec;
+      double four = 0.0;
+      for (const IngestRow& row : m.ingest) {
+        if (row.shards == 4) four = row.stmts_per_sec;
+      }
+      if (four < 1.5 * serial) {
+        std::fprintf(stderr,
+                     "FAIL: 4-shard ingest %.0f stmt/s < 1.5x serial %.0f stmt/s\n",
+                     four, serial);
+        gate_passed = false;
+      }
     }
   }
 

@@ -69,6 +69,20 @@ class Context {
   /// (moved Contexts keep the same arena).
   Arena* arena() { return arena_.get(); }
 
+  /// Parse-tree arena accounting across the primary arena and every arena
+  /// adopted from merged ingestion shards (quota checks and SessionUsage
+  /// must see the whole footprint, not just the primary arena).
+  size_t arena_reserved_bytes() const {
+    size_t total = arena_->bytes_reserved();
+    for (const auto& a : adopted_arenas_) total += a->bytes_reserved();
+    return total;
+  }
+  size_t arena_used_bytes() const {
+    size_t total = arena_->bytes_used();
+    for (const auto& a : adopted_arenas_) total += a->bytes_used();
+    return total;
+  }
+
   // ------------------------ queryable interface ----------------------------
   /// Queries referencing a table.
   std::vector<const QueryFacts*> QueriesReferencing(std::string_view table) const;
@@ -99,6 +113,11 @@ class Context {
   /// incremental sessions can keep parsing into it). Held by pointer so the
   /// arena address survives Context moves.
   std::unique_ptr<Arena> arena_ = std::make_unique<Arena>();
+  /// Arenas inherited from merged ingestion shards: a shard parses into its
+  /// own arena, and when its statements move into this context the arena
+  /// moves with them so the trees stay valid. Append-only; freed with the
+  /// Context.
+  std::vector<std::unique_ptr<Arena>> adopted_arenas_;
   std::vector<sql::StatementPtr> statements_;  ///< Owned parse trees.
   std::vector<QueryFacts> query_facts_;
   QueryGroups query_groups_;

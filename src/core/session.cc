@@ -1,5 +1,6 @@
 #include "core/session.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "analysis/query_analyzer.h"
@@ -8,6 +9,7 @@
 #include "fix/fixer.h"
 #include "sql/fingerprint.h"
 #include "sql/parser.h"
+#include "sql/splitter.h"
 
 namespace sqlcheck {
 
@@ -59,7 +61,7 @@ Status AnalysisSession::CheckQuota(size_t incoming_bytes) const {
                          std::to_string(limits.max_ingest_bytes) + ")");
   }
   if (limits.arena_cap_bytes != 0 &&
-      context_.arena_->bytes_reserved() >= limits.arena_cap_bytes) {
+      context_.arena_reserved_bytes() >= limits.arena_cap_bytes) {
     return Status::Error("session arena cap reached (arena_cap_bytes=" +
                          std::to_string(limits.arena_cap_bytes) + ")");
   }
@@ -76,8 +78,8 @@ SessionUsage AnalysisSession::Usage() const {
   usage.statements = context_.statements_.size();
   usage.unique_groups = context_.query_groups_.unique.size();
   usage.ingested_bytes = ingested_bytes_;
-  usage.arena_reserved_bytes = context_.arena_->bytes_reserved();
-  usage.arena_used_bytes = context_.arena_->bytes_used();
+  usage.arena_reserved_bytes = context_.arena_reserved_bytes();
+  usage.arena_used_bytes = context_.arena_used_bytes();
   usage.scratch_reserved_bytes = token_buffer_.reserved_bytes();
   usage.interner_names = context_.names().size();
   usage.interner_bytes = context_.names().memory_bytes();
@@ -95,12 +97,182 @@ size_t AnalysisSession::AddQuery(std::string_view sql_text) {
 
 size_t AnalysisSession::AddScript(std::string_view script) {
   if (!GateAppend(script.size())) return 0;
+  const int requested = ThreadPool::ResolveParallelism(options_.ingest_parallelism);
+  if (requested > 1) {
+    // Split once up front (the splitter returns trimmed, non-empty views
+    // into `script` — exactly the pieces ParseScript would parse), then
+    // either shard the parse+analyze work or fall back to serial when the
+    // script is too small to amortize a shard.
+    std::vector<std::string_view> pieces =
+        sql::SplitStatements(script, nullptr, &token_buffer_);
+    const int shards = static_cast<int>(std::min<size_t>(
+        static_cast<size_t>(requested), pieces.size() / kMinStatementsPerIngestShard));
+    if (shards > 1) {
+      ParallelIngest(pieces, shards);
+      TrimScratch();
+      return pieces.size();
+    }
+    std::vector<sql::StatementPtr> stmts;
+    stmts.reserve(pieces.size());
+    for (std::string_view piece : pieces) {
+      stmts.push_back(sql::ParseStatement(piece, context_.arena(), &token_buffer_));
+    }
+    size_t count = stmts.size();
+    IngestChunk(std::move(stmts));
+    TrimScratch();
+    return count;
+  }
   std::vector<sql::StatementPtr> stmts =
       sql::ParseScript(script, context_.arena(), &token_buffer_);
   size_t count = stmts.size();
   IngestChunk(std::move(stmts));
   TrimScratch();
   return count;
+}
+
+void AnalysisSession::ParallelIngest(const std::vector<std::string_view>& pieces,
+                                     int shards) {
+  // Shard sessions share this session's analysis configuration (dedup mode,
+  // detector thresholds, disabled rules — the registry prefix must match for
+  // cache-row transfer) but run serial inside, carry no quotas (the owner
+  // gated the whole script already), and skip the fix machinery (shards
+  // never produce reports).
+  SqlCheckOptions shard_options = options_;
+  shard_options.parallelism = 1;
+  shard_options.ingest_parallelism = 1;
+  shard_options.suggest_fixes = false;
+  shard_options.verify_exec = ExecVerifyOptions{};
+  shard_options.limits = SessionLimits{};
+
+  std::vector<std::unique_ptr<AnalysisSession>> workers;
+  workers.reserve(static_cast<size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    workers.push_back(std::make_unique<AnalysisSession>(shard_options));
+  }
+
+  // Contiguous shards in script order: each worker parses into its own
+  // arena and interns into its own name table, completely lock-free.
+  ThreadPool pool(shards);
+  ParallelShards(
+      pieces.size(), shards,
+      [&workers, &pieces](int shard, size_t begin, size_t end) {
+        AnalysisSession& w = *workers[shard];
+        std::vector<sql::StatementPtr> stmts;
+        stmts.reserve(end - begin);
+        for (size_t i = begin; i < end; ++i) {
+          stmts.push_back(
+              sql::ParseStatement(pieces[i], w.context_.arena(), &w.token_buffer_));
+        }
+        w.IngestChunk(std::move(stmts));
+      },
+      &pool);
+
+  // Serial fold, in shard order — which is script order, so the merged
+  // session reproduces serial ingestion exactly.
+  for (auto& worker : workers) MergeShard(std::move(*worker));
+}
+
+void AnalysisSession::MergeShard(AnalysisSession&& shard) {
+  Context& sc = shard.context_;
+  const size_t base = context_.statements_.size();
+  const size_t n = sc.statements_.size();
+  if (n == 0) return;
+
+  // The merge loop is the serial section of sharded ingestion — every
+  // reallocation or avoidable hash probe in it eats directly into the
+  // Amdahl budget, so all destination containers are sized up front.
+  context_.statements_.reserve(base + n);
+  context_.query_facts_.reserve(base + n);
+  context_.query_groups_.representative.reserve(base + n);
+  context_.query_groups_.fingerprints.reserve(base + n);
+
+  // Index the shard's canonical-memo nodes by their representative so the
+  // canonical strings move (not copy) into this session's memo when their
+  // group turns out to be new.
+  using MemoNode =
+      std::unordered_map<std::string, size_t, StringViewHash, std::equal_to<>>::node_type;
+  std::unordered_map<size_t, MemoNode> canon_nodes;
+  canon_nodes.reserve(shard.canonical_memo_.size());
+  while (!shard.canonical_memo_.empty()) {
+    MemoNode node = shard.canonical_memo_.extract(shard.canonical_memo_.begin());
+    const size_t rep = node.mapped();
+    canon_nodes.emplace(rep, std::move(node));
+  }
+  QueryGroups& groups = context_.query_groups_;
+  canonical_memo_.reserve(canonical_memo_.size() + canon_nodes.size());
+  // The shard's unique list is ascending in statement index, so a cursor
+  // replaces a hash lookup per locally-unique statement.
+  size_t local_u = 0;
+  std::vector<size_t> global_rep(n);
+  for (size_t i = 0; i < n; ++i) {
+    sql::StatementPtr stmt = std::move(sc.statements_[i]);
+    const size_t gi = base + i;
+    context_.catalog_.ApplyDdl(*stmt);  // workload order, exactly as serial
+
+    size_t rep = gi;
+    size_t cache_row = 0;  // shard.local_cache_ row when locally unique
+    if (options_.dedup_queries) {
+      const size_t local_rep = sc.query_groups_.representative[i];
+      if (local_rep != i) {
+        rep = global_rep[local_rep];  // the shard resolved it; remap to global
+      } else {
+        cache_row = local_u++;
+        auto raw_it = raw_memo_.find(std::string_view(stmt->raw_sql));
+        if (raw_it != raw_memo_.end()) {
+          rep = raw_it->second;
+        } else {
+          // First time this raw spelling crosses the session: resolve by the
+          // canonical form the shard already computed, inserting its memo
+          // node when the group is new. On a cross-shard canonical collision
+          // the existing (earlier) representative wins, as serial order
+          // demands. Raw-spelling entries merge wholesale below.
+          MemoNode& node = canon_nodes.at(i);
+          node.mapped() = gi;
+          auto ins = canonical_memo_.insert(std::move(node));
+          rep = ins.position->second;
+        }
+      }
+      global_rep[i] = rep;
+      groups.representative.push_back(rep);
+      groups.fingerprints.push_back(sc.query_groups_.fingerprints[i]);
+    } else {
+      cache_row = local_u++;
+      global_rep[i] = gi;
+      groups.representative.push_back(gi);
+    }
+
+    // The shard analyzed (or rebased) these facts for this very statement —
+    // exactly what serial ingestion attaches to it.
+    context_.query_facts_.push_back(std::move(sc.query_facts_[i]));
+    if (rep == gi) {
+      unique_pos_.emplace(gi, groups.unique.size());
+      groups.unique.push_back(gi);
+      local_cache_.push_back(std::move(shard.local_cache_[cache_row]));
+      fix_cache_.emplace_back();  // shards never run ap-fix
+    }
+    context_.statements_.push_back(std::move(stmt));
+  }
+
+  // Raw-spelling memo: remap shard values to global representatives; the
+  // keys (statement bytes) move over node-by-node. Spellings this session
+  // already knew keep their existing, earlier representative.
+  raw_memo_.reserve(raw_memo_.size() + shard.raw_memo_.size());
+  while (!shard.raw_memo_.empty()) {
+    MemoNode node = shard.raw_memo_.extract(shard.raw_memo_.begin());
+    node.mapped() = global_rep[node.mapped()];
+    raw_memo_.insert(std::move(node));
+  }
+
+  // Workload aggregates fold through the interner remap. Merging contiguous
+  // shards in order reproduces the serial fold exactly — including the
+  // NameId assignment, since a shard's first-intern order is the serial
+  // first-intern order restricted to its statements.
+  context_.stats_.MergeFrom(sc.stats_, base);
+
+  // The moved parse trees (and their pmr raw_sql payloads) live in the
+  // shard's arena — adopt it so they outlive the shard. The shard's lexer
+  // scratch, catalog, and interner die with it.
+  context_.adopted_arenas_.push_back(std::move(sc.arena_));
 }
 
 void AnalysisSession::AddStatement(sql::StatementPtr stmt) {

@@ -82,6 +82,15 @@ class AnalysisSession {
   /// Appends every statement in a script (one chunk — analysis of new unique
   /// statements is sharded across SqlCheckOptions::parallelism workers).
   /// Returns the number of statements appended.
+  ///
+  /// With SqlCheckOptions::ingest_parallelism > 1 and a script of at least
+  /// 2 * kMinStatementsPerIngestShard statements, the whole frontend runs
+  /// sharded: the statement stream is split once, contiguous shards are
+  /// parsed + fingerprinted + analyzed in independent per-shard sessions,
+  /// and the shards fold back in order through the NameInterner merge path
+  /// (ParallelIngest/MergeShard). The merged session is byte-identical to
+  /// serial ingestion — same statements, groups, NameIds, memos, and
+  /// reports — enforced by tests/test_parallel_ingest.cc.
   size_t AddScript(std::string_view script);
 
   /// Appends an already-parsed statement (takes ownership).
@@ -132,11 +141,34 @@ class AnalysisSession {
   /// Current memory/ingest accounting (see SessionUsage).
   SessionUsage Usage() const;
 
+  /// Minimum statements a parallel-ingest shard must receive: below this the
+  /// per-shard session + merge overhead dwarfs the parse work, so AddScript
+  /// falls back to the serial path (and shard counts clamp so every shard
+  /// meets the floor).
+  static constexpr size_t kMinStatementsPerIngestShard = 16;
+
  private:
   /// Appends `stmts` as one chunk: dedup bookkeeping serially, analysis and
   /// statement-local rule evaluation for new uniques sharded. Returns the
   /// index of the first appended statement.
   size_t IngestChunk(std::vector<sql::StatementPtr> stmts);
+
+  /// Sharded bulk ingestion (the ingest_parallelism path of AddScript):
+  /// `pieces` — the split statement texts, in script order — are divided
+  /// into `shards` contiguous ranges; each range is parsed and ingested into
+  /// a fresh per-shard session on a ThreadPool, then the shards fold into
+  /// this session in order via MergeShard. Byte-identical to pushing the
+  /// pieces through the serial path.
+  void ParallelIngest(const std::vector<std::string_view>& pieces, int shards);
+
+  /// Folds one ingestion shard into this session, in workload order:
+  /// re-resolves the shard's fingerprint groups against this session's memos
+  /// (cross-shard duplicates collapse exactly as serial ingestion would),
+  /// moves statements/facts/cache rows over, replays DDL onto the catalog,
+  /// merges the workload aggregates through the interner remap, and adopts
+  /// the shard's arena so the moved parse trees stay valid. The shard is
+  /// consumed.
+  void MergeShard(AnalysisSession&& shard);
 
   /// Quota gate for every append path: true = proceed (bytes are charged),
   /// false = refused (quota_status_ records why, nothing is ingested).

@@ -3,6 +3,7 @@
 #include <cctype>
 
 #include "common/strings.h"
+#include "sql/block_scan.h"
 #include "sql/lexer.h"
 #include "sql/lexer_detail.h"
 
@@ -26,7 +27,7 @@ void AppendQuoted(std::string* out, char quote, std::string_view text) {
 using lexer_detail::IsDigit;
 using lexer_detail::IsIdentChar;
 using lexer_detail::IsIdentStart;
-using lexer_detail::IsSpace;
+using lexer_detail::LexClass;
 
 char LowerChar(char c) {
   return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
@@ -45,75 +46,99 @@ class StreamingCanonicalizer {
 
   std::string Run() {
     out_.reserve(sql_.size());
+    // Same leading-byte dispatch and blockscan span walks as the lexer's Run
+    // loop (lexer.cc) — one shared ClassOf table, so the two passes cannot
+    // disagree on what a byte starts.
     while (pos_ < sql_.size()) {
       char c = sql_[pos_];
-      // Hot cases first: words and whitespace dominate real SQL.
-      if (IsIdentStart(c)) {
-        EmitWord();
-        continue;
+      switch (lexer_detail::ClassOf(c)) {
+        case LexClass::kWord:
+          EmitWord();
+          break;
+        case LexClass::kSpace:
+          pos_ = blockscan::SpaceRunEnd(sql_, pos_ + 1);
+          break;
+        case LexClass::kDigit:
+          EmitNumber();
+          break;
+        case LexClass::kDot:
+          if (IsDigit(Peek(1))) {
+            EmitNumber();
+          } else {
+            EmitOperatorOrPunct();
+          }
+          break;
+        case LexClass::kDash:
+          if (Peek(1) == '-') {
+            SkipLineComment();
+          } else {
+            EmitOperatorOrPunct();
+          }
+          break;
+        case LexClass::kHash:
+          if (Peek(1) != '>') {
+            SkipLineComment();
+          } else {
+            EmitOperatorOrPunct();
+          }
+          break;
+        case LexClass::kSlash:
+          if (Peek(1) == '*') {
+            SkipBlockComment();
+          } else {
+            EmitOperatorOrPunct();
+          }
+          break;
+        case LexClass::kSQuote:
+          EmitSingleQuoted();
+          break;
+        case LexClass::kIdQuote:
+          EmitQuotedIdentifier(c);
+          break;
+        case LexClass::kBracket:
+          EmitBracketIdentifier();
+          break;
+        case LexClass::kDollar:
+          if (Peek(1) == '$' || IsIdentStart(Peek(1))) {
+            if (EmitDollarQuoted()) break;
+            // Not a dollar quote: `$` lexes as a single-character operator.
+            Emit(sql_.substr(pos_, 1));
+            ++pos_;
+            break;
+          }
+          if (IsDigit(Peek(1))) {
+            size_t start = pos_;
+            pos_ = blockscan::DigitRunEnd(sql_, pos_ + 1);
+            EmitParam(sql_.substr(start, pos_ - start));
+            break;
+          }
+          EmitOperatorOrPunct();
+          break;
+        case LexClass::kQuestion:
+          EmitParam("?");
+          ++pos_;
+          break;
+        case LexClass::kPercent:
+          if (Peek(1) == 's' && !IsIdentChar(Peek(2))) {
+            EmitParam("%s");
+            pos_ += 2;
+          } else {
+            EmitOperatorOrPunct();
+          }
+          break;
+        case LexClass::kColon:
+          if (IsIdentStart(Peek(1))) {
+            size_t start = pos_;
+            pos_ = blockscan::IdentRunEnd(sql_, pos_ + 1);
+            EmitParam(sql_.substr(start, pos_ - start));
+          } else {
+            EmitOperatorOrPunct();
+          }
+          break;
+        case LexClass::kOther:
+          EmitOperatorOrPunct();
+          break;
       }
-      if (IsSpace(c)) {
-        ++pos_;
-        continue;
-      }
-      if (IsDigit(c) || (c == '.' && IsDigit(Peek(1)))) {
-        EmitNumber();
-        continue;
-      }
-      if (c == '-' && Peek(1) == '-') {
-        SkipLineComment();
-        continue;
-      }
-      if (c == '#' && Peek(1) != '>') {
-        SkipLineComment();
-        continue;
-      }
-      if (c == '/' && Peek(1) == '*') {
-        SkipBlockComment();
-        continue;
-      }
-      if (c == '\'') {
-        EmitSingleQuoted();
-        continue;
-      }
-      if (c == '"' || c == '`') {
-        EmitQuotedIdentifier(c);
-        continue;
-      }
-      if (c == '[') {
-        EmitBracketIdentifier();
-        continue;
-      }
-      if (c == '$' && (Peek(1) == '$' || IsIdentStart(Peek(1)))) {
-        if (EmitDollarQuoted()) continue;
-        // Not a dollar quote: `$` lexes as a single-character operator.
-        Emit(sql_.substr(pos_, 1));
-        ++pos_;
-        continue;
-      }
-      if (c == '$' && IsDigit(Peek(1))) {
-        size_t start = pos_++;
-        while (pos_ < sql_.size() && IsDigit(sql_[pos_])) ++pos_;
-        EmitParam(sql_.substr(start, pos_ - start));
-        continue;
-      }
-      if (c == '?') {
-        EmitParam("?");
-        ++pos_;
-        continue;
-      }
-      if (c == '%' && Peek(1) == 's' && !IsIdentChar(Peek(2))) {
-        EmitParam("%s");
-        pos_ += 2;
-        continue;
-      }
-      if (c == ':' && IsIdentStart(Peek(1))) {
-        size_t start = pos_++;
-        while (pos_ < sql_.size() && IsIdentChar(sql_[pos_])) ++pos_;
-        EmitParam(sql_.substr(start, pos_ - start));
-        continue;
-      }
-      EmitOperatorOrPunct();
     }
     return std::move(out_);
   }
@@ -140,14 +165,14 @@ class StreamingCanonicalizer {
     }
   }
 
-  void SkipLineComment() {
-    while (pos_ < sql_.size() && sql_[pos_] != '\n') ++pos_;
-  }
+  void SkipLineComment() { pos_ = blockscan::FindByte(sql_, pos_, '\n'); }
 
   void SkipBlockComment() {
     pos_ += 2;
     int depth = 1;
-    while (pos_ < sql_.size() && depth > 0) {
+    while (depth > 0) {
+      pos_ = blockscan::FindEither(sql_, pos_, '*', '/');
+      if (pos_ >= sql_.size()) break;
       if (sql_[pos_] == '/' && Peek(1) == '*') {
         ++depth;
         pos_ += 2;
@@ -179,6 +204,11 @@ class StreamingCanonicalizer {
   template <bool emit>
   void SkipSingleQuotedBody() {
     while (pos_ < sql_.size()) {
+      // Bulk-step over the ordinary bytes between escapes/closers.
+      size_t next = blockscan::FindStringSpecial(sql_, pos_);
+      if constexpr (emit) out_.append(sql_.data() + pos_, next - pos_);
+      pos_ = next;
+      if (pos_ >= sql_.size()) break;
       char c = sql_[pos_];
       if (c == '\\' && pos_ + 1 < sql_.size()) {
         if constexpr (emit) {
@@ -200,6 +230,7 @@ class StreamingCanonicalizer {
         ++pos_;
         break;
       }
+      // A lone trailing backslash: an ordinary body byte.
       if constexpr (emit) out_.push_back(c);
       ++pos_;
     }
@@ -210,6 +241,11 @@ class StreamingCanonicalizer {
     Separator();
     out_.push_back('"');
     while (pos_ < sql_.size()) {
+      size_t next = quote == '"' ? blockscan::FindByte(sql_, pos_, '"')
+                                 : blockscan::FindEither(sql_, pos_, quote, '"');
+      out_.append(sql_.data() + pos_, next - pos_);
+      pos_ = next;
+      if (pos_ >= sql_.size()) break;
       char c = sql_[pos_];
       if (c == quote) {
         if (Peek(1) == quote) {
@@ -221,8 +257,9 @@ class StreamingCanonicalizer {
         ++pos_;
         break;
       }
-      if (c == '"') out_.push_back('"');
-      out_.push_back(c);
+      // A `"` inside a `-quoted identifier: doubled on re-quoting.
+      out_.push_back('"');
+      out_.push_back('"');
       ++pos_;
     }
     out_.push_back('"');
@@ -233,9 +270,14 @@ class StreamingCanonicalizer {
     Separator();
     out_.push_back('"');
     while (pos_ < sql_.size() && sql_[pos_] != ']') {
-      if (sql_[pos_] == '"') out_.push_back('"');
-      out_.push_back(sql_[pos_]);
-      ++pos_;
+      size_t next = blockscan::FindEither(sql_, pos_, ']', '"');
+      out_.append(sql_.data() + pos_, next - pos_);
+      pos_ = next;
+      if (pos_ < sql_.size() && sql_[pos_] == '"') {
+        out_.push_back('"');
+        out_.push_back('"');
+        ++pos_;
+      }
     }
     if (pos_ < sql_.size()) ++pos_;  // closing bracket
     out_.push_back('"');
@@ -267,11 +309,10 @@ class StreamingCanonicalizer {
     size_t start = pos_;
     bool seen_dot = false;
     bool seen_exp = false;
+    pos_ = blockscan::DigitRunEnd(sql_, pos_);
     while (pos_ < sql_.size()) {
       char c = sql_[pos_];
-      if (IsDigit(c)) {
-        ++pos_;
-      } else if (c == '.' && !seen_dot && !seen_exp) {
+      if (c == '.' && !seen_dot && !seen_exp) {
         seen_dot = true;
         ++pos_;
       } else if ((c == 'e' || c == 'E') && !seen_exp && pos_ > start &&
@@ -282,6 +323,7 @@ class StreamingCanonicalizer {
       } else {
         break;
       }
+      pos_ = blockscan::DigitRunEnd(sql_, pos_);
     }
     if (options_.collapse_literals) {
       Emit("?");
@@ -292,7 +334,7 @@ class StreamingCanonicalizer {
 
   void EmitWord() {
     size_t start = pos_;
-    while (pos_ < sql_.size() && IsIdentChar(sql_[pos_])) ++pos_;
+    pos_ = blockscan::IdentRunEnd(sql_, pos_ + 1);  // start byte pre-classified
     std::string_view word = sql_.substr(start, pos_ - start);
     if (IsSqlKeyword(word)) {
       Separator();

@@ -1,0 +1,185 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sql/keywords.h"
+
+// Keyword probe table shared by LookupKeyword (token.cc) and the lexer's
+// in-register word fast path (lexer.cc). Spellings are packed as case-folded
+// u64 lanes so a probe is one or two integer compares — no memcmp, no
+// per-byte loop — and the whole table is constexpr, so there is no
+// static-init guard on the hot path.
+//
+// Fold rule: OR 0x20 into every byte. On the identifier-character alphabet a
+// word token can contain ({A-Z a-z 0-9 _ $}) this maps A-Z onto a-z and is
+// otherwise injective (digits and `$` already have the bit set; `_` folds to
+// 0x7F, which no other identifier character folds to), so fold-equality is
+// exactly ASCII-case-insensitive equality. Byte i of a spelling sits at bits
+// [8i, 8i+8) with zero padding above the length — the same layout a
+// little-endian u64 load of the source produces, which is what lets the
+// lexer reuse its SWAR scan register as the probe key.
+namespace sqlcheck::sql::keyword_table {
+
+/// Canonical spellings, indexed by KeywordId value (kNoKeyword at 0).
+inline constexpr std::string_view kSpellings[] = {
+    "",
+    "select", "from", "where", "group", "by",
+    "having", "order", "limit", "offset", "insert",
+    "into", "values", "update", "set", "delete",
+    "create", "table", "index", "view", "drop",
+    "alter", "add", "column", "constraint", "primary",
+    "key", "foreign", "references", "unique", "check",
+    "not", "null", "default", "and", "or",
+    "in", "between", "like", "ilike", "regexp",
+    "rlike", "similar", "is", "as", "on",
+    "join", "inner", "left", "right", "full",
+    "outer", "cross", "natural", "using", "union",
+    "all", "distinct", "exists", "case", "when",
+    "then", "else", "end", "asc", "desc",
+    "if", "cascade", "restrict", "true", "false",
+    "enum", "auto_increment", "autoincrement", "serial",
+    "temporary", "temp", "escape", "collate", "rename",
+    "to", "type", "modify", "change", "with",
+    "recursive", "returning", "conflict", "replace", "ignore",
+    "explain", "analyze", "vacuum", "begin", "commit",
+    "rollback", "transaction", "grant", "revoke", "truncate",
+    "intersect", "except", "any", "some", "cast",
+};
+inline constexpr size_t kKeywordCount = sizeof(kSpellings) / sizeof(kSpellings[0]);
+static_assert(static_cast<size_t>(KeywordId::kCast) + 1 == kKeywordCount,
+              "KeywordId enum and spelling table must stay in lockstep");
+
+// The longest keyword is "auto_increment" (14 bytes); longer words can skip
+// the probe entirely.
+inline constexpr size_t kMaxKeywordLength = 14;
+
+// Probes accept lengths up to 16 (the lexer's 16-byte scan block): the extra
+// buckets are simply empty, which spares the hot path a length-range branch.
+inline constexpr size_t kMaxProbeLength = 16;
+
+constexpr uint64_t FoldLane(char c) {
+  return static_cast<uint64_t>(static_cast<unsigned char>(c)) | 0x20u;
+}
+
+struct FoldedSpelling {
+  uint64_t lo = 0, hi = 0;
+  KeywordId id = KeywordId::kNoKeyword;
+};
+
+// A folded (lo, hi) pair identifies its spelling *including length*: bytes
+// above the length are zero, and no identifier byte folds to zero, so two
+// words of different lengths can never share a key. That lets the probe
+// hash the key pair alone — no bucket loop and no length parameter. A
+// strictly perfect (1-entry) hash would need a far larger table (birthday
+// bound), so slots hold two entries and the probe is two straight-line
+// compares. 256 slots is the smallest power of two for which the
+// multiplier family below still packs ~104 keys two-per-slot (verified at
+// compile time); smaller tables mean fewer L1 lines fighting the input
+// stream, and the probe runs for every word token.
+inline constexpr size_t kHashBits = 8;  // 256 slots x 2 entries for ~104 keys
+inline constexpr size_t kHashSlots = size_t{1} << kHashBits;
+
+constexpr uint64_t HashKey(uint64_t lo, uint64_t hi, uint64_t mult) {
+  // One multiply, not two: xor-merging hi before the mix costs nothing on
+  // the common <= 8-byte word (hi == 0) and the slot search below verifies
+  // the weaker mix still packs two-per-slot.
+  return ((lo ^ hi) * mult) >> (64 - kHashBits);
+}
+
+constexpr FoldedSpelling FoldSpelling(size_t i) {
+  std::string_view w = kSpellings[i];
+  FoldedSpelling e;
+  e.id = static_cast<KeywordId>(i);
+  for (size_t j = 0; j < w.size() && j < 8; ++j) e.lo |= FoldLane(w[j]) << (8 * j);
+  for (size_t j = 8; j < w.size(); ++j) e.hi |= FoldLane(w[j]) << (8 * (j - 8));
+  return e;
+}
+
+/// Probe keys split from their KeywordIds (structure-of-arrays): a slot's
+/// two 16-byte keys are 32 contiguous bytes whose pair offset (32 * h) never
+/// straddles a cache line, so the compare path — which runs and *misses* for
+/// every plain identifier — touches exactly one key line. The id array is
+/// 2 * kHashSlots single bytes (all of it fits in a handful of lines) and is
+/// only read on a hit.
+struct ProbeKey {
+  uint64_t lo = 0, hi = 0;
+};
+
+struct HashTable {
+  alignas(64) ProbeKey key[2 * kHashSlots] = {};  ///< entries 2h and 2h+1
+  KeywordId id[2 * kHashSlots] = {};
+  uint64_t mult = 0;  ///< 0 = no overflow-free multiplier found
+};
+
+/// Searches a family of odd multipliers (a splitmix64-style sequence) for
+/// one that maps no more than two keyword keys to any slot. At 256 slots
+/// roughly one multiplier in twenty qualifies, so a few hundred candidates
+/// make the compile-time search effectively certain to land. Empty entries
+/// keep lo == 0, which no real key can equal.
+constexpr HashTable MakeHashTable() {
+  HashTable t;
+  uint64_t seed = 0x9E3779B97F4A7C15ull;
+  for (int attempt = 0; attempt < 1024; ++attempt) {
+    // splitmix64 step: well-mixed, and | 1 keeps the multiplier odd.
+    seed += 0x9E3779B97F4A7C15ull;
+    uint64_t z = seed;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    const uint64_t mult = (z ^ (z >> 31)) | 1;
+    bool ok = true;
+    for (auto& k : t.key) k = ProbeKey{};
+    for (auto& d : t.id) d = KeywordId::kNoKeyword;
+    for (size_t i = 1; i < kKeywordCount && ok; ++i) {
+      FoldedSpelling e = FoldSpelling(i);
+      uint64_t h = HashKey(e.lo, e.hi, mult);
+      if (t.key[2 * h].lo == 0) {
+        t.key[2 * h] = ProbeKey{e.lo, e.hi};
+        t.id[2 * h] = e.id;
+      } else if (t.key[2 * h + 1].lo == 0) {
+        t.key[2 * h + 1] = ProbeKey{e.lo, e.hi};
+        t.id[2 * h + 1] = e.id;
+      } else {
+        ok = false;
+      }
+    }
+    if (ok) {
+      t.mult = mult;
+      return t;
+    }
+  }
+  return t;
+}
+
+inline constexpr HashTable kHash = MakeHashTable();
+static_assert(kHash.mult != 0, "no overflow-free keyword hash multiplier found");
+
+/// Keep-masks for a probe key of `len` bytes: key = (raw | 0x20 lanes) masked
+/// by kLoMask/kHiMask. Table lookups instead of data-dependent shifts and a
+/// `len < 8` branch — word lengths mix freely, so that branch mispredicts.
+struct KeyMasks {
+  uint64_t lo[kMaxProbeLength + 1] = {};
+  uint64_t hi[kMaxProbeLength + 1] = {};
+};
+constexpr KeyMasks MakeKeyMasks() {
+  KeyMasks m;
+  for (size_t len = 0; len <= kMaxProbeLength; ++len) {
+    for (size_t j = 0; j < len && j < 8; ++j) m.lo[len] |= 0xFFull << (8 * j);
+    for (size_t j = 8; j < len && j < 16; ++j) m.hi[len] |= 0xFFull << (8 * (j - 8));
+  }
+  return m;
+}
+inline constexpr KeyMasks kKeyMasks = MakeKeyMasks();
+
+/// Probe with a pre-folded key: byte i of the word at bits [8i, 8i+8) of
+/// lo/hi, OR 0x20 applied, zero padding above the word length (1 to
+/// kMaxProbeLength bytes). Words longer than kMaxProbeLength must not be
+/// probed — their truncated key could alias a shorter word's key.
+inline KeywordId LookupFolded(uint64_t lo, uint64_t hi) {
+  const size_t h = 2 * HashKey(lo, hi, kHash.mult);
+  const ProbeKey* k = &kHash.key[h];
+  KeywordId id = (k[0].lo == lo && k[0].hi == hi) ? kHash.id[h] : KeywordId::kNoKeyword;
+  return (k[1].lo == lo && k[1].hi == hi) ? kHash.id[h + 1] : id;
+}
+
+}  // namespace sqlcheck::sql::keyword_table

@@ -1,6 +1,8 @@
 #include "sql/lexer.h"
 
 #include "common/strings.h"
+#include "sql/block_scan.h"
+#include "sql/keyword_table.h"
 #include "sql/lexer_detail.h"
 
 namespace sqlcheck::sql {
@@ -10,12 +12,22 @@ namespace {
 using lexer_detail::IsDigit;
 using lexer_detail::IsIdentChar;
 using lexer_detail::IsIdentStart;
-using lexer_detail::IsSpace;
+using lexer_detail::LexClass;
 
 /// Zero-copy lexer core. Token text is a view into `sql_` wherever the
 /// payload equals a source substring; only escape-stripped payloads are
 /// materialized (built in `scratch_`, then copied into the TokenBuffer's
 /// side arena so they survive `scratch_` reuse).
+///
+/// The structure is span-oriented: every leading byte dispatches through the
+/// shared lexer_detail::ClassOf table, and each handler advances over its
+/// span with a blockscan:: scanner instead of a byte loop. The scalar/fast
+/// decision is hoisted to one branch per Lex() call (the template
+/// parameter), so span scans compile down to their tier directly with no
+/// per-call mode check. The token stream is byte-identical between the two
+/// instantiations — tests/test_block_scan.cc lexes hostile corpora under
+/// both paths.
+template <bool kScalarOnly>
 class LexerImpl {
  public:
   LexerImpl(std::string_view sql, const LexerOptions& options, std::vector<Token>& out,
@@ -26,92 +38,198 @@ class LexerImpl {
     while (pos_ < sql_.size()) {
       size_t start = pos_;
       char c = sql_[pos_];
-      // Hot cases first: words and whitespace dominate real SQL.
-      if (IsIdentStart(c)) {
+      // Plain spaces the fused separator skips below did not eat are still
+      // common enough to consume with one compare, before classifying.
+      if (c == ' ') {
+        ++pos_;
+        continue;
+      }
+      LexClass cls = lexer_detail::ClassOf(c);
+      // Words next: they dominate tokens, so they get a predictable direct
+      // branch ahead of the jump table.
+      if (cls == LexClass::kWord) {
         LexWord(start);
+        // Fused separator skip: a word is almost always followed by exactly
+        // one space, so consuming it here saves a dispatch round trip.
+        if (pos_ < sql_.size() && sql_[pos_] == ' ') ++pos_;
         continue;
       }
-      if (IsSpace(c)) {
+      if (cls == LexClass::kOther) {
+        // Punctuation is the second most common class; `, ( ) ;` and `*`
+        // never prefix a multi-character operator, and `=` only prefixes
+        // `==`, so the common comparisons emit with one compare chain here
+        // instead of two dispatch rounds (jump table + the switch in
+        // LexOperatorOrPunct).
+        TokenKind k;
+        uint8_t op = 0;
+        if (c == ',') {
+          k = TokenKind::kComma;
+        } else if (c == '(') {
+          k = TokenKind::kLeftParen;
+        } else if (c == ')') {
+          k = TokenKind::kRightParen;
+        } else if (c == '=' && Peek(1) != '=') {
+          k = TokenKind::kOperator;
+          op = lexer_detail::SingleCharOpCode('=');
+        } else if (c == '*') {
+          k = TokenKind::kOperator;
+          op = lexer_detail::SingleCharOpCode('*');
+        } else if (c == ';') {
+          k = TokenKind::kSemicolon;
+        } else {
+          LexOperatorOrPunct(start);
+          continue;
+        }
         ++pos_;
+        out_.emplace_back(k, KeywordId::kNoKeyword, op, false, Slice(start, 1),
+                          start, size_t{1});
+        // ", " and ") " and "= " are pervasive: fuse the separator skip.
+        if (pos_ < sql_.size() && sql_[pos_] == ' ') ++pos_;
         continue;
       }
-      if (IsDigit(c) || (c == '.' && IsDigit(Peek(1)))) {
+      if (cls == LexClass::kDigit) {
         LexNumber(start);
+        if (pos_ < sql_.size() && sql_[pos_] == ' ') ++pos_;
         continue;
       }
-      if (c == '-' && Peek(1) == '-') {
-        LexLineComment(start);
-        continue;
-      }
-      if (c == '#' && Peek(1) != '>') {
-        // MySQL line comment; `#>` / `#>>` are PostgreSQL JSON path operators.
-        LexLineComment(start);
-        continue;
-      }
-      if (c == '/' && Peek(1) == '*') {
-        LexBlockComment(start);
-        continue;
-      }
-      if (c == '\'') {
+      if (cls == LexClass::kSQuote) {
         LexSingleQuoted(start);
+        if (pos_ < sql_.size() && sql_[pos_] == ' ') ++pos_;
         continue;
       }
-      if (c == '"' || c == '`') {
-        LexQuotedIdentifier(start, c);
-        continue;
-      }
-      if (c == '[') {
-        LexBracketIdentifier(start);
-        continue;
-      }
-      if (c == '$' && (Peek(1) == '$' || IsIdentStart(Peek(1)))) {
-        if (LexDollarQuoted(start)) continue;
-        // Fall through: not a dollar-quote after all.
-      }
-      if (c == '$' && IsDigit(Peek(1))) {
-        LexNumberedParam(start);
-        continue;
-      }
-      if (c == '?') {
+      if (cls == LexClass::kSpace) {
+        // Mostly stray whitespace the fused separator skips did not eat
+        // (leading indentation, newlines): check one byte before committing
+        // to the block scanner.
         ++pos_;
-        Emit(TokenKind::kParam, Slice(start, 1), start, 1);
+        if (pos_ < sql_.size() && lexer_detail::IsSpace(sql_[pos_])) {
+          pos_ = SpaceEnd(pos_ + 1);
+        }
         continue;
       }
-      if (c == '%' && Peek(1) == 's' && !IsIdentChar(Peek(2))) {
-        // Python-style bind parameter — but only when the `s` is a whole
-        // word: in `id%salary` the `%` is the modulo operator.
-        pos_ += 2;
-        Emit(TokenKind::kParam, Slice(start, 2), start, 2);
-        continue;
+      switch (cls) {
+        case LexClass::kWord:
+        case LexClass::kSpace:
+        case LexClass::kOther:
+        case LexClass::kDigit:
+        case LexClass::kSQuote:
+          break;  // handled above
+        case LexClass::kDot:
+          if (IsDigit(Peek(1))) {
+            LexNumber(start);
+          } else {
+            LexOperatorOrPunct(start);
+          }
+          break;
+        case LexClass::kDash:
+          if (Peek(1) == '-') {
+            LexLineComment(start);
+          } else {
+            LexOperatorOrPunct(start);
+          }
+          break;
+        case LexClass::kHash:
+          // MySQL line comment; `#>` / `#>>` are PostgreSQL JSON path operators.
+          if (Peek(1) != '>') {
+            LexLineComment(start);
+          } else {
+            LexOperatorOrPunct(start);
+          }
+          break;
+        case LexClass::kSlash:
+          if (Peek(1) == '*') {
+            LexBlockComment(start);
+          } else {
+            LexOperatorOrPunct(start);
+          }
+          break;
+        case LexClass::kIdQuote:
+          LexQuotedIdentifier(start, c);
+          break;
+        case LexClass::kBracket:
+          LexBracketIdentifier(start);
+          break;
+        case LexClass::kDollar:
+          if ((Peek(1) == '$' || IsIdentStart(Peek(1))) && LexDollarQuoted(start)) {
+            break;  // else fall through: not a dollar-quote after all
+          }
+          if (IsDigit(Peek(1))) {
+            LexNumberedParam(start);
+          } else {
+            LexOperatorOrPunct(start);
+          }
+          break;
+        case LexClass::kQuestion:
+          ++pos_;
+          Emit(TokenKind::kParam, Slice(start, 1), start, 1);
+          break;
+        case LexClass::kPercent:
+          if (Peek(1) == 's' && !IsIdentChar(Peek(2))) {
+            // Python-style bind parameter — but only when the `s` is a whole
+            // word: in `id%salary` the `%` is the modulo operator.
+            pos_ += 2;
+            Emit(TokenKind::kParam, Slice(start, 2), start, 2);
+          } else {
+            LexOperatorOrPunct(start);
+          }
+          break;
+        case LexClass::kColon:
+          if (IsIdentStart(Peek(1))) {
+            LexNamedParam(start);
+          } else {
+            LexOperatorOrPunct(start);
+          }
+          break;
       }
-      if (c == ':' && IsIdentStart(Peek(1))) {
-        LexNamedParam(start);
-        continue;
-      }
-      LexOperatorOrPunct(start);
     }
-    Token end;
-    end.kind = TokenKind::kEnd;
-    end.offset = sql_.size();
-    out_.push_back(end);
+    out_.emplace_back(TokenKind::kEnd, KeywordId::kNoKeyword, uint8_t{0}, false,
+                      std::string_view{}, sql_.size(), size_t{0});
   }
 
  private:
+  // Span scanners, resolved at compile time per instantiation: the scalar
+  // reference loops, or the fast tier the build selected.
+  static size_t IdentEnd(std::string_view s, size_t pos) {
+    if constexpr (kScalarOnly) return blockscan::IdentRunEndScalar(s, pos);
+    return blockscan::detail::IdentRunEndFast(s, pos);
+  }
+  static size_t SpaceEnd2(std::string_view s, size_t pos) {
+    if constexpr (kScalarOnly) return blockscan::SpaceRunEndScalar(s, pos);
+    return blockscan::detail::SpaceRunEndFast(s, pos);
+  }
+  size_t SpaceEnd(size_t pos) const { return SpaceEnd2(sql_, pos); }
+  static size_t DigitEnd(std::string_view s, size_t pos) {
+    if constexpr (kScalarOnly) return blockscan::DigitRunEndScalar(s, pos);
+    return blockscan::detail::DigitRunEndFast(s, pos);
+  }
+  static size_t FindByteAt(std::string_view s, size_t pos, char a) {
+    if constexpr (kScalarOnly) return blockscan::FindByteScalar(s, pos, a);
+    return blockscan::FindByteMemchr(s, pos, a);
+  }
+  static size_t FindEitherAt(std::string_view s, size_t pos, char a, char b) {
+    if constexpr (kScalarOnly) return blockscan::FindEitherScalar(s, pos, a, b);
+    return blockscan::detail::FindEitherFast(s, pos, a, b);
+  }
+  static size_t StringSpecialAt(std::string_view s, size_t pos) {
+    return FindEitherAt(s, pos, '\'', '\\');
+  }
+
   char Peek(size_t ahead) const {
     return pos_ + ahead < sql_.size() ? sql_[pos_ + ahead] : '\0';
   }
 
   std::string_view Slice(size_t start, size_t length) const {
-    return sql_.substr(start, length);
+    // Direct construction: substr()'s pos-bounds check is dead weight on the
+    // hot path (every caller passes in-range spans).
+    return std::string_view(sql_.data() + start, length);
   }
 
+  /// Single-write token append: C++20 parenthesized aggregate init constructs
+  /// the Token in place instead of default-constructing 48 bytes and then
+  /// overwriting most of them — measurable on the lex hot path.
   Token& Emit(TokenKind kind, std::string_view text, size_t start, size_t length) {
-    Token& t = out_.emplace_back();
-    t.kind = kind;
-    t.text = text;
-    t.offset = start;
-    t.length = length;
-    return t;
+    return out_.emplace_back(kind, KeywordId::kNoKeyword, uint8_t{0}, false, text,
+                             start, length);
   }
 
   /// Emits a token whose payload was built in `scratch_` (escape stripping):
@@ -124,7 +242,7 @@ class LexerImpl {
   }
 
   void LexLineComment(size_t start) {
-    while (pos_ < sql_.size() && sql_[pos_] != '\n') ++pos_;
+    pos_ = FindByteAt(sql_, pos_, '\n');
     if (options_.keep_comments) {
       Emit(TokenKind::kComment, Slice(start, pos_ - start), start, pos_ - start);
     }
@@ -134,7 +252,9 @@ class LexerImpl {
     pos_ += 2;
     // PostgreSQL block comments nest: `/* a /* b */ c */` is one comment.
     int depth = 1;
-    while (pos_ < sql_.size() && depth > 0) {
+    while (depth > 0) {
+      pos_ = FindEitherAt(sql_, pos_, '*', '/');
+      if (pos_ >= sql_.size()) break;
       if (sql_[pos_] == '/' && Peek(1) == '*') {
         ++depth;
         pos_ += 2;
@@ -155,24 +275,29 @@ class LexerImpl {
     // Fast path: scan for the closing quote; the payload is a pure source
     // substring unless an escape ('' doubling or backslash) intervenes.
     size_t body_start = pos_;
-    while (pos_ < sql_.size()) {
-      char c = sql_[pos_];
-      if (c == '\\' && pos_ + 1 < sql_.size()) break;
-      if (c == '\'') {
-        if (Peek(1) == '\'') break;  // doubled-quote escape
-        size_t body_len = pos_ - body_start;
-        ++pos_;
-        Emit(TokenKind::kString, Slice(body_start, body_len), start, pos_ - start);
+    for (;;) {
+      pos_ = StringSpecialAt(sql_, pos_);
+      if (pos_ >= sql_.size()) {
+        // Unterminated: the rest of the input is the body.
+        Emit(TokenKind::kString, Slice(body_start, pos_ - body_start), start,
+             pos_ - start);
         return;
       }
+      char c = sql_[pos_];
+      if (c == '\\') {
+        if (pos_ + 1 < sql_.size()) break;  // escape -> slow path
+        ++pos_;  // a lone trailing backslash is an ordinary body byte
+        continue;
+      }
+      // c == '\''
+      if (Peek(1) == '\'') break;  // doubled-quote escape -> slow path
+      size_t body_len = pos_ - body_start;
       ++pos_;
-    }
-    if (pos_ >= sql_.size()) {
-      // Unterminated: the rest of the input is the body.
-      Emit(TokenKind::kString, Slice(body_start, pos_ - body_start), start, pos_ - start);
+      Emit(TokenKind::kString, Slice(body_start, body_len), start, pos_ - start);
       return;
     }
-    // Slow path: materialize the escape-stripped payload.
+    // Slow path: materialize the escape-stripped payload, bulk-copying the
+    // ordinary spans between escapes.
     scratch_.assign(sql_.data() + body_start, pos_ - body_start);
     while (pos_ < sql_.size()) {
       char c = sql_[pos_];
@@ -191,8 +316,14 @@ class LexerImpl {
         ++pos_;
         break;
       }
-      scratch_.push_back(c);
-      ++pos_;
+      size_t next = StringSpecialAt(sql_, pos_);
+      if (next == pos_) {  // a lone trailing backslash: ordinary byte
+        scratch_.push_back(c);
+        ++pos_;
+      } else {
+        scratch_.append(sql_.data() + pos_, next - pos_);
+        pos_ = next;
+      }
     }
     EmitNormalized(TokenKind::kString, start, pos_ - start);
   }
@@ -200,27 +331,23 @@ class LexerImpl {
   void LexQuotedIdentifier(size_t start, char quote) {
     ++pos_;
     size_t body_start = pos_;
-    while (pos_ < sql_.size()) {
-      char c = sql_[pos_];
-      if (c == quote) {
-        if (Peek(1) == quote) break;  // doubled-quote escape -> slow path
-        size_t body_len = pos_ - body_start;
-        ++pos_;
-        Emit(TokenKind::kQuotedIdentifier, Slice(body_start, body_len), start,
-             pos_ - start);
-        return;
-      }
-      ++pos_;
-    }
+    pos_ = FindByteAt(sql_, pos_, quote);
     if (pos_ >= sql_.size()) {
       Emit(TokenKind::kQuotedIdentifier, Slice(body_start, pos_ - body_start), start,
            pos_ - start);
       return;
     }
+    if (Peek(1) != quote) {
+      size_t body_len = pos_ - body_start;
+      ++pos_;
+      Emit(TokenKind::kQuotedIdentifier, Slice(body_start, body_len), start,
+           pos_ - start);
+      return;
+    }
+    // Doubled-quote escape -> slow path: materialize the stripped payload.
     scratch_.assign(sql_.data() + body_start, pos_ - body_start);
     while (pos_ < sql_.size()) {
-      char c = sql_[pos_];
-      if (c == quote) {
+      if (sql_[pos_] == quote) {
         if (Peek(1) == quote) {
           scratch_.push_back(quote);
           pos_ += 2;
@@ -229,8 +356,9 @@ class LexerImpl {
         ++pos_;
         break;
       }
-      scratch_.push_back(c);
-      ++pos_;
+      size_t next = FindByteAt(sql_, pos_, quote);
+      scratch_.append(sql_.data() + pos_, next - pos_);
+      pos_ = next;
     }
     EmitNormalized(TokenKind::kQuotedIdentifier, start, pos_ - start);
   }
@@ -238,7 +366,7 @@ class LexerImpl {
   void LexBracketIdentifier(size_t start) {
     ++pos_;
     size_t body_start = pos_;
-    while (pos_ < sql_.size() && sql_[pos_] != ']') ++pos_;
+    pos_ = FindByteAt(sql_, pos_, ']');
     size_t body_len = pos_ - body_start;
     if (pos_ < sql_.size()) ++pos_;  // closing bracket
     Emit(TokenKind::kQuotedIdentifier, Slice(body_start, body_len), start, pos_ - start);
@@ -269,25 +397,44 @@ class LexerImpl {
   }
 
   void LexNumberedParam(size_t start) {
-    ++pos_;  // '$'
-    while (pos_ < sql_.size() && IsDigit(sql_[pos_])) ++pos_;
+    pos_ = DigitEnd(sql_, pos_ + 1);  // past '$'
     Emit(TokenKind::kParam, Slice(start, pos_ - start), start, pos_ - start);
   }
 
   void LexNamedParam(size_t start) {
-    ++pos_;  // ':'
-    while (pos_ < sql_.size() && IsIdentChar(sql_[pos_])) ++pos_;
+    pos_ = IdentEnd(sql_, pos_ + 1);  // past ':'
     Emit(TokenKind::kParam, Slice(start, pos_ - start), start, pos_ - start);
   }
 
   void LexNumber(size_t start) {
+#if SQLCHECK_BLOCK_SCAN_SSE2
+    if constexpr (!kScalarOnly) {
+      // Plain integer literals dominate: one 16-byte load finds the digit
+      // run, and if the terminator cannot extend the number ('.', exponent),
+      // the token emits without touching the dot/exponent loop below.
+      if (start + 16 <= sql_.size()) {
+        __m128i v = blockscan::simd::Load(sql_.data() + start);
+        unsigned miss = static_cast<unsigned>(
+                            _mm_movemask_epi8(blockscan::simd::InRange(v, '0', '9'))) ^
+                        0xFFFFu;
+        if (miss != 0) {
+          size_t len = static_cast<size_t>(blockscan::detail::CountTrailingZeros32(miss));
+          char term = sql_[start + len];
+          if (len != 0 && term != '.' && term != 'e' && term != 'E') {
+            pos_ = start + len;
+            Emit(TokenKind::kNumber, Slice(start, len), start, len);
+            return;
+          }
+        }
+      }
+    }
+#endif  // SQLCHECK_BLOCK_SCAN_SSE2
     bool seen_dot = false;
     bool seen_exp = false;
+    pos_ = DigitEnd(sql_, pos_);
     while (pos_ < sql_.size()) {
       char c = sql_[pos_];
-      if (IsDigit(c)) {
-        ++pos_;
-      } else if (c == '.' && !seen_dot && !seen_exp) {
+      if (c == '.' && !seen_dot && !seen_exp) {
         seen_dot = true;
         ++pos_;
       } else if ((c == 'e' || c == 'E') && !seen_exp && pos_ > start &&
@@ -297,19 +444,119 @@ class LexerImpl {
       } else {
         break;
       }
+      pos_ = DigitEnd(sql_, pos_);
     }
     Emit(TokenKind::kNumber, Slice(start, pos_ - start), start, pos_ - start);
   }
 
   void LexWord(size_t start) {
-    while (pos_ < sql_.size() && IsIdentChar(sql_[pos_])) ++pos_;
-    std::string_view word = Slice(start, pos_ - start);
-    KeywordId kw = LookupKeyword(word);
-    if (kw == KeywordId::kNoKeyword) {
-      Emit(TokenKind::kIdentifier, word, start, word.size());
+#if SQLCHECK_BLOCK_SCAN_SWAR
+    if constexpr (!kScalarOnly) {
+#if SQLCHECK_BLOCK_SCAN_SSE2
+      // In-register fast path: one 16-byte load covers the whole word for
+      // every word shorter than 16 bytes, and the low lanes of the same
+      // register — case folded and masked to the word length — are the
+      // keyword probe key, so the probe costs no extra loads or per-byte
+      // folding. The boundary is lane-exact identical to the scalar loop
+      // (simd::IdentMask contract).
+      if (start + 16 <= sql_.size()) {
+        constexpr uint64_t kFold = 0x2020202020202020ull;
+        // Block-mask reuse: a 16-byte block typically covers several tokens,
+        // and the classification of a fixed input position never changes, so
+        // the previous word's miss bitmap answers this word's boundary with
+        // one shift+ctz — no load/classify/movemask chain. (cached_miss_
+        // starts 0, so a bogus initial delta falls through to a fresh load.)
+        size_t delta = start - word_block_;
+        if (delta < 16) {
+          if (unsigned m = word_miss_ >> delta) {
+            size_t len = static_cast<size_t>(blockscan::detail::CountTrailingZeros32(m));
+            pos_ = start + len;
+            // Probe key via two plain u64 loads (start + 16 <= size holds
+            // here, so both are in bounds) — independent of the ctz chain.
+            uint64_t lo = (blockscan::swar::Load(sql_.data() + start) | kFold) &
+                          keyword_table::kKeyMasks.lo[len];
+            uint64_t hi = (blockscan::swar::Load(sql_.data() + start + 8) | kFold) &
+                          keyword_table::kKeyMasks.hi[len];
+            EmitWord(Slice(start, len), start, keyword_table::LookupFolded(lo, hi));
+            return;
+          }
+          // Word may extend past the cached block: rescan from `start`.
+        }
+        __m128i v = blockscan::simd::Load(sql_.data() + start);
+        unsigned miss = static_cast<unsigned>(
+                            _mm_movemask_epi8(blockscan::simd::IdentMask(v))) ^
+                        0xFFFFu;
+        word_block_ = start;
+        word_miss_ = miss;
+        if (miss != 0) {
+          // First non-ident lane is >= 1: the start byte is pre-classified.
+          // Branchless probe-key build: both qwords fold and mask through
+          // kKeyMasks (no data-dependent `len < 8` split), and lengths up to
+          // 16 probe empty buckets rather than branching on the range.
+          size_t len = static_cast<size_t>(blockscan::detail::CountTrailingZeros32(miss));
+          pos_ = start + len;
+          uint64_t lo = (static_cast<uint64_t>(_mm_cvtsi128_si64(v)) | kFold) &
+                        keyword_table::kKeyMasks.lo[len];
+          uint64_t hi =
+              (static_cast<uint64_t>(_mm_cvtsi128_si64(_mm_srli_si128(v, 8))) | kFold) &
+              keyword_table::kKeyMasks.hi[len];
+          EmitWord(Slice(start, len), start, keyword_table::LookupFolded(lo, hi));
+          return;
+        }
+        pos_ = IdentEnd(sql_, start + 16);
+        // 16+ bytes is longer than any keyword.
+        EmitWord(Slice(start, pos_ - start), start, KeywordId::kNoKeyword);
+        return;
+      }
+#endif  // SQLCHECK_BLOCK_SCAN_SSE2
+      // Near the buffer end (or no SSE2): one little-endian u64 load covers
+      // words up to 7 bytes, and the same register — case folded and masked
+      // to the word length — is the keyword probe key. The boundary is
+      // lane-exact identical to the scalar loop (swar::IdentMask contract).
+      if (start + 8 <= sql_.size()) {
+        uint64_t v = blockscan::swar::Load(sql_.data() + start);
+        uint64_t miss = ~blockscan::swar::IdentMask(v) & blockscan::swar::kHigh;
+        if (miss != 0) {
+          // First non-ident lane is >= 1: the start byte is pre-classified.
+          size_t len = blockscan::swar::FirstLane(miss);
+          pos_ = start + len;
+          uint64_t folded = (v | 0x2020202020202020ull) & ((1ull << (8 * len)) - 1);
+          EmitWord(Slice(start, len), start,
+                   keyword_table::LookupFolded(folded, 0));
+          return;
+        }
+        pos_ = IdentEnd(sql_, start + 8);
+        size_t len = pos_ - start;
+        std::string_view word = Slice(start, len);
+        if (len <= keyword_table::kMaxKeywordLength) {
+          // Reuse the already-loaded low 8 bytes for the probe key; only
+          // bytes 8..len-1 (at most 6, and rare) need the shift loop.
+          uint64_t lo = v | 0x2020202020202020ull;
+          uint64_t hi = 0;
+          for (size_t j = 8; j < len; ++j) {
+            hi |= keyword_table::FoldLane(sql_[start + j]) << (8 * (j - 8));
+          }
+          EmitWord(word, start, keyword_table::LookupFolded(lo, hi));
+        } else {
+          EmitWord(word, start, KeywordId::kNoKeyword);
+        }
+        return;
+      }
+      pos_ = blockscan::IdentRunEndScalar(sql_, start + 1);
     } else {
-      Emit(TokenKind::kKeyword, word, start, word.size()).keyword = kw;
+      pos_ = IdentEnd(sql_, start + 1);  // start byte pre-classified
     }
+#else
+    pos_ = IdentEnd(sql_, start + 1);  // start byte pre-classified
+#endif
+    std::string_view word = Slice(start, pos_ - start);
+    EmitWord(word, start, LookupKeyword(word));
+  }
+
+  void EmitWord(std::string_view word, size_t start, KeywordId kw) {
+    out_.emplace_back(kw == KeywordId::kNoKeyword ? TokenKind::kIdentifier
+                                                  : TokenKind::kKeyword,
+                      kw, uint8_t{0}, false, word, start, word.size());
   }
 
   void LexOperatorOrPunct(size_t start) {
@@ -343,6 +590,11 @@ class LexerImpl {
   Arena& norm_;
   std::string& scratch_;
   size_t pos_ = 0;
+  // LexWord's cached ident-classification block (see the fast path): the
+  // miss bitmap for the 16 bytes at word_block_. Never stale — input bytes
+  // are immutable, so the bitmap is a pure function of the position.
+  size_t word_block_ = ~size_t{0};
+  unsigned word_miss_ = 0;
 };
 
 }  // namespace
@@ -350,7 +602,17 @@ class LexerImpl {
 const std::vector<Token>& Lex(std::string_view sql, TokenBuffer& buffer,
                               const LexerOptions& options) {
   buffer.Clear();
-  LexerImpl(sql, options, buffer.tokens_, buffer.norm_, buffer.scratch_).Run();
+  // One mode check per statement, not per span scan: the two instantiations
+  // produce byte-identical token streams.
+  if (blockscan::ForceScalar()) {
+    LexerImpl</*kScalarOnly=*/true>(sql, options, buffer.tokens_, buffer.norm_,
+                                    buffer.scratch_)
+        .Run();
+  } else {
+    LexerImpl</*kScalarOnly=*/false>(sql, options, buffer.tokens_, buffer.norm_,
+                                     buffer.scratch_)
+        .Run();
+  }
   return buffer.tokens();
 }
 

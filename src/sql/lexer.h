@@ -30,7 +30,10 @@ class TokenBuffer {
 
   void Clear() {
     tokens_.clear();
-    norm_.Reset();
+    // Normalized payloads are rare (escape-stripped strings only), so the
+    // arena is almost always untouched — skipping the out-of-line Reset()
+    // keeps the steady-state per-statement cost to two size stores.
+    if (norm_.bytes_used() != 0) norm_.Reset();
     scratch_.clear();
   }
 

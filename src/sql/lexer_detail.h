@@ -49,6 +49,67 @@ inline bool IsSpace(char c) {
   return (detail::kCharClass.v[static_cast<unsigned char>(c)] & kSpaceClass) != 0;
 }
 
+/// Dispatch class of a token's leading byte. The lexer's Run loop and the
+/// streaming canonicalizer in fingerprint.cc both switch on this (instead of
+/// replicating a chain of character compares), so a byte can never start a
+/// different construct in the two passes. Derived from kCharClass above —
+/// the identifier/digit/whitespace charsets live in exactly one place, and
+/// the block scanner (sql/block_scan.h) mirrors them under lockstep tests.
+enum class LexClass : uint8_t {
+  kOther = 0,  ///< operator / punctuation fallthrough
+  kWord,       ///< A-Z a-z _  (identifier or keyword start)
+  kSpace,      ///< ' ' \t \n \v \f \r
+  kDigit,      ///< 0-9
+  kDot,        ///< '.'  (number when a digit follows, else punctuation)
+  kSQuote,     ///< '\''
+  kIdQuote,    ///< '"' or '`'
+  kBracket,    ///< '['  (SQL Server quoted identifier)
+  kDollar,     ///< '$'  (dollar quote, numbered param, or operator)
+  kQuestion,   ///< '?'  (positional param)
+  kPercent,    ///< '%'  (%s param or modulo)
+  kColon,      ///< ':'  (named param or :: operator)
+  kDash,       ///< '-'  (line comment or operator)
+  kHash,       ///< '#'  (line comment or #> operator)
+  kSlash,      ///< '/'  (block comment or operator)
+};
+
+namespace detail {
+struct LexClassTable {
+  LexClass v[256] = {};
+};
+constexpr LexClassTable MakeLexClassTable() {
+  LexClassTable t;
+  for (int c = 0; c < 256; ++c) {
+    if ((kCharClass.v[c] & kAlpha) != 0) {
+      t.v[c] = LexClass::kWord;
+    } else if ((kCharClass.v[c] & kDigitClass) != 0) {
+      t.v[c] = LexClass::kDigit;
+    } else if ((kCharClass.v[c] & kSpaceClass) != 0) {
+      t.v[c] = LexClass::kSpace;
+    }
+  }
+  t.v[static_cast<unsigned char>('_')] = LexClass::kWord;
+  t.v[static_cast<unsigned char>('.')] = LexClass::kDot;
+  t.v[static_cast<unsigned char>('\'')] = LexClass::kSQuote;
+  t.v[static_cast<unsigned char>('"')] = LexClass::kIdQuote;
+  t.v[static_cast<unsigned char>('`')] = LexClass::kIdQuote;
+  t.v[static_cast<unsigned char>('[')] = LexClass::kBracket;
+  t.v[static_cast<unsigned char>('$')] = LexClass::kDollar;
+  t.v[static_cast<unsigned char>('?')] = LexClass::kQuestion;
+  t.v[static_cast<unsigned char>('%')] = LexClass::kPercent;
+  t.v[static_cast<unsigned char>(':')] = LexClass::kColon;
+  t.v[static_cast<unsigned char>('-')] = LexClass::kDash;
+  t.v[static_cast<unsigned char>('#')] = LexClass::kHash;
+  t.v[static_cast<unsigned char>('/')] = LexClass::kSlash;
+  return t;
+}
+inline constexpr LexClassTable kLexClass = MakeLexClassTable();
+}  // namespace detail
+
+inline LexClass ClassOf(char c) {
+  return detail::kLexClass.v[static_cast<unsigned char>(c)];
+}
+
 /// Multi-character operators, longest match first (a prefix must come after
 /// every operator it prefixes: `<=>` before `<=`, `#>>` before `#>`).
 inline constexpr std::string_view kMultiCharOperators[] = {

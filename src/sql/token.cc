@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/strings.h"
+#include "sql/keyword_table.h"
 
 namespace sqlcheck::sql {
 
@@ -30,102 +31,24 @@ bool Token::IsKeyword(std::string_view kw) const {
   return kind == TokenKind::kKeyword && EqualsIgnoreCase(text, kw);
 }
 
-namespace {
-
-/// Canonical spellings, indexed by KeywordId value (kNoKeyword at 0).
-constexpr std::string_view kSpellings[] = {
-    "",
-    "select", "from", "where", "group", "by",
-    "having", "order", "limit", "offset", "insert",
-    "into", "values", "update", "set", "delete",
-    "create", "table", "index", "view", "drop",
-    "alter", "add", "column", "constraint", "primary",
-    "key", "foreign", "references", "unique", "check",
-    "not", "null", "default", "and", "or",
-    "in", "between", "like", "ilike", "regexp",
-    "rlike", "similar", "is", "as", "on",
-    "join", "inner", "left", "right", "full",
-    "outer", "cross", "natural", "using", "union",
-    "all", "distinct", "exists", "case", "when",
-    "then", "else", "end", "asc", "desc",
-    "if", "cascade", "restrict", "true", "false",
-    "enum", "auto_increment", "autoincrement", "serial",
-    "temporary", "temp", "escape", "collate", "rename",
-    "to", "type", "modify", "change", "with",
-    "recursive", "returning", "conflict", "replace", "ignore",
-    "explain", "analyze", "vacuum", "begin", "commit",
-    "rollback", "transaction", "grant", "revoke", "truncate",
-    "intersect", "except", "any", "some", "cast",
-};
-constexpr size_t kKeywordCount = sizeof(kSpellings) / sizeof(kSpellings[0]);
-static_assert(static_cast<size_t>(KeywordId::kCast) + 1 == kKeywordCount,
-              "KeywordId enum and spelling table must stay in lockstep");
-
-// The longest keyword is "auto_increment" (14 bytes); longer words can skip
-// the probe entirely.
-constexpr size_t kMaxKeywordLength = 14;
-
-inline char AsciiLower(char c) { return c >= 'A' && c <= 'Z' ? static_cast<char>(c + 32) : c; }
-
-/// (length, first letter) -> candidate keyword ids. Buckets hold at most a
-/// handful of entries, so lookup is a lowercase pass plus one or two memcmps
-/// — measurably faster than hashing on the lex hot path, where every word of
-/// every statement probes this table.
-struct KeywordBuckets {
-  // 26 first letters x lengths 1..14; each bucket: offset/count into ids.
-  uint16_t offset[26][kMaxKeywordLength + 1] = {};
-  uint8_t count[26][kMaxKeywordLength + 1] = {};
-  KeywordId ids[kKeywordCount] = {};
-};
-
-const KeywordBuckets& Buckets() {
-  static const KeywordBuckets* table = [] {
-    auto* t = new KeywordBuckets();
-    for (size_t i = 1; i < kKeywordCount; ++i) {
-      std::string_view w = kSpellings[i];
-      ++t->count[w[0] - 'a'][w.size()];
-    }
-    uint16_t next = 0;
-    for (int c = 0; c < 26; ++c) {
-      for (size_t l = 1; l <= kMaxKeywordLength; ++l) {
-        t->offset[c][l] = next;
-        next = static_cast<uint16_t>(next + t->count[c][l]);
-        t->count[c][l] = 0;  // reused as a fill cursor below
-      }
-    }
-    for (size_t i = 1; i < kKeywordCount; ++i) {
-      std::string_view w = kSpellings[i];
-      int c = w[0] - 'a';
-      t->ids[t->offset[c][w.size()] + t->count[c][w.size()]++] =
-          static_cast<KeywordId>(i);
-    }
-    return t;
-  }();
-  return *table;
-}
-
-}  // namespace
-
 KeywordId LookupKeyword(std::string_view word) {
-  if (word.empty() || word.size() > kMaxKeywordLength) return KeywordId::kNoKeyword;
-  char buf[kMaxKeywordLength];
-  for (size_t i = 0; i < word.size(); ++i) buf[i] = AsciiLower(word[i]);
-  if (buf[0] < 'a' || buf[0] > 'z') return KeywordId::kNoKeyword;
-  const KeywordBuckets& table = Buckets();
-  int c = buf[0] - 'a';
-  uint16_t begin = table.offset[c][word.size()];
-  uint16_t end = static_cast<uint16_t>(begin + table.count[c][word.size()]);
-  for (uint16_t i = begin; i < end; ++i) {
-    KeywordId id = table.ids[i];
-    if (std::memcmp(kSpellings[static_cast<size_t>(id)].data(), buf, word.size()) == 0) {
-      return id;
-    }
+  size_t n = word.size();
+  if (n == 0 || n > keyword_table::kMaxKeywordLength) return KeywordId::kNoKeyword;
+  // Byte-shift packing matches the table layout on any endianness; the
+  // lexer's little-endian fast path skips this loop by reusing its scan
+  // register directly.
+  uint64_t lo = 0, hi = 0;
+  for (size_t i = 0; i < n && i < 8; ++i) {
+    lo |= keyword_table::FoldLane(word[i]) << (8 * i);
   }
-  return KeywordId::kNoKeyword;
+  for (size_t i = 8; i < n; ++i) {
+    hi |= keyword_table::FoldLane(word[i]) << (8 * (i - 8));
+  }
+  return keyword_table::LookupFolded(lo, hi);
 }
 
 std::string_view KeywordSpelling(KeywordId id) {
-  return kSpellings[static_cast<size_t>(id)];
+  return keyword_table::kSpellings[static_cast<size_t>(id)];
 }
 
 bool IsSqlKeyword(std::string_view word) {

@@ -1,0 +1,208 @@
+// Sharded parallel ingestion (AnalysisSession::ParallelIngest): bulk-loading
+// a script with ingest_parallelism N must leave the session byte-identical
+// to serial ingestion — same statements, fingerprint groups, NameIds, memos,
+// and reports — at every shard count, for adversarial statement orders, with
+// fixes and verify-exec on, and on both the scalar and SIMD lexer paths.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "core/sqlcheck.h"
+#include "sql/block_scan.h"
+#include "sql/splitter.h"
+#include "workload/corpus.h"
+
+namespace sqlcheck {
+namespace {
+
+/// Full serialized form — ToText and ToJson together catch every field.
+std::string Serialize(const Report& report) {
+  return report.ToText() + "\n---\n" + report.ToJson();
+}
+
+/// Adversarial bulk script: heavy cross-shard duplication (the same
+/// statements recur in every region, so shard-local dedup must re-resolve
+/// against earlier shards at merge), DML referencing tables whose DDL only
+/// arrives in the last region (DDL-after-DML), and enough statements for an
+/// 8-way split to clear the per-shard floor.
+std::string AdversarialScript(size_t rounds) {
+  std::string script;
+  auto add = [&script](const std::string& stmt) {
+    script += stmt;
+    script += ";\n";
+  };
+  for (size_t r = 0; r < rounds; ++r) {
+    const std::string t = "late" + std::to_string(r % 3);
+    // DML first — the CREATE TABLE for `t` lands in the closing region.
+    add("SELECT * FROM " + t + " WHERE id = ?");
+    add("select * from " + t + " where id = ?");  // same group, case jitter
+    add("SELECT a.name, b.status FROM " + t + " a JOIN orders b ON a.id = b.ref_id");
+    add("INSERT INTO " + t + " VALUES (1, 'open', 0.5)");
+    add("SELECT name FROM users WHERE tag_ids LIKE '%,7,%'");
+    add("SELECT name, password FROM users WHERE password = 'hunter2'");
+    add("UPDATE users SET balance = 0 WHERE id = " + std::to_string(r));
+    add("SELECT * FROM users WHERE id = ?");  // duplicated in every round
+  }
+  add("CREATE TABLE users (id INT PRIMARY KEY, name VARCHAR(64), "
+      "password VARCHAR(64), tag_ids TEXT, balance FLOAT)");
+  add("CREATE TABLE orders (id INT PRIMARY KEY, ref_id INT, status VARCHAR(8))");
+  for (int k = 0; k < 3; ++k) {
+    const std::string t = "late" + std::to_string(k);
+    add("CREATE TABLE " + t + " (id INT PRIMARY KEY, status VARCHAR(8), score FLOAT)");
+    add("CREATE INDEX idx_" + t + " ON " + t + " (status)");
+  }
+  add("SELECT * FROM users WHERE id = ?");  // one more duplicate after the DDL
+  return script;
+}
+
+SqlCheckOptions WithIngestThreads(int threads, const SqlCheckOptions& base = {}) {
+  SqlCheckOptions options = base;
+  options.ingest_parallelism = threads;
+  return options;
+}
+
+/// Serial-reference vs sharded session over one bulk script: reports,
+/// grouping, and accounting must all agree.
+void ExpectShardedMatchesSerial(const std::string& script, const SqlCheckOptions& base,
+                                int threads) {
+  AnalysisSession serial(WithIngestThreads(1, base));
+  size_t serial_count = serial.AddScript(script);
+  Report serial_report = serial.Snapshot();
+
+  AnalysisSession sharded(WithIngestThreads(threads, base));
+  size_t sharded_count = sharded.AddScript(script);
+  ASSERT_EQ(serial_count, sharded_count) << threads << " shards";
+  EXPECT_EQ(serial.statement_count(), sharded.statement_count());
+  EXPECT_EQ(serial.unique_count(), sharded.unique_count());
+  EXPECT_EQ(serial.Usage().interner_names, sharded.Usage().interner_names);
+  EXPECT_EQ(Serialize(serial_report), Serialize(sharded.Snapshot()))
+      << threads << " shards";
+}
+
+TEST(ParallelIngestTest, SnapshotIdenticalAtEveryShardCount) {
+  const std::string script = AdversarialScript(20);  // 161 statements
+  for (int threads : {2, 4, 8}) {
+    ExpectShardedMatchesSerial(script, SqlCheckOptions{}, threads);
+  }
+}
+
+TEST(ParallelIngestTest, ScalarPathIdentical) {
+  const std::string script = AdversarialScript(20);
+  sql::blockscan::SetForceScalarForTest(true);
+  ExpectShardedMatchesSerial(script, SqlCheckOptions{}, 4);
+  sql::blockscan::SetForceScalarForTest(false);
+  ExpectShardedMatchesSerial(script, SqlCheckOptions{}, 4);
+}
+
+TEST(ParallelIngestTest, DedupOffIdentical) {
+  SqlCheckOptions base;
+  base.dedup_queries = false;
+  ExpectShardedMatchesSerial(AdversarialScript(16), base, 4);
+}
+
+TEST(ParallelIngestTest, VerifyExecMemoSurvivesMerge) {
+  SqlCheckOptions base;
+  base.verify_exec.mode = ExecVerifyMode::kOn;
+  const std::string script = AdversarialScript(12);
+
+  AnalysisSession serial(WithIngestThreads(1, base));
+  serial.AddScript(script);
+  Report serial_report = serial.Snapshot();
+
+  AnalysisSession sharded(WithIngestThreads(4, base));
+  sharded.AddScript(script);
+  Report first = sharded.Snapshot();
+  EXPECT_EQ(Serialize(serial_report), Serialize(first));
+
+  // A second snapshot replays verification verdicts from the session memo;
+  // the merged session must behave exactly like the serial one.
+  Report second = sharded.Snapshot();
+  EXPECT_EQ(Serialize(first), Serialize(second));
+  EXPECT_EQ(serial.verify_stats().memo_hits > 0, sharded.verify_stats().memo_hits > 0);
+}
+
+TEST(ParallelIngestTest, Table3CorpusIdentical) {
+  workload::CorpusOptions corpus_options;
+  corpus_options.repo_count = 12;
+  workload::Corpus corpus = workload::GenerateCorpus(corpus_options);
+  std::string script;
+  for (const auto& s : corpus.AllStatements()) {
+    script += s.sql;
+    script += ";\n";
+  }
+  for (int threads : {2, 8}) {
+    ExpectShardedMatchesSerial(script, SqlCheckOptions{}, threads);
+  }
+}
+
+TEST(ParallelIngestTest, SmallScriptFallsBackToSerial) {
+  // Below 2 * kMinStatementsPerIngestShard statements a parallel session
+  // must take the serial path (no shard clears the floor) and still agree.
+  const std::string script = AdversarialScript(2);  // 29 statements
+  std::vector<std::string_view> pieces = sql::SplitStatements(script);
+  ASSERT_LT(pieces.size(), 2 * AnalysisSession::kMinStatementsPerIngestShard);
+  ExpectShardedMatchesSerial(script, SqlCheckOptions{}, 8);
+}
+
+TEST(ParallelIngestTest, StreamingCheckAfterBulkLoad) {
+  // Check() on top of a sharded bulk load: the per-statement hot path must
+  // see the merged memos/aggregates exactly as a serial session would.
+  const std::string script = AdversarialScript(16);
+  const char* incoming = "SELECT * FROM users WHERE id = ?;"
+                         "SELECT score FROM late1 WHERE status = 'open';";
+
+  AnalysisSession serial(WithIngestThreads(1));
+  serial.AddScript(script);
+  Report serial_delta = serial.Check(incoming);
+
+  AnalysisSession sharded(WithIngestThreads(4));
+  sharded.AddScript(script);
+  Report sharded_delta = sharded.Check(incoming);
+  EXPECT_EQ(Serialize(serial_delta), Serialize(sharded_delta));
+  EXPECT_EQ(Serialize(serial.Snapshot()), Serialize(sharded.Snapshot()));
+}
+
+TEST(ParallelIngestTest, QuotaGatesWholeScript) {
+  const std::string script = AdversarialScript(16);
+  SqlCheckOptions base;
+  base.limits.max_ingest_bytes = script.size() / 2;
+  AnalysisSession session(WithIngestThreads(4, base));
+  EXPECT_EQ(session.AddScript(script), 0u);  // refused whole, nothing ingested
+  EXPECT_FALSE(session.quota_status().ok());
+  EXPECT_EQ(session.statement_count(), 0u);
+}
+
+TEST(ParallelIngestTest, UsageAccountsAdoptedArenas) {
+  const std::string script = AdversarialScript(16);
+  AnalysisSession sharded(WithIngestThreads(4));
+  sharded.AddScript(script);
+  SessionUsage usage = sharded.Usage();
+  // The shard arenas were adopted; the trees they own must show up in the
+  // session's accounting (a serial session's usage is all in one arena).
+  EXPECT_GT(usage.arena_used_bytes, 0u);
+  EXPECT_GE(usage.arena_reserved_bytes, usage.arena_used_bytes);
+  EXPECT_EQ(usage.statements, sharded.statement_count());
+}
+
+TEST(ParallelIngestTest, RepeatedBulkLoadsKeepMerging) {
+  // Two sharded AddScript calls in a row: the second merge dedups against
+  // groups created by the first, exactly like continued serial ingestion.
+  const std::string first = AdversarialScript(10);
+  const std::string second = AdversarialScript(14);  // overlaps heavily
+
+  AnalysisSession serial(WithIngestThreads(1));
+  serial.AddScript(first);
+  serial.AddScript(second);
+
+  AnalysisSession sharded(WithIngestThreads(4));
+  sharded.AddScript(first);
+  sharded.AddScript(second);
+
+  EXPECT_EQ(serial.unique_count(), sharded.unique_count());
+  EXPECT_EQ(Serialize(serial.Snapshot()), Serialize(sharded.Snapshot()));
+}
+
+}  // namespace
+}  // namespace sqlcheck

@@ -41,6 +41,11 @@ options:
   --max-statements <N>        per-session statement quota, 0 = off
   --max-ingest-bytes <N>      per-session ingested-SQL quota, 0 = off
   --interner-cap <N>          per-session interned-name quota, 0 = off
+  --ingest-threads <N>        worker threads a bulk `script` load may use:
+                              the statement stream shards across per-worker
+                              sessions and merges back byte-identically
+                              (0 = all hardware threads, default 1 — size it
+                              against --workers, see docs/OPERATIONS.md)
   --fixes                     include the fix verification fields on finding
                               lines
   --verify-exec <on|off|required>
@@ -135,6 +140,11 @@ int main(int argc, char** argv) {
         return UsageError("--interner-cap expects a count");
       }
       options.analysis.limits.interner_cap_names = number;
+    } else if (arg == "--ingest-threads") {
+      if (!value_of(&value) || !ParseSize(value, &number) || number > 1024) {
+        return UsageError("--ingest-threads expects a thread count");
+      }
+      options.analysis.ingest_parallelism = static_cast<int>(number);
     } else if (arg == "--verify-exec") {
       if (!value_of(&value)) return UsageError("--verify-exec requires a value");
       if (value == "off") {
