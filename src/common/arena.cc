@@ -1,6 +1,9 @@
 #include "common/arena.h"
 
 #include <cstring>
+#include <new>
+
+#include "common/failpoint.h"
 
 #if defined(__SANITIZE_ADDRESS__)
 #define SQLCHECK_ASAN 1
@@ -41,6 +44,11 @@ Arena::Chunk* Arena::NewChunk(size_t min_payload) {
   size_t payload = next_chunk_bytes_;
   if (payload < min_payload) payload = AlignUp(min_payload, alignof(std::max_align_t));
   if (next_chunk_bytes_ < kMaxChunkBytes) next_chunk_bytes_ *= 2;
+
+  // Chaos seam: simulated allocation failure. Scoped — fires only under a
+  // FailpointScope (the session append paths), where bad_alloc is recovered
+  // by retry/quarantine; arenas outside such a scope are unaffected.
+  if (SQLCHECK_SCOPED_FAILPOINT("arena_alloc")) throw std::bad_alloc();
 
   void* raw = ::operator new(sizeof(Chunk) + payload);
   Chunk* chunk = static_cast<Chunk*>(raw);

@@ -1,0 +1,220 @@
+#include "common/failpoint.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace sqlcheck {
+
+namespace failpoint_detail {
+
+std::atomic<int> g_armed_count{0};
+thread_local int g_scope_depth = 0;
+
+}  // namespace failpoint_detail
+
+namespace {
+
+/// splitmix64 — the per-point probability stream. Each Eval advances the
+/// state atomically, so concurrent evaluations draw distinct values without
+/// a lock; determinism per point is not a goal (chaos profiles are random by
+/// design), only uniformity and thread safety are.
+uint64_t MixRandom(std::atomic<uint64_t>* state) {
+  uint64_t z = state->fetch_add(0x9E3779B97F4A7C15ull, std::memory_order_relaxed) +
+               0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+struct FailpointRegistry::Point {
+  std::string name;
+  std::atomic<bool> armed{false};
+
+  // Config: every field atomic so a test arming/disarming while server
+  // threads evaluate is a defined (and TSan-clean) race.
+  enum class Mode { kOff, kProb, kAfterN };
+  std::atomic<Mode> mode{Mode::kOff};
+  std::atomic<double> probability{0.0};
+  std::atomic<uint64_t> fire_at{0};  ///< kAfterN: the 1-based evaluation that fires.
+
+  std::atomic<uint64_t> evaluations{0};
+  std::atomic<uint64_t> fires{0};
+  std::atomic<uint64_t> rng{0x6A09E667F3BCC909ull};
+
+  bool Eval() {
+    const uint64_t n = evaluations.fetch_add(1, std::memory_order_relaxed) + 1;
+    bool fire = false;
+    switch (mode.load(std::memory_order_relaxed)) {
+      case Mode::kOff:
+        break;
+      case Mode::kProb: {
+        // p == 1.0 must fire deterministically (the chaos suites rely on
+        // it), and p * 2^64 as a double rounds to 2^64 — casting that to
+        // uint64_t is undefined. Compare in 53-bit space instead, where
+        // p < 1 scales to a representable, castable threshold.
+        const double p = probability.load(std::memory_order_relaxed);
+        fire = p >= 1.0 ||
+               (MixRandom(&rng) >> 11) < static_cast<uint64_t>(p * 9007199254740992.0);
+        break;
+      }
+      case Mode::kAfterN:
+        fire = n == fire_at.load(std::memory_order_relaxed);
+        break;
+    }
+    if (fire) fires.fetch_add(1, std::memory_order_relaxed);
+    return fire;
+  }
+};
+
+FailpointRegistry& FailpointRegistry::Instance() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+FailpointRegistry::FailpointRegistry() {
+  const char* env = std::getenv("SQLCHECK_FAILPOINTS");
+  if (env != nullptr && *env != '\0') Configure(env);
+}
+
+FailpointRegistry::Point* FailpointRegistry::FindOrCreateLocked(std::string_view name) {
+  for (auto& point : points_) {
+    if (point->name == name) return point.get();
+  }
+  points_.push_back(std::make_unique<Point>());
+  points_.back()->name = std::string(name);
+  return points_.back().get();
+}
+
+FailpointRegistry::Point* FailpointRegistry::Find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& point : points_) {
+    if (point->name == name) return point.get();
+  }
+  return nullptr;
+}
+
+Status FailpointRegistry::Configure(std::string_view spec) {
+  for (const std::string& entry : Split(spec, ',')) {
+    std::string_view trimmed = Trim(entry);
+    if (trimmed.empty()) continue;
+    size_t eq = trimmed.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::Error("bad failpoint spec entry '" + std::string(trimmed) +
+                           "' (want name=prob|after-N|oneshot)");
+    }
+    Status status = Arm(Trim(trimmed.substr(0, eq)), Trim(trimmed.substr(eq + 1)));
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+Status FailpointRegistry::Arm(std::string_view name, std::string_view mode) {
+  Point::Mode parsed = Point::Mode::kOff;
+  double probability = 0.0;
+  uint64_t fire_at = 0;
+  if (mode == "oneshot") {
+    parsed = Point::Mode::kAfterN;
+    fire_at = 1;
+  } else if (mode.substr(0, 6) == "after-" && IsAllDigits(mode.substr(6))) {
+    parsed = Point::Mode::kAfterN;
+    fire_at = std::strtoull(std::string(mode.substr(6)).c_str(), nullptr, 10);
+    if (fire_at == 0) {
+      return Status::Error("failpoint '" + std::string(name) + "': after-N needs N >= 1");
+    }
+  } else {
+    char* end = nullptr;
+    std::string copy(mode);
+    probability = std::strtod(copy.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !(probability > 0.0) || probability > 1.0) {
+      return Status::Error("failpoint '" + std::string(name) + "': bad mode '" +
+                           copy + "' (want a probability in (0,1], after-N, or oneshot)");
+    }
+    parsed = Point::Mode::kProb;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  Point* point = FindOrCreateLocked(name);
+  const bool was_armed = point->armed.load(std::memory_order_relaxed);
+  point->mode.store(parsed, std::memory_order_relaxed);
+  point->probability.store(probability, std::memory_order_relaxed);
+  point->fire_at.store(fire_at, std::memory_order_relaxed);
+  point->evaluations.store(0, std::memory_order_relaxed);
+  point->fires.store(0, std::memory_order_relaxed);
+  if (!was_armed) {
+    failpoint_detail::g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  point->armed.store(true, std::memory_order_release);
+  return Status::Ok();
+}
+
+void FailpointRegistry::Disarm(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& point : points_) {
+    if (point->name != name) continue;
+    if (point->armed.exchange(false, std::memory_order_release)) {
+      failpoint_detail::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+    point->mode.store(Point::Mode::kOff, std::memory_order_relaxed);
+    return;
+  }
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& point : points_) {
+    if (point->armed.exchange(false, std::memory_order_release)) {
+      failpoint_detail::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+    point->mode.store(Point::Mode::kOff, std::memory_order_relaxed);
+    point->evaluations.store(0, std::memory_order_relaxed);
+    point->fires.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<FailpointInfo> FailpointRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FailpointInfo> out;
+  out.reserve(points_.size());
+  for (const auto& point : points_) {
+    FailpointInfo info;
+    info.name = point->name;
+    if (!point->armed.load(std::memory_order_relaxed)) {
+      info.mode = "off";
+    } else if (point->mode.load(std::memory_order_relaxed) == Point::Mode::kProb) {
+      info.mode = "p=" + std::to_string(point->probability.load(std::memory_order_relaxed));
+    } else {
+      info.mode = "after-" + std::to_string(point->fire_at.load(std::memory_order_relaxed));
+    }
+    info.evaluations = point->evaluations.load(std::memory_order_relaxed);
+    info.fires = point->fires.load(std::memory_order_relaxed);
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+FailpointInfo FailpointRegistry::Info(std::string_view name) const {
+  for (const FailpointInfo& info : List()) {
+    if (info.name == name) return info;
+  }
+  FailpointInfo info;
+  info.name = std::string(name);
+  info.mode = "off";
+  return info;
+}
+
+namespace failpoint_detail {
+
+bool EvalSlow(std::string_view name, bool scoped) {
+  if (scoped && g_scope_depth == 0) return false;
+  FailpointRegistry& registry = FailpointRegistry::Instance();
+  FailpointRegistry::Point* point = registry.Find(name);
+  if (point == nullptr || !point->armed.load(std::memory_order_acquire)) return false;
+  return point->Eval();
+}
+
+}  // namespace failpoint_detail
+
+}  // namespace sqlcheck

@@ -1,8 +1,11 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <utility>
+
+#include "common/failpoint.h"
 
 namespace sqlcheck {
 
@@ -52,6 +55,12 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++in_flight_;
+    }
+    // Chaos seam: a stalled dispatch — the task still runs (the pool's
+    // "tasks must not throw" contract stays intact), it just starts late,
+    // exercising every caller's tolerance for slow workers.
+    if (SQLCHECK_FAILPOINT("thread_pool_dispatch")) {
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
     }
     task();
     {

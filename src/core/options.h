@@ -99,6 +99,19 @@ struct SqlCheckOptions {
   /// the sqlcheck-server sets these per tenant from its flags.
   SessionLimits limits;
 
+  /// Wall-clock budget (milliseconds) one statement may spend in
+  /// parse + analysis before its fingerprint is quarantined (0 = off). The
+  /// statement that blows the budget still lands — its results are valid —
+  /// but repeats of it are refused in O(1), so one pathological statement
+  /// cannot grind a shared worker down twice. The server's
+  /// --statement-budget-ms flag plumbs straight into this.
+  int statement_budget_ms = 0;
+
+  /// Entries the poisoned-statement quarantine LRU retains (see
+  /// AnalysisSession::recent_failures). Bounded so an adversarial stream of
+  /// distinct poisoned statements costs O(capacity) memory, not O(stream).
+  size_t quarantine_capacity = 256;
+
   /// Convenience presets mirroring the paper's evaluation configurations.
   static SqlCheckOptions IntraQueryOnly();
   static SqlCheckOptions Full();

@@ -1,9 +1,11 @@
 #include "core/session.h"
 
 #include <algorithm>
+#include <exception>
 #include <utility>
 
 #include "analysis/query_analyzer.h"
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "fix/fix_engine.h"
 #include "fix/fixer.h"
@@ -14,7 +16,9 @@
 namespace sqlcheck {
 
 AnalysisSession::AnalysisSession(SqlCheckOptions options)
-    : options_(std::move(options)), registry_(RuleRegistry::Default()) {
+    : options_(std::move(options)),
+      registry_(RuleRegistry::Default()),
+      quarantine_(options_.quarantine_capacity) {
   status_ = registry_.Disable(options_.disabled_rules);
 }
 
@@ -45,9 +49,26 @@ namespace {
 /// one-off statement ever pays the trim/regrow cycle.
 constexpr size_t kScratchTrimBytes = 1 << 20;
 
+/// Reserves room for `extra` more elements without defeating geometric
+/// growth: a bare reserve(size()+1) on every chunk-of-1 append would
+/// reallocate-and-copy the whole vector each time, turning a
+/// statement-at-a-time session O(n^2).
+template <typename Vec>
+void GrowFor(Vec& v, size_t extra) {
+  const size_t need = v.size() + extra;
+  if (need > v.capacity()) v.reserve(std::max(need, v.capacity() * 2));
+}
+
 }  // namespace
 
 Status AnalysisSession::CheckQuota(size_t incoming_bytes) const {
+  // Framing-level guard before the quota math: Token stores u32 source
+  // offsets (sql/token.h), so one Lex() pass — and hence one append — is
+  // capped at 4 GiB of SQL. Nothing real approaches this; it exists so the
+  // narrowing is provably safe even against adversarial input.
+  if (incoming_bytes > sql::kMaxLexBytes) {
+    return Status::Error("single append exceeds the 4 GiB lexer span limit");
+  }
   const SessionLimits& limits = options_.limits;
   if (limits.unlimited()) return Status::Ok();
   if (limits.max_statements != 0 &&
@@ -86,48 +107,236 @@ SessionUsage AnalysisSession::Usage() const {
   return usage;
 }
 
+bool AnalysisSession::HardenedAppend() const {
+  return deadline_.has_value() || options_.statement_budget_ms > 0 ||
+         !quarantine_.empty() || AnyFailpointArmed();
+}
+
+bool AnalysisSession::DeadlineExpired() const {
+  return deadline_.has_value() && std::chrono::steady_clock::now() >= *deadline_;
+}
+
+uint64_t AnalysisSession::QuarantineKey(std::string_view sql) {
+  // Key computation runs with injected faults suspended: the insert (made
+  // while a chaos profile is firing) and the later repeat-offender probe
+  // (typically after faults clear) must derive the same key, or the
+  // quarantine never matches. Real faults still hit the raw-bytes fallback.
+  FailpointScopeSuspend no_faults;
+  try {
+    return sql::FingerprintCanonical(
+        sql::CanonicalizeSql(sql, sql::FingerprintOptions::Exact()));
+  } catch (const std::exception&) {
+    // Canonicalization itself faulted — key the raw bytes (FNV-1a is what
+    // FingerprintCanonical applies to its input anyway). A cosmetic variant
+    // of the same poison then re-quarantines under its own key, which is
+    // correct, just slower.
+    return sql::FingerprintCanonical(sql);
+  }
+}
+
+void AnalysisSession::RecordFailure(std::string_view sql, const char* code,
+                                    std::string message, bool quarantined) {
+  std::lock_guard<std::mutex> lock(failures_mu_);
+  ++failures_recorded_;
+  if (failures_.size() >= kMaxRecordedFailures) return;
+  StatementFailure failure;
+  failure.sql = std::string(sql);
+  failure.code = code;
+  failure.message = std::move(message);
+  failure.quarantined = quarantined;
+  failures_.push_back(std::move(failure));
+}
+
+void AnalysisSession::Quarantine(std::string_view sql) {
+  std::lock_guard<std::mutex> lock(failures_mu_);
+  quarantine_.Insert(QuarantineKey(sql));
+  ++statements_quarantined_;
+}
+
+bool AnalysisSession::QuarantineRefused(std::string_view piece) {
+  if (quarantine_.empty()) return false;
+  if (!quarantine_.Touch(QuarantineKey(piece))) return false;
+  ++quarantine_refusals_;
+  RecordFailure(piece, "internal_error",
+                "statement fingerprint is quarantined (repeat offender); "
+                "reset the session to clear the quarantine",
+                /*quarantined=*/true);
+  return true;
+}
+
+sql::StatementPtr AnalysisSession::ParseWithRetry(std::string_view piece,
+                                                  std::string* error) {
+  for (int attempt = 0; attempt < kFaultRetryAttempts; ++attempt) {
+    try {
+      FailpointScope fault_scope;  // parse allocations are a chaos seam
+      sql::StatementPtr stmt =
+          sql::ParseStatement(piece, context_.arena(), &token_buffer_);
+      if (attempt > 0) faults_recovered_.fetch_add(1, std::memory_order_relaxed);
+      return stmt;
+    } catch (const std::exception& e) {
+      *error = e.what();
+    }
+  }
+  return nullptr;
+}
+
+bool AnalysisSession::IngestPiece(std::string_view piece) {
+  const auto start = std::chrono::steady_clock::now();
+  std::string error;
+  sql::StatementPtr stmt = ParseWithRetry(piece, &error);
+  if (stmt == nullptr) {
+    Quarantine(piece);
+    RecordFailure(piece, "internal_error",
+                  "statement parse failed persistently (" + error +
+                      "); fingerprint quarantined",
+                  /*quarantined=*/true);
+    return false;
+  }
+  const size_t before = context_.statements_.size();
+  std::vector<sql::StatementPtr> chunk;
+  chunk.push_back(std::move(stmt));
+  IngestChunk(std::move(chunk));
+  if (context_.statements_.size() == before) return false;  // dropped (recorded)
+  if (options_.statement_budget_ms > 0) {
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    if (elapsed > options_.statement_budget_ms) {
+      // The statement landed (its results are valid) but blew its budget:
+      // quarantine the fingerprint so its repeats are refused in O(1).
+      Quarantine(piece);
+      RecordFailure(piece, "deadline_exceeded",
+                    "statement took " + std::to_string(elapsed) +
+                        "ms against a " +
+                        std::to_string(options_.statement_budget_ms) +
+                        "ms budget; fingerprint quarantined (statement was "
+                        "ingested)",
+                    /*quarantined=*/true);
+    }
+  }
+  return true;
+}
+
 size_t AnalysisSession::AddQuery(std::string_view sql_text) {
+  failures_.clear();
   if (!GateAppend(sql_text.size())) return 0;
-  std::vector<sql::StatementPtr> stmts;
-  stmts.push_back(sql::ParseStatement(sql_text, context_.arena(), &token_buffer_));
-  size_t first = IngestChunk(std::move(stmts));
+  const size_t first = context_.statements_.size();
+  if (!HardenedAppend()) {
+    std::vector<sql::StatementPtr> stmts;
+    stmts.push_back(sql::ParseStatement(sql_text, context_.arena(), &token_buffer_));
+    IngestChunk(std::move(stmts));
+    TrimScratch();
+    return first;
+  }
+  if (!QuarantineRefused(sql_text)) IngestPiece(sql_text);
   TrimScratch();
   return first;
 }
 
 size_t AnalysisSession::AddScript(std::string_view script) {
+  failures_.clear();
   if (!GateAppend(script.size())) return 0;
+  const size_t first = context_.statements_.size();
   const int requested = ThreadPool::ResolveParallelism(options_.ingest_parallelism);
-  if (requested > 1) {
-    // Split once up front (the splitter returns trimmed, non-empty views
-    // into `script` — exactly the pieces ParseScript would parse), then
-    // either shard the parse+analyze work or fall back to serial when the
-    // script is too small to amortize a shard.
-    std::vector<std::string_view> pieces =
-        sql::SplitStatements(script, nullptr, &token_buffer_);
-    const int shards = static_cast<int>(std::min<size_t>(
-        static_cast<size_t>(requested), pieces.size() / kMinStatementsPerIngestShard));
-    if (shards > 1) {
-      ParallelIngest(pieces, shards);
+
+  if (!HardenedAppend()) {
+    // The historical bulk path, untouched: no deadline, no budget, empty
+    // quarantine, no armed failpoints — nothing to probe or recover, so pay
+    // zero robustness overhead.
+    if (requested > 1) {
+      // Split once up front (the splitter returns trimmed, non-empty views
+      // into `script` — exactly the pieces ParseScript would parse), then
+      // either shard the parse+analyze work or fall back to serial when the
+      // script is too small to amortize a shard.
+      std::vector<std::string_view> pieces =
+          sql::SplitStatements(script, nullptr, &token_buffer_);
+      const int shards = static_cast<int>(std::min<size_t>(
+          static_cast<size_t>(requested), pieces.size() / kMinStatementsPerIngestShard));
+      if (shards > 1) {
+        ParallelIngest(pieces, shards);
+        TrimScratch();
+        return context_.statements_.size() - first;
+      }
+      std::vector<sql::StatementPtr> stmts;
+      stmts.reserve(pieces.size());
+      for (std::string_view piece : pieces) {
+        stmts.push_back(sql::ParseStatement(piece, context_.arena(), &token_buffer_));
+      }
+      IngestChunk(std::move(stmts));
       TrimScratch();
-      return pieces.size();
+      return context_.statements_.size() - first;
     }
-    std::vector<sql::StatementPtr> stmts;
-    stmts.reserve(pieces.size());
-    for (std::string_view piece : pieces) {
-      stmts.push_back(sql::ParseStatement(piece, context_.arena(), &token_buffer_));
-    }
-    size_t count = stmts.size();
+    std::vector<sql::StatementPtr> stmts =
+        sql::ParseScript(script, context_.arena(), &token_buffer_);
     IngestChunk(std::move(stmts));
     TrimScratch();
-    return count;
+    return context_.statements_.size() - first;
   }
-  std::vector<sql::StatementPtr> stmts =
-      sql::ParseScript(script, context_.arena(), &token_buffer_);
-  size_t count = stmts.size();
-  IngestChunk(std::move(stmts));
+
+  // Hardened path: statement-at-a-time so every piece gets its own probe,
+  // deadline check, retry budget, and wall-clock attribution. Identical
+  // output to the bulk path when nothing fires — appending statements in N
+  // chunks of 1 reproduces one chunk of N (the chunk-identity contract
+  // tests/test_session.cc enforces). Failpoint scopes open only inside the
+  // retry-protected regions (the split below, ParseWithRetry, IngestChunk's
+  // memo and analysis loops) — an injected fault can never land on
+  // bookkeeping that has no recovery story.
+  std::vector<std::string_view> pieces;
+  {
+    std::string split_error;
+    bool split_ok = false;
+    for (int attempt = 0; attempt < kFaultRetryAttempts && !split_ok; ++attempt) {
+      try {
+        FailpointScope fault_scope;
+        pieces = sql::SplitStatements(script, nullptr, &token_buffer_);
+        split_ok = true;
+        if (attempt > 0) faults_recovered_.fetch_add(1, std::memory_order_relaxed);
+      } catch (const std::exception& e) {
+        split_error = e.what();
+      }
+    }
+    if (!split_ok) {
+      RecordFailure(script.substr(0, 256), "internal_error",
+                    "script split failed persistently (" + split_error + ")",
+                    /*quarantined=*/false);
+      return 0;
+    }
+  }
+
+  // Sharded bulk load still applies when only fault tolerance (not
+  // per-statement timing) is needed: pre-filter quarantined pieces, then
+  // let the shard sessions absorb faults locally and fold their quarantine
+  // state back in MergeShard.
+  if (!deadline_.has_value() && options_.statement_budget_ms == 0 && requested > 1) {
+    std::vector<std::string_view> kept;
+    kept.reserve(pieces.size());
+    for (std::string_view piece : pieces) {
+      if (!QuarantineRefused(piece)) kept.push_back(piece);
+    }
+    const int shards = static_cast<int>(std::min<size_t>(
+        static_cast<size_t>(requested), kept.size() / kMinStatementsPerIngestShard));
+    if (shards > 1) {
+      ParallelIngest(kept, shards);
+      TrimScratch();
+      return context_.statements_.size() - first;
+    }
+    for (std::string_view piece : kept) IngestPiece(piece);
+    TrimScratch();
+    return context_.statements_.size() - first;
+  }
+
+  for (std::string_view piece : pieces) {
+    if (DeadlineExpired()) {
+      RecordFailure(piece, "deadline_exceeded",
+                    "request deadline expired before this statement",
+                    /*quarantined=*/false);
+      continue;
+    }
+    if (QuarantineRefused(piece)) continue;
+    IngestPiece(piece);
+  }
   TrimScratch();
-  return count;
+  return context_.statements_.size() - first;
 }
 
 void AnalysisSession::ParallelIngest(const std::vector<std::string_view>& pieces,
@@ -156,14 +365,10 @@ void AnalysisSession::ParallelIngest(const std::vector<std::string_view>& pieces
   ParallelShards(
       pieces.size(), shards,
       [&workers, &pieces](int shard, size_t begin, size_t end) {
-        AnalysisSession& w = *workers[shard];
-        std::vector<sql::StatementPtr> stmts;
-        stmts.reserve(end - begin);
-        for (size_t i = begin; i < end; ++i) {
-          stmts.push_back(
-              sql::ParseStatement(pieces[i], w.context_.arena(), &w.token_buffer_));
-        }
-        w.IngestChunk(std::move(stmts));
+        // Pool tasks must not throw: IngestRange absorbs parse faults into
+        // the shard's own failure log, which MergeShard folds back (its
+        // internals open their own failpoint scopes where they can recover).
+        workers[shard]->IngestRange(pieces, begin, end);
       },
       &pool);
 
@@ -172,7 +377,52 @@ void AnalysisSession::ParallelIngest(const std::vector<std::string_view>& pieces
   for (auto& worker : workers) MergeShard(std::move(*worker));
 }
 
+void AnalysisSession::IngestRange(const std::vector<std::string_view>& pieces,
+                                  size_t begin, size_t end) {
+  std::vector<sql::StatementPtr> stmts;
+  stmts.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    std::string error;
+    sql::StatementPtr stmt = ParseWithRetry(pieces[i], &error);
+    if (stmt == nullptr) {
+      Quarantine(pieces[i]);
+      RecordFailure(pieces[i], "internal_error",
+                    "statement parse failed persistently (" + error +
+                        "); fingerprint quarantined",
+                    /*quarantined=*/true);
+      continue;
+    }
+    stmts.push_back(std::move(stmt));
+  }
+  IngestChunk(std::move(stmts));
+}
+
 void AnalysisSession::MergeShard(AnalysisSession&& shard) {
+  // Robustness state folds first — a shard whose every statement failed
+  // carries failures and quarantine entries but zero statements, and those
+  // must survive the early return below. MergeShard runs serially on the
+  // owner thread (after the pool drained), but RecordFailure's mutex still
+  // guards the owner-side containers for uniformity.
+  {
+    std::lock_guard<std::mutex> lock(failures_mu_);
+    failures_recorded_ += shard.failures_recorded_;
+    for (auto& failure : shard.failures_) {
+      if (failures_.size() >= kMaxRecordedFailures) break;
+      failures_.push_back(std::move(failure));
+    }
+    // Keys() lists most-recent first; insert oldest-first so the owner's
+    // LRU ends up with the same recency order the shard observed.
+    std::vector<uint64_t> keys = shard.quarantine_.Keys();
+    for (auto it = keys.rbegin(); it != keys.rend(); ++it) {
+      quarantine_.Insert(*it);
+    }
+    statements_quarantined_ += shard.statements_quarantined_;
+    quarantine_refusals_ += shard.quarantine_refusals_;
+  }
+  faults_recovered_.fetch_add(
+      shard.faults_recovered_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+
   Context& sc = shard.context_;
   const size_t base = context_.statements_.size();
   const size_t n = sc.statements_.size();
@@ -303,32 +553,82 @@ size_t AnalysisSession::IngestChunk(std::vector<sql::StatementPtr> stmts) {
   QueryGroups& groups = context_.query_groups_;
   std::vector<size_t> new_uniques;  // unique-list positions added by this chunk
 
-  // Serial pass: catalog, dedup bookkeeping, slot allocation. The memos make
+  // Size everything for the whole chunk up front: the per-statement pushes
+  // below then cannot throw, so a memo-stage fault (the only fallible step
+  // in the serial pass) always observes a fully consistent session.
+  GrowFor(context_.statements_, stmts.size());
+  GrowFor(context_.query_facts_, stmts.size());
+  GrowFor(groups.representative, stmts.size());
+  GrowFor(groups.fingerprints, stmts.size());
+  GrowFor(groups.unique, stmts.size());
+  GrowFor(local_cache_, stmts.size());
+  GrowFor(fix_cache_, stmts.size());
+  new_uniques.reserve(stmts.size());
+
+  // Serial pass: dedup bookkeeping, catalog, slot allocation. The memos make
   // a repeated statement cost one hash lookup here.
   for (auto& stmt : stmts) {
     const size_t i = context_.statements_.size();
-    context_.catalog_.ApplyDdl(*stmt);  // ignores DML; duplicate DDL is a no-op
 
     size_t rep = i;
+    uint64_t fingerprint = 0;
     if (options_.dedup_queries) {
-      uint64_t fingerprint = 0;
-      auto raw_it = raw_memo_.find(std::string_view(stmt->raw_sql));
-      if (raw_it != raw_memo_.end()) {
-        rep = raw_it->second;
-        fingerprint = groups.fingerprints[rep];
-      } else {
-        std::string canonical =
-            sql::CanonicalizeSql(stmt->raw_sql, sql::FingerprintOptions::Exact());
-        fingerprint = sql::FingerprintCanonical(canonical);
-        auto [canon_it, inserted] = canonical_memo_.try_emplace(std::move(canonical), i);
-        rep = canon_it->second;
-        raw_memo_.emplace(std::string(stmt->raw_sql), rep);
+      // The memo stage allocates (canonical string + two hash-table nodes),
+      // so it can fault — for real under memory pressure, on demand under
+      // the memo_insert failpoint. It retries with rollback: if the raw-
+      // spelling insert fails after the canonical node landed, the canonical
+      // entry is erased before the retry, so no memo ever points at a
+      // statement slot that is never filled.
+      bool memo_ok = false;
+      std::string memo_error;
+      for (int attempt = 0; attempt < kFaultRetryAttempts && !memo_ok; ++attempt) {
+        try {
+          FailpointScope fault_scope;  // memo allocations are a chaos seam
+          rep = i;
+          auto raw_it = raw_memo_.find(std::string_view(stmt->raw_sql));
+          if (raw_it != raw_memo_.end()) {
+            rep = raw_it->second;
+            fingerprint = groups.fingerprints[rep];
+          } else {
+            if (SQLCHECK_SCOPED_FAILPOINT("memo_insert")) throw std::bad_alloc();
+            std::string canonical =
+                sql::CanonicalizeSql(stmt->raw_sql, sql::FingerprintOptions::Exact());
+            fingerprint = sql::FingerprintCanonical(canonical);
+            auto [canon_it, inserted] =
+                canonical_memo_.try_emplace(std::move(canonical), i);
+            rep = canon_it->second;
+            try {
+              raw_memo_.emplace(std::string(stmt->raw_sql), rep);
+            } catch (...) {
+              if (inserted) canonical_memo_.erase(canon_it);
+              throw;
+            }
+          }
+          memo_ok = true;
+          if (attempt > 0) faults_recovered_.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::exception& e) {
+          memo_error = e.what();
+        }
+      }
+      if (!memo_ok) {
+        // Persistent fault: drop the statement whole — it never touched the
+        // catalog, the group tables, or the aggregates, so the session is
+        // byte-identical to one that never saw it.
+        Quarantine(stmt->raw_sql);
+        RecordFailure(stmt->raw_sql, "internal_error",
+                      "statement bookkeeping failed persistently (" + memo_error +
+                          "); fingerprint quarantined",
+                      /*quarantined=*/true);
+        continue;
       }
       groups.representative.push_back(rep);
       groups.fingerprints.push_back(fingerprint);
     } else {
       groups.representative.push_back(i);
     }
+    // Catalog mutation comes after the fallible memo stage on purpose: a
+    // dropped statement must not leave DDL side effects behind.
+    context_.catalog_.ApplyDdl(*stmt);  // ignores DML; duplicate DDL is a no-op
     if (rep == i) {
       unique_pos_.emplace(i, groups.unique.size());
       new_uniques.push_back(groups.unique.size());
@@ -349,14 +649,46 @@ size_t AnalysisSession::IngestChunk(std::vector<sql::StatementPtr> stmts) {
 
   // Analyze each new unique statement (sharded — analysis is independent per
   // statement) and pre-evaluate its statement-local rules into the cache.
+  // Pool tasks must not throw, so each statement's analysis retries in-lambda;
+  // a persistent fault degrades that one statement to empty facts and a
+  // full-but-empty cache row (so later lazy passes don't re-run it), and the
+  // statement's fingerprint is quarantined.
   ParallelShards(
       new_uniques.size(), threads,
       [this, &new_uniques](int /*shard*/, size_t begin, size_t end) {
+        const size_t rule_count = registry_.rules().size();
         for (size_t x = begin; x < end; ++x) {
           size_t u = new_uniques[x];
           size_t i = context_.query_groups_.unique[u];
-          context_.query_facts_[i] = AnalyzeQuery(*context_.statements_[i]);
-          EnsureCacheRow(u);
+          for (int attempt = 0;; ++attempt) {
+            try {
+              // thread_local scope, (re)opened per worker — and only around
+              // the retried analysis, so the catch's recovery bookkeeping
+              // cannot itself draw an injected fault.
+              FailpointScope fault_scope;
+              context_.query_facts_[i] = AnalyzeQuery(*context_.statements_[i]);
+              EnsureCacheRow(u);
+              if (attempt > 0) {
+                faults_recovered_.fetch_add(1, std::memory_order_relaxed);
+              }
+              break;
+            } catch (const std::exception& e) {
+              // EnsureCacheRow may have resized the row before throwing —
+              // clear it so the retry (or the terminal assign) starts clean
+              // instead of early-returning on a half-filled row.
+              local_cache_[u].clear();
+              if (attempt + 1 < kFaultRetryAttempts) continue;
+              context_.query_facts_[i] = QueryFacts{};
+              local_cache_[u].assign(rule_count, {});
+              Quarantine(context_.statements_[i]->raw_sql);
+              RecordFailure(context_.statements_[i]->raw_sql, "internal_error",
+                            std::string("statement analysis failed persistently (") +
+                                e.what() + "); findings unavailable, fingerprint "
+                                "quarantined",
+                            /*quarantined=*/true);
+              break;
+            }
+          }
         }
       },
       pool.get());

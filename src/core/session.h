@@ -1,6 +1,12 @@
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <list>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -29,6 +35,63 @@ struct SessionUsage {
   size_t scratch_reserved_bytes = 0;  ///< Lexer scratch (TokenBuffer) arena.
   size_t interner_names = 0;        ///< Distinct identifiers interned.
   size_t interner_bytes = 0;        ///< Interner footprint (estimate).
+};
+
+/// \brief Bounded LRU of poisoned-statement fingerprints. A statement whose
+/// analysis throws/faults persistently (or blows its wall-clock budget) is
+/// quarantined by exact-canonical fingerprint; repeat offenders are refused
+/// with one O(1) hash probe before any parse work is paid. Bounded so an
+/// adversarial stream of distinct poison cannot grow it without limit — the
+/// oldest entry falls out, which is the right failure mode (a re-offending
+/// evictee just re-quarantines on its next failure).
+class QuarantineSet {
+ public:
+  explicit QuarantineSet(size_t capacity = 256) : capacity_(capacity) {}
+
+  /// True if `key` is quarantined; refreshes its recency.
+  bool Touch(uint64_t key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    order_.splice(order_.begin(), order_, it->second);
+    return true;
+  }
+
+  void Insert(uint64_t key) {
+    if (capacity_ == 0) return;
+    if (Touch(key)) return;
+    order_.push_front(key);
+    index_.emplace(key, order_.begin());
+    if (index_.size() > capacity_) {
+      index_.erase(order_.back());
+      order_.pop_back();
+    }
+  }
+
+  bool empty() const { return index_.empty(); }
+  size_t size() const { return index_.size(); }
+
+  /// Every quarantined key, most recent first (shard-merge + tests).
+  std::vector<uint64_t> Keys() const {
+    return std::vector<uint64_t>(order_.begin(), order_.end());
+  }
+
+ private:
+  size_t capacity_;
+  std::list<uint64_t> order_;  ///< Front = most recently touched.
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> index_;
+};
+
+/// \brief One statement the latest append call could not fully process. The
+/// session survives these — the failure is reported per statement instead of
+/// poisoning the tenant — and the server streams each entry as a
+/// `statement_error` line. `quarantined` entries were also fingerprinted
+/// into the QuarantineSet; note a budget-exceeder (code "deadline_exceeded",
+/// quarantined) *was* ingested — only its repeats are refused.
+struct StatementFailure {
+  std::string sql;      ///< The statement text (possibly a refused piece).
+  std::string code;     ///< "internal_error" or "deadline_exceeded".
+  std::string message;  ///< Human-readable diagnosis.
+  bool quarantined = false;
 };
 
 /// \brief The incremental analysis engine: accepts statements one at a time
@@ -141,6 +204,39 @@ class AnalysisSession {
   /// Current memory/ingest accounting (see SessionUsage).
   SessionUsage Usage() const;
 
+  /// Statements the *latest* append call (AddQuery/AddScript/Check) could
+  /// not fully process: persistent faults, quarantine refusals, deadline
+  /// expiries. Cleared at the start of each append. Capped at
+  /// kMaxRecordedFailures entries per call so a mass expiry cannot balloon a
+  /// response; quarantine/refusal side effects still apply past the cap.
+  const std::vector<StatementFailure>& recent_failures() const { return failures_; }
+
+  /// Wall-clock deadline for subsequent append work: once it passes, the
+  /// remaining statements of the current (and any later) append are refused
+  /// with a "deadline_exceeded" failure entry instead of being analyzed.
+  /// Checked between statements — a single statement overruns by its own
+  /// cost at most (pair with SqlCheckOptions::statement_budget_ms to
+  /// quarantine the overrunner). The server arms this per request from
+  /// --request-deadline-ms.
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) { deadline_ = deadline; }
+  void ClearDeadline() { deadline_.reset(); }
+
+  /// Poisoned-statement quarantine telemetry (see QuarantineSet).
+  size_t quarantine_size() const { return quarantine_.size(); }
+  /// Statements quarantined over the session's lifetime.
+  uint64_t statements_quarantined() const { return statements_quarantined_; }
+  /// Appends refused by the O(1) quarantine probe (repeat offenders).
+  uint64_t quarantine_refusals() const { return quarantine_refusals_; }
+  /// Transient faults the append paths absorbed via retry — the statements
+  /// involved landed normally (chaos-profile observability).
+  uint64_t faults_recovered() const {
+    return faults_recovered_.load(std::memory_order_relaxed);
+  }
+
+  /// Failure entries one append call records before capping (see
+  /// recent_failures()).
+  static constexpr size_t kMaxRecordedFailures = 64;
+
   /// Minimum statements a parallel-ingest shard must receive: below this the
   /// per-shard session + merge overhead dwarfs the parse work, so AddScript
   /// falls back to the serial path (and shard counts clamp so every shard
@@ -148,9 +244,17 @@ class AnalysisSession {
   static constexpr size_t kMinStatementsPerIngestShard = 16;
 
  private:
+  /// Parse + memo retry budget under fault injection: a transient fault
+  /// (arena_alloc, memo_insert) is retried this many times before the
+  /// statement is declared poisoned and quarantined.
+  static constexpr int kFaultRetryAttempts = 4;
+
   /// Appends `stmts` as one chunk: dedup bookkeeping serially, analysis and
   /// statement-local rule evaluation for new uniques sharded. Returns the
-  /// index of the first appended statement.
+  /// index of the first appended statement. Fault-tolerant: a statement
+  /// whose memo bookkeeping faults persistently is dropped + quarantined; a
+  /// statement whose analysis faults persistently keeps empty facts (and is
+  /// quarantined) — either way the chunk's other statements land normally.
   size_t IngestChunk(std::vector<sql::StatementPtr> stmts);
 
   /// Sharded bulk ingestion (the ingest_parallelism path of AddScript):
@@ -173,6 +277,44 @@ class AnalysisSession {
   /// Quota gate for every append path: true = proceed (bytes are charged),
   /// false = refused (quota_status_ records why, nothing is ingested).
   bool GateAppend(size_t incoming_bytes);
+
+  /// True when the hardened (per-piece) append path must run: a deadline or
+  /// statement budget is armed, the quarantine is non-empty, or failpoints
+  /// are active. False = the historical bulk path, byte-for-byte.
+  bool HardenedAppend() const;
+
+  /// True once deadline_ has passed.
+  bool DeadlineExpired() const;
+
+  /// Quarantine key of a statement: fingerprint of its exact-canonical form
+  /// (whitespace/case-insensitive), falling back to a hash of the raw bytes
+  /// if canonicalization itself faults.
+  static uint64_t QuarantineKey(std::string_view sql);
+
+  /// Records a StatementFailure (thread-safe; capped, see
+  /// kMaxRecordedFailures).
+  void RecordFailure(std::string_view sql, const char* code, std::string message,
+                     bool quarantined);
+
+  /// Quarantines a statement's fingerprint (thread-safe).
+  void Quarantine(std::string_view sql);
+
+  /// O(1) repeat-offender probe; records the refusal when it hits.
+  bool QuarantineRefused(std::string_view piece);
+
+  /// ParseStatement with a kFaultRetryAttempts retry loop; nullptr + error
+  /// message on persistent failure.
+  sql::StatementPtr ParseWithRetry(std::string_view piece, std::string* error);
+
+  /// Hardened single-piece append: parse-with-retry (quarantining a
+  /// persistent failure), one-statement IngestChunk, statement-budget
+  /// enforcement. True if the piece landed.
+  bool IngestPiece(std::string_view piece);
+
+  /// Parses pieces [begin, end) with retry and ingests them as one chunk —
+  /// the per-shard body of ParallelIngest.
+  void IngestRange(const std::vector<std::string_view>& pieces, size_t begin,
+                   size_t end);
 
   /// Releases high-water lexer scratch after an append (see
   /// TokenBuffer::Trim) so one huge statement cannot pin megabytes of
@@ -250,6 +392,18 @@ class AnalysisSession {
   /// name the new columns), so stale entries are simply never probed again.
   VerifyMemo verify_memo_;
   VerifyStats verify_stats_;
+
+  /// Robustness state (failure semantics documented in docs/OPERATIONS.md).
+  QuarantineSet quarantine_;
+  std::vector<StatementFailure> failures_;
+  size_t failures_recorded_ = 0;  ///< Includes entries past the cap.
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+  uint64_t statements_quarantined_ = 0;
+  uint64_t quarantine_refusals_ = 0;
+  std::atomic<uint64_t> faults_recovered_{0};
+  /// Guards failures_/quarantine_ mutation from analysis pool workers; the
+  /// single-threaded probe/read paths run while no append is in flight.
+  std::mutex failures_mu_;
 };
 
 }  // namespace sqlcheck

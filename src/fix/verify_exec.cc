@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -15,6 +16,7 @@
 #include "catalog/catalog.h"
 #include "catalog/schema.h"
 #include "catalog/value.h"
+#include "common/failpoint.h"
 #include "common/random.h"
 #include "common/strings.h"
 #include "engine/executor.h"
@@ -581,6 +583,12 @@ void PopulateDatabase(Database* db, const BuildPlan& plan, const HarvestMap& har
 
     int64_t max_auto = 0;
     for (size_t i = 1; i <= rows; ++i) {
+      // Chaos seam: a row the generator cannot produce. The caller maps the
+      // throw to an Infeasible verdict — exactly how a genuinely
+      // ungenerable dataset degrades (the fix keeps its Tier-2 verdict).
+      if (SQLCHECK_FAILPOINT("exec_verify_row")) {
+        throw std::runtime_error("failpoint exec_verify_row");
+      }
       Row row;
       row.reserve(schema.columns.size());
       for (const ColumnSchema& col : schema.columns) {
@@ -780,18 +788,27 @@ ExecCheck VerifyByExecution(const Fix& fix, EquivalenceContract contract,
     return Infeasible(std::move(note));
   }
 
-  auto build = [&plan, &harvest, &options]() {
-    auto db = std::make_unique<Database>("verify");
-    for (const TableSchema& schema : plan.schemas) {
-      db->CreateTable(schema);
+  auto build = [&plan, &harvest, &options]() -> std::unique_ptr<Database> {
+    try {
+      auto db = std::make_unique<Database>("verify");
+      for (const TableSchema& schema : plan.schemas) {
+        db->CreateTable(schema);
+      }
+      PopulateDatabase(db.get(), plan, harvest, options);
+      return db;
+    } catch (const std::exception&) {
+      // Dataset generation failed (allocation pressure, injected fault):
+      // verification is infeasible, not divergent.
+      return nullptr;
     }
-    PopulateDatabase(db.get(), plan, harvest, options);
-    return db;
   };
 
   if (AllSelects(*original, rewritten)) {
     // Read-only: one database, two independent same-seeded executors.
     std::unique_ptr<Database> db = build();
+    if (db == nullptr) {
+      return Infeasible("verification dataset generation failed");
+    }
     Executor lhs_exec(db.get(), options.seed);
     auto lhs = lhs_exec.Execute(*original);
     if (!lhs.ok()) {
@@ -831,6 +848,9 @@ ExecCheck VerifyByExecution(const Fix& fix, EquivalenceContract contract,
   // database and compare the full table states afterwards.
   std::unique_ptr<Database> lhs_db = build();
   std::unique_ptr<Database> rhs_db = build();
+  if (lhs_db == nullptr || rhs_db == nullptr) {
+    return Infeasible("verification dataset generation failed");
+  }
   Executor lhs_exec(lhs_db.get(), options.seed);
   Executor rhs_exec(rhs_db.get(), options.seed);
   auto lhs = lhs_exec.Execute(*original);

@@ -1,0 +1,54 @@
+#include "server/deadline_wheel.h"
+
+#include <algorithm>
+
+namespace sqlcheck {
+namespace server {
+
+DeadlineWheel::DeadlineWheel(int granularity_ms)
+    : granularity_ms_(granularity_ms > 0 ? granularity_ms : 1) {}
+
+void DeadlineWheel::Add(uint64_t conn_id, uint64_t seq, int64_t deadline_ms) {
+  const int64_t tick = TickOf(deadline_ms);
+  if (!started_) {
+    // First entry anchors the cursor one tick behind itself so the entry is
+    // in the future from the cursor's point of view.
+    cursor_tick_ = tick - 1;
+    started_ = true;
+  }
+  buckets_[static_cast<size_t>(tick) % kBuckets].push_back(
+      DeadlineEntry{conn_id, seq, deadline_ms});
+  ++size_;
+}
+
+void DeadlineWheel::PopDue(int64_t now_ms, std::vector<DeadlineEntry>* due) {
+  if (size_ == 0) {
+    started_ = false;
+    return;
+  }
+  const int64_t now_tick = TickOf(now_ms);
+  if (now_tick <= cursor_tick_) return;
+  // One full revolution visits every bucket; crossing more ticks than that
+  // cannot expose new entries, so the walk is bounded at kBuckets steps no
+  // matter how long the loop slept.
+  const int64_t steps =
+      std::min<int64_t>(now_tick - cursor_tick_, static_cast<int64_t>(kBuckets));
+  for (int64_t s = 1; s <= steps; ++s) {
+    const int64_t tick = cursor_tick_ + s;
+    std::vector<DeadlineEntry>& bucket = buckets_[static_cast<size_t>(tick) % kBuckets];
+    size_t kept = 0;
+    for (DeadlineEntry& entry : bucket) {
+      if (entry.deadline_ms <= now_ms) {
+        due->push_back(entry);
+        --size_;
+      } else {
+        bucket[kept++] = entry;  // wrapped: expires a revolution later
+      }
+    }
+    bucket.resize(kept);
+  }
+  cursor_tick_ = now_tick;
+}
+
+}  // namespace server
+}  // namespace sqlcheck

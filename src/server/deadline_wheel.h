@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sqlcheck {
+namespace server {
+
+/// \brief One queued request's deadline registration. `seq` identifies the
+/// request within its connection's pending queue — expiry is lazy: an entry
+/// whose request already started (or finished, or whose connection closed)
+/// simply finds no matching queue slot and is dropped.
+struct DeadlineEntry {
+  uint64_t conn_id = 0;
+  uint64_t seq = 0;
+  int64_t deadline_ms = 0;  ///< Monotonic milliseconds (server NowMs clock).
+};
+
+/// \brief Hashed timing wheel for request deadlines, owned by the epoll
+/// event thread (no locking — Add() happens when a request is queued,
+/// PopDue() once per loop iteration). All deadlines share one offset
+/// (--request-deadline-ms), but the wheel stays general: an entry lands in
+/// the bucket of its expiry tick, the cursor advances with the clock, and a
+/// wrapped entry (more than kBuckets ticks out) just stays put until the
+/// cursor comes around again. Cost per loop: O(buckets crossed + entries
+/// touched), independent of the total pending count.
+class DeadlineWheel {
+ public:
+  /// `granularity_ms` is the expiry precision: a deadline fires at most one
+  /// tick late. 16ms tracks the epoll timeout resolution the server runs at.
+  explicit DeadlineWheel(int granularity_ms = 16);
+
+  /// Registers a deadline. `deadline_ms` may already be in the past — it
+  /// then pops on the next PopDue().
+  void Add(uint64_t conn_id, uint64_t seq, int64_t deadline_ms);
+
+  /// Moves every entry with `deadline_ms <= now_ms` into *due (appended in
+  /// wheel order, which is deadline order up to one tick) and advances the
+  /// cursor to `now_ms`.
+  void PopDue(int64_t now_ms, std::vector<DeadlineEntry>* due);
+
+  /// Epoll timeout hint: milliseconds until the wheel next needs servicing
+  /// (-1 when empty — sleep on I/O alone). Granularity-coarse on purpose;
+  /// the event loop min-merges this with its sweep interval.
+  int NextTimeoutMs() const { return size_ == 0 ? -1 : granularity_ms_; }
+
+  size_t size() const { return size_; }
+
+ private:
+  static constexpr size_t kBuckets = 256;
+
+  int64_t TickOf(int64_t ms) const { return ms / granularity_ms_; }
+
+  const int granularity_ms_;
+  int64_t cursor_tick_ = 0;  ///< Every tick <= cursor has been drained.
+  bool started_ = false;     ///< Cursor initializes from the first event.
+  size_t size_ = 0;
+  std::vector<DeadlineEntry> buckets_[kBuckets];
+};
+
+}  // namespace server
+}  // namespace sqlcheck

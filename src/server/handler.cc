@@ -31,26 +31,40 @@ void AppendField(std::string* out, const char* key, std::string_view value,
 }  // namespace
 
 SessionHandler::SessionHandler(const SqlCheckOptions& options, bool include_fixes,
-                               const ServerGauges* gauges)
+                               ServerGauges* gauges)
     : options_(options),
       include_fixes_(include_fixes),
       gauges_(gauges),
       session_(std::make_unique<AnalysisSession>(options)) {}
 
-std::string SessionHandler::HandleLine(std::string_view line) {
+std::string SessionHandler::HandleLine(std::string_view line, int64_t deadline_ms) {
   ++requests_;
-  Request request = ParseRequest(line);
-  if (!request.ok) return ErrorLine(request.error_code, request.error_message);
-  if (request.op == "check") return HandleCheck(request);
-  if (request.op == "snapshot") return HandleSnapshot(request);
-  if (request.op == "reset") return HandleReset();
-  if (request.op == "stats") return HandleStats();
-  if (request.op == "ping") return "{\"op\": \"ping\", \"ok\": true}\n";
-  if (request.op == "quit") {
-    quit_ = true;
-    return "{\"op\": \"quit\", \"ok\": true}\n";
+  // Nothing past this point may throw into the transport: the worker pool's
+  // tasks-don't-throw contract ends here. The session's append paths absorb
+  // statement-level faults themselves; this catch covers everything else
+  // (report assembly, ranking, emission) and answers internal_error while
+  // the connection — and the session's ingested history — stay usable.
+  try {
+    Request request = ParseRequest(line);
+    if (!request.ok) return ErrorLine(request.error_code, request.error_message);
+    if (request.op == "check") return HandleCheck(request, deadline_ms);
+    if (request.op == "snapshot") return HandleSnapshot(request);
+    if (request.op == "reset") return HandleReset();
+    if (request.op == "stats") return HandleStats();
+    if (request.op == "ping") return "{\"op\": \"ping\", \"ok\": true}\n";
+    if (request.op == "quit") {
+      quit_ = true;
+      return "{\"op\": \"quit\", \"ok\": true}\n";
+    }
+    return ErrorLine(ErrorCode::kBadRequest, "unknown op '" + request.op + "'");
+  } catch (const std::exception& e) {
+    session_->ClearDeadline();
+    return ErrorLine(ErrorCode::kInternalError,
+                     std::string("request failed: ") + e.what());
+  } catch (...) {
+    session_->ClearDeadline();
+    return ErrorLine(ErrorCode::kInternalError, "request failed");
   }
-  return ErrorLine(ErrorCode::kBadRequest, "unknown op '" + request.op + "'");
 }
 
 std::string SessionHandler::FindingLine(const Finding& finding, size_t rank) const {
@@ -60,7 +74,7 @@ std::string SessionHandler::FindingLine(const Finding& finding, size_t rank) con
   return line;
 }
 
-std::string SessionHandler::HandleCheck(const Request& request) {
+std::string SessionHandler::HandleCheck(const Request& request, int64_t deadline_ms) {
   if (request.sql.empty()) {
     return ErrorLine(ErrorCode::kBadRequest, "check requires a non-empty 'sql'");
   }
@@ -69,8 +83,13 @@ std::string SessionHandler::HandleCheck(const Request& request) {
   Status quota = session_->CheckQuota(request.sql.size());
   if (!quota.ok()) return ErrorLine(ErrorCode::kQuotaExceeded, quota.message());
 
+  if (deadline_ms > 0) {
+    session_->SetDeadline(std::chrono::steady_clock::time_point(
+        std::chrono::milliseconds(deadline_ms)));
+  }
   const size_t before = session_->statement_count();
   Report delta = session_->Check(request.sql);
+  session_->ClearDeadline();
   if (!session_->quota_status().ok()) {
     // A mid-append breach (e.g. the arena crossed its cap while this script
     // was ingesting) still answers quota_exceeded — nothing was appended.
@@ -81,10 +100,37 @@ std::string SessionHandler::HandleCheck(const Request& request) {
     response += FindingLine(delta.findings[i], i + 1);
   }
   findings_streamed_ += delta.findings.size();
-  response += "{\"op\": \"check\", \"ok\": true";
+
+  // Statement-level failures stream like findings: each poisoned, budget-
+  // blown, or deadline-refused statement gets its own line, then the
+  // terminal line summarizes. A request-level deadline cutoff (refused
+  // entries that were never quarantined) turns the terminal into
+  // deadline_exceeded — partial statements up to the cutoff are ingested
+  // and their findings above remain valid.
+  const std::vector<StatementFailure>& failures = session_->recent_failures();
+  bool deadline_hit = false;
+  for (const StatementFailure& failure : failures) {
+    response += StatementErrorLine(failure.code, failure.message, failure.sql,
+                                   failure.quarantined);
+    if (!failure.quarantined && failure.code == std::string_view("deadline_exceeded")) {
+      deadline_hit = true;
+    }
+  }
+  if (deadline_hit) {
+    if (gauges_ != nullptr) gauges_->deadlines_expired.fetch_add(1);
+    response += "{\"op\": \"check\", \"ok\": false, \"error\": {\"code\": \"";
+    response += ErrorCode::kDeadlineExceeded;
+    response += "\", \"message\": \"request deadline expired mid-script; "
+                "statements before the cutoff are ingested\"}";
+  } else {
+    response += "{\"op\": \"check\", \"ok\": true";
+  }
   AppendField(&response, "statements", session_->statement_count() - before);
   AppendField(&response, "total_statements", session_->statement_count());
   AppendField(&response, "findings", delta.findings.size());
+  if (!failures.empty()) {
+    AppendField(&response, "failed_statements", failures.size());
+  }
   response += "}\n";
   return response;
 }
@@ -122,9 +168,9 @@ std::string SessionHandler::HandleSnapshot(const Request& request) {
 }
 
 std::string SessionHandler::HandleReset() {
-  // A fresh session: history, memos, arena, interner, and quota accounting
-  // all restart from zero. This is the tenant-facing recovery path after
-  // quota_exceeded.
+  // A fresh session: history, memos, arena, interner, quota accounting, and
+  // the statement quarantine all restart from zero. This is the tenant-facing
+  // recovery path after quota_exceeded and after quarantined statements.
   session_ = std::make_unique<AnalysisSession>(options_);
   return "{\"op\": \"reset\", \"ok\": true}\n";
 }
@@ -155,6 +201,10 @@ std::string SessionHandler::HandleStats() {
   AppendField(&response, "verify_exec_infeasible", verify.exec_infeasible);
   AppendField(&response, "verify_memo_hits", verify.memo_hits);
   AppendField(&response, "verify_memo_misses", verify.memo_misses);
+  AppendField(&response, "statements_quarantined", session_->statements_quarantined());
+  AppendField(&response, "quarantine_size", session_->quarantine_size());
+  AppendField(&response, "quarantine_refusals", session_->quarantine_refusals());
+  AppendField(&response, "faults_recovered", session_->faults_recovered());
   AppendField(&response, "requests", requests_);
   AppendField(&response, "findings_streamed", findings_streamed_);
   AppendField(&response, "uptime_secs", uptime);
@@ -179,6 +229,10 @@ std::string SessionHandler::HandleStats() {
     AppendField(&response, "requests", gauges_->requests.load());
     AppendField(&response, "bytes_in", gauges_->bytes_in.load());
     AppendField(&response, "bytes_out", gauges_->bytes_out.load());
+    AppendField(&response, "requests_shed", gauges_->requests_shed.load());
+    AppendField(&response, "deadlines_expired", gauges_->deadlines_expired.load());
+    AppendField(&response, "slow_client_disconnects",
+                gauges_->slow_client_disconnects.load());
     response += '}';
   }
   response += "}\n";

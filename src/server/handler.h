@@ -25,6 +25,14 @@ struct ServerGauges {
   std::atomic<uint64_t> requests{0};
   std::atomic<uint64_t> bytes_in{0};
   std::atomic<uint64_t> bytes_out{0};
+  /// Requests refused at admission with `overloaded` (--max-queue-depth).
+  std::atomic<uint64_t> requests_shed{0};
+  /// Requests answered `deadline_exceeded` — expired in queue or cut off
+  /// mid-script (--request-deadline-ms).
+  std::atomic<uint64_t> deadlines_expired{0};
+  /// Connections dropped because their response backlog made no write
+  /// progress for --write-stall-ms.
+  std::atomic<uint64_t> slow_client_disconnects{0};
 };
 
 /// \brief One tenant's protocol endpoint: owns the tenant's AnalysisSession
@@ -43,12 +51,17 @@ class SessionHandler {
   /// extended diagnosis fields (the CLI's --fixes surface); `gauges`
   /// (optional, not owned) adds the server-wide block to `stats` responses.
   explicit SessionHandler(const SqlCheckOptions& options, bool include_fixes = false,
-                          const ServerGauges* gauges = nullptr);
+                          ServerGauges* gauges = nullptr);
 
   /// Handles one complete request line (no trailing newline required) and
-  /// returns the full response: zero or more `finding` lines followed by
-  /// exactly one terminal line, every line LF-terminated.
-  std::string HandleLine(std::string_view line);
+  /// returns the full response: zero or more `finding` / `statement_error`
+  /// lines followed by exactly one terminal line, every line LF-terminated.
+  /// `deadline_ms` (monotonic milliseconds on the steady clock, 0 = none)
+  /// arms the session's cooperative deadline for this request: ingestion
+  /// stops between statements once it passes and the terminal line answers
+  /// `deadline_exceeded`. No exception escapes — an engine fault degrades to
+  /// an `internal_error` terminal line.
+  std::string HandleLine(std::string_view line, int64_t deadline_ms = 0);
 
   /// True once the client sent `{"op": "quit"}` — the transport should
   /// flush pending output and close.
@@ -59,7 +72,7 @@ class SessionHandler {
   uint64_t findings_streamed() const { return findings_streamed_; }
 
  private:
-  std::string HandleCheck(const Request& request);
+  std::string HandleCheck(const Request& request, int64_t deadline_ms);
   std::string HandleSnapshot(const Request& request);
   std::string HandleReset();
   std::string HandleStats();
@@ -71,7 +84,7 @@ class SessionHandler {
 
   SqlCheckOptions options_;
   bool include_fixes_;
-  const ServerGauges* gauges_;
+  ServerGauges* gauges_;  ///< Not owned; handler bumps deadline gauges.
   std::unique_ptr<AnalysisSession> session_;
   bool quit_ = false;
   uint64_t requests_ = 0;

@@ -11,9 +11,11 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstring>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "rules/rule.h"
 #include "server/wire.h"
 
@@ -47,6 +49,12 @@ SqlCheckServer::~SqlCheckServer() { Stop(); }
 
 Status SqlCheckServer::Start() {
   if (started_) return Status::Error("server already started");
+
+  // A peer that disappears between poll and write must surface as EPIPE on
+  // that one socket (handled as a silent teardown in TryFlush), never as a
+  // process-killing signal. Idempotent and process-wide by design: any
+  // embedding of the server needs this.
+  std::signal(SIGPIPE, SIG_IGN);
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) return Status::Error("socket(): " + std::string(strerror(errno)));
@@ -128,15 +136,28 @@ void SqlCheckServer::EventLoop() {
   constexpr int kMaxEvents = 128;
   epoll_event events[kMaxEvents];
   int64_t last_sweep_ms = NowMs();
-  // Sweep granularity: fine enough that eviction lands within ~1/4 of the
-  // configured idle window, coarse enough to stay negligible.
-  const int sweep_interval_ms =
-      options_.idle_evict_ms > 0
-          ? std::max(10, std::min(options_.idle_evict_ms / 4, 1000))
-          : -1;
+  // Sweep granularity: fine enough that eviction (or a stall disconnect)
+  // lands within ~1/4 of its configured window, coarse enough to stay
+  // negligible. Either guard being on turns the sweep on.
+  int sweep_interval_ms = -1;
+  auto fold_interval = [&sweep_interval_ms](int window_ms) {
+    if (window_ms <= 0) return;
+    int interval = std::max(10, std::min(window_ms / 4, 1000));
+    if (sweep_interval_ms < 0 || interval < sweep_interval_ms) {
+      sweep_interval_ms = interval;
+    }
+  };
+  fold_interval(options_.idle_evict_ms);
+  fold_interval(options_.write_stall_ms);
 
   while (!stop_.load()) {
+    // The wheel bounds the sleep while deadlines are pending so expiry lands
+    // within one wheel tick even on an otherwise silent socket set.
     int timeout = sweep_interval_ms;
+    int wheel_timeout = wheel_.NextTimeoutMs();
+    if (wheel_timeout >= 0 && (timeout < 0 || wheel_timeout < timeout)) {
+      timeout = wheel_timeout;
+    }
     int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout);
     if (n < 0 && errno != EINTR) break;
 
@@ -176,6 +197,8 @@ void SqlCheckServer::EventLoop() {
       if (it != conns_.end()) TryFlush(it->second);
     }
 
+    if (wheel_.size() > 0) ExpireDeadlines(NowMs());
+
     if (sweep_interval_ms > 0) {
       int64_t now = NowMs();
       if (now - last_sweep_ms >= sweep_interval_ms) {
@@ -190,6 +213,14 @@ void SqlCheckServer::AcceptPending() {
   while (true) {
     int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) return;  // EAGAIN or transient error — epoll will re-arm
+
+    // Chaos seam: a dropped accept. The client sees a reset, the server just
+    // keeps serving everyone else.
+    if (SQLCHECK_FAILPOINT("socket_accept")) {
+      gauges_.connections_rejected.fetch_add(1);
+      ::close(fd);
+      continue;
+    }
 
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -226,6 +257,29 @@ void SqlCheckServer::AcceptPending() {
 }
 
 void SqlCheckServer::ReadFrom(const std::shared_ptr<Conn>& conn) {
+  // Chaos seam: a skipped read round. Level-triggered epoll redelivers the
+  // readiness on the next iteration, so the bytes are only delayed — the
+  // stream (and every response) is byte-identical.
+  if (SQLCHECK_FAILPOINT("socket_read")) return;
+
+  // Write backpressure: while this tenant's response backlog is over the
+  // cap, stop pulling new requests off its socket. TryFlush resumes the
+  // read side once the backlog halves; TCP flow control propagates the
+  // pause to the client.
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->out.size() > options_.max_write_buffer_bytes) {
+      if (!conn->epollin_paused && conn->fd >= 0) {
+        conn->epollin_paused = true;
+        epoll_event ev{};
+        ev.events = conn->epollout_armed ? EPOLLOUT : 0u;
+        ev.data.u64 = conn->id;
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+      }
+      return;
+    }
+  }
+
   char buffer[64 * 1024];
   bool got_bytes = false;
   while (true) {
@@ -288,11 +342,36 @@ void SqlCheckServer::QueueLines(const std::shared_ptr<Conn>& conn) {
   }
 
   if (lines.empty() && oversize_errors.empty()) return;
+  const int64_t now_ms = NowMs();
   bool dispatch = false;
   {
     std::lock_guard<std::mutex> lock(conn->mu);
     conn->out += oversize_errors;
-    for (auto& l : lines) conn->pending.push_back(std::move(l));
+    for (auto& l : lines) {
+      // Admission control: past the global queue-depth cap the request is
+      // shed here — cheap, before any parsing — with a backoff hint. The
+      // refusal is per request, not per connection: the tenant's already-
+      // admitted work proceeds and later lines are admitted again as the
+      // queue drains.
+      if (options_.max_queue_depth > 0 &&
+          queued_requests_.load(std::memory_order_relaxed) >=
+              options_.max_queue_depth) {
+        gauges_.requests_shed.fetch_add(1);
+        conn->out += OverloadedLine(RetryAfterMs());
+        continue;
+      }
+      PendingRequest request;
+      request.seq = conn->next_seq++;
+      request.deadline_ms =
+          options_.request_deadline_ms > 0 ? now_ms + options_.request_deadline_ms : 0;
+      request.line = std::move(l);
+      if (request.deadline_ms > 0) {
+        // QueueLines runs on the event thread, which owns the wheel.
+        wheel_.Add(conn->id, request.seq, request.deadline_ms);
+      }
+      conn->pending.push_back(std::move(request));
+      queued_requests_.fetch_add(1, std::memory_order_relaxed);
+    }
     if (!conn->in_flight && !conn->pending.empty()) {
       conn->in_flight = true;
       dispatch = true;
@@ -304,19 +383,83 @@ void SqlCheckServer::QueueLines(const std::shared_ptr<Conn>& conn) {
   }
 }
 
+uint64_t SqlCheckServer::RetryAfterMs() const {
+  uint64_t avg_us = avg_request_us_.load(std::memory_order_relaxed);
+  if (avg_us == 0) avg_us = 1000;  // no samples yet: assume a 1ms request
+  const uint64_t depth = queued_requests_.load(std::memory_order_relaxed);
+  const uint64_t workers =
+      static_cast<uint64_t>(ThreadPool::ResolveParallelism(options_.workers));
+  const uint64_t ms = avg_us * (depth + 1) / workers / 1000;
+  return std::max<uint64_t>(1, std::min<uint64_t>(ms, 30000));
+}
+
+void SqlCheckServer::ExpireDeadlines(int64_t now_ms) {
+  std::vector<DeadlineEntry> due;
+  wheel_.PopDue(now_ms, &due);
+  for (const DeadlineEntry& entry : due) {
+    auto it = conns_.find(entry.conn_id);
+    if (it == conns_.end()) continue;  // connection already closed
+    const std::shared_ptr<Conn>& conn = it->second;
+    bool expired = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      // Lazy cancellation: only a request still sitting in the queue can be
+      // expired from here. One already claimed by a worker observes the
+      // deadline cooperatively inside the session instead.
+      for (auto pending_it = conn->pending.begin(); pending_it != conn->pending.end();
+           ++pending_it) {
+        if (pending_it->seq != entry.seq) continue;
+        conn->pending.erase(pending_it);
+        queued_requests_.fetch_sub(1, std::memory_order_relaxed);
+        conn->out += ErrorLine(
+            ErrorCode::kDeadlineExceeded,
+            "request deadline (" + std::to_string(options_.request_deadline_ms) +
+                "ms) expired before processing began");
+        expired = true;
+        break;
+      }
+    }
+    if (expired) {
+      gauges_.deadlines_expired.fetch_add(1);
+      TryFlush(conn);
+    }
+  }
+}
+
 void SqlCheckServer::ProcessQueue(std::shared_ptr<Conn> conn) {
   while (true) {
-    std::string line;
+    PendingRequest request;
     {
       std::lock_guard<std::mutex> lock(conn->mu);
       if (conn->pending.empty() || conn->want_close) {
         conn->in_flight = false;
         break;
       }
-      line = std::move(conn->pending.front());
+      request = std::move(conn->pending.front());
       conn->pending.pop_front();
     }
-    std::string response = conn->handler->HandleLine(line);
+    queued_requests_.fetch_sub(1, std::memory_order_relaxed);
+
+    std::string response;
+    const int64_t start_ms = NowMs();
+    if (request.deadline_ms > 0 && start_ms >= request.deadline_ms) {
+      // Expired while queued but claimed before the wheel fired: same
+      // answer the wheel would have given, without starting the work.
+      gauges_.deadlines_expired.fetch_add(1);
+      response = ErrorLine(
+          ErrorCode::kDeadlineExceeded,
+          "request deadline (" + std::to_string(options_.request_deadline_ms) +
+              "ms) expired before processing began");
+    } else {
+      response = conn->handler->HandleLine(request.line, request.deadline_ms);
+      // Service-time EWMA (alpha 1/8) feeding retry_after_ms. Lost updates
+      // between racing workers just blend samples — it is a backoff hint,
+      // not an invariant.
+      const uint64_t sample_us = static_cast<uint64_t>(NowMs() - start_ms) * 1000;
+      const uint64_t prev = avg_request_us_.load(std::memory_order_relaxed);
+      avg_request_us_.store(prev == 0 ? sample_us : (prev * 7 + sample_us) / 8,
+                            std::memory_order_relaxed);
+    }
     gauges_.requests.fetch_add(1);
     {
       std::lock_guard<std::mutex> lock(conn->mu);
@@ -332,11 +475,18 @@ void SqlCheckServer::TryFlush(const std::shared_ptr<Conn>& conn) {
   if (conn->fd < 0) return;
   bool close_now = false;
   bool want_out = false;
+  bool made_progress = false;
+  size_t backlog = 0;
   {
     std::lock_guard<std::mutex> lock(conn->mu);
     while (!conn->out.empty()) {
+      // Chaos seam: a simulated EAGAIN — identical to a momentarily full
+      // socket buffer. EPOLLOUT re-arms below and the bytes go out on a
+      // later round, so responses stay byte-identical, just later.
+      if (SQLCHECK_FAILPOINT("socket_write")) break;
       ssize_t n = ::write(conn->fd, conn->out.data(), conn->out.size());
       if (n > 0) {
+        made_progress = true;
         gauges_.bytes_out.fetch_add(static_cast<uint64_t>(n));
         conn->out.erase(0, static_cast<size_t>(n));
         continue;
@@ -345,7 +495,16 @@ void SqlCheckServer::TryFlush(const std::shared_ptr<Conn>& conn) {
       close_now = true;  // EPIPE/ECONNRESET: the peer is gone
       break;
     }
-    want_out = !conn->out.empty() && !close_now;
+    backlog = conn->out.size();
+    want_out = backlog > 0 && !close_now;
+    // Stall tracking for the slow-client sweep: the clock starts when a
+    // flush attempt leaves bytes behind without writing any, and resets the
+    // moment anything goes out.
+    if (made_progress || backlog == 0) {
+      conn->write_stalled_since_ms = 0;
+    } else if (want_out && conn->write_stalled_since_ms == 0) {
+      conn->write_stalled_since_ms = NowMs();
+    }
     if (!close_now && conn->out.empty()) {
       bool drained = conn->pending.empty() && !conn->in_flight;
       if (conn->want_close && drained) close_now = true;
@@ -356,10 +515,15 @@ void SqlCheckServer::TryFlush(const std::shared_ptr<Conn>& conn) {
     CloseConn(conn->id);
     return;
   }
-  if (want_out != conn->epollout_armed) {
+  // Resume the read side once the backlog halves (hysteresis so a client
+  // hovering at the cap doesn't thrash the epoll registration).
+  bool paused = conn->epollin_paused;
+  if (paused && backlog <= options_.max_write_buffer_bytes / 2) paused = false;
+  if (want_out != conn->epollout_armed || paused != conn->epollin_paused) {
     conn->epollout_armed = want_out;
+    conn->epollin_paused = paused;
     epoll_event ev{};
-    ev.events = EPOLLIN | (want_out ? EPOLLOUT : 0u);
+    ev.events = (paused ? 0u : EPOLLIN) | (want_out ? EPOLLOUT : 0u);
     ev.data.u64 = conn->id;
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
   }
@@ -372,6 +536,10 @@ void SqlCheckServer::CloseConn(uint64_t id) {
   {
     std::lock_guard<std::mutex> lock(conn->mu);
     conn->want_close = true;  // a still-running worker stops at its next pop
+    // Unstarted requests die with the connection; release their admission
+    // slots or the global queue-depth gate would leak closed-tenant weight.
+    queued_requests_.fetch_sub(conn->pending.size(), std::memory_order_relaxed);
+    conn->pending.clear();
   }
   if (conn->fd >= 0) {
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
@@ -384,7 +552,20 @@ void SqlCheckServer::CloseConn(uint64_t id) {
 
 void SqlCheckServer::SweepIdle(int64_t now_ms) {
   std::vector<std::shared_ptr<Conn>> victims;
+  std::vector<uint64_t> stalled;
   for (auto& [id, conn] : conns_) {
+    // Slow-client guard first: a wedged peer holds response bytes (and a
+    // whole session) hostage; there is nothing to flush to it, so this is a
+    // hard close, not an eviction notice.
+    if (options_.write_stall_ms > 0) {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->write_stalled_since_ms != 0 &&
+          now_ms - conn->write_stalled_since_ms >= options_.write_stall_ms) {
+        stalled.push_back(id);
+        continue;
+      }
+    }
+    if (options_.idle_evict_ms <= 0) continue;
     if (now_ms - conn->last_activity_ms < options_.idle_evict_ms) continue;
     std::lock_guard<std::mutex> lock(conn->mu);
     // Only truly idle tenants: queued or in-flight work counts as activity.
@@ -392,6 +573,10 @@ void SqlCheckServer::SweepIdle(int64_t now_ms) {
     conn->out += EvictedLine(options_.idle_evict_ms);
     conn->want_close = true;
     victims.push_back(conn);
+  }
+  for (uint64_t id : stalled) {
+    gauges_.slow_client_disconnects.fetch_add(1);
+    CloseConn(id);
   }
   for (auto& conn : victims) {
     gauges_.evictions.fetch_add(1);

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -12,6 +13,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/options.h"
+#include "server/deadline_wheel.h"
 #include "server/handler.h"
 
 namespace sqlcheck {
@@ -40,6 +42,25 @@ struct ServerOptions {
   /// Emit the extended fix-verification fields on finding lines (the CLI's
   /// --fixes surface).
   bool include_fixes = false;
+  /// Per-request wall-clock deadline in milliseconds (0 = off). A request
+  /// still queued when it passes is answered `deadline_exceeded` without
+  /// running (the deadline wheel expires it lazily); a running `check` stops
+  /// between statements and answers `deadline_exceeded` with the partial
+  /// ingest intact.
+  int request_deadline_ms = 0;
+  /// Load-shedding admission cap on requests queued across all connections
+  /// (0 = off). A request line arriving past the cap is refused immediately
+  /// with a retryable `overloaded` error carrying `retry_after_ms` — it
+  /// never reaches a worker or the session.
+  size_t max_queue_depth = 0;
+  /// Write-backpressure threshold: once a connection's unsent response bytes
+  /// exceed this, the server stops reading from that socket (the client
+  /// cannot pipeline unboundedly faster than it drains responses); reading
+  /// resumes when the backlog halves.
+  size_t max_write_buffer_bytes = 8u << 20;
+  /// Slow-client guard (0 = off): a connection whose response backlog makes
+  /// no write progress for this long is disconnected, releasing its session.
+  int write_stall_ms = 0;
   /// Per-tenant session configuration: rule selection, parallelism (leave at
   /// 1 — concurrency comes from sessions, not intra-session sharding), and
   /// the SessionLimits quotas.
@@ -80,6 +101,15 @@ class SqlCheckServer {
   const ServerGauges& gauges() const { return gauges_; }
 
  private:
+  /// One admitted request awaiting a worker. `seq` keys the deadline wheel's
+  /// lazy cancellation; `deadline_ms` (0 = none) rides to the handler so a
+  /// running check stops cooperatively.
+  struct PendingRequest {
+    uint64_t seq = 0;
+    int64_t deadline_ms = 0;
+    std::string line;
+  };
+
   struct Conn {
     uint64_t id = 0;
     int fd = -1;
@@ -91,13 +121,20 @@ class SqlCheckServer {
     /// it from the event thread; monotonic clock).
     int64_t last_activity_ms = 0;
     bool epollout_armed = false;
+    /// Read side unsubscribed from epoll: the response backlog crossed
+    /// max_write_buffer_bytes (event thread only).
+    bool epollin_paused = false;
+    uint64_t next_seq = 1;  ///< Event thread only (QueueLines).
 
     /// Handed between event thread and the one in-flight worker under `mu`.
     std::mutex mu;
-    std::deque<std::string> pending;  ///< Complete request lines, in order.
-    bool in_flight = false;           ///< A worker owns this tenant's queue.
-    std::string out;                  ///< Response bytes awaiting the socket.
-    bool want_close = false;          ///< Close once `out` drains.
+    std::deque<PendingRequest> pending;  ///< Admitted requests, in order.
+    bool in_flight = false;              ///< A worker owns this tenant's queue.
+    std::string out;                     ///< Response bytes awaiting the socket.
+    bool want_close = false;             ///< Close once `out` drains.
+    /// When the backlog first made no write progress (0 = flowing); the
+    /// sweep disconnects past write_stall_ms.
+    int64_t write_stalled_since_ms = 0;
 
     std::unique_ptr<SessionHandler> handler;
   };
@@ -117,6 +154,12 @@ class SqlCheckServer {
   void SweepIdle(int64_t now_ms);
   /// Worker -> event thread doorbell: marks `id` dirty and wakes epoll.
   void NotifyDirty(uint64_t id);
+  /// Expires still-queued requests whose deadline passed (event thread;
+  /// lazy cancellation — started requests are skipped).
+  void ExpireDeadlines(int64_t now_ms);
+  /// Backoff hint for overloaded refusals: queue depth x the service-time
+  /// EWMA, spread over the worker count.
+  uint64_t RetryAfterMs() const;
 
   ServerOptions options_;
   uint16_t port_ = 0;
@@ -134,6 +177,15 @@ class SqlCheckServer {
 
   std::mutex dirty_mu_;
   std::vector<uint64_t> dirty_;  ///< Conn ids with fresh output to flush.
+
+  DeadlineWheel wheel_;  ///< Event thread only (QueueLines adds, loop pops).
+  /// Requests admitted but not yet started, across all connections — the
+  /// load-shedding admission gate (QueueLines bumps, workers/expiry drop).
+  std::atomic<size_t> queued_requests_{0};
+  /// EWMA of request service time in microseconds (workers update, the
+  /// admission path reads it for retry_after_ms). Heuristic: races between
+  /// workers just blend samples.
+  std::atomic<uint64_t> avg_request_us_{0};
 };
 
 }  // namespace server

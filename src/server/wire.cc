@@ -268,6 +268,45 @@ std::string ErrorLine(std::string_view code, std::string_view message) {
   return line;
 }
 
+std::string OverloadedLine(uint64_t retry_after_ms) {
+  std::string line = "{\"ok\": false, \"error\": {\"code\": \"";
+  line += ErrorCode::kOverloaded;
+  line += "\", \"message\": \"server overloaded; retry after the hint\"}, "
+          "\"retry_after_ms\": ";
+  line += std::to_string(retry_after_ms);
+  line += "}\n";
+  return line;
+}
+
+std::string StatementErrorLine(std::string_view code, std::string_view message,
+                               std::string_view sql, bool quarantined) {
+  constexpr size_t kSqlPrefixBytes = 160;
+  std::string_view prefix = sql.substr(0, kSqlPrefixBytes);
+  // Never emit a torn UTF-8 sequence: locate the last lead byte; if its
+  // sequence runs past the cap, cut before it (a complete trailing sequence
+  // is kept whole).
+  size_t lead = prefix.size();
+  while (lead > 0 && (static_cast<unsigned char>(prefix[lead - 1]) & 0xC0) == 0x80) {
+    --lead;
+  }
+  if (lead > 0 && static_cast<unsigned char>(prefix[lead - 1]) >= 0xC0) {
+    const unsigned char first = static_cast<unsigned char>(prefix[lead - 1]);
+    const size_t expect = first >= 0xF0 ? 4 : first >= 0xE0 ? 3 : 2;
+    if (lead - 1 + expect > prefix.size()) prefix = prefix.substr(0, lead - 1);
+  }
+  std::string line = "{\"op\": \"statement_error\", \"ok\": false, \"error\": {\"code\": \"";
+  line += JsonEscape(code);
+  line += "\", \"message\": \"";
+  line += JsonEscape(message);
+  line += "\"}, \"sql\": \"";
+  line += JsonEscape(prefix);
+  if (prefix.size() < sql.size()) line += "...";
+  line += "\", \"quarantined\": ";
+  line += quarantined ? "true" : "false";
+  line += "}\n";
+  return line;
+}
+
 std::string HelloLine(int rule_count) {
   std::string line = "{\"op\": \"hello\", \"ok\": true, \"tool\": \"sqlcheck-server\", "
                      "\"protocol\": ";

@@ -21,6 +21,14 @@ struct ErrorCode {
   static constexpr const char* kQuotaExceeded = "quota_exceeded";
   static constexpr const char* kCapacity = "capacity";
   static constexpr const char* kEvicted = "evicted";
+  /// Load shedding: the request was refused at admission (never queued,
+  /// session untouched). Retryable — the line carries `retry_after_ms`.
+  static constexpr const char* kOverloaded = "overloaded";
+  /// The request's deadline passed before (or while) it was served.
+  static constexpr const char* kDeadlineExceeded = "deadline_exceeded";
+  /// A statement faulted persistently inside the engine; its fingerprint is
+  /// quarantined and the rest of the request proceeded.
+  static constexpr const char* kInternalError = "internal_error";
 };
 
 /// \brief One parsed request line. The protocol is newline-delimited JSON:
@@ -51,6 +59,19 @@ bool ValidUtf8(std::string_view s);
 /// \brief One protocol error line: {"ok": false, "error": {"code": ...,
 /// "message": ...}} with trailing newline, ready to write to the socket.
 std::string ErrorLine(std::string_view code, std::string_view message);
+
+/// \brief The load-shedding refusal: an `overloaded` error line carrying the
+/// server's backoff hint (`retry_after_ms`, from its service-time EWMA and
+/// current queue depth). The refused request never touched the session, so a
+/// verbatim retry after the hint is safe.
+std::string OverloadedLine(uint64_t retry_after_ms);
+
+/// \brief One `statement_error` stream line: a per-statement failure inside
+/// an otherwise-successful `check` (poisoned statement, blown statement
+/// budget, deadline cutoff). `sql` is truncated to a short prefix — it
+/// identifies the statement, it does not echo the payload.
+std::string StatementErrorLine(std::string_view code, std::string_view message,
+                               std::string_view sql, bool quarantined);
 
 /// \brief The greeting pushed to every accepted connection: protocol
 /// version, tool name, and rule count.

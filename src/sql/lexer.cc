@@ -7,6 +7,11 @@
 
 namespace sqlcheck::sql {
 
+// The u32-span layout is the point (token.h): the whole frontend iterates
+// this array, so regressing it back past 32 bytes is a perf bug.
+static_assert(sizeof(void*) != 8 || sizeof(Token) <= 32,
+              "Token grew past 32 bytes on LP64 — check field packing");
+
 namespace {
 
 using lexer_detail::IsDigit;
@@ -82,7 +87,7 @@ class LexerImpl {
         }
         ++pos_;
         out_.emplace_back(k, KeywordId::kNoKeyword, op, false, Slice(start, 1),
-                          start, size_t{1});
+                          static_cast<uint32_t>(start), uint32_t{1});
         // ", " and ") " and "= " are pervasive: fuse the separator skip.
         if (pos_ < sql_.size() && sql_[pos_] == ' ') ++pos_;
         continue;
@@ -183,7 +188,8 @@ class LexerImpl {
       }
     }
     out_.emplace_back(TokenKind::kEnd, KeywordId::kNoKeyword, uint8_t{0}, false,
-                      std::string_view{}, sql_.size(), size_t{0});
+                      std::string_view{}, static_cast<uint32_t>(sql_.size()),
+                      uint32_t{0});
   }
 
  private:
@@ -229,7 +235,8 @@ class LexerImpl {
   /// overwriting most of them — measurable on the lex hot path.
   Token& Emit(TokenKind kind, std::string_view text, size_t start, size_t length) {
     return out_.emplace_back(kind, KeywordId::kNoKeyword, uint8_t{0}, false, text,
-                             start, length);
+                             static_cast<uint32_t>(start),
+                             static_cast<uint32_t>(length));
   }
 
   /// Emits a token whose payload was built in `scratch_` (escape stripping):
@@ -556,7 +563,8 @@ class LexerImpl {
   void EmitWord(std::string_view word, size_t start, KeywordId kw) {
     out_.emplace_back(kw == KeywordId::kNoKeyword ? TokenKind::kIdentifier
                                                   : TokenKind::kKeyword,
-                      kw, uint8_t{0}, false, word, start, word.size());
+                      kw, uint8_t{0}, false, word, static_cast<uint32_t>(start),
+                      static_cast<uint32_t>(word.size()));
   }
 
   void LexOperatorOrPunct(size_t start) {

@@ -10,6 +10,7 @@
 
 #include "core/session.h"
 #include "core/sqlcheck.h"
+#include "server/handler.h"
 #include "sql/block_scan.h"
 #include "sql/splitter.h"
 #include "workload/corpus.h"
@@ -172,6 +173,60 @@ TEST(ParallelIngestTest, QuotaGatesWholeScript) {
   EXPECT_EQ(session.AddScript(script), 0u);  // refused whole, nothing ingested
   EXPECT_FALSE(session.quota_status().ok());
   EXPECT_EQ(session.statement_count(), 0u);
+}
+
+TEST(ParallelIngestTest, MidSessionQuotaBreachIsStickyAcrossShardMerge) {
+  // The first bulk load fits; the second crosses the byte cap and must be
+  // refused whole at the gate — no shard runs, no partial merge, and the
+  // session stays frozen (but fully queryable) at first-load state. A retry
+  // stays refused: quotas only tighten as the session grows.
+  const std::string first = AdversarialScript(10);
+  const std::string second = AdversarialScript(16);
+  SqlCheckOptions base;
+  base.limits.max_ingest_bytes = first.size() + second.size() / 2;
+  AnalysisSession session(WithIngestThreads(4, base));
+
+  ASSERT_GT(session.AddScript(first), 0u);
+  ASSERT_TRUE(session.quota_status().ok());
+  const std::string before = Serialize(session.Snapshot());
+  const SessionUsage usage_before = session.Usage();
+
+  EXPECT_EQ(session.AddScript(second), 0u);
+  EXPECT_FALSE(session.quota_status().ok());
+  SessionUsage usage_after = session.Usage();
+  EXPECT_EQ(usage_after.statements, usage_before.statements);
+  EXPECT_EQ(usage_after.ingested_bytes, usage_before.ingested_bytes);
+  EXPECT_EQ(usage_after.interner_names, usage_before.interner_names);
+  EXPECT_EQ(before, Serialize(session.Snapshot()));
+
+  EXPECT_EQ(session.AddScript(second), 0u);  // sticky: the retry is refused too
+  EXPECT_EQ(usage_before.statements, session.statement_count());
+}
+
+TEST(ParallelIngestTest, HandlerResetRecoversFromQuotaExhaustion) {
+  // Tenant-facing recovery: a sharded session that exhausts max_statements
+  // refuses further checks with quota_exceeded until `reset` replaces it with
+  // a fresh session, after which the same request succeeds.
+  SqlCheckOptions base = WithIngestThreads(4);
+  base.limits.max_statements = 100;
+  server::SessionHandler handler{base};
+
+  std::string big;
+  for (int i = 0; i < 161; ++i) {
+    big += "SELECT col" + std::to_string(i) + " FROM tbl" + std::to_string(i) + "; ";
+  }
+  std::string filler = handler.HandleLine("{\"op\": \"check\", \"sql\": \"" + big + "\"}");
+  EXPECT_NE(filler.find("\"op\": \"check\""), std::string::npos);
+
+  const std::string probe = R"({"op": "check", "sql": "SELECT 1;"})";
+  std::string refused = handler.HandleLine(probe);
+  EXPECT_NE(refused.find("\"code\": \"quota_exceeded\""), std::string::npos);
+  EXPECT_EQ(handler.HandleLine(probe), refused);  // sticky until reset
+
+  EXPECT_EQ(handler.HandleLine(R"({"op": "reset"})"), "{\"op\": \"reset\", \"ok\": true}\n");
+  std::string recovered = handler.HandleLine(probe);
+  EXPECT_EQ(recovered.find("\"code\": \"quota_exceeded\""), std::string::npos);
+  EXPECT_NE(recovered.find("\"op\": \"check\""), std::string::npos);
 }
 
 TEST(ParallelIngestTest, UsageAccountsAdoptedArenas) {

@@ -46,6 +46,24 @@ options:
                               sessions and merges back byte-identically
                               (0 = all hardware threads, default 1 — size it
                               against --workers, see docs/OPERATIONS.md)
+  --request-deadline-ms <N>   per-request deadline: queued requests past it
+                              answer `deadline_exceeded` without running, a
+                              running check stops between statements, 0 = off
+                              (default: 0)
+  --max-queue-depth <N>       load shedding: requests queued across all
+                              connections before new lines are refused with a
+                              retryable `overloaded` error, 0 = off
+                              (default: 0)
+  --write-buffer-bytes <N>    per-connection response backlog before the
+                              server stops reading that socket
+                              (default: 8388608)
+  --write-stall-ms <N>        disconnect a client whose backlog makes no
+                              write progress this long, 0 = off (default: 0)
+  --statement-budget-ms <N>   wall-clock budget per statement; an exceeder
+                              still lands but its fingerprint is quarantined
+                              (repeats refused O(1)), 0 = off (default: 0)
+  --quarantine-cap <N>        quarantined-fingerprint LRU capacity
+                              (default: 256)
   --fixes                     include the fix verification fields on finding
                               lines
   --verify-exec <on|off|required>
@@ -77,6 +95,11 @@ void OnSignal(int) { g_stop = 1; }
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Belt (Server::Start also sets it) and suspenders: no disappearing client
+  // may ever take the daemon down with SIGPIPE — writes surface EPIPE and
+  // that connection alone is torn down silently.
+  std::signal(SIGPIPE, SIG_IGN);
+
   server::ServerOptions options;
   options.analysis.parallelism = 1;  // concurrency comes from sessions
 
@@ -140,6 +163,36 @@ int main(int argc, char** argv) {
         return UsageError("--interner-cap expects a count");
       }
       options.analysis.limits.interner_cap_names = number;
+    } else if (arg == "--request-deadline-ms") {
+      if (!value_of(&value) || !ParseSize(value, &number)) {
+        return UsageError("--request-deadline-ms expects milliseconds");
+      }
+      options.request_deadline_ms = static_cast<int>(number);
+    } else if (arg == "--max-queue-depth") {
+      if (!value_of(&value) || !ParseSize(value, &number)) {
+        return UsageError("--max-queue-depth expects a count");
+      }
+      options.max_queue_depth = number;
+    } else if (arg == "--write-buffer-bytes") {
+      if (!value_of(&value) || !ParseSize(value, &number) || number == 0) {
+        return UsageError("--write-buffer-bytes expects a positive byte count");
+      }
+      options.max_write_buffer_bytes = number;
+    } else if (arg == "--write-stall-ms") {
+      if (!value_of(&value) || !ParseSize(value, &number)) {
+        return UsageError("--write-stall-ms expects milliseconds");
+      }
+      options.write_stall_ms = static_cast<int>(number);
+    } else if (arg == "--statement-budget-ms") {
+      if (!value_of(&value) || !ParseSize(value, &number)) {
+        return UsageError("--statement-budget-ms expects milliseconds");
+      }
+      options.analysis.statement_budget_ms = static_cast<int>(number);
+    } else if (arg == "--quarantine-cap") {
+      if (!value_of(&value) || !ParseSize(value, &number)) {
+        return UsageError("--quarantine-cap expects a count");
+      }
+      options.analysis.quarantine_capacity = number;
     } else if (arg == "--ingest-threads") {
       if (!value_of(&value) || !ParseSize(value, &number) || number > 1024) {
         return UsageError("--ingest-threads expects a thread count");
@@ -198,12 +251,16 @@ int main(int argc, char** argv) {
   const server::ServerGauges& g = srv.gauges();
   std::fprintf(stderr,
                "sqlcheck-server: shutdown (accepted=%llu rejected=%llu "
-               "evicted=%llu requests=%llu bytes_in=%llu bytes_out=%llu)\n",
+               "evicted=%llu requests=%llu bytes_in=%llu bytes_out=%llu "
+               "shed=%llu deadlines=%llu slow_clients=%llu)\n",
                static_cast<unsigned long long>(g.connections_accepted.load()),
                static_cast<unsigned long long>(g.connections_rejected.load()),
                static_cast<unsigned long long>(g.evictions.load()),
                static_cast<unsigned long long>(g.requests.load()),
                static_cast<unsigned long long>(g.bytes_in.load()),
-               static_cast<unsigned long long>(g.bytes_out.load()));
+               static_cast<unsigned long long>(g.bytes_out.load()),
+               static_cast<unsigned long long>(g.requests_shed.load()),
+               static_cast<unsigned long long>(g.deadlines_expired.load()),
+               static_cast<unsigned long long>(g.slow_client_disconnects.load()));
   return 0;
 }
