@@ -1,0 +1,100 @@
+#include "common/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/failpoint.h"
+
+namespace sqlcheck {
+
+namespace {
+
+Status Errno(const char* what, const std::string& path) {
+  return Status::Error(std::string(what) + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    empty_ok_ = std::exchange(other.empty_ok_, false);
+  }
+  return *this;
+}
+
+Status MappedFile::Open(const std::string& path) {
+  Reset();
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Errno("cannot open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status s = Errno("cannot stat", path);
+    ::close(fd);
+    return s;
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::Error("not a regular file: '" + path + "'");
+  }
+  Status s = OpenFd(fd, static_cast<size_t>(st.st_size));
+  ::close(fd);  // The mapping keeps the pages alive without the descriptor.
+  return s;
+}
+
+Status MappedFile::OpenFd(int fd, size_t length) {
+  Reset();
+  if (length == 0) {
+    empty_ok_ = true;
+    return Status::Ok();
+  }
+  if (SQLCHECK_FAILPOINT("store_map")) {
+    return Status::Error("mmap failed (injected store_map fault)");
+  }
+  void* addr = ::mmap(nullptr, length, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (addr == MAP_FAILED) {
+    return Status::Error(std::string("mmap failed: ") + std::strerror(errno));
+  }
+  data_ = static_cast<const char*>(addr);
+  size_ = length;
+  return Status::Ok();
+}
+
+void MappedFile::Reset() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+  empty_ok_ = false;
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  out->clear();
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Errno("cannot open", path);
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status s = Errno("cannot read", path);
+      ::close(fd);
+      return s;
+    }
+    if (n == 0) break;
+    out->append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+}  // namespace sqlcheck

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace sqlcheck {
+
+/// \brief RAII read-only memory mapping of a file. The mapping reflects the
+/// file's size at Open() time; bytes appended to the file afterwards are not
+/// visible through it (and do not invalidate it — growing a file never moves
+/// the pages already mapped). Zero-length files map to an empty view without
+/// touching mmap, so every regular file is mappable.
+///
+/// Used by the corpus scanner (scanned sources are read zero-copy) and the
+/// persistent fingerprint store (the committed log is probed in place).
+/// Failure seams thread the `store_map` failpoint so chaos tests can force
+/// the degraded paths.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile() { Reset(); }
+
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. On failure the object stays empty.
+  Status Open(const std::string& path);
+
+  /// Maps the first `length` bytes of an already-open descriptor (the store's
+  /// committed prefix). Does not take ownership of `fd`.
+  Status OpenFd(int fd, size_t length);
+
+  /// Unmaps; the object becomes empty.
+  void Reset();
+
+  bool mapped() const { return data_ != nullptr || empty_ok_; }
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  std::string_view view() const { return std::string_view(data_, size_); }
+
+ private:
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+  bool empty_ok_ = false;  ///< Open() succeeded on a zero-length file.
+};
+
+/// \brief Reads a whole file into `out` (for small control files and the
+/// scanner's fallback when a mapping fails). Returns non-OK on I/O error.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+}  // namespace sqlcheck

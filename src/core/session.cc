@@ -238,6 +238,7 @@ size_t AnalysisSession::AddScript(std::string_view script) {
   if (!GateAppend(script.size())) return 0;
   const size_t first = context_.statements_.size();
   const int requested = ThreadPool::ResolveParallelism(options_.ingest_parallelism);
+  last_ingest_shards_ = 1;  // Updated below if a sharded path runs.
 
   if (!HardenedAppend()) {
     // The historical bulk path, untouched: no deadline, no budget, empty
@@ -253,6 +254,7 @@ size_t AnalysisSession::AddScript(std::string_view script) {
       const int shards = static_cast<int>(std::min<size_t>(
           static_cast<size_t>(requested), pieces.size() / kMinStatementsPerIngestShard));
       if (shards > 1) {
+        last_ingest_shards_ = shards;
         ParallelIngest(pieces, shards);
         TrimScratch();
         return context_.statements_.size() - first;
@@ -316,6 +318,7 @@ size_t AnalysisSession::AddScript(std::string_view script) {
     const int shards = static_cast<int>(std::min<size_t>(
         static_cast<size_t>(requested), kept.size() / kMinStatementsPerIngestShard));
     if (shards > 1) {
+      last_ingest_shards_ = shards;
       ParallelIngest(kept, shards);
       TrimScratch();
       return context_.statements_.size() - first;

@@ -233,6 +233,13 @@ class AnalysisSession {
     return faults_recovered_.load(std::memory_order_relaxed);
   }
 
+  /// Shard count the most recent AddScript actually ran with: 1 for serial
+  /// ingestion (including small-script fallback), otherwise the resolved
+  /// count after the auto clamp (ingest_parallelism <= 0 → hardware threads,
+  /// never more) and the per-shard statement floor. Lets callers and tests
+  /// observe that auto mode never oversubscribes the machine.
+  int last_ingest_shards() const { return last_ingest_shards_; }
+
   /// Failure entries one append call records before capping (see
   /// recent_failures()).
   static constexpr size_t kMaxRecordedFailures = 64;
@@ -401,6 +408,7 @@ class AnalysisSession {
   uint64_t statements_quarantined_ = 0;
   uint64_t quarantine_refusals_ = 0;
   std::atomic<uint64_t> faults_recovered_{0};
+  int last_ingest_shards_ = 1;  ///< See last_ingest_shards().
   /// Guards failures_/quarantine_ mutation from analysis pool workers; the
   /// single-threaded probe/read paths run while no append is in flight.
   std::mutex failures_mu_;

@@ -1,0 +1,251 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/mmap_file.h"
+#include "common/status.h"
+
+namespace sqlcheck {
+class RuleRegistry;
+}
+
+namespace sqlcheck::persist {
+
+/// \brief One serialized finding: everything the scan report and a detailed
+/// listing need, minus the fields that are rebased per occurrence (the raw
+/// statement text and parse-tree pointer). Stored findings are a pure
+/// function of the exact-canonical fingerprint — the same contract the
+/// in-memory dedup cache relies on (rules derive detections from facts, never
+/// from raw text outside Detection::query) — which is what makes replaying
+/// them for every later occurrence sound.
+struct StoredFinding {
+  uint8_t type = 0;       ///< AntiPattern, numeric.
+  uint8_t source = 0;     ///< DetectionSource, numeric.
+  bool has_query = false; ///< Detection::query was non-empty: rebase it onto
+                          ///< each occurrence's raw text when replaying.
+  double score = 0.0;     ///< Ranking impact score (bit-exact round trip).
+  std::string table;
+  std::string column;
+  std::string message;
+
+  bool operator==(const StoredFinding& other) const {
+    return type == other.type && source == other.source &&
+           has_query == other.has_query && score == other.score &&
+           table == other.table && column == other.column &&
+           message == other.message;
+  }
+};
+
+/// \brief The aggregate-relevant slice of a finding. The corpus report is
+/// pure aggregates (rule occurrence counts, severity histogram), so the hot
+/// replay path decodes only these two fields and never materializes the
+/// table/column/message strings.
+struct FindingStat {
+  uint8_t type = 0;
+  double score = 0.0;
+};
+
+/// \brief One statement of a file-manifest record: both fingerprints plus
+/// the byte offset of the statement record that carries its findings.
+struct StmtRef {
+  uint64_t exact = 0;
+  uint64_t tmpl = 0;
+  uint64_t offset = 0;
+};
+
+/// \brief Open-lifetime counters and identity of one store. `warning` is
+/// non-empty when the open degraded (corruption, version/rule-set mismatch,
+/// lock contention) — the scan surfaces it and continues cold.
+struct StoreStats {
+  uint64_t entries = 0;        ///< Statement entries probeable now.
+  uint64_t file_entries = 0;   ///< File-manifest entries (committed + staged).
+  uint64_t bytes = 0;          ///< Committed file bytes at open.
+  uint64_t generation = 0;     ///< Bumped every rebuild/compaction.
+  uint64_t hits = 0;           ///< Statement probe hits since open.
+  uint64_t misses = 0;         ///< Statement probe misses since open.
+  uint64_t file_hits = 0;      ///< File-manifest probe hits since open.
+  uint64_t file_misses = 0;    ///< File-manifest probe misses since open.
+  uint64_t appended = 0;       ///< Statement entries appended since open.
+  uint64_t appended_files = 0; ///< File entries appended since open.
+  bool degraded = false;       ///< Open could not use the existing contents.
+  std::string warning;         ///< Human-readable degradation reason ("" = clean).
+};
+
+/// \brief The persistent memo behind `sqlcheck scan`: a single-file, mmap'd,
+/// checksummed append log holding two record kinds.
+///
+/// *Statement records* map an exact-canonical statement (text + 64-bit
+/// fingerprint) to its serialized findings — the unit of analysis
+/// memoization. Probes compare the stored canonical text, not just the hash,
+/// so a fingerprint collision can never splice one statement's findings onto
+/// another.
+///
+/// *File-manifest records* map a corpus file — keyed by root-relative path,
+/// byte size, and mtime (nanoseconds) — to the ordered list of its
+/// statements' fingerprints and statement-record offsets. A warm scan that
+/// sees an unchanged (path, size, mtime) triple replays the file's entire
+/// contribution without even opening the file; any mismatch (or any
+/// unresolvable offset) falls back to reading and splitting the file, where
+/// statement-level memoization still applies. The (size, mtime) key is the
+/// standard build-cache freshness check (ccache and friends): a same-size
+/// in-place edit inside one mtime tick is the documented blind spot.
+///
+/// Layout: a 64-byte header (magic, format version, rule-set hash,
+/// generation, committed statement count, committed log end, checksum)
+/// followed by records, each with a trailing FNV checksum. Appends are
+/// staged in memory; Commit() (and Close()) write them with one bulk
+/// write(2) past the committed end, fsync, and only then publish a new
+/// header — a crash at any point leaves the previous header pointing at the
+/// old, fully-valid prefix, and the torn tail is truncated on the next open.
+///
+/// Validity is keyed by (format version, rule-set hash): if either differs
+/// at open the contents are discarded and the generation bumped — stored
+/// findings are only meaningful under the rule set that produced them. A
+/// file that does not carry the magic at all is never touched (the store
+/// refuses to clobber what it did not write). Writers take a non-blocking
+/// exclusive flock; on contention the open degrades to "disabled" and the
+/// scan runs cold — two scans never interleave appends.
+class FingerprintStore {
+ public:
+  /// Append/offset sentinel: no record lives at byte 0 (the header does).
+  static constexpr uint64_t kNoOffset = 0;
+
+  FingerprintStore() = default;
+  ~FingerprintStore() { Close(); }
+  FingerprintStore(const FingerprintStore&) = delete;
+  FingerprintStore& operator=(const FingerprintStore&) = delete;
+
+  /// Opens (creating if absent) for a scan under `ruleset_hash`. Returns
+  /// non-OK only for hard errors (unwritable path); every recoverable problem
+  /// degrades instead: the store comes back either usable-and-empty (rebuilt,
+  /// `stats().warning` says why) or unusable (`usable()` false — foreign file
+  /// or lock contention) and the caller scans cold.
+  Status Open(const std::string& path, uint64_t ruleset_hash);
+
+  /// True when probes/appends are live. False before Open, after Close, or
+  /// when Open refused the file (not ours / locked by another scan).
+  bool usable() const { return fd_ >= 0; }
+
+  /// Looks up an exact-canonical statement. On hit fills `out` (may be an
+  /// empty list — "analyzed, clean" is cached too) and returns true.
+  /// Thread-safe against concurrent Probe*/Resolve* calls (the scan workers
+  /// share one read-only store); Append*/Commit/Close must not overlap them.
+  bool Probe(std::string_view canonical, uint64_t fingerprint,
+             std::vector<StoredFinding>* out);
+
+  /// Aggregates-only probe for the scan hot path: fills the (type, score)
+  /// stats without materializing finding strings, and reports the serving
+  /// record's template fingerprint and byte offset (for file manifests).
+  bool ProbeStats(std::string_view canonical, uint64_t fingerprint,
+                  std::vector<FindingStat>* out, uint64_t* template_fingerprint,
+                  uint64_t* offset);
+
+  /// Looks up a file manifest by its freshness key. On hit copies the
+  /// statement references into `out` and returns true.
+  bool ProbeFile(std::string_view rel_path, uint64_t size, uint64_t mtime_ns,
+                 std::vector<StmtRef>* out);
+
+  /// Decodes the finding stats of the committed statement record at `offset`,
+  /// verifying its checksum and that its fingerprint matches `fingerprint`.
+  /// Returns false on any mismatch — callers fall back to re-reading the
+  /// file. `template_fingerprint` (optional) receives the record's template
+  /// fingerprint.
+  bool ResolveStats(uint64_t offset, uint64_t fingerprint,
+                    std::vector<FindingStat>* out,
+                    uint64_t* template_fingerprint) const;
+
+  /// Stages one statement entry and returns its future byte offset. If the
+  /// fingerprint+canonical is already present (committed or staged) returns
+  /// the existing record's offset instead — first write wins. Returns
+  /// kNoOffset when the store is unusable or the log is frozen by an earlier
+  /// failure.
+  uint64_t Append(std::string_view canonical, uint64_t fingerprint,
+                  uint64_t template_fingerprint,
+                  const std::vector<StoredFinding>& findings);
+
+  /// Stages one file-manifest entry. The referenced statement offsets may be
+  /// offsets returned by Append in this same session — Commit publishes both
+  /// atomically.
+  bool AppendFile(std::string_view rel_path, uint64_t size, uint64_t mtime_ns,
+                  const std::vector<StmtRef>& stmts);
+
+  /// Publishes staged records: one bulk write past the committed end, fsync,
+  /// rewrite the header, fsync. Idempotent.
+  Status Commit();
+
+  /// Commit + unlock + unmap. Idempotent.
+  void Close();
+
+  /// Snapshot of the counters (hit/miss tallies fold in the atomics).
+  StoreStats stats() const;
+
+  /// Walks `path` validating the header, every record checksum, and every
+  /// file-manifest statement reference. `summary` (optional) receives a
+  /// one-line human-readable report. Non-OK on any invalid byte.
+  static Status Verify(const std::string& path, std::string* summary);
+
+  /// Rewrites `path` keeping the first statement record per
+  /// fingerprint+canonical and the last file manifest per path, remapping
+  /// manifest offsets onto the compacted layout, dropping any uncommitted
+  /// tail, under a bumped generation. The rewrite goes through a temp file +
+  /// rename, so a crash mid-compaction leaves the original intact. A store
+  /// invalidated by `ruleset_hash` compacts to empty.
+  static Status Compact(const std::string& path, uint64_t ruleset_hash,
+                        std::string* summary);
+
+  /// FNV-1a over the registry's rule slugs (registration order) and the
+  /// format version: the key that ties stored findings to the rule set that
+  /// produced them. Disabling a rule changes the hash, so a store can never
+  /// replay findings a different rule set would not produce.
+  static uint64_t RulesetHash(const RuleRegistry& registry);
+
+ private:
+  struct AppendedEntry {
+    std::string canonical;
+    std::vector<StoredFinding> findings;
+    uint64_t offset = 0;
+    uint64_t tmpl = 0;
+  };
+  struct FileEntry {
+    uint64_t size = 0;
+    uint64_t mtime_ns = 0;
+    std::vector<StmtRef> stmts;
+  };
+
+  Status OpenLocked(uint64_t ruleset_hash);
+  void Rebuild(uint64_t generation, std::string warning);
+  bool LoadIndex(uint64_t log_end);
+  bool WriteHeader(uint64_t entry_count, uint64_t log_end);
+  void MarkUnusable(std::string warning);
+
+  int fd_ = -1;
+  MappedFile map_;                 ///< Committed region at open.
+  uint64_t ruleset_hash_ = 0;
+  uint64_t log_end_ = 0;           ///< Committed bytes (header included).
+  uint64_t pending_end_ = 0;       ///< log_end_ + staged append bytes.
+  uint64_t committed_entries_ = 0;
+  uint64_t uncommitted_entries_ = 0;  ///< Statement entries staged, unpublished.
+  std::string pending_buf_;        ///< Staged records, flushed at Commit.
+  bool append_broken_ = false;     ///< A failed append/flush froze the log.
+  StoreStats stats_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> file_hits_{0};
+  std::atomic<uint64_t> file_misses_{0};
+  /// fingerprint → byte offsets of committed statement records (collision
+  /// chains kept; probes compare canonical text). Records appended this
+  /// session index into `appended_` instead so the mapping never grows.
+  std::unordered_map<uint64_t, std::vector<uint64_t>> index_;
+  std::unordered_map<uint64_t, std::vector<AppendedEntry>> appended_;
+  /// Committed file manifests, root-relative path → freshness key + refs.
+  /// Later records for one path supersede earlier ones (last write wins).
+  std::unordered_map<std::string, FileEntry> file_index_;
+};
+
+}  // namespace sqlcheck::persist

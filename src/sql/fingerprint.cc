@@ -432,4 +432,12 @@ uint64_t FingerprintSql(std::string_view sql, const FingerprintOptions& options)
   return FingerprintCanonical(CanonicalizeSql(sql, options));
 }
 
+ScanFingerprints FingerprintForScan(std::string_view sql, std::string* exact_canonical) {
+  *exact_canonical = CanonicalizeSql(sql, FingerprintOptions::Exact());
+  ScanFingerprints fp;
+  fp.exact = FingerprintCanonical(*exact_canonical);
+  fp.tmpl = FingerprintSql(*exact_canonical, FingerprintOptions::Template());
+  return fp;
+}
+
 }  // namespace sqlcheck::sql

@@ -58,4 +58,20 @@ uint64_t FingerprintTokens(const std::vector<Token>& tokens,
 /// \brief Fingerprint of a SQL statement under `options`.
 uint64_t FingerprintSql(std::string_view sql, const FingerprintOptions& options = {});
 
+/// \brief Both fingerprints the corpus scanner keys on, from one raw pass.
+struct ScanFingerprints {
+  uint64_t exact = 0;     ///< FingerprintSql(sql, Exact()) — the store key.
+  uint64_t tmpl = 0;      ///< FingerprintSql(sql, Template()) — statistics.
+};
+
+/// \brief Computes the exact-canonical form (returned via `exact_canonical`)
+/// and both fingerprints with a single canonicalization of the raw text: the
+/// template fingerprint is derived by re-canonicalizing the exact form, which
+/// is comment- and whitespace-free and therefore cheaper to walk than the
+/// original. Correct because canonicalization is stable on its own output —
+/// re-lexing an Exact() rendering yields the same token stream, so
+/// Template(Exact(sql)) == Template(sql) (locked in by
+/// ScanFingerprintsTest.TemplateOfExactMatchesTemplateOfRaw).
+ScanFingerprints FingerprintForScan(std::string_view sql, std::string* exact_canonical);
+
 }  // namespace sqlcheck::sql

@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/session.h"
 #include "core/sqlcheck.h"
 #include "server/handler.h"
@@ -136,6 +138,37 @@ TEST(ParallelIngestTest, Table3CorpusIdentical) {
   for (int threads : {2, 8}) {
     ExpectShardedMatchesSerial(script, SqlCheckOptions{}, threads);
   }
+}
+
+TEST(ParallelIngestTest, AutoParallelismClampsToHardware) {
+  // ingest_parallelism <= 0 means auto: resolve to the hardware thread
+  // count, never more — shards past the physical threads only contend.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int resolved = ThreadPool::ResolveParallelism(0);
+  ASSERT_GE(resolved, 1);
+  if (hw != 0) EXPECT_EQ(resolved, static_cast<int>(hw));
+
+  // A script whose per-shard floor would allow far more shards than any
+  // machine has threads: auto mode must still clamp to the thread count.
+  const std::string script = AdversarialScript(128);
+  std::vector<std::string_view> pieces = sql::SplitStatements(script);
+  ASSERT_GT(pieces.size() / AnalysisSession::kMinStatementsPerIngestShard,
+            static_cast<size_t>(resolved) + 2);
+
+  AnalysisSession auto_session(WithIngestThreads(0));
+  auto_session.AddScript(script);
+  EXPECT_GE(auto_session.last_ingest_shards(), 1);
+  EXPECT_LE(auto_session.last_ingest_shards(), resolved);
+  if (resolved > 1) EXPECT_EQ(auto_session.last_ingest_shards(), resolved);
+
+  // Explicit positive values are honored literally, above the clamp or not.
+  AnalysisSession explicit_session(WithIngestThreads(resolved + 2));
+  explicit_session.AddScript(script);
+  EXPECT_EQ(explicit_session.last_ingest_shards(), resolved + 2);
+
+  // Auto mode is still byte-identical to serial — the clamp changes the
+  // schedule, never the report.
+  ExpectShardedMatchesSerial(script, SqlCheckOptions{}, 0);
 }
 
 TEST(ParallelIngestTest, SmallScriptFallsBackToSerial) {

@@ -1,0 +1,453 @@
+// Persistent fingerprint store (persist/fingerprint_store.h): round trips,
+// collision safety, every corruption class the open path must absorb
+// (foreign file, truncation, flipped bytes, version/rule-set mismatch, torn
+// commits via the store_* failpoints), writer locking, and the offline
+// Verify/Compact tools. The store's failure contract is the point: every
+// recoverable problem degrades to a cold scan with a warning — never a
+// crash, never a wrong probe answer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <stdlib.h>
+#include <unistd.h>
+
+#include "common/failpoint.h"
+#include "persist/fingerprint_store.h"
+#include "rules/registry.h"
+
+namespace sqlcheck::persist {
+namespace {
+
+class PersistTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FailpointRegistry::Instance().DisarmAll();
+    char tmpl[] = "/tmp/sqlcheck_persist_XXXXXX";
+    char* dir = mkdtemp(tmpl);
+    ASSERT_NE(dir, nullptr);
+    dir_ = dir;
+    path_ = dir_ + "/fp.store";
+  }
+  void TearDown() override {
+    FailpointRegistry::Instance().DisarmAll();
+    std::remove(path_.c_str());
+    ::rmdir(dir_.c_str());
+  }
+
+  /// Reads the store file's raw bytes.
+  std::string ReadRaw() {
+    std::ifstream in(path_, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  /// Flips one byte of the store file in place (size and mtime unchanged
+  /// beyond the write itself — this is the "bit rot" corruption class).
+  void FlipByte(size_t at) {
+    std::string raw = ReadRaw();
+    ASSERT_LT(at, raw.size());
+    raw[at] = static_cast<char>(raw[at] ^ 0xFF);
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(raw.data(), static_cast<std::streamsize>(raw.size()));
+  }
+
+  void Truncate(size_t to) {
+    ASSERT_EQ(::truncate(path_.c_str(), static_cast<off_t>(to)), 0);
+  }
+
+  static StoredFinding MakeFinding(uint8_t type, double score,
+                                   const std::string& message) {
+    StoredFinding f;
+    f.type = type;
+    f.source = 1;
+    f.has_query = true;
+    f.score = score;
+    f.table = "users";
+    f.column = "tag_ids";
+    f.message = message;
+    return f;
+  }
+
+  static constexpr uint64_t kHash = 0xfeedface12345678ull;
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_F(PersistTest, RoundTripStatementsAndManifest) {
+  std::vector<StoredFinding> findings = {MakeFinding(3, 0.75, "csv list"),
+                                         MakeFinding(7, 0.25, "implicit cols")};
+  uint64_t off_a = 0, off_b = 0;
+  {
+    FingerprintStore store;
+    ASSERT_TRUE(store.Open(path_, kHash).ok());
+    ASSERT_TRUE(store.usable());
+    off_a = store.Append("SELECT * FROM users", 0x1111, 0xaaaa, findings);
+    ASSERT_NE(off_a, FingerprintStore::kNoOffset);
+    // "Analyzed, found nothing" is cached too — an empty list is a hit.
+    off_b = store.Append("SELECT id FROM users", 0x2222, 0xbbbb, {});
+    ASSERT_NE(off_b, FingerprintStore::kNoOffset);
+    // Re-appending the same statement dedups to the existing record.
+    EXPECT_EQ(store.Append("SELECT * FROM users", 0x1111, 0xaaaa, findings), off_a);
+    std::vector<StmtRef> refs = {{0x1111, 0xaaaa, off_a}, {0x2222, 0xbbbb, off_b}};
+    EXPECT_TRUE(store.AppendFile("repo/queries.sql", 120, 99000111, refs));
+    EXPECT_EQ(store.stats().appended, 2u);
+    EXPECT_EQ(store.stats().appended_files, 1u);
+    store.Close();
+  }
+  {
+    FingerprintStore store;
+    ASSERT_TRUE(store.Open(path_, kHash).ok());
+    ASSERT_TRUE(store.usable());
+    EXPECT_TRUE(store.stats().warning.empty());
+    EXPECT_EQ(store.stats().entries, 2u);
+    EXPECT_EQ(store.stats().file_entries, 1u);
+
+    std::vector<StoredFinding> got;
+    ASSERT_TRUE(store.Probe("SELECT * FROM users", 0x1111, &got));
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0], findings[0]);
+    EXPECT_EQ(got[1], findings[1]);
+    ASSERT_TRUE(store.Probe("SELECT id FROM users", 0x2222, &got));
+    EXPECT_TRUE(got.empty());
+    EXPECT_FALSE(store.Probe("SELECT nope", 0x3333, &got));
+
+    std::vector<FindingStat> stats;
+    uint64_t tmpl = 0, off = 0;
+    ASSERT_TRUE(store.ProbeStats("SELECT * FROM users", 0x1111, &stats, &tmpl, &off));
+    ASSERT_EQ(stats.size(), 2u);
+    EXPECT_EQ(stats[0].type, 3);
+    EXPECT_DOUBLE_EQ(stats[0].score, 0.75);
+    EXPECT_EQ(tmpl, 0xaaaaull);
+    EXPECT_EQ(off, off_a);
+
+    std::vector<StmtRef> refs;
+    ASSERT_TRUE(store.ProbeFile("repo/queries.sql", 120, 99000111, &refs));
+    ASSERT_EQ(refs.size(), 2u);
+    EXPECT_EQ(refs[0].offset, off_a);
+    EXPECT_EQ(refs[1].offset, off_b);
+    // Any freshness-key mismatch is a miss — the warm scan re-reads the file.
+    EXPECT_FALSE(store.ProbeFile("repo/queries.sql", 121, 99000111, &refs));
+    EXPECT_FALSE(store.ProbeFile("repo/queries.sql", 120, 99000112, &refs));
+
+    stats.clear();
+    ASSERT_TRUE(store.ResolveStats(off_a, 0x1111, &stats, &tmpl));
+    EXPECT_EQ(stats.size(), 2u);
+    EXPECT_FALSE(store.ResolveStats(off_a, 0x9999, &stats, &tmpl));  // fp mismatch
+    EXPECT_FALSE(store.ResolveStats(off_a + 1, 0x1111, &stats, &tmpl));
+    store.Close();
+  }
+}
+
+TEST_F(PersistTest, FingerprintCollisionNeverSplicesFindings) {
+  // Two different canonicals under one fingerprint: the probe must compare
+  // text, so each canonical gets its own findings back.
+  std::vector<StoredFinding> fa = {MakeFinding(1, 0.5, "a")};
+  std::vector<StoredFinding> fb = {MakeFinding(2, 0.9, "b")};
+  FingerprintStore store;
+  ASSERT_TRUE(store.Open(path_, kHash).ok());
+  uint64_t off_a = store.Append("SELECT a", 0x42, 0x1, fa);
+  uint64_t off_b = store.Append("SELECT b", 0x42, 0x2, fb);
+  ASSERT_NE(off_a, FingerprintStore::kNoOffset);
+  ASSERT_NE(off_b, FingerprintStore::kNoOffset);
+  ASSERT_NE(off_a, off_b);
+  store.Close();
+
+  ASSERT_TRUE(store.Open(path_, kHash).ok());
+  std::vector<StoredFinding> got;
+  ASSERT_TRUE(store.Probe("SELECT a", 0x42, &got));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].message, "a");
+  ASSERT_TRUE(store.Probe("SELECT b", 0x42, &got));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].message, "b");
+  EXPECT_FALSE(store.Probe("SELECT c", 0x42, &got));
+  store.Close();
+}
+
+TEST_F(PersistTest, RulesetMismatchInvalidatesAndBumpsGeneration) {
+  {
+    FingerprintStore store;
+    ASSERT_TRUE(store.Open(path_, kHash).ok());
+    store.Append("SELECT 1", 0x1, 0x1, {});
+    store.Close();
+  }
+  FingerprintStore store;
+  ASSERT_TRUE(store.Open(path_, kHash + 1).ok());
+  EXPECT_TRUE(store.usable());  // Rebuilt, not refused: the scan stays warm-capable.
+  EXPECT_TRUE(store.stats().degraded);
+  EXPECT_NE(store.stats().warning.find("rule-set"), std::string::npos);
+  EXPECT_EQ(store.stats().entries, 0u);
+  EXPECT_EQ(store.stats().generation, 2u);
+  std::vector<StoredFinding> got;
+  EXPECT_FALSE(store.Probe("SELECT 1", 0x1, &got));
+  store.Close();
+}
+
+TEST_F(PersistTest, ForeignFileIsNeverClobbered) {
+  const std::string original = "-- just a SQL script, not a store\nSELECT 1;\n";
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << original;
+  }
+  FingerprintStore store;
+  ASSERT_TRUE(store.Open(path_, kHash).ok());
+  EXPECT_FALSE(store.usable());
+  EXPECT_TRUE(store.stats().degraded);
+  EXPECT_EQ(store.Append("SELECT 1", 0x1, 0x1, {}), FingerprintStore::kNoOffset);
+  store.Close();
+  EXPECT_EQ(ReadRaw(), original);  // byte-identical: refused, not rebuilt
+}
+
+TEST_F(PersistTest, TruncationRebuildsCleanly) {
+  {
+    FingerprintStore store;
+    ASSERT_TRUE(store.Open(path_, kHash).ok());
+    store.Append("SELECT * FROM t", 0x7, 0x7, {MakeFinding(1, 0.5, "x")});
+    store.Close();
+  }
+  // Below the header (magic intact): rebuild.
+  Truncate(32);
+  {
+    FingerprintStore store;
+    ASSERT_TRUE(store.Open(path_, kHash).ok());
+    EXPECT_TRUE(store.usable());
+    EXPECT_TRUE(store.stats().degraded);
+    EXPECT_EQ(store.stats().entries, 0u);
+    // The rebuilt store accepts fresh work.
+    EXPECT_NE(store.Append("SELECT 2", 0x2, 0x2, {}), FingerprintStore::kNoOffset);
+    store.Close();
+  }
+  // Header claims more committed bytes than the file holds: rebuild.
+  std::string raw = ReadRaw();
+  Truncate(raw.size() - 5);
+  {
+    FingerprintStore store;
+    ASSERT_TRUE(store.Open(path_, kHash).ok());
+    EXPECT_TRUE(store.usable());
+    EXPECT_TRUE(store.stats().degraded);
+    EXPECT_EQ(store.stats().entries, 0u);
+    store.Close();
+  }
+}
+
+TEST_F(PersistTest, FlippedRecordByteRebuildsAndVerifyRejects) {
+  {
+    FingerprintStore store;
+    ASSERT_TRUE(store.Open(path_, kHash).ok());
+    store.Append("SELECT * FROM t", 0x7, 0x7, {MakeFinding(1, 0.5, "x")});
+    store.Close();
+  }
+  ASSERT_TRUE(FingerprintStore::Verify(path_, nullptr).ok());
+  FlipByte(64 + 20);  // inside the record body, past the 64-byte header
+  EXPECT_FALSE(FingerprintStore::Verify(path_, nullptr).ok());
+  FingerprintStore store;
+  ASSERT_TRUE(store.Open(path_, kHash).ok());
+  EXPECT_TRUE(store.usable());
+  EXPECT_TRUE(store.stats().degraded);
+  EXPECT_NE(store.stats().warning.find("corrupt"), std::string::npos);
+  EXPECT_EQ(store.stats().entries, 0u);
+  store.Close();
+  ASSERT_TRUE(FingerprintStore::Verify(path_, nullptr).ok());  // rebuilt clean
+}
+
+TEST_F(PersistTest, FlippedHeaderByteRebuilds) {
+  {
+    FingerprintStore store;
+    ASSERT_TRUE(store.Open(path_, kHash).ok());
+    store.Append("SELECT 1", 0x1, 0x1, {});
+    store.Close();
+  }
+  FlipByte(16);  // header field: checksum catches it
+  FingerprintStore store;
+  ASSERT_TRUE(store.Open(path_, kHash).ok());
+  EXPECT_TRUE(store.usable());
+  EXPECT_TRUE(store.stats().degraded);
+  EXPECT_EQ(store.stats().entries, 0u);
+  store.Close();
+}
+
+TEST_F(PersistTest, TornFlushKeepsCommittedPrefixWarm) {
+  uint64_t committed_bytes = 0;
+  {
+    FingerprintStore store;
+    ASSERT_TRUE(store.Open(path_, kHash).ok());
+    store.Append("SELECT old", 0x1, 0x1, {MakeFinding(1, 0.5, "old")});
+    ASSERT_TRUE(store.Commit().ok());
+    committed_bytes = store.stats().bytes;
+
+    // The flush of the second batch tears mid-write (store_append simulates
+    // half the bytes landing, then the device failing).
+    store.Append("SELECT new", 0x2, 0x2, {MakeFinding(2, 0.5, "new")});
+    ASSERT_TRUE(FailpointRegistry::Instance().Arm("store_append", "oneshot").ok());
+    EXPECT_FALSE(store.Commit().ok());
+    EXPECT_FALSE(store.stats().warning.empty());
+    // The log is frozen: later appends are refused, a retried commit is a
+    // no-op success (nothing pending — the failed batch was dropped).
+    EXPECT_EQ(store.Append("SELECT x", 0x3, 0x3, {}), FingerprintStore::kNoOffset);
+    EXPECT_TRUE(store.Commit().ok());
+    store.Close();
+  }
+  FingerprintStore store;
+  ASSERT_TRUE(store.Open(path_, kHash).ok());
+  ASSERT_TRUE(store.usable());
+  // The torn tail was truncated; the committed prefix survives warm.
+  EXPECT_NE(store.stats().warning.find("uncommitted"), std::string::npos);
+  EXPECT_EQ(store.stats().entries, 1u);
+  std::vector<StoredFinding> got;
+  EXPECT_TRUE(store.Probe("SELECT old", 0x1, &got));
+  EXPECT_FALSE(store.Probe("SELECT new", 0x2, &got));
+  store.Close();
+  EXPECT_TRUE(FingerprintStore::Verify(path_, nullptr).ok());
+}
+
+TEST_F(PersistTest, HeaderPublishFailureDropsTailOnReopen) {
+  {
+    FingerprintStore store;
+    ASSERT_TRUE(store.Open(path_, kHash).ok());
+    store.Append("SELECT old", 0x1, 0x1, {});
+    ASSERT_TRUE(store.Commit().ok());
+    store.Append("SELECT new", 0x2, 0x2, {});
+    // The bulk write lands, fsync succeeds, but the header publish fails:
+    // the bytes sit past the committed end as a torn tail.
+    ASSERT_TRUE(FailpointRegistry::Instance().Arm("store_commit", "oneshot").ok());
+    EXPECT_FALSE(store.Commit().ok());
+    store.Close();
+  }
+  FingerprintStore store;
+  ASSERT_TRUE(store.Open(path_, kHash).ok());
+  ASSERT_TRUE(store.usable());
+  EXPECT_NE(store.stats().warning.find("uncommitted"), std::string::npos);
+  EXPECT_EQ(store.stats().entries, 1u);
+  std::vector<StoredFinding> got;
+  EXPECT_TRUE(store.Probe("SELECT old", 0x1, &got));
+  EXPECT_FALSE(store.Probe("SELECT new", 0x2, &got));
+  store.Close();
+}
+
+TEST_F(PersistTest, OpenFailpointDegradesToCold) {
+  ASSERT_TRUE(FailpointRegistry::Instance().Arm("store_open", "oneshot").ok());
+  FingerprintStore store;
+  ASSERT_TRUE(store.Open(path_, kHash).ok());  // degrade, not error
+  EXPECT_FALSE(store.usable());
+  EXPECT_TRUE(store.stats().degraded);
+  EXPECT_EQ(store.Append("SELECT 1", 0x1, 0x1, {}), FingerprintStore::kNoOffset);
+  store.Close();
+}
+
+TEST_F(PersistTest, SecondWriterDegradesThenRecoversAfterClose) {
+  FingerprintStore first;
+  ASSERT_TRUE(first.Open(path_, kHash).ok());
+  ASSERT_TRUE(first.usable());
+  first.Append("SELECT 1", 0x1, 0x1, {});
+
+  FingerprintStore second;
+  ASSERT_TRUE(second.Open(path_, kHash).ok());
+  EXPECT_FALSE(second.usable());  // lock contention → cold scan, no waiting
+  EXPECT_NE(second.stats().warning.find("locked"), std::string::npos);
+
+  first.Close();
+  ASSERT_TRUE(second.Open(path_, kHash).ok());
+  EXPECT_TRUE(second.usable());
+  EXPECT_EQ(second.stats().entries, 1u);
+  second.Close();
+}
+
+TEST_F(PersistTest, AppendFileRejectsInvalidOffsets) {
+  FingerprintStore store;
+  ASSERT_TRUE(store.Open(path_, kHash).ok());
+  uint64_t off = store.Append("SELECT 1", 0x1, 0x1, {});
+  ASSERT_NE(off, FingerprintStore::kNoOffset);
+  // Offset 0 is the header; a forward reference past the staged end is
+  // equally meaningless. Both must be refused, not stored.
+  EXPECT_FALSE(store.AppendFile("a.sql", 1, 1, {{0x1, 0x1, 0}}));
+  EXPECT_FALSE(store.AppendFile("a.sql", 1, 1, {{0x1, 0x1, 1u << 20}}));
+  EXPECT_TRUE(store.AppendFile("a.sql", 1, 1, {{0x1, 0x1, off}}));
+  store.Close();
+  EXPECT_TRUE(FingerprintStore::Verify(path_, nullptr).ok());
+}
+
+TEST_F(PersistTest, CompactDropsSupersededManifestsAndRemapsOffsets) {
+  // Session 1: statement A + a manifest for queries.sql referencing it.
+  {
+    FingerprintStore store;
+    ASSERT_TRUE(store.Open(path_, kHash).ok());
+    uint64_t a = store.Append("SELECT a", 0xa, 0xa1, {MakeFinding(1, 0.5, "a")});
+    ASSERT_TRUE(store.AppendFile("repo/queries.sql", 10, 100, {{0xa, 0xa1, a}}));
+    store.Close();
+  }
+  // Session 2: the file grew — statement B lands and a fresh manifest
+  // supersedes the old one (last write wins).
+  {
+    FingerprintStore store;
+    ASSERT_TRUE(store.Open(path_, kHash).ok());
+    uint64_t b = store.Append("SELECT b", 0xb, 0xb1, {MakeFinding(2, 0.5, "b")});
+    std::vector<FindingStat> stats;
+    uint64_t tmpl = 0, a = 0;
+    ASSERT_TRUE(store.ProbeStats("SELECT a", 0xa, &stats, &tmpl, &a));
+    ASSERT_TRUE(store.AppendFile("repo/queries.sql", 20, 200,
+                                 {{0xa, 0xa1, a}, {0xb, 0xb1, b}}));
+    store.Close();
+  }
+  std::string summary;
+  ASSERT_TRUE(FingerprintStore::Verify(path_, &summary).ok());
+  EXPECT_NE(summary.find("files=2"), std::string::npos);
+
+  ASSERT_TRUE(FingerprintStore::Compact(path_, kHash, &summary).ok());
+  EXPECT_NE(summary.find("files=1"), std::string::npos);
+  ASSERT_TRUE(FingerprintStore::Verify(path_, nullptr).ok());
+
+  FingerprintStore store;
+  ASSERT_TRUE(store.Open(path_, kHash).ok());
+  EXPECT_EQ(store.stats().entries, 2u);
+  EXPECT_EQ(store.stats().file_entries, 1u);
+  EXPECT_GE(store.stats().generation, 2u);
+  // The surviving manifest is the newer one, with offsets remapped onto the
+  // compacted layout: every reference must still resolve.
+  std::vector<StmtRef> refs;
+  ASSERT_TRUE(store.ProbeFile("repo/queries.sql", 20, 200, &refs));
+  ASSERT_EQ(refs.size(), 2u);
+  for (const StmtRef& r : refs) {
+    std::vector<FindingStat> stats;
+    uint64_t tmpl = 0;
+    EXPECT_TRUE(store.ResolveStats(r.offset, r.exact, &stats, &tmpl));
+    EXPECT_EQ(stats.size(), 1u);
+  }
+  EXPECT_FALSE(store.ProbeFile("repo/queries.sql", 10, 100, &refs));
+  store.Close();
+}
+
+TEST_F(PersistTest, CompactUnderDifferentRulesetEmptiesTheStore) {
+  {
+    FingerprintStore store;
+    ASSERT_TRUE(store.Open(path_, kHash).ok());
+    store.Append("SELECT 1", 0x1, 0x1, {});
+    store.Close();
+  }
+  std::string summary;
+  ASSERT_TRUE(FingerprintStore::Compact(path_, kHash + 1, &summary).ok());
+  FingerprintStore store;
+  ASSERT_TRUE(store.Open(path_, kHash + 1).ok());
+  EXPECT_EQ(store.stats().entries, 0u);
+  store.Close();
+}
+
+TEST_F(PersistTest, RulesetHashTracksRegistryComposition) {
+  RuleRegistry all = RuleRegistry::Default();
+  EXPECT_NE(FingerprintStore::RulesetHash(all), 0u);
+  EXPECT_EQ(FingerprintStore::RulesetHash(all),
+            FingerprintStore::RulesetHash(RuleRegistry::Default()));
+  // Disabling a rule must change the key: a store written under the full
+  // rule set can never replay findings into a run that disabled one.
+  RuleRegistry partial = RuleRegistry::Default();
+  ASSERT_TRUE(partial.Disable({"Multi-Valued Attribute"}).ok());
+  ASSERT_LT(partial.size(), all.size());
+  EXPECT_NE(FingerprintStore::RulesetHash(all), FingerprintStore::RulesetHash(partial));
+}
+
+}  // namespace
+}  // namespace sqlcheck::persist

@@ -1,0 +1,306 @@
+// Corpus scanner (scan/scanner.h) end-to-end: the cold == warm ==
+// store-disabled report identity over a real directory tree, manifest
+// staleness and recovery, every store-degradation path (corruption, foreign
+// file, lock contention, injected open/commit faults) falling back to a cold
+// scan with the SAME report, and the auto job clamp. The scan's soundness
+// contract is that the store can only ever change how fast a report is
+// produced, never a byte of it.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <stdlib.h>
+
+#include "common/failpoint.h"
+#include "common/thread_pool.h"
+#include "persist/fingerprint_store.h"
+#include "rules/registry.h"
+#include "scan/scanner.h"
+#include "sql/fingerprint.h"
+
+namespace sqlcheck::scan {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ScanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FailpointRegistry::Instance().DisarmAll();
+    char tmpl[] = "/tmp/sqlcheck_scan_XXXXXX";
+    char* dir = mkdtemp(tmpl);
+    ASSERT_NE(dir, nullptr);
+    root_ = dir;
+    store_ = root_ + ".store";
+    WriteFile("alpha/queries.sql",
+              "SELECT * FROM users;\n"
+              "SELECT name FROM users WHERE tag_ids LIKE '%,7,%';\n"
+              "SELECT id, name FROM users WHERE id = 3;\n");
+    WriteFile("alpha/app.py",
+              "import db\n"
+              "def load(conn):\n"
+              "    return conn.execute(\"SELECT * FROM orders WHERE status = 'open'\")\n");
+    WriteFile("beta/queries.sql",
+              "SELECT * FROM users;\n"
+              "CREATE TABLE t (id INT, payload VARCHAR(10));\n");
+    // Dot-directories are skipped entirely — this file must never be scanned.
+    WriteFile(".hidden/secret.sql", "SELECT * FROM users;\n");
+  }
+  void TearDown() override {
+    FailpointRegistry::Instance().DisarmAll();
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+    fs::remove(store_, ec);
+  }
+
+  void WriteFile(const std::string& rel, const std::string& content) {
+    fs::path p = fs::path(root_) / rel;
+    std::error_code ec;
+    fs::create_directories(p.parent_path(), ec);
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out << content;
+    ASSERT_TRUE(out.good());
+  }
+
+  void AppendToFile(const std::string& rel, const std::string& content) {
+    std::ofstream out(fs::path(root_) / rel, std::ios::binary | std::ios::app);
+    out << content;
+    ASSERT_TRUE(out.good());
+  }
+
+  struct Run {
+    ScanReport report;
+    ScanSummary summary;
+    uint64_t digest = 0;
+    std::string text;
+  };
+
+  Run Scan(const std::string& store_path, int jobs = 0) {
+    ScanOptions options;
+    options.store_path = store_path;
+    options.jobs = jobs;
+    CorpusScanner scanner(options);
+    Result<ScanReport> result = scanner.Scan(root_);
+    EXPECT_TRUE(result.ok()) << result.message();
+    Run run;
+    if (result.ok()) {
+      run.report = std::move(result.value());
+      run.digest = DigestScanReport(run.report);
+      run.text = run.report.ToText() + run.report.ToJson();
+    }
+    run.summary = scanner.summary();
+    return run;
+  }
+
+  std::string root_;
+  std::string store_;
+};
+
+TEST_F(ScanTest, ColdWarmDisabledReportsAreIdentical) {
+  Run cold = Scan(store_);
+  EXPECT_EQ(cold.report.files, 3u);   // the dot-dir file is invisible
+  EXPECT_EQ(cold.report.repos, 2u);
+  EXPECT_GT(cold.report.statements, 0u);
+  EXPECT_GT(cold.report.findings, 0u);
+  EXPECT_EQ(cold.summary.store_reused, 0u);
+  EXPECT_GT(cold.summary.store.appended, 0u);
+  EXPECT_GT(cold.summary.store.appended_files, 0u);
+  EXPECT_TRUE(cold.summary.store.warning.empty()) << cold.summary.store.warning;
+
+  Run warm = Scan(store_);
+  // Fully warm: every file replays whole from its manifest — the scan never
+  // opens a file, so the statement tier sees zero traffic of either kind.
+  EXPECT_EQ(warm.summary.files_reused, warm.report.files);
+  EXPECT_EQ(warm.summary.analyzed, 0u);
+  EXPECT_EQ(warm.summary.store.misses, 0u);
+  EXPECT_EQ(warm.summary.store.file_misses, 0u);
+  EXPECT_GT(warm.summary.store_reused, 0u);
+
+  Run disabled = Scan("");
+  EXPECT_FALSE(disabled.summary.store_enabled);
+
+  EXPECT_EQ(cold.digest, warm.digest);
+  EXPECT_EQ(cold.digest, disabled.digest);
+  EXPECT_EQ(cold.text, warm.text);
+  EXPECT_EQ(cold.text, disabled.text);
+
+  std::string summary;
+  EXPECT_TRUE(persist::FingerprintStore::Verify(store_, &summary).ok()) << summary;
+}
+
+TEST_F(ScanTest, ChangedFileFallsBackToStatementTierThenRecovers) {
+  Run cold = Scan(store_);
+  // Growing the file changes its size, so its manifest goes stale; the other
+  // files' manifests stay live.
+  AppendToFile("beta/queries.sql", "DELETE FROM t WHERE id = 1;\n");
+
+  Run second = Scan(store_);
+  EXPECT_EQ(second.summary.files_reused, second.report.files - 1);
+  EXPECT_EQ(second.summary.store.file_misses, 1u);
+  // The changed file re-reads, but its unchanged statements still hit the
+  // statement tier; only the new statement is analyzed from scratch.
+  EXPECT_GT(second.summary.store.hits, 0u);
+  EXPECT_EQ(second.summary.analyzed, 1u);
+  EXPECT_EQ(second.report.statements, cold.report.statements + 1);
+  EXPECT_NE(second.digest, cold.digest);
+
+  // The rescan appended a fresh manifest: the next scan is fully warm again
+  // and reports byte-identically to the stale-fallback scan.
+  Run third = Scan(store_);
+  EXPECT_EQ(third.summary.files_reused, third.report.files);
+  EXPECT_EQ(third.summary.analyzed, 0u);
+  EXPECT_EQ(third.digest, second.digest);
+  EXPECT_EQ(third.text, second.text);
+}
+
+TEST_F(ScanTest, CorruptStoreDegradesToColdWithIdenticalReport) {
+  Run cold = Scan(store_);
+  {
+    // Flip a byte in the header: checksum mismatch, store rebuilt at open.
+    std::fstream f(store_, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(16);
+    char c = 0;
+    f.get(c);
+    f.seekp(16);
+    f.put(static_cast<char>(c ^ 0xFF));
+  }
+  Run degraded = Scan(store_);
+  EXPECT_TRUE(degraded.summary.store_enabled);
+  EXPECT_TRUE(degraded.summary.store.degraded);
+  EXPECT_FALSE(degraded.summary.store.warning.empty());
+  EXPECT_EQ(degraded.summary.store_reused, 0u);  // nothing survived to reuse
+  EXPECT_EQ(degraded.digest, cold.digest);
+  EXPECT_EQ(degraded.text, cold.text);
+
+  // The rebuild left a valid store: the next scan is warm again.
+  Run warm = Scan(store_);
+  EXPECT_EQ(warm.summary.files_reused, warm.report.files);
+  EXPECT_EQ(warm.digest, cold.digest);
+}
+
+TEST_F(ScanTest, ForeignFileAtStorePathIsLeftUntouched) {
+  const std::string original = "precious data that is not a store\n";
+  {
+    std::ofstream out(store_, std::ios::binary);
+    out << original;
+  }
+  Run run = Scan(store_);
+  EXPECT_TRUE(run.summary.store_enabled);
+  EXPECT_FALSE(run.summary.store.warning.empty());
+  EXPECT_EQ(run.summary.store_reused, 0u);
+  EXPECT_EQ(run.digest, Scan("").digest);
+
+  std::ifstream in(store_, std::ios::binary);
+  std::string raw((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_EQ(raw, original);
+}
+
+TEST_F(ScanTest, LockedStoreScansColdAndCorrectly) {
+  Run cold = Scan(store_);
+
+  const uint64_t hash =
+      persist::FingerprintStore::RulesetHash(RuleRegistry::Default());
+  persist::FingerprintStore holder;
+  ASSERT_TRUE(holder.Open(store_, hash).ok());
+  ASSERT_TRUE(holder.usable());
+
+  Run locked = Scan(store_);
+  EXPECT_TRUE(locked.summary.store_enabled);
+  EXPECT_NE(locked.summary.store.warning.find("locked"), std::string::npos)
+      << locked.summary.store.warning;
+  EXPECT_EQ(locked.summary.store_reused, 0u);
+  EXPECT_EQ(locked.digest, cold.digest);
+  EXPECT_EQ(locked.text, cold.text);
+
+  holder.Close();
+  Run warm = Scan(store_);
+  EXPECT_EQ(warm.summary.files_reused, warm.report.files);
+  EXPECT_EQ(warm.digest, cold.digest);
+}
+
+TEST_F(ScanTest, InjectedOpenFaultScansCold) {
+  Run cold = Scan(store_);
+  ASSERT_TRUE(FailpointRegistry::Instance().Arm("store_open", "oneshot").ok());
+  Run faulted = Scan(store_);
+  EXPECT_TRUE(faulted.summary.store_enabled);
+  EXPECT_FALSE(faulted.summary.store.warning.empty());
+  EXPECT_EQ(faulted.summary.store_reused, 0u);
+  EXPECT_EQ(faulted.digest, cold.digest);
+  EXPECT_EQ(faulted.text, cold.text);
+}
+
+TEST_F(ScanTest, InjectedCommitFaultKeepsReportSoundAndStoreRecoverable) {
+  // The torn flush fires inside the scan's final Commit: the report must be
+  // unaffected (it never depends on the write-back), the summary must carry
+  // the warning, and the next scan must open the store cleanly.
+  ASSERT_TRUE(FailpointRegistry::Instance().Arm("store_append", "oneshot").ok());
+  Run cold = Scan(store_);
+  EXPECT_FALSE(cold.summary.store.warning.empty());
+
+  FailpointRegistry::Instance().DisarmAll();
+  Run second = Scan(store_);
+  EXPECT_TRUE(second.summary.store.warning.empty() ||
+              second.summary.store.warning.find("uncommitted") != std::string::npos)
+      << second.summary.store.warning;
+  EXPECT_EQ(second.digest, cold.digest);
+  EXPECT_EQ(second.text, cold.text);
+
+  // That second scan re-appended and committed; now it is warm.
+  Run third = Scan(store_);
+  EXPECT_EQ(third.summary.files_reused, third.report.files);
+  EXPECT_EQ(third.digest, cold.digest);
+  std::string summary;
+  EXPECT_TRUE(persist::FingerprintStore::Verify(store_, &summary).ok()) << summary;
+}
+
+TEST_F(ScanTest, AutoJobsClampToHardwareAndFileCount) {
+  const int hw = ThreadPool::ResolveParallelism(0);
+  Run auto_run = Scan("", /*jobs=*/0);
+  EXPECT_GE(auto_run.summary.jobs, 1);
+  EXPECT_LE(auto_run.summary.jobs, hw);
+  EXPECT_LE(auto_run.summary.jobs, static_cast<int>(auto_run.report.files));
+
+  // Explicit values are honored up to the file count — shards past the files
+  // would sit empty.
+  Run explicit_run = Scan("", /*jobs=*/64);
+  EXPECT_EQ(explicit_run.summary.jobs,
+            std::min<int>(64, static_cast<int>(explicit_run.report.files)));
+  EXPECT_EQ(explicit_run.digest, auto_run.digest);
+}
+
+TEST(ScanFingerprintsTest, TemplateOfExactMatchesTemplateOfRaw) {
+  // FingerprintForScan derives the template fingerprint by re-canonicalizing
+  // the exact form instead of the raw text. That is only sound if
+  // canonicalization is stable on its own output — locked in here across
+  // comment, case, whitespace, and literal shapes.
+  const char* statements[] = {
+      "SELECT * FROM users WHERE id = 42",
+      "select   name ,  id from USERS where ID=7 -- trailing comment",
+      "/* leading */ SELECT 'quoted literal' FROM t WHERE x IN (1, 2, 3)",
+      "INSERT INTO t (a, b) VALUES (1.5, 'two')",
+      "UPDATE t SET a = a + 1 WHERE b LIKE '%,7,%'",
+      "CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(10))",
+  };
+  for (const char* raw : statements) {
+    std::string exact_canonical;
+    sql::ScanFingerprints fp = sql::FingerprintForScan(raw, &exact_canonical);
+    EXPECT_EQ(fp.exact, sql::FingerprintSql(raw, sql::FingerprintOptions::Exact()))
+        << raw;
+    EXPECT_EQ(fp.tmpl, sql::FingerprintSql(raw, sql::FingerprintOptions::Template()))
+        << raw;
+    EXPECT_EQ(fp.tmpl, sql::FingerprintSql(exact_canonical,
+                                           sql::FingerprintOptions::Template()))
+        << raw;
+    EXPECT_EQ(exact_canonical,
+              sql::CanonicalizeSql(exact_canonical, sql::FingerprintOptions::Exact()))
+        << raw;
+  }
+}
+
+}  // namespace
+}  // namespace sqlcheck::scan

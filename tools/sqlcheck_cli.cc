@@ -23,6 +23,8 @@
 #include "core/sqlcheck.h"
 #include "fix/fix_engine.h"
 #include "fix/fixers.h"
+#include "persist/fingerprint_store.h"
+#include "scan/scanner.h"
 #include "sql/splitter.h"
 
 namespace {
@@ -30,6 +32,7 @@ namespace {
 using namespace sqlcheck;
 
 constexpr std::string_view kUsage = R"(usage: sqlcheck [options] [file.sql ...]
+       sqlcheck scan <dir> [--store <path>] [options]   (corpus mode: scan --help)
 
 Detects, ranks, and suggests fixes for SQL anti-patterns. With no files (or
 "-"), reads stdin.
@@ -77,6 +80,170 @@ options:
 
 exit codes: 0 = clean, 1 = findings reported, 2 = usage or I/O error
 )";
+
+constexpr std::string_view kScanUsage = R"(usage: sqlcheck scan <dir> [options]
+
+Walks a directory tree of repositories / SQL dumps, analyzes every statement
+in isolation (SQL scripts are split; host-language sources go through the
+embedded-SQL extractor; extensionless files are content-sniffed), and prints
+a corpus prevalence report: per-rule occurrence counts, per-repository
+distribution, and a severity histogram. First-level directories are the
+"repositories" of the distribution tables.
+
+With --store, analysis results are memoized in a persistent mmap'd
+fingerprint store keyed by each statement's exact-canonical form: a warm
+re-scan only analyzes statements it has never seen while the report stays
+byte-identical to a cold run. The store invalidates itself when the rule
+set or on-disk format version changes, and degrades to a cold scan (with a
+warning) on any corruption or lock contention — never a crash or a wrong
+report.
+
+options:
+  --store <path>       persistent fingerprint store (created on first scan)
+  --no-store           force a cold scan even when --store is given
+  --jobs <N>           worker shards (0 = auto: one per hardware thread,
+                       capped at the file count; default 0)
+  --report <text|json> report format on stdout (default: text); operational
+                       telemetry (timings, store hits) goes to stderr
+  --store-verify       validate the store's header and every record, print a
+                       summary, and exit (no scan; <dir> not required)
+  --store-compact      rewrite the store dropping duplicate and uncommitted
+                       records under a bumped generation, and exit (no scan;
+                       <dir> not required)
+  -h, --help           show this help
+
+exit codes: 0 = scan/maintenance completed (findings are expected output,
+not an error), 1 = --store-verify found an invalid store, 2 = usage or I/O
+error
+)";
+
+int ScanUsageError(const std::string& message) {
+  std::cerr << "sqlcheck: " << message << "\n\n" << kScanUsage;
+  return 2;
+}
+
+/// `sqlcheck scan` — the corpus-analytics entry point.
+int RunScanCommand(int argc, char** argv) {
+  std::string dir;
+  std::string store_path;
+  std::string report_format = "text";
+  int jobs = 0;
+  bool no_store = false;
+  bool store_verify = false;
+  bool store_compact = false;
+  for (int i = 2; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto value_of = [&](std::string* out) {
+      if (i + 1 >= argc) return false;
+      *out = argv[++i];
+      return true;
+    };
+    std::string value;
+    if (arg == "-h" || arg == "--help") {
+      std::cout << kScanUsage;
+      return 0;
+    } else if (arg == "--store") {
+      if (!value_of(&store_path)) return ScanUsageError("--store requires a path");
+    } else if (arg == "--no-store") {
+      no_store = true;
+    } else if (arg == "--jobs") {
+      if (!value_of(&value) || !IsAllDigits(value) || value.size() > 4) {
+        return ScanUsageError("--jobs expects a shard count");
+      }
+      jobs = std::stoi(value);
+    } else if (arg == "--report") {
+      if (!value_of(&report_format) ||
+          (report_format != "text" && report_format != "json")) {
+        return ScanUsageError("--report expects text or json");
+      }
+    } else if (arg == "--store-verify") {
+      store_verify = true;
+    } else if (arg == "--store-compact") {
+      store_compact = true;
+    } else if (arg.size() > 1 && arg[0] == '-') {
+      return ScanUsageError("unknown option '" + std::string(arg) + "'");
+    } else if (dir.empty()) {
+      dir = arg;
+    } else {
+      return ScanUsageError("more than one scan root given");
+    }
+  }
+
+  if (store_verify || store_compact) {
+    if (store_path.empty()) {
+      return ScanUsageError("--store-verify/--store-compact require --store <path>");
+    }
+    std::string summary;
+    if (store_verify) {
+      Status st = persist::FingerprintStore::Verify(store_path, &summary);
+      if (!st.ok()) {
+        std::cerr << "sqlcheck: store verification FAILED: " << st.message() << "\n";
+        return 1;
+      }
+      std::cout << "store ok: " << summary << "\n";
+      return 0;
+    }
+    uint64_t ruleset_hash =
+        persist::FingerprintStore::RulesetHash(RuleRegistry::Default());
+    Status st = persist::FingerprintStore::Compact(store_path, ruleset_hash, &summary);
+    if (!st.ok()) {
+      std::cerr << "sqlcheck: store compaction failed: " << st.message() << "\n";
+      return 2;
+    }
+    std::cout << "store compacted: " << summary << "\n";
+    return 0;
+  }
+
+  if (dir.empty()) return ScanUsageError("scan requires a directory to walk");
+
+  scan::ScanOptions options;
+  options.store_path = no_store ? std::string() : store_path;
+  options.jobs = jobs;
+  scan::CorpusScanner scanner(options);
+  Result<scan::ScanReport> result = scanner.Scan(dir);
+  if (!result.ok()) {
+    std::cerr << "sqlcheck: " << result.message() << "\n";
+    return 2;
+  }
+  const scan::ScanReport& report = result.value();
+  std::cout << (report_format == "json" ? report.ToJson() : report.ToText());
+
+  const scan::ScanSummary& summary = scanner.summary();
+  std::fprintf(stderr,
+               "sqlcheck: scanned %llu repos / %llu files / %llu statements "
+               "in %.3fs (jobs=%d, skipped=%llu)\n",
+               static_cast<unsigned long long>(report.repos),
+               static_cast<unsigned long long>(report.files),
+               static_cast<unsigned long long>(report.statements), summary.seconds,
+               summary.jobs, static_cast<unsigned long long>(summary.files_skipped));
+  std::fprintf(stderr,
+               "sqlcheck: analyzed=%llu store_hits=%llu memo_hits=%llu "
+               "files_replayed=%llu\n",
+               static_cast<unsigned long long>(summary.analyzed),
+               static_cast<unsigned long long>(summary.store_reused),
+               static_cast<unsigned long long>(summary.memo_reused),
+               static_cast<unsigned long long>(summary.files_reused));
+  if (summary.store_enabled) {
+    std::fprintf(stderr,
+                 "sqlcheck: store: entries=%llu files=%llu appended=%llu "
+                 "hits=%llu misses=%llu file_hits=%llu file_misses=%llu "
+                 "bytes=%llu generation=%llu\n",
+                 static_cast<unsigned long long>(summary.store.entries),
+                 static_cast<unsigned long long>(summary.store.file_entries),
+                 static_cast<unsigned long long>(summary.store.appended),
+                 static_cast<unsigned long long>(summary.store.hits),
+                 static_cast<unsigned long long>(summary.store.misses),
+                 static_cast<unsigned long long>(summary.store.file_hits),
+                 static_cast<unsigned long long>(summary.store.file_misses),
+                 static_cast<unsigned long long>(summary.store.bytes),
+                 static_cast<unsigned long long>(summary.store.generation));
+    if (!summary.store.warning.empty()) {
+      std::fprintf(stderr, "sqlcheck: store warning: %s\n",
+                   summary.store.warning.c_str());
+    }
+  }
+  return 0;
+}
 
 enum class Format { kText, kJson, kSarif, kMarkdown };
 
@@ -405,6 +572,9 @@ size_t FollowStream(std::istream& in, AnalysisSession* session, const CliOptions
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string_view(argv[1]) == "scan") {
+    return RunScanCommand(argc, argv);
+  }
   CliOptions cli;
   int exit_code = 0;
   if (!ParseArgs(argc, argv, &cli, &exit_code)) return exit_code;
